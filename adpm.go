@@ -1,0 +1,216 @@
+// Package adpm is the public API of the ADPM/TeamSim library — a Go
+// reimplementation of "Application of Constraint-Based Heuristics in
+// Collaborative Design" (Carballo & Director, DAC 2001).
+//
+// The library models a collaborative design process as a state-based
+// system: design properties with value ranges, a network of constraints
+// over them, a hierarchy of design problems owned by team members, and
+// design operations (synthesis, verification, decomposition) that move
+// the process between states. Two process-management modes are
+// provided:
+//
+//   - Conventional: constraint checking happens only when a designer
+//     explicitly requests a verification operation, so cross-subsystem
+//     conflicts surface at system integration.
+//
+//   - ADPM (Active Design Process Management): a design constraint
+//     manager runs interval constraint propagation after every
+//     operation, mining the results into heuristic support data —
+//     feasible subspaces v_F(a), constraint counts β, violation counts
+//     α, monotone fix directions, and movement windows for assigned
+//     values — that designers use to search the design space.
+//
+// TeamSim simulates complete design processes with model-based
+// designers in either mode and captures the statistics the paper
+// reports: operations to completion, constraint evaluations (a proxy
+// for CAD tool runs), and design spins (late cross-subsystem rework).
+//
+// Quick start:
+//
+//	scn := adpm.Receiver() // built-in MEMS receiver scenario
+//	res, err := adpm.Run(adpm.Config{Scenario: scn, Mode: adpm.ModeADPM, Seed: 1})
+//	if err != nil { ... }
+//	fmt.Println(res.Operations, res.Evaluations, res.Spins)
+//
+// Scenarios are described in the DDDL language (ParseScenario) or taken
+// from the built-in set (Sensor, Receiver, Simplified). For direct
+// process control — applying individual operations, reading designer
+// views — use NewProcess and the dpm/dcm packages via the returned
+// handle.
+package adpm
+
+import (
+	"io"
+
+	"repro/internal/browser"
+	"repro/internal/constraint"
+	"repro/internal/dcm"
+	"repro/internal/dddl"
+	"repro/internal/designer"
+	"repro/internal/domain"
+	"repro/internal/dpm"
+	"repro/internal/scenario"
+	"repro/internal/solver"
+	"repro/internal/stats"
+	"repro/internal/teamsim"
+)
+
+// Scenario is a parsed DDDL design-area description: objects,
+// properties (plain and derived), constraints, problems, decomposition,
+// and initial requirements.
+type Scenario = dddl.Scenario
+
+// ParseScenario parses a DDDL document.
+func ParseScenario(r io.Reader) (*Scenario, error) { return dddl.Parse(r) }
+
+// ParseScenarioString parses a DDDL document from a string.
+func ParseScenarioString(src string) (*Scenario, error) { return dddl.ParseString(src) }
+
+// Built-in scenarios (paper §3.2).
+var (
+	// Sensor returns the MEMS pressure sensing system case
+	// (26 properties, 21 constraints, mostly linear).
+	Sensor = scenario.Sensor
+	// Receiver returns the MEMS wireless receiver front-end case
+	// (35 properties, 30 constraints, mostly nonlinear).
+	Receiver = scenario.Receiver
+	// ReceiverWithGain parameterizes the receiver's gain requirement
+	// (the Fig. 10 tightness sweep).
+	ReceiverWithGain = scenario.ReceiverWithGain
+	// Simplified returns the small case used for per-operation profiles.
+	Simplified = scenario.Simplified
+	// ScenarioByName looks up a built-in scenario by name.
+	ScenarioByName = scenario.ByName
+)
+
+// Mode selects the process-management approach.
+type Mode = dpm.Mode
+
+// Process modes.
+const (
+	// ModeConventional is the λ=F baseline: verification on request.
+	ModeConventional = dpm.Conventional
+	// ModeADPM is the λ=T active approach: propagation after every
+	// operation.
+	ModeADPM = dpm.ADPM
+)
+
+// Config parameterizes a simulation run (see teamsim.Config).
+type Config = teamsim.Config
+
+// Result captures one run's statistics (see teamsim.Result).
+type Result = teamsim.Result
+
+// MultiResult aggregates seeded runs (see teamsim.MultiResult).
+type MultiResult = teamsim.MultiResult
+
+// Comparison holds conventional-vs-ADPM aggregates for one case.
+type Comparison = teamsim.Comparison
+
+// Heuristics toggles the designers' constraint-based search heuristics.
+type Heuristics = designer.Heuristics
+
+// DefaultHeuristics enables every heuristic (the paper's ADPM setting).
+var DefaultHeuristics = designer.DefaultHeuristics
+
+// DisabledHeuristics disables every heuristic (random-search ablation).
+var DisabledHeuristics = teamsim.DisabledHeuristics
+
+// Run executes one deterministic seeded simulation.
+func Run(cfg Config) (*Result, error) { return teamsim.Run(cfg) }
+
+// RunConcurrent executes one simulation with a goroutine per designer
+// exchanging messages with a DPM server goroutine (Fig. 5's distributed
+// architecture). Scheduling is nondeterministic.
+func RunConcurrent(cfg Config) (*Result, error) { return teamsim.RunConcurrent(cfg) }
+
+// RunMany executes seeded runs in parallel and aggregates them.
+func RunMany(cfg Config, runs, parallelism int) (*MultiResult, error) {
+	return teamsim.RunMany(cfg, runs, parallelism)
+}
+
+// Compare runs both modes over the same seed block (a Fig. 9 row).
+func Compare(name string, cfg Config, runs, parallelism int) (*Comparison, error) {
+	return teamsim.Compare(name, cfg, runs, parallelism)
+}
+
+// Process is a live design process: the DPM holding the constraint
+// network, problem hierarchy, and history. Use it to drive operations
+// directly instead of simulating designers.
+type Process = dpm.DPM
+
+// Operation is one design operation θ (synthesis, verification, or
+// decomposition).
+type Operation = dpm.Operation
+
+// Operation kinds.
+const (
+	OpSynthesis     = dpm.OpSynthesis
+	OpVerification  = dpm.OpVerification
+	OpDecomposition = dpm.OpDecomposition
+)
+
+// Assignment is one property-value binding of a synthesis operation.
+type Assignment = dpm.Assignment
+
+// Transition records one executed design transition with its captured
+// statistics (violations found, evaluations, spin flag).
+type Transition = dpm.Transition
+
+// Value is a single property value (a real number or a string).
+type Value = domain.Value
+
+// Real constructs a numeric property value.
+var Real = domain.Real
+
+// Str constructs a string property value.
+var Str = domain.Str
+
+// NewProcess instantiates a design process from a scenario.
+func NewProcess(scn *Scenario, mode Mode) (*Process, error) {
+	return dpm.FromScenario(scn, mode)
+}
+
+// View is the constraint-based heuristic support data available to one
+// designer: feasible subspaces, α/β counts, monotonicity lists, known
+// violations with fix directions (paper §2.3, §3.1.1).
+type View = dcm.View
+
+// BuildView assembles the view of the named designer from the process
+// state (the DCM's mining step).
+func BuildView(p *Process, designerID string) *View { return dcm.BuildView(p, designerID) }
+
+// RenderBrowser renders the Minerva-style browser window (the paper's
+// Figs. 2-4: object browser, constraint pane, property pane with α/β,
+// conflict pane) for one designer, as text.
+func RenderBrowser(p *Process, designerID string) string { return browser.Full(p, designerID) }
+
+// Network is the design constraint network (properties, constraints,
+// statuses, feasible subspaces).
+type Network = constraint.Network
+
+// Summary holds descriptive statistics of a sample.
+type Summary = stats.Summary
+
+// SolverOptions tune the branch-and-prune constraint solver.
+type SolverOptions = solver.Options
+
+// SolverResult reports a constraint-satisfaction search outcome.
+type SolverResult = solver.Result
+
+// SolveScenario searches for a satisfying assignment of a scenario's
+// design variables by interval branch-and-prune — a satisfiability
+// oracle and witness generator for design-problem scenarios.
+func SolveScenario(scn *Scenario, opts SolverOptions) (*SolverResult, error) {
+	return solver.SolveScenario(scn, opts)
+}
+
+// OptimizeResult reports a constrained minimization outcome.
+type OptimizeResult = solver.OptResult
+
+// MinimizeScenario searches for the assignment of a scenario's design
+// variables that satisfies every constraint and minimizes the objective
+// expression (e.g. "System_power"), by interval branch-and-bound.
+func MinimizeScenario(scn *Scenario, objective string, opts SolverOptions) (*OptimizeResult, error) {
+	return solver.MinimizeScenario(scn, objective, opts)
+}

@@ -1,0 +1,209 @@
+package adpm
+
+// Integration tests of the public API: end-to-end reproduction checks
+// of the paper's headline claims at reduced run counts, and the
+// quickstart path a downstream user would follow.
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicQuickstartPath(t *testing.T) {
+	scn, err := ParseScenarioString(`
+scenario api_test
+
+object Specs {
+    property Budget real [0, 100]
+}
+object Block owner dev {
+    property P real [0, 100]
+
+    derived Q real [0, 300] = 3 * P
+}
+constraint Cap: Q <= Budget
+problem Top owner lead {
+    inputs { Budget }
+    constraints { Cap }
+}
+problem Work owner dev {
+    outputs { P }
+    constraints { }
+}
+decompose Top -> Work
+require Budget = 60
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Manual process control.
+	proc, err := NewProcess(scn, ModeADPM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := BuildView(proc, "dev")
+	pi := view.Props["P"]
+	if pi == nil {
+		t.Fatal("view missing P")
+	}
+	// Propagation: Q = 3P <= 60 → P <= 20.
+	iv, _ := pi.Feasible.Interval()
+	if iv.Hi > 20.01 {
+		t.Errorf("feasible P = %v, want narrowed to <= 20", iv)
+	}
+	tr, err := proc.Apply(Operation{
+		Kind: OpSynthesis, Problem: "Work", Designer: "dev",
+		Assignments: []Assignment{{Prop: "P", Value: Real(30)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.NewViolations) != 1 || tr.NewViolations[0] != "Cap" {
+		t.Errorf("violations = %v, want [Cap]", tr.NewViolations)
+	}
+
+	// Automated simulation.
+	res, err := Run(Config{Scenario: scn, Mode: ModeADPM, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Error("simulation did not complete")
+	}
+	if q := res.FinalValues["Q"]; q > 60.0001 {
+		t.Errorf("final Q = %v violates the cap", q)
+	}
+}
+
+func TestPublicSolver(t *testing.T) {
+	res, err := SolveScenario(Receiver(), SolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfiable {
+		t.Fatal("receiver scenario should be satisfiable")
+	}
+	if len(res.Witness) != 9 {
+		t.Errorf("witness covers %d design variables, want 9", len(res.Witness))
+	}
+}
+
+// TestHeadlineClaimsSmall reruns the paper's §3.2 comparison at a
+// reduced scale and asserts every directional claim.
+func TestHeadlineClaimsSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var sensorCmp, receiverCmp *Comparison
+	for _, tc := range []struct {
+		name string
+		dst  **Comparison
+	}{{"sensor", &sensorCmp}, {"receiver", &receiverCmp}} {
+		scn, err := ScenarioByName(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmp, err := Compare(tc.name, Config{Scenario: scn, Seed: 1, MaxOps: 3000}, 12, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		*tc.dst = cmp
+		if r := cmp.OpsRatio(); r < 2 {
+			t.Errorf("%s: conventional/ADPM ops %.2f < 2 (paper: at least twice)", tc.name, r)
+		}
+		if r := cmp.StdRatio(); r < 3 {
+			t.Errorf("%s: std ratio %.2f < 3 (paper: at least 3x less variable)", tc.name, r)
+		}
+		if r := cmp.SpinRatio(); r > 0.5 {
+			t.Errorf("%s: ADPM spins %.0f%% of conventional (paper: strong reduction)", tc.name, 100*r)
+		}
+		if cmp.EvalPenaltyTotal() <= 1 {
+			t.Errorf("%s: ADPM must consume more evaluations in total", tc.name)
+		}
+	}
+	// Harder case: larger ops reduction, smaller eval penalty.
+	if receiverCmp.OpsRatio() <= sensorCmp.OpsRatio() {
+		t.Errorf("ops reduction should be larger on the receiver: %.1f vs %.1f",
+			receiverCmp.OpsRatio(), sensorCmp.OpsRatio())
+	}
+	if receiverCmp.EvalPenaltyTotal() >= sensorCmp.EvalPenaltyTotal() {
+		t.Errorf("eval penalty should be smaller on the receiver: %.1f vs %.1f",
+			receiverCmp.EvalPenaltyTotal(), sensorCmp.EvalPenaltyTotal())
+	}
+}
+
+func TestScenarioFormatAccessible(t *testing.T) {
+	text := Simplified().Format()
+	if !strings.Contains(text, "scenario simplified") {
+		t.Error("Format output missing scenario name")
+	}
+	again, err := ParseScenarioString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Name != "simplified" {
+		t.Error("round trip lost name")
+	}
+}
+
+func TestHeuristicsToggles(t *testing.T) {
+	h := DefaultHeuristics()
+	if !h.SmallestSubspace || !h.TabuHistory {
+		t.Error("defaults should enable the paper's heuristics")
+	}
+	if off := DisabledHeuristics(); off.SmallestSubspace || off.AlphaGuided {
+		t.Error("DisabledHeuristics should disable everything")
+	}
+}
+
+func TestRunManyFacade(t *testing.T) {
+	m, err := RunMany(Config{Scenario: Simplified(), Mode: ModeADPM, Seed: 1}, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Completed != 4 {
+		t.Errorf("completed = %d/4", m.Completed)
+	}
+	if m.Ops.Mean <= 0 {
+		t.Error("summary missing")
+	}
+}
+
+func TestValueConstructors(t *testing.T) {
+	if v := Real(2.5); v.IsString() || v.Num() != 2.5 {
+		t.Error("Real broken")
+	}
+	if v := Str("geometry"); !v.IsString() || v.Text() != "geometry" {
+		t.Error("Str broken")
+	}
+}
+
+func TestMinimizeScenarioFacade(t *testing.T) {
+	res, err := MinimizeScenario(Simplified(), "Amp_power", SolverOptions{MaxNodes: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("no feasible point")
+	}
+	// Min power subject to System_gain >= 30 and Filter_loss <= 18:
+	// gain = 30·W·I·√B >= 30 + loss(>=200/30=6.67) → cheap corner well
+	// below the 100 budget.
+	if res.Objective > 40 {
+		t.Errorf("minimized Amp_power = %v, want well under the budget", res.Objective)
+	}
+}
+
+func TestRenderBrowserFacade(t *testing.T) {
+	proc, err := NewProcess(Receiver(), ModeADPM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderBrowser(proc, "circuit")
+	for _, want := range []string{"PROPERTIES", "CONSTRAINTS", "CONFLICTS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("browser missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Command dddl parses and validates a DDDL scenario description
+// (paper §3.1.2) and prints a summary of the design area it declares:
+// objects, properties (with derived formulas), the constraint network,
+// the problem hierarchy, and initial requirements.
+//
+// Usage:
+//
+//	dddl [-builtin receiver|sensor|simplified] [-format] [-solve]
+//	     [-minimize objective] [file.dddl]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/dddl"
+	"repro/internal/scenario"
+	"repro/internal/solver"
+)
+
+func main() {
+	builtin := flag.String("builtin", "", "dump a built-in scenario instead of a file")
+	solve := flag.Bool("solve", false, "search for a satisfying assignment (branch-and-prune)")
+	minimize := flag.String("minimize", "", "minimize this objective expression subject to all constraints")
+	format := flag.Bool("format", false, "emit canonical DDDL instead of a summary")
+	flag.Parse()
+
+	var (
+		scn *dddl.Scenario
+		err error
+	)
+	switch {
+	case *builtin != "":
+		scn, err = scenario.ByName(*builtin)
+	case flag.NArg() == 1:
+		var f *os.File
+		f, err = os.Open(flag.Arg(0))
+		if err == nil {
+			defer f.Close()
+			scn, err = dddl.Parse(f)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "dddl: need a scenario file or -builtin name")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dddl:", err)
+		os.Exit(1)
+	}
+
+	if *format {
+		fmt.Print(scn.Format())
+		return
+	}
+
+	fmt.Printf("scenario %s: valid\n\n", scn.Name)
+
+	fmt.Printf("objects (%d):\n", len(scn.Objects))
+	for _, o := range scn.Objects {
+		owner := o.Owner
+		if owner == "" {
+			owner = "(none)"
+		}
+		fmt.Printf("  %-16s owner %s\n", o.Name, owner)
+	}
+
+	derived := 0
+	for _, p := range scn.Properties {
+		if p.IsDerived() {
+			derived++
+		}
+	}
+	fmt.Printf("\nproperties (%d, %d derived):\n", len(scn.Properties), derived)
+	for _, p := range scn.Properties {
+		kind := p.Domain.String()
+		if p.IsDerived() {
+			fmt.Printf("  %-16s %-24s = %s\n", p.Name, kind, p.Formula)
+		} else {
+			fmt.Printf("  %-16s %s\n", p.Name, kind)
+		}
+	}
+
+	fmt.Printf("\nconstraints (%d declared; derived definitions add %d more):\n",
+		len(scn.Constraints), derived)
+	for _, c := range scn.Constraints {
+		fmt.Printf("  %-16s %s", c.Name, c.Src)
+		if len(c.Mono) > 0 {
+			fmt.Printf("   [monotonic: ")
+			first := true
+			for prop, dir := range c.Mono {
+				if !first {
+					fmt.Print(", ")
+				}
+				first = false
+				word := "increasing"
+				if dir < 0 {
+					word = "decreasing"
+				}
+				fmt.Printf("%s %s", word, prop)
+			}
+			fmt.Print("]")
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\nproblems (%d):\n", len(scn.Problems))
+	for _, p := range scn.Problems {
+		fmt.Printf("  %-16s owner %-10s outputs %v constraints %v\n",
+			p.Name, p.Owner, p.Outputs, p.Constraints)
+	}
+	for _, d := range scn.Decompositions {
+		fmt.Printf("  decompose %s -> %v\n", d.Parent, d.Children)
+	}
+
+	fmt.Printf("\nrequirements (%d):\n", len(scn.Requirements))
+	for _, r := range scn.Requirements {
+		fmt.Printf("  %s = %s\n", r.Property, r.Value)
+	}
+
+	net, err := scn.BuildNetwork()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dddl: network:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nconstraint network: %d properties, %d constraints\n",
+		net.NumProperties(), net.NumConstraints())
+
+	if *minimize != "" {
+		res, err := solver.MinimizeScenario(scn, *minimize, solver.Options{MaxNodes: 5000})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dddl: minimize:", err)
+			os.Exit(1)
+		}
+		if !res.Feasible {
+			fmt.Printf("\nminimize: no feasible point found (nodes=%d)\n", res.Nodes)
+			os.Exit(1)
+		}
+		fmt.Printf("\nminimize %s: best %.6g (%d nodes, %d evaluations)\n",
+			*minimize, res.Objective, res.Nodes, res.Evaluations)
+		names := make([]string, 0, len(res.Witness))
+		for n := range res.Witness {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  %-16s %.6g\n", n, res.Witness[n])
+		}
+	}
+
+	if *solve {
+		res, err := solver.SolveScenario(scn, solver.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dddl: solve:", err)
+			os.Exit(1)
+		}
+		if !res.Satisfiable {
+			fmt.Printf("\nsolver: no witness found (nodes=%d, exhausted=%v)\n", res.Nodes, res.Exhausted)
+			os.Exit(1)
+		}
+		fmt.Printf("\nsolver: satisfiable (%d nodes, %d evaluations); witness:\n", res.Nodes, res.Evaluations)
+		names := make([]string, 0, len(res.Witness))
+		for n := range res.Witness {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  %-16s %.6g\n", n, res.Witness[n])
+		}
+	}
+}

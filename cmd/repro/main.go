@@ -1,0 +1,110 @@
+// Command repro regenerates the paper's evaluation figures (Figs. 7-10
+// of "Application of Constraint-Based Heuristics in Collaborative
+// Design", DAC 2001) from the TeamSim reimplementation.
+//
+// Usage:
+//
+//	repro [-fig all|7|8|9|10] [-runs 60] [-seed 1] [-maxops 3000]
+//	      [-scenario simplified] [-mode adpm|conventional]
+//
+// -scenario selects the Fig. 7 profile case; -mode selects the Fig. 8
+// snapshot mode.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/dpm"
+	"repro/internal/figures"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: all, 7, 8, 9, 10")
+	runs := flag.Int("runs", 60, "seeded runs per configuration (Figs. 9, 10)")
+	seed := flag.Int64("seed", 1, "base random seed")
+	maxOps := flag.Int("maxops", 3000, "operation cap per run")
+	parallel := flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
+	scenarioName := flag.String("scenario", "simplified", "Fig. 7 profile scenario")
+	modeName := flag.String("mode", "adpm", "Fig. 8 snapshot mode: adpm or conventional")
+	csvDir := flag.String("csv", "", "also write figure data as CSV files into this directory")
+	flag.Parse()
+
+	opts := figures.Options{
+		Runs:        *runs,
+		Seed:        *seed,
+		MaxOps:      *maxOps,
+		Parallelism: *parallel,
+	}
+	mode := dpm.ADPM
+	if strings.EqualFold(*modeName, "conventional") {
+		mode = dpm.Conventional
+	}
+
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+	ran := false
+
+	if want("7") {
+		ran = true
+		f, err := figures.Fig7(*scenarioName, *seed, *maxOps)
+		fail(err)
+		fmt.Println(f.Render())
+		writeCSV(*csvDir, "fig7_"+*scenarioName+".csv", f.WriteCSV)
+		// The receiver profile shows ADPM's residual early violations.
+		if *scenarioName != "receiver" {
+			f, err = figures.Fig7("receiver", *seed, *maxOps)
+			fail(err)
+			fmt.Println(f.Render())
+		}
+	}
+	if want("8") {
+		ran = true
+		f, err := figures.Fig8(mode, *seed, *maxOps)
+		fail(err)
+		fmt.Println(f.Render())
+	}
+	if want("9") || want("9a") || want("9b") {
+		ran = true
+		f, err := figures.Fig9(opts)
+		fail(err)
+		fmt.Println(f.Render())
+		writeCSV(*csvDir, "fig9.csv", f.WriteCSV)
+	}
+	if want("10") {
+		ran = true
+		f, err := figures.Fig10(opts)
+		fail(err)
+		fmt.Println(f.Render())
+		conv, adpm := f.VariationRange()
+		fmt.Printf("variation range over sweep: conventional %.1f ops, ADPM %.1f ops\n", conv, adpm)
+		writeCSV(*csvDir, "fig10.csv", f.WriteCSV)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "repro: unknown figure %q (want all, 7, 8, 9, 10)\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func writeCSV(dir, name string, write func(io.Writer) error) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fail(err)
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	fail(err)
+	fail(write(f))
+	fail(f.Close())
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,162 @@
+// Command teamsim runs one design process simulation (or a seeded
+// batch) on a built-in or user-supplied DDDL scenario.
+//
+// Usage:
+//
+//	teamsim [-scenario receiver|sensor|simplified] [-file scenario.dddl]
+//	        [-mode adpm|conventional] [-seed 1] [-runs 1] [-maxops 3000]
+//	        [-concurrent] [-trace] [-inspect] [-csv out.csv] [-json out.json]
+//
+// With -runs > 1 a summary over seeds seed..seed+runs-1 is printed;
+// -csv writes per-run rows, -json writes a single run's full report
+// (statistics series and operation history), -inspect prints each
+// designer's Minerva-style browser after a single run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/browser"
+	"repro/internal/dddl"
+	"repro/internal/dpm"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+	"repro/internal/teamsim"
+)
+
+func main() {
+	scenarioName := flag.String("scenario", "receiver", "built-in scenario: receiver, sensor, simplified")
+	file := flag.String("file", "", "DDDL scenario file (overrides -scenario)")
+	modeName := flag.String("mode", "adpm", "process mode: adpm or conventional")
+	seed := flag.Int64("seed", 1, "random seed (base seed when -runs > 1)")
+	runs := flag.Int("runs", 1, "number of seeded runs")
+	maxOps := flag.Int("maxops", 3000, "operation cap per run")
+	concurrent := flag.Bool("concurrent", false, "use the goroutine-per-designer engine")
+	trace := flag.Bool("trace", false, "print every executed operation (single run only)")
+	inspect := flag.Bool("inspect", false, "print each designer's Minerva-style browser after a single run")
+	csvPath := flag.String("csv", "", "write per-run statistics as CSV")
+	jsonPath := flag.String("json", "", "write the run report (with full history) as JSON (single run only)")
+	flag.Parse()
+
+	scn, err := loadScenario(*file, *scenarioName)
+	fail(err)
+
+	mode := dpm.ADPM
+	if strings.EqualFold(*modeName, "conventional") {
+		mode = dpm.Conventional
+	}
+	cfg := teamsim.Config{Scenario: scn, Mode: mode, Seed: *seed, MaxOps: *maxOps}
+
+	if *runs <= 1 {
+		if *trace {
+			cfg.Trace = os.Stdout
+		}
+		var r *teamsim.Result
+		if *concurrent {
+			r, err = teamsim.RunConcurrent(cfg)
+		} else {
+			r, err = teamsim.Run(cfg)
+		}
+		fail(err)
+		printRun(scn.Name, r)
+		if *inspect {
+			for _, owner := range scn.Owners() {
+				fmt.Println()
+				fmt.Print(browser.Full(r.Process, owner))
+			}
+		}
+		if *csvPath != "" {
+			fail(writeCSV(*csvPath, []*teamsim.Result{r}))
+		}
+		if *jsonPath != "" {
+			f, err := os.Create(*jsonPath)
+			fail(err)
+			fail(r.WriteJSON(f))
+			fail(f.Close())
+		}
+		return
+	}
+
+	m, err := teamsim.RunMany(cfg, *runs, 0)
+	fail(err)
+	fmt.Printf("scenario %s, %s mode, %d runs (seeds %d..%d):\n",
+		scn.Name, mode, *runs, *seed, *seed+int64(*runs)-1)
+	fmt.Printf("  completed    %d/%d\n", m.Completed, *runs)
+	fmt.Printf("  operations   %s\n", m.Ops)
+	fmt.Printf("  evaluations  %s\n", m.Evals)
+	fmt.Printf("  evals/op     %s\n", m.EvalsPerOp)
+	fmt.Printf("  spins        %s\n", m.Spins)
+	if *csvPath != "" {
+		fail(writeCSV(*csvPath, m.Results))
+	}
+}
+
+func loadScenario(file, name string) (*dddl.Scenario, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return dddl.Parse(f)
+	}
+	return scenario.ByName(name)
+}
+
+func printRun(name string, r *teamsim.Result) {
+	fmt.Printf("scenario %s, %s mode, seed %d:\n", name, r.Mode, r.Seed)
+	fmt.Printf("  completed    %v (deadlocked %v)\n", r.Completed, r.Deadlocked)
+	fmt.Printf("  operations   %d\n", r.Operations)
+	fmt.Printf("  evaluations  %d (%.1f per operation)\n", r.Evaluations, r.EvalsPerOpMean())
+	fmt.Printf("  spins        %d\n", r.Spins)
+	fmt.Printf("  final values:\n")
+	for _, p := range sortedKeys(r.FinalValues) {
+		fmt.Printf("    %-16s %g\n", p, r.FinalValues[p])
+	}
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func writeCSV(path string, results []*teamsim.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	header := []string{"seed", "mode", "completed", "operations", "evaluations", "evals_per_op", "spins"}
+	var rows [][]string
+	for _, r := range results {
+		rows = append(rows, []string{
+			strconv.FormatInt(r.Seed, 10),
+			r.Mode.String(),
+			strconv.FormatBool(r.Completed),
+			strconv.Itoa(r.Operations),
+			strconv.FormatInt(r.Evaluations, 10),
+			strconv.FormatFloat(r.EvalsPerOpMean(), 'f', 2, 64),
+			strconv.Itoa(r.Spins),
+		})
+	}
+	return stats.WriteCSV(f, header, rows)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "teamsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,99 @@
+// Quickstart: build a small constraint network from DDDL, run one
+// ADPM-managed design process, and inspect the constraint-based
+// heuristic data a designer would see.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	adpm "repro"
+)
+
+const doc = `
+scenario quickstart
+
+object Specs {
+    property Budget real [0, 100]
+}
+object Stage1 owner alice {
+    property P1 real [0, 100]
+
+    derived Q1 real [0, 1000] = 2 * P1
+}
+object Stage2 owner bob {
+    property P2 real [0, 100]
+}
+
+constraint Split:  P1 + P2 <= Budget
+constraint Stage1Min: Q1 >= 30
+
+problem Top owner leader {
+    inputs { Budget }
+    constraints { Split }
+}
+problem S1 owner alice {
+    outputs { P1 }
+    constraints { Stage1Min }
+}
+problem S2 owner bob {
+    outputs { P2 }
+    constraints { }
+}
+decompose Top -> S1, S2
+require Budget = 60
+`
+
+func main() {
+	scn, err := adpm.ParseScenarioString(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Drive the process by hand: bind P1, look at the heuristic data.
+	proc, err := adpm.NewProcess(scn, adpm.ModeADPM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== after initial propagation (Budget = 60) ==")
+	showView(proc, "alice")
+
+	if _, err := proc.Apply(adpm.Operation{
+		Kind: adpm.OpSynthesis, Problem: "S1", Designer: "alice",
+		Assignments: []adpm.Assignment{{Prop: "P1", Value: adpm.Real(40)}},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== after alice binds P1 = 40 ==")
+	showView(proc, "bob")
+
+	// Then let TeamSim finish the whole process automatically.
+	res, err := adpm.Run(adpm.Config{Scenario: scn, Mode: adpm.ModeADPM, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== full simulated run (ADPM) ==")
+	fmt.Printf("completed=%v operations=%d evaluations=%d spins=%d\n",
+		res.Completed, res.Operations, res.Evaluations, res.Spins)
+	fmt.Printf("final: P1=%.2f P2=%.2f Q1=%.2f\n",
+		res.FinalValues["P1"], res.FinalValues["P2"], res.FinalValues["Q1"])
+}
+
+// showView prints the per-property heuristic support data of §2.3:
+// feasible subspaces v_F, constraint count β, violation count α.
+func showView(proc *adpm.Process, designer string) {
+	v := adpm.BuildView(proc, designer)
+	fmt.Printf("view of %s (violations known: %d)\n", designer, len(v.Violations))
+	for _, name := range []string{"P1", "P2", "Q1", "Budget"} {
+		pi := v.Props[name]
+		if pi == nil {
+			continue
+		}
+		bound := "unbound"
+		if pi.Bound != nil {
+			bound = "= " + pi.Bound.String()
+		}
+		fmt.Printf("  %-7s %-10s feasible %-22s alpha=%d beta=%d\n",
+			name, bound, pi.Feasible.String(), pi.Alpha, pi.Beta)
+	}
+}

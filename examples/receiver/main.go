@@ -1,0 +1,143 @@
+// The §2.4 walkthrough: team-based design of a MEMS wireless receiver
+// front-end under ADPM, reproducing the paper's narrative —
+//
+//  1. the device engineer sets the filter beam length to 13 µm and
+//     completes an initial filter;
+//  2. the circuit designer consults the object browser (Fig. 2): the
+//     frequency inductor's feasible window is small, so the inductor is
+//     designed first (0.2 µH), then the differential pair is sized to
+//     the smallest potentially feasible width (2.5 µm) to save power;
+//  3. the chosen values violate the global gain requirement, and the
+//     team leader worsens things by tightening the input impedance
+//     requirement to 40 Ω — two violations;
+//  4. the constraint/property browser (Fig. 4) shows the differential
+//     pair width connected to both violations (α = 2); since larger
+//     transistors improve gain and impedance matching, the designer
+//     raises the width to 3.5 µm — and both violations are fixed with a
+//     single operation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	adpm "repro"
+)
+
+func main() {
+	proc, err := adpm.NewProcess(adpm.Receiver(), adpm.ModeADPM)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- 1. device engineer: beam length 13 µm, then the rest of the
+	// filter ------------------------------------------------------------
+	fmt.Println("== step 1: device engineer completes an initial filter ==")
+	deviceBind(proc, "Beam_len", 13)
+	deviceBind(proc, "Beam_width", 3.7)
+	deviceBind(proc, "Gap", 0.5)
+	deviceBind(proc, "Drive_V", 16)
+	fmt.Printf("filter: center frequency %.1f MHz, bandwidth %.2f MHz, loss %.2f\n\n",
+		value(proc, "Filter_freq"), value(proc, "Filter_BW"), value(proc, "Filter_loss"))
+
+	// --- 2. circuit designer: object browser (Fig. 2) -------------------
+	fmt.Println("== step 2: circuit designer consults the object browser (Fig. 2) ==")
+	view := adpm.BuildView(proc, "circuit")
+	fmt.Println("Object name: LNA+Mixer — subspaces not found infeasible:")
+	for _, p := range []string{"Freq_ind", "Diff_pair_W", "Bias_I", "Mixer_gm"} {
+		pi := view.Props[p]
+		fmt.Printf("  %-12s consistent values %-24s (relative size %.2f)\n",
+			p, pi.Feasible.String(), pi.RelFeasible)
+	}
+	fmt.Println("the inductor's window is smallest — design it first (0.2 µH),")
+	fmt.Println("then size the differential pair to its smallest feasible width")
+	fmt.Println("(2.5 µm), which will reduce power consumption.")
+	circuitBind(proc, "Freq_ind", 0.2)
+	circuitBind(proc, "Bias_I", 4.7)
+	circuitBind(proc, "Mixer_gm", 3.7)
+	circuitBind(proc, "Deser_rate", 6)
+	tr := circuitBind(proc, "Diff_pair_W", 2.5)
+	fmt.Printf("\nafter W = 2.5 µm: violations %v\n", tr.ViolationsAfter)
+	if !contains(tr.ViolationsAfter, "GainSpec") {
+		log.Fatal("narrative broken: the gain requirement should now be violated")
+	}
+	fmt.Printf("system gain %.1f < required 48 — the global gain requirement is violated\n\n",
+		value(proc, "System_gain"))
+
+	// --- 3. the leader tightens the input impedance spec ----------------
+	fmt.Println("== step 3: the team leader tightens the impedance requirement to 40 Ω ==")
+	tr = apply(proc, adpm.Operation{
+		Kind: adpm.OpSynthesis, Problem: "Top", Designer: "leader",
+		Assignments: []adpm.Assignment{{Prop: "MinZin", Value: adpm.Real(40)}},
+	})
+	fmt.Printf("violations now: %v\n", tr.ViolationsAfter)
+	if !contains(tr.ViolationsAfter, "ZinLo") {
+		log.Fatal("narrative broken: tightening should violate the impedance requirement")
+	}
+	fmt.Printf("LNA input impedance %.1f Ω < 40 Ω\n\n", value(proc, "LNA_Zin"))
+
+	// --- 4. constraint/property browser (Fig. 4) and the one-move fix ---
+	fmt.Println("== step 4: circuit designer resolves the conflicts (Fig. 4) ==")
+	view = adpm.BuildView(proc, "circuit")
+	fmt.Println("PROPERTIES pane — connected violations per property:")
+	for _, p := range []string{"Diff_pair_W", "Freq_ind", "Bias_I", "Mixer_gm"} {
+		pi := view.Props[p]
+		fmt.Printf("  %-12s value %-8s #c's=%d connected-violations=%d movement-window=%s\n",
+			p, pi.Bound.String(), pi.Beta, pi.Alpha, pi.Feasible.String())
+	}
+	w := view.Props["Diff_pair_W"]
+	if w.Alpha != 2 {
+		log.Fatalf("narrative broken: α(Diff_pair_W) = %d, want 2", w.Alpha)
+	}
+	fmt.Println("\nthe differential pair width is connected to two violations (α = 2);")
+	fmt.Println("larger transistors improve gain and input impedance matching, so the")
+	fmt.Println("designer increases the width to 3.5 µm:")
+	tr = apply(proc, adpm.Operation{
+		Kind: adpm.OpSynthesis, Problem: "AnalogFE", Designer: "circuit",
+		Assignments: []adpm.Assignment{{Prop: "Diff_pair_W", Value: adpm.Real(3.5)}},
+		MotivatedBy: []string{"GainSpec", "ZinLo"},
+	})
+	fmt.Printf("\nviolations after the move: %v\n", tr.ViolationsAfter)
+	if len(tr.ViolationsAfter) != 0 {
+		log.Fatalf("narrative broken: violations remain: %v", tr.ViolationsAfter)
+	}
+	fmt.Printf("system gain %.1f >= 48 and input impedance %.1f Ω >= 40 Ω\n",
+		value(proc, "System_gain"), value(proc, "LNA_Zin"))
+	fmt.Println("both violations have been fixed with a single iteration.")
+}
+
+func deviceBind(p *adpm.Process, prop string, v float64) {
+	apply(p, adpm.Operation{
+		Kind: adpm.OpSynthesis, Problem: "FilterDesign", Designer: "device",
+		Assignments: []adpm.Assignment{{Prop: prop, Value: adpm.Real(v)}},
+	})
+}
+
+func circuitBind(p *adpm.Process, prop string, v float64) *adpm.Transition {
+	return apply(p, adpm.Operation{
+		Kind: adpm.OpSynthesis, Problem: "AnalogFE", Designer: "circuit",
+		Assignments: []adpm.Assignment{{Prop: prop, Value: adpm.Real(v)}},
+	})
+}
+
+func apply(p *adpm.Process, op adpm.Operation) *adpm.Transition {
+	tr, err := p.Apply(op)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return tr
+}
+
+func value(p *adpm.Process, prop string) float64 {
+	v, _ := p.Net.Property(prop).Value()
+	return v.Num()
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,40 @@
+// Specification-tightness sweep (the Fig. 10 experiment): how the
+// number of design operations grows as the receiver's gain requirement
+// tightens, under both process-management modes. ADPM's guidance keeps
+// the process far more robust to tight specifications.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	adpm "repro"
+	"repro/internal/scenario"
+)
+
+func main() {
+	const runs = 20
+	fmt.Printf("%8s | %-28s | %-28s\n", "MinGain", "conventional ops (mean±std)", "ADPM ops (mean±std)")
+	fmt.Println("---------+------------------------------+-----------------------------")
+	for _, gain := range scenario.GainSweep() {
+		scn := adpm.ReceiverWithGain(gain)
+		conv, err := adpm.RunMany(adpm.Config{
+			Scenario: scn, Mode: adpm.ModeConventional, Seed: 1, MaxOps: 3000,
+		}, runs, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		act, err := adpm.RunMany(adpm.Config{
+			Scenario: scn, Mode: adpm.ModeADPM, Seed: 1, MaxOps: 3000,
+		}, runs, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8.0f | %10.1f ± %-8.1f (%2d/%d) | %10.1f ± %-8.1f (%2d/%d)\n",
+			gain,
+			conv.Ops.Mean, conv.Ops.Std, conv.Completed, runs,
+			act.Ops.Mean, act.Ops.Std, act.Completed, runs)
+	}
+	fmt.Println("\n(ops at the cap of 3000 indicate runs that did not converge; the")
+	fmt.Println("conventional approach degrades much faster as the spec tightens.)")
+}

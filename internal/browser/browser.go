@@ -1,0 +1,180 @@
+// Package browser renders the Minerva III user-interface views the
+// paper's ADPM section is built around, as text:
+//
+//   - the object browser of Fig. 2 ("subspaces not found to be
+//     infeasible"): per-property consistent value sets;
+//   - the constraint and property browser of Fig. 3 / Fig. 4: per
+//     property, the number of constraints it appears in (β), its
+//     current value, and the number of connected violations (α), plus
+//     the CONSTRAINTS pane with per-constraint status and required
+//     windows.
+//
+// The renderings operate on a designer's dcm.View, so they display
+// exactly the information that designer is entitled to in the current
+// process mode.
+package browser
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/constraint"
+	"repro/internal/dcm"
+	"repro/internal/dpm"
+)
+
+// ObjectBrowser renders the Fig. 2 view for one design object: every
+// property of the object that appears in the designer's view, with its
+// consistent (feasible) value set.
+func ObjectBrowser(v *dcm.View, object string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Object name: %s\n", object)
+	names := sortedProps(v)
+	found := false
+	for _, name := range names {
+		pi := v.Props[name]
+		if pi.Object != object {
+			continue
+		}
+		found = true
+		bound := ""
+		if pi.Bound != nil {
+			bound = fmt.Sprintf(" (assigned %s)", pi.Bound)
+		}
+		fmt.Fprintf(&b, "  %-16s Consistent values: %s%s\n", pi.Name, pi.Feasible, bound)
+	}
+	if !found {
+		b.WriteString("  (no visible properties)\n")
+	}
+	return b.String()
+}
+
+// PropertyPane renders the PROPERTIES pane of Fig. 3/Fig. 4: property,
+// number of constraints it appears in, current value, owning object,
+// and connected violations.
+func PropertyPane(v *dcm.View) string {
+	var b strings.Builder
+	b.WriteString("PROPERTIES\n")
+	fmt.Fprintf(&b, "  %-20s %5s  %-22s %-12s %s\n",
+		"Property", "# c's", "Value", "Object", "Connected violations")
+	for _, name := range sortedProps(v) {
+		pi := v.Props[name]
+		val := "<No value assigned>"
+		if pi.Bound != nil {
+			val = pi.Bound.String()
+		}
+		viol := ""
+		if pi.Alpha > 0 {
+			viol = fmt.Sprintf("%d", pi.Alpha)
+		}
+		fmt.Fprintf(&b, "  %-20s %5d  %-22s %-12s %s\n",
+			"P."+name, pi.Beta, val, pi.Object, viol)
+	}
+	return b.String()
+}
+
+// ConstraintPane renders the CONSTRAINTS pane: each constraint relevant
+// to the designer with its current status, flagging the violated ones
+// as the paper's browser does.
+func ConstraintPane(d *dpm.DPM, v *dcm.View) string {
+	var b strings.Builder
+	b.WriteString("CONSTRAINTS\n")
+	relevant := map[string]bool{}
+	for name := range v.Props {
+		for _, c := range d.Net.ConstraintsOn(name) {
+			relevant[c.Name] = true
+		}
+	}
+	names := make([]string, 0, len(relevant))
+	for n := range relevant {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, cn := range names {
+		status := d.Net.Status(cn)
+		marker := " "
+		if status == constraint.Violated {
+			marker = "!"
+		}
+		fmt.Fprintf(&b, "%s %-20s %s\n", marker, cn, status)
+	}
+	return b.String()
+}
+
+// ConflictPane renders the conflict-resolution view of Fig. 4: the
+// known violations with their margins and the value-change directions
+// likely to fix them.
+func ConflictPane(v *dcm.View) string {
+	var b strings.Builder
+	b.WriteString("CONFLICTS\n")
+	if len(v.Violations) == 0 {
+		b.WriteString("  (no known violations)\n")
+		return b.String()
+	}
+	for _, vi := range v.Violations {
+		scope := "local"
+		if vi.CrossSubsystem {
+			scope = "cross-subsystem"
+		}
+		fmt.Fprintf(&b, "  %-20s Violated (margin %.4g, %s)\n", vi.Constraint, vi.Margin, scope)
+		props := make([]string, 0, len(vi.FixDirections))
+		for p := range vi.FixDirections {
+			props = append(props, p)
+		}
+		sort.Strings(props)
+		for _, p := range props {
+			dir := vi.FixDirections[p]
+			word := "direction unknown"
+			switch {
+			case dir > 0:
+				word = "increase"
+			case dir < 0:
+				word = "decrease"
+			}
+			step := ""
+			if s := vi.FixSteps[p]; s > 0 {
+				step = fmt.Sprintf(" by ≈%.4g", s)
+			}
+			fmt.Fprintf(&b, "      fix via %-16s %s%s\n", p, word, step)
+		}
+	}
+	return b.String()
+}
+
+// Full renders all panes for one designer — the complete browser window.
+func Full(d *dpm.DPM, designer string) string {
+	v := dcm.BuildView(d, designer)
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== Minerva browser — designer %s (%s mode) ===\n\n", designer, d.Mode)
+	objects := map[string]bool{}
+	for _, pi := range v.Props {
+		if pi.Object != "" {
+			objects[pi.Object] = true
+		}
+	}
+	names := make([]string, 0, len(objects))
+	for o := range objects {
+		names = append(names, o)
+	}
+	sort.Strings(names)
+	for _, o := range names {
+		b.WriteString(ObjectBrowser(v, o))
+		b.WriteString("\n")
+	}
+	b.WriteString(ConstraintPane(d, v))
+	b.WriteString("\n")
+	b.WriteString(PropertyPane(v))
+	b.WriteString("\n")
+	b.WriteString(ConflictPane(v))
+	return b.String()
+}
+
+func sortedProps(v *dcm.View) []string {
+	names := make([]string, 0, len(v.Props))
+	for n := range v.Props {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,168 @@
+package browser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dcm"
+	"repro/internal/domain"
+	"repro/internal/dpm"
+	"repro/internal/scenario"
+)
+
+func receiverState(t *testing.T) *dpm.DPM {
+	t.Helper()
+	d, err := dpm.FromScenario(scenario.Receiver(), dpm.ADPM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bind := func(problem, prop string, v float64) {
+		t.Helper()
+		if _, err := d.Apply(dpm.Operation{
+			Kind: dpm.OpSynthesis, Problem: problem, Designer: "t",
+			Assignments: []dpm.Assignment{{Prop: prop, Value: domain.Real(v)}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bind("FilterDesign", "Beam_len", 13)
+	bind("FilterDesign", "Beam_width", 3.7)
+	bind("FilterDesign", "Gap", 0.5)
+	bind("FilterDesign", "Drive_V", 16)
+	bind("AnalogFE", "Freq_ind", 0.2)
+	bind("AnalogFE", "Bias_I", 4.7)
+	bind("AnalogFE", "Mixer_gm", 3.7)
+	bind("AnalogFE", "Deser_rate", 6)
+	bind("AnalogFE", "Diff_pair_W", 2.5) // violates GainSpec
+	return d
+}
+
+func TestObjectBrowserShowsConsistentValues(t *testing.T) {
+	d := receiverState(t)
+	v := dcm.BuildView(d, "circuit")
+	out := ObjectBrowser(v, "LNA_Mixer")
+	for _, want := range []string{"Object name: LNA_Mixer", "Freq_ind", "Consistent values:", "Diff_pair_W"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("object browser missing %q:\n%s", want, out)
+		}
+	}
+	if out2 := ObjectBrowser(v, "NoSuchObject"); !strings.Contains(out2, "no visible properties") {
+		t.Errorf("empty object should say so:\n%s", out2)
+	}
+}
+
+func TestPropertyPaneShowsAlphaBeta(t *testing.T) {
+	d := receiverState(t)
+	v := dcm.BuildView(d, "circuit")
+	out := PropertyPane(v)
+	if !strings.Contains(out, "P.Diff_pair_W") {
+		t.Fatalf("pane missing property:\n%s", out)
+	}
+	// Diff_pair_W is connected to the gain violation.
+	line := lineContaining(out, "P.Diff_pair_W")
+	if !strings.Contains(line, "1") {
+		t.Errorf("Diff_pair_W line should show a connected violation: %q", line)
+	}
+	// In a fresh process the design variables are unassigned.
+	d0, err := dpm.FromScenario(scenario.Receiver(), dpm.ADPM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out0 := PropertyPane(dcm.BuildView(d0, "circuit"))
+	if !strings.Contains(out0, "<No value assigned>") {
+		t.Errorf("unassigned properties should be marked:\n%s", out0)
+	}
+}
+
+func TestConstraintPaneFlagsViolations(t *testing.T) {
+	d := receiverState(t)
+	v := dcm.BuildView(d, "circuit")
+	out := ConstraintPane(d, v)
+	line := lineContaining(out, "GainSpec")
+	if !strings.HasPrefix(line, "!") || !strings.Contains(line, "Violated") {
+		t.Errorf("GainSpec should be flagged violated: %q", line)
+	}
+	if !strings.Contains(out, "Satisfied") {
+		t.Errorf("satisfied constraints missing:\n%s", out)
+	}
+}
+
+func TestConflictPane(t *testing.T) {
+	d := receiverState(t)
+	v := dcm.BuildView(d, "circuit")
+	out := ConflictPane(v)
+	for _, want := range []string{"GainSpec", "margin", "increase", "fix via"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("conflict pane missing %q:\n%s", want, out)
+		}
+	}
+	// Gain violations are cross-subsystem (circuit + device).
+	if !strings.Contains(out, "cross-subsystem") {
+		t.Errorf("gain conflict should be cross-subsystem:\n%s", out)
+	}
+}
+
+func TestConflictPaneEmpty(t *testing.T) {
+	d, err := dpm.FromScenario(scenario.Receiver(), dpm.ADPM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := dcm.BuildView(d, "circuit")
+	if out := ConflictPane(v); !strings.Contains(out, "no known violations") {
+		t.Errorf("empty conflict pane wrong:\n%s", out)
+	}
+}
+
+func TestFullBrowser(t *testing.T) {
+	d := receiverState(t)
+	out := Full(d, "circuit")
+	for _, want := range []string{
+		"Minerva browser", "designer circuit", "ADPM mode",
+		"Object name:", "CONSTRAINTS", "PROPERTIES", "CONFLICTS",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("full browser missing %q", want)
+		}
+	}
+}
+
+func TestConventionalBrowserHidesUnknownViolations(t *testing.T) {
+	d, err := dpm.FromScenario(scenario.Receiver(), dpm.Conventional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same violating state, but without propagation nothing is known.
+	for prop, v := range map[string]float64{
+		"Beam_len": 13, "Beam_width": 3.7, "Gap": 0.5, "Drive_V": 16,
+	} {
+		if _, err := d.Apply(dpm.Operation{
+			Kind: dpm.OpSynthesis, Problem: "FilterDesign", Designer: "t",
+			Assignments: []dpm.Assignment{{Prop: prop, Value: domain.Real(v)}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for prop, v := range map[string]float64{
+		"Freq_ind": 0.2, "Bias_I": 4.7, "Mixer_gm": 3.7, "Deser_rate": 6, "Diff_pair_W": 2.5,
+	} {
+		if _, err := d.Apply(dpm.Operation{
+			Kind: dpm.OpSynthesis, Problem: "AnalogFE", Designer: "t",
+			Assignments: []dpm.Assignment{{Prop: prop, Value: domain.Real(v)}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := dcm.BuildView(d, "circuit")
+	if out := ConflictPane(v); !strings.Contains(out, "no known violations") {
+		t.Errorf("conventional mode should not know the violation yet:\n%s", out)
+	}
+}
+
+func lineContaining(s, sub string) string {
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, sub) {
+			return line
+		}
+	}
+	return ""
+}

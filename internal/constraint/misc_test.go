@@ -1,0 +1,121 @@
+package constraint
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/domain"
+	"repro/internal/expr"
+	"repro/internal/interval"
+)
+
+func TestRelationStrings(t *testing.T) {
+	want := map[Relation]string{LE: "<=", LT: "<", GE: ">=", GT: ">", EQ: "==", NE: "!="}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(r), r.String(), s)
+		}
+	}
+	if !strings.Contains(Relation(42).String(), "42") {
+		t.Error("unknown relation should embed number")
+	}
+}
+
+func TestHasArg(t *testing.T) {
+	c := MustParseConstraint("c", "a + b <= 10")
+	if !c.HasArg("a") || !c.HasArg("b") || c.HasArg("q") {
+		t.Error("HasArg misclassifies")
+	}
+}
+
+func TestHoldsAtAllRelations(t *testing.T) {
+	env := expr.MapEnv{"x": 5}
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"x <= 5", true}, {"x < 5", false},
+		{"x >= 5", true}, {"x > 5", false},
+		{"x == 5", true}, {"x != 5", false},
+		{"x == 5.000000002", false}, {"x != 5.000000002", true},
+	}
+	for _, c := range cases {
+		holds, known := MustParseConstraint("t", c.src).HoldsAt(env)
+		if !known || holds != c.want {
+			t.Errorf("%q at x=5: holds=%v known=%v", c.src, holds, known)
+		}
+	}
+	// Unknown when the lhs has an unbound variable.
+	if _, known := MustParseConstraint("t", "y <= x").HoldsAt(env); known {
+		t.Error("unbound lhs should be unknown")
+	}
+}
+
+func TestNetworkAccessors(t *testing.T) {
+	n := buildPowerNet(t)
+	if n.Constraint("power") == nil || n.Constraint("nope") != nil {
+		t.Error("Constraint lookup wrong")
+	}
+	if len(n.Properties()) != 3 || len(n.Constraints()) != 1 {
+		t.Error("listing accessors wrong")
+	}
+	if n.Violations() != nil {
+		t.Error("fresh network has violations")
+	}
+	n.SetStatus("power", Violated)
+	if v := n.Violations(); len(v) != 1 || v[0] != "power" {
+		t.Errorf("Violations = %v", v)
+	}
+	before := n.EvalCount()
+	n.AddEvals(5)
+	if n.EvalCount() != before+5 {
+		t.Error("AddEvals wrong")
+	}
+}
+
+func TestPropertyStringAndFeasible(t *testing.T) {
+	p := NewProperty("x", domain.NewInterval(0, 10))
+	if !strings.Contains(p.String(), "x ∈") {
+		t.Errorf("unbound String = %q", p.String())
+	}
+	p.SetFeasible(domain.NewInterval(2, 3))
+	iv, _ := p.Feasible().Interval()
+	if !iv.Equal(interval.New(2, 3)) {
+		t.Error("SetFeasible lost")
+	}
+	if err := p.Bind(domain.Real(2.5)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.String(), "= 2.5") {
+		t.Errorf("bound String = %q", p.String())
+	}
+}
+
+func TestCurrentIntervalFallbacks(t *testing.T) {
+	p := NewProperty("x", domain.NewInterval(0, 10))
+	// Emptied feasible set falls back to E_i.
+	p.SetFeasible(domain.Empty(domain.Continuous))
+	if got := p.CurrentInterval(); !got.Equal(interval.New(0, 10)) {
+		t.Errorf("fallback = %v", got)
+	}
+	// Bound string property: no numeric interval; falls to Init path.
+	s := NewProperty("s", domain.NewStringSet("a"))
+	if err := s.Bind(domain.Str("a")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CurrentInterval(); !got.IsEntire() {
+		t.Errorf("string CurrentInterval = %v", got)
+	}
+}
+
+func TestStatusFromDiffNaNSafety(t *testing.T) {
+	// A constraint over an empty-enclosure expression (log of a negative
+	// domain) reads as Violated: no combination can satisfy it.
+	c := MustParseConstraint("t", "log(x) <= 1")
+	env := expr.MapIntervalEnv{"x": interval.New(-5, -1)}
+	if got := c.StatusOver(env); got != Violated {
+		t.Errorf("status = %v, want Violated (empty enclosure)", got)
+	}
+	_ = math.Pi
+}

@@ -1,0 +1,352 @@
+package constraint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/domain"
+	"repro/internal/expr"
+	"repro/internal/interval"
+)
+
+// Network is the network of constraints C_n of a design state (paper
+// §2.1): the set of design properties together with the constraints
+// relating them. It tracks each constraint's last computed status, each
+// property's feasible subspace, and the cumulative number of constraint
+// evaluations — the paper's proxy for verification-tool runs.
+type Network struct {
+	props     map[string]*Property
+	propOrder []string
+	cons      map[string]*Constraint
+	conOrder  []string
+	// byProp indexes constraint names by argument property.
+	byProp map[string][]string
+	// status holds the last computed status per constraint.
+	status map[string]Status
+	// evals counts constraint evaluations (status computations and
+	// propagation revises).
+	evals int64
+}
+
+// NewNetwork returns an empty constraint network.
+func NewNetwork() *Network {
+	return &Network{
+		props:  map[string]*Property{},
+		cons:   map[string]*Constraint{},
+		byProp: map[string][]string{},
+		status: map[string]Status{},
+	}
+}
+
+// AddProperty registers a property. Names must be unique.
+func (n *Network) AddProperty(p *Property) error {
+	if p.Name == "" {
+		return fmt.Errorf("constraint: property with empty name")
+	}
+	if _, dup := n.props[p.Name]; dup {
+		return fmt.Errorf("constraint: duplicate property %q", p.Name)
+	}
+	n.props[p.Name] = p
+	n.propOrder = append(n.propOrder, p.Name)
+	return nil
+}
+
+// AddConstraint registers a constraint. All argument properties must
+// already exist and be numeric. New constraints start Consistent; the
+// paper generates constraints dynamically as the design progresses, so
+// adding to a live network is the normal case.
+func (n *Network) AddConstraint(c *Constraint) error {
+	if c.Name == "" {
+		return fmt.Errorf("constraint: constraint with empty name")
+	}
+	if _, dup := n.cons[c.Name]; dup {
+		return fmt.Errorf("constraint: duplicate constraint %q", c.Name)
+	}
+	for _, a := range c.Args() {
+		p, ok := n.props[a]
+		if !ok {
+			return fmt.Errorf("constraint %s: unknown property %q", c.Name, a)
+		}
+		if !p.IsNumeric() {
+			return fmt.Errorf("constraint %s: property %q is non-numeric", c.Name, a)
+		}
+	}
+	n.cons[c.Name] = c
+	n.conOrder = append(n.conOrder, c.Name)
+	for _, a := range c.Args() {
+		n.byProp[a] = append(n.byProp[a], c.Name)
+	}
+	n.status[c.Name] = Consistent
+	return nil
+}
+
+// Property returns the named property, or nil.
+func (n *Network) Property(name string) *Property { return n.props[name] }
+
+// Constraint returns the named constraint, or nil.
+func (n *Network) Constraint(name string) *Constraint { return n.cons[name] }
+
+// Properties returns all properties in insertion order.
+func (n *Network) Properties() []*Property {
+	out := make([]*Property, len(n.propOrder))
+	for i, name := range n.propOrder {
+		out[i] = n.props[name]
+	}
+	return out
+}
+
+// Constraints returns all constraints in insertion order.
+func (n *Network) Constraints() []*Constraint {
+	out := make([]*Constraint, len(n.conOrder))
+	for i, name := range n.conOrder {
+		out[i] = n.cons[name]
+	}
+	return out
+}
+
+// NumProperties returns the number of properties.
+func (n *Network) NumProperties() int { return len(n.props) }
+
+// NumConstraints returns the number of constraints.
+func (n *Network) NumConstraints() int { return len(n.cons) }
+
+// ConstraintsOn returns the constraints in which the property appears,
+// in insertion order. Its length is the paper's β_i (§2.3.2).
+func (n *Network) ConstraintsOn(prop string) []*Constraint {
+	names := n.byProp[prop]
+	out := make([]*Constraint, len(names))
+	for i, cn := range names {
+		out[i] = n.cons[cn]
+	}
+	return out
+}
+
+// Beta returns β_i — the number of constraints where prop appears.
+func (n *Network) Beta(prop string) int { return len(n.byProp[prop]) }
+
+// BetaIndirect returns β_i extended with constraints indirectly related
+// to prop through one intermediate constraint (the §2.3.2 extension):
+// constraints sharing an argument with any constraint on prop.
+func (n *Network) BetaIndirect(prop string) int {
+	direct := n.byProp[prop]
+	seen := map[string]bool{}
+	for _, cn := range direct {
+		seen[cn] = true
+	}
+	count := len(direct)
+	for _, cn := range direct {
+		for _, a := range n.cons[cn].Args() {
+			for _, cn2 := range n.byProp[a] {
+				if !seen[cn2] {
+					seen[cn2] = true
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+// Alpha returns α_i — the number of constraints involving prop whose
+// last computed status is Violated (paper eq. 3).
+func (n *Network) Alpha(prop string) int {
+	count := 0
+	for _, cn := range n.byProp[prop] {
+		if n.status[cn] == Violated {
+			count++
+		}
+	}
+	return count
+}
+
+// Status returns the last computed status of the named constraint.
+func (n *Network) Status(name string) Status { return n.status[name] }
+
+// SetStatus records a status computed externally (e.g. by a
+// verification operator in conventional mode).
+func (n *Network) SetStatus(name string, s Status) { n.status[name] = s }
+
+// Violations returns the names of constraints currently marked Violated,
+// in insertion order.
+func (n *Network) Violations() []string {
+	var out []string
+	for _, cn := range n.conOrder {
+		if n.status[cn] == Violated {
+			out = append(out, cn)
+		}
+	}
+	return out
+}
+
+// NumViolations returns the number of constraints currently Violated.
+func (n *Network) NumViolations() int {
+	c := 0
+	for _, s := range n.status {
+		if s == Violated {
+			c++
+		}
+	}
+	return c
+}
+
+// EvalCount returns the cumulative number of constraint evaluations.
+func (n *Network) EvalCount() int64 { return n.evals }
+
+// AddEvals adds externally performed evaluations to the counter.
+func (n *Network) AddEvals(k int64) { n.evals += k }
+
+// Bind assigns a value to a property.
+func (n *Network) Bind(prop string, v domain.Value) error {
+	p, ok := n.props[prop]
+	if !ok {
+		return fmt.Errorf("constraint: bind of unknown property %q", prop)
+	}
+	return p.Bind(v)
+}
+
+// BindReal assigns a numeric value to a property.
+func (n *Network) BindReal(prop string, v float64) error {
+	return n.Bind(prop, domain.Real(v))
+}
+
+// Unbind removes a property's assignment.
+func (n *Network) Unbind(prop string) {
+	if p, ok := n.props[prop]; ok {
+		p.Unbind()
+	}
+}
+
+// ResetFeasible restores every property's feasible subspace to its
+// initial range E_i. Propagation re-derives the reductions from scratch;
+// this keeps feasible sets exact after a designer widens a choice.
+func (n *Network) ResetFeasible() {
+	for _, p := range n.props {
+		p.ResetFeasible()
+	}
+}
+
+// Domain implements expr.IntervalEnv over the network's current state:
+// bound properties contribute their point value, unbound ones the hull
+// of their feasible subspace (falling back to E_i when emptied).
+func (n *Network) Domain(name string) interval.Interval {
+	p, ok := n.props[name]
+	if !ok {
+		return interval.Entire()
+	}
+	return p.CurrentInterval()
+}
+
+// Value implements expr.FloatEnv over bound property values.
+func (n *Network) Value(name string) (float64, bool) {
+	p, ok := n.props[name]
+	if !ok || p.bound == nil || p.bound.IsString() {
+		return 0, false
+	}
+	return p.bound.Num(), true
+}
+
+// EvaluateStatus computes and records the status of a single constraint
+// from the current property state, incrementing the evaluation counter.
+func (n *Network) EvaluateStatus(c *Constraint) Status {
+	n.evals++
+	s := c.StatusOver(n)
+	n.status[c.Name] = s
+	return s
+}
+
+// EvaluateAll computes and records the status of every constraint (one
+// evaluation each) and returns the names of violated constraints.
+func (n *Network) EvaluateAll() []string {
+	var violated []string
+	for _, cn := range n.conOrder {
+		if n.EvaluateStatus(n.cons[cn]) == Violated {
+			violated = append(violated, cn)
+		}
+	}
+	return violated
+}
+
+// Snapshot captures the mutable state of the network: feasible
+// subspaces, bindings, statuses, and the evaluation counter.
+type Snapshot struct {
+	feasible map[string]domain.Domain
+	bound    map[string]domain.Value
+	status   map[string]Status
+	evals    int64
+}
+
+// Snapshot returns a copy of the network's mutable state.
+func (n *Network) Snapshot() *Snapshot {
+	s := &Snapshot{
+		feasible: make(map[string]domain.Domain, len(n.props)),
+		bound:    map[string]domain.Value{},
+		status:   make(map[string]Status, len(n.status)),
+		evals:    n.evals,
+	}
+	for name, p := range n.props {
+		s.feasible[name] = p.feasible
+		if p.bound != nil {
+			s.bound[name] = *p.bound
+		}
+	}
+	for cn, st := range n.status {
+		s.status[cn] = st
+	}
+	return s
+}
+
+// Restore rewinds the network's mutable state to the snapshot.
+// Properties or constraints added after the snapshot keep their current
+// definition but properties revert to unbound/initial only if they
+// existed at snapshot time.
+func (n *Network) Restore(s *Snapshot) {
+	for name, p := range n.props {
+		if f, ok := s.feasible[name]; ok {
+			p.feasible = f
+			if b, bok := s.bound[name]; bok {
+				v := b
+				p.bound = &v
+			} else {
+				p.bound = nil
+			}
+		}
+	}
+	for cn := range n.status {
+		if st, ok := s.status[cn]; ok {
+			n.status[cn] = st
+		} else {
+			n.status[cn] = Consistent
+		}
+	}
+	n.evals = s.evals
+}
+
+// Clone returns an independent deep copy of the network.
+func (n *Network) Clone() *Network {
+	c := NewNetwork()
+	for _, name := range n.propOrder {
+		cp := n.props[name].clone()
+		c.props[name] = cp
+		c.propOrder = append(c.propOrder, name)
+	}
+	for _, cn := range n.conOrder {
+		c.cons[cn] = n.cons[cn] // constraints are immutable
+		c.conOrder = append(c.conOrder, cn)
+		c.status[cn] = n.status[cn]
+	}
+	for p, cs := range n.byProp {
+		c.byProp[p] = append([]string(nil), cs...)
+	}
+	c.evals = n.evals
+	return c
+}
+
+// SortedPropertyNames returns property names sorted lexicographically.
+func (n *Network) SortedPropertyNames() []string {
+	out := append([]string(nil), n.propOrder...)
+	sort.Strings(out)
+	return out
+}
+
+var _ expr.IntervalEnv = (*Network)(nil)
+var _ expr.FloatEnv = (*Network)(nil)

@@ -1,0 +1,238 @@
+package constraint
+
+import (
+	"sort"
+
+	"repro/internal/domain"
+	"repro/internal/interval"
+)
+
+// PropagateOptions tunes the fixpoint propagation.
+type PropagateOptions struct {
+	// MaxRevisions bounds the total number of constraint revises; 0
+	// means the default (10000). The bound exists because continuous
+	// domains can contract asymptotically (interval propagation is only
+	// guaranteed to converge in the limit).
+	MaxRevisions int
+	// MinShrink is the minimum relative width reduction for a narrowing
+	// to count as a change worth re-enqueueing neighbours for; 0 means
+	// the default (1e-6).
+	MinShrink float64
+	// MaxVisits caps how often a single constraint is revised in one
+	// propagation run; 0 means the default (12). Equality chains can
+	// contract geometrically — each revise shrinking a fixed fraction —
+	// so a relative-shrink threshold alone never converges.
+	MaxVisits int
+}
+
+// PropagateResult summarizes one propagation run (one execution of the
+// DCM's constraint propagation algorithm, paper §2.2).
+type PropagateResult struct {
+	// Evaluations is the number of constraint evaluations this run
+	// performed (the paper's CAD-resource metric).
+	Evaluations int64
+	// Revisions is the number of HC4 revises executed.
+	Revisions int
+	// Violated lists constraints found Violated, in insertion order.
+	Violated []string
+	// Narrowed lists properties whose feasible subspace shrank.
+	Narrowed []string
+	// Emptied lists properties whose feasible subspace became empty
+	// (every remaining value found infeasible).
+	Emptied []string
+	// Capped is true when MaxRevisions stopped the run early.
+	Capped bool
+}
+
+// propagationBox adapts the network to expr.Box for HC4 narrowing.
+// Narrowing applies to feasible subspaces of unbound numeric
+// properties; bound properties present their point value and reject
+// narrowing below it (an impossible requirement surfaces as constraint
+// violation, not domain change).
+type propagationBox struct {
+	n        *Network
+	narrowed map[string]bool
+}
+
+func (b *propagationBox) Domain(name string) interval.Interval {
+	return b.n.Domain(name)
+}
+
+func (b *propagationBox) SetDomain(name string, iv interval.Interval) {
+	p := b.n.props[name]
+	if p == nil || p.IsBound() || !p.IsNumeric() {
+		return
+	}
+	if p.feasible.IsEmpty() {
+		// Already emptied: CurrentInterval fell back to E_i, so the
+		// narrowing applies to the initial range; keep it empty rather
+		// than resurrecting values.
+		return
+	}
+	nf := p.feasible.NarrowTo(iv)
+	if !nf.Equal(p.feasible) {
+		p.feasible = nf
+		b.narrowed[name] = true
+	}
+}
+
+// Propagate runs constraint propagation to a fixpoint: it repeatedly
+// evaluates constraint statuses and narrows feasible subspaces until no
+// domain changes enough to matter (AC-3 over HC4 revises). Violated
+// constraints do not narrow domains — their information content is the
+// violation itself, which the designers resolve by changing bound
+// values (§2.3.3).
+func (n *Network) Propagate(opts PropagateOptions) PropagateResult {
+	maxRev := opts.MaxRevisions
+	if maxRev <= 0 {
+		maxRev = 2000
+	}
+	minShrink := opts.MinShrink
+	if minShrink <= 0 {
+		// 1% of the current width: design guidance needs windows, not
+		// tight enclosures, and the asymptotic tail of interval
+		// fixpoints is where the evaluation budget disappears.
+		minShrink = 0.01
+	}
+
+	maxVisits := opts.MaxVisits
+	if maxVisits <= 0 {
+		maxVisits = 12
+	}
+
+	res := PropagateResult{}
+	startEvals := n.evals
+	box := &propagationBox{n: n, narrowed: map[string]bool{}}
+	emptied := map[string]bool{}
+	visits := make(map[string]int, len(n.cons))
+
+	// Worklist of constraint names; inQueue avoids duplicates.
+	queue := append([]string(nil), n.conOrder...)
+	inQueue := make(map[string]bool, len(queue))
+	for _, cn := range queue {
+		inQueue[cn] = true
+	}
+
+	for len(queue) > 0 {
+		if res.Revisions >= maxRev {
+			res.Capped = true
+			break
+		}
+		cn := queue[0]
+		queue = queue[1:]
+		inQueue[cn] = false
+		c := n.cons[cn]
+		visits[cn]++
+
+		res.Revisions++
+		n.evals++ // each revise evaluates the constraint once
+
+		status := c.StatusOver(n)
+		n.status[cn] = status
+		if DebugHook != nil && status == Violated {
+			DebugHook("status-violated", c, n)
+		}
+		if status == Violated {
+			// Every combination of the arguments' current values falls
+			// outside the relation, so each unbound argument's remaining
+			// feasible values are all infeasible (§2.3.1: v_F keeps only
+			// values not found infeasible). Bound arguments are the
+			// designers' responsibility — the violation itself is their
+			// signal (§2.3.3).
+			for _, a := range c.Args() {
+				p := n.props[a]
+				if p == nil || p.IsBound() || !p.IsNumeric() || p.feasible.IsEmpty() {
+					continue
+				}
+				p.feasible = domain.Empty(p.feasible.Kind())
+				box.narrowed[a] = true
+				emptied[a] = true
+			}
+			continue
+		}
+		if status == Satisfied {
+			// A constraint satisfied for every combination of current
+			// values cannot exclude any of them; narrowing is a no-op.
+			continue
+		}
+
+		// Record pre-widths to apply the minimum-shrink re-enqueue test.
+		pre := map[string]interval.Interval{}
+		for _, a := range c.Args() {
+			pre[a] = n.Domain(a)
+		}
+
+		nres := c.Narrow(box)
+		if nres.Inconsistent && DebugHook != nil {
+			DebugHook("narrow-inconsistent", c, n)
+		}
+		if nres.Inconsistent {
+			// No combination of remaining values can satisfy c even
+			// though the status test was inconclusive; treat as violated
+			// for designers (they must move some bound value).
+			n.status[cn] = Violated
+			continue
+		}
+
+		for _, a := range nres.Changed {
+			p := n.props[a]
+			if p == nil {
+				continue
+			}
+			if p.feasible.IsEmpty() && !emptied[a] {
+				emptied[a] = true
+			}
+			if !significantShrink(pre[a], n.Domain(a), minShrink) && !p.feasible.IsEmpty() {
+				continue
+			}
+			for _, nb := range n.byProp[a] {
+				if nb != cn && !inQueue[nb] && visits[nb] < maxVisits {
+					inQueue[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+	}
+
+	res.Evaluations = n.evals - startEvals
+	for name := range box.narrowed {
+		res.Narrowed = append(res.Narrowed, name)
+	}
+	sort.Strings(res.Narrowed)
+	for name := range emptied {
+		res.Emptied = append(res.Emptied, name)
+	}
+	sort.Strings(res.Emptied)
+	for _, cn := range n.conOrder {
+		if n.status[cn] == Violated {
+			res.Violated = append(res.Violated, cn)
+		}
+	}
+	return res
+}
+
+// DebugHook is a test-only observation point for violation decisions.
+var DebugHook func(reason string, c *Constraint, n *Network)
+
+// significantShrink reports whether the domain contraction from pre to
+// post is large enough (relative to pre's width) to justify waking the
+// neighbouring constraints again.
+func significantShrink(pre, post interval.Interval, minShrink float64) bool {
+	if post.IsEmpty() && !pre.IsEmpty() {
+		return true
+	}
+	pw := pre.Width()
+	if pw == 0 {
+		return false
+	}
+	return (pw - post.Width()) > minShrink*pw
+}
+
+// FeasibleValue reports whether v lies in prop's feasible subspace.
+func (n *Network) FeasibleValue(prop string, v domain.Value) bool {
+	p, ok := n.props[prop]
+	if !ok {
+		return false
+	}
+	return p.feasible.Contains(v)
+}

@@ -1,0 +1,119 @@
+// Package constraint implements the design constraint network of paper
+// §2.1: properties a_i with value ranges E_i, constraints c_i over
+// property subsets, tri-state constraint status (satisfied / violated /
+// consistent), and the DCM's constraint propagation algorithm that
+// computes infeasible property values (§2.2). It also mines the
+// heuristic support data of §2.3: feasible subspaces v_F(a_i), the
+// constraint count β_i, and the violation count α_i.
+package constraint
+
+import (
+	"fmt"
+
+	"repro/internal/domain"
+	"repro/internal/interval"
+)
+
+// Property is a design variable (paper §2.1). A property is *bound*
+// when a single value has been assigned; otherwise it is unbound with
+// implicit value equal to its whole feasible subspace.
+type Property struct {
+	// Name uniquely identifies the property within a network.
+	Name string
+	// Object names the design object the property belongs to (e.g.
+	// "LNA+Mixer"); informational.
+	Object string
+	// Owner identifies the subsystem/designer responsible for the
+	// property. Constraints whose arguments span multiple owners are
+	// cross-subsystem constraints; operations fixing their violations
+	// count as design spins (§3.1.2).
+	Owner string
+	// Init is the property's initial range E_i.
+	Init domain.Domain
+
+	feasible domain.Domain
+	bound    *domain.Value
+}
+
+// NewProperty returns a property with feasible subspace equal to init.
+func NewProperty(name string, init domain.Domain) *Property {
+	return &Property{Name: name, Init: init, feasible: init}
+}
+
+// Feasible returns the current feasible subspace v_F — the values not
+// yet found infeasible by constraint evaluation (§2.3.1).
+func (p *Property) Feasible() domain.Domain { return p.feasible }
+
+// SetFeasible replaces the feasible subspace.
+func (p *Property) SetFeasible(d domain.Domain) { p.feasible = d }
+
+// ResetFeasible restores the feasible subspace to the initial range E_i.
+func (p *Property) ResetFeasible() { p.feasible = p.Init }
+
+// IsBound reports whether a single value has been assigned.
+func (p *Property) IsBound() bool { return p.bound != nil }
+
+// Value returns the bound value, if any.
+func (p *Property) Value() (domain.Value, bool) {
+	if p.bound == nil {
+		return domain.Value{}, false
+	}
+	return *p.bound, true
+}
+
+// Bind assigns a single value to the property. The value need not lie
+// inside the current feasible subspace (designers may deliberately probe
+// outside it), but it must be type-compatible with the initial domain.
+func (p *Property) Bind(v domain.Value) error {
+	if v.IsString() != (p.Init.Kind() == domain.DiscreteString) {
+		return fmt.Errorf("constraint: binding %s to %s: value kind does not match domain kind %s",
+			p.Name, v, p.Init.Kind())
+	}
+	p.bound = &v
+	return nil
+}
+
+// Unbind removes the assignment.
+func (p *Property) Unbind() { p.bound = nil }
+
+// IsNumeric reports whether the property holds numbers.
+func (p *Property) IsNumeric() bool { return p.Init.IsNumeric() }
+
+// CurrentInterval returns the interval abstraction of the property's
+// current value set: the bound point when bound, the feasible subspace
+// hull when it is non-empty, and the initial range as a fallback when
+// constraint propagation has emptied the feasible set (the paper's
+// designers fall back to E_i in the same situation, §3.1.1).
+func (p *Property) CurrentInterval() interval.Interval {
+	if p.bound != nil && !p.bound.IsString() {
+		return interval.Point(p.bound.Num())
+	}
+	if !p.feasible.IsEmpty() {
+		if iv, ok := p.feasible.Interval(); ok {
+			return iv
+		}
+	}
+	if iv, ok := p.Init.Interval(); ok {
+		return iv
+	}
+	return interval.Entire()
+}
+
+// clone returns a deep copy (domains are immutable, so a shallow field
+// copy plus bound duplication suffices).
+func (p *Property) clone() *Property {
+	cp := *p
+	if p.bound != nil {
+		b := *p.bound
+		cp.bound = &b
+	}
+	return &cp
+}
+
+// String formats the property with its binding state.
+func (p *Property) String() string {
+	if p.bound != nil {
+		return fmt.Sprintf("%s = %s (feasible %s)", p.Name, p.bound, p.feasible)
+	}
+	return fmt.Sprintf("%s ∈ %s", p.Name, p.feasible)
+}

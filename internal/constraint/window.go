@@ -1,0 +1,86 @@
+package constraint
+
+import (
+	"repro/internal/interval"
+)
+
+// windowBox narrows only the target property; every other property
+// presents its current network interval (bound value or feasible hull).
+type windowBox struct {
+	n      *Network
+	target string
+	window interval.Interval
+}
+
+func (b *windowBox) Domain(name string) interval.Interval {
+	if name == b.target {
+		return b.window
+	}
+	return b.n.Domain(name)
+}
+
+func (b *windowBox) SetDomain(name string, iv interval.Interval) {
+	if name == b.target {
+		b.window = b.window.Intersect(iv)
+	}
+}
+
+// BoundWindow computes the feasible window of a bound property: the
+// values it could be re-bound to without violating any constraint,
+// given every other property's current value set. This is what the
+// paper's object browser displays for already-assigned properties
+// (Fig. 2 shows the bound Diff-pair-W with consistent values
+// {2.5 … 3.698}) and what the conflict-resolution heuristic moves
+// within (§2.4.3). It also returns the number of constraint
+// evaluations spent.
+func (n *Network) BoundWindow(prop string) (interval.Interval, int64) {
+	p := n.props[prop]
+	if p == nil || !p.IsNumeric() {
+		return interval.Empty(), 0
+	}
+	init, _ := p.Init.Interval()
+
+	// Temporarily unbind so the property's own point value does not
+	// enter its constraints' evaluations.
+	saved := p.bound
+	p.bound = nil
+	savedFeasible := p.feasible
+	p.feasible = p.Init
+	defer func() {
+		p.bound = saved
+		p.feasible = savedFeasible
+	}()
+
+	box := &windowBox{n: n, target: prop, window: init}
+	var evals int64
+	for _, c := range n.ConstraintsOn(prop) {
+		evals++
+		// One HC4 revise per constraint projects the requirement onto
+		// the target property; inconsistency empties the window.
+		if res := c.Narrow(box); res.Inconsistent {
+			box.window = interval.Empty()
+			break
+		}
+	}
+	return box.window, evals
+}
+
+// RefreshBoundWindows updates the feasible subspace of every bound
+// numeric property to its current bound window. It is called by the
+// ADPM transition after propagation so designer views carry movement
+// windows for assigned properties. Returns evaluations spent (added to
+// the network's counter).
+func (n *Network) RefreshBoundWindows() int64 {
+	var total int64
+	for _, name := range n.propOrder {
+		p := n.props[name]
+		if p.bound == nil || !p.IsNumeric() {
+			continue
+		}
+		win, evals := n.BoundWindow(name)
+		total += evals
+		p.feasible = p.Init.NarrowTo(win)
+	}
+	n.evals += total
+	return total
+}

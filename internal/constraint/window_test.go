@@ -1,0 +1,138 @@
+package constraint
+
+import (
+	"testing"
+
+	"repro/internal/domain"
+	"repro/internal/interval"
+)
+
+// TestBoundWindowReceiverExample reconstructs the §2.4 situation: the
+// differential pair width W is bound to 2.5 µm; gain and power
+// constraints leave a movement window roughly [2.5, 3.7] — Fig. 2's
+// "Consistent values {2.500000 3.698225}".
+func TestBoundWindowReceiverExample(t *testing.T) {
+	n := NewNetwork()
+	add := func(p *Property) {
+		t.Helper()
+		if err := n.AddProperty(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(NewProperty("W", domain.NewInterval(0.5, 10)))   // diff pair width, µm
+	add(NewProperty("Gmin", domain.NewInterval(0, 100))) // gain spec
+	add(NewProperty("Pmax", domain.NewInterval(0, 500))) // power spec
+	for _, c := range []*Constraint{
+		MustParseConstraint("gain", "19.2 * W >= Gmin"),
+		MustParseConstraint("power", "54.08 * W <= Pmax"),
+	} {
+		if err := n.AddConstraint(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for p, v := range map[string]float64{"W": 2.5, "Gmin": 48, "Pmax": 200} {
+		if err := n.BindReal(p, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	win, evals := n.BoundWindow("W")
+	if evals != 2 {
+		t.Errorf("evals = %d, want 2", evals)
+	}
+	// gain: W >= 48/19.2 = 2.5; power: W <= 200/54.08 ≈ 3.698
+	if !win.ApproxEqual(interval.New(2.5, 200.0/54.08), 1e-6) {
+		t.Errorf("window = %v, want [2.5, 3.698]", win)
+	}
+	// The binding itself must be untouched.
+	if v, ok := n.Property("W").Value(); !ok || v.Num() != 2.5 {
+		t.Error("BoundWindow disturbed the binding")
+	}
+}
+
+func TestBoundWindowEmptyOnConflict(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddProperty(NewProperty("x", domain.NewInterval(0, 10))); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []*Constraint{
+		MustParseConstraint("lo", "x >= 8"),
+		MustParseConstraint("hi", "x <= 2"),
+	} {
+		if err := n.AddConstraint(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.BindReal("x", 5); err != nil {
+		t.Fatal(err)
+	}
+	win, _ := n.BoundWindow("x")
+	if !win.IsEmpty() {
+		t.Errorf("window = %v, want empty (no value satisfies both)", win)
+	}
+}
+
+func TestBoundWindowUnknownAndString(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddProperty(NewProperty("s", domain.NewStringSet("a"))); err != nil {
+		t.Fatal(err)
+	}
+	if win, evals := n.BoundWindow("nope"); !win.IsEmpty() || evals != 0 {
+		t.Error("unknown property should yield empty window, 0 evals")
+	}
+	if win, _ := n.BoundWindow("s"); !win.IsEmpty() {
+		t.Error("string property should yield empty window")
+	}
+}
+
+func TestRefreshBoundWindows(t *testing.T) {
+	n := NewNetwork()
+	for _, p := range []struct {
+		name   string
+		lo, hi float64
+	}{{"a", 0, 100}, {"b", 0, 100}} {
+		if err := n.AddProperty(NewProperty(p.name, domain.NewInterval(p.lo, p.hi))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.AddConstraint(MustParseConstraint("sum", "a + b <= 60")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.BindReal("a", 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.BindReal("b", 30); err != nil { // violating: 80 > 60
+		t.Fatal(err)
+	}
+	evals0 := n.EvalCount()
+	spent := n.RefreshBoundWindows()
+	if spent != 2 || n.EvalCount() != evals0+2 {
+		t.Errorf("spent = %d, counter moved %d", spent, n.EvalCount()-evals0)
+	}
+	// a could move to [0, 30] (given b=30); b to [0, 10] (given a=50).
+	ivA, _ := n.Property("a").Feasible().Interval()
+	if !ivA.ApproxEqual(interval.New(0, 30), 1e-9) {
+		t.Errorf("window a = %v, want [0,30]", ivA)
+	}
+	ivB, _ := n.Property("b").Feasible().Interval()
+	if !ivB.ApproxEqual(interval.New(0, 10), 1e-9) {
+		t.Errorf("window b = %v, want [0,10]", ivB)
+	}
+}
+
+func TestBoundWindowDiscreteSnapsToSet(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddProperty(NewProperty("L", domain.NewRealSet(0.1, 0.2, 0.5, 1.0))); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddConstraint(MustParseConstraint("cap", "L <= 0.5")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.BindReal("L", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	n.RefreshBoundWindows()
+	want := domain.NewRealSet(0.1, 0.2, 0.5)
+	if !n.Property("L").Feasible().Equal(want) {
+		t.Errorf("discrete window = %v, want %v", n.Property("L").Feasible(), want)
+	}
+}

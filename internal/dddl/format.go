@@ -1,0 +1,226 @@
+package dddl
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/domain"
+)
+
+// Format renders the scenario as canonical DDDL text. Parsing the
+// result yields an equivalent scenario (round-trip property), so Format
+// serves as a serializer for programmatically built or modified
+// scenarios.
+func (s *Scenario) Format() string {
+	var b strings.Builder
+	if s.Name != "" {
+		fmt.Fprintf(&b, "scenario %s\n", s.Name)
+	}
+
+	// Group properties by declaring object, preserving declaration order.
+	type objGroup struct {
+		decl  *ObjectDecl
+		props []*PropertyDecl
+	}
+	groups := map[string]*objGroup{}
+	var order []string
+	for _, o := range s.Objects {
+		groups[o.Name] = &objGroup{decl: o}
+		order = append(order, o.Name)
+	}
+	var topLevel []*PropertyDecl
+	for _, p := range s.Properties {
+		if p.Object == "" {
+			topLevel = append(topLevel, p)
+			continue
+		}
+		g, ok := groups[p.Object]
+		if !ok {
+			// Property references an undeclared object: synthesize one.
+			g = &objGroup{decl: &ObjectDecl{Name: p.Object, Owner: p.Owner}}
+			groups[p.Object] = g
+			order = append(order, p.Object)
+		}
+		g.props = append(g.props, p)
+	}
+
+	for _, name := range order {
+		g := groups[name]
+		b.WriteString("\n")
+		if g.decl.Owner != "" {
+			fmt.Fprintf(&b, "object %s owner %s {\n", g.decl.Name, g.decl.Owner)
+		} else {
+			fmt.Fprintf(&b, "object %s {\n", g.decl.Name)
+		}
+		for _, p := range g.props {
+			b.WriteString("    ")
+			b.WriteString(formatProperty(p))
+			b.WriteString("\n")
+		}
+		b.WriteString("}\n")
+	}
+	if len(topLevel) > 0 {
+		b.WriteString("\n")
+		for _, p := range topLevel {
+			b.WriteString(formatProperty(p))
+			b.WriteString("\n")
+		}
+	}
+
+	if len(s.Constraints) > 0 {
+		b.WriteString("\n")
+		for _, c := range s.Constraints {
+			fmt.Fprintf(&b, "constraint %s: %s\n", c.Name, c.Src)
+		}
+		for _, c := range s.Constraints {
+			props := make([]string, 0, len(c.Mono))
+			for p := range c.Mono {
+				props = append(props, p)
+			}
+			sort.Strings(props)
+			for _, p := range props {
+				dir := "increasing"
+				if c.Mono[p] < 0 {
+					dir = "decreasing"
+				}
+				fmt.Fprintf(&b, "monotonic %s %s %s\n", c.Name, dir, p)
+			}
+		}
+	}
+
+	for _, p := range s.Problems {
+		b.WriteString("\n")
+		if p.Owner != "" {
+			fmt.Fprintf(&b, "problem %s owner %s {\n", p.Name, p.Owner)
+		} else {
+			fmt.Fprintf(&b, "problem %s {\n", p.Name)
+		}
+		if len(p.Inputs) > 0 {
+			fmt.Fprintf(&b, "    inputs { %s }\n", strings.Join(p.Inputs, ", "))
+		}
+		if len(p.Outputs) > 0 {
+			fmt.Fprintf(&b, "    outputs { %s }\n", strings.Join(p.Outputs, ", "))
+		}
+		if len(p.Constraints) > 0 {
+			fmt.Fprintf(&b, "    constraints { %s }\n", strings.Join(p.Constraints, ", "))
+		}
+		b.WriteString("}\n")
+	}
+
+	if len(s.Decompositions) > 0 {
+		b.WriteString("\n")
+		for _, d := range s.Decompositions {
+			fmt.Fprintf(&b, "decompose %s -> %s\n", d.Parent, strings.Join(d.Children, ", "))
+		}
+	}
+
+	if len(s.Requirements) > 0 {
+		b.WriteString("\n")
+		for _, r := range s.Requirements {
+			if r.Value.IsString() {
+				fmt.Fprintf(&b, "require %s = %q\n", r.Property, r.Value.Text())
+			} else {
+				fmt.Fprintf(&b, "require %s = %s\n", r.Property, fmtFloat(r.Value.Num()))
+			}
+		}
+	}
+	return b.String()
+}
+
+func formatProperty(p *PropertyDecl) string {
+	keyword := "property"
+	suffix := ""
+	if p.IsDerived() {
+		keyword = "derived"
+		suffix = " = " + p.Formula
+	}
+	switch p.Domain.Kind() {
+	case domain.Continuous:
+		iv, _ := p.Domain.Interval()
+		return fmt.Sprintf("%s %s real [%s, %s]%s",
+			keyword, p.Name, fmtFloat(iv.Lo), fmtFloat(iv.Hi), suffix)
+	case domain.DiscreteReal:
+		vals := p.Domain.Reals()
+		parts := make([]string, len(vals))
+		for i, v := range vals {
+			parts[i] = fmtFloat(v)
+		}
+		return fmt.Sprintf("%s %s enum {%s}%s", keyword, p.Name, strings.Join(parts, ", "), suffix)
+	default:
+		vals := p.Domain.Strings()
+		parts := make([]string, len(vals))
+		for i, v := range vals {
+			parts[i] = strconv.Quote(v)
+		}
+		return fmt.Sprintf("%s %s string {%s}%s", keyword, p.Name, strings.Join(parts, ", "), suffix)
+	}
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Equal reports whether two scenarios declare the same design area
+// (names, domains, formulas, constraints, problems, decompositions, and
+// requirements), ignoring source line numbers.
+func (s *Scenario) Equal(o *Scenario) bool {
+	if s.Name != o.Name ||
+		len(s.Properties) != len(o.Properties) ||
+		len(s.Constraints) != len(o.Constraints) ||
+		len(s.Problems) != len(o.Problems) ||
+		len(s.Decompositions) != len(o.Decompositions) ||
+		len(s.Requirements) != len(o.Requirements) {
+		return false
+	}
+	for i, p := range s.Properties {
+		q := o.Properties[i]
+		if p.Name != q.Name || p.Object != q.Object || p.Owner != q.Owner ||
+			p.Formula != q.Formula || !p.Domain.Equal(q.Domain) {
+			return false
+		}
+	}
+	for i, c := range s.Constraints {
+		d := o.Constraints[i]
+		if c.Name != d.Name || c.Src != d.Src || len(c.Mono) != len(d.Mono) {
+			return false
+		}
+		for k, v := range c.Mono {
+			if d.Mono[k] != v {
+				return false
+			}
+		}
+	}
+	for i, p := range s.Problems {
+		q := o.Problems[i]
+		if p.Name != q.Name || p.Owner != q.Owner ||
+			!eqSlice(p.Inputs, q.Inputs) || !eqSlice(p.Outputs, q.Outputs) ||
+			!eqSlice(p.Constraints, q.Constraints) {
+			return false
+		}
+	}
+	for i, d := range s.Decompositions {
+		e := o.Decompositions[i]
+		if d.Parent != e.Parent || !eqSlice(d.Children, e.Children) {
+			return false
+		}
+	}
+	for i, r := range s.Requirements {
+		q := o.Requirements[i]
+		if r.Property != q.Property || !r.Value.Equal(q.Value) {
+			return false
+		}
+	}
+	return true
+}
+
+func eqSlice(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,493 @@
+package dddl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/domain"
+)
+
+// ParseError reports a DDDL syntax or semantic failure with its line.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("dddl: line %d: %s", e.Line, e.Msg)
+}
+
+type parser struct {
+	lines   []string
+	lineNos []int
+	pos     int
+	scn     *Scenario
+}
+
+// Parse reads a DDDL document from r and validates it.
+func Parse(r io.Reader) (*Scenario, error) {
+	p := &parser{scn: &Scenario{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		p.lines = append(p.lines, line)
+		p.lineNos = append(p.lineNos, n)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dddl: reading input: %w", err)
+	}
+	if err := p.parse(); err != nil {
+		return nil, err
+	}
+	if err := p.scn.Validate(); err != nil {
+		return nil, err
+	}
+	return p.scn, nil
+}
+
+// ParseString parses a DDDL document from a string.
+func ParseString(src string) (*Scenario, error) {
+	return Parse(strings.NewReader(src))
+}
+
+// MustParseString is ParseString panicking on error, for built-in
+// scenario definitions.
+func MustParseString(src string) *Scenario {
+	s, err := ParseString(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	ln := 0
+	if p.pos < len(p.lineNos) {
+		ln = p.lineNos[p.pos]
+	} else if len(p.lineNos) > 0 {
+		ln = p.lineNos[len(p.lineNos)-1]
+	}
+	return &ParseError{Line: ln, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) cur() (string, bool) {
+	if p.pos >= len(p.lines) {
+		return "", false
+	}
+	return p.lines[p.pos], true
+}
+
+func (p *parser) curLineNo() int {
+	if p.pos < len(p.lineNos) {
+		return p.lineNos[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) parse() error {
+	for {
+		line, ok := p.cur()
+		if !ok {
+			return nil
+		}
+		fields := strings.Fields(line)
+		var err error
+		switch fields[0] {
+		case "scenario":
+			err = p.parseScenario(fields)
+		case "object":
+			err = p.parseObject(line)
+		case "property":
+			err = p.parseProperty(line, "", "")
+		case "derived":
+			err = p.parseDerived(line, "", "")
+		case "constraint":
+			err = p.parseConstraint(line)
+		case "monotonic":
+			err = p.parseMonotonic(fields)
+		case "problem":
+			err = p.parseProblem(line)
+		case "decompose":
+			err = p.parseDecompose(line)
+		case "require":
+			err = p.parseRequire(line)
+		default:
+			err = p.errf("unknown directive %q", fields[0])
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func (p *parser) parseScenario(fields []string) error {
+	if len(fields) != 2 {
+		return p.errf("scenario takes exactly one name")
+	}
+	if p.scn.Name != "" {
+		return p.errf("duplicate scenario directive")
+	}
+	p.scn.Name = fields[1]
+	p.pos++
+	return nil
+}
+
+// parseObject handles: object NAME [owner OWNER] { ... property lines ... }
+func (p *parser) parseObject(line string) error {
+	head, hasBrace := strings.CutSuffix(strings.TrimSpace(line), "{")
+	if !hasBrace {
+		return p.errf("object declaration must end with '{'")
+	}
+	fields := strings.Fields(head)
+	if len(fields) < 2 {
+		return p.errf("object needs a name")
+	}
+	obj := &ObjectDecl{Name: fields[1], Line: p.curLineNo()}
+	rest := fields[2:]
+	if len(rest) == 2 && rest[0] == "owner" {
+		obj.Owner = rest[1]
+	} else if len(rest) != 0 {
+		return p.errf("object: unexpected tokens %v", rest)
+	}
+	p.scn.Objects = append(p.scn.Objects, obj)
+	p.pos++
+	for {
+		inner, ok := p.cur()
+		if !ok {
+			return p.errf("unterminated object block for %q", obj.Name)
+		}
+		if inner == "}" {
+			p.pos++
+			return nil
+		}
+		switch {
+		case strings.HasPrefix(inner, "property "):
+			if err := p.parseProperty(inner, obj.Name, obj.Owner); err != nil {
+				return err
+			}
+		case strings.HasPrefix(inner, "derived "):
+			if err := p.parseDerived(inner, obj.Name, obj.Owner); err != nil {
+				return err
+			}
+		default:
+			return p.errf("object block may only contain property/derived declarations, got %q", inner)
+		}
+	}
+}
+
+// parseProperty handles:
+//
+//	property NAME real [lo, hi]
+//	property NAME enum {v1, v2, ...}
+//	property NAME string {"a", "b", ...}
+func (p *parser) parseProperty(line, object, owner string) error {
+	if err := p.parsePropertyNoAdvance(line, object, owner, ""); err != nil {
+		return err
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) parsePropertyNoAdvance(line, object, owner, formula string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return p.errf("property needs a name and a type")
+	}
+	name, typ := fields[1], fields[2]
+	rest := strings.TrimSpace(strings.Join(fields[3:], " "))
+	var dom domain.Domain
+	switch typ {
+	case "real":
+		if !strings.HasPrefix(rest, "[") || !strings.HasSuffix(rest, "]") {
+			return p.errf("property %s: real type needs a [lo, hi] range", name)
+		}
+		parts := strings.Split(strings.Trim(rest, "[]"), ",")
+		if len(parts) != 2 {
+			return p.errf("property %s: range needs exactly two bounds", name)
+		}
+		lo, err1 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		hi, err2 := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err1 != nil || err2 != nil {
+			return p.errf("property %s: malformed range bounds %q", name, rest)
+		}
+		if lo > hi {
+			return p.errf("property %s: empty range [%g, %g]", name, lo, hi)
+		}
+		dom = domain.NewInterval(lo, hi)
+	case "enum":
+		vals, err := p.parseBracedList(rest, name)
+		if err != nil {
+			return err
+		}
+		var nums []float64
+		for _, v := range vals {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return p.errf("property %s: malformed enum value %q", name, v)
+			}
+			nums = append(nums, f)
+		}
+		if len(nums) == 0 {
+			return p.errf("property %s: empty enum", name)
+		}
+		dom = domain.NewRealSet(nums...)
+	case "string":
+		vals, err := p.parseBracedList(rest, name)
+		if err != nil {
+			return err
+		}
+		var strs []string
+		for _, v := range vals {
+			s, err := strconv.Unquote(v)
+			if err != nil {
+				return p.errf("property %s: string values must be quoted, got %q", name, v)
+			}
+			strs = append(strs, s)
+		}
+		if len(strs) == 0 {
+			return p.errf("property %s: empty string set", name)
+		}
+		dom = domain.NewStringSet(strs...)
+	default:
+		return p.errf("property %s: unknown type %q (want real, enum, or string)", name, typ)
+	}
+	p.scn.Properties = append(p.scn.Properties, &PropertyDecl{
+		Name:    name,
+		Object:  object,
+		Owner:   owner,
+		Domain:  dom,
+		Formula: formula,
+		Line:    p.curLineNo(),
+	})
+	return nil
+}
+
+func (p *parser) parseBracedList(rest, name string) ([]string, error) {
+	if !strings.HasPrefix(rest, "{") || !strings.HasSuffix(rest, "}") {
+		return nil, p.errf("property %s: expected {v1, v2, ...}", name)
+	}
+	body := strings.TrimSpace(strings.Trim(rest, "{}"))
+	if body == "" {
+		return nil, nil
+	}
+	parts := strings.Split(body, ",")
+	out := make([]string, len(parts))
+	for i, s := range parts {
+		out[i] = strings.TrimSpace(s)
+	}
+	return out, nil
+}
+
+// parseDerived handles: derived NAME real [lo, hi] = expr
+// A derived property's value is computed from its formula by the DPM
+// (a tool run) instead of being assigned by a designer.
+func (p *parser) parseDerived(line, object, owner string) error {
+	decl, formula, ok := strings.Cut(line, "=")
+	if !ok {
+		return p.errf("derived needs '= formula'")
+	}
+	formula = strings.TrimSpace(formula)
+	if formula == "" {
+		return p.errf("derived: empty formula")
+	}
+	// Reuse the property parser on the declaration part.
+	declLine := "property" + strings.TrimPrefix(strings.TrimSpace(decl), "derived")
+	if err := p.parsePropertyNoAdvance(declLine, object, owner, formula); err != nil {
+		return err
+	}
+	p.pos++
+	return nil
+}
+
+// parseConstraint handles: constraint NAME: lhs REL rhs
+func (p *parser) parseConstraint(line string) error {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "constraint"))
+	name, src, ok := strings.Cut(rest, ":")
+	if !ok {
+		return p.errf("constraint needs 'name: expression' form")
+	}
+	name = strings.TrimSpace(name)
+	src = strings.TrimSpace(src)
+	if name == "" || strings.ContainsAny(name, " \t") {
+		return p.errf("malformed constraint name %q", name)
+	}
+	if src == "" {
+		return p.errf("constraint %s: empty expression", name)
+	}
+	p.scn.Constraints = append(p.scn.Constraints, &ConstraintDecl{
+		Name: name,
+		Src:  src,
+		Line: p.curLineNo(),
+	})
+	p.pos++
+	return nil
+}
+
+// parseMonotonic handles: monotonic CNAME increasing|decreasing PROP
+func (p *parser) parseMonotonic(fields []string) error {
+	if len(fields) != 4 {
+		return p.errf("monotonic takes: constraint-name increasing|decreasing property")
+	}
+	cname, dirWord, prop := fields[1], fields[2], fields[3]
+	dir := 0
+	switch dirWord {
+	case "increasing":
+		dir = +1
+	case "decreasing":
+		dir = -1
+	default:
+		return p.errf("monotonic direction must be increasing or decreasing, got %q", dirWord)
+	}
+	cd := p.scn.ConstraintDecl(cname)
+	if cd == nil {
+		return p.errf("monotonic references unknown constraint %q (declare the constraint first)", cname)
+	}
+	if cd.Mono == nil {
+		cd.Mono = map[string]int{}
+	}
+	cd.Mono[prop] = dir
+	p.pos++
+	return nil
+}
+
+// parseProblem handles:
+//
+//	problem NAME [owner OWNER] {
+//	    inputs { a, b }
+//	    outputs { c, d }
+//	    constraints { c1, c2 }
+//	}
+func (p *parser) parseProblem(line string) error {
+	head, hasBrace := strings.CutSuffix(strings.TrimSpace(line), "{")
+	if !hasBrace {
+		return p.errf("problem declaration must end with '{'")
+	}
+	fields := strings.Fields(head)
+	if len(fields) < 2 {
+		return p.errf("problem needs a name")
+	}
+	prob := &ProblemDecl{Name: fields[1], Line: p.curLineNo()}
+	rest := fields[2:]
+	if len(rest) == 2 && rest[0] == "owner" {
+		prob.Owner = rest[1]
+	} else if len(rest) != 0 {
+		return p.errf("problem: unexpected tokens %v", rest)
+	}
+	p.pos++
+	for {
+		inner, ok := p.cur()
+		if !ok {
+			return p.errf("unterminated problem block for %q", prob.Name)
+		}
+		if inner == "}" {
+			p.pos++
+			p.scn.Problems = append(p.scn.Problems, prob)
+			return nil
+		}
+		kw, rest, found := strings.Cut(inner, "{")
+		if !found || !strings.HasSuffix(rest, "}") {
+			return p.errf("problem %s: expected 'inputs|outputs|constraints { ... }', got %q", prob.Name, inner)
+		}
+		names, err := p.parseNameList(strings.TrimSuffix(rest, "}"))
+		if err != nil {
+			return err
+		}
+		switch strings.TrimSpace(kw) {
+		case "inputs":
+			prob.Inputs = append(prob.Inputs, names...)
+		case "outputs":
+			prob.Outputs = append(prob.Outputs, names...)
+		case "constraints":
+			prob.Constraints = append(prob.Constraints, names...)
+		default:
+			return p.errf("problem %s: unknown section %q", prob.Name, strings.TrimSpace(kw))
+		}
+		p.pos++
+	}
+}
+
+func (p *parser) parseNameList(body string) ([]string, error) {
+	body = strings.TrimSpace(body)
+	if body == "" {
+		return nil, nil
+	}
+	parts := strings.Split(body, ",")
+	out := make([]string, 0, len(parts))
+	for _, s := range parts {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return nil, p.errf("empty name in list %q", body)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// parseDecompose handles: decompose PARENT -> CHILD1, CHILD2
+func (p *parser) parseDecompose(line string) error {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "decompose"))
+	parent, children, ok := strings.Cut(rest, "->")
+	if !ok {
+		return p.errf("decompose needs 'parent -> child1, child2' form")
+	}
+	parent = strings.TrimSpace(parent)
+	kids, err := p.parseNameList(children)
+	if err != nil {
+		return err
+	}
+	if parent == "" || len(kids) == 0 {
+		return p.errf("decompose needs a parent and at least one child")
+	}
+	p.scn.Decompositions = append(p.scn.Decompositions, &Decomposition{
+		Parent:   parent,
+		Children: kids,
+		Line:     p.curLineNo(),
+	})
+	p.pos++
+	return nil
+}
+
+// parseRequire handles: require PROP = 123.4  |  require PROP = "text"
+func (p *parser) parseRequire(line string) error {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "require"))
+	prop, valText, ok := strings.Cut(rest, "=")
+	if !ok {
+		return p.errf("require needs 'property = value' form")
+	}
+	prop = strings.TrimSpace(prop)
+	valText = strings.TrimSpace(valText)
+	var val domain.Value
+	if strings.HasPrefix(valText, `"`) {
+		s, err := strconv.Unquote(valText)
+		if err != nil {
+			return p.errf("require %s: malformed string %q", prop, valText)
+		}
+		val = domain.Str(s)
+	} else {
+		f, err := strconv.ParseFloat(valText, 64)
+		if err != nil {
+			return p.errf("require %s: malformed number %q", prop, valText)
+		}
+		val = domain.Real(f)
+	}
+	p.scn.Requirements = append(p.scn.Requirements, &Requirement{
+		Property: prop,
+		Value:    val,
+		Line:     p.curLineNo(),
+	})
+	p.pos++
+	return nil
+}

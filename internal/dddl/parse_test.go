@@ -1,0 +1,240 @@
+package dddl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/domain"
+)
+
+const sampleDoc = `
+# A miniature receiver scenario (paper §2.4 flavor).
+scenario mini_receiver
+
+object LNA_Mixer owner circuit {
+    property Diff_pair_W real [0.5, 10]     # µm
+    property Freq_ind    real [0.05, 2.0]   # µH
+    property LNA_gain    real [0, 200]
+    property Esr         enum {0.1, 0.2, 0.5}
+    property Levels      string {"Transistor", "Geometry"}
+}
+
+object System owner leader {
+    property PM real [0, 500]
+    property Pf real [0, 500]
+}
+
+constraint Gain: 16 * Diff_pair_W >= LNA_gain
+constraint Power: Pf <= PM
+constraint Loss: min(Freq_ind, Esr) <= 1
+monotonic Loss decreasing Freq_ind
+
+problem Top owner leader {
+    outputs { PM }
+    constraints { Power }
+}
+
+problem Analog owner circuit {
+    inputs { PM }
+    outputs { Diff_pair_W, Freq_ind, LNA_gain, Esr }
+    constraints { Gain, Loss }
+}
+
+decompose Top -> Analog
+require PM = 200
+`
+
+func TestParseSample(t *testing.T) {
+	s, err := ParseString(sampleDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "mini_receiver" {
+		t.Errorf("Name = %q", s.Name)
+	}
+	if len(s.Objects) != 2 || s.Objects[0].Name != "LNA_Mixer" || s.Objects[0].Owner != "circuit" {
+		t.Errorf("Objects = %+v", s.Objects)
+	}
+	if len(s.Properties) != 7 {
+		t.Fatalf("got %d properties", len(s.Properties))
+	}
+	w := s.Property("Diff_pair_W")
+	if w == nil || w.Object != "LNA_Mixer" || w.Owner != "circuit" {
+		t.Errorf("Diff_pair_W = %+v", w)
+	}
+	if !w.Domain.Equal(domain.NewInterval(0.5, 10)) {
+		t.Errorf("Diff_pair_W domain = %v", w.Domain)
+	}
+	esr := s.Property("Esr")
+	if !esr.Domain.Equal(domain.NewRealSet(0.1, 0.2, 0.5)) {
+		t.Errorf("Esr domain = %v", esr.Domain)
+	}
+	lv := s.Property("Levels")
+	if !lv.Domain.Equal(domain.NewStringSet("Transistor", "Geometry")) {
+		t.Errorf("Levels domain = %v", lv.Domain)
+	}
+	if len(s.Constraints) != 3 {
+		t.Fatalf("got %d constraints", len(s.Constraints))
+	}
+	loss := s.ConstraintDecl("Loss")
+	if loss == nil || loss.Mono["Freq_ind"] != -1 {
+		t.Errorf("Loss mono = %+v", loss)
+	}
+	if len(s.Problems) != 2 {
+		t.Fatalf("got %d problems", len(s.Problems))
+	}
+	an := s.Problem("Analog")
+	if an.Owner != "circuit" || len(an.Outputs) != 4 || len(an.Inputs) != 1 || len(an.Constraints) != 2 {
+		t.Errorf("Analog = %+v", an)
+	}
+	if len(s.Decompositions) != 1 || s.Decompositions[0].Parent != "Top" {
+		t.Errorf("Decompositions = %+v", s.Decompositions)
+	}
+	if len(s.Requirements) != 1 || s.Requirements[0].Property != "PM" || s.Requirements[0].Value.Num() != 200 {
+		t.Errorf("Requirements = %+v", s.Requirements)
+	}
+	owners := s.Owners()
+	if len(owners) != 2 || owners[0] != "leader" || owners[1] != "circuit" {
+		t.Errorf("Owners = %v", owners)
+	}
+}
+
+func TestBuildNetwork(t *testing.T) {
+	s, err := ParseString(sampleDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := s.BuildNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumProperties() != 7 || net.NumConstraints() != 3 {
+		t.Errorf("network: %d props, %d cons", net.NumProperties(), net.NumConstraints())
+	}
+	// Requirement bound.
+	if v, ok := net.Property("PM").Value(); !ok || v.Num() != 200 {
+		t.Error("requirement PM=200 not bound")
+	}
+	// Monotonicity override carried through.
+	c := net.Constraint("Loss")
+	if c.MonoOverride["Freq_ind"] != -1 {
+		t.Errorf("MonoOverride = %v", c.MonoOverride)
+	}
+	// Owner metadata preserved.
+	if net.Property("Diff_pair_W").Owner != "circuit" {
+		t.Error("owner lost")
+	}
+	// Propagation runs over the built network.
+	res := net.Propagate(constraint.PropagateOptions{})
+	if res.Evaluations == 0 {
+		t.Error("propagation did nothing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown directive", "frobnicate x", "unknown directive"},
+		{"double scenario", "scenario a\nscenario b", "duplicate scenario"},
+		{"bad scenario", "scenario", "exactly one name"},
+		{"object no brace", "object X owner a", "must end with '{'"},
+		{"object junk", "object X stuff {", "unexpected tokens"},
+		{"object unterminated", "object X {", "unterminated object"},
+		{"object non-property", "object X {\nconstraint c: x <= 1\n}", "may only contain property"},
+		{"property no type", "property p", "needs a name and a type"},
+		{"property bad type", "property p complex [0,1]", "unknown type"},
+		{"property bad range", "property p real [0 1]", "exactly two bounds"},
+		{"property empty range", "property p real [5, 1]", "empty range"},
+		{"property bad bound", "property p real [a, 1]", "malformed range bounds"},
+		{"property no braces", "property p enum [1, 2]", "expected {"},
+		{"enum bad value", "property p enum {1, x}", "malformed enum value"},
+		{"enum empty", "property p enum {}", "empty enum"},
+		{"string unquoted", `property p string {abc}`, "must be quoted"},
+		{"constraint no colon", "constraint c x <= 1", "'name: expression'"},
+		{"constraint empty", "constraint c:", "empty expression"},
+		{"constraint space name", "constraint a b: x <= 1", "malformed constraint name"},
+		{"mono arity", "monotonic c increasing", "monotonic takes"},
+		{"mono dir", "property x real [0,1]\nconstraint c: x <= 1\nmonotonic c sideways x", "increasing or decreasing"},
+		{"mono unknown constraint", "monotonic nope increasing x", "unknown constraint"},
+		{"problem no brace", "problem P owner a", "must end with '{'"},
+		{"problem unterminated", "problem P {", "unterminated problem"},
+		{"problem bad section", "problem P {\nwidgets { a }\n}", "unknown section"},
+		{"problem bad inner", "problem P {\nnonsense\n}", "expected 'inputs|outputs|constraints"},
+		{"decompose no arrow", "decompose A B", "'parent -> child1, child2'"},
+		{"decompose empty child", "decompose A -> B,,C", "empty name"},
+		{"require no eq", "require PM 200", "'property = value'"},
+		{"require bad num", "property PM real [0,1]\nrequire PM = abc", "malformed number"},
+		{"require bad str", `property S string {"a"}` + "\nrequire S = \"unterminated", "malformed string"},
+	}
+	for _, c := range cases {
+		_, err := ParseString(c.src)
+		if err == nil {
+			t.Errorf("%s: no error, want %q", c.name, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"dup property", "property x real [0,1]\nproperty x real [0,1]", "duplicate property"},
+		{"dup constraint", "property x real [0,1]\nconstraint c: x <= 1\nconstraint c: x >= 0", "duplicate constraint"},
+		{"unknown prop in constraint", "constraint c: q <= 1", "unknown property"},
+		{"string prop in constraint", `property s string {"a"}` + "\nconstraint c: s <= 1", "non-numeric property"},
+		{"bad constraint expr", "property x real [0,1]\nconstraint c: x <=", "rhs"},
+		{"mono non-arg", "property x real [0,1]\nproperty y real [0,1]\nconstraint c: x <= 1\nmonotonic c increasing y", "not an argument"},
+		{"dup problem", "problem P {\n}\nproblem P {\n}", "duplicate problem"},
+		{"problem unknown output", "problem P {\noutputs { q }\n}", "unknown property"},
+		{"problem unknown constraint", "problem P {\nconstraints { q }\n}", "unknown constraint"},
+		{"decompose unknown parent", "problem P {\n}\ndecompose Q -> P", "unknown problem"},
+		{"decompose unknown child", "problem P {\n}\ndecompose P -> Q", "unknown problem"},
+		{"require unknown", "require q = 1", "unknown property"},
+		{"require kind", "property x real [0,1]\nrequire x = \"s\"", "kind mismatch"},
+	}
+	for _, c := range cases {
+		_, err := ParseString(c.src)
+		if err == nil {
+			t.Errorf("%s: no error, want %q", c.name, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	s, err := ParseString("\n\n# only comments\nproperty x real [0, 1] # trailing\n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Properties) != 1 {
+		t.Errorf("got %d properties", len(s.Properties))
+	}
+}
+
+func TestMustParseStringPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseString did not panic on bad input")
+		}
+	}()
+	MustParseString("bogus")
+}
+
+func TestParseErrorHasLineNumber(t *testing.T) {
+	_, err := ParseString("property x real [0,1]\n\n# comment\nbogus directive")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("error %q should cite line 4", err)
+	}
+}

@@ -1,0 +1,730 @@
+// Package designer implements the simulated designer model of paper
+// §3.1.1 (Fig. 6): a state-based system that keeps an internal view of
+// the design derived from DPM/NM information and chooses operations by
+// composing three functions —
+//
+//	f_o = f_v ∘ f_a ∘ f_p
+//
+// problem selection (f_p), target property selection (f_a), and value
+// selection (f_v) — each implementing the constraint-based heuristics
+// the paper lists. The same designer runs in both modes; in conventional
+// mode its view simply lacks propagation-derived data, and it must
+// request verification operations to learn of violations.
+package designer
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/dcm"
+	"repro/internal/domain"
+	"repro/internal/dpm"
+)
+
+// Heuristics toggles the individual constraint-based heuristics so
+// their contributions can be ablated (DESIGN.md §4).
+type Heuristics struct {
+	// SmallestSubspace: f_a focuses first on properties with the
+	// smallest (normalized) feasible subspaces (§2.3.1).
+	SmallestSubspace bool
+	// AlphaGuided: f_a prefers properties connected to many violations
+	// (§2.3.3, eq. 3).
+	AlphaGuided bool
+	// BetaGuided: f_a breaks ties toward properties appearing in many
+	// constraints (§2.3.2).
+	BetaGuided bool
+	// MonotoneVoting: direction of value change chosen by counting the
+	// violated monotonic constraints a move would help fix (§3.1.1).
+	MonotoneVoting bool
+	// FeasibleChoice: f_v picks values from the feasible subspace when
+	// it is non-empty (§3.1.1).
+	FeasibleChoice bool
+	// TabuHistory: f_v consults the design history to avoid assignments
+	// that previously led to violations (§3.1.1 footnote 2).
+	TabuHistory bool
+	// MarginSteps: f_v sizes fix steps from the violation margin and
+	// model sensitivities (margin / |∂c/∂a|) instead of the paper's
+	// fixed delta. Off by default — an extension kept for ablation.
+	MarginSteps bool
+	// CoordinatedFix: when single-variable moves are provably stuck
+	// (the chosen candidate's movement window is empty and its fix
+	// history shows repeated failures), the designer re-synthesizes the
+	// whole subproblem — one operation assigning a coordinated set of
+	// outputs, §2.3's "design operations that will fix many violations
+	// at a time". ADPM mode only.
+	CoordinatedFix bool
+}
+
+// DefaultHeuristics enables everything, matching the paper's ADPM runs.
+func DefaultHeuristics() Heuristics {
+	return Heuristics{
+		SmallestSubspace: true,
+		AlphaGuided:      true,
+		BetaGuided:       true,
+		MonotoneVoting:   true,
+		FeasibleChoice:   true,
+		TabuHistory:      true,
+		CoordinatedFix:   true,
+	}
+}
+
+// Config parameterizes one simulated designer.
+type Config struct {
+	// ID is the designer's name; it must match problem ownership in the
+	// scenario.
+	ID string
+	// Heuristics toggles the search heuristics.
+	Heuristics Heuristics
+	// DeltaFrac sizes the conventional fix step as a fraction of |E_i|.
+	// The paper reports deltas "around 100 times smaller than the size
+	// of E_i worked well"; 0 means 0.01.
+	DeltaFrac float64
+	// Rand drives stochastic choices (initial guesses, tie-breaking).
+	// It must be non-nil.
+	Rand *rand.Rand
+}
+
+// Designer is one simulated team member.
+type Designer struct {
+	cfg Config
+	// tabu records per-property values whose assignment immediately led
+	// to new violations or failed to make progress.
+	tabu map[string]map[float64]bool
+	// visited records every value this designer has bound per property.
+	// Conflict fixes avoid exact revisits: proposing a value already
+	// tried means the fix cycle is not converging (§3.1.1 footnote 2 —
+	// the design history is consulted).
+	visited map[string]map[float64]bool
+	// fixAttempts counts, per property|constraint pair, how many times a
+	// fix of that constraint through that property has been proposed;
+	// the step doubles with each repeat so walks cover large margins in
+	// logarithmic time (liveness extension to the paper's fixed delta —
+	// conventional status invalidation would otherwise hide failures
+	// until the next verification).
+	fixAttempts map[string]int
+	// lastAssign remembers the property bound by this designer's most
+	// recent synthesis operation, so ObserveTransition can attribute
+	// resulting violations.
+	lastAssign *dpm.Assignment
+}
+
+// New creates a designer; it panics if cfg.Rand is nil (a designer
+// without a seeded source cannot be reproduced).
+func New(cfg Config) *Designer {
+	if cfg.Rand == nil {
+		panic("designer: Config.Rand must be set")
+	}
+	if cfg.DeltaFrac <= 0 {
+		cfg.DeltaFrac = 0.01
+	}
+	return &Designer{
+		cfg:         cfg,
+		tabu:        map[string]map[float64]bool{},
+		visited:     map[string]map[float64]bool{},
+		fixAttempts: map[string]int{},
+	}
+}
+
+// ID returns the designer's name.
+func (d *Designer) ID() string { return d.cfg.ID }
+
+// SelectOperation implements the operation selection function f_o: it
+// examines the designer's view and returns the next operation to
+// request, or nil when the designer has nothing to do (all assigned
+// problems solved and no known violations — or blocked on others).
+func (d *Designer) SelectOperation(v *dcm.View) *dpm.Operation {
+	// f_p: addressable problems (status != Waiting).
+	addressable := v.AddressableProblems()
+
+	// Conflict resolution takes precedence when violations are known
+	// and involve a property this designer can modify.
+	if v.KnowsViolations() {
+		if op := d.selectConflictFix(v, addressable); op != nil {
+			return op
+		}
+	}
+
+	if len(addressable) == 0 {
+		return nil
+	}
+
+	// Bind unbound outputs.
+	if op := d.selectBinding(v, addressable); op != nil {
+		return op
+	}
+
+	// Everything bound: request verification for constraints not yet
+	// known satisfied (the conventional designer's only source of
+	// violation knowledge; in ADPM mode this settles residual
+	// Consistent statuses).
+	if op := d.selectVerification(v, addressable); op != nil {
+		return op
+	}
+	return nil
+}
+
+// selectConflictFix implements f_a's "focus on properties that enable
+// efficient conflict resolution" branch and the corresponding f_v.
+func (d *Designer) selectConflictFix(v *dcm.View, addressable []dcm.ProblemInfo) *dpm.Operation {
+	// Candidates: writable properties appearing in known violations.
+	type cand struct {
+		prop      string
+		problem   string
+		motivated []string
+		// fixable is the number of violations a single move of this
+		// property in its best direction is likely to fix (§3.1.1: "a
+		// property is selected for which a value modification is likely
+		// to fix many violations").
+		fixable int
+		// dir is that best direction (+1/-1, 0 unknown).
+		dir int
+	}
+	var cands []cand
+	for _, pi := range addressable {
+		for _, out := range pi.Outputs {
+			info := v.Props[out]
+			if info == nil {
+				continue
+			}
+			var motivated []string
+			plus, minus := 0, 0
+			for _, vi := range v.Violations {
+				dir, ok := vi.FixDirections[out]
+				if !ok {
+					continue
+				}
+				motivated = append(motivated, vi.Constraint)
+				switch {
+				case dir > 0:
+					plus++
+				case dir < 0:
+					minus++
+				}
+			}
+			if len(motivated) == 0 {
+				continue
+			}
+			c := cand{prop: out, problem: pi.Name, motivated: motivated}
+			if d.cfg.Heuristics.MonotoneVoting {
+				if plus >= minus {
+					c.fixable, c.dir = plus, +1
+				} else {
+					c.fixable, c.dir = minus, -1
+				}
+				if plus == 0 && minus == 0 {
+					c.dir = 0
+				}
+			} else {
+				c.fixable = len(motivated)
+			}
+			cands = append(cands, c)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+
+	// Score: directional fixable count desc, movement window available
+	// (an in-window move resolves the conflict in one operation) desc,
+	// β desc; ties resolved randomly. A property connected to many
+	// violations with conflicting directions cannot fix them by moving,
+	// so raw α is only used when the α heuristic is on but monotone
+	// voting is off.
+	best := []cand{}
+	bestKey := [4]int{-1 << 30, -1 << 30, -1 << 30, -1 << 30}
+	for _, c := range cands {
+		info := v.Props[c.prop]
+		key := [4]int{0, 0, 0, 0}
+		if d.cfg.Heuristics.AlphaGuided {
+			key[0] = c.fixable
+		}
+		if !info.Feasible.IsEmpty() {
+			key[1] = 1
+		}
+		// Properties whose fixes have repeatedly failed (tabu history)
+		// are demoted so the search explores other handles on the
+		// conflict (§3.1.1 footnote 2: the design history is consulted).
+		if d.cfg.Heuristics.TabuHistory {
+			key[2] = -min(len(d.tabu[c.prop]), 50)
+		}
+		if d.cfg.Heuristics.BetaGuided {
+			key[3] = info.Beta
+		}
+		switch cmpKeys(key, bestKey) {
+		case +1:
+			bestKey = key
+			best = best[:0]
+			best = append(best, c)
+		case 0:
+			best = append(best, c)
+		}
+	}
+	chosen := best[d.cfg.Rand.Intn(len(best))] // ties resolved randomly
+	info := v.Props[chosen.prop]
+
+	// Coordinated re-synthesis: when single-variable moves are stuck —
+	// the best candidate's movement window is empty and its fixes have
+	// repeatedly failed, or the conflict has dragged on across many
+	// failed attempts on several properties — reassign the whole
+	// subproblem in a single operation.
+	if d.cfg.Heuristics.CoordinatedFix && v.ADPM && v.Resynthesize != nil {
+		totalTabu := 0
+		for _, c := range cands {
+			totalTabu += len(d.tabu[c.prop])
+		}
+		stuck := (info.Feasible.IsEmpty() && len(d.tabu[chosen.prop]) >= 4) || totalTabu >= 8
+		if stuck {
+			if op := d.coordinatedFix(v, chosen.problem, chosen.motivated); op != nil {
+				return op
+			}
+		}
+	}
+
+	// Movement estimate: enough to clear the worst motivating violation
+	// (margin / sensitivity, computed by the DCM from the constraint and
+	// tool models).
+	stepHint := 0.0
+	for _, vi := range v.Violations {
+		if s, ok := vi.FixSteps[chosen.prop]; ok && s > stepHint {
+			for _, m := range chosen.motivated {
+				if m == vi.Constraint {
+					stepHint = s
+					break
+				}
+			}
+		}
+	}
+
+	// Repeat-attempt counting drives the step doubling.
+	attempts := 0
+	for _, m := range chosen.motivated {
+		key := chosen.prop + "|" + m
+		if d.fixAttempts[key] > attempts {
+			attempts = d.fixAttempts[key]
+		}
+		d.fixAttempts[key]++
+	}
+
+	val, ok := d.pickFixValue(v, info, chosen.dir, stepHint, attempts)
+	if !ok {
+		return nil
+	}
+	d.lastAssign = &dpm.Assignment{Prop: chosen.prop, Value: domain.Real(val)}
+	return &dpm.Operation{
+		Kind:        dpm.OpSynthesis,
+		Problem:     chosen.problem,
+		Designer:    d.cfg.ID,
+		Assignments: []dpm.Assignment{*d.lastAssign},
+		MotivatedBy: chosen.motivated,
+	}
+}
+
+// coordinatedFix requests a joint assignment of the problem's outputs
+// from the DCM and turns it into one multi-assignment synthesis
+// operation.
+func (d *Designer) coordinatedFix(v *dcm.View, problem string, motivated []string) *dpm.Operation {
+	joint := v.Resynthesize(problem)
+	if len(joint) == 0 {
+		return nil
+	}
+	op := &dpm.Operation{
+		Kind:        dpm.OpSynthesis,
+		Problem:     problem,
+		Designer:    d.cfg.ID,
+		MotivatedBy: motivated,
+	}
+	names := make([]string, 0, len(joint))
+	for prop := range joint {
+		names = append(names, prop)
+	}
+	sort.Strings(names)
+	for _, prop := range names {
+		op.Assignments = append(op.Assignments, dpm.Assignment{Prop: prop, Value: domain.Real(joint[prop])})
+	}
+	d.lastAssign = &op.Assignments[0]
+	return op
+}
+
+// pickFixValue implements f_v when resolving conflicts: prefer a value
+// from the feasible subspace (choosing the endpoint that fixes most
+// violations); otherwise step the current value by delta in the fixing
+// direction within the initial range E_i.
+func (d *Designer) pickFixValue(v *dcm.View, info *dcm.PropInfo, dir int, stepHint float64, attempts int) (float64, bool) {
+	if dir == 0 {
+		dir = 1 - 2*d.cfg.Rand.Intn(2) // random ±1
+	}
+
+	cur, bound := currentValue(info)
+	if v.ADPM && d.cfg.Heuristics.FeasibleChoice && !info.Feasible.IsEmpty() {
+		if val, ok := valueByDirection(info.Feasible, dir); ok && !(bound && val == cur) {
+			// Exact revisits are avoided here too: re-proposing a window
+			// endpoint already tried means two constraints are trading
+			// the same value back and forth.
+			if val = d.avoidRepeats(info, val, dir); !(bound && val == cur) {
+				return val, true
+			}
+		}
+	}
+
+	if !bound {
+		// Unbound property in a violation: choose from E_i.
+		return d.applyTabu(info, d.initialGuess(info, dir), dir), true
+	}
+	// Step from the current value within E_i: the paper's fixed delta,
+	// doubled for each consecutive non-improving fix of this property
+	// (so large conflicts resolve in logarithmically many iterations),
+	// or the margin-based estimate when that heuristic is enabled.
+	delta := d.delta(info)
+	if attempts > 0 {
+		delta *= float64(uint64(1) << uint(min(attempts, 10)))
+	}
+	if d.cfg.Heuristics.MarginSteps {
+		if hint := stepHint * 1.15; hint > delta {
+			delta = hint
+		}
+	}
+	if maxStep := info.Init.Measure() / 2; delta > maxStep && maxStep > 0 {
+		delta = maxStep
+	}
+	val := cur + float64(dir)*delta
+	val = clampToDomain(info.Init, val)
+	if val == cur {
+		// Stuck at a domain boundary: restart from a random point of E_i
+		// (the constraint cannot be fixed by moving further this way).
+		val = d.randomInDomain(info.Init)
+	}
+	val = d.avoidRepeats(info, val, dir)
+	if val == cur {
+		// Re-binding the current value is a wasted operation.
+		val = d.randomInDomain(info.Init)
+	}
+	return val, true
+}
+
+// avoidRepeats steers a conflict fix off values this designer has
+// already tried (tabu failures and exact revisits — an oscillating fix
+// cycle re-proposes old values). A rejected value is recorded as tabu,
+// which also demotes the property in future candidate selection; the
+// walk continues deeper in the fix direction, falling back to a random
+// restart.
+func (d *Designer) avoidRepeats(info *dcm.PropInfo, val float64, dir int) float64 {
+	if !d.cfg.Heuristics.TabuHistory {
+		return val
+	}
+	bad := func(v float64) bool {
+		return d.tabu[info.Name][v] || d.visited[info.Name][v]
+	}
+	if !bad(val) {
+		return val
+	}
+	d.markTabu(info.Name, val)
+	delta := d.delta(info)
+	if dir == 0 {
+		dir = 1 - 2*d.cfg.Rand.Intn(2)
+	}
+	cand := val
+	for i := 0; i < 8; i++ {
+		cand = clampToDomain(info.Init, cand+float64(dir)*delta)
+		if !bad(cand) {
+			return cand
+		}
+	}
+	for i := 0; i < 8; i++ {
+		r := d.randomInDomain(info.Init)
+		if !bad(r) {
+			return r
+		}
+	}
+	return d.randomInDomain(info.Init)
+}
+
+func (d *Designer) markTabu(prop string, val float64) {
+	if d.tabu[prop] == nil {
+		d.tabu[prop] = map[float64]bool{}
+	}
+	d.tabu[prop][val] = true
+}
+
+// selectBinding implements f_a's "focus on most difficult subspaces"
+// branch and its f_v.
+func (d *Designer) selectBinding(v *dcm.View, addressable []dcm.ProblemInfo) *dpm.Operation {
+	type cand struct {
+		prop    string
+		problem string
+	}
+	var cands []cand
+	for _, pi := range addressable {
+		for _, out := range pi.UnboundOutputs {
+			cands = append(cands, cand{prop: out, problem: pi.Name})
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+
+	var chosen cand
+	if v.ADPM && d.cfg.Heuristics.SmallestSubspace {
+		// Smallest normalized feasible subspace first; β breaks ties
+		// (most-constrained property), then random.
+		best := []cand{}
+		bestSize := 2.0
+		bestBeta := -1
+		for _, c := range cands {
+			info := v.Props[c.prop]
+			size := 1.0
+			beta := 0
+			if info != nil {
+				size = info.RelFeasible
+				if d.cfg.Heuristics.BetaGuided {
+					beta = info.Beta
+				}
+			}
+			switch {
+			case size < bestSize-1e-12 || (nearlyEqual(size, bestSize) && beta > bestBeta):
+				bestSize, bestBeta = size, beta
+				best = best[:0]
+				best = append(best, c)
+			case nearlyEqual(size, bestSize) && beta == bestBeta:
+				best = append(best, c)
+			}
+		}
+		chosen = best[d.cfg.Rand.Intn(len(best))]
+	} else {
+		chosen = cands[d.cfg.Rand.Intn(len(cands))]
+	}
+
+	info := v.Props[chosen.prop]
+	if info == nil {
+		return nil
+	}
+	var val float64
+	if v.ADPM && d.cfg.Heuristics.FeasibleChoice && !info.Feasible.IsEmpty() {
+		dir := 0
+		if d.cfg.Heuristics.MonotoneVoting {
+			dir = sign(info.SatVotes)
+		}
+		if dir == 0 {
+			dir = 1 - 2*d.cfg.Rand.Intn(2)
+		}
+		if ev, ok := valueByDirection(info.Feasible, dir); ok {
+			val = ev
+		} else {
+			val = d.randomInDomain(info.Feasible)
+		}
+		val = d.applyTabu(info, val, dir)
+	} else {
+		// Conventional initial guess: uniform over E_i.
+		val = d.applyTabu(info, d.randomInDomain(info.Init), 0)
+	}
+	d.lastAssign = &dpm.Assignment{Prop: chosen.prop, Value: domain.Real(val)}
+	return &dpm.Operation{
+		Kind:        dpm.OpSynthesis,
+		Problem:     chosen.problem,
+		Designer:    d.cfg.ID,
+		Assignments: []dpm.Assignment{*d.lastAssign},
+	}
+}
+
+// selectVerification requests a verification operation for the first
+// addressable problem with constraints a tool run would actually
+// settle (unknown status, all arguments bound). Re-verifying
+// already-decided constraints would waste an operation.
+func (d *Designer) selectVerification(v *dcm.View, addressable []dcm.ProblemInfo) *dpm.Operation {
+	for _, pi := range addressable {
+		if pi.Status == dpm.Solved || len(pi.UnboundOutputs) > 0 || len(pi.VerifiableConstraints) == 0 {
+			continue
+		}
+		return &dpm.Operation{
+			Kind:     dpm.OpVerification,
+			Problem:  pi.Name,
+			Designer: d.cfg.ID,
+			Verify:   pi.VerifiableConstraints,
+		}
+	}
+	return nil
+}
+
+// ObserveTransition updates the designer's internal state (next-state
+// function of Fig. 6) from the result of its own operation: assignments
+// that immediately produced new violations become tabu.
+func (d *Designer) ObserveTransition(tr *dpm.Transition) {
+	if tr == nil || d.lastAssign == nil {
+		return
+	}
+	if tr.Op.Designer != d.cfg.ID || tr.Op.Kind != dpm.OpSynthesis {
+		return
+	}
+	if d.cfg.Heuristics.TabuHistory && !d.lastAssign.Value.IsString() {
+		prop := d.lastAssign.Prop
+		val := d.lastAssign.Value.Num()
+		if d.visited[prop] == nil {
+			d.visited[prop] = map[float64]bool{}
+		}
+		d.visited[prop][val] = true
+		// An assignment becomes tabu when it produced new violations, or
+		// when it was a conflict fix that failed to reduce the number of
+		// open violations.
+		failed := len(tr.NewViolations) > 0 ||
+			(len(tr.Op.MotivatedBy) > 0 && len(tr.ViolationsAfter) >= len(tr.ViolationsBefore))
+		if failed {
+			d.markTabu(prop, val)
+		}
+	}
+	d.lastAssign = nil
+}
+
+// TabuSize reports how many assignments are currently tabu (for tests
+// and statistics).
+func (d *Designer) TabuSize() int {
+	n := 0
+	for _, m := range d.tabu {
+		n += len(m)
+	}
+	return n
+}
+
+// applyTabu nudges a candidate value off previously-failed assignments.
+func (d *Designer) applyTabu(info *dcm.PropInfo, val float64, dir int) float64 {
+	if !d.cfg.Heuristics.TabuHistory {
+		return val
+	}
+	seen := d.tabu[info.Name]
+	if seen == nil || !seen[val] {
+		return val
+	}
+	delta := d.delta(info)
+	if dir == 0 {
+		dir = 1 - 2*d.cfg.Rand.Intn(2)
+	}
+	// Walk away from the tabu value; reverse at the domain edge.
+	cand := val
+	for i := 0; i < 8; i++ {
+		cand = clampToDomain(info.Init, cand-float64(dir)*delta)
+		if !seen[cand] {
+			return cand
+		}
+	}
+	return d.randomInDomain(info.Init)
+}
+
+// delta is the fix step size: DeltaFrac · |E_i| for continuous domains
+// and one inter-element gap for discrete ones.
+func (d *Designer) delta(info *dcm.PropInfo) float64 {
+	if reals := info.Init.Reals(); reals != nil {
+		if len(reals) > 1 {
+			return (reals[len(reals)-1] - reals[0]) / float64(len(reals)-1)
+		}
+		return 1
+	}
+	m := info.Init.Measure()
+	if m <= 0 {
+		return 1
+	}
+	return m * d.cfg.DeltaFrac
+}
+
+// initialGuess picks a starting value for an unbound property involved
+// in a violation: the endpoint of E_i in the helpful direction.
+func (d *Designer) initialGuess(info *dcm.PropInfo, dir int) float64 {
+	if val, ok := valueByDirection(info.Init, dir); ok {
+		return val
+	}
+	return d.randomInDomain(info.Init)
+}
+
+// randomInDomain draws a uniform value from a numeric domain.
+func (d *Designer) randomInDomain(dom domain.Domain) float64 {
+	if reals := dom.Reals(); reals != nil {
+		return reals[d.cfg.Rand.Intn(len(reals))]
+	}
+	iv, ok := dom.Interval()
+	if !ok || iv.IsEmpty() {
+		return 0
+	}
+	if !iv.IsBounded() {
+		return iv.Mid()
+	}
+	return iv.Lo + d.cfg.Rand.Float64()*(iv.Hi-iv.Lo)
+}
+
+// valueByDirection returns the top (dir>0) or bottom (dir<0) value of a
+// numeric domain, per the paper's f_v ("for ordered value sets, we
+// choose the top or bottom value"). For continuous domains the value is
+// backed off 2% of the width into the interior: a value sitting exactly
+// on a constraint boundary flips between satisfied and violated with
+// floating-point noise and leaves no margin for the next trade-off.
+func valueByDirection(dom domain.Domain, dir int) (float64, bool) {
+	lo, okLo := dom.Min()
+	hi, okHi := dom.Max()
+	if !okLo || !okHi {
+		return 0, false
+	}
+	if dom.Kind() != domain.Continuous {
+		if dir >= 0 {
+			return hi, true
+		}
+		return lo, true
+	}
+	inset := 0.02 * (hi - lo)
+	if dir >= 0 {
+		return hi - inset, true
+	}
+	return lo + inset, true
+}
+
+func currentValue(info *dcm.PropInfo) (float64, bool) {
+	if info.Bound == nil || info.Bound.IsString() {
+		return 0, false
+	}
+	return info.Bound.Num(), true
+}
+
+func clampToDomain(dom domain.Domain, v float64) float64 {
+	if reals := dom.Reals(); reals != nil {
+		// Snap to the nearest discrete element.
+		best, bd := reals[0], absF(reals[0]-v)
+		for _, r := range reals[1:] {
+			if d := absF(r - v); d < bd {
+				best, bd = r, d
+			}
+		}
+		return best
+	}
+	iv, ok := dom.Interval()
+	if !ok || iv.IsEmpty() {
+		return v
+	}
+	return iv.Clamp(v)
+}
+
+func sign(v int) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	}
+	return 0
+}
+
+func absF(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func nearlyEqual(a, b float64) bool { return absF(a-b) <= 1e-12 }
+
+// cmpKeys lexicographically compares two score vectors.
+func cmpKeys(a, b [4]int) int {
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] > b[i] {
+				return 1
+			}
+			return -1
+		}
+	}
+	return 0
+}

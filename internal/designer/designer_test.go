@@ -1,0 +1,316 @@
+package designer
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dcm"
+	"repro/internal/dddl"
+	"repro/internal/domain"
+	"repro/internal/dpm"
+)
+
+const designerDoc = `
+scenario designer_test
+
+object Sys owner leader {
+    property Budget real [0, 100]
+}
+object A owner alice {
+    property Pa real [0, 100]
+    property Qa real [0, 10]
+}
+object B owner bob {
+    property Pb real [0, 100]
+}
+
+constraint Split: Pa + Pb <= Budget
+constraint AMin: Pa >= 10
+constraint QaCap: Qa <= 2
+
+problem Top owner leader {
+    constraints { Split }
+}
+problem SubA owner alice {
+    inputs { Budget }
+    outputs { Pa, Qa }
+    constraints { AMin, QaCap }
+}
+problem SubB owner bob {
+    inputs { Budget }
+    outputs { Pb }
+    constraints { }
+}
+
+decompose Top -> SubA, SubB
+require Budget = 60
+`
+
+func newDPM(t *testing.T, mode dpm.Mode) *dpm.DPM {
+	t.Helper()
+	scn, err := dddl.ParseString(designerDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dpm.FromScenario(scn, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func newDesigner(id string, seed int64) *Designer {
+	return New(Config{ID: id, Heuristics: DefaultHeuristics(), Rand: rand.New(rand.NewSource(seed))})
+}
+
+func TestNewPanicsWithoutRand(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New without Rand did not panic")
+		}
+	}()
+	New(Config{ID: "x"})
+}
+
+func TestBindingSmallestSubspaceFirst(t *testing.T) {
+	d := newDPM(t, dpm.ADPM)
+	// Qa's initial range is [0,10] with QaCap <= 2: relative feasible
+	// 0.2. Pa is narrowed by Split and AMin to [10,60]: relative 0.5.
+	// The smallest-subspace heuristic must pick Qa first.
+	al := newDesigner("alice", 1)
+	op := al.SelectOperation(dcm.BuildView(d, "alice"))
+	if op == nil || op.Kind != dpm.OpSynthesis {
+		t.Fatalf("op = %v", op)
+	}
+	if op.Assignments[0].Prop != "Qa" {
+		t.Errorf("first binding = %s, want Qa (smallest feasible subspace)", op.Assignments[0].Prop)
+	}
+	if op.Designer != "alice" || op.Problem != "SubA" {
+		t.Errorf("op attribution: %+v", op)
+	}
+	// The chosen value must come from the feasible subspace [0,2].
+	v := op.Assignments[0].Value.Num()
+	if v < 0 || v > 2 {
+		t.Errorf("value %v outside feasible [0,2]", v)
+	}
+}
+
+func TestBindingConventionalIsRandomWithinInit(t *testing.T) {
+	d := newDPM(t, dpm.Conventional)
+	al := newDesigner("alice", 2)
+	op := al.SelectOperation(dcm.BuildView(d, "alice"))
+	if op == nil || op.Kind != dpm.OpSynthesis {
+		t.Fatalf("op = %v", op)
+	}
+	v := op.Assignments[0].Value.Num()
+	prop := op.Assignments[0].Prop
+	hi := 100.0
+	if prop == "Qa" {
+		hi = 10
+	}
+	if v < 0 || v > hi {
+		t.Errorf("conventional guess %v outside E_i", v)
+	}
+	// Different seeds must eventually give different props/values.
+	seen := map[string]bool{}
+	for s := int64(0); s < 10; s++ {
+		o := newDesigner("alice", s).SelectOperation(dcm.BuildView(d, "alice"))
+		seen[o.Assignments[0].Prop] = true
+	}
+	if len(seen) < 2 {
+		t.Error("conventional binding order shows no randomness across seeds")
+	}
+}
+
+func TestVerificationAfterAllBound(t *testing.T) {
+	d := newDPM(t, dpm.Conventional)
+	mustApply(t, d, dpm.Operation{
+		Kind: dpm.OpSynthesis, Problem: "SubA", Designer: "alice",
+		Assignments: []dpm.Assignment{{Prop: "Pa", Value: domain.Real(40)}},
+	})
+	mustApply(t, d, dpm.Operation{
+		Kind: dpm.OpSynthesis, Problem: "SubA", Designer: "alice",
+		Assignments: []dpm.Assignment{{Prop: "Qa", Value: domain.Real(3)}},
+	})
+	al := newDesigner("alice", 3)
+	op := al.SelectOperation(dcm.BuildView(d, "alice"))
+	if op == nil || op.Kind != dpm.OpVerification || op.Problem != "SubA" {
+		t.Fatalf("op = %v, want verification of SubA", op)
+	}
+}
+
+func TestIdleWhenSolved(t *testing.T) {
+	d := newDPM(t, dpm.Conventional)
+	for _, step := range []dpm.Operation{
+		{Kind: dpm.OpSynthesis, Problem: "SubA", Designer: "alice",
+			Assignments: []dpm.Assignment{{Prop: "Pa", Value: domain.Real(40)}}},
+		{Kind: dpm.OpSynthesis, Problem: "SubA", Designer: "alice",
+			Assignments: []dpm.Assignment{{Prop: "Qa", Value: domain.Real(1)}}},
+		{Kind: dpm.OpVerification, Problem: "SubA", Designer: "alice"},
+	} {
+		mustApply(t, d, step)
+	}
+	al := newDesigner("alice", 4)
+	if op := al.SelectOperation(dcm.BuildView(d, "alice")); op != nil {
+		t.Errorf("solved designer still requested %v", op)
+	}
+}
+
+func TestConflictFixMovesTowardSatisfaction(t *testing.T) {
+	d := newDPM(t, dpm.ADPM)
+	mustApply(t, d, dpm.Operation{
+		Kind: dpm.OpSynthesis, Problem: "SubA", Designer: "alice",
+		Assignments: []dpm.Assignment{{Prop: "Pa", Value: domain.Real(50)}},
+	})
+	mustApply(t, d, dpm.Operation{
+		Kind: dpm.OpSynthesis, Problem: "SubB", Designer: "bob",
+		Assignments: []dpm.Assignment{{Prop: "Pb", Value: domain.Real(50)}},
+	})
+	// Split violated (100 > 60). Bob's fix must decrease Pb.
+	bob := newDesigner("bob", 5)
+	view := dcm.BuildView(d, "bob")
+	if !view.KnowsViolations() {
+		t.Fatal("bob should know the violation in ADPM mode")
+	}
+	op := bob.SelectOperation(view)
+	if op == nil || op.Kind != dpm.OpSynthesis {
+		t.Fatalf("op = %v", op)
+	}
+	if op.Assignments[0].Prop != "Pb" {
+		t.Fatalf("target = %s", op.Assignments[0].Prop)
+	}
+	if got := op.Assignments[0].Value.Num(); got >= 50 {
+		t.Errorf("fix moved Pb to %v, want decrease", got)
+	}
+	if len(op.MotivatedBy) != 1 || op.MotivatedBy[0] != "Split" {
+		t.Errorf("MotivatedBy = %v", op.MotivatedBy)
+	}
+	// The ADPM fix should land inside the movement window [0,10]
+	// (given Pa=50, Budget=60), fixing the violation in one operation.
+	if got := op.Assignments[0].Value.Num(); got > 10+1e-9 {
+		t.Errorf("fix %v outside movement window [0,10]", got)
+	}
+}
+
+func TestConflictFixConventionalDeltaStep(t *testing.T) {
+	d := newDPM(t, dpm.Conventional)
+	for _, step := range []dpm.Operation{
+		{Kind: dpm.OpSynthesis, Problem: "SubA", Designer: "alice",
+			Assignments: []dpm.Assignment{{Prop: "Pa", Value: domain.Real(50)}}},
+		{Kind: dpm.OpSynthesis, Problem: "SubA", Designer: "alice",
+			Assignments: []dpm.Assignment{{Prop: "Qa", Value: domain.Real(3)}}},
+		{Kind: dpm.OpSynthesis, Problem: "SubB", Designer: "bob",
+			Assignments: []dpm.Assignment{{Prop: "Pb", Value: domain.Real(50)}}},
+		{Kind: dpm.OpVerification, Problem: "SubA", Designer: "alice"},
+		{Kind: dpm.OpVerification, Problem: "Top", Designer: "leader"},
+	} {
+		mustApply(t, d, step)
+	}
+	// Split now known violated. With default heuristics the first fix
+	// is the paper's fixed delta of 1%% of |E_i| = 1, so Pb moves to 49.
+	bob := New(Config{ID: "bob", Heuristics: DefaultHeuristics(), DeltaFrac: 0.01,
+		Rand: rand.New(rand.NewSource(6))})
+	op := bob.SelectOperation(dcm.BuildView(d, "bob"))
+	if op == nil || op.Assignments[0].Prop != "Pb" {
+		t.Fatalf("op = %v", op)
+	}
+	got := op.Assignments[0].Value.Num()
+	if got != 49 {
+		t.Errorf("delta step moved Pb to %v, want 49", got)
+	}
+	// With MarginSteps enabled, the step is sized to the margin 40
+	// (50+50-60) with 15%% overshoot: Pb moves to 50 - 46 = 4.
+	h := DefaultHeuristics()
+	h.MarginSteps = true
+	bob2 := New(Config{ID: "bob", Heuristics: h, DeltaFrac: 0.01,
+		Rand: rand.New(rand.NewSource(6))})
+	op = bob2.SelectOperation(dcm.BuildView(d, "bob"))
+	got = op.Assignments[0].Value.Num()
+	if got < 3.9 || got > 4.1 {
+		t.Errorf("margin step moved Pb to %v, want ≈4", got)
+	}
+}
+
+func TestTabuAvoidsRepeatedFailure(t *testing.T) {
+	d := newDPM(t, dpm.ADPM)
+	al := newDesigner("alice", 7)
+	// Fake a failed assignment: alice bound Pa=70 and a violation appeared.
+	view := dcm.BuildView(d, "alice")
+	op := al.SelectOperation(view)
+	if op == nil {
+		t.Fatal("no op")
+	}
+	tr := &dpm.Transition{
+		Op:            *op,
+		NewViolations: []string{"Split"},
+	}
+	al.ObserveTransition(tr)
+	if al.TabuSize() != 1 {
+		t.Fatalf("tabu size = %d", al.TabuSize())
+	}
+	// A transition from another designer must not touch tabu.
+	al.ObserveTransition(&dpm.Transition{
+		Op:            dpm.Operation{Designer: "bob", Kind: dpm.OpSynthesis},
+		NewViolations: []string{"Split"},
+	})
+	if al.TabuSize() != 1 {
+		t.Error("foreign transition affected tabu")
+	}
+	al.ObserveTransition(nil) // no panic
+}
+
+func TestObserveTransitionNoViolationNoTabu(t *testing.T) {
+	d := newDPM(t, dpm.ADPM)
+	al := newDesigner("alice", 8)
+	op := al.SelectOperation(dcm.BuildView(d, "alice"))
+	al.ObserveTransition(&dpm.Transition{Op: *op})
+	if al.TabuSize() != 0 {
+		t.Error("clean transition created tabu entries")
+	}
+}
+
+func TestHeuristicTogglesChangeBehavior(t *testing.T) {
+	d := newDPM(t, dpm.ADPM)
+	// With SmallestSubspace off, the first binding choice across seeds
+	// should not always be Qa.
+	h := DefaultHeuristics()
+	h.SmallestSubspace = false
+	seen := map[string]bool{}
+	for s := int64(0); s < 20; s++ {
+		al := New(Config{ID: "alice", Heuristics: h, Rand: rand.New(rand.NewSource(s))})
+		op := al.SelectOperation(dcm.BuildView(d, "alice"))
+		seen[op.Assignments[0].Prop] = true
+	}
+	if !seen["Pa"] {
+		t.Error("with SmallestSubspace off, Pa never chosen first across 20 seeds")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	for _, mode := range []dpm.Mode{dpm.Conventional, dpm.ADPM} {
+		d1 := newDPM(t, mode)
+		d2 := newDPM(t, mode)
+		a1 := newDesigner("alice", 42)
+		a2 := newDesigner("alice", 42)
+		op1 := a1.SelectOperation(dcm.BuildView(d1, "alice"))
+		op2 := a2.SelectOperation(dcm.BuildView(d2, "alice"))
+		if op1.String() != op2.String() {
+			t.Errorf("mode %v: same seed, different ops: %v vs %v", mode, op1, op2)
+		}
+	}
+}
+
+func TestLeaderIdlesWhileChildrenOpen(t *testing.T) {
+	d := newDPM(t, dpm.Conventional)
+	lead := newDesigner("leader", 9)
+	if op := lead.SelectOperation(dcm.BuildView(d, "leader")); op != nil {
+		t.Errorf("leader acted while Top is Waiting: %v", op)
+	}
+}
+
+func mustApply(t *testing.T, d *dpm.DPM, op dpm.Operation) {
+	t.Helper()
+	if _, err := d.Apply(op); err != nil {
+		t.Fatal(err)
+	}
+}

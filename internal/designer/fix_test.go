@@ -1,0 +1,340 @@
+package designer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dcm"
+	"repro/internal/dddl"
+	"repro/internal/domain"
+	"repro/internal/dpm"
+)
+
+// fixDoc is a one-designer conflict scenario: a single variable with a
+// floor requirement, so the fix direction and step sizes are exactly
+// predictable.
+const fixDoc = `
+scenario fix_test
+
+object Specs {
+    property MinOut real [0, 1000]
+}
+object Blk owner eng {
+    property X real [0, 100]
+
+    derived Out real [0, 1000] = 2 * X
+}
+constraint OutSpec: Out >= MinOut
+
+problem Top owner lead {
+    inputs { MinOut }
+    constraints { OutSpec }
+}
+problem Work owner eng {
+    outputs { X }
+    constraints { }
+}
+decompose Top -> Work
+require MinOut = 100
+`
+
+func fixProcess(t *testing.T, mode dpm.Mode) *dpm.DPM {
+	t.Helper()
+	scn, err := dddl.ParseString(fixDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dpm.FromScenario(scn, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// driveToConflict binds X low and (in conventional mode) verifies so the
+// violation is known.
+func driveToConflict(t *testing.T, d *dpm.DPM, x float64) {
+	t.Helper()
+	if _, err := d.Apply(dpm.Operation{
+		Kind: dpm.OpSynthesis, Problem: "Work", Designer: "eng",
+		Assignments: []dpm.Assignment{{Prop: "X", Value: domain.Real(x)}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Mode == dpm.Conventional {
+		if _, err := d.Apply(dpm.Operation{
+			Kind: dpm.OpVerification, Problem: "Top", Designer: "lead",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFixStepDoublesOnRepeatedAttempts(t *testing.T) {
+	d := fixProcess(t, dpm.Conventional)
+	driveToConflict(t, d, 10) // Out = 20 < 100
+	eng := New(Config{ID: "eng", Heuristics: DefaultHeuristics(),
+		Rand: rand.New(rand.NewSource(1))})
+
+	var steps []float64
+	cur := 10.0
+	for i := 0; i < 4; i++ {
+		view := dcm.BuildView(d, "eng")
+		if !view.KnowsViolations() {
+			// Re-verify to rediscover the (still present) violation.
+			if _, err := d.Apply(dpm.Operation{
+				Kind: dpm.OpVerification, Problem: "Top", Designer: "lead",
+			}); err != nil {
+				t.Fatal(err)
+			}
+			view = dcm.BuildView(d, "eng")
+		}
+		op := eng.SelectOperation(view)
+		if op == nil || op.Kind != dpm.OpSynthesis {
+			t.Fatalf("iteration %d: op = %v", i, op)
+		}
+		next := op.Assignments[0].Value.Num()
+		steps = append(steps, next-cur)
+		tr, err := d.Apply(*op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.ObserveTransition(tr)
+		cur = next
+	}
+	// The paper's delta is 1% of |E_i| = 1; repeats double: 1, 2, 4, 8.
+	want := []float64{1, 2, 4, 8}
+	for i, w := range want {
+		if math.Abs(steps[i]-w) > 1e-9 {
+			t.Errorf("step %d = %v, want %v (steps %v)", i, steps[i], w, steps)
+		}
+	}
+}
+
+func TestMarginStepsJumpToEstimate(t *testing.T) {
+	d := fixProcess(t, dpm.Conventional)
+	driveToConflict(t, d, 10) // Out = 20, margin 80, dOut/dX = 2 → step 40·1.15
+	h := DefaultHeuristics()
+	h.MarginSteps = true
+	eng := New(Config{ID: "eng", Heuristics: h, Rand: rand.New(rand.NewSource(1))})
+	op := eng.SelectOperation(dcm.BuildView(d, "eng"))
+	if op == nil {
+		t.Fatal("no op")
+	}
+	got := op.Assignments[0].Value.Num()
+	want := 10 + 40*1.15
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("margin step moved X to %v, want %v", got, want)
+	}
+}
+
+func TestADPMFixUsesWindowWithInset(t *testing.T) {
+	d := fixProcess(t, dpm.ADPM)
+	driveToConflict(t, d, 10)
+	eng := New(Config{ID: "eng", Heuristics: DefaultHeuristics(),
+		Rand: rand.New(rand.NewSource(1))})
+	op := eng.SelectOperation(dcm.BuildView(d, "eng"))
+	if op == nil {
+		t.Fatal("no op")
+	}
+	got := op.Assignments[0].Value.Num()
+	// Movement window for X is [50, 100]; direction +1 picks the top
+	// inset by 2% of the width: 100 - 0.02·50 = 99.
+	if math.Abs(got-99) > 0.2 {
+		t.Errorf("window fix moved X to %v, want ≈99", got)
+	}
+	// One operation resolves the conflict.
+	tr, err := d.Apply(*op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.ViolationsAfter) != 0 {
+		t.Errorf("violations after window fix: %v", tr.ViolationsAfter)
+	}
+}
+
+func TestAvoidRepeatsBreaksCycles(t *testing.T) {
+	d := fixProcess(t, dpm.ADPM)
+	driveToConflict(t, d, 10)
+	eng := New(Config{ID: "eng", Heuristics: DefaultHeuristics(),
+		Rand: rand.New(rand.NewSource(1))})
+	view := dcm.BuildView(d, "eng")
+	op1 := eng.SelectOperation(view)
+	v1 := op1.Assignments[0].Value.Num()
+	// Pretend the fix was applied and failed (violations persist), then
+	// the same conflict recurs: the designer must not repeat v1 exactly.
+	eng.ObserveTransition(&dpm.Transition{
+		Op:               *op1,
+		ViolationsBefore: []string{"OutSpec"},
+		ViolationsAfter:  []string{"OutSpec"},
+	})
+	op2 := eng.SelectOperation(view)
+	if op2 == nil {
+		t.Fatal("no second op")
+	}
+	if v2 := op2.Assignments[0].Value.Num(); v2 == v1 {
+		t.Errorf("designer repeated the exact failed value %v", v1)
+	}
+}
+
+func TestTabuDemotionShiftsCandidates(t *testing.T) {
+	// Two-variable conflict: with heavy tabu on one variable the
+	// designer must switch to the other.
+	const doc = `
+scenario demote
+
+object Specs {
+    property MinOut real [0, 1000]
+}
+object Blk owner eng {
+    property A real [0, 100]
+    property B real [0, 100]
+
+    derived Out real [0, 1000] = A + B
+}
+constraint OutSpec: Out >= MinOut
+
+problem Top owner lead {
+    inputs { MinOut }
+    constraints { OutSpec }
+}
+problem Work owner eng {
+    outputs { A, B }
+    constraints { }
+}
+decompose Top -> Work
+require MinOut = 150
+`
+	scn, err := dddl.ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dpm.FromScenario(scn, dpm.ADPM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"A", "B"} {
+		if _, err := d.Apply(dpm.Operation{
+			Kind: dpm.OpSynthesis, Problem: "Work", Designer: "eng",
+			Assignments: []dpm.Assignment{{Prop: p, Value: domain.Real(10)}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng := New(Config{ID: "eng", Heuristics: DefaultHeuristics(),
+		Rand: rand.New(rand.NewSource(3))})
+	// Pre-load failure history for A only.
+	for i := 0; i < 5; i++ {
+		eng.markTabu("A", float64(i))
+	}
+	view := dcm.BuildView(d, "eng")
+	counts := map[string]int{}
+	for i := 0; i < 10; i++ {
+		e := New(Config{ID: "eng", Heuristics: DefaultHeuristics(),
+			Rand: rand.New(rand.NewSource(int64(i)))})
+		for j := 0; j < 5; j++ {
+			e.markTabu("A", float64(j))
+		}
+		op := e.SelectOperation(view)
+		counts[op.Assignments[0].Prop]++
+	}
+	if counts["B"] != 10 {
+		t.Errorf("tabu-demoted A still chosen: counts %v", counts)
+	}
+}
+
+func TestCoordinatedFixEmitsMultiAssignment(t *testing.T) {
+	// Two outputs locked in a joint conflict: Out = A + B must be >= 150
+	// while each variable alone caps at 100, and both sit low. With the
+	// candidate's movement window empty... here windows are non-empty, so
+	// drive the prolonged-conflict trigger by pre-loading tabu history.
+	const doc = `
+scenario coord
+
+object Specs {
+    property MinOut real [0, 1000]
+}
+object Blk owner eng {
+    property A real [0, 100]
+    property B real [0, 100]
+
+    derived Out real [0, 1000] = A + B
+}
+constraint OutSpec: Out >= MinOut
+
+problem Top owner lead {
+    inputs { MinOut }
+    constraints { OutSpec }
+}
+problem Work owner eng {
+    outputs { A, B }
+    constraints { }
+}
+decompose Top -> Work
+require MinOut = 150
+`
+	scn, err := dddl.ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dpm.FromScenario(scn, dpm.ADPM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"A", "B"} {
+		if _, err := d.Apply(dpm.Operation{
+			Kind: dpm.OpSynthesis, Problem: "Work", Designer: "eng",
+			Assignments: []dpm.Assignment{{Prop: p, Value: domain.Real(10)}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng := New(Config{ID: "eng", Heuristics: DefaultHeuristics(),
+		Rand: rand.New(rand.NewSource(1))})
+	for i := 0; i < 5; i++ {
+		eng.markTabu("A", float64(i))
+		eng.markTabu("B", float64(i))
+	}
+	view := dcm.BuildView(d, "eng")
+	if view.Resynthesize == nil {
+		t.Fatal("ADPM view missing resynthesis hook")
+	}
+	op := eng.SelectOperation(view)
+	if op == nil || op.Kind != dpm.OpSynthesis {
+		t.Fatalf("op = %v", op)
+	}
+	if len(op.Assignments) != 2 {
+		t.Fatalf("coordinated fix should reassign both outputs, got %v", op.Assignments)
+	}
+	// Applying it resolves the conflict in one operation.
+	tr, err := d.Apply(*op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.ViolationsAfter) != 0 {
+		t.Errorf("violations after coordinated fix: %v", tr.ViolationsAfter)
+	}
+	sum := op.Assignments[0].Value.Num() + op.Assignments[1].Value.Num()
+	if sum < 150 {
+		t.Errorf("joint assignment sums to %v < 150", sum)
+	}
+}
+
+func TestCoordinatedFixDisabledFallsBack(t *testing.T) {
+	h := DefaultHeuristics()
+	h.CoordinatedFix = false
+	d := fixProcess(t, dpm.ADPM)
+	driveToConflict(t, d, 10)
+	eng := New(Config{ID: "eng", Heuristics: h, Rand: rand.New(rand.NewSource(1))})
+	for i := 0; i < 10; i++ {
+		eng.markTabu("X", float64(200+i))
+	}
+	op := eng.SelectOperation(dcm.BuildView(d, "eng"))
+	if op == nil {
+		t.Fatal("no op")
+	}
+	if len(op.Assignments) != 1 {
+		t.Errorf("with CoordinatedFix off the fix should be single-variable, got %v", op.Assignments)
+	}
+}

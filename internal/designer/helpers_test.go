@@ -1,0 +1,148 @@
+package designer
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dcm"
+	"repro/internal/domain"
+	"repro/internal/interval"
+)
+
+func TestValueByDirection(t *testing.T) {
+	c := domain.NewInterval(0, 100)
+	top, ok := valueByDirection(c, +1)
+	if !ok || top != 98 { // 2% inset from 100
+		t.Errorf("top = %v, %v", top, ok)
+	}
+	bot, _ := valueByDirection(c, -1)
+	if bot != 2 {
+		t.Errorf("bottom = %v", bot)
+	}
+	// Discrete domains use true endpoints.
+	d := domain.NewRealSet(1, 5, 9)
+	if v, _ := valueByDirection(d, +1); v != 9 {
+		t.Errorf("discrete top = %v", v)
+	}
+	if v, _ := valueByDirection(d, -1); v != 1 {
+		t.Errorf("discrete bottom = %v", v)
+	}
+	// Unbounded and string domains report failure.
+	if _, ok := valueByDirection(domain.FromInterval(interval.Entire()), 1); ok {
+		t.Error("unbounded domain should fail")
+	}
+	if _, ok := valueByDirection(domain.NewStringSet("a"), 1); ok {
+		t.Error("string domain should fail")
+	}
+}
+
+func TestClampToDomain(t *testing.T) {
+	c := domain.NewInterval(2, 8)
+	if clampToDomain(c, 1) != 2 || clampToDomain(c, 9) != 8 || clampToDomain(c, 5) != 5 {
+		t.Error("continuous clamp wrong")
+	}
+	// Discrete snaps to the nearest set element.
+	d := domain.NewRealSet(1, 5, 9)
+	if clampToDomain(d, 2) != 1 || clampToDomain(d, 4) != 5 || clampToDomain(d, 100) != 9 {
+		t.Error("discrete snap wrong")
+	}
+	// String domain: value passes through.
+	if clampToDomain(domain.NewStringSet("a"), 7) != 7 {
+		t.Error("string clamp should pass through")
+	}
+}
+
+func TestCurrentValue(t *testing.T) {
+	b := domain.Real(4)
+	info := &dcm.PropInfo{Bound: &b}
+	if v, ok := currentValue(info); !ok || v != 4 {
+		t.Error("bound numeric value lost")
+	}
+	if _, ok := currentValue(&dcm.PropInfo{}); ok {
+		t.Error("unbound should report false")
+	}
+	s := domain.Str("x")
+	if _, ok := currentValue(&dcm.PropInfo{Bound: &s}); ok {
+		t.Error("string binding should report false")
+	}
+}
+
+func TestDeltaSizing(t *testing.T) {
+	d := New(Config{ID: "x", Rand: rand.New(rand.NewSource(1)), DeltaFrac: 0.01})
+	// Continuous: 1% of |E_i|.
+	if got := d.delta(&dcm.PropInfo{Name: "a", Init: domain.NewInterval(0, 200)}); got != 2 {
+		t.Errorf("continuous delta = %v", got)
+	}
+	// Discrete: one inter-element gap (range / (n-1)).
+	if got := d.delta(&dcm.PropInfo{Name: "b", Init: domain.NewRealSet(1, 2, 5)}); got != 2 {
+		t.Errorf("discrete delta = %v", got)
+	}
+	// Single-element set: unit step.
+	if got := d.delta(&dcm.PropInfo{Name: "c", Init: domain.NewRealSet(7)}); got != 1 {
+		t.Errorf("singleton delta = %v", got)
+	}
+	// Degenerate continuous: unit step.
+	if got := d.delta(&dcm.PropInfo{Name: "d", Init: domain.NewInterval(3, 3)}); got != 1 {
+		t.Errorf("degenerate delta = %v", got)
+	}
+}
+
+func TestRandomInDomain(t *testing.T) {
+	d := New(Config{ID: "x", Rand: rand.New(rand.NewSource(2))})
+	for i := 0; i < 20; i++ {
+		v := d.randomInDomain(domain.NewInterval(5, 6))
+		if v < 5 || v > 6 {
+			t.Fatalf("random %v outside [5,6]", v)
+		}
+	}
+	set := domain.NewRealSet(1, 2, 3)
+	for i := 0; i < 20; i++ {
+		v := d.randomInDomain(set)
+		if v != 1 && v != 2 && v != 3 {
+			t.Fatalf("random %v outside set", v)
+		}
+	}
+	// Unbounded: midpoint fallback; empty: zero.
+	if v := d.randomInDomain(domain.FromInterval(interval.Entire())); v != 0 {
+		t.Errorf("unbounded random = %v", v)
+	}
+	if v := d.randomInDomain(domain.Empty(domain.Continuous)); v != 0 {
+		t.Errorf("empty random = %v", v)
+	}
+}
+
+func TestInitialGuess(t *testing.T) {
+	d := New(Config{ID: "x", Rand: rand.New(rand.NewSource(3))})
+	info := &dcm.PropInfo{Name: "p", Init: domain.NewInterval(0, 100)}
+	if v := d.initialGuess(info, +1); v != 98 {
+		t.Errorf("guess up = %v", v)
+	}
+	if v := d.initialGuess(info, -1); v != 2 {
+		t.Errorf("guess down = %v", v)
+	}
+	// Unbounded: falls back to random (mid of entire = 0).
+	ub := &dcm.PropInfo{Name: "q", Init: domain.FromInterval(interval.Entire())}
+	if v := d.initialGuess(ub, +1); v != 0 {
+		t.Errorf("unbounded guess = %v", v)
+	}
+}
+
+func TestApplyTabuWalksAway(t *testing.T) {
+	d := New(Config{ID: "x", Heuristics: DefaultHeuristics(), Rand: rand.New(rand.NewSource(4))})
+	info := &dcm.PropInfo{Name: "p", Init: domain.NewInterval(0, 100)}
+	// Nothing tabu: value passes through.
+	if v := d.applyTabu(info, 50, +1); v != 50 {
+		t.Errorf("clean applyTabu = %v", v)
+	}
+	// Tabu value: nudged off it.
+	d.markTabu("p", 50)
+	if v := d.applyTabu(info, 50, +1); v == 50 {
+		t.Error("tabu value returned unchanged")
+	}
+	// Heuristic off: tabu ignored.
+	d2 := New(Config{ID: "y", Rand: rand.New(rand.NewSource(5))})
+	d2.markTabu("p", 50)
+	if v := d2.applyTabu(info, 50, +1); v != 50 {
+		t.Error("tabu applied with heuristic off")
+	}
+}

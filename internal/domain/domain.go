@@ -1,0 +1,460 @@
+// Package domain models the value ranges E_i of design properties and
+// their feasible subsets v_F(a_i) (paper §2.1, §2.3.1).
+//
+// The paper allows property values to be "numbers, strings, tuples, or
+// complex descriptions". This package supports the forms the evaluation
+// actually exercises: continuous real intervals (circuit and device
+// parameters), finite sets of reals (enumerated choices such as standard
+// component values), and finite sets of strings (categorical properties
+// such as abstraction levels in Fig. 2).
+package domain
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/interval"
+)
+
+// Kind discriminates the representation of a Domain.
+type Kind int
+
+const (
+	// Continuous domains are real intervals.
+	Continuous Kind = iota
+	// DiscreteReal domains are finite sorted sets of reals.
+	DiscreteReal
+	// DiscreteString domains are finite sorted sets of strings.
+	DiscreteString
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Continuous:
+		return "continuous"
+	case DiscreteReal:
+		return "discrete-real"
+	case DiscreteString:
+		return "discrete-string"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Value is a single property value: either a real number or a string.
+type Value struct {
+	num   float64
+	str   string
+	isStr bool
+}
+
+// Real returns a numeric Value.
+func Real(v float64) Value { return Value{num: v} }
+
+// Str returns a string Value.
+func Str(s string) Value { return Value{str: s, isStr: true} }
+
+// IsString reports whether the value is a string.
+func (v Value) IsString() bool { return v.isStr }
+
+// Num returns the numeric payload (0 for string values).
+func (v Value) Num() float64 { return v.num }
+
+// Text returns the string payload ("" for numeric values).
+func (v Value) Text() string { return v.str }
+
+// Equal reports whether two values are identical.
+func (v Value) Equal(o Value) bool {
+	if v.isStr != o.isStr {
+		return false
+	}
+	if v.isStr {
+		return v.str == o.str
+	}
+	return v.num == o.num
+}
+
+// String formats the value.
+func (v Value) String() string {
+	if v.isStr {
+		return fmt.Sprintf("%q", v.str)
+	}
+	return fmt.Sprintf("%g", v.num)
+}
+
+// Domain is an immutable set of candidate values for a property.
+// The zero Domain is an empty continuous domain.
+type Domain struct {
+	kind  Kind
+	iv    interval.Interval
+	reals []float64 // sorted, deduplicated
+	strs  []string  // sorted, deduplicated
+}
+
+// FromInterval returns a continuous domain over iv.
+func FromInterval(iv interval.Interval) Domain {
+	return Domain{kind: Continuous, iv: iv}
+}
+
+// NewInterval returns the continuous domain [lo, hi].
+func NewInterval(lo, hi float64) Domain {
+	return FromInterval(interval.New(lo, hi))
+}
+
+// NewRealSet returns a discrete domain over the given reals.
+func NewRealSet(vals ...float64) Domain {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	s = dedupFloats(s)
+	return Domain{kind: DiscreteReal, reals: s}
+}
+
+// NewStringSet returns a discrete domain over the given strings.
+func NewStringSet(vals ...string) Domain {
+	s := append([]string(nil), vals...)
+	sort.Strings(s)
+	s = dedupStrings(s)
+	return Domain{kind: DiscreteString, strs: s}
+}
+
+// Empty returns an empty domain of the given kind.
+func Empty(k Kind) Domain {
+	switch k {
+	case Continuous:
+		return FromInterval(interval.Empty())
+	case DiscreteReal:
+		return Domain{kind: DiscreteReal}
+	default:
+		return Domain{kind: DiscreteString}
+	}
+}
+
+func dedupFloats(s []float64) []float64 {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func dedupStrings(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Kind returns the domain's representation kind.
+func (d Domain) Kind() Kind { return d.kind }
+
+// IsNumeric reports whether the domain holds numbers.
+func (d Domain) IsNumeric() bool { return d.kind != DiscreteString }
+
+// IsEmpty reports whether no values remain.
+func (d Domain) IsEmpty() bool {
+	switch d.kind {
+	case Continuous:
+		return d.iv.IsEmpty()
+	case DiscreteReal:
+		return len(d.reals) == 0
+	default:
+		return len(d.strs) == 0
+	}
+}
+
+// Interval returns the tightest interval enclosure of a numeric domain
+// and false for string domains. This is how discrete-real domains enter
+// interval constraint propagation.
+func (d Domain) Interval() (interval.Interval, bool) {
+	switch d.kind {
+	case Continuous:
+		return d.iv, true
+	case DiscreteReal:
+		if len(d.reals) == 0 {
+			return interval.Empty(), true
+		}
+		return interval.New(d.reals[0], d.reals[len(d.reals)-1]), true
+	default:
+		return interval.Interval{}, false
+	}
+}
+
+// Reals returns the value list of a discrete-real domain (nil otherwise).
+// The returned slice must not be modified.
+func (d Domain) Reals() []float64 {
+	if d.kind != DiscreteReal {
+		return nil
+	}
+	return d.reals
+}
+
+// Strings returns the value list of a discrete-string domain.
+// The returned slice must not be modified.
+func (d Domain) Strings() []string {
+	if d.kind != DiscreteString {
+		return nil
+	}
+	return d.strs
+}
+
+// Contains reports whether v belongs to the domain.
+func (d Domain) Contains(v Value) bool {
+	switch d.kind {
+	case Continuous:
+		return !v.IsString() && d.iv.Contains(v.Num())
+	case DiscreteReal:
+		if v.IsString() {
+			return false
+		}
+		i := sort.SearchFloat64s(d.reals, v.Num())
+		return i < len(d.reals) && d.reals[i] == v.Num()
+	default:
+		if !v.IsString() {
+			return false
+		}
+		i := sort.SearchStrings(d.strs, v.Text())
+		return i < len(d.strs) && d.strs[i] == v.Text()
+	}
+}
+
+// Count returns the number of values in a discrete domain, or -1 for a
+// non-degenerate continuous one (0 and 1 are reported exactly).
+func (d Domain) Count() int {
+	switch d.kind {
+	case Continuous:
+		if d.iv.IsEmpty() {
+			return 0
+		}
+		if d.iv.IsPoint() {
+			return 1
+		}
+		return -1
+	case DiscreteReal:
+		return len(d.reals)
+	default:
+		return len(d.strs)
+	}
+}
+
+// Measure returns a non-negative size for the domain: interval width
+// for continuous domains and element count for discrete ones.
+func (d Domain) Measure() float64 {
+	switch d.kind {
+	case Continuous:
+		return d.iv.Width()
+	case DiscreteReal:
+		return float64(len(d.reals))
+	default:
+		return float64(len(d.strs))
+	}
+}
+
+// RelativeSize returns Measure(d)/Measure(initial) clamped to [0,1].
+// The paper notes (§2.4.1 footnote) that raw value-set size is
+// unit-dependent; normalizing by the property's initial range E_i makes
+// the smallest-feasible-subspace heuristic unit-free.
+func (d Domain) RelativeSize(initial Domain) float64 {
+	m0 := initial.Measure()
+	if m0 <= 0 || math.IsInf(m0, 1) {
+		if d.IsEmpty() {
+			return 0
+		}
+		return 1
+	}
+	r := d.Measure() / m0
+	if r < 0 {
+		return 0
+	}
+	if r > 1 {
+		return 1
+	}
+	return r
+}
+
+// Intersect returns the set intersection. Mixing a continuous and a
+// discrete-real domain filters the discrete values by the interval.
+// Intersecting numeric with string domains yields an empty domain.
+func (d Domain) Intersect(o Domain) Domain {
+	switch {
+	case d.kind == Continuous && o.kind == Continuous:
+		return FromInterval(d.iv.Intersect(o.iv))
+	case d.kind == DiscreteString && o.kind == DiscreteString:
+		var out []string
+		for _, s := range d.strs {
+			i := sort.SearchStrings(o.strs, s)
+			if i < len(o.strs) && o.strs[i] == s {
+				out = append(out, s)
+			}
+		}
+		return Domain{kind: DiscreteString, strs: out}
+	case d.kind == DiscreteReal && o.kind == DiscreteReal:
+		var out []float64
+		for _, v := range d.reals {
+			i := sort.SearchFloat64s(o.reals, v)
+			if i < len(o.reals) && o.reals[i] == v {
+				out = append(out, v)
+			}
+		}
+		return Domain{kind: DiscreteReal, reals: out}
+	case d.kind == DiscreteReal && o.kind == Continuous:
+		var out []float64
+		for _, v := range d.reals {
+			if o.iv.Contains(v) {
+				out = append(out, v)
+			}
+		}
+		return Domain{kind: DiscreteReal, reals: out}
+	case d.kind == Continuous && o.kind == DiscreteReal:
+		return o.Intersect(d)
+	default:
+		// numeric vs string: incompatible
+		return Empty(d.kind)
+	}
+}
+
+// NarrowTo returns the domain restricted to the interval iv, preserving
+// the domain's own kind. String domains are returned unchanged (interval
+// propagation does not constrain them).
+func (d Domain) NarrowTo(iv interval.Interval) Domain {
+	switch d.kind {
+	case Continuous:
+		return FromInterval(d.iv.Intersect(iv))
+	case DiscreteReal:
+		var out []float64
+		for _, v := range d.reals {
+			if iv.Contains(v) {
+				out = append(out, v)
+			}
+		}
+		return Domain{kind: DiscreteReal, reals: out}
+	default:
+		return d
+	}
+}
+
+// Equal reports set equality of two domains of the same kind.
+func (d Domain) Equal(o Domain) bool {
+	if d.kind != o.kind {
+		return false
+	}
+	switch d.kind {
+	case Continuous:
+		return d.iv.Equal(o.iv)
+	case DiscreteReal:
+		if len(d.reals) != len(o.reals) {
+			return false
+		}
+		for i := range d.reals {
+			if d.reals[i] != o.reals[i] {
+				return false
+			}
+		}
+		return true
+	default:
+		if len(d.strs) != len(o.strs) {
+			return false
+		}
+		for i := range d.strs {
+			if d.strs[i] != o.strs[i] {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Min returns the smallest value of a non-empty numeric domain.
+func (d Domain) Min() (float64, bool) {
+	switch d.kind {
+	case Continuous:
+		if d.iv.IsEmpty() || math.IsInf(d.iv.Lo, -1) {
+			return 0, false
+		}
+		return d.iv.Lo, true
+	case DiscreteReal:
+		if len(d.reals) == 0 {
+			return 0, false
+		}
+		return d.reals[0], true
+	}
+	return 0, false
+}
+
+// Max returns the largest value of a non-empty numeric domain.
+func (d Domain) Max() (float64, bool) {
+	switch d.kind {
+	case Continuous:
+		if d.iv.IsEmpty() || math.IsInf(d.iv.Hi, 1) {
+			return 0, false
+		}
+		return d.iv.Hi, true
+	case DiscreteReal:
+		if len(d.reals) == 0 {
+			return 0, false
+		}
+		return d.reals[len(d.reals)-1], true
+	}
+	return 0, false
+}
+
+// Mid returns a central value of a non-empty numeric domain.
+func (d Domain) Mid() (float64, bool) {
+	switch d.kind {
+	case Continuous:
+		if d.iv.IsEmpty() {
+			return 0, false
+		}
+		return d.iv.Mid(), true
+	case DiscreteReal:
+		if len(d.reals) == 0 {
+			return 0, false
+		}
+		return d.reals[len(d.reals)/2], true
+	}
+	return 0, false
+}
+
+// Sample returns up to n representative numeric values.
+func (d Domain) Sample(n int) []float64 {
+	switch d.kind {
+	case Continuous:
+		return d.iv.Sample(n, 1e9)
+	case DiscreteReal:
+		if n >= len(d.reals) {
+			return append([]float64(nil), d.reals...)
+		}
+		out := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, d.reals[i*len(d.reals)/n])
+		}
+		return out
+	}
+	return nil
+}
+
+// String formats the domain compactly.
+func (d Domain) String() string {
+	switch d.kind {
+	case Continuous:
+		return d.iv.String()
+	case DiscreteReal:
+		parts := make([]string, len(d.reals))
+		for i, v := range d.reals {
+			parts[i] = fmt.Sprintf("%g", v)
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	default:
+		parts := make([]string, len(d.strs))
+		for i, s := range d.strs {
+			parts[i] = fmt.Sprintf("%q", s)
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	}
+}

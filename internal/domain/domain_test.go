@@ -1,0 +1,353 @@
+package domain
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/interval"
+)
+
+func TestValue(t *testing.T) {
+	r := Real(3.5)
+	s := Str("geometry")
+	if r.IsString() || !s.IsString() {
+		t.Fatal("IsString misclassifies")
+	}
+	if r.Num() != 3.5 || s.Text() != "geometry" {
+		t.Fatal("payload accessors broken")
+	}
+	if !r.Equal(Real(3.5)) || r.Equal(Real(4)) || r.Equal(s) {
+		t.Fatal("Equal misbehaves")
+	}
+	if r.String() != "3.5" || s.String() != `"geometry"` {
+		t.Fatalf("String: %q %q", r.String(), s.String())
+	}
+}
+
+func TestContinuousDomain(t *testing.T) {
+	d := NewInterval(1, 5)
+	if d.Kind() != Continuous || !d.IsNumeric() {
+		t.Fatal("kind wrong")
+	}
+	if d.IsEmpty() {
+		t.Fatal("non-empty domain reported empty")
+	}
+	if !d.Contains(Real(3)) || d.Contains(Real(6)) || d.Contains(Str("x")) {
+		t.Fatal("Contains wrong")
+	}
+	if d.Measure() != 4 {
+		t.Fatalf("Measure = %v", d.Measure())
+	}
+	iv, ok := d.Interval()
+	if !ok || !iv.Equal(interval.New(1, 5)) {
+		t.Fatal("Interval accessor wrong")
+	}
+	if d.Count() != -1 || NewInterval(2, 2).Count() != 1 || Empty(Continuous).Count() != 0 {
+		t.Fatal("Count wrong")
+	}
+	mn, ok := d.Min()
+	if !ok || mn != 1 {
+		t.Fatal("Min wrong")
+	}
+	mx, _ := d.Max()
+	if mx != 5 {
+		t.Fatal("Max wrong")
+	}
+	md, _ := d.Mid()
+	if md != 3 {
+		t.Fatal("Mid wrong")
+	}
+}
+
+func TestDiscreteRealDomain(t *testing.T) {
+	d := NewRealSet(3, 1, 2, 2, 1)
+	if d.Count() != 3 {
+		t.Fatalf("dedup failed: %v", d)
+	}
+	if got := d.String(); got != "{1, 2, 3}" {
+		t.Fatalf("String = %q", got)
+	}
+	if !d.Contains(Real(2)) || d.Contains(Real(2.5)) {
+		t.Fatal("Contains wrong")
+	}
+	iv, ok := d.Interval()
+	if !ok || !iv.Equal(interval.New(1, 3)) {
+		t.Fatalf("hull = %v", iv)
+	}
+	mn, _ := d.Min()
+	mx, _ := d.Max()
+	md, _ := d.Mid()
+	if mn != 1 || mx != 3 || md != 2 {
+		t.Fatalf("min/mid/max = %v/%v/%v", mn, md, mx)
+	}
+	if d.Measure() != 3 {
+		t.Fatal("Measure should be count")
+	}
+}
+
+func TestStringDomain(t *testing.T) {
+	d := NewStringSet("Transistor", "Geometry", "Geometry")
+	if d.Count() != 2 || d.IsNumeric() {
+		t.Fatalf("string set wrong: %v", d)
+	}
+	if !d.Contains(Str("Geometry")) || d.Contains(Str("RTL")) || d.Contains(Real(1)) {
+		t.Fatal("Contains wrong")
+	}
+	if _, ok := d.Interval(); ok {
+		t.Fatal("string domain should not expose an interval")
+	}
+	got := d.Strings()
+	if len(got) != 2 || got[0] != "Geometry" || got[1] != "Transistor" {
+		t.Fatalf("Strings = %v", got)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	cases := []struct {
+		a, b, want Domain
+	}{
+		{NewInterval(0, 5), NewInterval(3, 9), NewInterval(3, 5)},
+		{NewRealSet(1, 2, 3, 4), NewRealSet(2, 4, 6), NewRealSet(2, 4)},
+		{NewRealSet(1, 2, 3, 4), NewInterval(1.5, 3.5), NewRealSet(2, 3)},
+		{NewInterval(1.5, 3.5), NewRealSet(1, 2, 3, 4), NewRealSet(2, 3)},
+		{NewStringSet("a", "b"), NewStringSet("b", "c"), NewStringSet("b")},
+		{NewInterval(0, 1), NewStringSet("x"), Empty(Continuous)},
+	}
+	for i, c := range cases {
+		got := c.a.Intersect(c.b)
+		if !got.Equal(c.want) {
+			t.Errorf("case %d: %v ∩ %v = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNarrowTo(t *testing.T) {
+	if got := NewInterval(0, 10).NarrowTo(interval.New(3, 20)); !got.Equal(NewInterval(3, 10)) {
+		t.Errorf("NarrowTo continuous = %v", got)
+	}
+	if got := NewRealSet(1, 5, 9).NarrowTo(interval.New(2, 9)); !got.Equal(NewRealSet(5, 9)) {
+		t.Errorf("NarrowTo discrete = %v", got)
+	}
+	s := NewStringSet("a")
+	if got := s.NarrowTo(interval.New(0, 1)); !got.Equal(s) {
+		t.Errorf("NarrowTo string changed domain: %v", got)
+	}
+}
+
+func TestRelativeSize(t *testing.T) {
+	init := NewInterval(0, 100)
+	if r := NewInterval(0, 25).RelativeSize(init); r != 0.25 {
+		t.Errorf("RelativeSize = %v", r)
+	}
+	if r := Empty(Continuous).RelativeSize(init); r != 0 {
+		t.Errorf("empty RelativeSize = %v", r)
+	}
+	// wider than initial clamps to 1
+	if r := NewInterval(0, 500).RelativeSize(init); r != 1 {
+		t.Errorf("clamped RelativeSize = %v", r)
+	}
+	// zero-measure initial: point feasible = 1, empty = 0
+	p := NewInterval(5, 5)
+	if r := p.RelativeSize(p); r != 1 {
+		t.Errorf("point/point = %v", r)
+	}
+	if r := Empty(Continuous).RelativeSize(p); r != 0 {
+		t.Errorf("empty/point = %v", r)
+	}
+	// discrete
+	if r := NewRealSet(1, 2).RelativeSize(NewRealSet(1, 2, 3, 4)); r != 0.5 {
+		t.Errorf("discrete RelativeSize = %v", r)
+	}
+}
+
+func TestSample(t *testing.T) {
+	s := NewInterval(0, 10).Sample(3)
+	if len(s) != 3 || s[0] != 0 || s[2] != 10 {
+		t.Errorf("continuous Sample = %v", s)
+	}
+	s = NewRealSet(1, 2, 3).Sample(10)
+	if len(s) != 3 {
+		t.Errorf("discrete Sample = %v", s)
+	}
+	s = NewRealSet(1, 2, 3, 4, 5, 6).Sample(2)
+	if len(s) != 2 {
+		t.Errorf("discrete Sample capped = %v", s)
+	}
+	if NewStringSet("a").Sample(2) != nil {
+		t.Error("string Sample should be nil")
+	}
+}
+
+func TestEqualAcrossKinds(t *testing.T) {
+	if NewInterval(1, 2).Equal(NewRealSet(1, 2)) {
+		t.Error("different kinds must not compare equal")
+	}
+	if !NewStringSet("a", "b").Equal(NewStringSet("b", "a")) {
+		t.Error("string set equality should be order-independent")
+	}
+}
+
+func TestQuickIntersectSubset(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		a, b, c, d = s(a), s(b), s(c), s(d)
+		A := NewInterval(math.Min(a, b), math.Max(a, b))
+		B := NewInterval(math.Min(c, d), math.Max(c, d))
+		I := A.Intersect(B)
+		if I.IsEmpty() {
+			return true
+		}
+		iv, _ := I.Interval()
+		av, _ := A.Interval()
+		bv, _ := B.Interval()
+		return av.ContainsInterval(iv) && bv.ContainsInterval(iv)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDiscreteIntersectCommutes(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		for i := range xs {
+			xs[i] = s(xs[i])
+		}
+		for i := range ys {
+			ys[i] = s(ys[i])
+		}
+		A, B := NewRealSet(xs...), NewRealSet(ys...)
+		return A.Intersect(B).Equal(B.Intersect(A))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func s(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 1e6)
+}
+
+func TestKindString(t *testing.T) {
+	if Continuous.String() != "continuous" ||
+		DiscreteReal.String() != "discrete-real" ||
+		DiscreteString.String() != "discrete-string" {
+		t.Error("kind names wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestEmptyAllKinds(t *testing.T) {
+	for _, k := range []Kind{Continuous, DiscreteReal, DiscreteString} {
+		e := Empty(k)
+		if !e.IsEmpty() {
+			t.Errorf("Empty(%v) not empty", k)
+		}
+		if e.Kind() != k {
+			t.Errorf("Empty(%v) kind = %v", k, e.Kind())
+		}
+		if e.Measure() != 0 {
+			t.Errorf("Empty(%v) measure = %v", k, e.Measure())
+		}
+	}
+}
+
+func TestRealsAccessor(t *testing.T) {
+	d := NewRealSet(3, 1, 2)
+	got := d.Reals()
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("Reals = %v", got)
+	}
+	if NewInterval(0, 1).Reals() != nil {
+		t.Error("continuous domain should have nil Reals")
+	}
+	if NewStringSet("a").Reals() != nil {
+		t.Error("string domain should have nil Reals")
+	}
+	if NewInterval(0, 1).Strings() != nil {
+		t.Error("continuous domain should have nil Strings")
+	}
+}
+
+func TestMinMaxMidEdges(t *testing.T) {
+	// Unbounded continuous domains expose no endpoints.
+	ub := FromInterval(interval.Entire())
+	if _, ok := ub.Min(); ok {
+		t.Error("entire domain should have no Min")
+	}
+	if _, ok := ub.Max(); ok {
+		t.Error("entire domain should have no Max")
+	}
+	if m, ok := ub.Mid(); !ok || m != 0 {
+		t.Errorf("entire Mid = %v, %v", m, ok)
+	}
+	// Empty domains expose nothing.
+	for _, d := range []Domain{Empty(Continuous), Empty(DiscreteReal)} {
+		if _, ok := d.Min(); ok {
+			t.Error("empty domain Min")
+		}
+		if _, ok := d.Max(); ok {
+			t.Error("empty domain Max")
+		}
+		if _, ok := d.Mid(); ok {
+			t.Error("empty domain Mid")
+		}
+	}
+	// String domains are unordered numerically.
+	s := NewStringSet("a", "b")
+	if _, ok := s.Min(); ok {
+		t.Error("string domain Min")
+	}
+	if _, ok := s.Max(); ok {
+		t.Error("string domain Max")
+	}
+	if _, ok := s.Mid(); ok {
+		t.Error("string domain Mid")
+	}
+	if s.Sample(3) != nil {
+		t.Error("string domain Sample")
+	}
+}
+
+func TestStringRenderings(t *testing.T) {
+	if got := NewInterval(1, 2).String(); got != "[1, 2]" {
+		t.Errorf("continuous String = %q", got)
+	}
+	if got := NewRealSet(1, 2).String(); got != "{1, 2}" {
+		t.Errorf("discrete String = %q", got)
+	}
+	if got := NewStringSet("x").String(); got != `{"x"}` {
+		t.Errorf("string-set String = %q", got)
+	}
+}
+
+func TestMeasureStrings(t *testing.T) {
+	if m := NewStringSet("a", "b", "c").Measure(); m != 3 {
+		t.Errorf("string measure = %v", m)
+	}
+}
+
+func TestEqualMismatchedLengths(t *testing.T) {
+	if NewRealSet(1, 2).Equal(NewRealSet(1, 2, 3)) {
+		t.Error("different-length real sets equal")
+	}
+	if NewStringSet("a").Equal(NewStringSet("a", "b")) {
+		t.Error("different-length string sets equal")
+	}
+	if NewRealSet(1, 2).Equal(NewRealSet(1, 3)) {
+		t.Error("different real sets equal")
+	}
+	if NewStringSet("a", "b").Equal(NewStringSet("a", "c")) {
+		t.Error("different string sets equal")
+	}
+}
+
+func TestIsEmptyAllKinds(t *testing.T) {
+	if NewRealSet(1).IsEmpty() || NewStringSet("a").IsEmpty() || NewInterval(0, 0).IsEmpty() {
+		t.Error("non-empty domains reported empty")
+	}
+}

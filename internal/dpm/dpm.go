@@ -1,0 +1,665 @@
+package dpm
+
+import (
+	"fmt"
+
+	"repro/internal/constraint"
+	"repro/internal/dddl"
+	"repro/internal/domain"
+	"repro/internal/expr"
+)
+
+// Mode selects the transition model of Fig. 1.
+type Mode int
+
+// Modes.
+const (
+	// Conventional (λ=F): constraint propagation is not run; designers
+	// learn of violations only by requesting verification operations.
+	Conventional Mode = iota
+	// ADPM (λ=T): the DCM runs constraint propagation after every
+	// operation and heuristic support data is refreshed.
+	ADPM
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ADPM {
+		return "ADPM"
+	}
+	return "conventional"
+}
+
+// DPM is the design process manager: it owns the design state (problem
+// hierarchy + constraint network), implements the next-state function δ,
+// and keeps the design process history H_n.
+type DPM struct {
+	// Mode selects conventional or ADPM transitions.
+	Mode Mode
+	// Net is the network of constraints C_n of the current state.
+	Net *constraint.Network
+	// PropOpts tunes ADPM constraint propagation.
+	PropOpts constraint.PropagateOptions
+
+	problems  map[string]*Problem
+	probOrder []string
+	history   []*Transition
+	stage     int
+	// derived holds derived-property definitions in dependency order;
+	// the DPM recomputes affected ones after each operation (a
+	// synthesis-tool run per recomputation, counted as an evaluation).
+	derived    []derivedDef
+	derivedSet map[string]bool
+	// checkpointing enables per-transition snapshots for RollbackTo.
+	checkpointing bool
+	checkpoints   []*checkpoint
+}
+
+// derivedDef is one derived performance property: value = node(args).
+type derivedDef struct {
+	prop string
+	node expr.Node
+	args []string
+}
+
+// New creates a DPM over an existing network and problem set.
+func New(net *constraint.Network, problems []*Problem, mode Mode) (*DPM, error) {
+	d := &DPM{
+		Mode:       mode,
+		Net:        net,
+		problems:   map[string]*Problem{},
+		derivedSet: map[string]bool{},
+	}
+	for _, p := range problems {
+		if _, dup := d.problems[p.Name]; dup {
+			return nil, fmt.Errorf("dpm: duplicate problem %q", p.Name)
+		}
+		for _, prop := range append(append([]string(nil), p.Inputs...), p.Outputs...) {
+			if net.Property(prop) == nil {
+				return nil, fmt.Errorf("dpm: problem %q references unknown property %q", p.Name, prop)
+			}
+		}
+		for _, cn := range p.Constraints {
+			if net.Constraint(cn) == nil {
+				return nil, fmt.Errorf("dpm: problem %q references unknown constraint %q", p.Name, cn)
+			}
+		}
+		d.problems[p.Name] = p
+		d.probOrder = append(d.probOrder, p.Name)
+	}
+	// Parents with children start Waiting, leaves start Open.
+	for _, p := range d.problems {
+		if p.IsLeaf() {
+			p.status = Open
+		} else {
+			p.status = Waiting
+		}
+	}
+	d.refreshStatuses()
+	return d, nil
+}
+
+// FromScenario builds a DPM (network + problem hierarchy) from a parsed
+// DDDL scenario.
+func FromScenario(scn *dddl.Scenario, mode Mode) (*DPM, error) {
+	net, err := scn.BuildNetwork()
+	if err != nil {
+		return nil, err
+	}
+	var problems []*Problem
+	byName := map[string]*Problem{}
+	for _, pd := range scn.Problems {
+		p := &Problem{
+			Name:        pd.Name,
+			Owner:       pd.Owner,
+			Inputs:      append([]string(nil), pd.Inputs...),
+			Outputs:     append([]string(nil), pd.Outputs...),
+			Constraints: append([]string(nil), pd.Constraints...),
+		}
+		problems = append(problems, p)
+		byName[p.Name] = p
+	}
+	for _, dec := range scn.Decompositions {
+		parent := byName[dec.Parent]
+		for _, cn := range dec.Children {
+			child := byName[cn]
+			if child.Parent != "" {
+				return nil, fmt.Errorf("dpm: problem %q decomposed from both %q and %q", cn, child.Parent, dec.Parent)
+			}
+			child.Parent = dec.Parent
+			parent.Children = append(parent.Children, cn)
+		}
+	}
+	d, err := New(net, problems, mode)
+	if err != nil {
+		return nil, err
+	}
+	for _, pd := range scn.DerivedOrder() {
+		node, err := expr.Parse(pd.Formula)
+		if err != nil {
+			return nil, fmt.Errorf("dpm: derived %q: %w", pd.Name, err)
+		}
+		d.derived = append(d.derived, derivedDef{prop: pd.Name, node: node, args: expr.Vars(node)})
+		d.derivedSet[pd.Name] = true
+	}
+	// Requirements may already determine some derived values.
+	initiallyBound := map[string]bool{}
+	for _, p := range net.Properties() {
+		if p.IsBound() {
+			initiallyBound[p.Name] = true
+		}
+	}
+	d.recomputeDerived(initiallyBound)
+	if mode == ADPM {
+		// Initial propagation: requirements bound by the scenario are
+		// immediately reflected in feasible subspaces.
+		net.Propagate(d.PropOpts)
+		d.refreshMovementWindows()
+		d.refreshStatuses()
+	}
+	return d, nil
+}
+
+// Problem returns the named problem, or nil.
+func (d *DPM) Problem(name string) *Problem { return d.problems[name] }
+
+// Problems returns all problems in declaration order.
+func (d *DPM) Problems() []*Problem {
+	out := make([]*Problem, len(d.probOrder))
+	for i, n := range d.probOrder {
+		out[i] = d.problems[n]
+	}
+	return out
+}
+
+// ProblemsOwnedBy returns the problems assigned to a designer, in
+// declaration order.
+func (d *DPM) ProblemsOwnedBy(owner string) []*Problem {
+	var out []*Problem
+	for _, n := range d.probOrder {
+		if d.problems[n].Owner == owner {
+			out = append(out, d.problems[n])
+		}
+	}
+	return out
+}
+
+// History returns the executed transitions (the pairs <s_i, θ_i> of the
+// design process history H_n).
+func (d *DPM) History() []*Transition { return d.history }
+
+// Stage returns the current stage index n.
+func (d *DPM) Stage() int { return d.stage }
+
+// Done reports the paper's termination condition (§3.1.2): every
+// problem solved, all problem outputs bound, and no constraint known
+// violated.
+func (d *DPM) Done() bool {
+	for _, n := range d.probOrder {
+		if d.problems[n].status != Solved {
+			return false
+		}
+	}
+	return d.Net.NumViolations() == 0
+}
+
+// Apply executes one design operation: the next-state function δ of
+// eq. 2. It updates bindings or statuses, runs constraint propagation
+// in ADPM mode, recomputes problem statuses, and appends a Transition
+// to the history.
+func (d *DPM) Apply(op Operation) (*Transition, error) {
+	prob := d.problems[op.Problem]
+	if prob == nil {
+		return nil, fmt.Errorf("dpm: operation on unknown problem %q", op.Problem)
+	}
+	beforeList := d.Net.Violations()
+	before := map[string]bool{}
+	for _, v := range beforeList {
+		before[v] = true
+	}
+	evals0 := d.Net.EvalCount()
+
+	tr := &Transition{Stage: d.stage, Op: op, ViolationsBefore: beforeList}
+	var cp *checkpoint
+	if d.checkpointing {
+		cp = d.takeCheckpoint()
+	}
+
+	switch op.Kind {
+	case OpSynthesis:
+		changed := map[string]bool{}
+		for _, a := range op.Assignments {
+			if d.Net.Property(a.Prop) == nil {
+				return nil, fmt.Errorf("dpm: assignment to unknown property %q", a.Prop)
+			}
+			if err := d.bindInvalidating(a.Prop, a.Value); err != nil {
+				return nil, err
+			}
+			changed[a.Prop] = true
+		}
+		// Synthesis-tool runs recompute affected derived performance
+		// properties (Fig. 2's performance parameters).
+		d.recomputeDerived(changed)
+	case OpVerification:
+		names := op.Verify
+		if len(names) == 0 {
+			names = prob.Constraints
+		}
+		for _, cn := range names {
+			c := d.Net.Constraint(cn)
+			if c == nil {
+				return nil, fmt.Errorf("dpm: verification of unknown constraint %q", cn)
+			}
+			d.verifyAtPoint(c)
+		}
+	case OpDecomposition:
+		if prob.IsLeaf() {
+			return nil, fmt.Errorf("dpm: decomposition of leaf problem %q", op.Problem)
+		}
+		prob.status = Waiting
+		for _, cn := range prob.Children {
+			if child := d.problems[cn]; child.status != Solved {
+				child.status = Open
+			}
+		}
+	default:
+		return nil, fmt.Errorf("dpm: unknown operation kind %v", op.Kind)
+	}
+
+	if d.Mode == ADPM {
+		// The DCM evaluates the updated network: feasible subspaces are
+		// re-derived from scratch so widened bindings never leave stale
+		// reductions behind, then propagation narrows and statuses are
+		// recomputed (§2.2).
+		d.Net.ResetFeasible()
+		res := d.Net.Propagate(d.PropOpts)
+		tr.Narrowed = res.Narrowed
+		// Refresh the movement windows of every assigned design
+		// variable (Fig. 2 shows "consistent values" for already-bound
+		// properties after each operation). Each refresh explores the
+		// network with the variable freed — a large share of ADPM's
+		// extra tool runs (§2.2: "additional tool runs are typically
+		// performed within ADPM's constraint propagation algorithm").
+		d.refreshMovementWindows()
+	}
+
+	d.refreshStatuses()
+
+	tr.Evaluations = d.Net.EvalCount() - evals0
+	tr.ViolationsAfter = d.Net.Violations()
+	for _, v := range tr.ViolationsAfter {
+		if !before[v] {
+			tr.NewViolations = append(tr.NewViolations, v)
+		}
+	}
+	tr.IsSpin = d.isSpin(op)
+	d.history = append(d.history, tr)
+	if d.checkpointing {
+		d.checkpoints = append(d.checkpoints, cp)
+	}
+	d.stage++
+	return tr, nil
+}
+
+// bindInvalidating binds a property and, in conventional mode, resets
+// the status of every constraint on it. Verification results that
+// depended on the old value are stale; the DPM tracks this dependency
+// bookkeeping (state management, not constraint evaluation), which is
+// what forces the conventional verify→fix→re-verify loop.
+func (d *DPM) bindInvalidating(prop string, v domain.Value) error {
+	if err := d.Net.Bind(prop, v); err != nil {
+		return err
+	}
+	if d.Mode == Conventional {
+		for _, c := range d.Net.ConstraintsOn(prop) {
+			d.Net.SetStatus(c.Name, constraint.Consistent)
+		}
+	}
+	return nil
+}
+
+// recomputeDerived re-runs the synthesis tools behind derived
+// properties whose (transitive) inputs changed. Each recomputation
+// binds the property to the tool-computed value and counts as one
+// evaluation. changed is extended with the recomputed properties.
+func (d *DPM) recomputeDerived(changed map[string]bool) {
+	for _, def := range d.derived {
+		affected := false
+		ready := true
+		for _, a := range def.args {
+			if changed[a] {
+				affected = true
+			}
+			if p := d.Net.Property(a); p == nil || !p.IsBound() {
+				ready = false
+			}
+		}
+		if !ready {
+			continue
+		}
+		if prop := d.Net.Property(def.prop); prop.IsBound() && !affected {
+			continue
+		}
+		val, err := expr.Eval(def.node, d.Net)
+		if err != nil {
+			continue
+		}
+		d.Net.AddEvals(1)
+		if err := d.bindInvalidating(def.prop, domain.Real(val)); err != nil {
+			continue
+		}
+		changed[def.prop] = true
+	}
+}
+
+// dependentDerived returns the derived properties whose formulas
+// transitively depend on prop, in definition order.
+func (d *DPM) dependentDerived(prop string) []string {
+	affected := map[string]bool{prop: true}
+	var out []string
+	for _, def := range d.derived {
+		for _, a := range def.args {
+			if affected[a] {
+				affected[def.prop] = true
+				out = append(out, def.prop)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// MovementWindow computes the feasible movement window of a bound
+// design variable: the values it could be re-bound to such that, with
+// every other design variable held at its current value and all derived
+// performance properties recomputed, the constraint network can still
+// be satisfied. This is the "consistent values" range Minerva III
+// displays for assigned properties (Fig. 2: the bound Diff-pair-W shows
+// {2.5 … 3.698}) and the range the conflict-resolution heuristic moves
+// within (§2.4.3). The exploration runs the constraint propagation
+// algorithm on a scratch copy of the network; its constraint
+// evaluations are charged to this DPM's network — they are real tool
+// runs and a large part of ADPM's computational penalty.
+func (d *DPM) MovementWindow(prop string) domain.Domain {
+	p := d.Net.Property(prop)
+	if p == nil || !p.IsNumeric() || d.derivedSet[prop] {
+		return domain.Empty(domain.Continuous)
+	}
+	scratch := d.Net.Clone()
+	before := scratch.EvalCount()
+	scratch.Unbind(prop)
+	for _, dep := range d.dependentDerived(prop) {
+		scratch.Unbind(dep)
+	}
+	scratch.ResetFeasible()
+	scratch.Propagate(d.PropOpts)
+	d.Net.AddEvals(scratch.EvalCount() - before)
+	return scratch.Property(prop).Feasible()
+}
+
+// refreshMovementWindows recomputes the movement window of every bound
+// design variable that is some problem's output and stores it as the
+// variable's feasible subspace.
+func (d *DPM) refreshMovementWindows() {
+	seen := map[string]bool{}
+	for _, pn := range d.probOrder {
+		for _, out := range d.problems[pn].Outputs {
+			if seen[out] {
+				continue
+			}
+			seen[out] = true
+			p := d.Net.Property(out)
+			if p == nil || !p.IsBound() || !p.IsNumeric() || d.derivedSet[out] {
+				continue
+			}
+			p.SetFeasible(d.MovementWindow(out))
+		}
+	}
+}
+
+// ResynthesisTargets returns the problem's non-derived numeric output
+// properties — the set a subsystem re-synthesis reassigns.
+func (d *DPM) ResynthesisTargets(problem string) []string {
+	p := d.problems[problem]
+	if p == nil {
+		return nil
+	}
+	var out []string
+	for _, o := range p.Outputs {
+		prop := d.Net.Property(o)
+		if prop == nil || !prop.IsNumeric() || d.derivedSet[o] {
+			continue
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// ResynthesisScratch prepares a scratch network for re-synthesizing the
+// problem's outputs: a clone with those outputs and their dependent
+// derived properties freed, feasible subspaces reset. The caller runs a
+// search over it and charges the consumed evaluations back via
+// ChargeEvals. Used by the DCM to offer coordinated multi-output fix
+// candidates (§2.3: "executing design operations that will fix many
+// violations at a time").
+func (d *DPM) ResynthesisScratch(problem string) (*constraint.Network, []string) {
+	targets := d.ResynthesisTargets(problem)
+	if len(targets) == 0 {
+		return nil, nil
+	}
+	scratch := d.Net.Clone()
+	freed := map[string]bool{}
+	for _, t := range targets {
+		scratch.Unbind(t)
+		freed[t] = true
+		for _, dep := range d.dependentDerived(t) {
+			if !freed[dep] {
+				scratch.Unbind(dep)
+				freed[dep] = true
+			}
+		}
+	}
+	scratch.ResetFeasible()
+	return scratch, targets
+}
+
+// DerivedCompletion returns a function that binds every derived
+// property computable from the network's current bindings, in
+// dependency order — the synthesis-tool pass a search needs before
+// verifying a candidate point.
+func (d *DPM) DerivedCompletion() func(net *constraint.Network) error {
+	defs := d.derived
+	return func(net *constraint.Network) error {
+		for _, def := range defs {
+			v, err := expr.Eval(def.node, net)
+			if err != nil {
+				return err
+			}
+			if err := net.Bind(def.prop, domain.Real(v)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// ChargeEvals adds externally consumed constraint evaluations (e.g.
+// from a resynthesis search on a scratch network) to the process's
+// resource accounting.
+func (d *DPM) ChargeEvals(n int64) { d.Net.AddEvals(n) }
+
+// verifyAtPoint point-evaluates one constraint, mimicking a CAD
+// verification tool run: it requires all arguments bound (the paper's
+// verification operators execute only when their inputs are bound) and
+// records a binary satisfied/violated status.
+func (d *DPM) verifyAtPoint(c *constraint.Constraint) {
+	for _, a := range c.Args() {
+		if p := d.Net.Property(a); p == nil || !p.IsBound() {
+			return // tool cannot run yet; no evaluation counted
+		}
+	}
+	holds, known := c.HoldsAt(d.Net)
+	if !known {
+		return
+	}
+	d.Net.AddEvals(1)
+	if holds {
+		d.Net.SetStatus(c.Name, constraint.Satisfied)
+	} else {
+		d.Net.SetStatus(c.Name, constraint.Violated)
+	}
+}
+
+// isSpin reports whether the operation is a design spin: an executed
+// operation due to at least one violation involving properties from
+// multiple subsystems (§3.1.2), which the paper equates with "expensive
+// design iterations performed upon system integration". Operationally:
+// the operation reworks a problem that had already been solved, and is
+// motivated by a cross-subsystem violation. Early fixes — made while
+// the subsystem is still open, as ADPM's timely feedback enables — are
+// ordinary design work, not late iterations.
+func (d *DPM) isSpin(op Operation) bool {
+	prob := d.problems[op.Problem]
+	if prob == nil || !prob.everSolved {
+		return false
+	}
+	for _, cn := range op.MotivatedBy {
+		c := d.Net.Constraint(cn)
+		if c == nil {
+			continue
+		}
+		if d.IsCrossSubsystem(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsDerivedProp reports whether the property is a derived performance
+// property with a defining formula.
+func (d *DPM) IsDerivedProp(name string) bool { return d.derivedSet[name] }
+
+// DefConstraint returns the defining equality constraint of a derived
+// property, or nil.
+func (d *DPM) DefConstraint(prop string) *constraint.Constraint {
+	if !d.derivedSet[prop] {
+		return nil
+	}
+	return d.Net.Constraint(prop + ".def")
+}
+
+// IsCrossSubsystem reports whether a constraint's arguments span
+// properties of more than one owner. Derived arguments are expanded
+// through their defining formulas: a spec on System_gain effectively
+// couples every subsystem contributing to the gain, and fixing its
+// violation is an integration-level iteration (a spin).
+func (d *DPM) IsCrossSubsystem(c *constraint.Constraint) bool {
+	owners := map[string]bool{}
+	var visit func(prop string, depth int)
+	visit = func(prop string, depth int) {
+		if depth > 8 {
+			return
+		}
+		if d.derivedSet[prop] {
+			if def := d.DefConstraint(prop); def != nil {
+				for _, a := range def.Args() {
+					if a != prop {
+						visit(a, depth+1)
+					}
+				}
+				return
+			}
+		}
+		p := d.Net.Property(prop)
+		if p != nil && p.Owner != "" {
+			owners[p.Owner] = true
+		}
+	}
+	for _, a := range c.Args() {
+		visit(a, 0)
+	}
+	return len(owners) > 1
+}
+
+// refreshStatuses recomputes every problem's status from the network:
+// a leaf is Solved when all outputs are bound and every constraint in
+// T_i is known Satisfied; a decomposed problem additionally requires all
+// children Solved (and is Waiting until then).
+func (d *DPM) refreshStatuses() {
+	// Leaves first, then parents (iterate until fixpoint to support
+	// multi-level hierarchies without explicit topological order).
+	for range d.probOrder {
+		changed := false
+		for _, n := range d.probOrder {
+			p := d.problems[n]
+			ns := d.computeStatus(p)
+			if ns != p.status {
+				p.SetStatus(ns)
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+func (d *DPM) computeStatus(p *Problem) ProblemStatus {
+	if !p.IsLeaf() {
+		for _, cn := range p.Children {
+			if d.problems[cn].status != Solved {
+				return Waiting
+			}
+		}
+	}
+	for _, o := range p.Outputs {
+		if prop := d.Net.Property(o); prop == nil || !prop.IsBound() {
+			return Open
+		}
+	}
+	for _, cn := range p.Constraints {
+		if d.Net.Status(cn) != constraint.Satisfied {
+			return Open
+		}
+	}
+	return Solved
+}
+
+// UnverifiedConstraints returns constraints of the problem whose status
+// is not yet known Satisfied and whose arguments are all bound —
+// i.e. those a verification operator could settle right now.
+func (d *DPM) UnverifiedConstraints(problem string) []string {
+	p := d.problems[problem]
+	if p == nil {
+		return nil
+	}
+	var out []string
+	for _, cn := range p.Constraints {
+		if d.Net.Status(cn) == constraint.Satisfied {
+			continue
+		}
+		c := d.Net.Constraint(cn)
+		ready := true
+		for _, a := range c.Args() {
+			if prop := d.Net.Property(a); prop == nil || !prop.IsBound() {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			out = append(out, cn)
+		}
+	}
+	return out
+}
+
+// Spins counts the design spins executed so far.
+func (d *DPM) Spins() int {
+	n := 0
+	for _, tr := range d.history {
+		if tr.IsSpin {
+			n++
+		}
+	}
+	return n
+}

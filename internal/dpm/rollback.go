@@ -1,0 +1,75 @@
+package dpm
+
+import (
+	"fmt"
+
+	"repro/internal/constraint"
+)
+
+// checkpoint captures everything needed to rewind the process to the
+// state before one transition.
+type checkpoint struct {
+	net      *constraint.Snapshot
+	statuses map[string]ProblemStatus
+	solved   map[string]bool
+}
+
+// takeCheckpoint snapshots the current process state.
+func (d *DPM) takeCheckpoint() *checkpoint {
+	cp := &checkpoint{
+		net:      d.Net.Snapshot(),
+		statuses: make(map[string]ProblemStatus, len(d.problems)),
+		solved:   make(map[string]bool, len(d.problems)),
+	}
+	for name, p := range d.problems {
+		cp.statuses[name] = p.status
+		cp.solved[name] = p.everSolved
+	}
+	return cp
+}
+
+func (d *DPM) restoreCheckpoint(cp *checkpoint) {
+	// The evaluation counter stays monotone across rollback: tool runs
+	// performed on the abandoned path were still consumed.
+	spent := d.Net.EvalCount()
+	d.Net.Restore(cp.net)
+	d.Net.AddEvals(spent - d.Net.EvalCount())
+	for name, p := range d.problems {
+		if st, ok := cp.statuses[name]; ok {
+			p.status = st
+			p.everSolved = cp.solved[name]
+		}
+	}
+}
+
+// RollbackTo rewinds the design process to the state before the
+// transition at the given history stage — the backtracking §2.3.3's
+// early violation information enables. History entries at and after the
+// stage are discarded (the paper's H_n keeps only the path actually
+// taken). Rollback requires checkpointing, which Apply performs when
+// EnableRollback has been called.
+func (d *DPM) RollbackTo(stage int) error {
+	if !d.checkpointing {
+		return fmt.Errorf("dpm: rollback requires EnableRollback before the first operation")
+	}
+	if stage < 0 || stage >= len(d.history) {
+		return fmt.Errorf("dpm: rollback to stage %d outside history [0, %d)", stage, len(d.history))
+	}
+	cp := d.checkpoints[stage]
+	if cp == nil {
+		return fmt.Errorf("dpm: no checkpoint for stage %d", stage)
+	}
+	d.restoreCheckpoint(cp)
+	d.history = d.history[:stage]
+	d.checkpoints = d.checkpoints[:stage]
+	d.stage = stage
+	return nil
+}
+
+// EnableRollback turns on per-transition checkpointing, allowing
+// RollbackTo at the cost of one network snapshot per operation.
+func (d *DPM) EnableRollback() { d.checkpointing = true }
+
+// CanRollback reports whether checkpointing is active and history
+// exists to rewind into.
+func (d *DPM) CanRollback() bool { return d.checkpointing && len(d.checkpoints) > 0 }

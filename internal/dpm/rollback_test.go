@@ -1,0 +1,136 @@
+package dpm
+
+import (
+	"testing"
+
+	"repro/internal/domain"
+)
+
+func TestRollback(t *testing.T) {
+	d := derivedDPM(t, ADPM)
+	d.EnableRollback()
+	if d.CanRollback() {
+		t.Error("nothing to roll back yet")
+	}
+	bind := func(prop string, v float64) {
+		t.Helper()
+		if _, err := d.Apply(Operation{
+			Kind: OpSynthesis, Problem: "AmpDesign", Designer: "circuit",
+			Assignments: []Assignment{{Prop: prop, Value: domain.Real(v)}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bind("W", 5)
+	bind("I", 4) // stage 1: Gain computed (40), all satisfied
+	if !d.CanRollback() {
+		t.Error("rollback should be available")
+	}
+	// A bad move: Gain = 4*5*sqrt(0.01)... I=1 gives Gain=20 < 30.
+	bind("I", 1)
+	if d.Net.NumViolations() == 0 {
+		t.Fatal("setup: expected a violation after the bad move")
+	}
+	// Backtrack to before the bad move (stage 2).
+	if err := d.RollbackTo(2); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stage() != 2 || len(d.History()) != 2 {
+		t.Errorf("stage/history after rollback: %d/%d", d.Stage(), len(d.History()))
+	}
+	if v, _ := d.Net.Property("I").Value(); v.Num() != 4 {
+		t.Errorf("I after rollback = %v, want 4", v)
+	}
+	if g, _ := d.Net.Property("Gain").Value(); g.Num() != 40 {
+		t.Errorf("Gain after rollback = %v, want 40", g)
+	}
+	if d.Net.NumViolations() != 0 {
+		t.Errorf("violations after rollback: %v", d.Net.Violations())
+	}
+	// The process can continue normally from the restored state
+	// (I=6: Gain = 20·√6 ≈ 49 ≥ 30, Power = 64 ≤ 80).
+	bind("I", 6)
+	if g, _ := d.Net.Property("Gain").Value(); g.Num() < 30 {
+		t.Errorf("Gain after new move = %v, want ≥ 30", g)
+	}
+	if !d.Done() {
+		t.Errorf("process should complete; violations %v", d.Net.Violations())
+	}
+}
+
+func TestRollbackToStartRestoresInitialState(t *testing.T) {
+	d := derivedDPM(t, ADPM)
+	d.EnableRollback()
+	for _, v := range []float64{5, 4} {
+		prop := "W"
+		if v == 4 {
+			prop = "I"
+		}
+		if _, err := d.Apply(Operation{
+			Kind: OpSynthesis, Problem: "AmpDesign", Designer: "circuit",
+			Assignments: []Assignment{{Prop: prop, Value: domain.Real(v)}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.RollbackTo(0); err != nil {
+		t.Fatal(err)
+	}
+	if d.Net.Property("W").IsBound() || d.Net.Property("Gain").IsBound() {
+		t.Error("bindings survive rollback to start")
+	}
+	if d.Problem("AmpDesign").Status() != Open {
+		t.Errorf("problem status after rollback: %v", d.Problem("AmpDesign").Status())
+	}
+}
+
+func TestRollbackValidation(t *testing.T) {
+	d := derivedDPM(t, ADPM)
+	if err := d.RollbackTo(0); err == nil {
+		t.Error("rollback without EnableRollback accepted")
+	}
+	d.EnableRollback()
+	if err := d.RollbackTo(0); err == nil {
+		t.Error("rollback into empty history accepted")
+	}
+	if _, err := d.Apply(Operation{
+		Kind: OpSynthesis, Problem: "AmpDesign", Designer: "circuit",
+		Assignments: []Assignment{{Prop: "W", Value: domain.Real(5)}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RollbackTo(5); err == nil {
+		t.Error("rollback past history accepted")
+	}
+	if err := d.RollbackTo(-1); err == nil {
+		t.Error("negative stage accepted")
+	}
+}
+
+func TestRollbackRestoresEverSolved(t *testing.T) {
+	d := derivedDPM(t, ADPM)
+	d.EnableRollback()
+	bind := func(prop string, v float64) {
+		t.Helper()
+		if _, err := d.Apply(Operation{
+			Kind: OpSynthesis, Problem: "AmpDesign", Designer: "circuit",
+			Assignments: []Assignment{{Prop: prop, Value: domain.Real(v)}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bind("W", 5)
+	if d.Problem("AmpDesign").EverSolved() {
+		t.Fatal("setup: not solved yet")
+	}
+	bind("I", 4) // solves everything
+	if !d.Problem("AmpDesign").EverSolved() {
+		t.Fatal("setup: should be solved")
+	}
+	if err := d.RollbackTo(1); err != nil {
+		t.Fatal(err)
+	}
+	if d.Problem("AmpDesign").EverSolved() {
+		t.Error("everSolved survives rollback — spin accounting would be wrong")
+	}
+}

@@ -1,0 +1,246 @@
+// Package expr implements the arithmetic expression language used to
+// state design constraints (paper §2.1, e.g. "Pf + Ps <= PM" relates a
+// receiver's power budget to its subsystem powers).
+//
+// The package provides:
+//
+//   - a lexer and parser producing an immutable AST (Parse / MustParse);
+//   - point evaluation over float64 environments (Eval);
+//   - conservative interval evaluation (EvalInterval), the basis of the
+//     tri-state constraint status of §2.1;
+//   - HC4-style backward narrowing (Narrow), the per-constraint step of
+//     the DCM's constraint propagation algorithm (§2.2);
+//   - symbolic differentiation (Diff) and interval monotonicity-sign
+//     analysis (MonotoneSign), which supply the monotonic-constraint
+//     lists the simulated designers use when choosing fix directions
+//     (§3.1.1).
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Node is an immutable expression tree node. The concrete types are
+// *Num, *Var, *Unary, *Binary, and *Call.
+type Node interface {
+	// String renders the node as parseable expression text.
+	String() string
+	// isNode restricts implementations to this package.
+	isNode()
+}
+
+// Num is a numeric literal.
+type Num struct {
+	Val float64
+}
+
+// Var is a reference to a named design property.
+type Var struct {
+	Name string
+}
+
+// Unary is a unary operation; Op is currently always '-'.
+type Unary struct {
+	Op byte
+	X  Node
+}
+
+// Binary is a binary operation; Op is one of '+', '-', '*', '/', '^'.
+type Binary struct {
+	Op   byte
+	X, Y Node
+}
+
+// Call is a builtin function application. Supported functions:
+// sqrt, sqr, abs, exp, log, min, max.
+type Call struct {
+	Fn   string
+	Args []Node
+}
+
+func (*Num) isNode()    {}
+func (*Var) isNode()    {}
+func (*Unary) isNode()  {}
+func (*Binary) isNode() {}
+func (*Call) isNode()   {}
+
+// String renders the literal with full precision.
+func (n *Num) String() string {
+	return strconv.FormatFloat(n.Val, 'g', -1, 64)
+}
+
+func (n *Var) String() string { return n.Name }
+
+func (n *Unary) String() string {
+	// The grammar is unary-first: "-y ^ 2" parses as (-y)^2, so any
+	// operator child — including '^' — must be parenthesized to survive
+	// a print/parse round trip.
+	s := parenthesize(n.X, precAtom)
+	if strings.HasPrefix(s, "-") {
+		// Avoid "--x": a negated negative literal (or nested negation)
+		// must keep its own sign visually grouped.
+		s = "(" + s + ")"
+	}
+	return "-" + s
+}
+
+func (n *Binary) String() string {
+	p := binPrec(n.Op)
+	// The side opposite an operator's associativity needs parentheses at
+	// equal precedence: (a-b)-c prints bare but a-(b-c) keeps parens, and
+	// dually a^(b^c) prints bare while (a^b)^c keeps parens.
+	lp, rp := p, p+1
+	if n.Op == '^' { // right-assoc
+		lp, rp = p+1, p
+	}
+	l := parenthesize(n.X, lp)
+	r := parenthesize(n.Y, rp)
+	return fmt.Sprintf("%s %c %s", l, n.Op, r)
+}
+
+func (n *Call) String() string {
+	args := make([]string, len(n.Args))
+	for i, a := range n.Args {
+		args[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", n.Fn, strings.Join(args, ", "))
+}
+
+// operator precedence levels; higher binds tighter.
+const (
+	precAdd   = 1
+	precMul   = 2
+	precUnary = 3
+	precPow   = 4
+	precAtom  = 5
+)
+
+func binPrec(op byte) int {
+	switch op {
+	case '+', '-':
+		return precAdd
+	case '*', '/':
+		return precMul
+	case '^':
+		return precPow
+	}
+	return precAtom
+}
+
+func nodePrec(n Node) int {
+	switch t := n.(type) {
+	case *Binary:
+		return binPrec(t.Op)
+	case *Unary:
+		return precUnary
+	default:
+		return precAtom
+	}
+}
+
+func parenthesize(n Node, minPrec int) string {
+	s := n.String()
+	if nodePrec(n) < minPrec {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+// Vars returns the sorted set of distinct variable names referenced by n.
+func Vars(n Node) []string {
+	set := map[string]bool{}
+	collectVars(n, set)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectVars(n Node, set map[string]bool) {
+	switch t := n.(type) {
+	case *Num:
+	case *Var:
+		set[t.Name] = true
+	case *Unary:
+		collectVars(t.X, set)
+	case *Binary:
+		collectVars(t.X, set)
+		collectVars(t.Y, set)
+	case *Call:
+		for _, a := range t.Args {
+			collectVars(a, set)
+		}
+	}
+}
+
+// ContainsVar reports whether variable name appears in n.
+func ContainsVar(n Node, name string) bool {
+	switch t := n.(type) {
+	case *Num:
+		return false
+	case *Var:
+		return t.Name == name
+	case *Unary:
+		return ContainsVar(t.X, name)
+	case *Binary:
+		return ContainsVar(t.X, name) || ContainsVar(t.Y, name)
+	case *Call:
+		for _, a := range t.Args {
+			if ContainsVar(a, name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CountNodes returns the number of AST nodes, a cheap complexity proxy
+// used when reporting constraint-network statistics.
+func CountNodes(n Node) int {
+	switch t := n.(type) {
+	case *Num, *Var:
+		return 1
+	case *Unary:
+		return 1 + CountNodes(t.X)
+	case *Binary:
+		return 1 + CountNodes(t.X) + CountNodes(t.Y)
+	case *Call:
+		c := 1
+		for _, a := range t.Args {
+			c += CountNodes(a)
+		}
+		return c
+	}
+	return 1
+}
+
+// Substitute returns a copy of n with every variable that has an entry
+// in repl replaced by (a copy of) its replacement expression. Used to
+// expand derived-property references through their defining formulas.
+func Substitute(n Node, repl map[string]Node) Node {
+	switch t := n.(type) {
+	case *Num:
+		return t
+	case *Var:
+		if r, ok := repl[t.Name]; ok {
+			return r
+		}
+		return t
+	case *Unary:
+		return &Unary{Op: t.Op, X: Substitute(t.X, repl)}
+	case *Binary:
+		return &Binary{Op: t.Op, X: Substitute(t.X, repl), Y: Substitute(t.Y, repl)}
+	case *Call:
+		args := make([]Node, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = Substitute(a, repl)
+		}
+		return &Call{Fn: t.Fn, Args: args}
+	}
+	return n
+}

@@ -1,0 +1,215 @@
+package expr
+
+// Diff returns the symbolic partial derivative ∂n/∂v, or nil when the
+// derivative cannot be expressed in this language (abs at zero, min/max,
+// variable exponents). A nil result means "monotonicity unknown", which
+// the designers treat as no guidance (§3.1.1 footnote 1).
+func Diff(n Node, v string) Node {
+	switch t := n.(type) {
+	case *Num:
+		return &Num{Val: 0}
+	case *Var:
+		if t.Name == v {
+			return &Num{Val: 1}
+		}
+		return &Num{Val: 0}
+	case *Unary:
+		dx := Diff(t.X, v)
+		if dx == nil {
+			return nil
+		}
+		return simplifyNeg(dx)
+	case *Binary:
+		return diffBinary(t, v)
+	case *Call:
+		return diffCall(t, v)
+	}
+	return nil
+}
+
+func diffBinary(t *Binary, v string) Node {
+	dx := Diff(t.X, v)
+	dy := Diff(t.Y, v)
+	if dx == nil || dy == nil {
+		return nil
+	}
+	switch t.Op {
+	case '+':
+		return simplifyAdd(dx, dy)
+	case '-':
+		return simplifySub(dx, dy)
+	case '*':
+		// (xy)' = x'y + xy'
+		return simplifyAdd(simplifyMul(dx, t.Y), simplifyMul(t.X, dy))
+	case '/':
+		// (x/y)' = (x'y - xy') / y²
+		numer := simplifySub(simplifyMul(dx, t.Y), simplifyMul(t.X, dy))
+		denom := &Call{Fn: "sqr", Args: []Node{t.Y}}
+		return simplifyDiv(numer, denom)
+	case '^':
+		k, ok := intConst(t.Y)
+		if !ok {
+			return nil // variable exponent: out of scope
+		}
+		if k == 0 {
+			return &Num{Val: 0}
+		}
+		// (x^k)' = k·x^(k-1)·x'
+		var pow Node
+		switch k - 1 {
+		case 0:
+			pow = &Num{Val: 1}
+		case 1:
+			pow = t.X
+		default:
+			pow = &Binary{Op: '^', X: t.X, Y: &Num{Val: float64(k - 1)}}
+		}
+		return simplifyMul(simplifyMul(&Num{Val: float64(k)}, pow), dx)
+	}
+	return nil
+}
+
+func diffCall(t *Call, v string) Node {
+	switch t.Fn {
+	case "sqrt":
+		dx := Diff(t.Args[0], v)
+		if dx == nil {
+			return nil
+		}
+		// (√x)' = x' / (2√x)
+		denom := simplifyMul(&Num{Val: 2}, &Call{Fn: "sqrt", Args: []Node{t.Args[0]}})
+		return simplifyDiv(dx, denom)
+	case "sqr":
+		dx := Diff(t.Args[0], v)
+		if dx == nil {
+			return nil
+		}
+		// (x²)' = 2x·x'
+		return simplifyMul(simplifyMul(&Num{Val: 2}, t.Args[0]), dx)
+	case "exp":
+		dx := Diff(t.Args[0], v)
+		if dx == nil {
+			return nil
+		}
+		return simplifyMul(&Call{Fn: "exp", Args: []Node{t.Args[0]}}, dx)
+	case "log":
+		dx := Diff(t.Args[0], v)
+		if dx == nil {
+			return nil
+		}
+		return simplifyDiv(dx, t.Args[0])
+	case "abs", "min", "max":
+		// Not differentiable everywhere; if the sub-expression does not
+		// involve v at all the derivative is simply zero.
+		if !ContainsVar(t, v) {
+			return &Num{Val: 0}
+		}
+		return nil
+	}
+	return nil
+}
+
+// --- light syntactic simplification (keeps derivative trees small) ----
+
+func isZero(n Node) bool {
+	num, ok := n.(*Num)
+	return ok && num.Val == 0
+}
+
+func isOne(n Node) bool {
+	num, ok := n.(*Num)
+	return ok && num.Val == 1
+}
+
+func simplifyAdd(x, y Node) Node {
+	if isZero(x) {
+		return y
+	}
+	if isZero(y) {
+		return x
+	}
+	if a, ok := x.(*Num); ok {
+		if b, ok := y.(*Num); ok {
+			return &Num{Val: a.Val + b.Val}
+		}
+	}
+	return &Binary{Op: '+', X: x, Y: y}
+}
+
+func simplifySub(x, y Node) Node {
+	if isZero(y) {
+		return x
+	}
+	if isZero(x) {
+		return simplifyNeg(y)
+	}
+	if a, ok := x.(*Num); ok {
+		if b, ok := y.(*Num); ok {
+			return &Num{Val: a.Val - b.Val}
+		}
+	}
+	return &Binary{Op: '-', X: x, Y: y}
+}
+
+func simplifyMul(x, y Node) Node {
+	if isZero(x) || isZero(y) {
+		return &Num{Val: 0}
+	}
+	if isOne(x) {
+		return y
+	}
+	if isOne(y) {
+		return x
+	}
+	if a, ok := x.(*Num); ok {
+		if b, ok := y.(*Num); ok {
+			return &Num{Val: a.Val * b.Val}
+		}
+	}
+	return &Binary{Op: '*', X: x, Y: y}
+}
+
+func simplifyDiv(x, y Node) Node {
+	if isZero(x) {
+		return &Num{Val: 0}
+	}
+	if isOne(y) {
+		return x
+	}
+	return &Binary{Op: '/', X: x, Y: y}
+}
+
+func simplifyNeg(x Node) Node {
+	if num, ok := x.(*Num); ok {
+		return &Num{Val: -num.Val}
+	}
+	if u, ok := x.(*Unary); ok && u.Op == '-' {
+		return u.X
+	}
+	return &Unary{Op: '-', X: x}
+}
+
+// MonotoneSign reports the sign of ∂n/∂v over the box env:
+// +1 when n is non-decreasing in v everywhere on the box, -1 when
+// non-increasing, 0 when unknown or mixed. It interval-evaluates the
+// symbolic derivative — a standard conservative monotonicity test.
+func MonotoneSign(n Node, v string, env IntervalEnv) int {
+	if !ContainsVar(n, v) {
+		return 0
+	}
+	d := Diff(n, v)
+	if d == nil {
+		return 0
+	}
+	iv := EvalInterval(d, env)
+	if iv.IsEmpty() {
+		return 0
+	}
+	if iv.Lo >= 0 {
+		return +1
+	}
+	if iv.Hi <= 0 {
+		return -1
+	}
+	return 0
+}

@@ -1,0 +1,176 @@
+package expr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/interval"
+)
+
+func TestDiffSymbolic(t *testing.T) {
+	cases := []struct {
+		in, v, want string
+	}{
+		{"x", "x", "1"},
+		{"x", "y", "0"},
+		{"7", "x", "0"},
+		{"x + y", "x", "1"},
+		{"x - y", "y", "-1"},
+		{"2 * x", "x", "2"},
+		{"x * y", "x", "y"},
+		{"x ^ 2", "x", "2 * x"},
+		{"x ^ 3", "x", "3 * x ^ 2"},
+		{"x ^ 1", "x", "1"},
+		{"sqr(x)", "x", "2 * x"},
+		{"-x", "x", "-1"},
+		{"exp(x)", "x", "exp(x)"},
+		{"log(x)", "x", "1 / x"},
+	}
+	for _, c := range cases {
+		d := Diff(MustParse(c.in), c.v)
+		if d == nil {
+			t.Errorf("Diff(%q, %q) = nil", c.in, c.v)
+			continue
+		}
+		if got := d.String(); got != c.want {
+			t.Errorf("Diff(%q, %q) = %q, want %q", c.in, c.v, got, c.want)
+		}
+	}
+}
+
+func TestDiffUnknown(t *testing.T) {
+	// min/max/abs touching the variable: derivative unknown.
+	for _, in := range []string{"min(x, y)", "max(x, 1)", "abs(x)"} {
+		if d := Diff(MustParse(in), "x"); d != nil {
+			t.Errorf("Diff(%q, x) = %v, want nil (unknown)", in, d)
+		}
+	}
+	// but if v does not appear inside, derivative is zero
+	if d := Diff(MustParse("min(a, b) + x"), "x"); d == nil || d.String() != "1" {
+		t.Errorf("Diff(min(a,b)+x, x) = %v, want 1", d)
+	}
+	// variable exponent: unknown
+	if d := Diff(MustParse("x ^ y"), "x"); d != nil {
+		t.Errorf("Diff(x^y, x) = %v, want nil", d)
+	}
+}
+
+// numDeriv estimates df/dv at point via central differences.
+func numDeriv(n Node, v string, env MapEnv) float64 {
+	h := 1e-6 * math.Max(1, math.Abs(env[v]))
+	e1 := MapEnv{}
+	e2 := MapEnv{}
+	for k, val := range env {
+		e1[k], e2[k] = val, val
+	}
+	e1[v] += h
+	e2[v] -= h
+	f1, err1 := Eval(n, e1)
+	f2, err2 := Eval(n, e2)
+	if err1 != nil || err2 != nil {
+		return math.NaN()
+	}
+	return (f1 - f2) / (2 * h)
+}
+
+func TestDiffMatchesNumeric(t *testing.T) {
+	exprs := []string{
+		"x * y + sqr(x)",
+		"x / y",
+		"sqrt(x) * y",
+		"x ^ 3 - 2 * x",
+		"exp(x / 10) + log(y)",
+		"(x + y) * (x - y)",
+	}
+	env := MapEnv{"x": 2.5, "y": 4.0}
+	for _, s := range exprs {
+		n := MustParse(s)
+		for _, v := range []string{"x", "y"} {
+			d := Diff(n, v)
+			if d == nil {
+				t.Errorf("Diff(%q, %q) = nil", s, v)
+				continue
+			}
+			sym, err := Eval(d, env)
+			if err != nil {
+				t.Errorf("Eval(Diff(%q,%q)): %v", s, v, err)
+				continue
+			}
+			num := numDeriv(n, v, env)
+			if math.Abs(sym-num) > 1e-4*math.Max(1, math.Abs(num)) {
+				t.Errorf("d%q/d%q: symbolic %v vs numeric %v", s, v, sym, num)
+			}
+		}
+	}
+}
+
+func TestMonotoneSign(t *testing.T) {
+	cases := []struct {
+		in, v string
+		box   MapIntervalEnv
+		want  int
+	}{
+		{"x + y", "x", MapIntervalEnv{}, +1},
+		{"-2 * x", "x", MapIntervalEnv{}, -1},
+		{"x * y", "x", MapIntervalEnv{"y": interval.New(1, 5)}, +1},
+		{"x * y", "x", MapIntervalEnv{"y": interval.New(-5, -1)}, -1},
+		{"x * y", "x", MapIntervalEnv{"y": interval.New(-1, 1)}, 0},
+		{"sqr(x)", "x", MapIntervalEnv{"x": interval.New(1, 5)}, +1},
+		{"sqr(x)", "x", MapIntervalEnv{"x": interval.New(-5, 5)}, 0},
+		{"y", "x", MapIntervalEnv{}, 0}, // x absent
+		{"min(x, y)", "x", MapIntervalEnv{}, 0},
+		{"x / y", "x", MapIntervalEnv{"y": interval.New(2, 4)}, +1},
+		{"x / y", "y", MapIntervalEnv{"x": interval.New(1, 2), "y": interval.New(1, 3)}, -1},
+	}
+	for _, c := range cases {
+		got := MonotoneSign(MustParse(c.in), c.v, c.box)
+		if got != c.want {
+			t.Errorf("MonotoneSign(%q, %q, %v) = %d, want %d", c.in, c.v, c.box, got, c.want)
+		}
+	}
+}
+
+// Property: when MonotoneSign reports +1 over a box, sampled function
+// values must be non-decreasing along that variable.
+func TestQuickMonotoneSignSound(t *testing.T) {
+	exprs := []string{
+		"x * y",
+		"x + sqr(y)",
+		"x ^ 3 + y",
+		"x / y",
+		"sqrt(abs(y)) + 2 * x",
+	}
+	nodes := make([]Node, len(exprs))
+	for i, s := range exprs {
+		nodes[i] = MustParse(s)
+	}
+	f := func(a, b, c, d, t1, t2, t3 float64, which uint8) bool {
+		A := arbIv(a, b)
+		B := arbIv(c, d)
+		n := nodes[int(which)%len(nodes)]
+		box := MapIntervalEnv{"x": A, "y": B}
+		sign := MonotoneSign(n, "x", box)
+		if sign == 0 {
+			return true
+		}
+		x1, x2 := pickIv(A, t1), pickIv(A, t2)
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		y := pickIv(B, t3)
+		f1, err1 := Eval(n, MapEnv{"x": x1, "y": y})
+		f2, err2 := Eval(n, MapEnv{"x": x2, "y": y})
+		if err1 != nil || err2 != nil || math.IsNaN(f1) || math.IsNaN(f2) {
+			return true
+		}
+		tol := 1e-9 * math.Max(1, math.Max(math.Abs(f1), math.Abs(f2)))
+		if sign > 0 {
+			return f2 >= f1-tol
+		}
+		return f2 <= f1+tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,193 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/interval"
+)
+
+// FloatEnv supplies point values for variables during Eval.
+type FloatEnv interface {
+	// Value returns the current value of the named property and whether
+	// the property is bound to a single value.
+	Value(name string) (float64, bool)
+}
+
+// MapEnv is a FloatEnv backed by a map.
+type MapEnv map[string]float64
+
+// Value implements FloatEnv.
+func (m MapEnv) Value(name string) (float64, bool) {
+	v, ok := m[name]
+	return v, ok
+}
+
+// UnboundVarError reports an Eval over an environment that lacks a
+// binding for a referenced variable.
+type UnboundVarError struct {
+	Name string
+}
+
+func (e *UnboundVarError) Error() string {
+	return fmt.Sprintf("expr: variable %q is unbound", e.Name)
+}
+
+// Eval computes the point value of n under env. Evaluation is strict:
+// any unbound variable yields an *UnboundVarError.
+func Eval(n Node, env FloatEnv) (float64, error) {
+	switch t := n.(type) {
+	case *Num:
+		return t.Val, nil
+	case *Var:
+		v, ok := env.Value(t.Name)
+		if !ok {
+			return 0, &UnboundVarError{Name: t.Name}
+		}
+		return v, nil
+	case *Unary:
+		x, err := Eval(t.X, env)
+		if err != nil {
+			return 0, err
+		}
+		return -x, nil
+	case *Binary:
+		x, err := Eval(t.X, env)
+		if err != nil {
+			return 0, err
+		}
+		y, err := Eval(t.Y, env)
+		if err != nil {
+			return 0, err
+		}
+		switch t.Op {
+		case '+':
+			return x + y, nil
+		case '-':
+			return x - y, nil
+		case '*':
+			return x * y, nil
+		case '/':
+			return x / y, nil
+		case '^':
+			return math.Pow(x, y), nil
+		}
+		return 0, fmt.Errorf("expr: unknown binary operator %q", string(t.Op))
+	case *Call:
+		args := make([]float64, len(t.Args))
+		for i, a := range t.Args {
+			v, err := Eval(a, env)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = v
+		}
+		switch t.Fn {
+		case "sqrt":
+			return math.Sqrt(args[0]), nil
+		case "sqr":
+			return args[0] * args[0], nil
+		case "abs":
+			return math.Abs(args[0]), nil
+		case "exp":
+			return math.Exp(args[0]), nil
+		case "log":
+			return math.Log(args[0]), nil
+		case "min":
+			return math.Min(args[0], args[1]), nil
+		case "max":
+			return math.Max(args[0], args[1]), nil
+		}
+		return 0, fmt.Errorf("expr: unknown function %q", t.Fn)
+	}
+	return 0, fmt.Errorf("expr: unknown node type %T", n)
+}
+
+// IntervalEnv supplies the current domain of each variable during
+// interval evaluation. Unknown variables should map to interval.Entire.
+type IntervalEnv interface {
+	Domain(name string) interval.Interval
+}
+
+// MapIntervalEnv is an IntervalEnv backed by a map; missing entries are
+// treated as the entire real line.
+type MapIntervalEnv map[string]interval.Interval
+
+// Domain implements IntervalEnv.
+func (m MapIntervalEnv) Domain(name string) interval.Interval {
+	if iv, ok := m[name]; ok {
+		return iv
+	}
+	return interval.Entire()
+}
+
+// EvalInterval computes a conservative interval enclosure of n's value
+// over all variable assignments drawn from env. This is the natural
+// interval extension; it may over-approximate when variables repeat.
+func EvalInterval(n Node, env IntervalEnv) interval.Interval {
+	switch t := n.(type) {
+	case *Num:
+		return interval.Point(t.Val)
+	case *Var:
+		return env.Domain(t.Name)
+	case *Unary:
+		return EvalInterval(t.X, env).Neg()
+	case *Binary:
+		x := EvalInterval(t.X, env)
+		y := EvalInterval(t.Y, env)
+		switch t.Op {
+		case '+':
+			return x.Add(y)
+		case '-':
+			return x.Sub(y)
+		case '*':
+			return x.Mul(y)
+		case '/':
+			return x.Div(y)
+		case '^':
+			return powInterval(x, t.Y, y)
+		}
+		return interval.Entire()
+	case *Call:
+		switch t.Fn {
+		case "sqrt":
+			return EvalInterval(t.Args[0], env).Sqrt()
+		case "sqr":
+			return EvalInterval(t.Args[0], env).Sqr()
+		case "abs":
+			return EvalInterval(t.Args[0], env).Abs()
+		case "exp":
+			return EvalInterval(t.Args[0], env).Exp()
+		case "log":
+			return EvalInterval(t.Args[0], env).Log()
+		case "min":
+			return EvalInterval(t.Args[0], env).Min(EvalInterval(t.Args[1], env))
+		case "max":
+			return EvalInterval(t.Args[0], env).Max(EvalInterval(t.Args[1], env))
+		}
+		return interval.Entire()
+	}
+	return interval.Entire()
+}
+
+// powInterval evaluates x^e. When the exponent node is an integer
+// literal the tight PowInt enclosure applies; otherwise fall back to
+// exp(e·log x), defined only for positive bases.
+func powInterval(x interval.Interval, expNode Node, expVal interval.Interval) interval.Interval {
+	if k, ok := intConst(expNode); ok {
+		return x.PowInt(k)
+	}
+	return expVal.Mul(x.Log()).Exp()
+}
+
+// intConst reports whether n is an integer numeric literal.
+func intConst(n Node) (int, bool) {
+	num, ok := n.(*Num)
+	if !ok {
+		return 0, false
+	}
+	if num.Val != math.Trunc(num.Val) || math.Abs(num.Val) > 1e9 {
+		return 0, false
+	}
+	return int(num.Val), true
+}

@@ -1,0 +1,168 @@
+package expr
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/interval"
+)
+
+func TestEvalBasics(t *testing.T) {
+	env := MapEnv{"x": 3, "y": -2}
+	cases := map[string]float64{
+		"x + y":      1,
+		"x - y":      5,
+		"x * y":      -6,
+		"x / y":      -1.5,
+		"x ^ 2":      9,
+		"-x":         -3,
+		"sqrt(x*3)":  3,
+		"sqr(y)":     4,
+		"abs(y)":     2,
+		"exp(0)":     1,
+		"log(1)":     0,
+		"min(x, y)":  -2,
+		"max(x, y)":  3,
+		"2 ^ x":      8,
+		"x ^ y":      1.0 / 9,
+		"(x+y)*x-y":  5,
+		"min(x,y)+1": -1,
+	}
+	for in, want := range cases {
+		v, err := Eval(MustParse(in), env)
+		if err != nil {
+			t.Errorf("Eval(%q): %v", in, err)
+			continue
+		}
+		if math.Abs(v-want) > 1e-12 {
+			t.Errorf("Eval(%q) = %v, want %v", in, v, want)
+		}
+	}
+}
+
+func TestEvalUnbound(t *testing.T) {
+	_, err := Eval(MustParse("x + z"), MapEnv{"x": 1})
+	var ue *UnboundVarError
+	if !errors.As(err, &ue) {
+		t.Fatalf("want UnboundVarError, got %v", err)
+	}
+	if ue.Name != "z" {
+		t.Errorf("unbound variable = %q, want z", ue.Name)
+	}
+}
+
+func TestEvalIntervalBasics(t *testing.T) {
+	env := MapIntervalEnv{
+		"x": interval.New(1, 2),
+		"y": interval.New(-1, 3),
+	}
+	cases := []struct {
+		in   string
+		want interval.Interval
+	}{
+		{"x + y", interval.New(0, 5)},
+		{"x - y", interval.New(-2, 3)},
+		{"x * y", interval.New(-2, 6)},
+		{"-x", interval.New(-2, -1)},
+		{"x ^ 2", interval.New(1, 4)},
+		{"y ^ 2", interval.New(0, 9)},
+		{"sqrt(x)", interval.New(1, math.Sqrt2)},
+		{"abs(y)", interval.New(0, 3)},
+		{"min(x, y)", interval.New(-1, 2)},
+		{"max(x, y)", interval.New(1, 3)},
+		{"5", interval.Point(5)},
+		{"x / x", interval.New(0.5, 2)}, // dependency lost: natural extension
+	}
+	for _, c := range cases {
+		got := EvalInterval(MustParse(c.in), env)
+		if !got.ApproxEqual(c.want, 1e-12) {
+			t.Errorf("EvalInterval(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEvalIntervalUnknownVarIsEntire(t *testing.T) {
+	got := EvalInterval(MustParse("q"), MapIntervalEnv{})
+	if !got.IsEntire() {
+		t.Errorf("unknown var domain = %v, want entire", got)
+	}
+}
+
+func TestEvalIntervalNonIntExponent(t *testing.T) {
+	env := MapIntervalEnv{"x": interval.New(1, 4), "k": interval.New(0.5, 0.5)}
+	got := EvalInterval(MustParse("x ^ k"), env)
+	// x^0.5 over [1,4] = [1,2]; the exp/log fallback must contain it.
+	if !got.Contains(1) || !got.Contains(2) {
+		t.Errorf("x^k enclosure %v misses [1,2]", got)
+	}
+}
+
+// Property: interval evaluation contains point evaluation for any point
+// drawn from the box. This is the fundamental soundness property the
+// constraint engine depends on.
+func TestQuickIntervalContainsPoint(t *testing.T) {
+	exprs := []string{
+		"x + y",
+		"x - y",
+		"x * y",
+		"x * x - y",
+		"sqr(x) + sqr(y)",
+		"abs(x - y)",
+		"min(x, y) * 2",
+		"max(x, y) - x",
+		"x ^ 3",
+		"(x + y) * (x - y)",
+		"sqrt(abs(x)) + y",
+	}
+	nodes := make([]Node, len(exprs))
+	for i, s := range exprs {
+		nodes[i] = MustParse(s)
+	}
+	f := func(a, b, c, d, t1, t2 float64, which uint8) bool {
+		A := arbIv(a, b)
+		B := arbIv(c, d)
+		x := pickIv(A, t1)
+		y := pickIv(B, t2)
+		n := nodes[int(which)%len(nodes)]
+		pv, err := Eval(n, MapEnv{"x": x, "y": y})
+		if err != nil || math.IsNaN(pv) || math.IsInf(pv, 0) {
+			return true
+		}
+		box := MapIntervalEnv{"x": A, "y": B}
+		iv := EvalInterval(n, box)
+		return containsTol(iv, pv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- shared test helpers -------------------------------------------------
+
+func arbIv(a, b float64) interval.Interval {
+	a = sanitizeF(a)
+	b = sanitizeF(b)
+	return interval.New(math.Min(a, b), math.Max(a, b))
+}
+
+func sanitizeF(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 1e3)
+}
+
+func pickIv(iv interval.Interval, t float64) float64 {
+	t = math.Abs(math.Mod(sanitizeF(t), 1))
+	return iv.Lo + t*(iv.Hi-iv.Lo)
+}
+
+func containsTol(iv interval.Interval, v float64) bool {
+	if iv.Contains(v) {
+		return true
+	}
+	eps := 1e-9 * math.Max(1, math.Abs(v))
+	return interval.New(iv.Lo-eps, iv.Hi+eps).Contains(v)
+}

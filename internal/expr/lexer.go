@@ -1,0 +1,165 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNumber
+	tokIdent
+	tokOp     // + - * / ^
+	tokLParen // (
+	tokRParen // )
+	tokComma
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokNumber:
+		return "number"
+	case tokIdent:
+		return "identifier"
+	case tokOp:
+		return "operator"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind tokKind
+	text string
+	val  float64 // for tokNumber
+	pos  int     // byte offset in input
+}
+
+// SyntaxError describes a lexical or parse failure with its position.
+type SyntaxError struct {
+	Input string
+	Pos   int
+	Msg   string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("expr: %s at offset %d in %q", e.Msg, e.Pos, e.Input)
+}
+
+type lexer struct {
+	input string
+	pos   int
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	return &SyntaxError{Input: l.input, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// next returns the next token, skipping whitespace.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.input) {
+		r, sz := utf8.DecodeRuneInString(l.input[l.pos:])
+		if !unicode.IsSpace(r) {
+			break
+		}
+		l.pos += sz
+	}
+	if l.pos >= len(l.input) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.input[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case c == '+' || c == '-' || c == '*' || c == '/' || c == '^':
+		l.pos++
+		return token{kind: tokOp, text: string(c), pos: start}, nil
+	case c >= '0' && c <= '9' || c == '.':
+		return l.lexNumber(start)
+	case isIdentStart(rune(c)):
+		return l.lexIdent(start)
+	default:
+		return token{}, l.errf(start, "unexpected character %q", string(c))
+	}
+}
+
+func (l *lexer) lexNumber(start int) (token, error) {
+	i := l.pos
+	seenDot, seenExp := false, false
+	for i < len(l.input) {
+		c := l.input[i]
+		switch {
+		case c >= '0' && c <= '9':
+			i++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			i++
+		case (c == 'e' || c == 'E') && !seenExp && i > l.pos:
+			// exponent must be followed by optional sign and a digit
+			j := i + 1
+			if j < len(l.input) && (l.input[j] == '+' || l.input[j] == '-') {
+				j++
+			}
+			if j < len(l.input) && l.input[j] >= '0' && l.input[j] <= '9' {
+				seenExp = true
+				i = j
+			} else {
+				goto done
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	text := l.input[l.pos:i]
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return token{}, l.errf(start, "malformed number %q", text)
+	}
+	l.pos = i
+	return token{kind: tokNumber, text: text, val: v, pos: start}, nil
+}
+
+func (l *lexer) lexIdent(start int) (token, error) {
+	i := l.pos
+	for i < len(l.input) {
+		r, sz := utf8.DecodeRuneInString(l.input[i:])
+		if !isIdentPart(r) {
+			break
+		}
+		i += sz
+	}
+	text := l.input[l.pos:i]
+	l.pos = i
+	return token{kind: tokIdent, text: text, pos: start}, nil
+}
+
+// Identifiers name design properties: letters, digits, '_' and '.'
+// (the dot supports hierarchical names such as "LNA.gain").
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.'
+}

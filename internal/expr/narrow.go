@@ -1,0 +1,373 @@
+package expr
+
+import (
+	"math"
+
+	"repro/internal/interval"
+)
+
+// Box is a mutable set of variable domains narrowed by Narrow. It is
+// implemented by the constraint network's property store.
+type Box interface {
+	Domain(name string) interval.Interval
+	SetDomain(name string, iv interval.Interval)
+}
+
+// MapBox is a Box backed by a map; missing entries read as Entire.
+type MapBox map[string]interval.Interval
+
+// Domain implements Box.
+func (m MapBox) Domain(name string) interval.Interval {
+	if iv, ok := m[name]; ok {
+		return iv
+	}
+	return interval.Entire()
+}
+
+// SetDomain implements Box.
+func (m MapBox) SetDomain(name string, iv interval.Interval) { m[name] = iv }
+
+// NarrowResult reports the outcome of one HC4 revise.
+type NarrowResult struct {
+	// Changed lists variables whose domain was strictly narrowed.
+	Changed []string
+	// Inconsistent is true when some domain became empty: no assignment
+	// within the box can place the expression's value inside want.
+	Inconsistent bool
+}
+
+// fnode is a forward-evaluated shadow of an AST node used by the HC4
+// backward pass.
+type fnode struct {
+	n    Node
+	val  interval.Interval
+	kids []*fnode
+}
+
+// Narrow performs one HC4 revise: it narrows the variable domains in box
+// so that the value of n can still lie within want, and reports which
+// variables changed. It is conservative — it never removes a feasible
+// assignment — and is the core primitive of the DCM's propagation
+// algorithm.
+func Narrow(n Node, want interval.Interval, box Box) NarrowResult {
+	root := forward(n, box)
+	res := &NarrowResult{}
+	changed := map[string]bool{}
+	ok := backward(root, want, box, changed)
+	if !ok {
+		res.Inconsistent = true
+	}
+	for v := range changed {
+		res.Changed = append(res.Changed, v)
+	}
+	return *res
+}
+
+func forward(n Node, box Box) *fnode {
+	f := &fnode{n: n}
+	switch t := n.(type) {
+	case *Num:
+		f.val = interval.Point(t.Val)
+	case *Var:
+		f.val = box.Domain(t.Name)
+	case *Unary:
+		k := forward(t.X, box)
+		f.kids = []*fnode{k}
+		f.val = k.val.Neg()
+	case *Binary:
+		x := forward(t.X, box)
+		y := forward(t.Y, box)
+		f.kids = []*fnode{x, y}
+		switch t.Op {
+		case '+':
+			f.val = x.val.Add(y.val)
+		case '-':
+			f.val = x.val.Sub(y.val)
+		case '*':
+			f.val = x.val.Mul(y.val)
+		case '/':
+			f.val = x.val.Div(y.val)
+		case '^':
+			f.val = powInterval(x.val, t.Y, y.val)
+		default:
+			f.val = interval.Entire()
+		}
+	case *Call:
+		f.kids = make([]*fnode, len(t.Args))
+		for i, a := range t.Args {
+			f.kids[i] = forward(a, box)
+		}
+		switch t.Fn {
+		case "sqrt":
+			f.val = f.kids[0].val.Sqrt()
+		case "sqr":
+			f.val = f.kids[0].val.Sqr()
+		case "abs":
+			f.val = f.kids[0].val.Abs()
+		case "exp":
+			f.val = f.kids[0].val.Exp()
+		case "log":
+			f.val = f.kids[0].val.Log()
+		case "min":
+			f.val = f.kids[0].val.Min(f.kids[1].val)
+		case "max":
+			f.val = f.kids[0].val.Max(f.kids[1].val)
+		default:
+			f.val = interval.Entire()
+		}
+	}
+	return f
+}
+
+// inflate widens an interval by a relative epsilon on each side. HC4
+// projections are computed without directed rounding, so a requirement
+// propagated through point-valued nodes can miss the true value by an
+// ulp; inflating keeps the projection conservative instead of producing
+// a spuriously empty intersection (a false "inconsistent").
+func inflate(iv interval.Interval) interval.Interval {
+	if iv.IsEmpty() {
+		return iv
+	}
+	const eps = 1e-12
+	lo := iv.Lo
+	if !math.IsInf(lo, 0) {
+		lo -= eps * math.Max(1, math.Abs(lo))
+	}
+	hi := iv.Hi
+	if !math.IsInf(hi, 0) {
+		hi += eps * math.Max(1, math.Abs(hi))
+	}
+	return interval.New(lo, hi)
+}
+
+// magnitudeOf returns the largest finite absolute bound among the
+// intervals (at least 1), the scale against which floating-point error
+// of a combined projection must be judged.
+func magnitudeOf(ivs ...interval.Interval) float64 {
+	s := 1.0
+	for _, iv := range ivs {
+		if iv.IsEmpty() {
+			continue
+		}
+		for _, b := range [2]float64{iv.Lo, iv.Hi} {
+			if a := math.Abs(b); !math.IsInf(a, 0) && a > s {
+				s = a
+			}
+		}
+	}
+	return s
+}
+
+// inflateToScale widens an interval by eps relative to an explicit
+// magnitude scale (for projections whose rounding error is governed by
+// operand size, not result size — additive cancellation).
+func inflateToScale(iv interval.Interval, scale float64) interval.Interval {
+	if iv.IsEmpty() {
+		return iv
+	}
+	const eps = 1e-12
+	pad := eps * scale
+	lo := iv.Lo
+	if !math.IsInf(lo, 0) {
+		lo -= pad
+	}
+	hi := iv.Hi
+	if !math.IsInf(hi, 0) {
+		hi += pad
+	}
+	return interval.New(lo, hi)
+}
+
+// backward projects the requirement node-value ∈ want down the tree,
+// intersecting variable domains in box. Returns false on inconsistency.
+func backward(f *fnode, want interval.Interval, box Box, changed map[string]bool) bool {
+	cur := f.val.Intersect(inflate(want))
+	if cur.IsEmpty() {
+		return false
+	}
+	switch t := f.n.(type) {
+	case *Num:
+		return true // cur nonempty means the literal is acceptable
+	case *Var:
+		old := box.Domain(t.Name)
+		nv := old.Intersect(cur)
+		if nv.IsEmpty() {
+			return false
+		}
+		if !nv.Equal(old) {
+			box.SetDomain(t.Name, nv)
+			changed[t.Name] = true
+		}
+		return true
+	case *Unary:
+		return backward(f.kids[0], cur.Neg(), box, changed)
+	case *Binary:
+		x, y := f.kids[0], f.kids[1]
+		switch t.Op {
+		case '+':
+			// x + y ∈ cur  ⇒  x ∈ cur - y,  y ∈ cur - x. The differences
+			// cancel catastrophically when the operands dwarf the result
+			// (recovering a small addend from two huge terms), so the
+			// projections are inflated relative to the operand magnitudes.
+			scale := magnitudeOf(cur, x.val, y.val)
+			if !backward(x, inflateToScale(cur.Sub(y.val), scale), box, changed) {
+				return false
+			}
+			return backward(y, inflateToScale(cur.Sub(x.val), scale), box, changed)
+		case '-':
+			// x - y ∈ cur  ⇒  x ∈ cur + y,  y ∈ x - cur
+			scale := magnitudeOf(cur, x.val, y.val)
+			if !backward(x, inflateToScale(cur.Add(y.val), scale), box, changed) {
+				return false
+			}
+			return backward(y, inflateToScale(x.val.Sub(cur), scale), box, changed)
+		case '*':
+			// x * y ∈ cur  ⇒  x ∈ cur / y (when y avoids 0), likewise y.
+			if !backward(x, mulProject(cur, y.val), box, changed) {
+				return false
+			}
+			return backward(y, mulProject(cur, x.val), box, changed)
+		case '/':
+			// x / y ∈ cur  ⇒  x ∈ cur * y,  y ∈ x / cur
+			if !backward(x, cur.Mul(y.val), box, changed) {
+				return false
+			}
+			return backward(y, divProjectDenominator(x.val, cur), box, changed)
+		case '^':
+			if k, ok := intConst(t.Y); ok {
+				return backward(x, powProject(cur, k), box, changed)
+			}
+			// Non-constant exponent: no safe projection; accept.
+			return true
+		}
+		return true
+	case *Call:
+		switch t.Fn {
+		case "sqrt":
+			// sqrt(x) ∈ cur  ⇒  x ∈ (cur ∩ [0,∞))²
+			return backward(f.kids[0], cur.Intersect(interval.New(0, math.Inf(1))).Sqr(), box, changed)
+		case "sqr":
+			return backward(f.kids[0], powProject(cur, 2), box, changed)
+		case "abs":
+			hi := cur.Hi
+			if hi < 0 {
+				return false
+			}
+			return backward(f.kids[0], interval.New(-hi, hi), box, changed)
+		case "exp":
+			return backward(f.kids[0], cur.Log(), box, changed)
+		case "log":
+			return backward(f.kids[0], cur.Exp(), box, changed)
+		case "min":
+			return backwardMinMax(f, cur, box, changed, true)
+		case "max":
+			return backwardMinMax(f, cur, box, changed, false)
+		}
+		return true
+	}
+	return true
+}
+
+// mulProject returns the projection interval for x given x*y ∈ cur:
+// cur / y, except when y spans zero where no narrowing is safe.
+func mulProject(cur, y interval.Interval) interval.Interval {
+	if y.Contains(0) {
+		// x may be anything if y can be 0 and cur contains 0; if cur
+		// excludes 0, y≠0 is forced but the quotient is still unbounded
+		// in both directions, so stay conservative.
+		if cur.Contains(0) {
+			return interval.Entire()
+		}
+		return cur.Div(y) // Div handles the zero-span hull
+	}
+	return cur.Div(y)
+}
+
+// divProjectDenominator returns the projection for y given x/y ∈ cur:
+// y ∈ x / cur, conservative when cur spans zero.
+func divProjectDenominator(x, cur interval.Interval) interval.Interval {
+	if cur.Contains(0) {
+		if x.Contains(0) {
+			return interval.Entire()
+		}
+		return x.Div(cur)
+	}
+	return x.Div(cur)
+}
+
+// powProject returns the projection for x given xᵏ ∈ cur.
+func powProject(cur interval.Interval, k int) interval.Interval {
+	if k == 0 {
+		// x⁰ = 1: acceptable iff cur contains 1; no narrowing of x.
+		if cur.Contains(1) {
+			return interval.Entire()
+		}
+		return interval.Empty()
+	}
+	if k < 0 {
+		// xᵏ = 1/x^(−k): x^(−k) ∈ 1/cur.
+		return powProject(cur.Inv(), -k)
+	}
+	if k%2 == 1 {
+		return oddRoot(cur, k)
+	}
+	// Even power: x ∈ [-r, r] with r = (cur.Hi)^(1/k); requires cur.Hi ≥ 0.
+	if cur.Hi < 0 {
+		return interval.Empty()
+	}
+	r := math.Pow(cur.Hi, 1/float64(k))
+	return interval.New(-r, r)
+}
+
+func oddRoot(cur interval.Interval, k int) interval.Interval {
+	if cur.IsEmpty() {
+		return interval.Empty()
+	}
+	return interval.New(signedRoot(cur.Lo, k), signedRoot(cur.Hi, k))
+}
+
+func signedRoot(v float64, k int) float64 {
+	if math.IsInf(v, 0) {
+		return v
+	}
+	if v < 0 {
+		return -math.Pow(-v, 1/float64(k))
+	}
+	return math.Pow(v, 1/float64(k))
+}
+
+// backwardMinMax projects min(x,y) ∈ cur (isMin) or max(x,y) ∈ cur.
+func backwardMinMax(f *fnode, cur interval.Interval, box Box, changed map[string]bool, isMin bool) bool {
+	x, y := f.kids[0], f.kids[1]
+	wx, wy := minMaxProject(cur, x.val, y.val, isMin)
+	if !backward(x, wx, box, changed) {
+		return false
+	}
+	return backward(y, wy, box, changed)
+}
+
+// minMaxProject computes conservative projections for both arguments.
+// For min: both args ≥ cur.Lo; an arg must additionally be ≤ cur.Hi when
+// the other arg cannot reach down to cur.Hi (it must be the minimizer).
+func minMaxProject(cur, xv, yv interval.Interval, isMin bool) (wx, wy interval.Interval) {
+	if isMin {
+		wx = interval.New(cur.Lo, math.Inf(1))
+		wy = interval.New(cur.Lo, math.Inf(1))
+		if yv.Lo > cur.Hi {
+			wx = wx.Intersect(interval.New(math.Inf(-1), cur.Hi))
+		}
+		if xv.Lo > cur.Hi {
+			wy = wy.Intersect(interval.New(math.Inf(-1), cur.Hi))
+		}
+		return wx, wy
+	}
+	wx = interval.New(math.Inf(-1), cur.Hi)
+	wy = interval.New(math.Inf(-1), cur.Hi)
+	if yv.Hi < cur.Lo {
+		wx = wx.Intersect(interval.New(cur.Lo, math.Inf(1)))
+	}
+	if xv.Hi < cur.Lo {
+		wy = wy.Intersect(interval.New(cur.Lo, math.Inf(1)))
+	}
+	return wx, wy
+}

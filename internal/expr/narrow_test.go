@@ -1,0 +1,281 @@
+package expr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/interval"
+)
+
+func box(pairs ...any) MapBox {
+	b := MapBox{}
+	for i := 0; i < len(pairs); i += 2 {
+		b[pairs[i].(string)] = pairs[i+1].(interval.Interval)
+	}
+	return b
+}
+
+func TestNarrowSum(t *testing.T) {
+	// The paper's example constraint: Pf + Ps <= PM with PM = 200.
+	// Narrowing Pf + Ps to (-inf, 200] with Ps in [150, 180] forces
+	// Pf <= 50.
+	b := box(
+		"Pf", interval.New(0, 500),
+		"Ps", interval.New(150, 180),
+	)
+	res := Narrow(MustParse("Pf + Ps"), interval.New(math.Inf(-1), 200), b)
+	if res.Inconsistent {
+		t.Fatal("unexpected inconsistency")
+	}
+	if got := b["Pf"]; !got.ApproxEqual(interval.New(0, 50), 1e-9) {
+		t.Errorf("Pf narrowed to %v, want [0,50]", got)
+	}
+	if len(res.Changed) != 1 || res.Changed[0] != "Pf" {
+		t.Errorf("Changed = %v, want [Pf]", res.Changed)
+	}
+}
+
+func TestNarrowInconsistent(t *testing.T) {
+	b := box("x", interval.New(10, 20))
+	res := Narrow(MustParse("x"), interval.New(0, 5), b)
+	if !res.Inconsistent {
+		t.Error("expected inconsistency: x in [10,20] cannot be in [0,5]")
+	}
+}
+
+func TestNarrowProduct(t *testing.T) {
+	// x * y = 12, x in [2,3] => y in [4,6]
+	b := box("x", interval.New(2, 3), "y", interval.New(0, 100))
+	res := Narrow(MustParse("x * y"), interval.Point(12), b)
+	if res.Inconsistent {
+		t.Fatal("unexpected inconsistency")
+	}
+	if got := b["y"]; !got.ApproxEqual(interval.New(4, 6), 1e-9) {
+		t.Errorf("y narrowed to %v, want [4,6]", got)
+	}
+}
+
+func TestNarrowQuotient(t *testing.T) {
+	// x / y in [2,3], x in [6,6] => y in [2,3]
+	b := box("x", interval.Point(6), "y", interval.New(0.1, 100))
+	res := Narrow(MustParse("x / y"), interval.New(2, 3), b)
+	if res.Inconsistent {
+		t.Fatal("unexpected inconsistency")
+	}
+	if got := b["y"]; !got.ApproxEqual(interval.New(2, 3), 1e-9) {
+		t.Errorf("y narrowed to %v, want [2,3]", got)
+	}
+}
+
+func TestNarrowSquare(t *testing.T) {
+	// sqr(x) <= 9 => x in [-3,3]
+	b := box("x", interval.New(-10, 10))
+	res := Narrow(MustParse("sqr(x)"), interval.New(math.Inf(-1), 9), b)
+	if res.Inconsistent {
+		t.Fatal("unexpected inconsistency")
+	}
+	if got := b["x"]; !got.ApproxEqual(interval.New(-3, 3), 1e-9) {
+		t.Errorf("x narrowed to %v, want [-3,3]", got)
+	}
+}
+
+func TestNarrowSqrt(t *testing.T) {
+	// sqrt(x) in [2,3] => x in [4,9]
+	b := box("x", interval.New(0, 100))
+	res := Narrow(MustParse("sqrt(x)"), interval.New(2, 3), b)
+	if res.Inconsistent {
+		t.Fatal("unexpected inconsistency")
+	}
+	if got := b["x"]; !got.ApproxEqual(interval.New(4, 9), 1e-9) {
+		t.Errorf("x narrowed to %v, want [4,9]", got)
+	}
+}
+
+func TestNarrowOddPower(t *testing.T) {
+	// x^3 in [8,27] => x in [2,3]
+	b := box("x", interval.New(-100, 100))
+	res := Narrow(MustParse("x ^ 3"), interval.New(8, 27), b)
+	if res.Inconsistent {
+		t.Fatal("unexpected inconsistency")
+	}
+	if got := b["x"]; !got.ApproxEqual(interval.New(2, 3), 1e-9) {
+		t.Errorf("x narrowed to %v, want [2,3]", got)
+	}
+}
+
+func TestNarrowAbs(t *testing.T) {
+	// abs(x) <= 5 => x in [-5,5]
+	b := box("x", interval.New(-100, 100))
+	res := Narrow(MustParse("abs(x)"), interval.New(0, 5), b)
+	if res.Inconsistent {
+		t.Fatal("unexpected inconsistency")
+	}
+	if got := b["x"]; !got.ApproxEqual(interval.New(-5, 5), 1e-9) {
+		t.Errorf("x narrowed to %v, want [-5,5]", got)
+	}
+	// abs(x) in [-3,-1] is impossible
+	b2 := box("x", interval.New(-100, 100))
+	if res := Narrow(MustParse("abs(x)"), interval.New(-3, -1), b2); !res.Inconsistent {
+		t.Error("abs(x) in negative range should be inconsistent")
+	}
+}
+
+func TestNarrowExpLog(t *testing.T) {
+	b := box("x", interval.New(-100, 100))
+	res := Narrow(MustParse("exp(x)"), interval.New(1, math.E), b)
+	if res.Inconsistent {
+		t.Fatal("unexpected inconsistency")
+	}
+	if got := b["x"]; !got.ApproxEqual(interval.New(0, 1), 1e-9) {
+		t.Errorf("x narrowed to %v, want [0,1]", got)
+	}
+	b2 := box("y", interval.New(0.001, 1000))
+	res = Narrow(MustParse("log(y)"), interval.New(0, 1), b2)
+	if res.Inconsistent {
+		t.Fatal("unexpected inconsistency")
+	}
+	if got := b2["y"]; !got.ApproxEqual(interval.New(1, math.E), 1e-6) {
+		t.Errorf("y narrowed to %v, want [1,e]", got)
+	}
+}
+
+func TestNarrowMin(t *testing.T) {
+	// min(x, y) >= 3 forces both x >= 3 and y >= 3.
+	b := box("x", interval.New(0, 10), "y", interval.New(0, 10))
+	res := Narrow(MustParse("min(x, y)"), interval.New(3, math.Inf(1)), b)
+	if res.Inconsistent {
+		t.Fatal("unexpected inconsistency")
+	}
+	if got := b["x"]; !got.ApproxEqual(interval.New(3, 10), 1e-9) {
+		t.Errorf("x narrowed to %v, want [3,10]", got)
+	}
+	if got := b["y"]; !got.ApproxEqual(interval.New(3, 10), 1e-9) {
+		t.Errorf("y narrowed to %v, want [3,10]", got)
+	}
+}
+
+func TestNarrowMax(t *testing.T) {
+	// max(x, y) <= 4 forces both <= 4.
+	b := box("x", interval.New(0, 10), "y", interval.New(0, 10))
+	res := Narrow(MustParse("max(x, y)"), interval.New(math.Inf(-1), 4), b)
+	if res.Inconsistent {
+		t.Fatal("unexpected inconsistency")
+	}
+	if got := b["x"]; !got.ApproxEqual(interval.New(0, 4), 1e-9) {
+		t.Errorf("x narrowed to %v, want [0,4]", got)
+	}
+	if got := b["y"]; !got.ApproxEqual(interval.New(0, 4), 1e-9) {
+		t.Errorf("y narrowed to %v, want [0,4]", got)
+	}
+}
+
+func TestNarrowMinForcedSide(t *testing.T) {
+	// min(x,y) in [5,6] with y in [8,10]: y cannot be the minimizer,
+	// so x must be in [5,6].
+	b := box("x", interval.New(0, 100), "y", interval.New(8, 10))
+	res := Narrow(MustParse("min(x, y)"), interval.New(5, 6), b)
+	if res.Inconsistent {
+		t.Fatal("unexpected inconsistency")
+	}
+	if got := b["x"]; !got.ApproxEqual(interval.New(5, 6), 1e-9) {
+		t.Errorf("x narrowed to %v, want [5,6]", got)
+	}
+}
+
+func TestNarrowRepeatedVariable(t *testing.T) {
+	// x + x = 10: HC4 on repeated variables narrows each occurrence
+	// against the box; result must still contain the solution x = 5.
+	b := box("x", interval.New(0, 100))
+	res := Narrow(MustParse("x + x"), interval.Point(10), b)
+	if res.Inconsistent {
+		t.Fatal("unexpected inconsistency")
+	}
+	if !b["x"].Contains(5) {
+		t.Errorf("x narrowed to %v, must still contain 5", b["x"])
+	}
+}
+
+func TestNarrowConstantConflict(t *testing.T) {
+	b := box()
+	res := Narrow(MustParse("3"), interval.New(4, 5), b)
+	if !res.Inconsistent {
+		t.Error("constant 3 required in [4,5] should be inconsistent")
+	}
+	res = Narrow(MustParse("3"), interval.New(0, 5), b)
+	if res.Inconsistent {
+		t.Error("constant 3 in [0,5] should be consistent")
+	}
+}
+
+func TestNarrowNoChangeWhenAlreadyTight(t *testing.T) {
+	b := box("x", interval.New(2, 3))
+	res := Narrow(MustParse("x"), interval.New(0, 10), b)
+	if res.Inconsistent || len(res.Changed) != 0 {
+		t.Errorf("no-op narrow reported %+v", res)
+	}
+}
+
+// Property: Narrow never removes a point solution. For random boxes and
+// a point (x,y) inside them, if f(x,y) lies in want then after Narrow
+// the box still contains (x,y).
+func TestQuickNarrowSound(t *testing.T) {
+	exprs := []string{
+		"x + y",
+		"x - y",
+		"x * y",
+		"sqr(x) + y",
+		"abs(x) - y",
+		"min(x, y)",
+		"max(x, y) + 1",
+		"x ^ 3 - y",
+		"2 * x + 3 * y",
+	}
+	nodes := make([]Node, len(exprs))
+	for i, s := range exprs {
+		nodes[i] = MustParse(s)
+	}
+	f := func(a, b, c, d, t1, t2, w1, w2 float64, which uint8) bool {
+		A := arbIv(a, b)
+		B := arbIv(c, d)
+		x := pickIv(A, t1)
+		y := pickIv(B, t2)
+		n := nodes[int(which)%len(nodes)]
+		pv, err := Eval(n, MapEnv{"x": x, "y": y})
+		if err != nil || math.IsNaN(pv) || math.IsInf(pv, 0) {
+			return true
+		}
+		// Build a want window guaranteed to include pv.
+		lo := pv - math.Abs(sanitizeF(w1)) - 1e-6
+		hi := pv + math.Abs(sanitizeF(w2)) + 1e-6
+		want := interval.New(lo, hi)
+		bx := MapBox{"x": A, "y": B}
+		res := Narrow(n, want, bx)
+		if res.Inconsistent {
+			return false // a witness exists, must not be inconsistent
+		}
+		return containsTol(bx["x"], x) && containsTol(bx["y"], y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Narrow is contractive — domains never grow.
+func TestQuickNarrowContractive(t *testing.T) {
+	n := MustParse("x * y + sqr(x) - y")
+	f := func(a, b, c, d, w1, w2 float64) bool {
+		A := arbIv(a, b)
+		B := arbIv(c, d)
+		want := arbIv(w1, w2)
+		bx := MapBox{"x": A, "y": B}
+		res := Narrow(n, want, bx)
+		if res.Inconsistent {
+			return true
+		}
+		return A.ContainsInterval(bx["x"]) && B.ContainsInterval(bx["y"])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

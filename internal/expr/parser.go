@@ -1,0 +1,193 @@
+package expr
+
+import "fmt"
+
+// builtins maps function names to their arity.
+var builtins = map[string]int{
+	"sqrt": 1,
+	"sqr":  1,
+	"abs":  1,
+	"exp":  1,
+	"log":  1,
+	"min":  2,
+	"max":  2,
+}
+
+type parser struct {
+	lex  lexer
+	tok  token
+	err  error
+	full string
+}
+
+// Parse parses an arithmetic expression into an AST.
+//
+// Grammar (precedence climbing):
+//
+//	expr   = term { ('+'|'-') term }
+//	term   = factor { ('*'|'/') factor }
+//	factor = unary [ '^' factor ]          // '^' is right-associative
+//	unary  = '-' unary | atom
+//	atom   = NUMBER | IDENT | IDENT '(' args ')' | '(' expr ')'
+func Parse(input string) (Node, error) {
+	p := &parser{lex: lexer{input: input}, full: input}
+	p.advance()
+	if p.err != nil {
+		return nil, p.err
+	}
+	n := p.parseExpr()
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errAt(p.tok.pos, "unexpected %s %q", p.tok.kind, p.tok.text)
+	}
+	return n, nil
+}
+
+// MustParse is Parse that panics on error; for statically known inputs
+// such as built-in scenario definitions.
+func MustParse(input string) Node {
+	n, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func (p *parser) errAt(pos int, format string, args ...any) error {
+	return &SyntaxError{Input: p.full, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) advance() {
+	if p.err != nil {
+		return
+	}
+	t, err := p.lex.next()
+	if err != nil {
+		p.err = err
+		return
+	}
+	p.tok = t
+}
+
+func (p *parser) parseExpr() Node {
+	n := p.parseTerm()
+	for p.err == nil && p.tok.kind == tokOp && (p.tok.text == "+" || p.tok.text == "-") {
+		op := p.tok.text[0]
+		p.advance()
+		rhs := p.parseTerm()
+		n = &Binary{Op: op, X: n, Y: rhs}
+	}
+	return n
+}
+
+func (p *parser) parseTerm() Node {
+	n := p.parseFactor()
+	for p.err == nil && p.tok.kind == tokOp && (p.tok.text == "*" || p.tok.text == "/") {
+		op := p.tok.text[0]
+		p.advance()
+		rhs := p.parseFactor()
+		n = &Binary{Op: op, X: n, Y: rhs}
+	}
+	return n
+}
+
+func (p *parser) parseFactor() Node {
+	n := p.parseUnary()
+	if p.err == nil && p.tok.kind == tokOp && p.tok.text == "^" {
+		p.advance()
+		rhs := p.parseFactor() // right-associative
+		n = &Binary{Op: '^', X: n, Y: rhs}
+	}
+	return n
+}
+
+func (p *parser) parseUnary() Node {
+	if p.tok.kind == tokOp && p.tok.text == "-" {
+		p.advance()
+		x := p.parseUnary()
+		if p.err != nil {
+			return nil
+		}
+		// Fold negation of literals so "-3" is a Num, which keeps
+		// exponent-constant detection simple elsewhere.
+		if num, ok := x.(*Num); ok {
+			return &Num{Val: -num.Val}
+		}
+		return &Unary{Op: '-', X: x}
+	}
+	if p.tok.kind == tokOp && p.tok.text == "+" {
+		p.advance()
+		return p.parseUnary()
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() Node {
+	if p.err != nil {
+		return nil
+	}
+	switch p.tok.kind {
+	case tokNumber:
+		n := &Num{Val: p.tok.val}
+		p.advance()
+		return n
+	case tokIdent:
+		name := p.tok.text
+		pos := p.tok.pos
+		p.advance()
+		if p.tok.kind == tokLParen {
+			return p.parseCall(name, pos)
+		}
+		return &Var{Name: name}
+	case tokLParen:
+		p.advance()
+		n := p.parseExpr()
+		if p.err != nil {
+			return nil
+		}
+		if p.tok.kind != tokRParen {
+			p.err = p.errAt(p.tok.pos, "expected ')', got %s", p.tok.kind)
+			return nil
+		}
+		p.advance()
+		return n
+	default:
+		p.err = p.errAt(p.tok.pos, "expected expression, got %s", p.tok.kind)
+		return nil
+	}
+}
+
+func (p *parser) parseCall(name string, pos int) Node {
+	arity, ok := builtins[name]
+	if !ok {
+		p.err = p.errAt(pos, "unknown function %q", name)
+		return nil
+	}
+	p.advance() // consume '('
+	var args []Node
+	if p.tok.kind != tokRParen {
+		for {
+			arg := p.parseExpr()
+			if p.err != nil {
+				return nil
+			}
+			args = append(args, arg)
+			if p.tok.kind != tokComma {
+				break
+			}
+			p.advance()
+		}
+	}
+	if p.tok.kind != tokRParen {
+		p.err = p.errAt(p.tok.pos, "expected ')' closing call to %s, got %s", name, p.tok.kind)
+		return nil
+	}
+	p.advance()
+	if len(args) != arity {
+		p.err = p.errAt(pos, "%s expects %d argument(s), got %d", name, arity, len(args))
+		return nil
+	}
+	return &Call{Fn: name, Args: args}
+}

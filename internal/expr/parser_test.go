@@ -1,0 +1,220 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // expected String() form; "" means identical to in
+	}{
+		{"1", ""},
+		{"x", ""},
+		{"1 + 2", ""},
+		{"a + b * c", ""},
+		{"(a + b) * c", ""},
+		{"a - b - c", ""},
+		{"a - (b - c)", ""},
+		{"a / b / c", ""},
+		{"a ^ 2", ""},
+		{"a ^ 2 ^ 3", ""}, // right-assoc: a^(2^3)
+		{"(a ^ 2) ^ 3", ""},
+		{"-x", ""},
+		{"-(a + b)", ""},
+		{"sqrt(x)", ""},
+		{"min(a, b)", ""},
+		{"max(a + 1, b * 2)", ""},
+		{"abs(-x)", ""},
+		{"LNA.gain * 2", ""},
+		{"Diff_pair_W + 1", ""},
+		{"1.5e3 * x", "1500 * x"},
+		{"2*x+3", "2 * x + 3"},
+		{"-3", ""},
+		{"+x", "x"},
+	}
+	for _, c := range cases {
+		n, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		want := c.want
+		if want == "" {
+			want = c.in
+		}
+		if got := n.String(); got != want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got, want)
+		}
+		// Re-parsing the String form must give the same String form.
+		n2, err := Parse(n.String())
+		if err != nil {
+			t.Errorf("reparse of %q failed: %v", n.String(), err)
+			continue
+		}
+		if n2.String() != n.String() {
+			t.Errorf("round trip unstable: %q -> %q", n.String(), n2.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		in      string
+		errPart string
+	}{
+		{"", "expected expression"},
+		{"1 +", "expected expression"},
+		{"(1", "expected ')'"},
+		{"1)", "unexpected"},
+		{"foo(1)", "unknown function"},
+		{"sqrt()", "expects 1 argument"},
+		{"sqrt(1, 2)", "expects 1 argument"},
+		{"min(1)", "expects 2 argument"},
+		{"1 @ 2", "unexpected character"},
+		{"1 2", "unexpected"},
+		{"a b", "unexpected"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.in)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", c.in, c.errPart)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.errPart) {
+			t.Errorf("Parse(%q) error %q, want substring %q", c.in, err, c.errPart)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// 2 + 3 * 4 ^ 2 = 2 + 3*16 = 50
+	n := MustParse("2 + 3 * 4 ^ 2")
+	v, err := Eval(n, MapEnv{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 50 {
+		t.Errorf("2 + 3 * 4 ^ 2 = %v, want 50", v)
+	}
+	// unary minus binds tighter than * : -2 * 3 = -6
+	n = MustParse("-2 * 3")
+	v, _ = Eval(n, MapEnv{})
+	if v != -6 {
+		t.Errorf("-2 * 3 = %v, want -6", v)
+	}
+	// -2 ^ 2: our grammar parses unary first, so (-2)^2 = 4
+	n = MustParse("-2 ^ 2")
+	v, _ = Eval(n, MapEnv{})
+	if v != 4 {
+		t.Errorf("-2 ^ 2 = %v, want 4 under unary-first grammar", v)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on invalid input did not panic")
+		}
+	}()
+	MustParse("1 +")
+}
+
+func TestVars(t *testing.T) {
+	n := MustParse("a + b * a - sqrt(c) + min(d, a)")
+	got := Vars(n)
+	want := []string{"a", "b", "c", "d"}
+	if len(got) != len(want) {
+		t.Fatalf("Vars = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", got, want)
+		}
+	}
+	if !ContainsVar(n, "c") || ContainsVar(n, "z") {
+		t.Error("ContainsVar misbehaves")
+	}
+	if len(Vars(MustParse("1 + 2"))) != 0 {
+		t.Error("constant expression should have no vars")
+	}
+}
+
+func TestCountNodes(t *testing.T) {
+	if got := CountNodes(MustParse("1")); got != 1 {
+		t.Errorf("CountNodes(1) = %d", got)
+	}
+	if got := CountNodes(MustParse("a + b")); got != 3 {
+		t.Errorf("CountNodes(a+b) = %d", got)
+	}
+	if got := CountNodes(MustParse("min(a, -b)")); got != 4 {
+		t.Errorf("CountNodes(min(a,-b)) = %d", got)
+	}
+}
+
+func TestNumberLexing(t *testing.T) {
+	cases := map[string]float64{
+		"0":       0,
+		"3.25":    3.25,
+		".5":      0.5,
+		"1e3":     1000,
+		"1E-2":    0.01,
+		"2.5e+1":  25,
+		"1e3 + 1": 1001,
+	}
+	for in, want := range cases {
+		n, err := Parse(in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", in, err)
+			continue
+		}
+		v, err := Eval(n, MapEnv{})
+		if err != nil {
+			t.Errorf("Eval(%q): %v", in, err)
+			continue
+		}
+		if v != want {
+			t.Errorf("Eval(%q) = %v, want %v", in, v, want)
+		}
+	}
+}
+
+func TestIdentifierForms(t *testing.T) {
+	for _, id := range []string{"x", "X9", "_u", "a.b.c", "LNA.gain", "Diff_pair_W"} {
+		n, err := Parse(id)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", id, err)
+			continue
+		}
+		v, ok := n.(*Var)
+		if !ok || v.Name != id {
+			t.Errorf("Parse(%q) = %#v, want Var", id, n)
+		}
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	n := MustParse("a + 2 * b")
+	repl := map[string]Node{
+		"a": MustParse("x * y"),
+		"b": MustParse("sqrt(z)"),
+	}
+	got := Substitute(n, repl).String()
+	want := "x * y + 2 * sqrt(z)"
+	if got != want {
+		t.Errorf("Substitute = %q, want %q", got, want)
+	}
+	// Variables without entries are untouched; original is unchanged.
+	if n.String() != "a + 2 * b" {
+		t.Error("Substitute mutated the input")
+	}
+	if got := Substitute(MustParse("c"), repl).String(); got != "c" {
+		t.Errorf("unmapped var changed: %q", got)
+	}
+	// Substitution respects structure (parenthesization on print).
+	got = Substitute(MustParse("a ^ 2"), map[string]Node{"a": MustParse("x + 1")}).String()
+	if got != "(x + 1) ^ 2" {
+		t.Errorf("structural substitute = %q", got)
+	}
+}

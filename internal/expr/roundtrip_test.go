@@ -1,0 +1,177 @@
+package expr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/interval"
+)
+
+// randNode generates a random AST of bounded depth.
+func randNode(rng *rand.Rand, depth int) Node {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		if rng.Intn(2) == 0 {
+			// Literal; keep values printable and re-parseable.
+			v := math.Round(rng.Float64()*2000-1000) / 8
+			return &Num{Val: v}
+		}
+		names := []string{"x", "y", "z", "a.b", "Diff_pair_W"}
+		return &Var{Name: names[rng.Intn(len(names))]}
+	}
+	switch rng.Intn(8) {
+	case 0:
+		return &Unary{Op: '-', X: randNode(rng, depth-1)}
+	case 1:
+		return &Binary{Op: '+', X: randNode(rng, depth-1), Y: randNode(rng, depth-1)}
+	case 2:
+		return &Binary{Op: '-', X: randNode(rng, depth-1), Y: randNode(rng, depth-1)}
+	case 3:
+		return &Binary{Op: '*', X: randNode(rng, depth-1), Y: randNode(rng, depth-1)}
+	case 4:
+		return &Binary{Op: '/', X: randNode(rng, depth-1), Y: randNode(rng, depth-1)}
+	case 5:
+		// Integer exponent keeps ^ well-defined for all evaluators.
+		return &Binary{Op: '^', X: randNode(rng, depth-1), Y: &Num{Val: float64(1 + rng.Intn(3))}}
+	case 6:
+		fns := []string{"sqrt", "sqr", "abs", "exp"}
+		return &Call{Fn: fns[rng.Intn(len(fns))], Args: []Node{randNode(rng, depth-1)}}
+	default:
+		fns := []string{"min", "max"}
+		return &Call{Fn: fns[rng.Intn(len(fns))], Args: []Node{
+			randNode(rng, depth-1), randNode(rng, depth-1),
+		}}
+	}
+}
+
+// TestRandomASTPrintParseRoundTrip: for random ASTs, String must
+// re-parse with identical point semantics, and one Parse∘String round
+// must reach a canonical fixed point (the parser may normalize, e.g.
+// folding a negated negative literal).
+func TestRandomASTPrintParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(20010618)) // DAC 2001
+	env := MapEnv{"x": 1.25, "y": -2.5, "z": 0.75, "a.b": 3, "Diff_pair_W": 2.5}
+	for i := 0; i < 500; i++ {
+		n := randNode(rng, 4)
+		text1 := n.String()
+		re1, err := Parse(text1)
+		if err != nil {
+			t.Fatalf("iteration %d: %q does not re-parse: %v", i, text1, err)
+		}
+		text2 := re1.String()
+		re2, err := Parse(text2)
+		if err != nil {
+			t.Fatalf("iteration %d: normalized %q does not re-parse: %v", i, text2, err)
+		}
+		if re2.String() != text2 {
+			t.Fatalf("iteration %d: no fixed point:\n  %q\n  %q\n  %q", i, text1, text2, re2.String())
+		}
+		v1, err1 := Eval(n, env)
+		for j, m := range []Node{re1, re2} {
+			v2, err2 := Eval(m, env)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("iteration %d/%d: eval error mismatch for %q: %v vs %v", i, j, text1, err1, err2)
+			}
+			if err1 == nil {
+				same := v1 == v2 || (math.IsNaN(v1) && math.IsNaN(v2))
+				if !same {
+					t.Fatalf("iteration %d/%d: eval mismatch for %q: %v vs %v", i, j, text1, v1, v2)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomASTDiffConsistency: where the symbolic derivative exists,
+// it must match central differences at a random point.
+func TestRandomASTDiffConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	checked := 0
+	for i := 0; i < 800 && checked < 200; i++ {
+		n := randNode(rng, 3)
+		if !ContainsVar(n, "x") {
+			continue
+		}
+		d := Diff(n, "x")
+		if d == nil {
+			continue // non-differentiable form: fine
+		}
+		env := MapEnv{
+			"x": 0.5 + rng.Float64()*2, "y": 0.5 + rng.Float64()*2,
+			"z": 0.5 + rng.Float64()*2, "a.b": 1 + rng.Float64(),
+			"Diff_pair_W": 1 + rng.Float64(),
+		}
+		f0, err := Eval(n, env)
+		if err != nil || math.IsNaN(f0) || math.IsInf(f0, 0) || math.Abs(f0) > 1e8 {
+			continue
+		}
+		sym, err := Eval(d, env)
+		if err != nil || math.IsNaN(sym) || math.IsInf(sym, 0) {
+			continue
+		}
+		num := numDeriv(n, "x", env)
+		if math.IsNaN(num) || math.IsInf(num, 0) {
+			continue
+		}
+		tol := 1e-3 * math.Max(1, math.Abs(num))
+		if math.Abs(sym-num) > tol {
+			t.Fatalf("iteration %d: d(%s)/dx symbolic %v vs numeric %v", i, n, sym, num)
+		}
+		checked++
+	}
+	if checked < 50 {
+		t.Fatalf("only %d derivative checks executed; generator too restrictive", checked)
+	}
+}
+
+// TestRandomASTNarrowSoundness: narrowing to a window around the true
+// value must never produce inconsistency or exclude the witness.
+func TestRandomASTNarrowSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	checked := 0
+	for i := 0; i < 600 && checked < 200; i++ {
+		n := randNode(rng, 3)
+		env := MapEnv{
+			"x": 0.5 + rng.Float64()*2, "y": 0.5 + rng.Float64()*2,
+			"z": 0.5 + rng.Float64()*2, "a.b": 1 + rng.Float64(),
+			"Diff_pair_W": 1 + rng.Float64(),
+		}
+		v, err := Eval(n, env)
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e8 {
+			continue
+		}
+		box := MapBox{}
+		for name, val := range env {
+			box[name] = interval.New(val-rng.Float64(), val+rng.Float64())
+		}
+		// Make sure the witness is inside the box.
+		ok := true
+		for name, val := range env {
+			if !box[name].Contains(val) {
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		vb := EvalInterval(n, box)
+		if vb.IsEmpty() {
+			t.Fatalf("iteration %d: empty enclosure for %s", i, n)
+		}
+		want := interval.New(v-0.5, v+0.5)
+		res := Narrow(n, want, box)
+		if res.Inconsistent {
+			t.Fatalf("iteration %d: spurious inconsistency for %s (value %v, want %v)", i, n, v, want)
+		}
+		for name, val := range env {
+			if ContainsVar(n, name) && !containsTol(box[name], val) {
+				t.Fatalf("iteration %d: narrowing %s excluded witness %s=%v (domain %v)",
+					i, n, name, val, box[name])
+			}
+		}
+		checked++
+	}
+	if checked < 50 {
+		t.Fatalf("only %d narrow checks executed", checked)
+	}
+}

@@ -1,0 +1,478 @@
+// Package figures regenerates every figure of the paper's evaluation
+// section (§3): the per-operation profiles of Fig. 7, the process
+// statistics snapshot of Fig. 8, the conventional-vs-ADPM comparison of
+// Fig. 9 (with the in-text spin and variability ratios), and the
+// specification-tightness sweep of Fig. 10. Each generator returns a
+// structured result plus a text rendering (tables and ASCII charts
+// standing in for the paper's Gnuplot displays).
+package figures
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/dpm"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+	"repro/internal/teamsim"
+)
+
+// Options control experiment scale.
+type Options struct {
+	// Runs per configuration (the paper used "over 60"); 0 means 60.
+	Runs int
+	// Seed is the base seed; runs use Seed, Seed+1, ….
+	Seed int64
+	// MaxOps caps each run; 0 means 3000.
+	MaxOps int
+	// Parallelism bounds worker goroutines; 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Runs <= 0 {
+		o.Runs = 60
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MaxOps <= 0 {
+		o.MaxOps = 3000
+	}
+	return o
+}
+
+// ---------------------------------------------------------------------
+// Fig. 7 — per-operation profiles
+// ---------------------------------------------------------------------
+
+// ProfileResult holds Fig. 7's two per-operation series for one mode.
+type ProfileResult struct {
+	Mode dpm.Mode
+	// NewViolations[i] is the number of violations found upon executed
+	// operation i (Fig. 7a).
+	NewViolations []int
+	// Evals[i] is the number of constraint evaluations due to operation
+	// i (Fig. 7b).
+	Evals []int64
+	// Operations is the number of executed operations.
+	Operations int
+	// FirstViolationOp and LastViolationOp are the indices of the first
+	// and last operation that found a violation (-1 when none).
+	FirstViolationOp, LastViolationOp int
+	// TotalViolations is the total number of violations found.
+	TotalViolations int
+	// TotalEvals is the area under the Fig. 7b curve (N_T).
+	TotalEvals int64
+}
+
+// Fig7Result compares the two modes' profiles on one scenario and seed.
+type Fig7Result struct {
+	Scenario     string
+	Seed         int64
+	Conventional ProfileResult
+	ADPM         ProfileResult
+}
+
+// Fig7 generates the Fig. 7 profile for the named scenario at one seed.
+// The paper uses "a simplified design case"; the receiver profile is
+// also informative because ADPM still encounters a few violations there.
+func Fig7(scenarioName string, seed int64, maxOps int) (*Fig7Result, error) {
+	scn, err := scenario.ByName(scenarioName)
+	if err != nil {
+		return nil, err
+	}
+	if maxOps <= 0 {
+		maxOps = 3000
+	}
+	out := &Fig7Result{Scenario: scenarioName, Seed: seed}
+	for _, mode := range []dpm.Mode{dpm.Conventional, dpm.ADPM} {
+		r, err := teamsim.Run(teamsim.Config{Scenario: scn, Mode: mode, Seed: seed, MaxOps: maxOps})
+		if err != nil {
+			return nil, err
+		}
+		p := ProfileResult{
+			Mode:             mode,
+			NewViolations:    r.NewViolationsPerOp,
+			Evals:            r.EvalsPerOp,
+			Operations:       r.Operations,
+			FirstViolationOp: -1,
+			LastViolationOp:  -1,
+			TotalEvals:       r.Evaluations,
+		}
+		for i, v := range r.NewViolationsPerOp {
+			if v > 0 {
+				if p.FirstViolationOp < 0 {
+					p.FirstViolationOp = i
+				}
+				p.LastViolationOp = i
+				p.TotalViolations += v
+			}
+		}
+		if mode == dpm.Conventional {
+			out.Conventional = p
+		} else {
+			out.ADPM = p
+		}
+	}
+	return out, nil
+}
+
+// Render formats the Fig. 7 charts and summary lines.
+func (f *Fig7Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 7 — per-operation profile (%s, seed %d)\n\n", f.Scenario, f.Seed)
+	b.WriteString(stats.AsciiChart(
+		"(a) violations found upon each executed operation",
+		72, 12,
+		stats.FromInts("conventional (solid in paper)", f.Conventional.NewViolations),
+		stats.FromInts("ADPM (dotted in paper)", f.ADPM.NewViolations),
+	))
+	b.WriteString("\n")
+	b.WriteString(stats.AsciiChart(
+		"(b) constraint evaluations due to each executed operation",
+		72, 12,
+		stats.FromInt64s("conventional", f.Conventional.Evals),
+		stats.FromInt64s("ADPM", f.ADPM.Evals),
+	))
+	b.WriteString("\n")
+	for _, p := range []ProfileResult{f.Conventional, f.ADPM} {
+		fmt.Fprintf(&b, "%-12s ops=%-5d violations(total=%d first-op=%d last-op=%d) total-evals=%d\n",
+			p.Mode, p.Operations, p.TotalViolations, p.FirstViolationOp, p.LastViolationOp, p.TotalEvals)
+	}
+	b.WriteString("\npaper's shape: ADPM finds fewer violations, they start later and\n" +
+		"stop earlier, and the design completes in fewer operations, at the\n" +
+		"price of more constraint evaluations per executed operation.\n")
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// Fig. 8 — design process statistics window
+// ---------------------------------------------------------------------
+
+// Fig8Result is the statistics snapshot TeamSim displays during a run.
+type Fig8Result struct {
+	Scenario string
+	Mode     dpm.Mode
+	Seed     int64
+	// Per-operation series (cumulative where the window shows
+	// cumulative values).
+	OpenViolations []int
+	CumEvals       []int64
+	CumSpins       []int
+	NumConstraints int
+	NumProperties  int
+	Final          *teamsim.Result
+}
+
+// Fig8 captures the statistics for one receiver run (the paper's window
+// snapshot was taken from a receiver simulation).
+func Fig8(mode dpm.Mode, seed int64, maxOps int) (*Fig8Result, error) {
+	scn := scenario.Receiver()
+	if maxOps <= 0 {
+		maxOps = 3000
+	}
+	r, err := teamsim.Run(teamsim.Config{Scenario: scn, Mode: mode, Seed: seed, MaxOps: maxOps})
+	if err != nil {
+		return nil, err
+	}
+	net, err := scn.BuildNetwork()
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig8Result{
+		Scenario:       "receiver",
+		Mode:           mode,
+		Seed:           seed,
+		OpenViolations: r.OpenViolationsPerOp,
+		NumConstraints: net.NumConstraints(),
+		NumProperties:  net.NumProperties(),
+		Final:          r,
+	}
+	var cumEvals int64
+	cumSpins := 0
+	for i, e := range r.EvalsPerOp {
+		cumEvals += e
+		out.CumEvals = append(out.CumEvals, cumEvals)
+		if r.SpinPerOp[i] {
+			cumSpins++
+		}
+		out.CumSpins = append(out.CumSpins, cumSpins)
+	}
+	return out, nil
+}
+
+// Render formats the Fig. 8 statistics window.
+func (f *Fig8Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 8 — design process statistics window (%s, %s, seed %d)\n\n",
+		f.Scenario, f.Mode, f.Seed)
+	b.WriteString(stats.AsciiChart(
+		"open violations and cumulative spins per operation",
+		72, 10,
+		stats.FromInts("open violations", f.OpenViolations),
+		stats.FromInts("cumulative spins", f.CumSpins),
+	))
+	b.WriteString("\n")
+	b.WriteString(stats.AsciiChart(
+		"cumulative constraint evaluations",
+		72, 10,
+		stats.FromInt64s("evaluations", f.CumEvals),
+	))
+	fmt.Fprintf(&b, "\nSTATISTICS  constraints=%d  properties=%d  operations=%d\n",
+		f.NumConstraints, f.NumProperties, f.Final.Operations)
+	fmt.Fprintf(&b, "            evaluations=%d  spins=%d  completed=%v\n",
+		f.Final.Evaluations, f.Final.Spins, f.Final.Completed)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// Fig. 9 — conventional vs ADPM over both design cases
+// ---------------------------------------------------------------------
+
+// Fig9Result aggregates the paper's §3.2 headline comparison.
+type Fig9Result struct {
+	Cases []*teamsim.Comparison
+}
+
+// Fig9 runs the sensor and receiver cases in both modes.
+func Fig9(opts Options) (*Fig9Result, error) {
+	opts = opts.withDefaults()
+	out := &Fig9Result{}
+	for _, name := range []string{"sensor", "receiver"} {
+		scn, err := scenario.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		cmp, err := teamsim.Compare(name, teamsim.Config{
+			Scenario: scn, Seed: opts.Seed, MaxOps: opts.MaxOps,
+		}, opts.Runs, opts.Parallelism)
+		if err != nil {
+			return nil, err
+		}
+		out.Cases = append(out.Cases, cmp)
+	}
+	return out, nil
+}
+
+// Render formats the Fig. 9 tables and in-text ratios.
+func (f *Fig9Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 9(a) — design operations to complete each case\n\n")
+	fmt.Fprintf(&b, "%-10s %-13s %10s %10s %10s %12s\n",
+		"case", "mode", "ops mean", "ops std", "spins", "completed")
+	for _, c := range f.Cases {
+		for _, row := range []struct {
+			mode string
+			m    *teamsim.MultiResult
+		}{
+			{"conventional", c.Conventional},
+			{"ADPM", c.ADPM},
+		} {
+			fmt.Fprintf(&b, "%-10s %-13s %10.1f %10.1f %10.2f %9d/%d\n",
+				c.Case, row.mode, row.m.Ops.Mean, row.m.Ops.Std, row.m.Spins.Mean,
+				row.m.Completed, len(row.m.Results))
+		}
+	}
+	b.WriteString("\nFig. 9(b) — constraint evaluations (CAD resource consumption)\n\n")
+	fmt.Fprintf(&b, "%-10s %-13s %14s %14s\n", "case", "mode", "total evals", "evals per op")
+	for _, c := range f.Cases {
+		fmt.Fprintf(&b, "%-10s %-13s %14.0f %14.1f\n", c.Case, "conventional",
+			c.Conventional.Evals.Mean, c.Conventional.EvalsPerOp.Mean)
+		fmt.Fprintf(&b, "%-10s %-13s %14.0f %14.1f\n", c.Case, "ADPM",
+			c.ADPM.Evals.Mean, c.ADPM.EvalsPerOp.Mean)
+	}
+	b.WriteString("\nderived ratios vs the paper's claims:\n")
+	for _, c := range f.Cases {
+		ci := c.OpsRatioCI(0.95)
+		tstat, _ := c.OpsWelchT()
+		fmt.Fprintf(&b, "  %-10s conv/ADPM ops %.2fx [95%% CI %.1f-%.1f, Welch t=%.1f] (paper: >= 2x)  "+
+			"std ratio %.1fx (paper: >= 3x)\n",
+			c.Case, c.OpsRatio(), ci.Lo, ci.Hi, tstat, c.StdRatio())
+		sci := c.SpinRatioCI(0.95)
+		fmt.Fprintf(&b, "  %-10s ADPM/conv spins %.0f%% [95%% CI %.0f-%.0f%%] (paper: ~7%%)  "+
+			"eval penalty total %.1fx per-op %.1fx (per-op > total)\n",
+			c.Case, 100*c.SpinRatio(), 100*sci.Lo, 100*sci.Hi, c.EvalPenaltyTotal(), c.EvalPenaltyPerOp())
+	}
+	if len(f.Cases) == 2 {
+		s, r := f.Cases[0], f.Cases[1]
+		fmt.Fprintf(&b, "  harder case (receiver): ops reduction %.1fx vs sensor %.1fx (paper: larger), "+
+			"eval penalty %.1fx vs sensor %.1fx (paper: smaller)\n",
+			r.OpsRatio(), s.OpsRatio(), r.EvalPenaltyTotal(), s.EvalPenaltyTotal())
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// Fig. 10 — robustness vs specification tightness
+// ---------------------------------------------------------------------
+
+// SweepPoint is one tightness level of the Fig. 10 sweep.
+type SweepPoint struct {
+	MinGain      float64
+	Conventional stats.Summary
+	ADPM         stats.Summary
+	ConvDone     int
+	ADPMDone     int
+	Runs         int
+}
+
+// Fig10Result is the gain-requirement sweep over the receiver case.
+type Fig10Result struct {
+	Points []SweepPoint
+}
+
+// Fig10 sweeps the receiver's gain requirement (the paper's
+// "variation of design operations with specification tightness").
+func Fig10(opts Options) (*Fig10Result, error) {
+	opts = opts.withDefaults()
+	out := &Fig10Result{}
+	for _, g := range scenario.GainSweep() {
+		scn := scenario.ReceiverWithGain(g)
+		pt := SweepPoint{MinGain: g, Runs: opts.Runs}
+		for _, mode := range []dpm.Mode{dpm.Conventional, dpm.ADPM} {
+			m, err := teamsim.RunMany(teamsim.Config{
+				Scenario: scn, Mode: mode, Seed: opts.Seed, MaxOps: opts.MaxOps,
+			}, opts.Runs, opts.Parallelism)
+			if err != nil {
+				return nil, err
+			}
+			if mode == dpm.Conventional {
+				pt.Conventional = m.Ops
+				pt.ConvDone = m.Completed
+			} else {
+				pt.ADPM = m.Ops
+				pt.ADPMDone = m.Completed
+			}
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// Render formats the Fig. 10 table and chart.
+func (f *Fig10Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 10 — design operations vs gain-requirement tightness (receiver)\n\n")
+	fmt.Fprintf(&b, "%8s %14s %12s %12s %14s %12s %12s\n",
+		"MinGain", "conv ops mean", "conv std", "conv done", "ADPM ops mean", "ADPM std", "ADPM done")
+	convSeries := stats.Series{Name: "conventional"}
+	adpmSeries := stats.Series{Name: "ADPM"}
+	for _, p := range f.Points {
+		fmt.Fprintf(&b, "%8.0f %14.1f %12.1f %9d/%d %14.1f %12.1f %9d/%d\n",
+			p.MinGain, p.Conventional.Mean, p.Conventional.Std, p.ConvDone, p.Runs,
+			p.ADPM.Mean, p.ADPM.Std, p.ADPMDone, p.Runs)
+		convSeries.X = append(convSeries.X, p.MinGain)
+		convSeries.Y = append(convSeries.Y, p.Conventional.Mean)
+		adpmSeries.X = append(adpmSeries.X, p.MinGain)
+		adpmSeries.Y = append(adpmSeries.Y, p.ADPM.Mean)
+	}
+	b.WriteString("\n")
+	b.WriteString(stats.AsciiChart("mean operations vs MinGain", 72, 12, convSeries, adpmSeries))
+	b.WriteString("\npaper's shape: operations grow with tightness for both approaches,\n" +
+		"with much larger variation under the conventional approach (ADPM is\n" +
+		"more robust to specification tightness).\n")
+	return b.String()
+}
+
+// VariationRange returns max(mean)-min(mean) of operations across the
+// sweep for each mode — the paper's robustness measure.
+func (f *Fig10Result) VariationRange() (conv, adpm float64) {
+	if len(f.Points) == 0 {
+		return 0, 0
+	}
+	cMin, cMax := f.Points[0].Conventional.Mean, f.Points[0].Conventional.Mean
+	aMin, aMax := f.Points[0].ADPM.Mean, f.Points[0].ADPM.Mean
+	for _, p := range f.Points[1:] {
+		cMin = minF(cMin, p.Conventional.Mean)
+		cMax = maxF(cMax, p.Conventional.Mean)
+		aMin = minF(aMin, p.ADPM.Mean)
+		aMax = maxF(aMax, p.ADPM.Mean)
+	}
+	return cMax - cMin, aMax - aMin
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------
+// CSV export
+// ---------------------------------------------------------------------
+
+// WriteCSV writes the Fig. 9 rows as CSV for external plotting.
+func (f *Fig9Result) WriteCSV(w io.Writer) error {
+	header := []string{
+		"case", "mode", "ops_mean", "ops_std", "spins_mean",
+		"evals_mean", "evals_per_op_mean", "completed", "runs",
+	}
+	var rows [][]string
+	for _, c := range f.Cases {
+		for _, row := range []struct {
+			mode string
+			m    *teamsim.MultiResult
+		}{{"conventional", c.Conventional}, {"adpm", c.ADPM}} {
+			rows = append(rows, []string{
+				c.Case, row.mode,
+				fmt.Sprintf("%.2f", row.m.Ops.Mean),
+				fmt.Sprintf("%.2f", row.m.Ops.Std),
+				fmt.Sprintf("%.2f", row.m.Spins.Mean),
+				fmt.Sprintf("%.1f", row.m.Evals.Mean),
+				fmt.Sprintf("%.2f", row.m.EvalsPerOp.Mean),
+				fmt.Sprintf("%d", row.m.Completed),
+				fmt.Sprintf("%d", len(row.m.Results)),
+			})
+		}
+	}
+	return stats.WriteCSV(w, header, rows)
+}
+
+// WriteCSV writes the Fig. 10 sweep as CSV for external plotting.
+func (f *Fig10Result) WriteCSV(w io.Writer) error {
+	header := []string{
+		"min_gain", "conv_ops_mean", "conv_ops_std", "conv_completed",
+		"adpm_ops_mean", "adpm_ops_std", "adpm_completed", "runs",
+	}
+	var rows [][]string
+	for _, p := range f.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%g", p.MinGain),
+			fmt.Sprintf("%.2f", p.Conventional.Mean),
+			fmt.Sprintf("%.2f", p.Conventional.Std),
+			fmt.Sprintf("%d", p.ConvDone),
+			fmt.Sprintf("%.2f", p.ADPM.Mean),
+			fmt.Sprintf("%.2f", p.ADPM.Std),
+			fmt.Sprintf("%d", p.ADPMDone),
+			fmt.Sprintf("%d", p.Runs),
+		})
+	}
+	return stats.WriteCSV(w, header, rows)
+}
+
+// WriteCSV writes the Fig. 7 per-operation series as CSV.
+func (f *Fig7Result) WriteCSV(w io.Writer) error {
+	header := []string{"mode", "op", "new_violations", "evaluations"}
+	var rows [][]string
+	for _, p := range []ProfileResult{f.Conventional, f.ADPM} {
+		for i := range p.NewViolations {
+			rows = append(rows, []string{
+				p.Mode.String(),
+				fmt.Sprintf("%d", i),
+				fmt.Sprintf("%d", p.NewViolations[i]),
+				fmt.Sprintf("%d", p.Evals[i]),
+			})
+		}
+	}
+	return stats.WriteCSV(w, header, rows)
+}

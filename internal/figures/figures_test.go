@@ -1,0 +1,183 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dpm"
+)
+
+// small keeps figure tests quick; shape assertions use these reduced
+// run counts and are correspondingly loose.
+var small = Options{Runs: 6, Seed: 1, MaxOps: 3000}
+
+func TestFig7ShapeOnReceiver(t *testing.T) {
+	f, err := Fig7("receiver", 1, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, a := f.Conventional, f.ADPM
+	if a.Operations >= c.Operations {
+		t.Errorf("ADPM ops %d not below conventional %d", a.Operations, c.Operations)
+	}
+	if a.TotalViolations >= c.TotalViolations {
+		t.Errorf("ADPM violations %d not below conventional %d", a.TotalViolations, c.TotalViolations)
+	}
+	// Violations stop earlier relative to run length.
+	if a.LastViolationOp >= 0 && c.LastViolationOp >= 0 {
+		aRel := float64(a.LastViolationOp) / float64(a.Operations)
+		cRel := float64(c.LastViolationOp) / float64(c.Operations)
+		if aRel >= cRel {
+			t.Errorf("ADPM last violation at %.0f%% of run, conventional %.0f%%", 100*aRel, 100*cRel)
+		}
+	}
+	// Per-op evaluation cost higher under ADPM.
+	if float64(a.TotalEvals)/float64(a.Operations) <= float64(c.TotalEvals)/float64(c.Operations) {
+		t.Error("ADPM evals/op not above conventional")
+	}
+	out := f.Render()
+	for _, want := range []string{"Fig. 7", "violations found", "constraint evaluations", "conventional", "ADPM"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFig7UnknownScenario(t *testing.T) {
+	if _, err := Fig7("bogus", 1, 0); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestFig8SeriesConsistent(t *testing.T) {
+	f, err := Fig8(dpm.ADPM, 1, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := f.Final.Operations
+	if len(f.OpenViolations) != n || len(f.CumEvals) != n || len(f.CumSpins) != n {
+		t.Fatalf("series lengths %d/%d/%d vs %d ops",
+			len(f.OpenViolations), len(f.CumEvals), len(f.CumSpins), n)
+	}
+	// Cumulative series are monotone.
+	for i := 1; i < n; i++ {
+		if f.CumEvals[i] < f.CumEvals[i-1] {
+			t.Fatal("cumulative evals not monotone")
+		}
+		if f.CumSpins[i] < f.CumSpins[i-1] {
+			t.Fatal("cumulative spins not monotone")
+		}
+	}
+	if f.CumEvals[n-1] != f.Final.Evaluations {
+		t.Errorf("cumulative evals end %d != total %d", f.CumEvals[n-1], f.Final.Evaluations)
+	}
+	if f.CumSpins[n-1] != f.Final.Spins {
+		t.Errorf("cumulative spins end %d != total %d", f.CumSpins[n-1], f.Final.Spins)
+	}
+	if f.NumConstraints != 30 || f.NumProperties != 35 {
+		t.Errorf("network size %d/%d, want 30/35", f.NumConstraints, f.NumProperties)
+	}
+	if !strings.Contains(f.Render(), "STATISTICS") {
+		t.Error("render missing statistics banner")
+	}
+}
+
+func TestFig9HeadlineShapes(t *testing.T) {
+	f, err := Fig9(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Cases) != 2 {
+		t.Fatalf("cases = %d", len(f.Cases))
+	}
+	for _, c := range f.Cases {
+		if c.OpsRatio() < 2 {
+			t.Errorf("%s: ops ratio %.2f < 2", c.Case, c.OpsRatio())
+		}
+		if c.EvalPenaltyTotal() <= 1 {
+			t.Errorf("%s: ADPM total evals not above conventional (%.2f)", c.Case, c.EvalPenaltyTotal())
+		}
+		if c.EvalPenaltyPerOp() <= c.EvalPenaltyTotal() {
+			t.Errorf("%s: per-op penalty %.1f not above total %.1f",
+				c.Case, c.EvalPenaltyPerOp(), c.EvalPenaltyTotal())
+		}
+	}
+	out := f.Render()
+	for _, want := range []string{"Fig. 9(a)", "Fig. 9(b)", "sensor", "receiver", "derived ratios"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFig10SweepShape(t *testing.T) {
+	f, err := Fig10(Options{Runs: 4, Seed: 1, MaxOps: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Points) < 5 {
+		t.Fatalf("sweep points = %d", len(f.Points))
+	}
+	conv, adpm := f.VariationRange()
+	if conv <= adpm {
+		t.Errorf("conventional variation %.1f not above ADPM %.1f", conv, adpm)
+	}
+	// Tightest point needs more conventional ops than the loosest.
+	first, last := f.Points[0], f.Points[len(f.Points)-1]
+	if last.Conventional.Mean <= first.Conventional.Mean {
+		t.Errorf("conventional ops should grow with tightness: %.1f -> %.1f",
+			first.Conventional.Mean, last.Conventional.Mean)
+	}
+	if !strings.Contains(f.Render(), "MinGain") {
+		t.Error("render missing sweep table")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Runs != 60 || o.Seed != 1 || o.MaxOps != 3000 {
+		t.Errorf("defaults = %+v", o)
+	}
+}
+
+func TestVariationRangeEmpty(t *testing.T) {
+	f := &Fig10Result{}
+	if c, a := f.VariationRange(); c != 0 || a != 0 {
+		t.Error("empty sweep should report zero variation")
+	}
+}
+
+func TestCSVExports(t *testing.T) {
+	f7, err := Fig7("simplified", 1, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := f7.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "mode,op,new_violations,evaluations") {
+		t.Errorf("fig7 csv header wrong: %q", strings.SplitN(b.String(), "\n", 2)[0])
+	}
+
+	f9, err := Fig9(Options{Runs: 3, Seed: 1, MaxOps: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := f9.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(b.String(), "\n"); lines != 5 { // header + 4 rows
+		t.Errorf("fig9 csv rows = %d", lines)
+	}
+
+	f10 := &Fig10Result{Points: []SweepPoint{{MinGain: 48, Runs: 1}}}
+	b.Reset()
+	if err := f10.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "48") {
+		t.Error("fig10 csv missing data")
+	}
+}

@@ -1,0 +1,446 @@
+// Package interval implements closed-interval arithmetic over float64.
+//
+// Intervals are the numeric substrate of the constraint propagation
+// engine: every design property's feasible subspace is represented as an
+// interval, and constraint expressions are evaluated over intervals to
+// decide whether a constraint is satisfied, violated, or merely
+// consistent (paper §2.1).
+//
+// The arithmetic is outward-conservative in the set sense: for every
+// operation op and inputs x ∈ A, y ∈ B, the true result x op y is
+// contained in Op(A, B). Infinities are permitted as bounds; the empty
+// interval is canonicalized so that all empty intervals compare equal.
+package interval
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is a closed interval [Lo, Hi]. An interval with Lo > Hi is
+// empty; use Empty to construct one and IsEmpty to test. Bounds may be
+// ±Inf. NaN bounds are normalized to the empty interval.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Empty returns the canonical empty interval.
+func Empty() Interval { return Interval{Lo: math.Inf(1), Hi: math.Inf(-1)} }
+
+// Entire returns the interval covering the whole real line.
+func Entire() Interval { return Interval{Lo: math.Inf(-1), Hi: math.Inf(1)} }
+
+// New returns the interval [lo, hi]. If lo > hi or either bound is NaN,
+// it returns the empty interval.
+func New(lo, hi float64) Interval {
+	if math.IsNaN(lo) || math.IsNaN(hi) || lo > hi {
+		return Empty()
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Point returns the degenerate interval [v, v].
+func Point(v float64) Interval { return New(v, v) }
+
+// IsEmpty reports whether iv contains no values.
+func (iv Interval) IsEmpty() bool { return iv.Lo > iv.Hi || math.IsNaN(iv.Lo) || math.IsNaN(iv.Hi) }
+
+// IsEntire reports whether iv is the whole real line.
+func (iv Interval) IsEntire() bool {
+	return math.IsInf(iv.Lo, -1) && math.IsInf(iv.Hi, 1)
+}
+
+// IsPoint reports whether iv contains exactly one value.
+func (iv Interval) IsPoint() bool { return !iv.IsEmpty() && iv.Lo == iv.Hi }
+
+// IsBounded reports whether both endpoints are finite.
+func (iv Interval) IsBounded() bool {
+	return !iv.IsEmpty() && !math.IsInf(iv.Lo, 0) && !math.IsInf(iv.Hi, 0)
+}
+
+// Width returns Hi-Lo, 0 for empty intervals and +Inf for unbounded ones.
+func (iv Interval) Width() float64 {
+	if iv.IsEmpty() {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// Mid returns the midpoint of the interval. For half-unbounded intervals
+// it returns the finite endpoint; for the entire line it returns 0; for
+// empty intervals it returns NaN.
+func (iv Interval) Mid() float64 {
+	switch {
+	case iv.IsEmpty():
+		return math.NaN()
+	case iv.IsEntire():
+		return 0
+	case math.IsInf(iv.Lo, -1):
+		return iv.Hi
+	case math.IsInf(iv.Hi, 1):
+		return iv.Lo
+	default:
+		return iv.Lo + (iv.Hi-iv.Lo)/2
+	}
+}
+
+// Contains reports whether v lies in iv.
+func (iv Interval) Contains(v float64) bool {
+	return !iv.IsEmpty() && !math.IsNaN(v) && iv.Lo <= v && v <= iv.Hi
+}
+
+// ContainsInterval reports whether every value of o lies in iv.
+func (iv Interval) ContainsInterval(o Interval) bool {
+	if o.IsEmpty() {
+		return true
+	}
+	return !iv.IsEmpty() && iv.Lo <= o.Lo && o.Hi <= iv.Hi
+}
+
+// Intersect returns the intersection of iv and o.
+func (iv Interval) Intersect(o Interval) Interval {
+	if iv.IsEmpty() || o.IsEmpty() {
+		return Empty()
+	}
+	return New(math.Max(iv.Lo, o.Lo), math.Min(iv.Hi, o.Hi))
+}
+
+// Intersects reports whether iv and o share at least one value.
+func (iv Interval) Intersects(o Interval) bool { return !iv.Intersect(o).IsEmpty() }
+
+// Hull returns the smallest interval containing both iv and o.
+func (iv Interval) Hull(o Interval) Interval {
+	if iv.IsEmpty() {
+		return o
+	}
+	if o.IsEmpty() {
+		return iv
+	}
+	return New(math.Min(iv.Lo, o.Lo), math.Max(iv.Hi, o.Hi))
+}
+
+// Equal reports exact equality (all empty intervals are equal).
+func (iv Interval) Equal(o Interval) bool {
+	if iv.IsEmpty() && o.IsEmpty() {
+		return true
+	}
+	return iv.Lo == o.Lo && iv.Hi == o.Hi
+}
+
+// ApproxEqual reports equality of both bounds within eps.
+func (iv Interval) ApproxEqual(o Interval, eps float64) bool {
+	if iv.IsEmpty() && o.IsEmpty() {
+		return true
+	}
+	if iv.IsEmpty() != o.IsEmpty() {
+		return false
+	}
+	return closeEnough(iv.Lo, o.Lo, eps) && closeEnough(iv.Hi, o.Hi, eps)
+}
+
+func closeEnough(a, b, eps float64) bool {
+	if a == b { // covers equal infinities
+		return true
+	}
+	return math.Abs(a-b) <= eps
+}
+
+// Clamp returns v moved to the nearest value inside iv. It returns NaN
+// for empty intervals.
+func (iv Interval) Clamp(v float64) float64 {
+	if iv.IsEmpty() {
+		return math.NaN()
+	}
+	if v < iv.Lo {
+		return iv.Lo
+	}
+	if v > iv.Hi {
+		return iv.Hi
+	}
+	return v
+}
+
+// String formats the interval as [lo, hi], ∅ for empty.
+func (iv Interval) String() string {
+	if iv.IsEmpty() {
+		return "∅"
+	}
+	if iv.IsPoint() {
+		return fmt.Sprintf("[%g]", iv.Lo)
+	}
+	return fmt.Sprintf("[%g, %g]", iv.Lo, iv.Hi)
+}
+
+// Neg returns {-x : x ∈ iv}.
+func (iv Interval) Neg() Interval {
+	if iv.IsEmpty() {
+		return Empty()
+	}
+	return Interval{Lo: -iv.Hi, Hi: -iv.Lo}
+}
+
+// Add returns the interval sum {x+y : x ∈ iv, y ∈ o}.
+func (iv Interval) Add(o Interval) Interval {
+	if iv.IsEmpty() || o.IsEmpty() {
+		return Empty()
+	}
+	return New(addLo(iv.Lo, o.Lo), addHi(iv.Hi, o.Hi))
+}
+
+// Sub returns {x-y : x ∈ iv, y ∈ o}.
+func (iv Interval) Sub(o Interval) Interval { return iv.Add(o.Neg()) }
+
+// addLo/addHi compute sums resolving Inf + (-Inf) conservatively toward
+// the respective bound direction (that indeterminate form only arises
+// from unbounded operands, where the conservative answer is unbounded).
+func addLo(a, b float64) float64 {
+	s := a + b
+	if math.IsNaN(s) {
+		return math.Inf(-1)
+	}
+	return s
+}
+
+func addHi(a, b float64) float64 {
+	s := a + b
+	if math.IsNaN(s) {
+		return math.Inf(1)
+	}
+	return s
+}
+
+// Mul returns {x*y : x ∈ iv, y ∈ o}.
+func (iv Interval) Mul(o Interval) Interval {
+	if iv.IsEmpty() || o.IsEmpty() {
+		return Empty()
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range [4]float64{
+		mulBound(iv.Lo, o.Lo), mulBound(iv.Lo, o.Hi),
+		mulBound(iv.Hi, o.Lo), mulBound(iv.Hi, o.Hi),
+	} {
+		lo = math.Min(lo, p)
+		hi = math.Max(hi, p)
+	}
+	return New(lo, hi)
+}
+
+// mulBound multiplies endpoint values treating 0 * ±Inf as 0 (the
+// correct set-theoretic result for closed interval endpoints).
+func mulBound(a, b float64) float64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return a * b
+}
+
+// Div returns a superset of {x/y : x ∈ iv, y ∈ o, y ≠ 0}. When o spans
+// zero strictly the result is the hull of the two unbounded pieces,
+// i.e. Entire unless iv is empty.
+func (iv Interval) Div(o Interval) Interval {
+	if iv.IsEmpty() || o.IsEmpty() {
+		return Empty()
+	}
+	if o.Lo == 0 && o.Hi == 0 {
+		return Empty() // division by exactly zero: no valid y
+	}
+	if o.Contains(0) {
+		if o.Lo == 0 {
+			return iv.Mul(Interval{Lo: 1 / o.Hi, Hi: math.Inf(1)})
+		}
+		if o.Hi == 0 {
+			return iv.Mul(Interval{Lo: math.Inf(-1), Hi: 1 / o.Lo})
+		}
+		// o strictly spans zero: hull of both branches is the whole line
+		// unless the numerator is exactly {0}.
+		if iv.Lo == 0 && iv.Hi == 0 {
+			return Point(0)
+		}
+		return Entire()
+	}
+	// o does not contain zero: endpoint quotients bound the result, and
+	// computing them directly (instead of via Inv) avoids double rounding.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, q := range [4]float64{
+		divBound(iv.Lo, o.Lo), divBound(iv.Lo, o.Hi),
+		divBound(iv.Hi, o.Lo), divBound(iv.Hi, o.Hi),
+	} {
+		lo = math.Min(lo, q)
+		hi = math.Max(hi, q)
+	}
+	return New(lo, hi)
+}
+
+// divBound divides endpoint values treating 0/±Inf indeterminacies in
+// the set sense (0 divided by anything nonzero is 0; finite/Inf is 0).
+func divBound(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	if math.IsInf(b, 0) {
+		if math.IsInf(a, 0) {
+			// Inf/Inf endpoint: sign-preserving unbounded bound.
+			if (a > 0) == (b > 0) {
+				return math.Inf(1)
+			}
+			return math.Inf(-1)
+		}
+		return 0
+	}
+	return a / b
+}
+
+// Inv returns a superset of {1/y : y ∈ iv, y ≠ 0} for intervals not
+// containing zero in their interior. For intervals spanning zero it
+// returns Entire.
+func (iv Interval) Inv() Interval {
+	if iv.IsEmpty() {
+		return Empty()
+	}
+	if iv.Lo == 0 && iv.Hi == 0 {
+		return Empty()
+	}
+	if iv.Contains(0) {
+		if iv.Lo == 0 {
+			return New(1/iv.Hi, math.Inf(1))
+		}
+		if iv.Hi == 0 {
+			return New(math.Inf(-1), 1/iv.Lo)
+		}
+		return Entire()
+	}
+	return New(invBound(iv.Hi), invBound(iv.Lo))
+}
+
+func invBound(v float64) float64 {
+	if math.IsInf(v, 0) {
+		return 0
+	}
+	return 1 / v
+}
+
+// Sqr returns {x² : x ∈ iv}.
+func (iv Interval) Sqr() Interval {
+	if iv.IsEmpty() {
+		return Empty()
+	}
+	a, b := iv.Lo*iv.Lo, iv.Hi*iv.Hi
+	if iv.Contains(0) {
+		return New(0, math.Max(a, b))
+	}
+	return New(math.Min(a, b), math.Max(a, b))
+}
+
+// PowInt returns {xⁿ : x ∈ iv} for integer n. Negative n composes with
+// Inv. n == 0 yields [1,1] (by convention 0⁰ = 1 here).
+func (iv Interval) PowInt(n int) Interval {
+	if iv.IsEmpty() {
+		return Empty()
+	}
+	if n == 0 {
+		return Point(1)
+	}
+	if n < 0 {
+		return iv.PowInt(-n).Inv()
+	}
+	if n%2 == 0 {
+		// Even power: like Sqr composed.
+		a, b := powBound(iv.Lo, n), powBound(iv.Hi, n)
+		if iv.Contains(0) {
+			return New(0, math.Max(a, b))
+		}
+		return New(math.Min(a, b), math.Max(a, b))
+	}
+	// Odd power is monotone increasing.
+	return New(powBound(iv.Lo, n), powBound(iv.Hi, n))
+}
+
+func powBound(v float64, n int) float64 {
+	r := math.Pow(v, float64(n))
+	return r
+}
+
+// Sqrt returns {√x : x ∈ iv, x ≥ 0}; empty if iv has no non-negative part.
+func (iv Interval) Sqrt() Interval {
+	nn := iv.Intersect(New(0, math.Inf(1)))
+	if nn.IsEmpty() {
+		return Empty()
+	}
+	return New(math.Sqrt(nn.Lo), math.Sqrt(nn.Hi))
+}
+
+// Abs returns {|x| : x ∈ iv}.
+func (iv Interval) Abs() Interval {
+	if iv.IsEmpty() {
+		return Empty()
+	}
+	if iv.Lo >= 0 {
+		return iv
+	}
+	if iv.Hi <= 0 {
+		return iv.Neg()
+	}
+	return New(0, math.Max(-iv.Lo, iv.Hi))
+}
+
+// Min returns {min(x,y) : x ∈ iv, y ∈ o}.
+func (iv Interval) Min(o Interval) Interval {
+	if iv.IsEmpty() || o.IsEmpty() {
+		return Empty()
+	}
+	return New(math.Min(iv.Lo, o.Lo), math.Min(iv.Hi, o.Hi))
+}
+
+// Max returns {max(x,y) : x ∈ iv, y ∈ o}.
+func (iv Interval) Max(o Interval) Interval {
+	if iv.IsEmpty() || o.IsEmpty() {
+		return Empty()
+	}
+	return New(math.Max(iv.Lo, o.Lo), math.Max(iv.Hi, o.Hi))
+}
+
+// Exp returns {eˣ : x ∈ iv}.
+func (iv Interval) Exp() Interval {
+	if iv.IsEmpty() {
+		return Empty()
+	}
+	return New(math.Exp(iv.Lo), math.Exp(iv.Hi))
+}
+
+// Log returns {ln x : x ∈ iv, x > 0}; empty if iv has no positive part.
+func (iv Interval) Log() Interval {
+	pos := iv.Intersect(New(0, math.Inf(1)))
+	if pos.IsEmpty() || pos.Hi == 0 {
+		return Empty()
+	}
+	lo := math.Inf(-1)
+	if pos.Lo > 0 {
+		lo = math.Log(pos.Lo)
+	}
+	return New(lo, math.Log(pos.Hi))
+}
+
+// Sample returns n values spread across the interval (endpoints
+// included when n ≥ 2). Unbounded endpoints are clamped to ±clampAt.
+// It is used by tests and by designers probing a feasible window.
+func (iv Interval) Sample(n int, clampAt float64) []float64 {
+	if iv.IsEmpty() || n <= 0 {
+		return nil
+	}
+	lo, hi := iv.Lo, iv.Hi
+	if math.IsInf(lo, -1) {
+		lo = -clampAt
+	}
+	if math.IsInf(hi, 1) {
+		hi = clampAt
+	}
+	if n == 1 || lo == hi {
+		return []float64{lo + (hi-lo)/2}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}

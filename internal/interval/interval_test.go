@@ -1,0 +1,446 @@
+package interval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewNormalizesInvalid(t *testing.T) {
+	cases := []struct {
+		lo, hi float64
+	}{
+		{1, 0},
+		{math.NaN(), 1},
+		{1, math.NaN()},
+		{math.NaN(), math.NaN()},
+	}
+	for _, c := range cases {
+		if iv := New(c.lo, c.hi); !iv.IsEmpty() {
+			t.Errorf("New(%v, %v) = %v, want empty", c.lo, c.hi, iv)
+		}
+	}
+}
+
+func TestBasicPredicates(t *testing.T) {
+	iv := New(1, 3)
+	if iv.IsEmpty() {
+		t.Fatal("[1,3] reported empty")
+	}
+	if !iv.Contains(1) || !iv.Contains(3) || !iv.Contains(2) {
+		t.Error("[1,3] should contain endpoints and midpoint")
+	}
+	if iv.Contains(0.999) || iv.Contains(3.001) {
+		t.Error("[1,3] contains values outside bounds")
+	}
+	if iv.Contains(math.NaN()) {
+		t.Error("interval should not contain NaN")
+	}
+	if !Point(5).IsPoint() {
+		t.Error("Point(5) not a point")
+	}
+	if Point(5).Width() != 0 {
+		t.Error("point width should be 0")
+	}
+	if New(1, 3).Width() != 2 {
+		t.Error("width of [1,3] should be 2")
+	}
+	if !Entire().IsEntire() {
+		t.Error("Entire not entire")
+	}
+	if Entire().IsBounded() || !New(0, 1).IsBounded() {
+		t.Error("IsBounded misclassifies")
+	}
+}
+
+func TestMid(t *testing.T) {
+	if m := New(2, 4).Mid(); m != 3 {
+		t.Errorf("Mid [2,4] = %v", m)
+	}
+	if m := Entire().Mid(); m != 0 {
+		t.Errorf("Mid entire = %v", m)
+	}
+	if m := New(math.Inf(-1), 7).Mid(); m != 7 {
+		t.Errorf("Mid (-inf,7] = %v", m)
+	}
+	if m := New(7, math.Inf(1)).Mid(); m != 7 {
+		t.Errorf("Mid [7,inf) = %v", m)
+	}
+	if !math.IsNaN(Empty().Mid()) {
+		t.Error("Mid of empty should be NaN")
+	}
+}
+
+func TestIntersectHull(t *testing.T) {
+	a, b := New(0, 5), New(3, 8)
+	if got := a.Intersect(b); !got.Equal(New(3, 5)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Hull(b); !got.Equal(New(0, 8)) {
+		t.Errorf("Hull = %v", got)
+	}
+	if !a.Intersects(b) {
+		t.Error("overlapping intervals reported disjoint")
+	}
+	if New(0, 1).Intersects(New(2, 3)) {
+		t.Error("disjoint intervals reported overlapping")
+	}
+	// touching endpoints intersect in a point
+	if got := New(0, 2).Intersect(New(2, 4)); !got.Equal(Point(2)) {
+		t.Errorf("touching Intersect = %v", got)
+	}
+	if got := Empty().Hull(New(1, 2)); !got.Equal(New(1, 2)) {
+		t.Errorf("Hull with empty = %v", got)
+	}
+	if got := New(1, 2).Intersect(Empty()); !got.IsEmpty() {
+		t.Errorf("Intersect with empty = %v", got)
+	}
+}
+
+func TestContainsInterval(t *testing.T) {
+	if !New(0, 10).ContainsInterval(New(2, 3)) {
+		t.Error("[0,10] should contain [2,3]")
+	}
+	if New(0, 10).ContainsInterval(New(2, 30)) {
+		t.Error("[0,10] should not contain [2,30]")
+	}
+	if !New(0, 1).ContainsInterval(Empty()) {
+		t.Error("anything contains empty")
+	}
+	if Empty().ContainsInterval(New(0, 1)) {
+		t.Error("empty contains nothing nonempty")
+	}
+}
+
+func TestArithmeticExact(t *testing.T) {
+	cases := []struct {
+		name string
+		got  Interval
+		want Interval
+	}{
+		{"add", New(1, 2).Add(New(10, 20)), New(11, 22)},
+		{"sub", New(1, 2).Sub(New(10, 20)), New(-19, -8)},
+		{"neg", New(-3, 5).Neg(), New(-5, 3)},
+		{"mul++", New(2, 3).Mul(New(4, 5)), New(8, 15)},
+		{"mul+-", New(2, 3).Mul(New(-5, -4)), New(-15, -8)},
+		{"mul0", New(-1, 2).Mul(New(-3, 4)), New(-6, 8)},
+		{"div", New(8, 16).Div(New(2, 4)), New(2, 8)},
+		{"divneg", New(8, 16).Div(New(-4, -2)), New(-8, -2)},
+		{"sqr", New(-2, 3).Sqr(), New(0, 9)},
+		{"sqrneg", New(-3, -2).Sqr(), New(4, 9)},
+		{"pow3", New(-2, 3).PowInt(3), New(-8, 27)},
+		{"pow2", New(-2, 3).PowInt(2), New(0, 9)},
+		{"pow0", New(-2, 3).PowInt(0), Point(1)},
+		{"sqrt", New(4, 9).Sqrt(), New(2, 3)},
+		{"sqrtclip", New(-4, 9).Sqrt(), New(0, 3)},
+		{"abs", New(-4, 3).Abs(), New(0, 4)},
+		{"absneg", New(-4, -3).Abs(), New(3, 4)},
+		{"min", New(1, 5).Min(New(3, 7)), New(1, 5)},
+		{"max", New(1, 5).Max(New(3, 7)), New(3, 7)},
+	}
+	for _, c := range cases {
+		if !c.got.ApproxEqual(c.want, 1e-12) {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestDivByZeroSpan(t *testing.T) {
+	if got := New(1, 2).Div(New(-1, 1)); !got.IsEntire() {
+		t.Errorf("div by zero-spanning interval = %v, want entire", got)
+	}
+	if got := New(1, 2).Div(Point(0)); !got.IsEmpty() {
+		t.Errorf("div by {0} = %v, want empty", got)
+	}
+	if got := New(1, 2).Div(New(0, 4)); got.Hi != math.Inf(1) || got.Lo != 0.25 {
+		t.Errorf("div by [0,4] = %v, want [0.25, +inf)", got)
+	}
+	if got := Point(0).Div(New(-1, 1)); !got.Equal(Point(0)) {
+		t.Errorf("0 / spanning = %v, want [0]", got)
+	}
+}
+
+func TestInv(t *testing.T) {
+	if got := New(2, 4).Inv(); !got.ApproxEqual(New(0.25, 0.5), 1e-15) {
+		t.Errorf("Inv [2,4] = %v", got)
+	}
+	if got := New(-4, -2).Inv(); !got.ApproxEqual(New(-0.5, -0.25), 1e-15) {
+		t.Errorf("Inv [-4,-2] = %v", got)
+	}
+	if got := New(-1, 1).Inv(); !got.IsEntire() {
+		t.Errorf("Inv spanning zero = %v", got)
+	}
+	if got := Point(0).Inv(); !got.IsEmpty() {
+		t.Errorf("Inv {0} = %v", got)
+	}
+	if got := New(0, 2).Inv(); got.Lo != 0.5 || !math.IsInf(got.Hi, 1) {
+		t.Errorf("Inv [0,2] = %v", got)
+	}
+}
+
+func TestExpLog(t *testing.T) {
+	if got := New(0, 1).Exp(); !got.ApproxEqual(New(1, math.E), 1e-12) {
+		t.Errorf("Exp [0,1] = %v", got)
+	}
+	if got := New(1, math.E).Log(); !got.ApproxEqual(New(0, 1), 1e-12) {
+		t.Errorf("Log = %v", got)
+	}
+	if got := New(-5, -1).Log(); !got.IsEmpty() {
+		t.Errorf("Log negative = %v, want empty", got)
+	}
+	if got := New(0, 1).Log(); !math.IsInf(got.Lo, -1) || got.Hi != 0 {
+		t.Errorf("Log [0,1] = %v", got)
+	}
+}
+
+func TestEmptyPropagates(t *testing.T) {
+	e, v := Empty(), New(1, 2)
+	ops := []Interval{
+		e.Add(v), v.Add(e), e.Mul(v), v.Mul(e), e.Div(v), v.Div(e),
+		e.Sub(v), e.Neg(), e.Sqr(), e.Sqrt(), e.Abs(), e.Exp(), e.Log(),
+		e.Min(v), v.Max(e), e.PowInt(3),
+	}
+	for i, r := range ops {
+		if !r.IsEmpty() {
+			t.Errorf("op %d on empty produced %v", i, r)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	iv := New(1, 3)
+	if iv.Clamp(0) != 1 || iv.Clamp(5) != 3 || iv.Clamp(2) != 2 {
+		t.Error("Clamp misbehaves")
+	}
+	if !math.IsNaN(Empty().Clamp(1)) {
+		t.Error("Clamp on empty should be NaN")
+	}
+}
+
+func TestSample(t *testing.T) {
+	s := New(0, 10).Sample(11, 1e6)
+	if len(s) != 11 || s[0] != 0 || s[10] != 10 || s[5] != 5 {
+		t.Errorf("Sample = %v", s)
+	}
+	if s := New(0, 10).Sample(1, 1e6); len(s) != 1 || s[0] != 5 {
+		t.Errorf("Sample n=1 = %v", s)
+	}
+	if s := Empty().Sample(3, 1e6); s != nil {
+		t.Errorf("Sample empty = %v", s)
+	}
+	s = Entire().Sample(3, 100)
+	if s[0] != -100 || s[2] != 100 {
+		t.Errorf("Sample entire clamped = %v", s)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(1, 2).String(); got != "[1, 2]" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Point(3).String(); got != "[3]" {
+		t.Errorf("point String = %q", got)
+	}
+	if got := Empty().String(); got != "∅" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+// --- property-based tests ----------------------------------------------
+
+// arb builds a bounded interval from two arbitrary floats.
+func arb(a, b float64) Interval {
+	a = sanitize(a)
+	b = sanitize(b)
+	return New(math.Min(a, b), math.Max(a, b))
+}
+
+func sanitize(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	// keep magnitudes small enough that products stay finite
+	return math.Mod(v, 1e6)
+}
+
+func pick(iv Interval, t float64) float64 {
+	t = math.Abs(math.Mod(sanitize(t), 1))
+	return iv.Lo + t*(iv.Hi-iv.Lo)
+}
+
+// containsTol is Contains with a relative tolerance: without directed
+// rounding an endpoint result can miss the computed bound by an ulp.
+func containsTol(iv Interval, v float64) bool {
+	if iv.Contains(v) {
+		return true
+	}
+	eps := 1e-9 * math.Max(1, math.Abs(v))
+	return New(iv.Lo-eps, iv.Hi+eps).Contains(v)
+}
+
+func TestQuickAddContainment(t *testing.T) {
+	f := func(a, b, c, d, t1, t2 float64) bool {
+		A, B := arb(a, b), arb(c, d)
+		x, y := pick(A, t1), pick(B, t2)
+		return containsTol(A.Add(B), x+y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMulContainment(t *testing.T) {
+	f := func(a, b, c, d, t1, t2 float64) bool {
+		A, B := arb(a, b), arb(c, d)
+		x, y := pick(A, t1), pick(B, t2)
+		return containsTol(A.Mul(B), x*y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubContainment(t *testing.T) {
+	f := func(a, b, c, d, t1, t2 float64) bool {
+		A, B := arb(a, b), arb(c, d)
+		x, y := pick(A, t1), pick(B, t2)
+		return containsTol(A.Sub(B), x-y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDivContainment(t *testing.T) {
+	f := func(a, b, c, d, t1, t2 float64) bool {
+		A, B := arb(a, b), arb(c, d)
+		x, y := pick(A, t1), pick(B, t2)
+		if y == 0 {
+			return true
+		}
+		q := x / y
+		if math.IsInf(q, 0) || math.IsNaN(q) {
+			return true
+		}
+		return containsTol(A.Div(B), q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSqrContainment(t *testing.T) {
+	f := func(a, b, t1 float64) bool {
+		A := arb(a, b)
+		x := pick(A, t1)
+		return containsTol(A.Sqr(), x*x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectIsSubset(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		A, B := arb(a, b), arb(c, d)
+		I := A.Intersect(B)
+		return A.ContainsInterval(I) && B.ContainsInterval(I)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHullContainsBoth(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		A, B := arb(a, b), arb(c, d)
+		H := A.Hull(B)
+		return H.ContainsInterval(A) && H.ContainsInterval(B)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHullCommutes(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		A, B := arb(a, b), arb(c, d)
+		return A.Hull(B).Equal(B.Hull(A)) && A.Intersect(B).Equal(B.Intersect(A))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNegInvolution(t *testing.T) {
+	f := func(a, b float64) bool {
+		A := arb(a, b)
+		return A.Neg().Neg().Equal(A)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAbsNonNegative(t *testing.T) {
+	f := func(a, b float64) bool {
+		A := arb(a, b)
+		r := A.Abs()
+		return r.IsEmpty() || r.Lo >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWidthNonNegative(t *testing.T) {
+	f := func(a, b float64) bool {
+		return arb(a, b).Width() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivBoundInfinities(t *testing.T) {
+	// Inf numerator with finite denominator keeps the sign.
+	if got := New(1, math.Inf(1)).Div(New(2, 4)); !math.IsInf(got.Hi, 1) || got.Lo != 0.25 {
+		t.Errorf("[1,inf)/[2,4] = %v", got)
+	}
+	// Finite over unbounded denominator shrinks toward zero.
+	got := New(4, 8).Div(New(2, math.Inf(1)))
+	if got.Lo != 0 || got.Hi != 4 {
+		t.Errorf("[4,8]/[2,inf) = %v", got)
+	}
+	// Unbounded over unbounded: stays unbounded, sign-consistent.
+	got = New(1, math.Inf(1)).Div(New(1, math.Inf(1)))
+	if !math.IsInf(got.Hi, 1) || got.Lo != 0 {
+		t.Errorf("[1,inf)/[1,inf) = %v", got)
+	}
+}
+
+func TestApproxEqualMixedEmpty(t *testing.T) {
+	if Empty().ApproxEqual(New(0, 1), 1) {
+		t.Error("empty vs non-empty should differ")
+	}
+	if !New(math.Inf(-1), 0).ApproxEqual(New(math.Inf(-1), 0), 1e-9) {
+		t.Error("equal unbounded intervals should match")
+	}
+}
+
+func TestWidthUnbounded(t *testing.T) {
+	if w := Entire().Width(); !math.IsInf(w, 1) {
+		t.Errorf("entire width = %v", w)
+	}
+}
+
+func TestPowIntNegative(t *testing.T) {
+	got := New(2, 4).PowInt(-2)
+	if !got.ApproxEqual(New(1.0/16, 1.0/4), 1e-12) {
+		t.Errorf("[2,4]^-2 = %v", got)
+	}
+	got = New(2, 4).PowInt(-1)
+	if !got.ApproxEqual(New(0.25, 0.5), 1e-12) {
+		t.Errorf("[2,4]^-1 = %v", got)
+	}
+}

@@ -1,0 +1,62 @@
+package scenario_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dddl"
+	"repro/internal/dpm"
+	"repro/internal/solver"
+	"repro/internal/teamsim"
+)
+
+// TestRegulatorScenarioFile exercises the user-facing DDDL file
+// workflow on the shipped LDO regulator scenario: parse, validate,
+// prove satisfiable, and complete a TeamSim run in both modes.
+func TestRegulatorScenarioFile(t *testing.T) {
+	path := filepath.Join("..", "..", "scenarios", "regulator.dddl")
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	scn, err := dddl.Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scn.Name != "regulator" {
+		t.Errorf("name = %q", scn.Name)
+	}
+	net, err := scn.BuildNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumProperties() < 15 || net.NumConstraints() < 12 {
+		t.Errorf("network %d/%d smaller than expected", net.NumProperties(), net.NumConstraints())
+	}
+
+	res, err := solver.SolveScenario(scn, solver.Options{MaxNodes: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfiable {
+		t.Fatalf("regulator specs unsatisfiable (nodes=%d exhausted=%v)", res.Nodes, res.Exhausted)
+	}
+
+	for _, mode := range []dpm.Mode{dpm.Conventional, dpm.ADPM} {
+		completed := 0
+		for seed := int64(1); seed <= 5; seed++ {
+			r, err := teamsim.Run(teamsim.Config{Scenario: scn, Mode: mode, Seed: seed, MaxOps: 3000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Completed {
+				completed++
+			}
+		}
+		if completed < 4 {
+			t.Errorf("mode %v: only %d/5 seeds completed", mode, completed)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/dddl"
+)
+
+// Random generates a pseudo-random collaborative design scenario that
+// is satisfiable by construction: a witness point is drawn first and
+// every requirement level is set with slack around the witness's
+// performance values. The generator produces the same structural
+// ingredients as the built-in cases — per-designer objects with design
+// variables, derived performance properties, local constraints, and
+// cross-subsystem system-level specs — which makes it a pipeline-level
+// fuzzer: any generated scenario must validate, be solvable, and be
+// completable by TeamSim in both modes.
+func Random(seed int64, designers int) *dddl.Scenario {
+	if designers < 1 {
+		designers = 1
+	}
+	if designers > 8 {
+		designers = 8
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario random_%d\n", seed)
+
+	type varInfo struct {
+		name    string
+		lo, hi  float64
+		witness float64
+	}
+	type designerInfo struct {
+		id      string
+		vars    []varInfo
+		derived string  // performance property name
+		perf    float64 // witness performance value
+	}
+
+	var team []designerInfo
+	witness := map[string]float64{}
+
+	for di := 0; di < designers; di++ {
+		d := designerInfo{id: fmt.Sprintf("d%d", di)}
+		nVars := 2 + rng.Intn(2)
+		for vi := 0; vi < nVars; vi++ {
+			lo := math.Round(rng.Float64()*10*100) / 100
+			width := 1 + rng.Float64()*99
+			hi := math.Round((lo+width)*100) / 100
+			v := varInfo{
+				name: fmt.Sprintf("x%d_%d", di, vi),
+				lo:   lo,
+				hi:   hi,
+			}
+			// Witness strictly inside the range.
+			v.witness = lo + (0.2+0.6*rng.Float64())*(hi-lo)
+			witness[v.name] = v.witness
+			d.vars = append(d.vars, v)
+		}
+		team = append(team, d)
+	}
+
+	// Objects with variables and one derived performance property per
+	// designer: perf = Σ c_i·x_i (+ optional sqrt term), c_i > 0.
+	for di := range team {
+		d := &team[di]
+		fmt.Fprintf(&b, "\nobject O%d owner %s {\n", di, d.id)
+		for _, v := range d.vars {
+			fmt.Fprintf(&b, "    property %s real [%g, %g]\n", v.name, v.lo, v.hi)
+		}
+		var terms []string
+		perf := 0.0
+		for vi, v := range d.vars {
+			c := math.Round((0.5+rng.Float64()*4)*100) / 100
+			if vi == 0 && rng.Intn(2) == 0 {
+				terms = append(terms, fmt.Sprintf("%g * sqrt(%s)", c, v.name))
+				perf += c * math.Sqrt(v.witness)
+			} else {
+				terms = append(terms, fmt.Sprintf("%g * %s", c, v.name))
+				perf += c * v.witness
+			}
+		}
+		d.derived = fmt.Sprintf("perf%d", di)
+		d.perf = perf
+		hi := perf*4 + 100
+		fmt.Fprintf(&b, "    derived %s real [0, %g] = %s\n", d.derived, math.Ceil(hi), strings.Join(terms, " + "))
+		b.WriteString("}\n")
+	}
+
+	// System-level totals across all designers.
+	total := 0.0
+	var perfNames []string
+	for _, d := range team {
+		perfNames = append(perfNames, d.derived)
+		total += d.perf
+	}
+	sysHi := total*4 + 100
+	fmt.Fprintf(&b, "\nobject Sys {\n")
+	fmt.Fprintf(&b, "    property SysBudget real [0, %g]\n", math.Ceil(sysHi*2))
+	fmt.Fprintf(&b, "    derived SysTotal real [0, %g] = %s\n", math.Ceil(sysHi), strings.Join(perfNames, " + "))
+	b.WriteString("}\n\n")
+
+	// Local constraints: each designer's performance has a floor with
+	// slack below the witness value; one variable gets a cap with slack
+	// above the witness.
+	for di, d := range team {
+		floor := d.perf * (0.4 + 0.3*rng.Float64())
+		fmt.Fprintf(&b, "constraint Floor%d: %s >= %g\n", di, d.derived, math.Floor(floor*100)/100)
+		v := d.vars[rng.Intn(len(d.vars))]
+		cap := v.witness + (0.2+0.5*rng.Float64())*(v.hi-v.witness)
+		fmt.Fprintf(&b, "constraint Cap%d: %s <= %g\n", di, v.name, math.Ceil(cap*100)/100)
+	}
+	// Cross-subsystem budget: the system total must stay under a budget
+	// with comfortable slack above the witness total.
+	fmt.Fprintf(&b, "constraint Budget: SysTotal <= SysBudget\n\n")
+
+	// Problem hierarchy.
+	fmt.Fprintf(&b, "problem Top owner lead {\n    inputs { SysBudget }\n    constraints { Budget }\n}\n")
+	var children []string
+	for di, d := range team {
+		var outs []string
+		for _, v := range d.vars {
+			outs = append(outs, v.name)
+		}
+		fmt.Fprintf(&b, "problem P%d owner %s {\n    outputs { %s }\n    constraints { Floor%d, Cap%d }\n}\n",
+			di, d.id, strings.Join(outs, ", "), di, di)
+		children = append(children, fmt.Sprintf("P%d", di))
+	}
+	fmt.Fprintf(&b, "decompose Top -> %s\n", strings.Join(children, ", "))
+
+	budget := total * (1.15 + 0.5*rng.Float64())
+	fmt.Fprintf(&b, "require SysBudget = %g\n", math.Ceil(budget*100)/100)
+
+	return dddl.MustParseString(b.String())
+}
+
+// RandomWitness returns the witness point the generator built the
+// scenario around (design variables only), for test verification.
+func RandomWitness(seed int64, designers int) map[string]float64 {
+	// Re-derive by replaying the generator's random stream.
+	if designers < 1 {
+		designers = 1
+	}
+	if designers > 8 {
+		designers = 8
+	}
+	rng := rand.New(rand.NewSource(seed))
+	witness := map[string]float64{}
+	for di := 0; di < designers; di++ {
+		nVars := 2 + rng.Intn(2)
+		for vi := 0; vi < nVars; vi++ {
+			lo := math.Round(rng.Float64()*10*100) / 100
+			width := 1 + rng.Float64()*99
+			hi := math.Round((lo+width)*100) / 100
+			witness[fmt.Sprintf("x%d_%d", di, vi)] = lo + (0.2+0.6*rng.Float64())*(hi-lo)
+		}
+	}
+	return witness
+}

@@ -1,0 +1,81 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/dpm"
+)
+
+func TestRandomScenarioValidatesAndSizes(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		scn := Random(seed, 1+int(seed%4))
+		if err := scn.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		net, err := scn.BuildNetwork()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if net.NumProperties() < 4 || net.NumConstraints() < 3 {
+			t.Errorf("seed %d: degenerate network %d/%d", seed,
+				net.NumProperties(), net.NumConstraints())
+		}
+	}
+}
+
+func TestRandomScenarioWitnessSatisfies(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		n := 1 + int(seed%4)
+		scn := Random(seed, n)
+		witness := RandomWitness(seed, n)
+		d, err := dpm.FromScenario(scn, dpm.Conventional)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, prob := range d.Problems() {
+			for _, out := range prob.Outputs {
+				v, ok := witness[out]
+				if !ok {
+					t.Fatalf("seed %d: witness missing %s", seed, out)
+				}
+				if _, err := d.Apply(dpm.Operation{
+					Kind: dpm.OpSynthesis, Problem: prob.Name, Designer: "t",
+					Assignments: []dpm.Assignment{{Prop: out, Value: realVal(v)}},
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for _, c := range d.Net.Constraints() {
+			holds, known := c.HoldsAt(d.Net)
+			if !known {
+				t.Errorf("seed %d: %s not evaluable at witness", seed, c.Name)
+				continue
+			}
+			if !holds {
+				t.Errorf("seed %d: witness violates %s", seed, c.Name)
+			}
+		}
+	}
+}
+
+func TestRandomScenarioClampsDesignerCount(t *testing.T) {
+	if scn := Random(1, 0); len(scn.Owners()) != 2 { // lead + d0
+		t.Errorf("owners = %v", scn.Owners())
+	}
+	if scn := Random(1, 100); len(scn.Owners()) != 9 { // lead + 8
+		t.Errorf("owners = %v", scn.Owners())
+	}
+}
+
+func TestRandomScenarioDeterministic(t *testing.T) {
+	a := Random(42, 3).Format()
+	b := Random(42, 3).Format()
+	if a != b {
+		t.Error("generator not deterministic for fixed seed")
+	}
+	c := Random(43, 3).Format()
+	if a == c {
+		t.Error("different seeds produced identical scenarios")
+	}
+}

@@ -1,0 +1,317 @@
+// Package scenario provides the built-in problem scenarios used in the
+// paper's evaluation (§3.2), written in DDDL:
+//
+//   - Sensor: the MEMS-based pressure sensing system — a capacitive
+//     pressure sensor and a mixed-signal interface circuit designed
+//     concurrently, with top-level constraints on sensing resolution,
+//     estimated yield, and achievable pressure range. The network
+//     reaches 26 properties and 21 constraints, most of them linear and
+//     monotone, matching the paper's description.
+//
+//   - Receiver: the MEMS-based wireless receiver front-end — mixed-
+//     signal circuitry (LNA, mixer, deserializer) and a MEMS channel-
+//     selection filter designed concurrently, with constraints on
+//     channel bandwidth, system gain, input impedance, frequency
+//     selection precision, and power consumption. The network reaches
+//     35 properties and 30 constraints, most of them nonlinear — the
+//     "harder" case.
+//
+//   - Simplified: the small case used for the per-operation profiles of
+//     Fig. 7.
+//
+// The quantitative physics behind the formulas is synthetic (the
+// original cases used proprietary CAD models), but the structure —
+// which team owns which variables, which requirements couple which
+// subsystems, where the design trade-offs lie — follows the paper's
+// description; DESIGN.md documents the substitution.
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/dddl"
+)
+
+// SensorSource is the DDDL text of the pressure sensing system case.
+const SensorSource = `
+scenario sensor
+
+# ---- top-level requirements (set by the project, owned by no
+# ---- designing subsystem; fixing them is not a design move) ----
+object Specs {
+    property MinRes    real [0, 500]     # counts per kPa
+    property MaxPower  real [0, 400]     # mW
+    property MinYield  real [0, 100]     # %
+    property MinRange  real [0, 1000]    # kPa
+    property MaxArea   real [0, 5000]    # 1000 um^2
+    property MaxNoise  real [0, 10]      # mV rms
+    property MaxStress real [0, 200]     # MPa
+    property VSupply   real [0, 12]      # V
+}
+
+# ---- capacitive pressure sensor (device engineer) ----
+object Sensor owner device {
+    property Diaphragm_R real [100, 500]   # um
+    property Diaphragm_t real [1, 10]      # um
+    property Cavity_gap  real [0.5, 5]     # um
+    property Seal_T      real [300, 500]   # K
+
+    derived Sensitivity   real [-100, 100]  = 0.05 * Diaphragm_R - 2 * Diaphragm_t - Cavity_gap
+    derived PressureRange real [-100, 1000] = 60 * Diaphragm_t - 0.04 * Diaphragm_R + 40 * Cavity_gap
+    derived Sensor_area   real [0, 5000]    = 8 * Diaphragm_R
+    derived Yield         real [0, 130]     = 104 - 0.05 * Diaphragm_R - 2 * Cavity_gap + 0.01 * Seal_T
+    derived Stress        real [-200, 200]  = 0.2 * Diaphragm_R - 18 * Diaphragm_t
+}
+
+# ---- mixed-signal interface circuit (circuit designer) ----
+object Interface owner circuit {
+    property Amp_gain real [1, 100]
+    property ADC_bits real [6, 16]
+    property Clock_f  real [0.1, 50]    # MHz
+    property Ibias    real [0.1, 10]    # mA
+
+    derived Resolution      real [-300, 600] = 2 * Amp_gain + 3 * ADC_bits + 1.5 * Sensitivity
+    derived Interface_power real [0, 200]    = 0.3 * Amp_gain + 0.8 * Clock_f + 2 * Ibias + 0.4 * VSupply
+    derived ADC_power       real [0, 200]    = 0.15 * ADC_bits * Clock_f
+    derived Noise_s         real [0, 10]     = 6 - 0.4 * Ibias
+}
+
+object SystemLevel {
+    derived System_power real [0, 400] = Interface_power + ADC_power
+}
+
+# ---- requirement constraints ----
+constraint ResSpec:    Resolution >= MinRes
+constraint PowerSpec:  System_power <= MaxPower
+constraint YieldSpec:  Yield >= MinYield
+constraint RangeSpec:  PressureRange >= MinRange
+constraint AreaSpec:   Sensor_area <= MaxArea
+constraint NoiseSpec:  Noise_s <= MaxNoise
+constraint StressSpec: Stress <= MaxStress
+constraint SealLimit:  Seal_T <= 480
+constraint ClockMin:   Clock_f >= 1
+constraint BitsMin:    ADC_bits >= 8
+constraint GapMin:     Cavity_gap >= 1
+
+# ---- problem hierarchy ----
+problem Top owner leader {
+    inputs { MinRes, MaxPower, MinYield, MinRange }
+    constraints { ResSpec, PowerSpec }
+}
+problem SensorDesign owner device {
+    inputs { MinRange, MaxArea, MaxStress, MinYield }
+    outputs { Diaphragm_R, Diaphragm_t, Cavity_gap, Seal_T }
+    constraints { YieldSpec, RangeSpec, AreaSpec, StressSpec, SealLimit, GapMin }
+}
+problem InterfaceDesign owner circuit {
+    inputs { MaxNoise, VSupply }
+    outputs { Amp_gain, ADC_bits, Clock_f, Ibias }
+    constraints { NoiseSpec, ClockMin, BitsMin }
+}
+decompose Top -> SensorDesign, InterfaceDesign
+
+require MinRes = 120
+require MaxPower = 60
+require MinYield = 80
+require MinRange = 150
+require MaxArea = 4000
+require MaxNoise = 4
+require MaxStress = 20
+require VSupply = 5
+`
+
+// receiverTemplate is the DDDL text of the wireless receiver front-end
+// case; the gain requirement is a parameter for the Fig. 10 sweep.
+const receiverTemplate = `
+scenario receiver
+
+# ---- top-level requirements ----
+object Specs {
+    property MaxPower   real [0, 600]    # mW
+    property MinGain    real [0, 400]
+    property MinZin     real [0, 200]    # ohm
+    property MaxZin     real [0, 200]    # ohm
+    property CenterFreq real [10, 200]   # MHz
+    property FreqTol    real [0, 20]     # MHz
+    property MinBW      real [0, 2]      # MHz
+    property MaxBW      real [0, 2]      # MHz
+    property MaxArea    real [0, 10000]  # um^2
+    property MaxNoise   real [0, 40]     # nV/sqrt(Hz)
+}
+
+# ---- LNA + mixer + deserializer (analog circuit designer) ----
+object LNA_Mixer owner circuit {
+    property Diff_pair_W real [0.5, 10]   # um
+    property Freq_ind    real [0.05, 2]   # uH
+    property Bias_I      real [0.5, 20]   # mA
+    property Mixer_gm    real [0.5, 10]   # mS
+    property Deser_rate  real [1, 16]     # Gb/s
+
+    derived LNA_gain      real [0, 4000]  = 30 * Diff_pair_W * Freq_ind * sqrt(Bias_I)
+    derived LNA_Zin       real [0, 1000]  = 110 * Freq_ind * sqrt(Diff_pair_W)
+    derived LNA_power     real [0, 500]   = 8 * Bias_I + 0.5 * sqr(Diff_pair_W)
+    derived LNA_noise     real [0, 100]   = 25 / sqrt(Bias_I * Diff_pair_W)
+    derived Mixer_gain    real [0, 300]   = 1.5 * Mixer_gm * sqrt(Bias_I)
+    derived Mixer_power   real [0, 500]   = 0.75 * sqr(Mixer_gm) + 6 * Mixer_gm
+    derived Deser_power   real [0, 100]   = 0.22 * sqr(Deser_rate) + 0.07 * Deser_rate
+    derived Circuit_power real [0, 1100]  = LNA_power + Mixer_power + Deser_power
+}
+
+# ---- MEMS channel-selection filter (device engineer) ----
+object MEMS_Filter owner device {
+    property Beam_len   real [5, 30]     # um
+    property Beam_width real [0.5, 5]    # um
+    property Gap        real [0.1, 2]    # um
+    property Drive_V    real [1, 50]     # V
+
+    derived Filter_freq real [0, 2000]  = 3200 * Beam_width / sqr(Beam_len)
+    derived Filter_Q    real [0, 40000] = 60 * Beam_len / (Gap * sqrt(Drive_V))
+    derived Filter_BW   real [0, 100]   = Filter_freq / Filter_Q
+    derived Filter_loss real [0, 300]   = 60 * Gap / (Beam_width * sqrt(Drive_V))
+    derived Filter_area real [0, 10000] = 30 * Beam_len * Beam_width
+    derived Drive_power real [0, 200]   = 0.08 * sqr(Drive_V)
+}
+
+object SystemLevel {
+    derived System_gain  real [-300, 4100] = LNA_gain + Mixer_gain - Filter_loss
+    derived System_power real [0, 1400]    = Circuit_power + Drive_power
+}
+
+# ---- requirement constraints ----
+constraint GainSpec:     System_gain >= MinGain
+constraint PowerSpec:    System_power <= MaxPower
+constraint ZinLo:        LNA_Zin >= MinZin
+constraint ZinHi:        LNA_Zin <= MaxZin
+constraint FreqLo:       Filter_freq >= CenterFreq - FreqTol
+constraint FreqHi:       Filter_freq <= CenterFreq + FreqTol
+constraint BWLo:         Filter_BW >= MinBW
+constraint BWHi:         Filter_BW <= MaxBW
+constraint AreaSpec:     Filter_area <= MaxArea
+constraint NoiseSpec:    LNA_noise <= MaxNoise
+constraint LossSpec:     Filter_loss <= 6
+constraint BiasHeadroom: Bias_I * Freq_ind <= 5
+constraint DriveSafety:  Drive_V <= 45 * sqrt(Gap)
+constraint DeserMin:     Deser_rate >= 4
+
+# ---- problem hierarchy ----
+problem Top owner leader {
+    inputs { MinGain, MaxPower }
+    constraints { GainSpec, PowerSpec }
+}
+problem AnalogFE owner circuit {
+    inputs { MinZin, MaxZin, MaxNoise }
+    outputs { Diff_pair_W, Freq_ind, Bias_I, Mixer_gm, Deser_rate }
+    constraints { ZinLo, ZinHi, NoiseSpec, BiasHeadroom, DeserMin }
+}
+problem FilterDesign owner device {
+    inputs { CenterFreq, FreqTol, MinBW, MaxBW, MaxArea }
+    outputs { Beam_len, Beam_width, Gap, Drive_V }
+    constraints { FreqLo, FreqHi, BWLo, BWHi, AreaSpec, LossSpec, DriveSafety }
+}
+decompose Top -> AnalogFE, FilterDesign
+
+require MaxPower = 200
+require MinGain = %g
+require MinZin = 25
+require MaxZin = 75
+require CenterFreq = 70
+require FreqTol = 2
+require MinBW = 0.15
+require MaxBW = 0.5
+require MaxArea = 2000
+require MaxNoise = 8
+`
+
+// SimplifiedSource is the small case used for the Fig. 7 profiles.
+const SimplifiedSource = `
+scenario simplified
+
+object Specs {
+    property MaxPower real [0, 400]
+    property MinGain  real [0, 400]
+}
+object Amp owner circuit {
+    property Width real [0.5, 10]
+    property Ind   real [0.05, 2]
+    property Bias  real [0.5, 20]
+
+    derived Amp_gain  real [0, 4000] = 30 * Width * Ind * sqrt(Bias)
+    derived Amp_power real [0, 500]  = 9 * Bias + 2 * Width
+}
+object Filter owner device {
+    property Beam_len real [5, 30]
+
+    derived Filter_loss real [0, 100] = 200 / Beam_len
+}
+object SystemLevel {
+    derived System_gain real [-200, 4000] = Amp_gain - Filter_loss
+}
+
+constraint GainSpec:  System_gain >= MinGain
+constraint PowerSpec: Amp_power <= MaxPower
+constraint LossCap:   Filter_loss <= 18
+
+problem Top owner leader {
+    inputs { MinGain, MaxPower }
+    constraints { GainSpec }
+}
+problem AmpDesign owner circuit {
+    inputs { MaxPower }
+    outputs { Width, Ind, Bias }
+    constraints { PowerSpec }
+}
+problem FilterPart owner device {
+    outputs { Beam_len }
+    constraints { LossCap }
+}
+decompose Top -> AmpDesign, FilterPart
+
+require MaxPower = 100
+require MinGain = 30
+`
+
+// DefaultReceiverGain is the baseline gain requirement of the receiver
+// case (the §2.4 walkthrough's "global gain requirement" of 48).
+const DefaultReceiverGain = 48.0
+
+// Sensor returns the pressure sensing system scenario.
+func Sensor() *dddl.Scenario { return dddl.MustParseString(SensorSource) }
+
+// Receiver returns the wireless receiver front-end scenario with the
+// default gain requirement.
+func Receiver() *dddl.Scenario { return ReceiverWithGain(DefaultReceiverGain) }
+
+// ReceiverSource returns the receiver DDDL text at a given gain spec.
+func ReceiverSource(minGain float64) string {
+	return fmt.Sprintf(receiverTemplate, minGain)
+}
+
+// ReceiverWithGain returns the receiver scenario with the gain
+// requirement set to minGain — the Fig. 10 tightness sweep parameter.
+func ReceiverWithGain(minGain float64) *dddl.Scenario {
+	return dddl.MustParseString(ReceiverSource(minGain))
+}
+
+// Simplified returns the small Fig. 7 scenario.
+func Simplified() *dddl.Scenario { return dddl.MustParseString(SimplifiedSource) }
+
+// GainSweep returns the gain-requirement levels used for the Fig. 10
+// robustness sweep, from the paper's baseline 48 up to a tight 168.
+func GainSweep() []float64 { return []float64{48, 72, 96, 120, 144, 168} }
+
+// ByName returns a built-in scenario by name ("sensor", "receiver",
+// "simplified").
+func ByName(name string) (*dddl.Scenario, error) {
+	switch name {
+	case "sensor":
+		return Sensor(), nil
+	case "receiver":
+		return Receiver(), nil
+	case "simplified":
+		return Simplified(), nil
+	}
+	return nil, fmt.Errorf("scenario: unknown scenario %q (want sensor, receiver, or simplified)", name)
+}
+
+// Names lists the built-in scenario names.
+func Names() []string { return []string{"sensor", "receiver", "simplified"} }

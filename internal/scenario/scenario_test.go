@@ -1,0 +1,308 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/dddl"
+	"repro/internal/domain"
+	"repro/internal/dpm"
+	"repro/internal/expr"
+)
+
+func realVal(v float64) domain.Value { return domain.Real(v) }
+
+// TestNetworkSizesMatchPaper pins the §3.2 network sizes: the sensor
+// case reaches 26 properties / 21 constraints, the receiver case 35
+// properties / 30 constraints.
+func TestNetworkSizesMatchPaper(t *testing.T) {
+	cases := []struct {
+		name        string
+		scn         *dddl.Scenario
+		props, cons int
+	}{
+		{"sensor", Sensor(), 26, 21},
+		{"receiver", Receiver(), 35, 30},
+		{"simplified", Simplified(), 10, 7},
+	}
+	for _, c := range cases {
+		net, err := c.scn.BuildNetwork()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if net.NumProperties() != c.props {
+			t.Errorf("%s: %d properties, want %d", c.name, net.NumProperties(), c.props)
+		}
+		if net.NumConstraints() != c.cons {
+			t.Errorf("%s: %d constraints, want %d", c.name, net.NumConstraints(), c.cons)
+		}
+	}
+}
+
+// witnesses are hand-computed satisfying assignments for each case;
+// they prove the scenarios are solvable.
+var witnesses = map[string]map[string]float64{
+	"sensor": {
+		"Diaphragm_R": 400, "Diaphragm_t": 4, "Cavity_gap": 2, "Seal_T": 450,
+		"Amp_gain": 40, "ADC_bits": 12, "Clock_f": 10, "Ibias": 5.5,
+	},
+	"receiver": {
+		"Diff_pair_W": 4, "Freq_ind": 0.25, "Bias_I": 9, "Mixer_gm": 4, "Deser_rate": 6,
+		"Beam_len": 9.5, "Beam_width": 2, "Gap": 0.5, "Drive_V": 16,
+	},
+	"simplified": {
+		"Width": 4, "Ind": 0.3, "Bias": 9, "Beam_len": 12,
+	},
+}
+
+func TestWitnessesSatisfyAllConstraints(t *testing.T) {
+	for name, witness := range witnesses {
+		scn, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := dpm.FromScenario(scn, dpm.Conventional)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Bind the witness through problem-owned synthesis operations.
+		for _, prob := range d.Problems() {
+			for _, out := range prob.Outputs {
+				v, ok := witness[out]
+				if !ok {
+					t.Fatalf("%s: witness missing output %s", name, out)
+				}
+				if _, err := d.Apply(dpm.Operation{
+					Kind: dpm.OpSynthesis, Problem: prob.Name, Designer: "test",
+					Assignments: []dpm.Assignment{{Prop: out, Value: realVal(v)}},
+				}); err != nil {
+					t.Fatalf("%s: bind %s: %v", name, out, err)
+				}
+			}
+		}
+		// Every property must now be bound (deriveds auto-computed).
+		for _, p := range d.Net.Properties() {
+			if !p.IsBound() {
+				t.Errorf("%s: property %s unbound after witness", name, p.Name)
+			}
+		}
+		// Point-verify everything.
+		for _, c := range d.Net.Constraints() {
+			holds, known := c.HoldsAt(d.Net)
+			if !known {
+				t.Errorf("%s: constraint %s not evaluable", name, c.Name)
+				continue
+			}
+			if !holds {
+				t.Errorf("%s: witness violates %s (%s)", name, c.Name, c)
+			}
+		}
+	}
+}
+
+// TestWitnessCompletesProcess drives verification ops until Done in
+// conventional mode, proving the termination condition is reachable.
+func TestWitnessCompletesProcess(t *testing.T) {
+	for name, witness := range witnesses {
+		scn, _ := ByName(name)
+		d, err := dpm.FromScenario(scn, dpm.Conventional)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, prob := range d.Problems() {
+			for _, out := range prob.Outputs {
+				if _, err := d.Apply(dpm.Operation{
+					Kind: dpm.OpSynthesis, Problem: prob.Name, Designer: "test",
+					Assignments: []dpm.Assignment{{Prop: out, Value: realVal(witness[out])}},
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		// Verify leaves first, then the top-level problems.
+		for pass := 0; pass < 3; pass++ {
+			for _, prob := range d.Problems() {
+				if len(prob.Constraints) == 0 {
+					continue
+				}
+				if _, err := d.Apply(dpm.Operation{
+					Kind: dpm.OpVerification, Problem: prob.Name, Designer: "test",
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if !d.Done() {
+			var open []string
+			for _, p := range d.Problems() {
+				if p.Status() != dpm.Solved {
+					open = append(open, p.Name+"="+p.Status().String())
+				}
+			}
+			t.Errorf("%s: not done; problems %v violations %v", name, open, d.Net.Violations())
+		}
+	}
+}
+
+// TestADPMWitnessCompletes drives the same witness in ADPM mode where
+// propagation alone should settle all statuses.
+func TestADPMWitnessCompletes(t *testing.T) {
+	for name, witness := range witnesses {
+		scn, _ := ByName(name)
+		d, err := dpm.FromScenario(scn, dpm.ADPM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, prob := range d.Problems() {
+			for _, out := range prob.Outputs {
+				if _, err := d.Apply(dpm.Operation{
+					Kind: dpm.OpSynthesis, Problem: prob.Name, Designer: "test",
+					Assignments: []dpm.Assignment{{Prop: out, Value: realVal(witness[out])}},
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if !d.Done() {
+			t.Errorf("%s (ADPM): not done; violations %v", name, d.Net.Violations())
+		}
+	}
+}
+
+func TestReceiverGainSweepParameter(t *testing.T) {
+	for _, g := range GainSweep() {
+		scn := ReceiverWithGain(g)
+		found := false
+		for _, r := range scn.Requirements {
+			if r.Property == "MinGain" {
+				found = true
+				if r.Value.Num() != g {
+					t.Errorf("MinGain = %v, want %v", r.Value.Num(), g)
+				}
+			}
+		}
+		if !found {
+			t.Fatal("MinGain requirement missing")
+		}
+	}
+	if len(GainSweep()) < 5 {
+		t.Error("sweep needs several tightness levels")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range Names() {
+		if _, err := ByName(n); err != nil {
+			t.Errorf("ByName(%s): %v", n, err)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+// TestReceiverMostlyNonlinear checks the paper's linearity description:
+// most receiver constraints are nonlinear, most sensor constraints are
+// linear. A constraint counts as nonlinear when any second derivative
+// of its difference expression is structurally nonzero — approximated
+// here by checking for nonlinear operators in its text form.
+func TestLinearityCharacter(t *testing.T) {
+	countNonlinear := func(scn *dddl.Scenario) (nonlinear, total int) {
+		net, err := scn.BuildNetwork()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range net.Constraints() {
+			total++
+			if exprNonlinear(c.Lhs) || exprNonlinear(c.Rhs) {
+				nonlinear++
+			}
+		}
+		return
+	}
+	nlSensor, totSensor := countNonlinear(Sensor())
+	nlRecv, totRecv := countNonlinear(Receiver())
+	if nlSensor*2 >= totSensor {
+		t.Errorf("sensor should be mostly linear: %d/%d nonlinear", nlSensor, totSensor)
+	}
+	if nlRecv*2 < totRecv {
+		t.Errorf("receiver should be mostly nonlinear: %d/%d nonlinear", nlRecv, totRecv)
+	}
+}
+
+// exprNonlinear reports whether the expression contains a nonlinear
+// form: sqrt/sqr/exp/log/abs/min/max calls, powers, division by a
+// variable, or a product of two variable-bearing factors.
+func exprNonlinear(n expr.Node) bool {
+	switch t := n.(type) {
+	case *expr.Num, *expr.Var:
+		return false
+	case *expr.Unary:
+		return exprNonlinear(t.X)
+	case *expr.Binary:
+		switch t.Op {
+		case '^':
+			return true
+		case '/':
+			if len(expr.Vars(t.Y)) > 0 {
+				return true
+			}
+		case '*':
+			if len(expr.Vars(t.X)) > 0 && len(expr.Vars(t.Y)) > 0 {
+				return true
+			}
+		}
+		return exprNonlinear(t.X) || exprNonlinear(t.Y)
+	case *expr.Call:
+		return true
+	}
+	return false
+}
+
+func TestCrossSubsystemConstraintsExist(t *testing.T) {
+	for _, name := range Names() {
+		scn, _ := ByName(name)
+		d, err := dpm.FromScenario(scn, dpm.Conventional)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cross := 0
+		for _, c := range d.Net.Constraints() {
+			if d.IsCrossSubsystem(c) {
+				cross++
+			}
+		}
+		if cross == 0 {
+			t.Errorf("%s: no cross-subsystem constraints — spins could never occur", name)
+		}
+	}
+}
+
+// TestBuiltinScenariosRoundTripThroughFormat serializes each built-in
+// scenario back to DDDL and reparses it.
+func TestBuiltinScenariosRoundTripThroughFormat(t *testing.T) {
+	for _, name := range Names() {
+		scn, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := scn.Format()
+		again, err := dddl.ParseString(text)
+		if err != nil {
+			t.Fatalf("%s: formatted text does not parse: %v", name, err)
+		}
+		if !scn.Equal(again) {
+			t.Errorf("%s: round trip changed the scenario", name)
+		}
+		netA, err := scn.BuildNetwork()
+		if err != nil {
+			t.Fatal(err)
+		}
+		netB, err := again.BuildNetwork()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if netA.NumProperties() != netB.NumProperties() || netA.NumConstraints() != netB.NumConstraints() {
+			t.Errorf("%s: round-tripped network differs in size", name)
+		}
+	}
+}

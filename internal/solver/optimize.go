@@ -1,0 +1,343 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/constraint"
+	"repro/internal/dddl"
+	"repro/internal/domain"
+	"repro/internal/expr"
+	"repro/internal/interval"
+)
+
+// OptResult reports a constrained minimization outcome.
+type OptResult struct {
+	// Feasible is true when at least one satisfying point was found.
+	Feasible bool
+	// Objective is the best (smallest) objective value found.
+	Objective float64
+	// Witness is the best assignment found.
+	Witness map[string]float64
+	// Nodes and Evaluations account for the search effort.
+	Nodes       int
+	Evaluations int64
+	// Exhausted is true when the node cap stopped the search; the
+	// result is then the best found so far, not a proven optimum.
+	Exhausted bool
+}
+
+// Minimize searches for an assignment of the target properties that
+// satisfies every constraint and minimizes the objective expression,
+// using interval branch-and-bound: boxes whose objective lower bound
+// cannot beat the incumbent are pruned; candidate points tighten the
+// incumbent. Design is "a search process in a design space restricted
+// by constraints" (paper §1) — Minimize explores that space for the
+// best corner instead of the first feasible one.
+func Minimize(net *constraint.Network, objective string, opts Options) (*OptResult, error) {
+	objNode, err := expr.Parse(objective)
+	if err != nil {
+		return nil, fmt.Errorf("solver: objective: %w", err)
+	}
+	if opts.MaxNodes <= 0 {
+		opts.MaxNodes = 100000
+	}
+	if opts.Precision <= 0 {
+		opts.Precision = 1e-4
+	}
+
+	work := net.Clone()
+	targets, err := pickTargets(work, opts.Targets)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range expr.Vars(objNode) {
+		if work.Property(v) == nil {
+			return nil, fmt.Errorf("solver: objective references unknown property %q", v)
+		}
+	}
+
+	o := &optimizer{
+		opts:    opts,
+		targets: targets,
+		obj:     objNode,
+		best:    math.Inf(1),
+	}
+	res := &OptResult{}
+	startEvals := work.EvalCount()
+	o.explore(work, res)
+	res.Evaluations = work.EvalCount() - startEvals
+	res.Feasible = o.witness != nil
+	res.Objective = o.best
+	res.Witness = o.witness
+	res.Exhausted = o.exhausted
+	return res, nil
+}
+
+// MinimizeScenario minimizes an objective over a scenario's design
+// variables (derived properties are completed from their formulas).
+func MinimizeScenario(scn *dddl.Scenario, objective string, opts Options) (*OptResult, error) {
+	net, err := scn.BuildNetwork()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Targets == nil {
+		derived := map[string]bool{}
+		for _, p := range scn.Properties {
+			if p.IsDerived() {
+				derived[p.Name] = true
+			}
+		}
+		for _, prob := range scn.Problems {
+			for _, out := range prob.Outputs {
+				if !derived[out] {
+					opts.Targets = append(opts.Targets, out)
+				}
+			}
+		}
+		sort.Strings(opts.Targets)
+	}
+	if opts.Complete == nil {
+		order := scn.DerivedOrder()
+		opts.Complete = func(net *constraint.Network) error {
+			for _, pd := range order {
+				node, err := expr.Parse(pd.Formula)
+				if err != nil {
+					return err
+				}
+				v, err := expr.Eval(node, net)
+				if err != nil {
+					return err
+				}
+				if err := net.BindReal(pd.Name, v); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	// Expand derived-property references through their defining
+	// formulas so branching and probing see the objective's true
+	// sensitivity to the design variables.
+	objNode, err := expr.Parse(objective)
+	if err != nil {
+		return nil, fmt.Errorf("solver: objective: %w", err)
+	}
+	order := scn.DerivedOrder()
+	for i := len(order) - 1; i >= 0; i-- {
+		formula, err := expr.Parse(order[i].Formula)
+		if err != nil {
+			return nil, err
+		}
+		objNode = expr.Substitute(objNode, map[string]expr.Node{order[i].Name: formula})
+	}
+	return Minimize(net, objNode.String(), opts)
+}
+
+type optimizer struct {
+	opts      Options
+	targets   []string
+	obj       expr.Node
+	best      float64
+	witness   map[string]float64
+	exhausted bool
+}
+
+func (o *optimizer) explore(net *constraint.Network, res *OptResult) {
+	res.Nodes++
+	if res.Nodes > o.opts.MaxNodes {
+		o.exhausted = true
+		return
+	}
+
+	pr := net.Propagate(o.opts.PropOpts)
+	if len(pr.Violated) > 0 {
+		return
+	}
+	for _, t := range o.targets {
+		if net.Property(t).Feasible().IsEmpty() {
+			return
+		}
+	}
+
+	// Bound: prune boxes that cannot beat the incumbent.
+	lb := expr.EvalInterval(o.obj, net)
+	if lb.IsEmpty() || lb.Lo >= o.best-1e-12 {
+		return
+	}
+
+	// Probe: a greedy objective-guided dive, then a feasibility-first
+	// midpoint dive (the greedy dive often lands outside the feasible
+	// region when the optimum sits on a constraint boundary).
+	if !o.probe(net, true) {
+		o.probe(net, false)
+	}
+
+	// Branch on the variable the objective is most sensitive to: widest
+	// relative domain among objective variables first, then any target.
+	branch := o.chooseBranch(net)
+	if branch == "" {
+		return // box decided; the probe has scored it
+	}
+
+	p := net.Property(branch)
+	if reals := p.Feasible().Reals(); reals != nil {
+		for _, v := range middleOut(reals) {
+			snap := net.Snapshot()
+			if err := net.BindReal(branch, v); err != nil {
+				return
+			}
+			o.explore(net, res)
+			restoreKeepEvals(net, snap)
+			if o.exhausted {
+				return
+			}
+		}
+		return
+	}
+	iv, _ := p.Feasible().Interval()
+	mid := iv.Mid()
+	halves := []interval.Interval{
+		interval.New(iv.Lo, mid),
+		interval.New(mid, iv.Hi),
+	}
+	// Explore the half with the smaller objective lower bound first.
+	lo0 := o.objLowerBoundWith(net, branch, halves[0])
+	lo1 := o.objLowerBoundWith(net, branch, halves[1])
+	if lo1 < lo0 {
+		halves[0], halves[1] = halves[1], halves[0]
+	}
+	for _, h := range halves {
+		snap := net.Snapshot()
+		p.SetFeasible(domain.FromInterval(h))
+		o.explore(net, res)
+		restoreKeepEvals(net, snap)
+		if o.exhausted {
+			return
+		}
+	}
+}
+
+func (o *optimizer) objLowerBoundWith(net *constraint.Network, prop string, iv interval.Interval) float64 {
+	p := net.Property(prop)
+	saved := p.Feasible()
+	p.SetFeasible(domain.FromInterval(iv))
+	lb := expr.EvalInterval(o.obj, net)
+	p.SetFeasible(saved)
+	if lb.IsEmpty() {
+		return math.Inf(1)
+	}
+	return lb.Lo
+}
+
+func (o *optimizer) chooseBranch(net *constraint.Network) string {
+	objVars := map[string]bool{}
+	for _, v := range expr.Vars(o.obj) {
+		objVars[v] = true
+	}
+	best, width := "", 0.0
+	bestObj, widthObj := "", 0.0
+	for _, t := range o.targets {
+		p := net.Property(t)
+		if p.IsBound() {
+			continue
+		}
+		rel := p.Feasible().RelativeSize(p.Init)
+		if reals := p.Feasible().Reals(); reals != nil {
+			if len(reals) <= 1 {
+				continue
+			}
+		} else if rel <= o.opts.Precision {
+			continue
+		}
+		if rel > width {
+			best, width = t, rel
+		}
+		if objVars[t] && rel > widthObj {
+			bestObj, widthObj = t, rel
+		}
+	}
+	if bestObj != "" {
+		return bestObj
+	}
+	return best
+}
+
+// probe dives to a candidate point and updates the incumbent when the
+// point is feasible and better, reporting whether a feasible point was
+// reached. With greedy set, each variable is bound at the end of its
+// domain the objective prefers; otherwise midpoints.
+func (o *optimizer) probe(net *constraint.Network, greedy bool) bool {
+	snap := net.Snapshot()
+	defer restoreKeepEvals(net, snap)
+
+	point := map[string]float64{}
+	order := append([]string(nil), o.targets...)
+	sort.SliceStable(order, func(i, j int) bool {
+		pi, pj := net.Property(order[i]), net.Property(order[j])
+		return pi.Feasible().RelativeSize(pi.Init) < pj.Feasible().RelativeSize(pj.Init)
+	})
+	for _, t := range order {
+		p := net.Property(t)
+		if v, ok := p.Value(); ok {
+			point[t] = v.Num()
+			continue
+		}
+		// Toward the objective's preferred end: bind the bottom of the
+		// domain when the objective increases in t, top when it
+		// decreases, midpoint when unknown or in feasibility-first mode.
+		dom := p.Feasible()
+		sign := 0
+		if greedy {
+			sign = expr.MonotoneSign(o.obj, t, net)
+		}
+		var cand float64
+		switch sign {
+		case +1:
+			if v, ok := dom.Min(); ok {
+				cand = v
+			}
+		case -1:
+			if v, ok := dom.Max(); ok {
+				cand = v
+			}
+		default:
+			m, ok := dom.Mid()
+			if !ok {
+				return false
+			}
+			cand = m
+		}
+		if err := net.BindReal(t, cand); err != nil {
+			return false
+		}
+		point[t] = cand
+		if pr := net.Propagate(o.opts.PropOpts); len(pr.Violated) > 0 {
+			return false
+		}
+	}
+	if o.opts.Complete != nil {
+		if err := o.opts.Complete(net); err != nil {
+			return false
+		}
+	}
+	for _, c := range net.Constraints() {
+		holds, known := c.HoldsAt(net)
+		if known && !holds {
+			return false
+		}
+		if !known && c.StatusOver(net) != constraint.Satisfied {
+			return false
+		}
+	}
+	obj, err := expr.Eval(o.obj, net)
+	if err != nil || math.IsNaN(obj) {
+		return false
+	}
+	if obj < o.best {
+		o.best = obj
+		o.witness = point
+	}
+	return true
+}

@@ -1,0 +1,120 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+func TestMinimizeLinear(t *testing.T) {
+	// min x + y  s.t.  x + y >= 8, x <= 4, domains [0,10]: optimum 8.
+	net := buildNet(t,
+		map[string][2]float64{"x": {0, 10}, "y": {0, 10}},
+		map[string]string{
+			"sum":  "x + y >= 8",
+			"xmax": "x <= 4",
+		})
+	res, err := Minimize(net, "x + y", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("reported infeasible")
+	}
+	if math.Abs(res.Objective-8) > 0.05 {
+		t.Errorf("objective = %v, want ≈8", res.Objective)
+	}
+	if v := CheckWitness(net, res.Witness); v != nil {
+		t.Errorf("witness violates %v", v)
+	}
+}
+
+func TestMinimizeNonlinear(t *testing.T) {
+	// min x² + y²  s.t.  x + y >= 4: optimum at x=y=2, objective 8.
+	net := buildNet(t,
+		map[string][2]float64{"x": {0, 10}, "y": {0, 10}},
+		map[string]string{"sum": "x + y >= 4"})
+	res, err := Minimize(net, "sqr(x) + sqr(y)", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("reported infeasible")
+	}
+	if res.Objective < 7.9 || res.Objective > 8.6 {
+		t.Errorf("objective = %v, want ≈8", res.Objective)
+	}
+}
+
+func TestMinimizeInfeasible(t *testing.T) {
+	net := buildNet(t,
+		map[string][2]float64{"x": {0, 10}},
+		map[string]string{"lo": "x >= 8", "hi": "x <= 2"})
+	res, err := Minimize(net, "x", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Errorf("infeasible system produced witness %v", res.Witness)
+	}
+}
+
+func TestMinimizeObjectiveValidation(t *testing.T) {
+	net := buildNet(t, map[string][2]float64{"x": {0, 1}}, nil)
+	if _, err := Minimize(net, "x +", Options{}); err == nil {
+		t.Error("malformed objective accepted")
+	}
+	if _, err := Minimize(net, "q", Options{}); err == nil {
+		t.Error("unknown objective variable accepted")
+	}
+}
+
+func TestMinimizeScenarioPower(t *testing.T) {
+	// Minimize the receiver's total power while meeting every spec: the
+	// optimum must be feasible and clearly below the satisfiability
+	// witness's slack-laden power.
+	sat, err := SolveScenario(scenario.Receiver(), Options{})
+	if err != nil || !sat.Satisfiable {
+		t.Fatalf("satisfiability baseline failed: %v", err)
+	}
+	res, err := MinimizeScenario(scenario.Receiver(), "System_power", Options{MaxNodes: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("optimizer found no feasible point")
+	}
+	full := fullAssignment(t, scenario.Receiver(), res.Witness)
+	net, _ := scenario.Receiver().BuildNetwork()
+	if v := CheckWitness(net, full); v != nil {
+		t.Errorf("optimized witness violates %v", v)
+	}
+	if full["System_power"] > 200 {
+		t.Errorf("optimized power %v exceeds the budget", full["System_power"])
+	}
+	// The paper's specs leave lots of power headroom; the optimizer
+	// lands near the true optimum of ≈59 mW, far below the 200 mW
+	// budget.
+	if res.Objective > 80 {
+		t.Errorf("optimized power %v not meaningfully minimized", res.Objective)
+	}
+}
+
+func TestMinimizeMaximizeViaNegation(t *testing.T) {
+	// Maximize the simplified case's system gain by minimizing its
+	// negation; verify the optimizer pushes toward the gain ceiling.
+	res, err := MinimizeScenario(scenario.Simplified(), "0 - System_gain", Options{MaxNodes: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("no feasible point")
+	}
+	gain := -res.Objective
+	// Power cap 100 limits Bias (9B + 2W <= 100); with W=10, B<=8.9:
+	// gain = 30·10·2·√8.9 ≈ 1790 max. Expect to get reasonably high.
+	if gain < 800 {
+		t.Errorf("maximized gain %v suspiciously low", gain)
+	}
+}

@@ -1,0 +1,364 @@
+// Package solver implements a branch-and-prune constraint satisfaction
+// search over the design constraint network — the classical CSP
+// machinery the paper builds on (its refs [2] Bitner & Reingold's
+// backtrack programming and [9] Kumar's constraint satisfaction
+// survey). The DCM uses one propagation pass per design operation; the
+// solver drives the same propagation to exhaustion inside a
+// backtracking search, which makes it useful as
+//
+//   - a satisfiability oracle for problem scenarios (is the spec set
+//     achievable at all?),
+//   - a witness generator for tests (no hand-computed solutions), and
+//   - a yardstick: the number of search nodes an automatic solver needs
+//     gives context for the operation counts of simulated designers.
+package solver
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/constraint"
+	"repro/internal/dddl"
+	"repro/internal/domain"
+	"repro/internal/expr"
+	"repro/internal/interval"
+)
+
+// Options tune the search.
+type Options struct {
+	// MaxNodes caps search-tree nodes; 0 means 100000.
+	MaxNodes int
+	// Precision is the domain width below which a continuous variable is
+	// considered decided; 0 means 1e-6 (relative to the initial width).
+	Precision float64
+	// Targets restricts the search to these properties (plus everything
+	// propagation touches); nil means every unbound numeric property.
+	Targets []string
+	// PropOpts tunes the per-node propagation.
+	PropOpts constraint.PropagateOptions
+	// Complete, when set, fills in dependent values (e.g. derived
+	// performance properties) after the targets are bound to a candidate
+	// point and before the point is verified. SolveScenario installs a
+	// completion that evaluates the scenario's derived formulas.
+	Complete func(net *constraint.Network) error
+}
+
+// Result reports the outcome of a search.
+type Result struct {
+	// Satisfiable is true when a witness was found.
+	Satisfiable bool
+	// Witness assigns a value to every target property (valid only when
+	// Satisfiable).
+	Witness map[string]float64
+	// Nodes is the number of search-tree nodes visited.
+	Nodes int
+	// Evaluations is the number of constraint evaluations spent.
+	Evaluations int64
+	// Exhausted is true when MaxNodes stopped the search before an
+	// answer was proven; Satisfiable=false is then inconclusive.
+	Exhausted bool
+}
+
+// Solve searches for an assignment of the target properties that
+// satisfies every constraint in the network, using interval
+// branch-and-prune: propagate, split the widest (relative) domain,
+// recurse. The input network is not modified.
+func Solve(net *constraint.Network, opts Options) (*Result, error) {
+	if opts.MaxNodes <= 0 {
+		opts.MaxNodes = 100000
+	}
+	if opts.Precision <= 0 {
+		opts.Precision = 1e-6
+	}
+
+	work := net.Clone()
+	targets, err := pickTargets(work, opts.Targets)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &search{opts: opts, targets: targets}
+	res := &Result{}
+	startEvals := work.EvalCount()
+	found := s.solve(work, res)
+	res.Evaluations = work.EvalCount() - startEvals
+	res.Satisfiable = found
+	res.Exhausted = s.exhausted
+	if found {
+		res.Witness = s.witness
+	}
+	return res, nil
+}
+
+// SolveScenario builds the scenario's network and searches over the
+// design variables (non-derived outputs of its problems).
+func SolveScenario(scn *dddl.Scenario, opts Options) (*Result, error) {
+	net, err := scn.BuildNetwork()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Targets == nil {
+		derived := map[string]bool{}
+		for _, p := range scn.Properties {
+			if p.IsDerived() {
+				derived[p.Name] = true
+			}
+		}
+		for _, prob := range scn.Problems {
+			for _, out := range prob.Outputs {
+				if !derived[out] {
+					opts.Targets = append(opts.Targets, out)
+				}
+			}
+		}
+		sort.Strings(opts.Targets)
+	}
+	if opts.Complete == nil {
+		order := scn.DerivedOrder()
+		opts.Complete = func(net *constraint.Network) error {
+			for _, pd := range order {
+				node, err := expr.Parse(pd.Formula)
+				if err != nil {
+					return err
+				}
+				v, err := expr.Eval(node, net)
+				if err != nil {
+					return err // an input is unbound; point incomplete
+				}
+				if err := net.BindReal(pd.Name, v); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	return Solve(net, opts)
+}
+
+func pickTargets(net *constraint.Network, requested []string) ([]string, error) {
+	if requested != nil {
+		for _, t := range requested {
+			p := net.Property(t)
+			if p == nil {
+				return nil, fmt.Errorf("solver: unknown target property %q", t)
+			}
+			if !p.IsNumeric() {
+				return nil, fmt.Errorf("solver: target %q is not numeric", t)
+			}
+		}
+		return append([]string(nil), requested...), nil
+	}
+	var out []string
+	for _, p := range net.Properties() {
+		if p.IsNumeric() && !p.IsBound() {
+			out = append(out, p.Name)
+		}
+	}
+	return out, nil
+}
+
+// restoreKeepEvals rewinds the network state but keeps the evaluation
+// counter monotone: explored work was still spent.
+func restoreKeepEvals(net *constraint.Network, snap *constraint.Snapshot) {
+	cur := net.EvalCount()
+	net.Restore(snap)
+	net.AddEvals(cur - net.EvalCount())
+}
+
+type search struct {
+	opts      Options
+	targets   []string
+	witness   map[string]float64
+	exhausted bool
+}
+
+// solve runs branch-and-prune on net (which it owns and mutates).
+func (s *search) solve(net *constraint.Network, res *Result) bool {
+	res.Nodes++
+	if res.Nodes > s.opts.MaxNodes {
+		s.exhausted = true
+		return false
+	}
+
+	pr := net.Propagate(s.opts.PropOpts)
+	if len(pr.Violated) > 0 {
+		return false
+	}
+	for _, t := range s.targets {
+		if net.Property(t).Feasible().IsEmpty() {
+			return false
+		}
+	}
+
+	// Probe the box midpoint before splitting: the candidate is cheap to
+	// verify and frequently succeeds long before every domain reaches
+	// the precision threshold.
+	if s.tryPoint(net, res) {
+		return true
+	}
+
+	// Choose the branching variable: the widest relative domain among
+	// undecided targets.
+	branch, width := "", 0.0
+	for _, t := range s.targets {
+		p := net.Property(t)
+		if p.IsBound() {
+			continue
+		}
+		rel := p.Feasible().RelativeSize(p.Init)
+		if reals := p.Feasible().Reals(); reals != nil {
+			if len(reals) <= 1 {
+				continue // a single remaining value: decided below
+			}
+		} else if rel <= s.opts.Precision {
+			continue
+		}
+		if rel > width {
+			branch, width = t, rel
+		}
+	}
+
+	if branch == "" {
+		// Every target decided: bind midpoints and verify at the point.
+		return s.tryPoint(net, res)
+	}
+
+	p := net.Property(branch)
+	if reals := p.Feasible().Reals(); reals != nil {
+		// Discrete split: try each value, middle-out.
+		order := middleOut(reals)
+		for _, v := range order {
+			snap := net.Snapshot()
+			if err := net.BindReal(branch, v); err != nil {
+				return false
+			}
+			if s.solve(net, res) {
+				return true
+			}
+			restoreKeepEvals(net, snap)
+			if s.exhausted {
+				return false
+			}
+		}
+		return false
+	}
+
+	iv, _ := p.Feasible().Interval()
+	mid := iv.Mid()
+	halves := []interval.Interval{
+		interval.New(iv.Lo, mid),
+		interval.New(mid, iv.Hi),
+	}
+	for _, h := range halves {
+		snap := net.Snapshot()
+		p.SetFeasible(domain.FromInterval(h))
+		if s.solve(net, res) {
+			return true
+		}
+		restoreKeepEvals(net, snap)
+		if s.exhausted {
+			return false
+		}
+	}
+	return false
+}
+
+// tryPoint dives greedily to a candidate point: targets are bound one
+// at a time to the midpoint of their *current* feasible subspace —
+// narrowest relative domain first, re-propagating after each binding so
+// later midpoints respect earlier choices — and the complete point is
+// then verified against every constraint.
+func (s *search) tryPoint(net *constraint.Network, res *Result) bool {
+	snap := net.Snapshot()
+	point := map[string]float64{}
+
+	order := append([]string(nil), s.targets...)
+	sort.SliceStable(order, func(i, j int) bool {
+		pi, pj := net.Property(order[i]), net.Property(order[j])
+		return pi.Feasible().RelativeSize(pi.Init) < pj.Feasible().RelativeSize(pj.Init)
+	})
+	for _, t := range order {
+		p := net.Property(t)
+		if v, ok := p.Value(); ok {
+			point[t] = v.Num()
+			continue
+		}
+		m, ok := p.Feasible().Mid()
+		if !ok {
+			restoreKeepEvals(net, snap)
+			return false
+		}
+		if err := net.BindReal(t, m); err != nil {
+			restoreKeepEvals(net, snap)
+			return false
+		}
+		point[t] = m
+		if pr := net.Propagate(s.opts.PropOpts); len(pr.Violated) > 0 {
+			restoreKeepEvals(net, snap)
+			return false
+		}
+	}
+	// Fill in dependent values (derived performance properties), then
+	// verify every constraint at the complete point.
+	if s.opts.Complete != nil {
+		if err := s.opts.Complete(net); err != nil {
+			restoreKeepEvals(net, snap)
+			return false
+		}
+	}
+	for _, c := range net.Constraints() {
+		holds, known := c.HoldsAt(net)
+		if known && !holds {
+			restoreKeepEvals(net, snap)
+			return false
+		}
+		if !known {
+			// An argument outside the target set is unbound: fall back
+			// to interval status, requiring definite satisfaction.
+			if c.StatusOver(net) != constraint.Satisfied {
+				restoreKeepEvals(net, snap)
+				return false
+			}
+		}
+	}
+	s.witness = point
+	return true
+}
+
+// middleOut orders values center-first (central discrete values tend to
+// leave the most slack).
+func middleOut(vals []float64) []float64 {
+	out := make([]float64, 0, len(vals))
+	lo, hi := 0, len(vals)-1
+	mid := len(vals) / 2
+	out = append(out, vals[mid])
+	for d := 1; len(out) < len(vals); d++ {
+		if mid-d >= lo {
+			out = append(out, vals[mid-d])
+		}
+		if mid+d <= hi {
+			out = append(out, vals[mid+d])
+		}
+	}
+	return out
+}
+
+// CheckWitness verifies a full assignment against every constraint of
+// the network; it returns the violated constraint names.
+func CheckWitness(net *constraint.Network, assignment map[string]float64) []string {
+	work := net.Clone()
+	for prop, v := range assignment {
+		if p := work.Property(prop); p != nil && p.IsNumeric() {
+			if err := work.BindReal(prop, v); err != nil {
+				return []string{fmt.Sprintf("bind %s: %v", prop, err)}
+			}
+		}
+	}
+	var violated []string
+	for _, c := range work.Constraints() {
+		if holds, known := c.HoldsAt(work); known && !holds {
+			violated = append(violated, c.Name)
+		}
+	}
+	return violated
+}

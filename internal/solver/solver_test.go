@@ -1,0 +1,278 @@
+package solver
+
+import (
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/dddl"
+	"repro/internal/domain"
+	"repro/internal/expr"
+	"repro/internal/scenario"
+)
+
+func buildNet(t *testing.T, props map[string][2]float64, cons map[string]string) *constraint.Network {
+	t.Helper()
+	net := constraint.NewNetwork()
+	for name, r := range props {
+		if err := net.AddProperty(constraint.NewProperty(name, domain.NewInterval(r[0], r[1]))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, src := range cons {
+		if err := net.AddConstraint(constraint.MustParseConstraint(name, src)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net
+}
+
+func TestSolveLinearSystem(t *testing.T) {
+	net := buildNet(t,
+		map[string][2]float64{"x": {0, 10}, "y": {0, 10}},
+		map[string]string{
+			"sum":  "x + y >= 8",
+			"cap":  "x + y <= 12",
+			"xmax": "x <= 4",
+		})
+	res, err := Solve(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfiable {
+		t.Fatalf("satisfiable system reported unsat (nodes=%d)", res.Nodes)
+	}
+	if v := CheckWitness(net, res.Witness); v != nil {
+		t.Errorf("witness violates %v (witness %v)", v, res.Witness)
+	}
+	if res.Nodes <= 0 || res.Evaluations <= 0 {
+		t.Error("missing search accounting")
+	}
+}
+
+func TestSolveUnsat(t *testing.T) {
+	net := buildNet(t,
+		map[string][2]float64{"x": {0, 10}},
+		map[string]string{
+			"lo": "x >= 8",
+			"hi": "x <= 2",
+		})
+	res, err := Solve(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfiable {
+		t.Errorf("unsat system reported sat: %v", res.Witness)
+	}
+	if res.Exhausted {
+		t.Error("trivial unsat should be proven, not exhausted")
+	}
+}
+
+func TestSolveNonlinear(t *testing.T) {
+	// x² + y² <= 25 with x*y >= 6 and x >= 2: e.g. (2,3).
+	net := buildNet(t,
+		map[string][2]float64{"x": {0, 10}, "y": {0, 10}},
+		map[string]string{
+			"circle": "sqr(x) + sqr(y) <= 25",
+			"prod":   "x * y >= 6",
+			"xmin":   "x >= 2",
+		})
+	res, err := Solve(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfiable {
+		t.Fatalf("nonlinear system reported unsat (nodes=%d exhausted=%v)", res.Nodes, res.Exhausted)
+	}
+	if v := CheckWitness(net, res.Witness); v != nil {
+		t.Errorf("witness violates %v: %v", v, res.Witness)
+	}
+}
+
+func TestSolveDiscreteDomain(t *testing.T) {
+	net := constraint.NewNetwork()
+	if err := net.AddProperty(constraint.NewProperty("L", domain.NewRealSet(0.1, 0.2, 0.5, 1.0))); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddProperty(constraint.NewProperty("x", domain.NewInterval(0, 10))); err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range map[string]string{
+		"c1": "L * x >= 2",
+		"c2": "L <= 0.5",
+	} {
+		if err := net.AddConstraint(constraint.MustParseConstraint(name, src)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := Solve(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfiable {
+		t.Fatal("discrete system reported unsat")
+	}
+	if l := res.Witness["L"]; l != 0.1 && l != 0.2 && l != 0.5 {
+		t.Errorf("witness L = %v not in the discrete set", l)
+	}
+	if v := CheckWitness(net, res.Witness); v != nil {
+		t.Errorf("witness violates %v: %v", v, res.Witness)
+	}
+}
+
+func TestSolveRespectsBoundProperties(t *testing.T) {
+	net := buildNet(t,
+		map[string][2]float64{"x": {0, 10}, "y": {0, 10}},
+		map[string]string{"sum": "x + y == 7"})
+	if err := net.BindReal("x", 3); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfiable {
+		t.Fatal("reported unsat")
+	}
+	if y := res.Witness["y"]; y < 3.99 || y > 4.01 {
+		t.Errorf("y = %v, want ≈4 (x pinned at 3)", y)
+	}
+	// The input network must be untouched.
+	if net.Property("y").IsBound() {
+		t.Error("Solve mutated the input network")
+	}
+}
+
+func TestSolveTargetsValidation(t *testing.T) {
+	net := buildNet(t, map[string][2]float64{"x": {0, 1}}, nil)
+	if _, err := Solve(net, Options{Targets: []string{"nope"}}); err == nil {
+		t.Error("unknown target accepted")
+	}
+	if err := net.AddProperty(constraint.NewProperty("s", domain.NewStringSet("a"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(net, Options{Targets: []string{"s"}}); err == nil {
+		t.Error("string target accepted")
+	}
+}
+
+func TestSolveMaxNodesExhaustion(t *testing.T) {
+	net := buildNet(t,
+		map[string][2]float64{"x": {0, 10}, "y": {0, 10}, "z": {0, 10}},
+		map[string]string{
+			// A thin feasible shell that needs some splitting.
+			"shell1": "sqr(x) + sqr(y) + sqr(z) >= 74.9",
+			"shell2": "sqr(x) + sqr(y) + sqr(z) <= 75.1",
+		})
+	res, err := Solve(net, Options{MaxNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfiable {
+		return // got lucky in 2 nodes; fine
+	}
+	if !res.Exhausted {
+		t.Error("node-capped search must report exhaustion")
+	}
+}
+
+// TestScenariosSatisfiable proves every built-in scenario solvable by
+// machine search — replacing trust in hand-computed witnesses.
+func TestScenariosSatisfiable(t *testing.T) {
+	for _, name := range scenario.Names() {
+		scn, err := scenario.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := SolveScenario(scn, Options{MaxNodes: 20000})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Satisfiable {
+			t.Errorf("%s: solver found no witness (nodes=%d, exhausted=%v)",
+				name, res.Nodes, res.Exhausted)
+			continue
+		}
+		net, _ := scn.BuildNetwork()
+		full := fullAssignment(t, scn, res.Witness)
+		if v := CheckWitness(net, full); v != nil {
+			t.Errorf("%s: solver witness violates %v", name, v)
+		}
+	}
+}
+
+// TestSweepScenariosSatisfiable proves every Fig. 10 tightness level is
+// achievable (the sweep measures search effort, not impossibility).
+func TestSweepScenariosSatisfiable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, g := range scenario.GainSweep() {
+		res, err := SolveScenario(scenario.ReceiverWithGain(g), Options{MaxNodes: 50000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Satisfiable {
+			t.Errorf("gain %v: no witness (nodes=%d exhausted=%v)", g, res.Nodes, res.Exhausted)
+		}
+	}
+}
+
+// fullAssignment extends a design-variable witness with the derived
+// property values its formulas produce.
+func fullAssignment(t *testing.T, scn *dddl.Scenario, witness map[string]float64) map[string]float64 {
+	t.Helper()
+	net, err := scn.BuildNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for prop, v := range witness {
+		if err := net.BindReal(prop, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := map[string]float64{}
+	for prop, v := range witness {
+		full[prop] = v
+	}
+	for _, pd := range scn.DerivedOrder() {
+		// Evaluate the formula over current bindings.
+		c := net.Constraint(pd.Name + ".def")
+		if c == nil {
+			t.Fatalf("missing def constraint for %s", pd.Name)
+		}
+		v, err := evalFormula(net, pd.Formula)
+		if err != nil {
+			t.Fatalf("derived %s: %v", pd.Name, err)
+		}
+		if err := net.BindReal(pd.Name, v); err != nil {
+			t.Fatal(err)
+		}
+		full[pd.Name] = v
+	}
+	return full
+}
+
+func evalFormula(net *constraint.Network, formula string) (float64, error) {
+	node, err := expr.Parse(formula)
+	if err != nil {
+		return 0, err
+	}
+	return expr.Eval(node, net)
+}
+
+// TestRandomScenariosSolvable runs the solver over generated scenarios
+// (satisfiable by construction).
+func TestRandomScenariosSolvable(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		scn := scenario.Random(seed, 1+int(seed%4))
+		res, err := SolveScenario(scn, Options{MaxNodes: 20000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Satisfiable {
+			t.Errorf("seed %d: generated scenario reported unsat (nodes=%d exhausted=%v)",
+				seed, res.Nodes, res.Exhausted)
+		}
+	}
+}

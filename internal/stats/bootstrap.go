@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// CI is a two-sided confidence interval for a statistic.
+type CI struct {
+	Lo, Hi float64
+	// Level is the nominal coverage (e.g. 0.95).
+	Level float64
+}
+
+// Contains reports whether v lies inside the interval.
+func (c CI) Contains(v float64) bool { return c.Lo <= v && v <= c.Hi }
+
+// BootstrapMeanCI estimates a percentile-bootstrap confidence interval
+// for the sample mean, using a seeded generator so experiment reports
+// are reproducible. resamples <= 0 selects 2000.
+func BootstrapMeanCI(vals []float64, level float64, resamples int, seed int64) CI {
+	return bootstrapCI(vals, level, resamples, seed, mean)
+}
+
+// BootstrapRatioCI estimates a percentile-bootstrap confidence interval
+// for mean(a)/mean(b) — the form of every ratio the paper reports
+// (operations ratio, spin ratio, evaluation penalties). The two samples
+// are resampled independently.
+func BootstrapRatioCI(a, b []float64, level float64, resamples int, seed int64) CI {
+	if len(a) == 0 || len(b) == 0 {
+		return CI{Level: level}
+	}
+	if resamples <= 0 {
+		resamples = 2000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ratios := make([]float64, 0, resamples)
+	for i := 0; i < resamples; i++ {
+		mb := mean(resample(rng, b))
+		if mb == 0 {
+			continue
+		}
+		ratios = append(ratios, mean(resample(rng, a))/mb)
+	}
+	return percentileCI(ratios, level)
+}
+
+func bootstrapCI(vals []float64, level float64, resamples int, seed int64, stat func([]float64) float64) CI {
+	if len(vals) == 0 {
+		return CI{Level: level}
+	}
+	if resamples <= 0 {
+		resamples = 2000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	stats := make([]float64, resamples)
+	for i := range stats {
+		stats[i] = stat(resample(rng, vals))
+	}
+	return percentileCI(stats, level)
+}
+
+func resample(rng *rand.Rand, vals []float64) []float64 {
+	out := make([]float64, len(vals))
+	for i := range out {
+		out[i] = vals[rng.Intn(len(vals))]
+	}
+	return out
+}
+
+func percentileCI(stats []float64, level float64) CI {
+	if len(stats) == 0 {
+		return CI{Level: level}
+	}
+	sort.Float64s(stats)
+	alpha := (1 - level) / 2
+	lo := stats[clampIndex(int(alpha*float64(len(stats))), len(stats))]
+	hi := stats[clampIndex(int((1-alpha)*float64(len(stats)))-1, len(stats))]
+	return CI{Lo: lo, Hi: hi, Level: level}
+}
+
+func clampIndex(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+func mean(vals []float64) float64 {
+	s := 0.0
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// WelchT computes Welch's t statistic for the difference of two sample
+// means (unequal variances) and the corresponding degrees of freedom.
+// The caller compares |t| against a critical value; for the sample
+// sizes used here (≥ 30 per arm), |t| > 2 indicates a difference
+// significant at roughly the 95% level.
+func WelchT(a, b []float64) (t, df float64) {
+	if len(a) < 2 || len(b) < 2 {
+		return 0, 0
+	}
+	sa, sb := Summarize(a), Summarize(b)
+	va := sa.Std * sa.Std / float64(len(a))
+	vb := sb.Std * sb.Std / float64(len(b))
+	if va+vb == 0 {
+		return 0, 0
+	}
+	t = (sa.Mean - sb.Mean) / math.Sqrt(va+vb)
+	denom := va*va/float64(len(a)-1) + vb*vb/float64(len(b)-1)
+	if denom == 0 {
+		return t, 0
+	}
+	df = (va + vb) * (va + vb) / denom
+	return t, df
+}

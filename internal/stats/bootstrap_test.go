@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func normalish(rng *rand.Rand, n int, mu, sigma float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = mu + sigma*rng.NormFloat64()
+	}
+	return out
+}
+
+func TestBootstrapMeanCICoversTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	hits := 0
+	const trials = 40
+	for i := 0; i < trials; i++ {
+		sample := normalish(rng, 50, 10, 2)
+		ci := BootstrapMeanCI(sample, 0.95, 500, int64(i))
+		if ci.Contains(10) {
+			hits++
+		}
+		if ci.Lo > ci.Hi {
+			t.Fatalf("inverted CI %+v", ci)
+		}
+	}
+	// Nominal 95% coverage; allow generous slack for 40 trials.
+	if hits < 32 {
+		t.Errorf("CI covered the true mean only %d/%d times", hits, trials)
+	}
+}
+
+func TestBootstrapMeanCIDeterministic(t *testing.T) {
+	sample := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	a := BootstrapMeanCI(sample, 0.9, 300, 7)
+	b := BootstrapMeanCI(sample, 0.9, 300, 7)
+	if a != b {
+		t.Errorf("same seed produced different CIs: %+v vs %+v", a, b)
+	}
+	c := BootstrapMeanCI(sample, 0.9, 300, 8)
+	if a == c {
+		t.Error("different seeds produced identical CIs (suspicious)")
+	}
+}
+
+func TestBootstrapMeanCIEdge(t *testing.T) {
+	if ci := BootstrapMeanCI(nil, 0.95, 100, 1); ci.Lo != 0 || ci.Hi != 0 {
+		t.Errorf("empty sample CI = %+v", ci)
+	}
+	// Constant sample: zero-width interval at the constant.
+	ci := BootstrapMeanCI([]float64{5, 5, 5}, 0.95, 100, 1)
+	if ci.Lo != 5 || ci.Hi != 5 {
+		t.Errorf("constant sample CI = %+v", ci)
+	}
+}
+
+func TestBootstrapRatioCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := normalish(rng, 60, 100, 10) // conventional ops
+	b := normalish(rng, 60, 25, 3)   // ADPM ops; true ratio 4
+	ci := BootstrapRatioCI(a, b, 0.95, 1000, 3)
+	if !ci.Contains(4) {
+		t.Errorf("ratio CI %+v does not cover the true ratio 4", ci)
+	}
+	// The paper's claim form: the whole interval above 2.
+	if ci.Lo <= 2 {
+		t.Errorf("ratio CI %+v should be clearly above 2", ci)
+	}
+	if got := BootstrapRatioCI(nil, b, 0.95, 100, 1); got.Lo != 0 || got.Hi != 0 {
+		t.Errorf("empty numerator CI = %+v", got)
+	}
+}
+
+func TestWelchT(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := normalish(rng, 60, 100, 15)
+	b := normalish(rng, 60, 25, 5)
+	tt, df := WelchT(a, b)
+	if tt < 10 {
+		t.Errorf("clearly separated samples: t = %v, want large", tt)
+	}
+	if df < 30 {
+		t.Errorf("df = %v, want sizeable", df)
+	}
+	// Same-distribution samples: small |t| most of the time.
+	c := normalish(rng, 60, 50, 5)
+	d := normalish(rng, 60, 50, 5)
+	tt2, _ := WelchT(c, d)
+	if tt2 > 4 || tt2 < -4 {
+		t.Errorf("same-distribution t = %v, want small", tt2)
+	}
+	// Degenerate inputs.
+	if tt, df := WelchT([]float64{1}, []float64{2, 3}); tt != 0 || df != 0 {
+		t.Error("short sample should yield zeros")
+	}
+	if tt, _ := WelchT([]float64{2, 2, 2}, []float64{2, 2, 2}); tt != 0 {
+		t.Error("zero-variance identical samples should yield t=0")
+	}
+}

@@ -1,0 +1,313 @@
+// Package stats implements the statistics capture and visualization
+// substrate of TeamSim (paper §3.1, §3.1.2): per-operation series,
+// multi-run summaries (mean / standard deviation as reported in
+// Fig. 9), CSV export for post-simulation analysis, and an ASCII line
+// chart standing in for the paper's Gnuplot/Lefty displays.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N    int
+	Mean float64
+	// Std is the sample standard deviation (n-1 denominator).
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes descriptive statistics; the zero Summary is
+// returned for an empty sample.
+func Summarize(vals []float64) Summary {
+	if len(vals) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(vals), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+		s.Min = math.Min(s.Min, v)
+		s.Max = math.Max(s.Max, v)
+	}
+	s.Mean = sum / float64(len(vals))
+	if len(vals) > 1 {
+		ss := 0.0
+		for _, v := range vals {
+			d := v - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(vals)-1))
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// String formats the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f std=%.2f min=%g max=%g median=%g",
+		s.N, s.Mean, s.Std, s.Min, s.Max, s.Median)
+}
+
+// SummarizeInts is Summarize over an int slice.
+func SummarizeInts(vals []int) Summary {
+	f := make([]float64, len(vals))
+	for i, v := range vals {
+		f[i] = float64(v)
+	}
+	return Summarize(f)
+}
+
+// SummarizeInt64s is Summarize over an int64 slice.
+func SummarizeInt64s(vals []int64) Summary {
+	f := make([]float64, len(vals))
+	for i, v := range vals {
+		f[i] = float64(v)
+	}
+	return Summarize(f)
+}
+
+// Series is one named data series; X is implicit (0..n-1) when nil.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+	// Marker is the rune used by the ASCII chart; 0 picks a default.
+	Marker rune
+}
+
+// NewSeries builds a series with implicit X.
+func NewSeries(name string, y []float64) Series {
+	return Series{Name: name, Y: y}
+}
+
+// FromInts builds a series from ints with implicit X.
+func FromInts(name string, y []int) Series {
+	f := make([]float64, len(y))
+	for i, v := range y {
+		f[i] = float64(v)
+	}
+	return Series{Name: name, Y: f}
+}
+
+// FromInt64s builds a series from int64s with implicit X.
+func FromInt64s(name string, y []int64) Series {
+	f := make([]float64, len(y))
+	for i, v := range y {
+		f[i] = float64(v)
+	}
+	return Series{Name: name, Y: f}
+}
+
+func (s Series) x(i int) float64 {
+	if s.X != nil {
+		return s.X[i]
+	}
+	return float64(i)
+}
+
+// Sum returns the sum of the series' Y values (e.g. total evaluations
+// as the area under the per-operation curve, paper Fig. 7(b) analysis).
+func (s Series) Sum() float64 {
+	t := 0.0
+	for _, v := range s.Y {
+		t += v
+	}
+	return t
+}
+
+var defaultMarkers = []rune{'*', '+', 'o', 'x', '#', '@'}
+
+// AsciiChart renders the series as a fixed-size ASCII line chart with
+// axes, a legend, and per-series markers — TeamSim's stand-in for the
+// Gnuplot window of Fig. 7/8.
+func AsciiChart(title string, width, height int, series ...Series) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		for i := range s.Y {
+			x, y := s.x(i), s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) {
+				continue
+			}
+			points++
+			minX = math.Min(minX, x)
+			maxX = math.Max(maxX, x)
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if points == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if minX == maxX {
+		maxX = minX + 1
+	}
+	if minY == maxY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		for i := range s.Y {
+			x, y := s.x(i), s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) {
+				continue
+			}
+			c := int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+			r := height - 1 - int(math.Round((y-minY)/(maxY-minY)*float64(height-1)))
+			if r >= 0 && r < height && c >= 0 && c < width {
+				grid[r][c] = marker
+			}
+		}
+	}
+	yLoLabel := fmt.Sprintf("%.4g", minY)
+	yHiLabel := fmt.Sprintf("%.4g", maxY)
+	labelW := len(yLoLabel)
+	if len(yHiLabel) > labelW {
+		labelW = len(yHiLabel)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", labelW)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", labelW, yHiLabel)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%*s", labelW, yLoLabel)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*s%s\n", strings.Repeat(" ", labelW), width-len(fmt.Sprintf("%.4g", maxX)), fmt.Sprintf("%.4g", minX), fmt.Sprintf("%.4g", maxX))
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		fmt.Fprintf(&b, "  %c %s\n", marker, s.Name)
+	}
+	return b.String()
+}
+
+// WriteCSV writes a header row and records to w in CSV form. Fields
+// containing commas or quotes are quoted.
+func WriteCSV(w io.Writer, header []string, rows [][]string) error {
+	writeRow := func(row []string) error {
+		for i, f := range row {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(f, ",\"\n") {
+				f = `"` + strings.ReplaceAll(f, `"`, `""`) + `"`
+			}
+			if _, err := io.WriteString(w, f); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := writeRow(header); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Histogram counts values into n equal-width buckets over [min, max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+}
+
+// NewHistogram builds a histogram of vals with n buckets spanning the
+// sample range.
+func NewHistogram(vals []float64, n int) Histogram {
+	if n <= 0 {
+		n = 10
+	}
+	h := Histogram{Counts: make([]int, n)}
+	if len(vals) == 0 {
+		return h
+	}
+	h.Min, h.Max = math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		h.Min = math.Min(h.Min, v)
+		h.Max = math.Max(h.Max, v)
+	}
+	span := h.Max - h.Min
+	if span == 0 {
+		h.Counts[0] = len(vals)
+		return h
+	}
+	for _, v := range vals {
+		i := int((v - h.Min) / span * float64(n))
+		if i >= n {
+			i = n - 1
+		}
+		h.Counts[i]++
+	}
+	return h
+}
+
+// String renders the histogram as horizontal bars.
+func (h Histogram) String() string {
+	var b strings.Builder
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if maxCount == 0 {
+		return "(empty histogram)\n"
+	}
+	span := h.Max - h.Min
+	for i, c := range h.Counts {
+		lo := h.Min + span*float64(i)/float64(len(h.Counts))
+		hi := h.Min + span*float64(i+1)/float64(len(h.Counts))
+		bar := strings.Repeat("█", c*40/maxCount)
+		fmt.Fprintf(&b, "[%8.3g, %8.3g) %4d %s\n", lo, hi, c, bar)
+	}
+	return b.String()
+}

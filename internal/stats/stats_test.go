@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Errorf("N=%d Mean=%v", s.N, s.Mean)
+	}
+	// sample std of this classic dataset: sqrt(32/7) ≈ 2.138
+	if math.Abs(s.Std-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("Std = %v", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if s.Median != 4.5 {
+		t.Errorf("Median = %v", s.Median)
+	}
+	if got := Summarize(nil); got.N != 0 || got.Mean != 0 {
+		t.Errorf("empty = %+v", got)
+	}
+	if got := Summarize([]float64{7}); got.Std != 0 || got.Median != 7 {
+		t.Errorf("single = %+v", got)
+	}
+	odd := Summarize([]float64{3, 1, 2})
+	if odd.Median != 2 {
+		t.Errorf("odd median = %v", odd.Median)
+	}
+}
+
+func TestSummarizeIntVariants(t *testing.T) {
+	if s := SummarizeInts([]int{1, 2, 3}); s.Mean != 2 {
+		t.Errorf("ints mean = %v", s.Mean)
+	}
+	if s := SummarizeInt64s([]int64{10, 20}); s.Mean != 15 {
+		t.Errorf("int64s mean = %v", s.Mean)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	str := s.String()
+	for _, part := range []string{"n=3", "mean=2.00", "min=1", "max=3"} {
+		if !strings.Contains(str, part) {
+			t.Errorf("summary %q missing %q", str, part)
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := FromInts("v", []int{1, 2, 3})
+	if s.Sum() != 6 {
+		t.Errorf("Sum = %v", s.Sum())
+	}
+	s64 := FromInt64s("e", []int64{5, 5})
+	if s64.Sum() != 10 {
+		t.Errorf("int64 Sum = %v", s64.Sum())
+	}
+	if NewSeries("x", nil).Sum() != 0 {
+		t.Error("empty Sum")
+	}
+}
+
+func TestAsciiChart(t *testing.T) {
+	a := FromInts("conventional", []int{0, 2, 5, 9, 4, 1, 0})
+	b := FromInts("adpm", []int{0, 1, 2, 1, 0, 0, 0})
+	out := AsciiChart("violations per op", 40, 10, a, b)
+	for _, part := range []string{"violations per op", "conventional", "adpm", "*", "+", "|", "---"} {
+		if !strings.Contains(out, part) {
+			t.Errorf("chart missing %q:\n%s", part, out)
+		}
+	}
+	// Axis labels include min and max Y.
+	if !strings.Contains(out, "9") || !strings.Contains(out, "0") {
+		t.Errorf("chart missing y labels:\n%s", out)
+	}
+}
+
+func TestAsciiChartEdgeCases(t *testing.T) {
+	if out := AsciiChart("empty", 40, 10); !strings.Contains(out, "no data") {
+		t.Errorf("empty chart = %q", out)
+	}
+	// Constant series must not divide by zero.
+	out := AsciiChart("flat", 40, 10, FromInts("c", []int{5, 5, 5}))
+	if !strings.Contains(out, "c") {
+		t.Errorf("flat chart broken:\n%s", out)
+	}
+	// Single point.
+	out = AsciiChart("pt", 40, 10, FromInts("p", []int{3}))
+	if !strings.Contains(out, "*") {
+		t.Errorf("point chart broken:\n%s", out)
+	}
+	// Tiny dimensions get clamped.
+	out = AsciiChart("tiny", 1, 1, FromInts("p", []int{1, 2}))
+	if out == "" {
+		t.Error("tiny chart empty")
+	}
+	// NaN values are skipped.
+	out = AsciiChart("nan", 40, 10, NewSeries("n", []float64{1, math.NaN(), 3}))
+	if !strings.Contains(out, "n") {
+		t.Errorf("nan chart broken:\n%s", out)
+	}
+	// Explicit X and custom marker.
+	s := Series{Name: "x", X: []float64{0, 10}, Y: []float64{0, 1}, Marker: '%'}
+	out = AsciiChart("xy", 40, 10, s)
+	if !strings.Contains(out, "%") {
+		t.Errorf("custom marker missing:\n%s", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSV(&b, []string{"a", "b"}, [][]string{
+		{"1", "plain"},
+		{"2", `has "quotes", and comma`},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,plain\n2,\"has \"\"quotes\"\", and comma\"\n"
+	if b.String() != want {
+		t.Errorf("csv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{1, 1, 2, 3, 9}, 4)
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 5 {
+		t.Errorf("histogram lost values: %v", h.Counts)
+	}
+	if h.Counts[0] != 3 { // 1,1,2 in first bucket [1,3)
+		t.Errorf("first bucket = %d", h.Counts[0])
+	}
+	if h.Counts[3] != 1 { // 9 in last bucket
+		t.Errorf("last bucket = %d", h.Counts[3])
+	}
+	if !strings.Contains(h.String(), "█") {
+		t.Error("histogram render missing bars")
+	}
+	if NewHistogram(nil, 3).String() == "" {
+		t.Error("empty histogram render")
+	}
+	flat := NewHistogram([]float64{2, 2}, 3)
+	if flat.Counts[0] != 2 {
+		t.Errorf("degenerate histogram = %v", flat.Counts)
+	}
+	if def := NewHistogram([]float64{1}, 0); len(def.Counts) != 10 {
+		t.Errorf("default bucket count = %d", len(def.Counts))
+	}
+}
+
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(vals []float64) bool {
+		clean := make([]float64, 0, len(vals))
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, math.Mod(v, 1e6))
+			}
+		}
+		s := Summarize(clean)
+		if len(clean) == 0 {
+			return s.N == 0
+		}
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 &&
+			s.Min <= s.Median && s.Median <= s.Max && s.Std >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,96 @@
+package teamsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dpm"
+	"repro/internal/scenario"
+)
+
+func TestRunConcurrentCompletes(t *testing.T) {
+	for _, mode := range []dpm.Mode{dpm.Conventional, dpm.ADPM} {
+		for seed := int64(0); seed < 4; seed++ {
+			r, err := RunConcurrent(Config{
+				Scenario: scenario.Simplified(), Mode: mode, Seed: seed, MaxOps: 3000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.Completed && !r.Deadlocked && r.Operations < 3000 {
+				t.Errorf("mode %v seed %d: stopped inexplicably after %d ops", mode, seed, r.Operations)
+			}
+			if !r.Completed {
+				t.Errorf("mode %v seed %d: did not complete (%d ops, deadlocked=%v)",
+					mode, seed, r.Operations, r.Deadlocked)
+			}
+			if len(r.EvalsPerOp) != r.Operations {
+				t.Error("series length mismatch")
+			}
+		}
+	}
+}
+
+func TestRunConcurrentSensor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r, err := RunConcurrent(Config{Scenario: scenario.Sensor(), Mode: dpm.ADPM, Seed: 1, MaxOps: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Completed {
+		t.Errorf("sensor concurrent ADPM did not complete: %d ops", r.Operations)
+	}
+}
+
+// TestRunConcurrentTerminates guards against goroutine leaks / hangs:
+// the call must return promptly even across many iterations.
+func TestRunConcurrentTerminates(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10; i++ {
+			if _, err := RunConcurrent(Config{
+				Scenario: scenario.Simplified(), Mode: dpm.ADPM, Seed: int64(i), MaxOps: 500,
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("concurrent engine hung")
+	}
+}
+
+func TestRunConcurrentMaxOps(t *testing.T) {
+	r, err := RunConcurrent(Config{Scenario: scenario.Receiver(), Mode: dpm.Conventional, Seed: 4, MaxOps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Operations > 5 {
+		t.Errorf("MaxOps=5 but executed %d", r.Operations)
+	}
+}
+
+// TestConcurrentMatchesDeterministicOutcome verifies both engines solve
+// the design (final assignments satisfy the specs), even though their
+// operation interleavings differ.
+func TestConcurrentMatchesDeterministicOutcome(t *testing.T) {
+	r, err := RunConcurrent(Config{Scenario: scenario.Simplified(), Mode: dpm.ADPM, Seed: 9, MaxOps: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Completed {
+		t.Fatalf("did not complete: %+v", r)
+	}
+	if gain := r.FinalValues["System_gain"]; gain < 30 {
+		t.Errorf("concurrent result violates gain spec: %v", gain)
+	}
+	if power := r.FinalValues["Amp_power"]; power > 100 {
+		t.Errorf("concurrent result violates power spec: %v", power)
+	}
+}

@@ -1,0 +1,240 @@
+// Package teamsim implements the design process evaluation environment
+// of paper §3.1 (Fig. 5): simulated designers request operations against
+// the DPM, statistics are captured per executed operation, and a run
+// terminates when the top-level problem is solved, every output has a
+// value, and no constraint is violated (§3.1.2).
+//
+// Two engines are provided: a deterministic seeded event loop (Run),
+// used for all reproducible experiments, and a concurrent client/server
+// engine (RunConcurrent) mirroring Minerva III's distributed
+// architecture, with one goroutine per designer exchanging messages
+// with a DPM server goroutine.
+package teamsim
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/constraint"
+	"repro/internal/dcm"
+	"repro/internal/dddl"
+	"repro/internal/designer"
+	"repro/internal/dpm"
+	"repro/internal/notify"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Scenario is the parsed DDDL problem scenario.
+	Scenario *dddl.Scenario
+	// Mode selects conventional (λ=F) or ADPM (λ=T) transitions.
+	Mode dpm.Mode
+	// Seed drives all stochastic designer choices.
+	Seed int64
+	// MaxOps caps the number of executed operations; 0 means 5000.
+	MaxOps int
+	// Heuristics toggles the designers' search heuristics; the zero
+	// value means DefaultHeuristics.
+	Heuristics *designer.Heuristics
+	// DeltaFrac sizes conventional fix steps (0 → 0.01, the paper's
+	// "around 100 times smaller than E_i").
+	DeltaFrac float64
+	// PropOpts tunes ADPM propagation.
+	PropOpts constraint.PropagateOptions
+	// Trace, when non-nil, receives a line per executed operation.
+	Trace io.Writer
+}
+
+// Result captures one simulation run's statistics (§3.1.2).
+type Result struct {
+	// Mode echoes the configured mode.
+	Mode dpm.Mode
+	// Seed echoes the configured seed.
+	Seed int64
+	// Completed is true when the termination condition was reached.
+	Completed bool
+	// Deadlocked is true when every designer went idle before
+	// completion (a scenario or heuristic defect).
+	Deadlocked bool
+	// Operations is N_O, the total number of executed operations.
+	Operations int
+	// Evaluations is the total number of constraint evaluations
+	// (the paper's CAD-resource consumption proxy).
+	Evaluations int64
+	// Spins counts operations motivated by cross-subsystem violations.
+	Spins int
+	// NewViolationsPerOp[i] is the number of violations found upon
+	// executed operation i (Fig. 7a).
+	NewViolationsPerOp []int
+	// EvalsPerOp[i] is the number of constraint evaluations due to
+	// operation i (Fig. 7b).
+	EvalsPerOp []int64
+	// OpenViolationsPerOp[i] is the number of violations outstanding
+	// after operation i (Fig. 8's violations trace).
+	OpenViolationsPerOp []int
+	// SpinPerOp[i] is true when operation i was a design spin (Fig. 8's
+	// cumulative spin trace).
+	SpinPerOp []bool
+	// Notifications counts NM deliveries to designers.
+	Notifications int
+	// FinalValues holds the bound value of every numeric property at
+	// termination.
+	FinalValues map[string]float64
+	// Process is the final design process state: constraint network,
+	// problem hierarchy, and the full operation history H_n. Useful for
+	// post-simulation inspection (browsers, history analysis).
+	Process *dpm.DPM
+}
+
+// EvalsPerOpMean returns N_E, the average number of evaluations per
+// executed operation (N_T = N_E × N_O, §3.1.2).
+func (r *Result) EvalsPerOpMean() float64 {
+	if r.Operations == 0 {
+		return 0
+	}
+	return float64(r.Evaluations) / float64(r.Operations)
+}
+
+// Run executes one deterministic simulation.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Scenario == nil {
+		return nil, fmt.Errorf("teamsim: Config.Scenario is required")
+	}
+	maxOps := cfg.MaxOps
+	if maxOps <= 0 {
+		maxOps = 5000
+	}
+	d, err := dpm.FromScenario(cfg.Scenario, cfg.Mode)
+	if err != nil {
+		return nil, err
+	}
+	d.PropOpts = cfg.PropOpts
+
+	master := rand.New(rand.NewSource(cfg.Seed))
+	team, err := buildTeam(cfg, d, master)
+	if err != nil {
+		return nil, err
+	}
+	bus := subscribeTeam(d, team)
+
+	res := &Result{Mode: cfg.Mode, Seed: cfg.Seed}
+	order := make([]int, len(team))
+	for i := range order {
+		order[i] = i
+	}
+
+	for res.Operations < maxOps && !d.Done() {
+		// Designers act independently; the loop visits them in a
+		// seed-shuffled order each round.
+		master.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		acted := false
+		for _, idx := range order {
+			if res.Operations >= maxOps || d.Done() {
+				break
+			}
+			ds := team[idx]
+			bus.Drain(ds.ID()) // consume pending notifications
+			view := dcm.BuildView(d, ds.ID())
+			op := ds.SelectOperation(view)
+			if op == nil {
+				continue
+			}
+			tr, err := d.Apply(*op)
+			if err != nil {
+				return nil, fmt.Errorf("teamsim: applying %v: %w", op, err)
+			}
+			ds.ObserveTransition(tr)
+			recordTransition(res, tr)
+			publishTransition(bus, res, tr)
+			if cfg.Trace != nil {
+				fmt.Fprintf(cfg.Trace, "op %4d: %s | new-violations=%d evals=%d\n",
+					tr.Stage, tr.Op.String(), len(tr.NewViolations), tr.Evaluations)
+			}
+			acted = true
+		}
+		if !acted {
+			res.Deadlocked = true
+			break
+		}
+	}
+	finishResult(res, d)
+	return res, nil
+}
+
+// DisabledHeuristics returns a heuristic set with every toggle off —
+// designers degrade to random search. Used by ablation experiments.
+func DisabledHeuristics() designer.Heuristics { return designer.Heuristics{} }
+
+// buildTeam creates one simulated designer per problem owner.
+func buildTeam(cfg Config, d *dpm.DPM, master *rand.Rand) ([]*designer.Designer, error) {
+	owners := cfg.Scenario.Owners()
+	if len(owners) == 0 {
+		return nil, fmt.Errorf("teamsim: scenario declares no problem owners")
+	}
+	h := designer.DefaultHeuristics()
+	if cfg.Heuristics != nil {
+		h = *cfg.Heuristics
+	}
+	team := make([]*designer.Designer, len(owners))
+	for i, o := range owners {
+		team[i] = designer.New(designer.Config{
+			ID:         o,
+			Heuristics: h,
+			DeltaFrac:  cfg.DeltaFrac,
+			Rand:       rand.New(rand.NewSource(master.Int63())),
+		})
+	}
+	return team, nil
+}
+
+// subscribeTeam registers every designer on the notification bus with
+// the NM relevance filter derived from their current concern set.
+func subscribeTeam(d *dpm.DPM, team []*designer.Designer) *notify.Bus {
+	bus := notify.NewBus()
+	for _, ds := range team {
+		view := dcm.BuildView(d, ds.ID())
+		props := map[string]bool{}
+		for name := range view.Props {
+			props[name] = true
+		}
+		cons := map[string]bool{}
+		for name := range props {
+			for _, c := range d.Net.ConstraintsOn(name) {
+				cons[c.Name] = true
+			}
+		}
+		bus.Subscribe(ds.ID(), notify.PropertyFilter(props, cons))
+	}
+	return bus
+}
+
+func recordTransition(res *Result, tr *dpm.Transition) {
+	res.Operations++
+	res.Evaluations += tr.Evaluations
+	if tr.IsSpin {
+		res.Spins++
+	}
+	res.NewViolationsPerOp = append(res.NewViolationsPerOp, len(tr.NewViolations))
+	res.EvalsPerOp = append(res.EvalsPerOp, tr.Evaluations)
+	res.OpenViolationsPerOp = append(res.OpenViolationsPerOp, len(tr.ViolationsAfter))
+	res.SpinPerOp = append(res.SpinPerOp, tr.IsSpin)
+}
+
+func publishTransition(bus *notify.Bus, res *Result, tr *dpm.Transition) {
+	events := notify.DiffEvents(tr.Stage, tr.ViolationsBefore, tr.ViolationsAfter, tr.Narrowed, nil)
+	for _, e := range events {
+		res.Notifications += bus.Publish(e)
+	}
+}
+
+func finishResult(res *Result, d *dpm.DPM) {
+	res.Completed = d.Done()
+	res.Process = d
+	res.FinalValues = map[string]float64{}
+	for _, p := range d.Net.Properties() {
+		if v, ok := p.Value(); ok && !v.IsString() {
+			res.FinalValues[p.Name] = v.Num()
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package teamsim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dpm"
+	"repro/internal/scenario"
+)
+
+func TestRunRequiresScenario(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("Run without scenario accepted")
+	}
+	if _, err := RunConcurrent(Config{}); err == nil {
+		t.Error("RunConcurrent without scenario accepted")
+	}
+}
+
+func TestRunSimplifiedBothModesComplete(t *testing.T) {
+	for _, mode := range []dpm.Mode{dpm.Conventional, dpm.ADPM} {
+		for seed := int64(0); seed < 10; seed++ {
+			r, err := Run(Config{Scenario: scenario.Simplified(), Mode: mode, Seed: seed, MaxOps: 3000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.Completed {
+				t.Errorf("mode %v seed %d did not complete (%d ops, deadlocked=%v)",
+					mode, seed, r.Operations, r.Deadlocked)
+			}
+			if r.Deadlocked {
+				t.Errorf("mode %v seed %d deadlocked", mode, seed)
+			}
+			if r.Operations <= 0 || r.Evaluations <= 0 {
+				t.Errorf("mode %v seed %d: empty result %+v", mode, seed, r)
+			}
+			if len(r.NewViolationsPerOp) != r.Operations ||
+				len(r.EvalsPerOp) != r.Operations ||
+				len(r.OpenViolationsPerOp) != r.Operations {
+				t.Errorf("series lengths inconsistent with op count")
+			}
+			// Termination condition: no violations open at the end.
+			if last := r.OpenViolationsPerOp[r.Operations-1]; last != 0 {
+				t.Errorf("completed run ends with %d open violations", last)
+			}
+		}
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	for _, mode := range []dpm.Mode{dpm.Conventional, dpm.ADPM} {
+		a, err := Run(Config{Scenario: scenario.Simplified(), Mode: mode, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(Config{Scenario: scenario.Simplified(), Mode: mode, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Operations != b.Operations || a.Evaluations != b.Evaluations || a.Spins != b.Spins {
+			t.Errorf("mode %v: nondeterministic results: %+v vs %+v", mode, a, b)
+		}
+		for p, v := range a.FinalValues {
+			if b.FinalValues[p] != v {
+				t.Errorf("mode %v: final value %s differs", mode, p)
+			}
+		}
+	}
+}
+
+func TestRunSeedsDiffer(t *testing.T) {
+	// Different seeds should (almost always) yield different conventional
+	// trajectories.
+	ops := map[int]bool{}
+	for seed := int64(0); seed < 8; seed++ {
+		r, err := Run(Config{Scenario: scenario.Simplified(), Mode: dpm.Conventional, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops[r.Operations] = true
+	}
+	if len(ops) < 2 {
+		t.Error("eight seeds produced identical op counts; randomness broken?")
+	}
+}
+
+func TestRunMaxOpsCap(t *testing.T) {
+	r, err := Run(Config{Scenario: scenario.Receiver(), Mode: dpm.Conventional, Seed: 4, MaxOps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Operations > 5 {
+		t.Errorf("MaxOps=5 but executed %d", r.Operations)
+	}
+	if r.Completed {
+		t.Error("5 ops cannot complete the receiver")
+	}
+}
+
+func TestRunTraceOutput(t *testing.T) {
+	var sb strings.Builder
+	if _, err := Run(Config{Scenario: scenario.Simplified(), Mode: dpm.ADPM, Seed: 1, Trace: &sb}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "synthesis") || !strings.Contains(out, "evals=") {
+		t.Errorf("trace output missing expected fields:\n%s", out)
+	}
+}
+
+func TestRunFinalValuesWithinDomains(t *testing.T) {
+	r, err := Run(Config{Scenario: scenario.Simplified(), Mode: dpm.ADPM, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scn := scenario.Simplified()
+	for prop, val := range r.FinalValues {
+		pd := scn.Property(prop)
+		if pd == nil {
+			t.Errorf("final value for unknown property %s", prop)
+			continue
+		}
+		if pd.IsDerived() {
+			continue // derived ranges are loose envelopes
+		}
+		iv, ok := pd.Domain.Interval()
+		if ok && !iv.Contains(val) {
+			t.Errorf("%s = %v outside E_i %v", prop, val, iv)
+		}
+	}
+	// The gain requirement must actually hold at the final point.
+	gain := r.FinalValues["System_gain"]
+	if gain < 30 {
+		t.Errorf("final System_gain = %v < 30", gain)
+	}
+	if power := r.FinalValues["Amp_power"]; power > 100 {
+		t.Errorf("final Amp_power = %v > 100", power)
+	}
+}
+
+func TestADPMBeatsConventionalOnOps(t *testing.T) {
+	// Aggregate over a handful of seeds: the paper's headline result.
+	convOps, adpmOps := 0, 0
+	for seed := int64(0); seed < 8; seed++ {
+		c, err := Run(Config{Scenario: scenario.Simplified(), Mode: dpm.Conventional, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Run(Config{Scenario: scenario.Simplified(), Mode: dpm.ADPM, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		convOps += c.Operations
+		adpmOps += a.Operations
+	}
+	if convOps < 2*adpmOps {
+		t.Errorf("conventional ops %d not at least 2x ADPM ops %d", convOps, adpmOps)
+	}
+}
+
+func TestADPMCostsMoreEvalsPerOp(t *testing.T) {
+	c, err := Run(Config{Scenario: scenario.Simplified(), Mode: dpm.Conventional, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(Config{Scenario: scenario.Simplified(), Mode: dpm.ADPM, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EvalsPerOpMean() <= c.EvalsPerOpMean() {
+		t.Errorf("ADPM evals/op %.1f not above conventional %.1f",
+			a.EvalsPerOpMean(), c.EvalsPerOpMean())
+	}
+}
+
+func TestNotificationsDelivered(t *testing.T) {
+	// The conventional flow produces violation events at verification
+	// time; designers subscribed via the NM must receive them.
+	total := 0
+	for seed := int64(0); seed < 5; seed++ {
+		r, err := Run(Config{Scenario: scenario.Simplified(), Mode: dpm.Conventional, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += r.Notifications
+	}
+	if total == 0 {
+		t.Error("no notifications delivered across 5 runs")
+	}
+}
+
+func TestEvalsPerOpMeanZeroOps(t *testing.T) {
+	r := &Result{}
+	if r.EvalsPerOpMean() != 0 {
+		t.Error("zero-op mean should be 0")
+	}
+}
+
+func TestHeuristicAblationChangesBehavior(t *testing.T) {
+	// With every ADPM heuristic disabled, designers degrade to random
+	// choices; ops should rise markedly versus the full heuristic set.
+	off := DisabledHeuristics()
+	fullOps, offOps := 0, 0
+	for seed := int64(0); seed < 6; seed++ {
+		full, err := Run(Config{Scenario: scenario.Simplified(), Mode: dpm.ADPM, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bare, err := Run(Config{Scenario: scenario.Simplified(), Mode: dpm.ADPM, Seed: seed, Heuristics: &off, MaxOps: 3000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullOps += full.Operations
+		offOps += bare.Operations
+	}
+	if offOps <= fullOps {
+		t.Errorf("heuristics off (%d ops) not worse than on (%d ops)", offOps, fullOps)
+	}
+}

@@ -1,0 +1,101 @@
+package teamsim
+
+import (
+	"testing"
+
+	"repro/internal/dpm"
+	"repro/internal/scenario"
+)
+
+func TestRunManyAggregates(t *testing.T) {
+	m, err := RunMany(Config{Scenario: scenario.Simplified(), Mode: dpm.ADPM, Seed: 1}, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Results) != 8 {
+		t.Fatalf("results = %d", len(m.Results))
+	}
+	if m.Ops.N != 8 || m.Evals.N != 8 || m.Spins.N != 8 || m.EvalsPerOp.N != 8 {
+		t.Error("summaries incomplete")
+	}
+	if m.Completed != 8 || m.CompletionRate() != 1 {
+		t.Errorf("completed = %d rate = %v", m.Completed, m.CompletionRate())
+	}
+	// Seed order must be deterministic: Results[i] has Seed base+i.
+	for i, r := range m.Results {
+		if r.Seed != 1+int64(i) {
+			t.Errorf("result %d has seed %d", i, r.Seed)
+		}
+	}
+}
+
+func TestRunManyMatchesSequentialRuns(t *testing.T) {
+	m, err := RunMany(Config{Scenario: scenario.Simplified(), Mode: dpm.Conventional, Seed: 5}, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		single, err := Run(Config{Scenario: scenario.Simplified(), Mode: dpm.Conventional, Seed: 5 + int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single.Operations != m.Results[i].Operations {
+			t.Errorf("parallel run %d diverges from sequential (%d vs %d ops)",
+				i, m.Results[i].Operations, single.Operations)
+		}
+	}
+}
+
+func TestRunManyValidation(t *testing.T) {
+	if _, err := RunMany(Config{Scenario: scenario.Simplified()}, 0, 1); err == nil {
+		t.Error("runs=0 accepted")
+	}
+	if _, err := RunMany(Config{}, 2, 1); err == nil {
+		t.Error("missing scenario accepted")
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	m := Aggregate(nil)
+	if m.CompletionRate() != 0 || m.Ops.N != 0 {
+		t.Error("empty aggregate misbehaves")
+	}
+}
+
+func TestCompareRatios(t *testing.T) {
+	cmp, err := Compare("simplified", Config{Scenario: scenario.Simplified(), Seed: 1, MaxOps: 3000}, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Case != "simplified" {
+		t.Error("case label lost")
+	}
+	if cmp.Conventional.Ops.Mean <= 0 || cmp.ADPM.Ops.Mean <= 0 {
+		t.Fatal("means missing")
+	}
+	// The paper's headline: conventional needs at least twice the
+	// operations of ADPM.
+	if r := cmp.OpsRatio(); r < 2 {
+		t.Errorf("OpsRatio = %.2f, want >= 2", r)
+	}
+	// ADPM pays a per-operation evaluation penalty.
+	if r := cmp.EvalPenaltyPerOp(); r <= 1 {
+		t.Errorf("EvalPenaltyPerOp = %.2f, want > 1", r)
+	}
+	// Per-op penalty exceeds total penalty (Fig. 7b / 9b analysis).
+	if cmp.EvalPenaltyPerOp() <= cmp.EvalPenaltyTotal() {
+		t.Errorf("per-op penalty %.2f should exceed total penalty %.2f",
+			cmp.EvalPenaltyPerOp(), cmp.EvalPenaltyTotal())
+	}
+}
+
+func TestComparisonRatioZeroGuards(t *testing.T) {
+	c := &Comparison{
+		Conventional: Aggregate([]*Result{{}}),
+		ADPM:         Aggregate([]*Result{{}}),
+	}
+	if c.OpsRatio() != 0 || c.StdRatio() != 0 || c.SpinRatio() != 0 ||
+		c.EvalPenaltyTotal() != 0 || c.EvalPenaltyPerOp() != 0 {
+		t.Error("zero-denominator ratios should be 0")
+	}
+}

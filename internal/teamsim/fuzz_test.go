@@ -1,0 +1,68 @@
+package teamsim
+
+import (
+	"testing"
+
+	"repro/internal/dpm"
+	"repro/internal/scenario"
+)
+
+// TestRandomScenariosCompleteBothModes is the pipeline-level property
+// test: for generated (satisfiable-by-construction) scenarios of
+// varying team sizes, TeamSim must complete the design process in both
+// modes, and ADPM must never lose to the conventional approach on
+// aggregate operations.
+func TestRandomScenariosCompleteBothModes(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 4
+	}
+	totalConv, totalADPM := 0, 0
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		scn := scenario.Random(seed, 1+int(seed%4))
+		for _, mode := range []dpm.Mode{dpm.Conventional, dpm.ADPM} {
+			r, err := Run(Config{Scenario: scn, Mode: mode, Seed: seed + 100, MaxOps: 4000})
+			if err != nil {
+				t.Fatalf("seed %d mode %v: %v", seed, mode, err)
+			}
+			if !r.Completed {
+				t.Errorf("seed %d mode %v: did not complete (%d ops, deadlocked=%v, violations open=%d)",
+					seed, mode, r.Operations, r.Deadlocked,
+					r.OpenViolationsPerOp[len(r.OpenViolationsPerOp)-1])
+				continue
+			}
+			if mode == dpm.Conventional {
+				totalConv += r.Operations
+			} else {
+				totalADPM += r.Operations
+			}
+			// Completed runs must satisfy every requirement at the final
+			// point: re-verify through the final process.
+			for _, c := range r.Process.Net.Constraints() {
+				if holds, known := c.HoldsAt(r.Process.Net); known && !holds {
+					t.Errorf("seed %d mode %v: completed run violates %s", seed, mode, c.Name)
+				}
+			}
+		}
+	}
+	if totalADPM >= totalConv {
+		t.Errorf("ADPM aggregate ops %d not below conventional %d across random scenarios",
+			totalADPM, totalConv)
+	}
+}
+
+// TestRandomScenariosConcurrentEngine runs a subset through the
+// goroutine-per-designer engine.
+func TestRandomScenariosConcurrentEngine(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		scn := scenario.Random(seed, 2+int(seed%3))
+		r, err := RunConcurrent(Config{Scenario: scn, Mode: dpm.ADPM, Seed: seed, MaxOps: 4000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Completed {
+			t.Errorf("seed %d: concurrent run did not complete (%d ops, deadlocked=%v)",
+				seed, r.Operations, r.Deadlocked)
+		}
+	}
+}

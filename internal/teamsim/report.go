@@ -1,0 +1,142 @@
+package teamsim
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/domain"
+	"repro/internal/dpm"
+)
+
+// Report is the JSON-serializable form of a simulation run: the
+// consolidated statistics TeamSim captures for post-simulation analysis
+// (§3.1.2), including the full operation history.
+type Report struct {
+	Mode       string  `json:"mode"`
+	Seed       int64   `json:"seed"`
+	Completed  bool    `json:"completed"`
+	Deadlocked bool    `json:"deadlocked"`
+	Operations int     `json:"operations"`
+	Evals      int64   `json:"evaluations"`
+	EvalsPerOp float64 `json:"evaluations_per_operation"`
+	Spins      int     `json:"spins"`
+
+	// Series hold the per-operation statistics of Figs. 7 and 8.
+	NewViolationsPerOp  []int   `json:"new_violations_per_op"`
+	OpenViolationsPerOp []int   `json:"open_violations_per_op"`
+	EvalsPerOpSeries    []int64 `json:"evals_per_op"`
+
+	FinalValues map[string]float64 `json:"final_values"`
+
+	// History lists every executed operation (present when the Result
+	// still carries its process).
+	History []HistoryEntry `json:"history,omitempty"`
+}
+
+// HistoryEntry is one executed design operation in the history H_n.
+type HistoryEntry struct {
+	Stage       int                `json:"stage"`
+	Kind        string             `json:"kind"`
+	Problem     string             `json:"problem"`
+	Designer    string             `json:"designer"`
+	Assignments map[string]float64 `json:"assignments,omitempty"`
+	Verify      []string           `json:"verify,omitempty"`
+	MotivatedBy []string           `json:"motivated_by,omitempty"`
+	NewViol     []string           `json:"new_violations,omitempty"`
+	Evals       int64              `json:"evaluations"`
+	Spin        bool               `json:"spin,omitempty"`
+}
+
+// BuildReport converts a Result into its serializable form.
+func BuildReport(r *Result) *Report {
+	rep := &Report{
+		Mode:                r.Mode.String(),
+		Seed:                r.Seed,
+		Completed:           r.Completed,
+		Deadlocked:          r.Deadlocked,
+		Operations:          r.Operations,
+		Evals:               r.Evaluations,
+		EvalsPerOp:          r.EvalsPerOpMean(),
+		Spins:               r.Spins,
+		NewViolationsPerOp:  r.NewViolationsPerOp,
+		OpenViolationsPerOp: r.OpenViolationsPerOp,
+		EvalsPerOpSeries:    r.EvalsPerOp,
+		FinalValues:         r.FinalValues,
+	}
+	if r.Process != nil {
+		for _, tr := range r.Process.History() {
+			e := HistoryEntry{
+				Stage:       tr.Stage,
+				Kind:        tr.Op.Kind.String(),
+				Problem:     tr.Op.Problem,
+				Designer:    tr.Op.Designer,
+				Verify:      tr.Op.Verify,
+				MotivatedBy: tr.Op.MotivatedBy,
+				NewViol:     tr.NewViolations,
+				Evals:       tr.Evaluations,
+				Spin:        tr.IsSpin,
+			}
+			if tr.Op.Kind == dpm.OpSynthesis {
+				e.Assignments = map[string]float64{}
+				for _, a := range tr.Op.Assignments {
+					if !a.Value.IsString() {
+						e.Assignments[a.Prop] = a.Value.Num()
+					}
+				}
+			}
+			rep.History = append(rep.History, e)
+		}
+	}
+	return rep
+}
+
+// WriteJSON writes the run's report as indented JSON.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(BuildReport(r))
+}
+
+// ReadReport parses a report previously written by WriteJSON.
+func ReadReport(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Replay re-executes a report's history against a fresh process built
+// from the scenario and returns the resulting process. It verifies the
+// engine's determinism contract: replaying a deterministic run must
+// reproduce the same final state.
+func Replay(cfg Config, rep *Report) (*dpm.DPM, error) {
+	d, err := dpm.FromScenario(cfg.Scenario, cfg.Mode)
+	if err != nil {
+		return nil, err
+	}
+	d.PropOpts = cfg.PropOpts
+	for _, e := range rep.History {
+		op := dpm.Operation{
+			Problem:     e.Problem,
+			Designer:    e.Designer,
+			Verify:      e.Verify,
+			MotivatedBy: e.MotivatedBy,
+		}
+		switch e.Kind {
+		case "synthesis":
+			op.Kind = dpm.OpSynthesis
+			for prop, v := range e.Assignments {
+				op.Assignments = append(op.Assignments, dpm.Assignment{Prop: prop, Value: domain.Real(v)})
+			}
+		case "verification":
+			op.Kind = dpm.OpVerification
+		case "decomposition":
+			op.Kind = dpm.OpDecomposition
+		}
+		if _, err := d.Apply(op); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,75 @@
+package teamsim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dpm"
+	"repro/internal/scenario"
+)
+
+func TestReportRoundTrip(t *testing.T) {
+	r, err := Run(Config{Scenario: scenario.Simplified(), Mode: dpm.ADPM, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadReport(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Operations != r.Operations || rep.Evals != r.Evaluations ||
+		rep.Spins != r.Spins || rep.Completed != r.Completed {
+		t.Errorf("report lost statistics: %+v", rep)
+	}
+	if len(rep.History) != r.Operations {
+		t.Errorf("history entries %d != operations %d", len(rep.History), r.Operations)
+	}
+	if rep.Mode != "ADPM" || rep.Seed != 5 {
+		t.Errorf("metadata wrong: %+v", rep)
+	}
+	for prop, v := range r.FinalValues {
+		if rep.FinalValues[prop] != v {
+			t.Errorf("final value %s lost", prop)
+		}
+	}
+}
+
+func TestReplayReproducesFinalState(t *testing.T) {
+	for _, mode := range []dpm.Mode{dpm.Conventional, dpm.ADPM} {
+		cfg := Config{Scenario: scenario.Simplified(), Mode: mode, Seed: 3}
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := BuildReport(r)
+		d, err := Replay(cfg, rep)
+		if err != nil {
+			t.Fatalf("mode %v: replay failed: %v", mode, err)
+		}
+		if d.Done() != r.Completed {
+			t.Errorf("mode %v: replay completion %v != original %v", mode, d.Done(), r.Completed)
+		}
+		for prop, want := range r.FinalValues {
+			v, ok := d.Net.Property(prop).Value()
+			if !ok || v.Num() != want {
+				t.Errorf("mode %v: replayed %s = %v, want %v", mode, prop, v, want)
+			}
+		}
+		// Total evaluation counters (including the initial propagation)
+		// must agree between the original process and its replay.
+		if d.Net.EvalCount() != r.Process.Net.EvalCount() {
+			t.Errorf("mode %v: replay evals %d != original %d",
+				mode, d.Net.EvalCount(), r.Process.Net.EvalCount())
+		}
+	}
+}
+
+func TestReadReportRejectsGarbage(t *testing.T) {
+	if _, err := ReadReport(strings.NewReader("{not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
