@@ -27,6 +27,7 @@ const benchRuns = 10
 // (violations found and constraint evaluations per executed operation,
 // conventional vs ADPM) on the simplified case.
 func BenchmarkFig7Profile(b *testing.B) {
+	b.ReportAllocs()
 	var f *figures.Fig7Result
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -44,6 +45,7 @@ func BenchmarkFig7Profile(b *testing.B) {
 // BenchmarkFig8Snapshot regenerates the Fig. 8 statistics window
 // (violations, evaluations, spins over the run) for a receiver run.
 func BenchmarkFig8Snapshot(b *testing.B) {
+	b.ReportAllocs()
 	var f *figures.Fig8Result
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -61,8 +63,10 @@ func BenchmarkFig8Snapshot(b *testing.B) {
 // (and their variability) per case and mode, plus the in-text spin
 // ratio.
 func BenchmarkFig9aOperations(b *testing.B) {
+	b.ReportAllocs()
 	for _, name := range []string{"sensor", "receiver"} {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			scn, err := scenario.ByName(name)
 			if err != nil {
 				b.Fatal(err)
@@ -86,8 +90,10 @@ func BenchmarkFig9aOperations(b *testing.B) {
 // BenchmarkFig9bEvaluations regenerates Fig. 9(b): constraint
 // evaluations — total and per operation — per case and mode.
 func BenchmarkFig9bEvaluations(b *testing.B) {
+	b.ReportAllocs()
 	for _, name := range []string{"sensor", "receiver"} {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			scn, err := scenario.ByName(name)
 			if err != nil {
 				b.Fatal(err)
@@ -110,6 +116,7 @@ func BenchmarkFig9bEvaluations(b *testing.B) {
 // BenchmarkFig10TightnessSweep regenerates Fig. 10: design operations vs
 // the receiver's gain-requirement tightness.
 func BenchmarkFig10TightnessSweep(b *testing.B) {
+	b.ReportAllocs()
 	var f *figures.Fig10Result
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -131,6 +138,7 @@ func BenchmarkFig10TightnessSweep(b *testing.B) {
 // and reports ADPM operations on the receiver — quantifying each
 // heuristic's contribution.
 func BenchmarkAblationHeuristics(b *testing.B) {
+	b.ReportAllocs()
 	variants := []struct {
 		name   string
 		mutate func(*Heuristics)
@@ -148,6 +156,7 @@ func BenchmarkAblationHeuristics(b *testing.B) {
 	}
 	for _, v := range variants {
 		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
 			h := DefaultHeuristics()
 			v.mutate(&h)
 			var m *MultiResult
@@ -171,6 +180,7 @@ func BenchmarkAblationHeuristics(b *testing.B) {
 // checking (MaxVisits=1, no fixpoint) against the full AC-3/HC4
 // fixpoint, on ADPM receiver runs.
 func BenchmarkAblationPropagationDepth(b *testing.B) {
+	b.ReportAllocs()
 	for _, v := range []struct {
 		name string
 		opts constraint.PropagateOptions
@@ -179,6 +189,7 @@ func BenchmarkAblationPropagationDepth(b *testing.B) {
 		{"full-fixpoint", constraint.PropagateOptions{}},
 	} {
 		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var m *MultiResult
 			for i := 0; i < b.N; i++ {
 				var err error
@@ -200,8 +211,10 @@ func BenchmarkAblationPropagationDepth(b *testing.B) {
 // BenchmarkAblationEngines compares the deterministic event loop with
 // the concurrent goroutine-per-designer engine on identical workloads.
 func BenchmarkAblationEngines(b *testing.B) {
+	b.ReportAllocs()
 	cfg := Config{Scenario: Sensor(), Mode: ModeADPM, MaxOps: 3000}
 	b.Run("deterministic", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			cfg.Seed = int64(i)
 			if _, err := Run(cfg); err != nil {
@@ -210,6 +223,7 @@ func BenchmarkAblationEngines(b *testing.B) {
 		}
 	})
 	b.Run("concurrent", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			cfg.Seed = int64(i)
 			if _, err := RunConcurrent(cfg); err != nil {
@@ -226,6 +240,7 @@ func BenchmarkAblationEngines(b *testing.B) {
 // BenchmarkPropagate measures one full propagation over the receiver
 // network with requirements bound.
 func BenchmarkPropagate(b *testing.B) {
+	b.ReportAllocs()
 	net, err := Receiver().BuildNetwork()
 	if err != nil {
 		b.Fatal(err)
@@ -240,6 +255,7 @@ func BenchmarkPropagate(b *testing.B) {
 // BenchmarkMovementWindow measures the per-variable exploration that
 // dominates ADPM's evaluation cost.
 func BenchmarkMovementWindow(b *testing.B) {
+	b.ReportAllocs()
 	proc, err := NewProcess(Receiver(), ModeADPM)
 	if err != nil {
 		b.Fatal(err)
@@ -259,6 +275,7 @@ func BenchmarkMovementWindow(b *testing.B) {
 
 // BenchmarkBuildView measures the DCM's heuristic-data mining step.
 func BenchmarkBuildView(b *testing.B) {
+	b.ReportAllocs()
 	proc, err := NewProcess(Receiver(), ModeADPM)
 	if err != nil {
 		b.Fatal(err)
@@ -271,11 +288,13 @@ func BenchmarkBuildView(b *testing.B) {
 
 // BenchmarkRunSimplified measures a whole simulated design process.
 func BenchmarkRunSimplified(b *testing.B) {
+	b.ReportAllocs()
 	for _, mode := range []struct {
 		name string
 		m    dpm.Mode
 	}{{"conventional", ModeConventional}, {"adpm", ModeADPM}} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			scn := Simplified()
 			for i := 0; i < b.N; i++ {
 				if _, err := Run(Config{Scenario: scn, Mode: mode.m, Seed: int64(i)}); err != nil {
@@ -288,6 +307,7 @@ func BenchmarkRunSimplified(b *testing.B) {
 
 // BenchmarkDDDLParse measures scenario parsing and validation.
 func BenchmarkDDDLParse(b *testing.B) {
+	b.ReportAllocs()
 	src := scenario.ReceiverSource(48)
 	b.SetBytes(int64(len(src)))
 	for i := 0; i < b.N; i++ {
@@ -299,6 +319,7 @@ func BenchmarkDDDLParse(b *testing.B) {
 
 // BenchmarkConstraintParse measures constraint-expression parsing.
 func BenchmarkConstraintParse(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := constraint.ParseConstraint("bench",
 			"30 * Diff_pair_W * Freq_ind * sqrt(Bias_I) + 1.5 * Mixer_gm * sqrt(Bias_I) - 60 * Gap / (Beam_width * sqrt(Drive_V)) >= MinGain"); err != nil {
@@ -310,8 +331,10 @@ func BenchmarkConstraintParse(b *testing.B) {
 // BenchmarkSolver measures the branch-and-prune satisfiability search
 // over each built-in scenario.
 func BenchmarkSolver(b *testing.B) {
+	b.ReportAllocs()
 	for _, name := range scenario.Names() {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			scn, _ := scenario.ByName(name)
 			var nodes int
 			for i := 0; i < b.N; i++ {
@@ -332,6 +355,7 @@ func BenchmarkSolver(b *testing.B) {
 // BenchmarkVerifyScenariosComplete is a guard benchmark: a single seed
 // of every scenario in every mode must still complete.
 func BenchmarkVerifyScenariosComplete(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, name := range scenario.Names() {
 			scn, _ := scenario.ByName(name)
@@ -351,6 +375,7 @@ func BenchmarkVerifyScenariosComplete(b *testing.B) {
 // BenchmarkOptimizer measures branch-and-bound minimization of the
 // receiver's power under all specs.
 func BenchmarkOptimizer(b *testing.B) {
+	b.ReportAllocs()
 	var obj float64
 	for i := 0; i < b.N; i++ {
 		res, err := MinimizeScenario(Receiver(), "System_power", SolverOptions{MaxNodes: 2000})

@@ -1,0 +1,82 @@
+package adpm
+
+// Differential guard for engine optimizations: the paper's reported
+// metrics (operations, evaluations, spins, completion) are the
+// reproduced artifact, so any change to the propagation engine's
+// mechanics — interning, scratch reuse, parallel window refresh — must
+// leave them byte-identical. The golden file was generated from the
+// seed implementation (after pinning the one map-iteration-order
+// nondeterminism in Propagate's re-enqueue loop) and is compared
+// exactly, per seed, on both scenarios and both modes.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+)
+
+type differentialRecord struct {
+	Scenario    string `json:"scenario"`
+	Mode        string `json:"mode"`
+	Seed        int64  `json:"seed"`
+	Operations  int    `json:"operations"`
+	Evaluations int64  `json:"evaluations"`
+	Spins       int    `json:"spins"`
+	Completed   bool   `json:"completed"`
+}
+
+// differentialRun reproduces one golden record's run configuration.
+func differentialRun(t *testing.T, rec differentialRecord) differentialRecord {
+	t.Helper()
+	scn, err := ScenarioByName(rec.Scenario)
+	if err != nil {
+		t.Fatalf("scenario %q: %v", rec.Scenario, err)
+	}
+	mode := ModeConventional
+	if rec.Mode == ModeADPM.String() {
+		mode = ModeADPM
+	}
+	r, err := Run(Config{Scenario: scn, Mode: mode, Seed: rec.Seed, MaxOps: 3000})
+	if err != nil {
+		t.Fatalf("%s/%s seed %d: %v", rec.Scenario, rec.Mode, rec.Seed, err)
+	}
+	return differentialRecord{
+		Scenario:    rec.Scenario,
+		Mode:        rec.Mode,
+		Seed:        rec.Seed,
+		Operations:  r.Operations,
+		Evaluations: r.Evaluations,
+		Spins:       r.Spins,
+		Completed:   r.Completed,
+	}
+}
+
+// TestDifferentialSeedMetrics replays every golden run and requires
+// exact equality of the paper metrics.
+func TestDifferentialSeedMetrics(t *testing.T) {
+	data, err := os.ReadFile("testdata/differential_seed.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var golden []differentialRecord
+	if err := json.Unmarshal(data, &golden); err != nil {
+		t.Fatal(err)
+	}
+	if len(golden) != 2*2*8 {
+		t.Fatalf("golden file has %d records, want 32 (2 scenarios x 2 modes x 8 seeds)", len(golden))
+	}
+	for _, rec := range golden {
+		rec := rec
+		name := fmt.Sprintf("%s/%s/seed%d", rec.Scenario, rec.Mode, rec.Seed)
+		t.Run(name, func(t *testing.T) {
+			if rec.Scenario == "receiver" && testing.Short() {
+				t.Skip("receiver differential runs skipped in -short mode")
+			}
+			got := differentialRun(t, rec)
+			if got != rec {
+				t.Errorf("metrics diverged from seed implementation:\n got  %+v\n want %+v", got, rec)
+			}
+		})
+	}
+}

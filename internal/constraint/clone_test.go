@@ -1,0 +1,158 @@
+package constraint
+
+import (
+	"testing"
+
+	"repro/internal/domain"
+	"repro/internal/interval"
+)
+
+func buildCloneFixture(t *testing.T) *Network {
+	t.Helper()
+	n := NewNetwork()
+	for _, p := range []string{"a", "b", "c"} {
+		if err := n.AddProperty(NewProperty(p, domain.NewInterval(0, 100))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range []*Constraint{
+		MustParseConstraint("ab", "a + b <= 60"),
+		MustParseConstraint("bc", "b <= c"),
+	} {
+		if err := n.AddConstraint(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.BindReal("a", 50); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestCloneIndependence: mutating a clone's bindings, feasible sets,
+// and statuses must not leak into the original, and vice versa.
+func TestCloneIndependence(t *testing.T) {
+	n := buildCloneFixture(t)
+	n.Propagate(PropagateOptions{})
+	c := n.Clone()
+
+	if err := c.BindReal("b", 5); err != nil {
+		t.Fatal(err)
+	}
+	c.Property("c").SetFeasible(domain.NewInterval(1, 2))
+	c.SetStatus("ab", Violated)
+	c.AddEvals(100)
+
+	if n.Property("b").IsBound() {
+		t.Error("binding leaked from clone to original")
+	}
+	if iv, _ := n.Property("c").Feasible().Interval(); iv.ApproxEqual(interval.New(1, 2), 0) {
+		t.Error("feasible leaked from clone to original")
+	}
+	if n.Status("ab") == Violated {
+		t.Error("status leaked from clone to original")
+	}
+	if n.EvalCount() == c.EvalCount() {
+		t.Error("eval counter shared between clone and original")
+	}
+}
+
+// TestCloneIntoFastPathReuse: repeated CloneInto onto the same scratch
+// must track the source's current state each time.
+func TestCloneIntoFastPathReuse(t *testing.T) {
+	n := buildCloneFixture(t)
+	scratch := &Network{}
+	n.CloneInto(scratch)
+
+	// Mutate the source, re-clone, and verify the scratch follows.
+	if err := n.BindReal("b", 7); err != nil {
+		t.Fatal(err)
+	}
+	n.Property("c").SetFeasible(domain.NewInterval(3, 4))
+	n.SetStatus("bc", Satisfied)
+	n.AddEvals(5)
+	n.CloneInto(scratch)
+
+	if v, ok := scratch.Property("b").Value(); !ok || v.Num() != 7 {
+		t.Errorf("scratch binding = %v (ok=%v), want 7", v, ok)
+	}
+	if iv, _ := scratch.Property("c").Feasible().Interval(); !iv.ApproxEqual(interval.New(3, 4), 0) {
+		t.Errorf("scratch feasible = %v, want [3,4]", iv)
+	}
+	if scratch.Status("bc") != Satisfied {
+		t.Error("scratch status not refreshed")
+	}
+	if scratch.EvalCount() != n.EvalCount() {
+		t.Error("scratch eval counter not refreshed")
+	}
+
+	// Unbinding in the source must clear the scratch's binding too.
+	n.Unbind("b")
+	n.CloneInto(scratch)
+	if scratch.Property("b").IsBound() {
+		t.Error("stale binding survived CloneInto")
+	}
+}
+
+// TestCloneIntoAfterStructureChange: adding properties or constraints
+// to the source after a clone must force the rebuild path and carry the
+// new structure into the scratch.
+func TestCloneIntoAfterStructureChange(t *testing.T) {
+	n := buildCloneFixture(t)
+	scratch := &Network{}
+	n.CloneInto(scratch)
+
+	if err := n.AddProperty(NewProperty("d", domain.NewInterval(0, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddConstraint(MustParseConstraint("cd", "c + d <= 50")); err != nil {
+		t.Fatal(err)
+	}
+	n.CloneInto(scratch)
+	if scratch.Property("d") == nil {
+		t.Fatal("scratch missing property added after first clone")
+	}
+	if scratch.Constraint("cd") == nil {
+		t.Fatal("scratch missing constraint added after first clone")
+	}
+	if got := scratch.Beta("c"); got != 2 {
+		t.Errorf("scratch Beta(c) = %d, want 2", got)
+	}
+	// The rebuilt scratch must propagate correctly.
+	scratch.Propagate(PropagateOptions{})
+}
+
+// TestCloneCopyOnWriteStructure: a structural add on the clone must not
+// alter the original's structure (and vice versa) even though the two
+// share structure tables copy-on-write.
+func TestCloneCopyOnWriteStructure(t *testing.T) {
+	n := buildCloneFixture(t)
+	c := n.Clone()
+
+	if err := c.AddProperty(NewProperty("x", domain.NewInterval(0, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddConstraint(MustParseConstraint("xa", "x <= a")); err != nil {
+		t.Fatal(err)
+	}
+	if n.Property("x") != nil || n.Constraint("xa") != nil {
+		t.Fatal("structural add on clone leaked into original")
+	}
+	if n.Beta("a") != 1 {
+		t.Errorf("original Beta(a) = %d, want 1", n.Beta("a"))
+	}
+	if c.Beta("a") != 2 {
+		t.Errorf("clone Beta(a) = %d, want 2", c.Beta("a"))
+	}
+
+	// And the original can still add structure without disturbing the
+	// (now independent) clone.
+	if err := n.AddConstraint(MustParseConstraint("ac", "a <= c")); err != nil {
+		t.Fatal(err)
+	}
+	if c.Constraint("ac") != nil {
+		t.Error("structural add on original leaked into clone")
+	}
+	n.Propagate(PropagateOptions{})
+	c.Propagate(PropagateOptions{})
+}

@@ -107,6 +107,14 @@ type Constraint struct {
 	diff expr.Node
 	// args is the sorted list of distinct argument property names.
 	args []string
+	// derivs caches ∂(Lhs-Rhs)/∂arg per argument, computed once at build
+	// time. A nil entry means the derivative is not expressible
+	// (monotonicity unknown). The map is immutable after construction, so
+	// constraints stay safe to share across cloned networks and
+	// goroutines. MonotoneSign interval-evaluates these cached trees
+	// instead of re-deriving them per call — view building queries the
+	// monotone sign of every constraint on every property per operation.
+	derivs map[string]expr.Node
 }
 
 // New builds a constraint lhs rel rhs.
@@ -114,6 +122,10 @@ func New(name string, lhs expr.Node, rel Relation, rhs expr.Node) *Constraint {
 	c := &Constraint{Name: name, Lhs: lhs, Rhs: rhs, Rel: rel}
 	c.diff = &expr.Binary{Op: '-', X: lhs, Y: rhs}
 	c.args = expr.Vars(c.diff)
+	c.derivs = make(map[string]expr.Node, len(c.args))
+	for _, a := range c.args {
+		c.derivs[a] = expr.Diff(c.diff, a)
+	}
 	return c
 }
 
@@ -318,7 +330,26 @@ func (c *Constraint) MonotoneSign(prop string, env expr.IntervalEnv) int {
 			return 0
 		}
 	}
-	return expr.MonotoneSign(c.diff, prop, env)
+	d, isArg := c.derivs[prop]
+	if !isArg {
+		// Not an argument (or a constraint built without New): fall back
+		// to the generic path, which handles both cases.
+		return expr.MonotoneSign(c.diff, prop, env)
+	}
+	if d == nil {
+		return 0
+	}
+	iv := expr.EvalInterval(d, env)
+	if iv.IsEmpty() {
+		return 0
+	}
+	if iv.Lo >= 0 {
+		return +1
+	}
+	if iv.Hi <= 0 {
+		return -1
+	}
+	return 0
 }
 
 // FixDirection returns the direction (+1 or -1) in which moving prop's

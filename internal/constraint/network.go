@@ -14,28 +14,105 @@ import (
 // relating them. It tracks each constraint's last computed status, each
 // property's feasible subspace, and the cumulative number of constraint
 // evaluations — the paper's proxy for verification-tool runs.
+//
+// Property and constraint names are interned to dense integer ids at
+// registration time (insertion order), so the propagation hot path
+// works on int-indexed slices instead of string-keyed maps. The
+// structure tables (id maps, adjacency, compiled expressions) are
+// immutable per structural generation and shared between clones
+// copy-on-write; only the mutable per-state data (feasible subspaces,
+// bindings, statuses, the evaluation counter) is copied per clone.
 type Network struct {
-	props     map[string]*Property
-	propOrder []string
-	cons      map[string]*Constraint
-	conOrder  []string
-	// byProp indexes constraint names by argument property.
-	byProp map[string][]string
-	// status holds the last computed status per constraint.
-	status map[string]Status
+	// propIDs/conIDs intern names to dense ids in insertion order.
+	propIDs map[string]int
+	conIDs  map[string]int
+	// propList holds the properties by id; the per-network mutable
+	// state (feasible, bound) lives in these objects.
+	propList []*Property
+	// conList holds the (immutable) constraints by id.
+	conList []*Constraint
+	// byProp indexes constraint ids by argument property id.
+	byProp [][]int
+	// conArgs holds each constraint's argument property ids, in the
+	// constraint's sorted-name Args() order.
+	conArgs [][]int
+	// compiled holds each constraint's canonical Lhs-Rhs expression
+	// with property ids baked in (expr.Compile), used by the id-based
+	// evaluation and narrowing fast paths.
+	compiled []expr.Node
+	// status holds the last computed status per constraint id.
+	status []Status
 	// evals counts constraint evaluations (status computations and
 	// propagation revises).
 	evals int64
+
+	// gen is the structure generation: it increments whenever a
+	// property or constraint is added. Clones copy it; CloneInto uses
+	// it to detect that a destination's structure is still reusable.
+	gen int64
+	// sharedStructure marks the structure tables as shared with a
+	// clone; the next structural mutation copies them first.
+	sharedStructure bool
+	// cloneSrc/cloneSrcGen identify the network this one was cloned
+	// from and its generation at that time (CloneInto fast path).
+	cloneSrc    *Network
+	cloneSrcGen int64
+
+	// scratch holds the reusable propagation workspace; never shared
+	// between networks.
+	scratch *propScratch
+	// views holds lazily built structure-derived lookups used by the
+	// guidance layer (per-property constraint slices, indirect-β counts).
+	// Validated against gen; never shared between networks.
+	views *viewCache
+}
+
+// viewCache memoizes pure-structure queries that view building issues
+// for every property on every operation. It is rebuilt whenever the
+// structure generation moves.
+type viewCache struct {
+	gen     int64
+	conOn   [][]*Constraint
+	betaInd []int
 }
 
 // NewNetwork returns an empty constraint network.
 func NewNetwork() *Network {
 	return &Network{
-		props:  map[string]*Property{},
-		cons:   map[string]*Constraint{},
-		byProp: map[string][]string{},
-		status: map[string]Status{},
+		propIDs: map[string]int{},
+		conIDs:  map[string]int{},
 	}
+}
+
+// ensureOwnedStructure copies the shared structure tables before a
+// structural mutation so sibling clones keep their own view.
+func (n *Network) ensureOwnedStructure() {
+	if !n.sharedStructure {
+		return
+	}
+	propIDs := make(map[string]int, len(n.propIDs))
+	for k, v := range n.propIDs {
+		propIDs[k] = v
+	}
+	conIDs := make(map[string]int, len(n.conIDs))
+	for k, v := range n.conIDs {
+		conIDs[k] = v
+	}
+	n.propIDs = propIDs
+	n.conIDs = conIDs
+	n.conList = append([]*Constraint(nil), n.conList...)
+	byProp := make([][]int, len(n.byProp))
+	for i, cs := range n.byProp {
+		byProp[i] = append([]int(nil), cs...)
+	}
+	n.byProp = byProp
+	conArgs := make([][]int, len(n.conArgs))
+	for i, as := range n.conArgs {
+		conArgs[i] = append([]int(nil), as...)
+	}
+	n.conArgs = conArgs
+	n.compiled = append([]expr.Node(nil), n.compiled...)
+	n.sharedStructure = false
 }
 
 // AddProperty registers a property. Names must be unique.
@@ -43,11 +120,14 @@ func (n *Network) AddProperty(p *Property) error {
 	if p.Name == "" {
 		return fmt.Errorf("constraint: property with empty name")
 	}
-	if _, dup := n.props[p.Name]; dup {
+	if _, dup := n.propIDs[p.Name]; dup {
 		return fmt.Errorf("constraint: duplicate property %q", p.Name)
 	}
-	n.props[p.Name] = p
-	n.propOrder = append(n.propOrder, p.Name)
+	n.ensureOwnedStructure()
+	n.propIDs[p.Name] = len(n.propList)
+	n.propList = append(n.propList, p)
+	n.byProp = append(n.byProp, nil)
+	n.gen++
 	return nil
 }
 
@@ -59,100 +139,170 @@ func (n *Network) AddConstraint(c *Constraint) error {
 	if c.Name == "" {
 		return fmt.Errorf("constraint: constraint with empty name")
 	}
-	if _, dup := n.cons[c.Name]; dup {
+	if _, dup := n.conIDs[c.Name]; dup {
 		return fmt.Errorf("constraint: duplicate constraint %q", c.Name)
 	}
-	for _, a := range c.Args() {
-		p, ok := n.props[a]
+	argIDs := make([]int, len(c.Args()))
+	for i, a := range c.Args() {
+		pid, ok := n.propIDs[a]
 		if !ok {
 			return fmt.Errorf("constraint %s: unknown property %q", c.Name, a)
 		}
-		if !p.IsNumeric() {
+		if !n.propList[pid].IsNumeric() {
 			return fmt.Errorf("constraint %s: property %q is non-numeric", c.Name, a)
 		}
+		argIDs[i] = pid
 	}
-	n.cons[c.Name] = c
-	n.conOrder = append(n.conOrder, c.Name)
-	for _, a := range c.Args() {
-		n.byProp[a] = append(n.byProp[a], c.Name)
+	n.ensureOwnedStructure()
+	ci := len(n.conList)
+	n.conIDs[c.Name] = ci
+	n.conList = append(n.conList, c)
+	n.conArgs = append(n.conArgs, argIDs)
+	n.compiled = append(n.compiled, expr.Compile(c.diff, func(name string) (int, bool) {
+		id, ok := n.propIDs[name]
+		return id, ok
+	}))
+	for _, pid := range argIDs {
+		n.byProp[pid] = append(n.byProp[pid], ci)
 	}
-	n.status[c.Name] = Consistent
+	n.status = append(n.status, Consistent)
+	n.gen++
 	return nil
 }
 
+// propID returns the dense id of the named property, or -1.
+func (n *Network) propID(name string) int {
+	if id, ok := n.propIDs[name]; ok {
+		return id
+	}
+	return -1
+}
+
 // Property returns the named property, or nil.
-func (n *Network) Property(name string) *Property { return n.props[name] }
+func (n *Network) Property(name string) *Property {
+	if id, ok := n.propIDs[name]; ok {
+		return n.propList[id]
+	}
+	return nil
+}
 
 // Constraint returns the named constraint, or nil.
-func (n *Network) Constraint(name string) *Constraint { return n.cons[name] }
+func (n *Network) Constraint(name string) *Constraint {
+	if id, ok := n.conIDs[name]; ok {
+		return n.conList[id]
+	}
+	return nil
+}
 
 // Properties returns all properties in insertion order.
 func (n *Network) Properties() []*Property {
-	out := make([]*Property, len(n.propOrder))
-	for i, name := range n.propOrder {
-		out[i] = n.props[name]
-	}
-	return out
+	return append([]*Property(nil), n.propList...)
 }
 
 // Constraints returns all constraints in insertion order.
 func (n *Network) Constraints() []*Constraint {
-	out := make([]*Constraint, len(n.conOrder))
-	for i, name := range n.conOrder {
-		out[i] = n.cons[name]
-	}
-	return out
+	return append([]*Constraint(nil), n.conList...)
 }
 
 // NumProperties returns the number of properties.
-func (n *Network) NumProperties() int { return len(n.props) }
+func (n *Network) NumProperties() int { return len(n.propList) }
 
 // NumConstraints returns the number of constraints.
-func (n *Network) NumConstraints() int { return len(n.cons) }
+func (n *Network) NumConstraints() int { return len(n.conList) }
+
+// getViewCache returns the structure-query cache, resetting it when the
+// structure generation has moved since it was built.
+func (n *Network) getViewCache() *viewCache {
+	vc := n.views
+	if vc == nil || vc.gen != n.gen || len(vc.conOn) != len(n.propList) {
+		vc = &viewCache{
+			gen:     n.gen,
+			conOn:   make([][]*Constraint, len(n.propList)),
+			betaInd: make([]int, len(n.propList)),
+		}
+		for i := range vc.betaInd {
+			vc.betaInd[i] = -1
+		}
+		n.views = vc
+	}
+	return vc
+}
 
 // ConstraintsOn returns the constraints in which the property appears,
-// in insertion order. Its length is the paper's β_i (§2.3.2).
+// in insertion order. Its length is the paper's β_i (§2.3.2). The
+// returned slice is cached until the next structural change and must
+// not be modified by the caller.
 func (n *Network) ConstraintsOn(prop string) []*Constraint {
-	names := n.byProp[prop]
-	out := make([]*Constraint, len(names))
-	for i, cn := range names {
-		out[i] = n.cons[cn]
+	pid := n.propID(prop)
+	if pid < 0 {
+		return nil
 	}
-	return out
+	ids := n.byProp[pid]
+	if len(ids) == 0 {
+		return nil
+	}
+	vc := n.getViewCache()
+	if vc.conOn[pid] == nil {
+		out := make([]*Constraint, len(ids))
+		for i, ci := range ids {
+			out[i] = n.conList[ci]
+		}
+		vc.conOn[pid] = out
+	}
+	return vc.conOn[pid]
 }
 
 // Beta returns β_i — the number of constraints where prop appears.
-func (n *Network) Beta(prop string) int { return len(n.byProp[prop]) }
+func (n *Network) Beta(prop string) int {
+	pid := n.propID(prop)
+	if pid < 0 {
+		return 0
+	}
+	return len(n.byProp[pid])
+}
 
 // BetaIndirect returns β_i extended with constraints indirectly related
 // to prop through one intermediate constraint (the §2.3.2 extension):
 // constraints sharing an argument with any constraint on prop.
 func (n *Network) BetaIndirect(prop string) int {
-	direct := n.byProp[prop]
-	seen := map[string]bool{}
-	for _, cn := range direct {
-		seen[cn] = true
+	pid := n.propID(prop)
+	if pid < 0 {
+		return 0
+	}
+	vc := n.getViewCache()
+	if b := vc.betaInd[pid]; b >= 0 {
+		return b
+	}
+	direct := n.byProp[pid]
+	seen := make([]bool, len(n.conList))
+	for _, ci := range direct {
+		seen[ci] = true
 	}
 	count := len(direct)
-	for _, cn := range direct {
-		for _, a := range n.cons[cn].Args() {
-			for _, cn2 := range n.byProp[a] {
-				if !seen[cn2] {
-					seen[cn2] = true
+	for _, ci := range direct {
+		for _, aid := range n.conArgs[ci] {
+			for _, ci2 := range n.byProp[aid] {
+				if !seen[ci2] {
+					seen[ci2] = true
 					count++
 				}
 			}
 		}
 	}
+	vc.betaInd[pid] = count
 	return count
 }
 
 // Alpha returns α_i — the number of constraints involving prop whose
 // last computed status is Violated (paper eq. 3).
 func (n *Network) Alpha(prop string) int {
+	pid := n.propID(prop)
+	if pid < 0 {
+		return 0
+	}
 	count := 0
-	for _, cn := range n.byProp[prop] {
-		if n.status[cn] == Violated {
+	for _, ci := range n.byProp[pid] {
+		if n.status[ci] == Violated {
 			count++
 		}
 	}
@@ -160,19 +310,28 @@ func (n *Network) Alpha(prop string) int {
 }
 
 // Status returns the last computed status of the named constraint.
-func (n *Network) Status(name string) Status { return n.status[name] }
+func (n *Network) Status(name string) Status {
+	if ci, ok := n.conIDs[name]; ok {
+		return n.status[ci]
+	}
+	return Consistent
+}
 
 // SetStatus records a status computed externally (e.g. by a
 // verification operator in conventional mode).
-func (n *Network) SetStatus(name string, s Status) { n.status[name] = s }
+func (n *Network) SetStatus(name string, s Status) {
+	if ci, ok := n.conIDs[name]; ok {
+		n.status[ci] = s
+	}
+}
 
 // Violations returns the names of constraints currently marked Violated,
 // in insertion order.
 func (n *Network) Violations() []string {
 	var out []string
-	for _, cn := range n.conOrder {
-		if n.status[cn] == Violated {
-			out = append(out, cn)
+	for ci, s := range n.status {
+		if s == Violated {
+			out = append(out, n.conList[ci].Name)
 		}
 	}
 	return out
@@ -197,8 +356,8 @@ func (n *Network) AddEvals(k int64) { n.evals += k }
 
 // Bind assigns a value to a property.
 func (n *Network) Bind(prop string, v domain.Value) error {
-	p, ok := n.props[prop]
-	if !ok {
+	p := n.Property(prop)
+	if p == nil {
 		return fmt.Errorf("constraint: bind of unknown property %q", prop)
 	}
 	return p.Bind(v)
@@ -211,7 +370,7 @@ func (n *Network) BindReal(prop string, v float64) error {
 
 // Unbind removes a property's assignment.
 func (n *Network) Unbind(prop string) {
-	if p, ok := n.props[prop]; ok {
+	if p := n.Property(prop); p != nil {
 		p.Unbind()
 	}
 }
@@ -220,7 +379,7 @@ func (n *Network) Unbind(prop string) {
 // initial range E_i. Propagation re-derives the reductions from scratch;
 // this keeps feasible sets exact after a designer widens a choice.
 func (n *Network) ResetFeasible() {
-	for _, p := range n.props {
+	for _, p := range n.propList {
 		p.ResetFeasible()
 	}
 }
@@ -229,17 +388,23 @@ func (n *Network) ResetFeasible() {
 // bound properties contribute their point value, unbound ones the hull
 // of their feasible subspace (falling back to E_i when emptied).
 func (n *Network) Domain(name string) interval.Interval {
-	p, ok := n.props[name]
-	if !ok {
+	p := n.Property(name)
+	if p == nil {
 		return interval.Entire()
 	}
 	return p.CurrentInterval()
 }
 
+// DomainID implements expr.IndexedIntervalEnv: domain lookup by
+// interned property id, bypassing the name map.
+func (n *Network) DomainID(id int) interval.Interval {
+	return n.propList[id].CurrentInterval()
+}
+
 // Value implements expr.FloatEnv over bound property values.
 func (n *Network) Value(name string) (float64, bool) {
-	p, ok := n.props[name]
-	if !ok || p.bound == nil || p.bound.IsString() {
+	p := n.Property(name)
+	if p == nil || p.bound == nil || p.bound.IsString() {
 		return 0, false
 	}
 	return p.bound.Num(), true
@@ -249,8 +414,17 @@ func (n *Network) Value(name string) (float64, bool) {
 // from the current property state, incrementing the evaluation counter.
 func (n *Network) EvaluateStatus(c *Constraint) Status {
 	n.evals++
-	s := c.StatusOver(n)
-	n.status[c.Name] = s
+	var s Status
+	if ci, ok := n.conIDs[c.Name]; ok {
+		if n.conList[ci] == c {
+			s = statusFromDiff(expr.EvalInterval(n.compiled[ci], n), c.Rel)
+		} else {
+			s = c.StatusOver(n)
+		}
+		n.status[ci] = s
+	} else {
+		s = c.StatusOver(n)
+	}
 	return s
 }
 
@@ -258,39 +432,45 @@ func (n *Network) EvaluateStatus(c *Constraint) Status {
 // evaluation each) and returns the names of violated constraints.
 func (n *Network) EvaluateAll() []string {
 	var violated []string
-	for _, cn := range n.conOrder {
-		if n.EvaluateStatus(n.cons[cn]) == Violated {
-			violated = append(violated, cn)
+	for ci, c := range n.conList {
+		n.evals++
+		s := statusFromDiff(expr.EvalInterval(n.compiled[ci], n), c.Rel)
+		n.status[ci] = s
+		if s == Violated {
+			violated = append(violated, c.Name)
 		}
 	}
 	return violated
 }
 
 // Snapshot captures the mutable state of the network: feasible
-// subspaces, bindings, statuses, and the evaluation counter.
+// subspaces, bindings, statuses, and the evaluation counter. The
+// per-id slices are interpreted against insertion order, so a snapshot
+// remains valid after properties or constraints are added (the added
+// tail is simply absent from it).
 type Snapshot struct {
-	feasible map[string]domain.Domain
-	bound    map[string]domain.Value
-	status   map[string]Status
+	feasible []domain.Domain
+	bound    []domain.Value
+	isBound  []bool
+	status   []Status
 	evals    int64
 }
 
 // Snapshot returns a copy of the network's mutable state.
 func (n *Network) Snapshot() *Snapshot {
 	s := &Snapshot{
-		feasible: make(map[string]domain.Domain, len(n.props)),
-		bound:    map[string]domain.Value{},
-		status:   make(map[string]Status, len(n.status)),
+		feasible: make([]domain.Domain, len(n.propList)),
+		bound:    make([]domain.Value, len(n.propList)),
+		isBound:  make([]bool, len(n.propList)),
+		status:   append([]Status(nil), n.status...),
 		evals:    n.evals,
 	}
-	for name, p := range n.props {
-		s.feasible[name] = p.feasible
+	for i, p := range n.propList {
+		s.feasible[i] = p.feasible
 		if p.bound != nil {
-			s.bound[name] = *p.bound
+			s.bound[i] = *p.bound
+			s.isBound[i] = true
 		}
-	}
-	for cn, st := range n.status {
-		s.status[cn] = st
 	}
 	return s
 }
@@ -300,53 +480,104 @@ func (n *Network) Snapshot() *Snapshot {
 // definition but properties revert to unbound/initial only if they
 // existed at snapshot time.
 func (n *Network) Restore(s *Snapshot) {
-	for name, p := range n.props {
-		if f, ok := s.feasible[name]; ok {
-			p.feasible = f
-			if b, bok := s.bound[name]; bok {
-				v := b
-				p.bound = &v
-			} else {
-				p.bound = nil
-			}
+	for i, p := range n.propList {
+		if i >= len(s.feasible) {
+			break
+		}
+		p.feasible = s.feasible[i]
+		if s.isBound[i] {
+			v := s.bound[i]
+			p.bound = &v
+		} else {
+			p.bound = nil
 		}
 	}
-	for cn := range n.status {
-		if st, ok := s.status[cn]; ok {
-			n.status[cn] = st
+	for ci := range n.status {
+		if ci < len(s.status) {
+			n.status[ci] = s.status[ci]
 		} else {
-			n.status[cn] = Consistent
+			n.status[ci] = Consistent
 		}
 	}
 	n.evals = s.evals
 }
 
-// Clone returns an independent deep copy of the network.
+// Clone returns an independent deep copy of the network. The immutable
+// structure tables are shared copy-on-write; only properties' mutable
+// state and constraint statuses are duplicated.
 func (n *Network) Clone() *Network {
-	c := NewNetwork()
-	for _, name := range n.propOrder {
-		cp := n.props[name].clone()
-		c.props[name] = cp
-		c.propOrder = append(c.propOrder, name)
-	}
-	for _, cn := range n.conOrder {
-		c.cons[cn] = n.cons[cn] // constraints are immutable
-		c.conOrder = append(c.conOrder, cn)
-		c.status[cn] = n.status[cn]
-	}
-	for p, cs := range n.byProp {
-		c.byProp[p] = append([]string(nil), cs...)
-	}
-	c.evals = n.evals
+	c := &Network{}
+	n.CloneInto(c)
 	return c
+}
+
+// CloneInto makes dst an independent deep copy of n, reusing dst's
+// existing allocations when dst was previously cloned from n and
+// neither side has changed structure since (the scratch-network reuse
+// fast path: per-operation movement-window exploration clones the same
+// network once per bound variable). The fast path copies only mutable
+// state — feasible subspaces, bindings, statuses, the eval counter —
+// with no allocation beyond first-time bound-value boxes.
+func (n *Network) CloneInto(dst *Network) {
+	if dst == n {
+		return
+	}
+	if dst.cloneSrc == n && dst.cloneSrcGen == n.gen && dst.gen == n.gen {
+		// Structure unchanged on both sides: overwrite mutable state.
+		for i, p := range n.propList {
+			dp := dst.propList[i]
+			dp.feasible = p.feasible
+			if p.bound != nil {
+				if dp.bound == nil {
+					b := *p.bound
+					dp.bound = &b
+				} else {
+					*dp.bound = *p.bound
+				}
+			} else {
+				dp.bound = nil
+			}
+		}
+		copy(dst.status, n.status)
+		dst.evals = n.evals
+		return
+	}
+
+	// Slow path: rebuild dst's structure from n. Structure tables are
+	// immutable per generation and shared copy-on-write.
+	n.sharedStructure = true
+	dst.propIDs = n.propIDs
+	dst.conIDs = n.conIDs
+	dst.conList = n.conList
+	dst.byProp = n.byProp
+	dst.conArgs = n.conArgs
+	dst.compiled = n.compiled
+	dst.sharedStructure = true
+	dst.propList = make([]*Property, len(n.propList))
+	for i, p := range n.propList {
+		dst.propList[i] = p.clone()
+	}
+	dst.status = append(dst.status[:0], n.status...)
+	dst.evals = n.evals
+	dst.gen = n.gen
+	dst.cloneSrc = n
+	dst.cloneSrcGen = n.gen
+	dst.scratch = nil
+	// A stale cache could validate against the new gen by coincidence;
+	// the fast path keeps it because the structure tables are identical.
+	dst.views = nil
 }
 
 // SortedPropertyNames returns property names sorted lexicographically.
 func (n *Network) SortedPropertyNames() []string {
-	out := append([]string(nil), n.propOrder...)
+	out := make([]string, len(n.propList))
+	for i, p := range n.propList {
+		out[i] = p.Name
+	}
 	sort.Strings(out)
 	return out
 }
 
 var _ expr.IntervalEnv = (*Network)(nil)
+var _ expr.IndexedIntervalEnv = (*Network)(nil)
 var _ expr.FloatEnv = (*Network)(nil)

@@ -4,25 +4,57 @@ import (
 	"sort"
 
 	"repro/internal/domain"
+	"repro/internal/expr"
 	"repro/internal/interval"
+)
+
+// Defaults for PropagateOptions fields left at zero.
+const (
+	// DefaultMaxRevisions bounds the total number of constraint revises
+	// in one propagation run.
+	DefaultMaxRevisions = 2000
+	// DefaultMinShrink is the minimum relative width reduction for a
+	// narrowing to count as a change worth re-enqueueing neighbours:
+	// 1% of the current width. Design guidance needs windows, not tight
+	// enclosures, and the asymptotic tail of interval fixpoints is
+	// where the evaluation budget disappears.
+	DefaultMinShrink = 0.01
+	// DefaultMaxVisits caps how often a single constraint is revised in
+	// one propagation run.
+	DefaultMaxVisits = 12
 )
 
 // PropagateOptions tunes the fixpoint propagation.
 type PropagateOptions struct {
 	// MaxRevisions bounds the total number of constraint revises; 0
-	// means the default (10000). The bound exists because continuous
-	// domains can contract asymptotically (interval propagation is only
-	// guaranteed to converge in the limit).
+	// means the default (DefaultMaxRevisions, 2000). The bound exists
+	// because continuous domains can contract asymptotically (interval
+	// propagation is only guaranteed to converge in the limit).
 	MaxRevisions int
 	// MinShrink is the minimum relative width reduction for a narrowing
 	// to count as a change worth re-enqueueing neighbours for; 0 means
-	// the default (1e-6).
+	// the default (DefaultMinShrink, 1%).
 	MinShrink float64
 	// MaxVisits caps how often a single constraint is revised in one
-	// propagation run; 0 means the default (12). Equality chains can
-	// contract geometrically — each revise shrinking a fixed fraction —
-	// so a relative-shrink threshold alone never converges.
+	// propagation run; 0 means the default (DefaultMaxVisits, 12).
+	// Equality chains can contract geometrically — each revise
+	// shrinking a fixed fraction — so a relative-shrink threshold alone
+	// never converges.
 	MaxVisits int
+}
+
+// withDefaults resolves zero fields to the package defaults.
+func (o PropagateOptions) withDefaults() PropagateOptions {
+	if o.MaxRevisions <= 0 {
+		o.MaxRevisions = DefaultMaxRevisions
+	}
+	if o.MinShrink <= 0 {
+		o.MinShrink = DefaultMinShrink
+	}
+	if o.MaxVisits <= 0 {
+		o.MaxVisits = DefaultMaxVisits
+	}
+	return o
 }
 
 // PropagateResult summarizes one propagation run (one execution of the
@@ -44,23 +76,118 @@ type PropagateResult struct {
 	Capped bool
 }
 
+// propScratch is the reusable propagation workspace of one network:
+// the int-indexed worklist state and per-property marks that one run
+// of Propagate needs, plus the per-constraint shadow trees for
+// allocation-free HC4 revises. It is lazily allocated, grown when the
+// network grows, and never shared between networks.
+type propScratch struct {
+	// queue is the constraint-id worklist; head indexes the next pop.
+	queue []int
+	// inQueue/visits are per constraint id.
+	inQueue []bool
+	visits  []int
+	// narrowed/emptied/revMark/pre are per property id. narrowed and
+	// emptied accumulate over a run; revMark marks the arguments
+	// changed by the current revise (revList holds them for clearing).
+	narrowed []bool
+	emptied  []bool
+	revMark  []bool
+	revList  []int
+	pre      []interval.Interval
+	// shadows holds the reusable HC4 forward trees per constraint id;
+	// they persist across runs.
+	shadows []*expr.Shadow
+}
+
+// getScratch returns the network's propagation workspace, grown to the
+// current structure size with per-run state cleared.
+func (n *Network) getScratch() *propScratch {
+	sc := n.scratch
+	if sc == nil {
+		sc = &propScratch{}
+		n.scratch = sc
+	}
+	nc, np := len(n.conList), len(n.propList)
+	if cap(sc.queue) < nc {
+		sc.queue = make([]int, 0, nc*2)
+	}
+	sc.queue = sc.queue[:0]
+	if len(sc.inQueue) < nc {
+		sc.inQueue = make([]bool, nc)
+		sc.visits = make([]int, nc)
+	} else {
+		for i := 0; i < nc; i++ {
+			sc.inQueue[i] = false
+			sc.visits[i] = 0
+		}
+	}
+	if len(sc.shadows) < nc {
+		shadows := make([]*expr.Shadow, nc)
+		copy(shadows, sc.shadows)
+		sc.shadows = shadows
+	}
+	if len(sc.narrowed) < np {
+		sc.narrowed = make([]bool, np)
+		sc.emptied = make([]bool, np)
+		sc.revMark = make([]bool, np)
+		sc.pre = make([]interval.Interval, np)
+	} else {
+		for i := 0; i < np; i++ {
+			sc.narrowed[i] = false
+			sc.emptied[i] = false
+			sc.revMark[i] = false
+		}
+	}
+	sc.revList = sc.revList[:0]
+	return sc
+}
+
+// shadowFor returns the reusable HC4 shadow of constraint ci, building
+// it from the compiled expression on first use.
+func (n *Network) shadowFor(sc *propScratch, ci int) *expr.Shadow {
+	if s := sc.shadows[ci]; s != nil {
+		return s
+	}
+	s := expr.NewShadow(n.compiled[ci])
+	sc.shadows[ci] = s
+	return s
+}
+
 // propagationBox adapts the network to expr.Box for HC4 narrowing.
 // Narrowing applies to feasible subspaces of unbound numeric
 // properties; bound properties present their point value and reject
 // narrowing below it (an impossible requirement surfaces as constraint
-// violation, not domain change).
+// violation, not domain change). Every SetDomain call — effective or
+// not — marks the property as changed-this-revise, mirroring the
+// changed-variable reporting of expr.Narrow.
 type propagationBox struct {
-	n        *Network
-	narrowed map[string]bool
+	n  *Network
+	sc *propScratch
 }
 
 func (b *propagationBox) Domain(name string) interval.Interval {
 	return b.n.Domain(name)
 }
 
+func (b *propagationBox) DomainID(id int) interval.Interval {
+	return b.n.propList[id].CurrentInterval()
+}
+
 func (b *propagationBox) SetDomain(name string, iv interval.Interval) {
-	p := b.n.props[name]
-	if p == nil || p.IsBound() || !p.IsNumeric() {
+	if id, ok := b.n.propIDs[name]; ok {
+		b.SetDomainID(id, iv)
+	}
+}
+
+func (b *propagationBox) SetDomainID(id int, iv interval.Interval) {
+	sc := b.sc
+	if !sc.revMark[id] {
+		sc.revMark[id] = true
+		sc.revList = append(sc.revList, id)
+	}
+	p := b.n.propList[id]
+	if p.IsBound() || !p.IsNumeric() {
 		return
 	}
 	if p.feasible.IsEmpty() {
@@ -72,9 +199,11 @@ func (b *propagationBox) SetDomain(name string, iv interval.Interval) {
 	nf := p.feasible.NarrowTo(iv)
 	if !nf.Equal(p.feasible) {
 		p.feasible = nf
-		b.narrowed[name] = true
+		sc.narrowed[id] = true
 	}
 }
+
+var _ expr.IndexedBox = (*propagationBox)(nil)
 
 // Propagate runs constraint propagation to a fixpoint: it repeatedly
 // evaluates constraint statuses and narrows feasible subspaces until no
@@ -82,53 +211,43 @@ func (b *propagationBox) SetDomain(name string, iv interval.Interval) {
 // constraints do not narrow domains — their information content is the
 // violation itself, which the designers resolve by changing bound
 // values (§2.3.3).
+//
+// The worklist, visit counts, and per-property marks live in a
+// reusable int-indexed workspace owned by the network, so repeated
+// runs perform no steady-state allocation.
 func (n *Network) Propagate(opts PropagateOptions) PropagateResult {
-	maxRev := opts.MaxRevisions
-	if maxRev <= 0 {
-		maxRev = 2000
-	}
-	minShrink := opts.MinShrink
-	if minShrink <= 0 {
-		// 1% of the current width: design guidance needs windows, not
-		// tight enclosures, and the asymptotic tail of interval
-		// fixpoints is where the evaluation budget disappears.
-		minShrink = 0.01
-	}
-
-	maxVisits := opts.MaxVisits
-	if maxVisits <= 0 {
-		maxVisits = 12
-	}
+	opts = opts.withDefaults()
 
 	res := PropagateResult{}
 	startEvals := n.evals
-	box := &propagationBox{n: n, narrowed: map[string]bool{}}
-	emptied := map[string]bool{}
-	visits := make(map[string]int, len(n.cons))
+	sc := n.getScratch()
+	box := &propagationBox{n: n, sc: sc}
 
-	// Worklist of constraint names; inQueue avoids duplicates.
-	queue := append([]string(nil), n.conOrder...)
-	inQueue := make(map[string]bool, len(queue))
-	for _, cn := range queue {
-		inQueue[cn] = true
+	// Worklist of constraint ids in insertion order; inQueue avoids
+	// duplicates. head indexes the next pop (the queue slice only
+	// grows; popped entries are left behind).
+	for ci := range n.conList {
+		sc.queue = append(sc.queue, ci)
+		sc.inQueue[ci] = true
 	}
+	head := 0
 
-	for len(queue) > 0 {
-		if res.Revisions >= maxRev {
+	for head < len(sc.queue) {
+		if res.Revisions >= opts.MaxRevisions {
 			res.Capped = true
 			break
 		}
-		cn := queue[0]
-		queue = queue[1:]
-		inQueue[cn] = false
-		c := n.cons[cn]
-		visits[cn]++
+		ci := sc.queue[head]
+		head++
+		sc.inQueue[ci] = false
+		c := n.conList[ci]
+		sc.visits[ci]++
 
 		res.Revisions++
 		n.evals++ // each revise evaluates the constraint once
 
-		status := c.StatusOver(n)
-		n.status[cn] = status
+		status := statusFromDiff(expr.EvalInterval(n.compiled[ci], n), c.Rel)
+		n.status[ci] = status
 		if DebugHook != nil && status == Violated {
 			DebugHook("status-violated", c, n)
 		}
@@ -139,14 +258,14 @@ func (n *Network) Propagate(opts PropagateOptions) PropagateResult {
 			// values not found infeasible). Bound arguments are the
 			// designers' responsibility — the violation itself is their
 			// signal (§2.3.3).
-			for _, a := range c.Args() {
-				p := n.props[a]
-				if p == nil || p.IsBound() || !p.IsNumeric() || p.feasible.IsEmpty() {
+			for _, aid := range n.conArgs[ci] {
+				p := n.propList[aid]
+				if p.IsBound() || !p.IsNumeric() || p.feasible.IsEmpty() {
 					continue
 				}
 				p.feasible = domain.Empty(p.feasible.Kind())
-				box.narrowed[a] = true
-				emptied[a] = true
+				sc.narrowed[aid] = true
+				sc.emptied[aid] = true
 			}
 			continue
 		}
@@ -157,55 +276,71 @@ func (n *Network) Propagate(opts PropagateOptions) PropagateResult {
 		}
 
 		// Record pre-widths to apply the minimum-shrink re-enqueue test.
-		pre := map[string]interval.Interval{}
-		for _, a := range c.Args() {
-			pre[a] = n.Domain(a)
+		for _, aid := range n.conArgs[ci] {
+			sc.pre[aid] = n.propList[aid].CurrentInterval()
 		}
 
-		nres := c.Narrow(box)
-		if nres.Inconsistent && DebugHook != nil {
-			DebugHook("narrow-inconsistent", c, n)
+		// One HC4 revise; NE constraints impose no narrowing.
+		want, hasWant := c.requiredDiff()
+		if !hasWant {
+			continue
 		}
-		if nres.Inconsistent {
+		// Reset the per-revise changed marks, then narrow.
+		for _, id := range sc.revList {
+			sc.revMark[id] = false
+		}
+		sc.revList = sc.revList[:0]
+		if !n.shadowFor(sc, ci).Narrow(want, box) {
+			if DebugHook != nil {
+				DebugHook("narrow-inconsistent", c, n)
+			}
 			// No combination of remaining values can satisfy c even
 			// though the status test was inconclusive; treat as violated
 			// for designers (they must move some bound value).
-			n.status[cn] = Violated
+			n.status[ci] = Violated
 			continue
 		}
 
-		for _, a := range nres.Changed {
-			p := n.props[a]
-			if p == nil {
+		// Process changed arguments in the constraint's (sorted)
+		// argument order: the enqueue order below decides the revise
+		// order of the whole run, and metrics must be reproducible
+		// run-to-run.
+		for _, aid := range n.conArgs[ci] {
+			if !sc.revMark[aid] {
 				continue
 			}
-			if p.feasible.IsEmpty() && !emptied[a] {
-				emptied[a] = true
+			p := n.propList[aid]
+			if p.feasible.IsEmpty() && !sc.emptied[aid] {
+				sc.emptied[aid] = true
 			}
-			if !significantShrink(pre[a], n.Domain(a), minShrink) && !p.feasible.IsEmpty() {
+			if !significantShrink(sc.pre[aid], p.CurrentInterval(), opts.MinShrink) && !p.feasible.IsEmpty() {
 				continue
 			}
-			for _, nb := range n.byProp[a] {
-				if nb != cn && !inQueue[nb] && visits[nb] < maxVisits {
-					inQueue[nb] = true
-					queue = append(queue, nb)
+			for _, nb := range n.byProp[aid] {
+				if nb != ci && !sc.inQueue[nb] && sc.visits[nb] < opts.MaxVisits {
+					sc.inQueue[nb] = true
+					sc.queue = append(sc.queue, nb)
 				}
 			}
 		}
 	}
 
 	res.Evaluations = n.evals - startEvals
-	for name := range box.narrowed {
-		res.Narrowed = append(res.Narrowed, name)
+	for id, ok := range sc.narrowed {
+		if ok {
+			res.Narrowed = append(res.Narrowed, n.propList[id].Name)
+		}
 	}
 	sort.Strings(res.Narrowed)
-	for name := range emptied {
-		res.Emptied = append(res.Emptied, name)
+	for id, ok := range sc.emptied {
+		if ok {
+			res.Emptied = append(res.Emptied, n.propList[id].Name)
+		}
 	}
 	sort.Strings(res.Emptied)
-	for _, cn := range n.conOrder {
-		if n.status[cn] == Violated {
-			res.Violated = append(res.Violated, cn)
+	for ci, s := range n.status {
+		if s == Violated {
+			res.Violated = append(res.Violated, n.conList[ci].Name)
 		}
 	}
 	return res
@@ -230,8 +365,8 @@ func significantShrink(pre, post interval.Interval, minShrink float64) bool {
 
 // FeasibleValue reports whether v lies in prop's feasible subspace.
 func (n *Network) FeasibleValue(prop string, v domain.Value) bool {
-	p, ok := n.props[prop]
-	if !ok {
+	p := n.Property(prop)
+	if p == nil {
 		return false
 	}
 	return p.feasible.Contains(v)

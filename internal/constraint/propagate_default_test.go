@@ -1,0 +1,70 @@
+package constraint
+
+import (
+	"testing"
+
+	"repro/internal/domain"
+)
+
+// TestPropagateOptionDefaults pins the documented defaults: zero
+// fields resolve to the package constants, and the revision cap's
+// documented value (2000) matches the code.
+func TestPropagateOptionDefaults(t *testing.T) {
+	if DefaultMaxRevisions != 2000 {
+		t.Errorf("DefaultMaxRevisions = %d, want 2000", DefaultMaxRevisions)
+	}
+	if DefaultMinShrink != 0.01 {
+		t.Errorf("DefaultMinShrink = %g, want 0.01", DefaultMinShrink)
+	}
+	if DefaultMaxVisits != 12 {
+		t.Errorf("DefaultMaxVisits = %d, want 12", DefaultMaxVisits)
+	}
+
+	got := PropagateOptions{}.withDefaults()
+	if got.MaxRevisions != DefaultMaxRevisions {
+		t.Errorf("zero MaxRevisions resolves to %d, want %d", got.MaxRevisions, DefaultMaxRevisions)
+	}
+	if got.MinShrink != DefaultMinShrink {
+		t.Errorf("zero MinShrink resolves to %g, want %g", got.MinShrink, DefaultMinShrink)
+	}
+	if got.MaxVisits != DefaultMaxVisits {
+		t.Errorf("zero MaxVisits resolves to %d, want %d", got.MaxVisits, DefaultMaxVisits)
+	}
+
+	// Explicit values survive.
+	custom := PropagateOptions{MaxRevisions: 7, MinShrink: 0.5, MaxVisits: 3}.withDefaults()
+	if custom != (PropagateOptions{MaxRevisions: 7, MinShrink: 0.5, MaxVisits: 3}) {
+		t.Errorf("explicit options altered: %+v", custom)
+	}
+}
+
+// TestPropagateRevisionCapDefault exercises the default cap end to end:
+// a propagation with an explicit tiny cap must report Capped, while the
+// same network under defaults must not (it is far below 2000 revises).
+func TestPropagateRevisionCapDefault(t *testing.T) {
+	build := func() *Network {
+		n := NewNetwork()
+		for _, name := range []string{"a", "b", "c"} {
+			if err := n.AddProperty(NewProperty(name, domain.NewInterval(0, 100))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, c := range []*Constraint{
+			MustParseConstraint("ab", "a <= b"),
+			MustParseConstraint("bc", "b <= c"),
+			MustParseConstraint("cap", "c <= 50"),
+		} {
+			if err := n.AddConstraint(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return n
+	}
+	if res := build().Propagate(PropagateOptions{MaxRevisions: 1}); !res.Capped {
+		t.Error("MaxRevisions=1 should cap the run")
+	}
+	if res := build().Propagate(PropagateOptions{}); res.Capped {
+		t.Errorf("default cap (%d) unexpectedly reached after %d revisions",
+			DefaultMaxRevisions, res.Revisions)
+	}
+}

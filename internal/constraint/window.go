@@ -1,6 +1,7 @@
 package constraint
 
 import (
+	"repro/internal/expr"
 	"repro/internal/interval"
 )
 
@@ -8,22 +9,37 @@ import (
 // presents its current network interval (bound value or feasible hull).
 type windowBox struct {
 	n      *Network
-	target string
+	target int // property id
 	window interval.Interval
 }
 
 func (b *windowBox) Domain(name string) interval.Interval {
-	if name == b.target {
+	if id, ok := b.n.propIDs[name]; ok {
+		return b.DomainID(id)
+	}
+	return interval.Entire()
+}
+
+func (b *windowBox) DomainID(id int) interval.Interval {
+	if id == b.target {
 		return b.window
 	}
-	return b.n.Domain(name)
+	return b.n.propList[id].CurrentInterval()
 }
 
 func (b *windowBox) SetDomain(name string, iv interval.Interval) {
-	if name == b.target {
+	if id, ok := b.n.propIDs[name]; ok {
+		b.SetDomainID(id, iv)
+	}
+}
+
+func (b *windowBox) SetDomainID(id int, iv interval.Interval) {
+	if id == b.target {
 		b.window = b.window.Intersect(iv)
 	}
 }
+
+var _ expr.IndexedBox = (*windowBox)(nil)
 
 // BoundWindow computes the feasible window of a bound property: the
 // values it could be re-bound to without violating any constraint,
@@ -34,10 +50,11 @@ func (b *windowBox) SetDomain(name string, iv interval.Interval) {
 // within (§2.4.3). It also returns the number of constraint
 // evaluations spent.
 func (n *Network) BoundWindow(prop string) (interval.Interval, int64) {
-	p := n.props[prop]
-	if p == nil || !p.IsNumeric() {
+	pid := n.propID(prop)
+	if pid < 0 || !n.propList[pid].IsNumeric() {
 		return interval.Empty(), 0
 	}
+	p := n.propList[pid]
 	init, _ := p.Init.Interval()
 
 	// Temporarily unbind so the property's own point value does not
@@ -51,18 +68,40 @@ func (n *Network) BoundWindow(prop string) (interval.Interval, int64) {
 		p.feasible = savedFeasible
 	}()
 
-	box := &windowBox{n: n, target: prop, window: init}
+	box := &windowBox{n: n, target: pid, window: init}
+	sc := n.getWindowScratch()
 	var evals int64
-	for _, c := range n.ConstraintsOn(prop) {
+	for _, ci := range n.byProp[pid] {
 		evals++
 		// One HC4 revise per constraint projects the requirement onto
 		// the target property; inconsistency empties the window.
-		if res := c.Narrow(box); res.Inconsistent {
+		want, ok := n.conList[ci].requiredDiff()
+		if !ok {
+			continue
+		}
+		if !n.shadowFor(sc, ci).Narrow(want, box) {
 			box.window = interval.Empty()
 			break
 		}
 	}
 	return box.window, evals
+}
+
+// getWindowScratch returns the network's scratch grown to the current
+// structure size without clearing per-run propagation state — window
+// computation only needs the shadow cache.
+func (n *Network) getWindowScratch() *propScratch {
+	sc := n.scratch
+	if sc == nil {
+		sc = &propScratch{}
+		n.scratch = sc
+	}
+	if nc := len(n.conList); len(sc.shadows) < nc {
+		shadows := make([]*expr.Shadow, nc)
+		copy(shadows, sc.shadows)
+		sc.shadows = shadows
+	}
+	return sc
 }
 
 // RefreshBoundWindows updates the feasible subspace of every bound
@@ -72,12 +111,11 @@ func (n *Network) BoundWindow(prop string) (interval.Interval, int64) {
 // the network's counter).
 func (n *Network) RefreshBoundWindows() int64 {
 	var total int64
-	for _, name := range n.propOrder {
-		p := n.props[name]
+	for _, p := range n.propList {
 		if p.bound == nil || !p.IsNumeric() {
 			continue
 		}
-		win, evals := n.BoundWindow(name)
+		win, evals := n.BoundWindow(p.Name)
 		total += evals
 		p.feasible = p.Init.NarrowTo(win)
 	}

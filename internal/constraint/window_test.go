@@ -136,3 +136,84 @@ func TestBoundWindowDiscreteSnapsToSet(t *testing.T) {
 		t.Errorf("discrete window = %v, want %v", n.Property("L").Feasible(), want)
 	}
 }
+
+// TestBoundWindowNonNumericNoEvals: a discrete-string property has no
+// movement window and must not charge any constraint evaluations.
+func TestBoundWindowNonNumericNoEvals(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddProperty(NewProperty("level", domain.NewStringSet("gate", "rtl"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Bind("level", domain.Str("rtl")); err != nil {
+		t.Fatal(err)
+	}
+	win, evals := n.BoundWindow("level")
+	if !win.IsEmpty() {
+		t.Errorf("window = %v, want empty for non-numeric property", win)
+	}
+	if evals != 0 {
+		t.Errorf("evals = %d, want 0 for non-numeric property", evals)
+	}
+	if v, ok := n.Property("level").Value(); !ok || v.Text() != "rtl" {
+		t.Error("binding disturbed")
+	}
+}
+
+// TestBoundWindowEmptiesMidLoop: when an early constraint's revise is
+// inconsistent, the loop stops — later constraints on the property are
+// not evaluated — and the window comes back empty.
+func TestBoundWindowEmptiesMidLoop(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddProperty(NewProperty("x", domain.NewInterval(0, 10))); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []*Constraint{
+		MustParseConstraint("shrink", "x <= 8"),
+		MustParseConstraint("impossible", "x >= 20"), // empties the window
+		MustParseConstraint("late", "x <= 9"),        // must not be reached
+	} {
+		if err := n.AddConstraint(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.BindReal("x", 5); err != nil {
+		t.Fatal(err)
+	}
+	win, evals := n.BoundWindow("x")
+	if !win.IsEmpty() {
+		t.Errorf("window = %v, want empty", win)
+	}
+	if evals != 2 {
+		t.Errorf("evals = %d, want 2 (loop must stop at the inconsistent revise)", evals)
+	}
+}
+
+// TestBoundWindowRestoreSurvivesInconsistent: the temporary
+// unbind/feasible-reset must be rolled back even when a narrow proves
+// inconsistent and the loop exits early.
+func TestBoundWindowRestoreSurvivesInconsistent(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddProperty(NewProperty("x", domain.NewInterval(0, 10))); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddConstraint(MustParseConstraint("impossible", "x >= 20")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.BindReal("x", 5); err != nil {
+		t.Fatal(err)
+	}
+	custom := domain.NewInterval(1, 9)
+	n.Property("x").SetFeasible(custom)
+
+	win, _ := n.BoundWindow("x")
+	if !win.IsEmpty() {
+		t.Errorf("window = %v, want empty", win)
+	}
+	p := n.Property("x")
+	if v, ok := p.Value(); !ok || v.Num() != 5 {
+		t.Errorf("bound value not restored: %v (ok=%v)", v, ok)
+	}
+	if !p.Feasible().Equal(custom) {
+		t.Errorf("feasible not restored: %v, want %v", p.Feasible(), custom)
+	}
+}

@@ -191,9 +191,10 @@ func BuildView(d *dpm.DPM, designer string) *View {
 	for name := range own {
 		concern[name] = true
 	}
+	cons := net.Constraints()
 	for changed := true; changed; {
 		changed = false
-		for _, c := range net.Constraints() {
+		for _, c := range cons {
 			if d.DefConstraint(strings.TrimSuffix(c.Name, ".def")) != c {
 				continue
 			}

@@ -2,6 +2,9 @@ package dpm
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/constraint"
 	"repro/internal/dddl"
@@ -53,6 +56,13 @@ type DPM struct {
 	// checkpointing enables per-transition snapshots for RollbackTo.
 	checkpointing bool
 	checkpoints   []*checkpoint
+	// scratches holds per-worker scratch networks for movement-window
+	// exploration, reused across operations via Network.CloneInto so
+	// the per-variable deep clone disappears from the hot loop. Slot w
+	// belongs to refresh worker w; slot 0 doubles as the scratch of
+	// the sequential MovementWindow path. Like the rest of the DPM,
+	// these are not safe for concurrent use of one DPM.
+	scratches []*constraint.Network
 }
 
 // derivedDef is one derived performance property: value = node(args).
@@ -385,7 +395,33 @@ func (d *DPM) MovementWindow(prop string) domain.Domain {
 	if p == nil || !p.IsNumeric() || d.derivedSet[prop] {
 		return domain.Empty(domain.Continuous)
 	}
-	scratch := d.Net.Clone()
+	win, evals := d.movementWindowOn(d.scratchFor(0), prop)
+	d.Net.AddEvals(evals)
+	return win
+}
+
+// scratchFor returns worker slot w's scratch network primed with the
+// current design state. The first use of a slot allocates it; after
+// that CloneInto reuses the allocation (fast path) until the network's
+// structure changes.
+func (d *DPM) scratchFor(w int) *constraint.Network {
+	for len(d.scratches) <= w {
+		d.scratches = append(d.scratches, nil)
+	}
+	if d.scratches[w] == nil {
+		d.scratches[w] = &constraint.Network{}
+	}
+	d.Net.CloneInto(d.scratches[w])
+	return d.scratches[w]
+}
+
+// movementWindowOn computes prop's movement window on the given
+// (already primed or primable) scratch network and returns it with the
+// constraint evaluations spent. It reads d.Net (CloneInto source) and
+// mutates only scratch, so distinct scratches may run concurrently as
+// long as each was primed via scratchFor first.
+func (d *DPM) movementWindowOn(scratch *constraint.Network, prop string) (domain.Domain, int64) {
+	d.Net.CloneInto(scratch)
 	before := scratch.EvalCount()
 	scratch.Unbind(prop)
 	for _, dep := range d.dependentDerived(prop) {
@@ -393,15 +429,25 @@ func (d *DPM) MovementWindow(prop string) domain.Domain {
 	}
 	scratch.ResetFeasible()
 	scratch.Propagate(d.PropOpts)
-	d.Net.AddEvals(scratch.EvalCount() - before)
-	return scratch.Property(prop).Feasible()
+	return scratch.Property(prop).Feasible(), scratch.EvalCount() - before
 }
 
 // refreshMovementWindows recomputes the movement window of every bound
 // design variable that is some problem's output and stores it as the
 // variable's feasible subspace.
+//
+// Windows of distinct variables are independent: each explores a
+// scratch copy of the same post-propagation state with feasible
+// subspaces re-derived from scratch, so neither the window values nor
+// the evaluation counts depend on the order in which sibling windows
+// are applied. That makes the refresh safe to fan out across
+// GOMAXPROCS workers with per-worker scratch networks; the per-window
+// evaluation counts are summed in window order afterwards (ordered
+// reduction) so Net.EvalCount() — and every figure metric derived from
+// it — is bit-identical to the sequential refresh.
 func (d *DPM) refreshMovementWindows() {
 	seen := map[string]bool{}
+	var jobs []*constraint.Property
 	for _, pn := range d.probOrder {
 		for _, out := range d.problems[pn].Outputs {
 			if seen[out] {
@@ -412,8 +458,52 @@ func (d *DPM) refreshMovementWindows() {
 			if p == nil || !p.IsBound() || !p.IsNumeric() || d.derivedSet[out] {
 				continue
 			}
-			p.SetFeasible(d.MovementWindow(out))
+			jobs = append(jobs, p)
 		}
+	}
+	if len(jobs) == 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		scratch := d.scratchFor(0)
+		for _, p := range jobs {
+			win, evals := d.movementWindowOn(scratch, p.Name)
+			d.Net.AddEvals(evals)
+			p.SetFeasible(win)
+		}
+		return
+	}
+
+	wins := make([]domain.Domain, len(jobs))
+	evals := make([]int64, len(jobs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		// Prime sequentially: the first CloneInto of a fresh scratch
+		// takes the structure-sharing slow path, which writes clone
+		// bookkeeping on d.Net; inside the workers every CloneInto hits
+		// the read-only fast path.
+		scratch := d.scratchFor(w)
+		wg.Add(1)
+		go func(scratch *constraint.Network) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				wins[i], evals[i] = d.movementWindowOn(scratch, jobs[i].Name)
+			}
+		}(scratch)
+	}
+	wg.Wait()
+	for i, p := range jobs {
+		d.Net.AddEvals(evals[i])
+		p.SetFeasible(wins[i])
 	}
 }
 

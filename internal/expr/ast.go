@@ -166,6 +166,8 @@ func collectVars(n Node, set map[string]bool) {
 	case *Num:
 	case *Var:
 		set[t.Name] = true
+	case *IVar:
+		set[t.Name] = true
 	case *Unary:
 		collectVars(t.X, set)
 	case *Binary:
@@ -185,6 +187,8 @@ func ContainsVar(n Node, name string) bool {
 		return false
 	case *Var:
 		return t.Name == name
+	case *IVar:
+		return t.Name == name
 	case *Unary:
 		return ContainsVar(t.X, name)
 	case *Binary:
@@ -203,7 +207,7 @@ func ContainsVar(n Node, name string) bool {
 // used when reporting constraint-network statistics.
 func CountNodes(n Node) int {
 	switch t := n.(type) {
-	case *Num, *Var:
+	case *Num, *Var, *IVar:
 		return 1
 	case *Unary:
 		return 1 + CountNodes(t.X)

@@ -1,0 +1,88 @@
+package expr
+
+import (
+	"repro/internal/interval"
+)
+
+// IVar is a variable reference with a dense integer id baked in by
+// Compile. Evaluation and narrowing use the id against environments
+// that support indexed access (IndexedIntervalEnv, IndexedBox),
+// bypassing the per-access string hashing of name-keyed lookups; the
+// name is kept for printing and for environments without an id path.
+type IVar struct {
+	Name string
+	ID   int
+}
+
+func (*IVar) isNode() {}
+
+func (n *IVar) String() string { return n.Name }
+
+// IndexedIntervalEnv is an IntervalEnv that additionally supports
+// domain lookup by compiled variable id.
+type IndexedIntervalEnv interface {
+	IntervalEnv
+	DomainID(id int) interval.Interval
+}
+
+// IndexedBox is a Box that additionally supports domain access by
+// compiled variable id.
+type IndexedBox interface {
+	Box
+	DomainID(id int) interval.Interval
+	SetDomainID(id int, iv interval.Interval)
+}
+
+// Compile returns a copy of n with every *Var replaced by an *IVar
+// whose id is assigned by resolve. Variables that resolve negatively
+// are left as *Var (they fall back to name lookups). The result is
+// intended for EvalInterval and Shadow narrowing; symbolic passes
+// (Diff, MonotoneSign) should keep using the uncompiled tree.
+func Compile(n Node, resolve func(name string) (int, bool)) Node {
+	switch t := n.(type) {
+	case *Num:
+		return t
+	case *Var:
+		if id, ok := resolve(t.Name); ok {
+			return &IVar{Name: t.Name, ID: id}
+		}
+		return t
+	case *IVar:
+		return t
+	case *Unary:
+		return &Unary{Op: t.Op, X: Compile(t.X, resolve)}
+	case *Binary:
+		return &Binary{Op: t.Op, X: Compile(t.X, resolve), Y: Compile(t.Y, resolve)}
+	case *Call:
+		args := make([]Node, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = Compile(a, resolve)
+		}
+		return &Call{Fn: t.Fn, Args: args}
+	}
+	return n
+}
+
+// Shadow is a reusable forward-evaluation tree for one expression. A
+// fresh HC4 revise normally allocates one shadow node per AST node;
+// constructing the Shadow once and calling Narrow repeatedly performs
+// revises with zero steady-state allocation. A Shadow is not safe for
+// concurrent use.
+type Shadow struct {
+	root *fnode
+}
+
+// NewShadow builds the reusable shadow tree of n.
+func NewShadow(n Node) *Shadow {
+	return &Shadow{root: buildShadow(n)}
+}
+
+// Narrow performs one HC4 revise of the expression against box,
+// requiring the expression's value to lie in want. It reports false
+// when the revise proves inconsistency. Changed variables are observed
+// through the box's SetDomain/SetDomainID calls; no changed list is
+// built.
+func (s *Shadow) Narrow(want interval.Interval, box Box) bool {
+	refreshShadow(s.root, box)
+	return backward(s.root, want, box, nil)
+}

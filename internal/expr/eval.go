@@ -45,6 +45,12 @@ func Eval(n Node, env FloatEnv) (float64, error) {
 			return 0, &UnboundVarError{Name: t.Name}
 		}
 		return v, nil
+	case *IVar:
+		v, ok := env.Value(t.Name)
+		if !ok {
+			return 0, &UnboundVarError{Name: t.Name}
+		}
+		return v, nil
 	case *Unary:
 		x, err := Eval(t.X, env)
 		if err != nil {
@@ -129,6 +135,11 @@ func EvalInterval(n Node, env IntervalEnv) interval.Interval {
 	case *Num:
 		return interval.Point(t.Val)
 	case *Var:
+		return env.Domain(t.Name)
+	case *IVar:
+		if ie, ok := env.(IndexedIntervalEnv); ok {
+			return ie.DomainID(t.ID)
+		}
 		return env.Domain(t.Name)
 	case *Unary:
 		return EvalInterval(t.X, env).Neg()

@@ -64,20 +64,49 @@ func Narrow(n Node, want interval.Interval, box Box) NarrowResult {
 }
 
 func forward(n Node, box Box) *fnode {
+	f := buildShadow(n)
+	refreshShadow(f, box)
+	return f
+}
+
+// buildShadow allocates the shadow tree of n without evaluating it.
+func buildShadow(n Node) *fnode {
 	f := &fnode{n: n}
 	switch t := n.(type) {
+	case *Unary:
+		f.kids = []*fnode{buildShadow(t.X)}
+	case *Binary:
+		f.kids = []*fnode{buildShadow(t.X), buildShadow(t.Y)}
+	case *Call:
+		f.kids = make([]*fnode, len(t.Args))
+		for i, a := range t.Args {
+			f.kids[i] = buildShadow(a)
+		}
+	}
+	return f
+}
+
+// refreshShadow recomputes the forward values of an existing shadow
+// tree bottom-up from box's current domains, reusing the nodes.
+func refreshShadow(f *fnode, box Box) {
+	for _, k := range f.kids {
+		refreshShadow(k, box)
+	}
+	switch t := f.n.(type) {
 	case *Num:
 		f.val = interval.Point(t.Val)
 	case *Var:
 		f.val = box.Domain(t.Name)
+	case *IVar:
+		if ib, ok := box.(IndexedBox); ok {
+			f.val = ib.DomainID(t.ID)
+		} else {
+			f.val = box.Domain(t.Name)
+		}
 	case *Unary:
-		k := forward(t.X, box)
-		f.kids = []*fnode{k}
-		f.val = k.val.Neg()
+		f.val = f.kids[0].val.Neg()
 	case *Binary:
-		x := forward(t.X, box)
-		y := forward(t.Y, box)
-		f.kids = []*fnode{x, y}
+		x, y := f.kids[0], f.kids[1]
 		switch t.Op {
 		case '+':
 			f.val = x.val.Add(y.val)
@@ -93,10 +122,6 @@ func forward(n Node, box Box) *fnode {
 			f.val = interval.Entire()
 		}
 	case *Call:
-		f.kids = make([]*fnode, len(t.Args))
-		for i, a := range t.Args {
-			f.kids[i] = forward(a, box)
-		}
 		switch t.Fn {
 		case "sqrt":
 			f.val = f.kids[0].val.Sqrt()
@@ -116,7 +141,6 @@ func forward(n Node, box Box) *fnode {
 			f.val = interval.Entire()
 		}
 	}
-	return f
 }
 
 // inflate widens an interval by a relative epsilon on each side. HC4
@@ -180,6 +204,8 @@ func inflateToScale(iv interval.Interval, scale float64) interval.Interval {
 
 // backward projects the requirement node-value ∈ want down the tree,
 // intersecting variable domains in box. Returns false on inconsistency.
+// changed may be nil; callers can instead observe narrowings through
+// the box's SetDomain/SetDomainID calls.
 func backward(f *fnode, want interval.Interval, box Box, changed map[string]bool) bool {
 	cur := f.val.Intersect(inflate(want))
 	if cur.IsEmpty() {
@@ -196,7 +222,32 @@ func backward(f *fnode, want interval.Interval, box Box, changed map[string]bool
 		}
 		if !nv.Equal(old) {
 			box.SetDomain(t.Name, nv)
-			changed[t.Name] = true
+			if changed != nil {
+				changed[t.Name] = true
+			}
+		}
+		return true
+	case *IVar:
+		ib, indexed := box.(IndexedBox)
+		var old interval.Interval
+		if indexed {
+			old = ib.DomainID(t.ID)
+		} else {
+			old = box.Domain(t.Name)
+		}
+		nv := old.Intersect(cur)
+		if nv.IsEmpty() {
+			return false
+		}
+		if !nv.Equal(old) {
+			if indexed {
+				ib.SetDomainID(t.ID, nv)
+			} else {
+				box.SetDomain(t.Name, nv)
+			}
+			if changed != nil {
+				changed[t.Name] = true
+			}
 		}
 		return true
 	case *Unary:

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Runs the propagation-engine benchmarks and writes BENCH_propagation.json
+# at the repo root: one record per benchmark with ns/op, B/op, and
+# allocs/op (mean over -count runs).
+#
+# Usage: scripts/bench.sh [count]
+#   count  benchmark repetitions per entry (default 6)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+COUNT="${1:-6}"
+PATTERN='BenchmarkFig7Profile|BenchmarkMovementWindow|BenchmarkPropagate$|BenchmarkRunSimplified'
+OUT=BENCH_propagation.json
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench "$PATTERN" -benchmem -count "$COUNT" . | tee "$RAW"
+
+awk -v out="$OUT" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix if present
+    # fields: name iters ns/op ... B/op ... allocs/op (custom metrics between)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns != "")     { nsum[name] += ns;     n[name]++ }
+    if (bytes != "")  { bsum[name] += bytes }
+    if (allocs != "") { asum[name] += allocs }
+}
+END {
+    printf "{\n  \"benchmarks\": [\n" > out
+    first = 1
+    for (name in n) {
+        if (!first) printf ",\n" >> out
+        first = 0
+        printf "    {\"name\": \"%s\", \"runs\": %d, \"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.1f}", \
+            name, n[name], nsum[name]/n[name], bsum[name]/n[name], asum[name]/n[name] >> out
+    }
+    printf "\n  ],\n" >> out
+    # Seed baseline (commit 6693656, pre interning/scratch-reuse), same
+    # machine class; kept here so regenerated files retain the comparison.
+    printf "  \"baseline_seed\": [\n" >> out
+    printf "    {\"name\": \"BenchmarkFig7Profile\", \"ns_per_op\": 2413584, \"bytes_per_op\": 851601, \"allocs_per_op\": 20361},\n" >> out
+    printf "    {\"name\": \"BenchmarkPropagate\", \"ns_per_op\": 135882, \"bytes_per_op\": 37662, \"allocs_per_op\": 681},\n" >> out
+    printf "    {\"name\": \"BenchmarkMovementWindow\", \"ns_per_op\": 161065, \"bytes_per_op\": 65256, \"allocs_per_op\": 804},\n" >> out
+    printf "    {\"name\": \"BenchmarkRunSimplified/conventional\", \"ns_per_op\": 1510785, \"bytes_per_op\": 508947, \"allocs_per_op\": 15087},\n" >> out
+    printf "    {\"name\": \"BenchmarkRunSimplified/adpm\", \"ns_per_op\": 880190, \"bytes_per_op\": 273817, \"allocs_per_op\": 5358}\n" >> out
+    printf "  ]\n}\n" >> out
+}' "$RAW"
+
+echo "wrote $OUT"
