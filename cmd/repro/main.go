@@ -6,9 +6,13 @@
 //
 //	repro [-fig all|7|8|9|10] [-runs 60] [-seed 1] [-maxops 3000]
 //	      [-scenario simplified] [-mode adpm|conventional]
+//	      [-trace run.jsonl] [-pprof :6060]
 //
 // -scenario selects the Fig. 7 profile case; -mode selects the Fig. 8
-// snapshot mode.
+// snapshot mode. -trace skips the figures and instead executes one
+// traced run of -scenario/-mode/-seed, writing structured JSONL events
+// and printing the counter summary; -pprof serves pprof/expvar debug
+// endpoints on the given address.
 package main
 
 import (
@@ -21,6 +25,9 @@ import (
 
 	"repro/internal/dpm"
 	"repro/internal/figures"
+	"repro/internal/scenario"
+	"repro/internal/teamsim"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -32,7 +39,19 @@ func main() {
 	scenarioName := flag.String("scenario", "simplified", "Fig. 7 profile scenario")
 	modeName := flag.String("mode", "adpm", "Fig. 8 snapshot mode: adpm or conventional")
 	csvDir := flag.String("csv", "", "also write figure data as CSV files into this directory")
+	tracePath := flag.String("trace", "", "trace one run of -scenario/-mode/-seed as JSONL instead of figures")
+	pprofAddr := flag.String("pprof", "", "serve pprof/expvar debug endpoints on this address (e.g. :6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		errc := trace.ServeDebug(*pprofAddr)
+		select {
+		case err := <-errc:
+			fail(err)
+		default:
+		}
+		fmt.Fprintf(os.Stderr, "repro: debug endpoints on http://%s/debug/\n", *pprofAddr)
+	}
 
 	opts := figures.Options{
 		Runs:        *runs,
@@ -43,6 +62,11 @@ func main() {
 	mode := dpm.ADPM
 	if strings.EqualFold(*modeName, "conventional") {
 		mode = dpm.Conventional
+	}
+
+	if *tracePath != "" {
+		fail(tracedRun(*tracePath, *scenarioName, mode, *seed, *maxOps))
+		return
 	}
 
 	want := func(name string) bool { return *fig == "all" || *fig == name }
@@ -87,6 +111,39 @@ func main() {
 		fmt.Fprintf(os.Stderr, "repro: unknown figure %q (want all, 7, 8, 9, 10)\n", *fig)
 		os.Exit(2)
 	}
+}
+
+// tracedRun executes one fully instrumented run and writes its JSONL
+// event stream to path, printing the end-of-run counter summary.
+func tracedRun(path, scenarioName string, mode dpm.Mode, seed int64, maxOps int) error {
+	scn, err := scenario.ByName(scenarioName)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	rec := trace.New(trace.Options{W: f})
+	trace.Publish(rec)
+	res, runErr := teamsim.Run(teamsim.Config{
+		Scenario: scn, Mode: mode, Seed: seed, MaxOps: maxOps, Tracer: rec,
+	})
+	closeErr := rec.Close()
+	if ferr := f.Close(); closeErr == nil {
+		closeErr = ferr
+	}
+	if runErr != nil {
+		return runErr
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+	fmt.Printf("scenario %s, %s mode, seed %d: completed=%v operations=%d evaluations=%d spins=%d\n",
+		scn.Name, res.Mode, res.Seed, res.Completed, res.Operations, res.Evaluations, res.Spins)
+	fmt.Println()
+	fmt.Print(rec.Counters().Summary())
+	return nil
 }
 
 func writeCSV(dir, name string, write func(io.Writer) error) {

@@ -5,12 +5,17 @@
 //
 //	teamsim [-scenario receiver|sensor|simplified] [-file scenario.dddl]
 //	        [-mode adpm|conventional] [-seed 1] [-runs 1] [-maxops 3000]
-//	        [-concurrent] [-trace] [-inspect] [-csv out.csv] [-json out.json]
+//	        [-concurrent] [-verbose] [-trace run.jsonl] [-pprof :6060]
+//	        [-inspect] [-csv out.csv] [-json out.json]
 //
 // With -runs > 1 a summary over seeds seed..seed+runs-1 is printed;
 // -csv writes per-run rows, -json writes a single run's full report
 // (statistics series and operation history), -inspect prints each
 // designer's Minerva-style browser after a single run.
+//
+// -trace writes a structured JSONL event stream for a single run and
+// prints an end-of-run counter summary; -pprof serves pprof and expvar
+// (including the live trace counters) on the given address.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/teamsim"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -36,7 +42,9 @@ func main() {
 	runs := flag.Int("runs", 1, "number of seeded runs")
 	maxOps := flag.Int("maxops", 3000, "operation cap per run")
 	concurrent := flag.Bool("concurrent", false, "use the goroutine-per-designer engine")
-	trace := flag.Bool("trace", false, "print every executed operation (single run only)")
+	verbose := flag.Bool("verbose", false, "print every executed operation (single run only)")
+	tracePath := flag.String("trace", "", "write structured trace events as JSONL to this file (single run only)")
+	pprofAddr := flag.String("pprof", "", "serve pprof/expvar debug endpoints on this address (e.g. :6060)")
 	inspect := flag.Bool("inspect", false, "print each designer's Minerva-style browser after a single run")
 	csvPath := flag.String("csv", "", "write per-run statistics as CSV")
 	jsonPath := flag.String("json", "", "write the run report (with full history) as JSON (single run only)")
@@ -51,9 +59,28 @@ func main() {
 	}
 	cfg := teamsim.Config{Scenario: scn, Mode: mode, Seed: *seed, MaxOps: *maxOps}
 
+	if *pprofAddr != "" {
+		errc := trace.ServeDebug(*pprofAddr)
+		select {
+		case err := <-errc:
+			fail(err)
+		default:
+		}
+		fmt.Fprintf(os.Stderr, "teamsim: debug endpoints on http://%s/debug/\n", *pprofAddr)
+	}
+
 	if *runs <= 1 {
-		if *trace {
+		if *verbose {
 			cfg.Trace = os.Stdout
+		}
+		var traceFile *os.File
+		var rec *trace.Recorder
+		if *tracePath != "" {
+			traceFile, err = os.Create(*tracePath)
+			fail(err)
+			rec = trace.New(trace.Options{W: traceFile})
+			cfg.Tracer = rec
+			trace.Publish(rec)
 		}
 		var r *teamsim.Result
 		if *concurrent {
@@ -61,8 +88,21 @@ func main() {
 		} else {
 			r, err = teamsim.Run(cfg)
 		}
+		if rec != nil {
+			closeErr := rec.Close()
+			if ferr := traceFile.Close(); closeErr == nil {
+				closeErr = ferr
+			}
+			if err == nil {
+				err = closeErr
+			}
+		}
 		fail(err)
 		printRun(scn.Name, r)
+		if rec != nil {
+			fmt.Println()
+			fmt.Print(rec.Counters().Summary())
+		}
 		if *inspect {
 			for _, owner := range scn.Owners() {
 				fmt.Println()

@@ -1,0 +1,70 @@
+// Command tracecheck validates a structured trace stream produced by
+// teamsim -trace or repro -trace.
+//
+// Usage:
+//
+//	tracecheck run.jsonl
+//	teamsim -trace /dev/stdout ... | tracecheck
+//
+// It verifies the JSONL stream's invariants — strictly increasing
+// sequence numbers, nondecreasing timestamps, per-kind required fields,
+// and the run-end reconciliation (summed operation, evaluation, spin,
+// and delivery counters must equal the run-end totals exactly) — then
+// prints a per-kind line count summary. Exits 1 on any violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "suppress the summary; only report failures")
+	flag.Parse()
+
+	var in *os.File
+	switch flag.NArg() {
+	case 0:
+		in = os.Stdin
+	case 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		in = f
+	default:
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [run.jsonl]")
+		os.Exit(2)
+	}
+
+	stats, err := trace.ValidateJSONL(in)
+	if err != nil {
+		fail(err)
+	}
+	if *quiet {
+		return
+	}
+	fmt.Printf("trace ok: %d events\n", stats.Lines)
+	kinds := make([]string, 0, len(stats.ByKind))
+	for k := range stats.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Printf("  %-16s %d\n", k, stats.ByKind[k])
+	}
+	if stats.RunEnd != nil {
+		fmt.Printf("reconciled: operations=%d evaluations=%d spins=%d deliveries=%d\n",
+			stats.Operations, stats.Evaluations, stats.Spins, stats.Deliveries)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracecheck:", err)
+	os.Exit(1)
+}

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"os"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 type differentialRecord struct {
@@ -37,9 +39,28 @@ func differentialRun(t *testing.T, rec differentialRecord) differentialRecord {
 	if rec.Mode == ModeADPM.String() {
 		mode = ModeADPM
 	}
-	r, err := Run(Config{Scenario: scn, Mode: mode, Seed: rec.Seed, MaxOps: 3000})
+	// Every golden replay runs fully traced: beyond guarding the paper
+	// metrics themselves, the corpus doubles as the trace-correctness
+	// suite — the recorder's summed per-event counters must reconcile
+	// with the Result bit-for-bit, so any instrumentation drift (missed
+	// operation, double-counted evaluation) diverges here.
+	tr := trace.New(trace.Options{})
+	r, err := Run(Config{Scenario: scn, Mode: mode, Seed: rec.Seed, MaxOps: 3000, Tracer: tr})
 	if err != nil {
 		t.Fatalf("%s/%s seed %d: %v", rec.Scenario, rec.Mode, rec.Seed, err)
+	}
+	c := tr.Counters()
+	if c.Operations != int64(r.Operations) {
+		t.Errorf("trace operation count %d != Result.Operations %d", c.Operations, r.Operations)
+	}
+	if c.OperationEvals != r.Evaluations {
+		t.Errorf("trace evaluation sum %d != Result.Evaluations %d", c.OperationEvals, r.Evaluations)
+	}
+	if c.Spins != int64(r.Spins) {
+		t.Errorf("trace spin count %d != Result.Spins %d", c.Spins, r.Spins)
+	}
+	if c.Deliveries != int64(r.Notifications) {
+		t.Errorf("trace delivery sum %d != Result.Notifications %d", c.Deliveries, r.Notifications)
 	}
 	return differentialRecord{
 		Scenario:    rec.Scenario,

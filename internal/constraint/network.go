@@ -7,6 +7,7 @@ import (
 	"repro/internal/domain"
 	"repro/internal/expr"
 	"repro/internal/interval"
+	"repro/internal/trace"
 )
 
 // Network is the network of constraints C_n of a design state (paper
@@ -61,6 +62,11 @@ type Network struct {
 	// scratch holds the reusable propagation workspace; never shared
 	// between networks.
 	scratch *propScratch
+	// tracer, when non-nil, receives propagate/revise events. It is
+	// never copied by CloneInto: scratch networks (movement-window and
+	// resynthesis exploration) stay untraced, and their work surfaces as
+	// the DPM's aggregated window-refresh events instead.
+	tracer *trace.Recorder
 	// views holds lazily built structure-derived lookups used by the
 	// guidance layer (per-property constraint slices, indirect-β counts).
 	// Validated against gen; never shared between networks.
@@ -348,6 +354,10 @@ func (n *Network) NumViolations() int {
 	return c
 }
 
+// SetTracer attaches a trace recorder to this network; nil detaches.
+// Clones never inherit it (see CloneInto).
+func (n *Network) SetTracer(tr *trace.Recorder) { n.tracer = tr }
+
 // EvalCount returns the cumulative number of constraint evaluations.
 func (n *Network) EvalCount() int64 { return n.evals }
 
@@ -563,6 +573,7 @@ func (n *Network) CloneInto(dst *Network) {
 	dst.cloneSrc = n
 	dst.cloneSrcGen = n.gen
 	dst.scratch = nil
+	dst.tracer = nil
 	// A stale cache could validate against the new gen by coincidence;
 	// the fast path keeps it because the structure tables are identical.
 	dst.views = nil

@@ -6,6 +6,7 @@ import (
 	"repro/internal/domain"
 	"repro/internal/expr"
 	"repro/internal/interval"
+	"repro/internal/trace"
 )
 
 // Defaults for PropagateOptions fields left at zero.
@@ -220,6 +221,11 @@ func (n *Network) Propagate(opts PropagateOptions) PropagateResult {
 
 	res := PropagateResult{}
 	startEvals := n.evals
+	tr := n.tracer
+	var traceStart int64
+	if tr.Enabled() {
+		traceStart = tr.Now()
+	}
 	sc := n.getScratch()
 	box := &propagationBox{n: n, sc: sc}
 
@@ -248,6 +254,9 @@ func (n *Network) Propagate(opts PropagateOptions) PropagateResult {
 
 		status := statusFromDiff(expr.EvalInterval(n.compiled[ci], n), c.Rel)
 		n.status[ci] = status
+		if tr.FullDetail() {
+			tr.Emit(trace.Event{Kind: trace.KindRevise, Name: c.Name, Evals: 1})
+		}
 		if DebugHook != nil && status == Violated {
 			DebugHook("status-violated", c, n)
 		}
@@ -342,6 +351,17 @@ func (n *Network) Propagate(opts PropagateOptions) PropagateResult {
 		if s == Violated {
 			res.Violated = append(res.Violated, n.conList[ci].Name)
 		}
+	}
+	if tr.Enabled() {
+		tr.Emit(trace.Event{
+			Kind:      trace.KindPropagate,
+			Revisions: res.Revisions,
+			Evals:     res.Evaluations,
+			Narrowed:  len(res.Narrowed),
+			Emptied:   len(res.Emptied),
+			Capped:    res.Capped,
+			DurNanos:  tr.Now() - traceStart,
+		})
 	}
 	return res
 }

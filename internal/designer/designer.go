@@ -13,6 +13,7 @@
 package designer
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 
@@ -108,11 +109,11 @@ type Designer struct {
 	lastAssign *dpm.Assignment
 }
 
-// New creates a designer; it panics if cfg.Rand is nil (a designer
-// without a seeded source cannot be reproduced).
-func New(cfg Config) *Designer {
+// New creates a designer. cfg.Rand must be non-nil: a designer without
+// a seeded source cannot be reproduced.
+func New(cfg Config) (*Designer, error) {
 	if cfg.Rand == nil {
-		panic("designer: Config.Rand must be set")
+		return nil, fmt.Errorf("designer: Config.Rand must be set")
 	}
 	if cfg.DeltaFrac <= 0 {
 		cfg.DeltaFrac = 0.01
@@ -122,7 +123,16 @@ func New(cfg Config) *Designer {
 		tabu:        map[string]map[float64]bool{},
 		visited:     map[string]map[float64]bool{},
 		fixAttempts: map[string]int{},
+	}, nil
+}
+
+// MustNew is New for tests and examples; it panics on invalid config.
+func MustNew(cfg Config) *Designer {
+	d, err := New(cfg)
+	if err != nil {
+		panic(err)
 	}
+	return d
 }
 
 // ID returns the designer's name.

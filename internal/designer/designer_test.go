@@ -60,7 +60,7 @@ func newDPM(t *testing.T, mode dpm.Mode) *dpm.DPM {
 }
 
 func newDesigner(id string, seed int64) *Designer {
-	return New(Config{ID: id, Heuristics: DefaultHeuristics(), Rand: rand.New(rand.NewSource(seed))})
+	return MustNew(Config{ID: id, Heuristics: DefaultHeuristics(), Rand: rand.New(rand.NewSource(seed))})
 }
 
 func TestNewPanicsWithoutRand(t *testing.T) {
@@ -69,7 +69,7 @@ func TestNewPanicsWithoutRand(t *testing.T) {
 			t.Error("New without Rand did not panic")
 		}
 	}()
-	New(Config{ID: "x"})
+	MustNew(Config{ID: "x"})
 }
 
 func TestBindingSmallestSubspaceFirst(t *testing.T) {
@@ -208,7 +208,7 @@ func TestConflictFixConventionalDeltaStep(t *testing.T) {
 	}
 	// Split now known violated. With default heuristics the first fix
 	// is the paper's fixed delta of 1%% of |E_i| = 1, so Pb moves to 49.
-	bob := New(Config{ID: "bob", Heuristics: DefaultHeuristics(), DeltaFrac: 0.01,
+	bob := MustNew(Config{ID: "bob", Heuristics: DefaultHeuristics(), DeltaFrac: 0.01,
 		Rand: rand.New(rand.NewSource(6))})
 	op := bob.SelectOperation(dcm.BuildView(d, "bob"))
 	if op == nil || op.Assignments[0].Prop != "Pb" {
@@ -222,7 +222,7 @@ func TestConflictFixConventionalDeltaStep(t *testing.T) {
 	// (50+50-60) with 15%% overshoot: Pb moves to 50 - 46 = 4.
 	h := DefaultHeuristics()
 	h.MarginSteps = true
-	bob2 := New(Config{ID: "bob", Heuristics: h, DeltaFrac: 0.01,
+	bob2 := MustNew(Config{ID: "bob", Heuristics: h, DeltaFrac: 0.01,
 		Rand: rand.New(rand.NewSource(6))})
 	op = bob2.SelectOperation(dcm.BuildView(d, "bob"))
 	got = op.Assignments[0].Value.Num()
@@ -277,7 +277,7 @@ func TestHeuristicTogglesChangeBehavior(t *testing.T) {
 	h.SmallestSubspace = false
 	seen := map[string]bool{}
 	for s := int64(0); s < 20; s++ {
-		al := New(Config{ID: "alice", Heuristics: h, Rand: rand.New(rand.NewSource(s))})
+		al := MustNew(Config{ID: "alice", Heuristics: h, Rand: rand.New(rand.NewSource(s))})
 		op := al.SelectOperation(dcm.BuildView(d, "alice"))
 		seen[op.Assignments[0].Prop] = true
 	}

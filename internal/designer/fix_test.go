@@ -74,7 +74,7 @@ func driveToConflict(t *testing.T, d *dpm.DPM, x float64) {
 func TestFixStepDoublesOnRepeatedAttempts(t *testing.T) {
 	d := fixProcess(t, dpm.Conventional)
 	driveToConflict(t, d, 10) // Out = 20 < 100
-	eng := New(Config{ID: "eng", Heuristics: DefaultHeuristics(),
+	eng := MustNew(Config{ID: "eng", Heuristics: DefaultHeuristics(),
 		Rand: rand.New(rand.NewSource(1))})
 
 	var steps []float64
@@ -117,7 +117,7 @@ func TestMarginStepsJumpToEstimate(t *testing.T) {
 	driveToConflict(t, d, 10) // Out = 20, margin 80, dOut/dX = 2 → step 40·1.15
 	h := DefaultHeuristics()
 	h.MarginSteps = true
-	eng := New(Config{ID: "eng", Heuristics: h, Rand: rand.New(rand.NewSource(1))})
+	eng := MustNew(Config{ID: "eng", Heuristics: h, Rand: rand.New(rand.NewSource(1))})
 	op := eng.SelectOperation(dcm.BuildView(d, "eng"))
 	if op == nil {
 		t.Fatal("no op")
@@ -132,7 +132,7 @@ func TestMarginStepsJumpToEstimate(t *testing.T) {
 func TestADPMFixUsesWindowWithInset(t *testing.T) {
 	d := fixProcess(t, dpm.ADPM)
 	driveToConflict(t, d, 10)
-	eng := New(Config{ID: "eng", Heuristics: DefaultHeuristics(),
+	eng := MustNew(Config{ID: "eng", Heuristics: DefaultHeuristics(),
 		Rand: rand.New(rand.NewSource(1))})
 	op := eng.SelectOperation(dcm.BuildView(d, "eng"))
 	if op == nil {
@@ -157,7 +157,7 @@ func TestADPMFixUsesWindowWithInset(t *testing.T) {
 func TestAvoidRepeatsBreaksCycles(t *testing.T) {
 	d := fixProcess(t, dpm.ADPM)
 	driveToConflict(t, d, 10)
-	eng := New(Config{ID: "eng", Heuristics: DefaultHeuristics(),
+	eng := MustNew(Config{ID: "eng", Heuristics: DefaultHeuristics(),
 		Rand: rand.New(rand.NewSource(1))})
 	view := dcm.BuildView(d, "eng")
 	op1 := eng.SelectOperation(view)
@@ -222,7 +222,7 @@ require MinOut = 150
 			t.Fatal(err)
 		}
 	}
-	eng := New(Config{ID: "eng", Heuristics: DefaultHeuristics(),
+	eng := MustNew(Config{ID: "eng", Heuristics: DefaultHeuristics(),
 		Rand: rand.New(rand.NewSource(3))})
 	// Pre-load failure history for A only.
 	for i := 0; i < 5; i++ {
@@ -231,7 +231,7 @@ require MinOut = 150
 	view := dcm.BuildView(d, "eng")
 	counts := map[string]int{}
 	for i := 0; i < 10; i++ {
-		e := New(Config{ID: "eng", Heuristics: DefaultHeuristics(),
+		e := MustNew(Config{ID: "eng", Heuristics: DefaultHeuristics(),
 			Rand: rand.New(rand.NewSource(int64(i)))})
 		for j := 0; j < 5; j++ {
 			e.markTabu("A", float64(j))
@@ -290,7 +290,7 @@ require MinOut = 150
 			t.Fatal(err)
 		}
 	}
-	eng := New(Config{ID: "eng", Heuristics: DefaultHeuristics(),
+	eng := MustNew(Config{ID: "eng", Heuristics: DefaultHeuristics(),
 		Rand: rand.New(rand.NewSource(1))})
 	for i := 0; i < 5; i++ {
 		eng.markTabu("A", float64(i))
@@ -326,7 +326,7 @@ func TestCoordinatedFixDisabledFallsBack(t *testing.T) {
 	h.CoordinatedFix = false
 	d := fixProcess(t, dpm.ADPM)
 	driveToConflict(t, d, 10)
-	eng := New(Config{ID: "eng", Heuristics: h, Rand: rand.New(rand.NewSource(1))})
+	eng := MustNew(Config{ID: "eng", Heuristics: h, Rand: rand.New(rand.NewSource(1))})
 	for i := 0; i < 10; i++ {
 		eng.markTabu("X", float64(200+i))
 	}

@@ -68,7 +68,7 @@ func TestCurrentValue(t *testing.T) {
 }
 
 func TestDeltaSizing(t *testing.T) {
-	d := New(Config{ID: "x", Rand: rand.New(rand.NewSource(1)), DeltaFrac: 0.01})
+	d := MustNew(Config{ID: "x", Rand: rand.New(rand.NewSource(1)), DeltaFrac: 0.01})
 	// Continuous: 1% of |E_i|.
 	if got := d.delta(&dcm.PropInfo{Name: "a", Init: domain.NewInterval(0, 200)}); got != 2 {
 		t.Errorf("continuous delta = %v", got)
@@ -88,7 +88,7 @@ func TestDeltaSizing(t *testing.T) {
 }
 
 func TestRandomInDomain(t *testing.T) {
-	d := New(Config{ID: "x", Rand: rand.New(rand.NewSource(2))})
+	d := MustNew(Config{ID: "x", Rand: rand.New(rand.NewSource(2))})
 	for i := 0; i < 20; i++ {
 		v := d.randomInDomain(domain.NewInterval(5, 6))
 		if v < 5 || v > 6 {
@@ -112,7 +112,7 @@ func TestRandomInDomain(t *testing.T) {
 }
 
 func TestInitialGuess(t *testing.T) {
-	d := New(Config{ID: "x", Rand: rand.New(rand.NewSource(3))})
+	d := MustNew(Config{ID: "x", Rand: rand.New(rand.NewSource(3))})
 	info := &dcm.PropInfo{Name: "p", Init: domain.NewInterval(0, 100)}
 	if v := d.initialGuess(info, +1); v != 98 {
 		t.Errorf("guess up = %v", v)
@@ -128,7 +128,7 @@ func TestInitialGuess(t *testing.T) {
 }
 
 func TestApplyTabuWalksAway(t *testing.T) {
-	d := New(Config{ID: "x", Heuristics: DefaultHeuristics(), Rand: rand.New(rand.NewSource(4))})
+	d := MustNew(Config{ID: "x", Heuristics: DefaultHeuristics(), Rand: rand.New(rand.NewSource(4))})
 	info := &dcm.PropInfo{Name: "p", Init: domain.NewInterval(0, 100)}
 	// Nothing tabu: value passes through.
 	if v := d.applyTabu(info, 50, +1); v != 50 {
@@ -140,7 +140,7 @@ func TestApplyTabuWalksAway(t *testing.T) {
 		t.Error("tabu value returned unchanged")
 	}
 	// Heuristic off: tabu ignored.
-	d2 := New(Config{ID: "y", Rand: rand.New(rand.NewSource(5))})
+	d2 := MustNew(Config{ID: "y", Rand: rand.New(rand.NewSource(5))})
 	d2.markTabu("p", 50)
 	if v := d2.applyTabu(info, 50, +1); v != 50 {
 		t.Error("tabu applied with heuristic off")

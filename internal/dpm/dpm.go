@@ -10,6 +10,7 @@ import (
 	"repro/internal/dddl"
 	"repro/internal/domain"
 	"repro/internal/expr"
+	"repro/internal/trace"
 )
 
 // Mode selects the transition model of Fig. 1.
@@ -63,6 +64,10 @@ type DPM struct {
 	// the sequential MovementWindow path. Like the rest of the DPM,
 	// these are not safe for concurrent use of one DPM.
 	scratches []*constraint.Network
+	// tracer, when non-nil, receives operation and window-refresh
+	// events. SetTracer also attaches it to Net for propagate events;
+	// scratch networks never carry it (Network.CloneInto drops it).
+	tracer *trace.Recorder
 }
 
 // derivedDef is one derived performance property: value = node(args).
@@ -170,6 +175,13 @@ func FromScenario(scn *dddl.Scenario, mode Mode) (*DPM, error) {
 	return d, nil
 }
 
+// SetTracer attaches a trace recorder to the DPM and its live network;
+// nil detaches both.
+func (d *DPM) SetTracer(tr *trace.Recorder) {
+	d.tracer = tr
+	d.Net.SetTracer(tr)
+}
+
 // Problem returns the named problem, or nil.
 func (d *DPM) Problem(name string) *Problem { return d.problems[name] }
 
@@ -228,6 +240,11 @@ func (d *DPM) Apply(op Operation) (*Transition, error) {
 		before[v] = true
 	}
 	evals0 := d.Net.EvalCount()
+	rec := d.tracer
+	var opStart int64
+	if rec.Enabled() {
+		opStart = rec.Now()
+	}
 
 	tr := &Transition{Stage: d.stage, Op: op, ViolationsBefore: beforeList}
 	var cp *checkpoint
@@ -284,6 +301,7 @@ func (d *DPM) Apply(op Operation) (*Transition, error) {
 		d.Net.ResetFeasible()
 		res := d.Net.Propagate(d.PropOpts)
 		tr.Narrowed = res.Narrowed
+		tr.Emptied = res.Emptied
 		// Refresh the movement windows of every assigned design
 		// variable (Fig. 2 shows "consistent values" for already-bound
 		// properties after each operation). Each refresh explores the
@@ -306,6 +324,21 @@ func (d *DPM) Apply(op Operation) (*Transition, error) {
 	d.history = append(d.history, tr)
 	if d.checkpointing {
 		d.checkpoints = append(d.checkpoints, cp)
+	}
+	if rec.Enabled() {
+		rec.Emit(trace.Event{
+			Kind:           trace.KindOperation,
+			Stage:          tr.Stage,
+			Op:             op.Kind.String(),
+			Problem:        op.Problem,
+			Designer:       op.Designer,
+			Evals:          tr.Evaluations,
+			NewViolations:  len(tr.NewViolations),
+			OpenViolations: len(tr.ViolationsAfter),
+			Emptied:        len(tr.Emptied),
+			Spin:           tr.IsSpin,
+			DurNanos:       rec.Now() - opStart,
+		})
 	}
 	d.stage++
 	return tr, nil
@@ -464,6 +497,11 @@ func (d *DPM) refreshMovementWindows() {
 	if len(jobs) == 0 {
 		return
 	}
+	rec := d.tracer
+	var refreshStart, totalEvals int64
+	if rec.Enabled() {
+		refreshStart = rec.Now()
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(jobs) {
 		workers = len(jobs)
@@ -474,36 +512,54 @@ func (d *DPM) refreshMovementWindows() {
 			win, evals := d.movementWindowOn(scratch, p.Name)
 			d.Net.AddEvals(evals)
 			p.SetFeasible(win)
-		}
-		return
-	}
-
-	wins := make([]domain.Domain, len(jobs))
-	evals := make([]int64, len(jobs))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		// Prime sequentially: the first CloneInto of a fresh scratch
-		// takes the structure-sharing slow path, which writes clone
-		// bookkeeping on d.Net; inside the workers every CloneInto hits
-		// the read-only fast path.
-		scratch := d.scratchFor(w)
-		wg.Add(1)
-		go func(scratch *constraint.Network) {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(jobs) {
-					return
-				}
-				wins[i], evals[i] = d.movementWindowOn(scratch, jobs[i].Name)
+			totalEvals += evals
+			if rec.FullDetail() {
+				rec.Emit(trace.Event{Kind: trace.KindWindow, Name: p.Name, Evals: evals})
 			}
-		}(scratch)
+		}
+	} else {
+		wins := make([]domain.Domain, len(jobs))
+		evals := make([]int64, len(jobs))
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			// Prime sequentially: the first CloneInto of a fresh scratch
+			// takes the structure-sharing slow path, which writes clone
+			// bookkeeping on d.Net; inside the workers every CloneInto hits
+			// the read-only fast path.
+			scratch := d.scratchFor(w)
+			wg.Add(1)
+			go func(scratch *constraint.Network) {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(jobs) {
+						return
+					}
+					wins[i], evals[i] = d.movementWindowOn(scratch, jobs[i].Name)
+				}
+			}(scratch)
+		}
+		wg.Wait()
+		// Ordered reduction; per-window trace events are emitted here on
+		// the caller's goroutine, in window order, never from the workers.
+		for i, p := range jobs {
+			d.Net.AddEvals(evals[i])
+			p.SetFeasible(wins[i])
+			totalEvals += evals[i]
+			if rec.FullDetail() {
+				rec.Emit(trace.Event{Kind: trace.KindWindow, Name: p.Name, Evals: evals[i]})
+			}
+		}
 	}
-	wg.Wait()
-	for i, p := range jobs {
-		d.Net.AddEvals(evals[i])
-		p.SetFeasible(wins[i])
+	if rec.Enabled() {
+		rec.Emit(trace.Event{
+			Kind:     trace.KindWindowRefresh,
+			Jobs:     len(jobs),
+			Workers:  workers,
+			Evals:    totalEvals,
+			DurNanos: rec.Now() - refreshStart,
+		})
 	}
 }
 

@@ -105,6 +105,9 @@ type Transition struct {
 	// Narrowed lists properties whose feasible subspace shrank due to
 	// this operation (ADPM mode only).
 	Narrowed []string
+	// Emptied lists properties whose feasible subspace became empty due
+	// to this operation (ADPM mode only).
+	Emptied []string
 	// IsSpin marks expensive cross-subsystem iterations.
 	IsSpin bool
 }

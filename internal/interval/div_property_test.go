@@ -1,0 +1,138 @@
+package interval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sampleIn draws a value from iv, biased toward the endpoints (where
+// containment bugs live). Unbounded endpoints are clamped.
+func sampleIn(rng *rand.Rand, iv Interval) float64 {
+	lo, hi := iv.Lo, iv.Hi
+	if math.IsInf(lo, -1) {
+		lo = -1e12
+	}
+	if math.IsInf(hi, 1) {
+		hi = 1e12
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return lo
+	case 1:
+		return hi
+	default:
+		return lo + rng.Float64()*(hi-lo)
+	}
+}
+
+// randInterval draws a random bounded interval; with kind it can pin an
+// endpoint to zero (the semi-open divisor cases under test).
+func randInterval(rng *rand.Rand, kind int) Interval {
+	span := math.Pow(10, float64(rng.Intn(7)-3)) // widths from 1e-3 to 1e3
+	a := (rng.Float64()*2 - 1) * span
+	b := a + rng.Float64()*span
+	switch kind {
+	case 1: // [0, hi]
+		return New(0, math.Abs(b)+rng.Float64()*span)
+	case 2: // [lo, 0]
+		return New(-math.Abs(b)-rng.Float64()*span, 0)
+	default:
+		return New(a, b)
+	}
+}
+
+// TestDivContainmentProperty checks the defining property of interval
+// division — x ∈ iv, y ∈ o, y ≠ 0 ⇒ x/y ∈ Div(iv, o) — with heavy
+// sampling of the semi-open divisor cases (o.Lo == 0 / o.Hi == 0) whose
+// bounds previously double-rounded through Mul(1/o.Hi).
+func TestDivContainmentProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20000; trial++ {
+		iv := randInterval(rng, rng.Intn(3))
+		o := randInterval(rng, trial%3) // 2/3 of divisors have a zero endpoint
+		q := iv.Div(o)
+		for k := 0; k < 8; k++ {
+			x := sampleIn(rng, iv)
+			y := sampleIn(rng, o)
+			if y == 0 {
+				continue
+			}
+			got := x / y
+			if math.IsNaN(got) {
+				continue
+			}
+			if !q.Contains(got) {
+				t.Fatalf("containment violated: %v / %v = %v (x=%g y=%g x/y=%g)",
+					iv, o, q, x, y, got)
+			}
+		}
+	}
+}
+
+// TestDivSemiOpenDirectBounds pins the semi-open cases to directly
+// computed endpoint quotients (no Mul round-trip).
+func TestDivSemiOpenDirectBounds(t *testing.T) {
+	cases := []struct {
+		name   string
+		iv, o  Interval
+		wantLo float64
+		wantHi float64
+	}{
+		{"pos/[0,hi]", New(1, 2), New(0, 4), 0.25, math.Inf(1)},
+		{"neg/[0,hi]", New(-2, -1), New(0, 4), math.Inf(-1), -0.25},
+		{"pos/[lo,0]", New(1, 2), New(-4, 0), math.Inf(-1), -0.25},
+		{"neg/[lo,0]", New(-2, -1), New(-4, 0), 0.25, math.Inf(1)},
+		{"span/[0,hi]", New(-1, 1), New(0, 4), math.Inf(-1), math.Inf(1)},
+		{"zerolo/[0,hi]", New(0, 2), New(0, 4), 0, math.Inf(1)},
+		{"pos/[0,inf]", New(1, 2), New(0, math.Inf(1)), 0, math.Inf(1)},
+	}
+	for _, c := range cases {
+		got := c.iv.Div(c.o)
+		if got.Lo != c.wantLo || got.Hi != c.wantHi {
+			t.Errorf("%s: %v / %v = %v, want [%g, %g]", c.name, c.iv, c.o, got, c.wantLo, c.wantHi)
+		}
+	}
+	// The old Mul-based path produced a lower bound above the true
+	// infimum when 1/o.Hi rounded up and the product rounded up again.
+	// With direct quotients the endpoint division itself is in bounds.
+	iv, o := New(1, 10), New(0, 3)
+	q := iv.Div(o)
+	if want := 1.0 / 3.0; !q.Contains(want) {
+		t.Errorf("%v / %v = %v misses endpoint quotient %g", iv, o, q, want)
+	}
+}
+
+// TestDivDownUp checks the directed-rounding helpers against the real
+// quotient: divDown(a,b) ≤ a/b ≤ divUp(a,b), with equality exactly when
+// the float division is exact.
+func TestDivDownUp(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50000; trial++ {
+		a := (rng.Float64()*2 - 1) * math.Pow(10, float64(rng.Intn(12)-6))
+		b := (rng.Float64()*2 - 1) * math.Pow(10, float64(rng.Intn(12)-6))
+		if b == 0 {
+			continue
+		}
+		q := a / b
+		dn, up := divDown(a, b), divUp(a, b)
+		if dn > q || up < q {
+			t.Fatalf("directed bounds disordered: a=%g b=%g q=%g dn=%g up=%g", a, b, q, dn, up)
+		}
+		// The directed pair brackets the real quotient: q*b must not
+		// overshoot a in the direction that would put a/b outside.
+		if res := -math.FMA(dn, b, -a); b > 0 && res < 0 && dn == q {
+			t.Fatalf("divDown kept a rounded-up quotient: a=%g b=%g", a, b)
+		}
+		if res := -math.FMA(up, b, -a); b > 0 && res > 0 && up == q {
+			t.Fatalf("divUp kept a rounded-down quotient: a=%g b=%g", a, b)
+		}
+		if up != q && dn != q {
+			t.Fatalf("both bounds nudged for one quotient: a=%g b=%g", a, b)
+		}
+	}
+	// Exact quotients stay exact in both directions.
+	if divDown(1, 4) != 0.25 || divUp(1, 4) != 0.25 {
+		t.Errorf("exact quotient 1/4 was nudged: dn=%g up=%g", divDown(1, 4), divUp(1, 4))
+	}
+}

@@ -245,17 +245,16 @@ func (iv Interval) Div(o Interval) Interval {
 		return Empty() // division by exactly zero: no valid y
 	}
 	if o.Contains(0) {
-		if o.Lo == 0 {
-			return iv.Mul(Interval{Lo: 1 / o.Hi, Hi: math.Inf(1)})
-		}
-		if o.Hi == 0 {
-			return iv.Mul(Interval{Lo: math.Inf(-1), Hi: 1 / o.Lo})
-		}
-		// o strictly spans zero: hull of both branches is the whole line
-		// unless the numerator is exactly {0}.
 		if iv.Lo == 0 && iv.Hi == 0 {
 			return Point(0)
 		}
+		if o.Lo == 0 {
+			return iv.divPosHalfLine(o.Hi)
+		}
+		if o.Hi == 0 {
+			return iv.divNegHalfLine(o.Lo)
+		}
+		// o strictly spans zero: hull of both branches is the whole line.
 		return Entire()
 	}
 	// o does not contain zero: endpoint quotients bound the result, and
@@ -269,6 +268,72 @@ func (iv Interval) Div(o Interval) Interval {
 		hi = math.Max(hi, q)
 	}
 	return New(lo, hi)
+}
+
+// divPosHalfLine returns a superset of {x/y : x ∈ iv, 0 < y ≤ hi}.
+// The quotients are computed directly from the endpoints with outward
+// rounding — the previous formulation, iv.Mul([1/hi, +Inf]), rounded
+// twice (once for 1/hi, once for the product) and could produce a lower
+// bound strictly above the true infimum x/hi.
+func (iv Interval) divPosHalfLine(hi float64) Interval {
+	switch {
+	case iv.Lo >= 0:
+		// x ≥ 0: infimum at the smallest x over the largest y; as y→0⁺
+		// the quotient grows without bound.
+		return Interval{Lo: divDown(iv.Lo, hi), Hi: math.Inf(1)}
+	case iv.Hi <= 0:
+		// x ≤ 0: supremum at the largest x (closest to 0) over the
+		// largest y; as y→0⁺ the quotient falls without bound.
+		return Interval{Lo: math.Inf(-1), Hi: divUp(iv.Hi, hi)}
+	default:
+		// iv spans zero strictly: both unbounded directions occur.
+		return Entire()
+	}
+}
+
+// divNegHalfLine returns a superset of {x/y : x ∈ iv, lo ≤ y < 0}.
+func (iv Interval) divNegHalfLine(lo float64) Interval {
+	switch {
+	case iv.Lo >= 0:
+		// x ≥ 0 over y < 0: quotients are ≤ 0, supremum at x=iv.Lo,
+		// y=lo (largest magnitudes of y, smallest x).
+		return Interval{Lo: math.Inf(-1), Hi: divUp(iv.Lo, lo)}
+	case iv.Hi <= 0:
+		// x ≤ 0 over y < 0: quotients are ≥ 0, infimum at x=iv.Hi, y=lo.
+		return Interval{Lo: divDown(iv.Hi, lo), Hi: math.Inf(1)}
+	default:
+		return Entire()
+	}
+}
+
+// divDown returns a/b rounded toward -Inf: a lower bound on the real
+// quotient. The FMA residual a - q·b is computed exactly, so the nudge
+// fires only when round-to-nearest actually rounded past the real
+// value; exact quotients stay exact.
+func divDown(a, b float64) float64 {
+	q := divBound(a, b)
+	if q == 0 || math.IsInf(q, 0) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return q
+	}
+	res := -math.FMA(q, b, -a) // a - q*b
+	if res == 0 || (res > 0) == (b > 0) {
+		return q // exact, or the real quotient lies above q
+	}
+	return math.Nextafter(q, math.Inf(-1))
+}
+
+// divUp returns a/b rounded toward +Inf: an upper bound on the real
+// quotient.
+func divUp(a, b float64) float64 {
+	q := divBound(a, b)
+	if q == 0 || math.IsInf(q, 0) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return q
+	}
+	res := -math.FMA(q, b, -a) // a - q*b
+	if res == 0 || (res > 0) != (b > 0) {
+		return q // exact, or the real quotient lies below q
+	}
+	return math.Nextafter(q, math.Inf(1))
 }
 
 // divBound divides endpoint values treating 0/±Inf indeterminacies in

@@ -8,6 +8,8 @@ package notify
 
 import (
 	"fmt"
+
+	"repro/internal/trace"
 )
 
 // EventKind classifies notification events.
@@ -87,6 +89,8 @@ type Bus struct {
 	subs  map[string]Filter
 	queue map[string][]Event
 	order []string
+	// tracer, when non-nil, receives one notify event per publish.
+	tracer *trace.Recorder
 }
 
 // NewBus returns an empty bus.
@@ -110,6 +114,21 @@ func (b *Bus) Subscribers() []string {
 	return append([]string(nil), b.order...)
 }
 
+// SetTracer attaches a trace recorder to the bus; nil detaches.
+func (b *Bus) SetTracer(tr *trace.Recorder) { b.tracer = tr }
+
+// subject returns the event's subject name for trace records.
+func (e Event) subject() string {
+	switch {
+	case e.Constraint != "":
+		return e.Constraint
+	case e.Property != "":
+		return e.Property
+	default:
+		return e.Problem
+	}
+}
+
 // Publish enqueues the event for every subscriber whose filter accepts
 // it and returns the number of deliveries.
 func (b *Bus) Publish(e Event) int {
@@ -120,6 +139,15 @@ func (b *Bus) Publish(e Event) int {
 			b.queue[id] = append(b.queue[id], e)
 			n++
 		}
+	}
+	if b.tracer.Enabled() {
+		b.tracer.Emit(trace.Event{
+			Kind:       trace.KindNotify,
+			Stage:      e.Stage,
+			Event:      e.Kind.String(),
+			Name:       e.subject(),
+			Deliveries: n,
+		})
 	}
 	return n
 }

@@ -3,6 +3,8 @@ package notify
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 func TestBusPublishDrain(t *testing.T) {
@@ -148,6 +150,80 @@ func TestKindStrings(t *testing.T) {
 	}
 	if !strings.Contains(EventKind(42).String(), "42") {
 		t.Error("unknown kind should embed number")
+	}
+}
+
+// TestPublishOrdering pins the bus's ordering contract: each subscriber
+// drains events in exact publish order, regardless of how many other
+// subscribers interleave.
+func TestPublishOrdering(t *testing.T) {
+	b := NewBus()
+	b.Subscribe("a", nil)
+	b.Subscribe("b", nil)
+	published := []Event{
+		{Kind: ViolationDetected, Stage: 1, Constraint: "C1"},
+		{Kind: SubspaceReduced, Stage: 1, Property: "P1"},
+		{Kind: ViolationResolved, Stage: 2, Constraint: "C1"},
+		{Kind: SubspaceEmptied, Stage: 3, Property: "P2"},
+	}
+	for _, e := range published {
+		b.Publish(e)
+	}
+	for _, id := range []string{"a", "b"} {
+		got := b.Drain(id)
+		if len(got) != len(published) {
+			t.Fatalf("%s drained %d events, want %d", id, len(got), len(published))
+		}
+		for i := range got {
+			if got[i] != published[i] {
+				t.Errorf("%s event %d = %+v, want %+v", id, i, got[i], published[i])
+			}
+		}
+	}
+}
+
+// TestNoDuplicateDelivery checks that one publish delivers at most one
+// copy per subscriber: the filter is consulted once per subscriber, not
+// once per matching criterion.
+func TestNoDuplicateDelivery(t *testing.T) {
+	b := NewBus()
+	calls := 0
+	b.Subscribe("a", func(e Event) bool { calls++; return true })
+	e := Event{Kind: ViolationDetected, Constraint: "Split", Property: "Pa"}
+	if n := b.Publish(e); n != 1 {
+		t.Errorf("deliveries = %d, want 1", n)
+	}
+	if calls != 1 {
+		t.Errorf("filter consulted %d times for one publish, want 1", calls)
+	}
+	if got := b.Drain("a"); len(got) != 1 {
+		t.Errorf("queued %d copies, want 1", len(got))
+	}
+}
+
+// TestBusTraceDeliveries checks the notify instrumentation: one trace
+// event per publish, with Deliveries matching the bus's return value.
+func TestBusTraceDeliveries(t *testing.T) {
+	rec := trace.New(trace.Options{})
+	b := NewBus()
+	b.SetTracer(rec)
+	b.Subscribe("a", nil)
+	b.Subscribe("b", func(e Event) bool { return e.Constraint == "Split" })
+	b.Publish(Event{Kind: ViolationDetected, Stage: 2, Constraint: "Split"}) // 2 deliveries
+	b.Publish(Event{Kind: SubspaceReduced, Stage: 2, Property: "Pa"})        // 1 delivery
+	c := rec.Counters()
+	if c.NotifyEvents != 2 {
+		t.Errorf("NotifyEvents = %d, want 2", c.NotifyEvents)
+	}
+	if c.Deliveries != 3 {
+		t.Errorf("Deliveries = %d, want 3", c.Deliveries)
+	}
+	evs := rec.Events()
+	if len(evs) != 2 || evs[0].Name != "Split" || evs[1].Name != "Pa" {
+		t.Errorf("trace events = %+v", evs)
+	}
+	if evs[0].Event != "violation-detected" || evs[0].Deliveries != 2 {
+		t.Errorf("first notify trace event = %+v", evs[0])
 	}
 }
 

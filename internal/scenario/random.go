@@ -18,7 +18,11 @@ import (
 // cross-subsystem system-level specs — which makes it a pipeline-level
 // fuzzer: any generated scenario must validate, be solvable, and be
 // completable by TeamSim in both modes.
-func Random(seed int64, designers int) *dddl.Scenario {
+//
+// The generated source is runtime data, not a static definition, so
+// Random returns parse failures as errors instead of panicking; any
+// error indicates a generator bug.
+func Random(seed int64, designers int) (*dddl.Scenario, error) {
 	if designers < 1 {
 		designers = 1
 	}
@@ -135,7 +139,20 @@ func Random(seed int64, designers int) *dddl.Scenario {
 	budget := total * (1.15 + 0.5*rng.Float64())
 	fmt.Fprintf(&b, "require SysBudget = %g\n", math.Ceil(budget*100)/100)
 
-	return dddl.MustParseString(b.String())
+	scn, err := dddl.ParseString(b.String())
+	if err != nil {
+		return nil, fmt.Errorf("scenario: generated source for seed %d is invalid: %w", seed, err)
+	}
+	return scn, nil
+}
+
+// MustRandom is Random panicking on error, for tests and examples.
+func MustRandom(seed int64, designers int) *dddl.Scenario {
+	scn, err := Random(seed, designers)
+	if err != nil {
+		panic(err)
+	}
+	return scn
 }
 
 // RandomWitness returns the witness point the generator built the

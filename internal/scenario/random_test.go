@@ -8,7 +8,10 @@ import (
 
 func TestRandomScenarioValidatesAndSizes(t *testing.T) {
 	for seed := int64(0); seed < 25; seed++ {
-		scn := Random(seed, 1+int(seed%4))
+		scn, err := Random(seed, 1+int(seed%4))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
 		if err := scn.Validate(); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -26,7 +29,10 @@ func TestRandomScenarioValidatesAndSizes(t *testing.T) {
 func TestRandomScenarioWitnessSatisfies(t *testing.T) {
 	for seed := int64(0); seed < 25; seed++ {
 		n := 1 + int(seed%4)
-		scn := Random(seed, n)
+		scn, err := Random(seed, n)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
 		witness := RandomWitness(seed, n)
 		d, err := dpm.FromScenario(scn, dpm.Conventional)
 		if err != nil {
@@ -60,21 +66,21 @@ func TestRandomScenarioWitnessSatisfies(t *testing.T) {
 }
 
 func TestRandomScenarioClampsDesignerCount(t *testing.T) {
-	if scn := Random(1, 0); len(scn.Owners()) != 2 { // lead + d0
+	if scn := MustRandom(1, 0); len(scn.Owners()) != 2 { // lead + d0
 		t.Errorf("owners = %v", scn.Owners())
 	}
-	if scn := Random(1, 100); len(scn.Owners()) != 9 { // lead + 8
+	if scn := MustRandom(1, 100); len(scn.Owners()) != 9 { // lead + 8
 		t.Errorf("owners = %v", scn.Owners())
 	}
 }
 
 func TestRandomScenarioDeterministic(t *testing.T) {
-	a := Random(42, 3).Format()
-	b := Random(42, 3).Format()
+	a := MustRandom(42, 3).Format()
+	b := MustRandom(42, 3).Format()
 	if a != b {
 		t.Error("generator not deterministic for fixed seed")
 	}
-	c := Random(43, 3).Format()
+	c := MustRandom(43, 3).Format()
 	if a == c {
 		t.Error("different seeds produced identical scenarios")
 	}

@@ -265,7 +265,7 @@ func evalFormula(net *constraint.Network, formula string) (float64, error) {
 // (satisfiable by construction).
 func TestRandomScenariosSolvable(t *testing.T) {
 	for seed := int64(0); seed < 10; seed++ {
-		scn := scenario.Random(seed, 1+int(seed%4))
+		scn := scenario.MustRandom(seed, 1+int(seed%4))
 		res, err := SolveScenario(scn, Options{MaxNodes: 20000})
 		if err != nil {
 			t.Fatal(err)

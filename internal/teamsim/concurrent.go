@@ -8,6 +8,7 @@ import (
 	"repro/internal/designer"
 	"repro/internal/dpm"
 	"repro/internal/notify"
+	"repro/internal/trace"
 )
 
 // RunConcurrent executes one simulation with the distributed
@@ -21,10 +22,7 @@ func RunConcurrent(cfg Config) (*Result, error) {
 	if cfg.Scenario == nil {
 		return nil, fmt.Errorf("teamsim: Config.Scenario is required")
 	}
-	maxOps := cfg.MaxOps
-	if maxOps <= 0 {
-		maxOps = 5000
-	}
+	maxOps := cfg.maxOps()
 	d, err := dpm.FromScenario(cfg.Scenario, cfg.Mode)
 	if err != nil {
 		return nil, err
@@ -38,9 +36,18 @@ func RunConcurrent(cfg Config) (*Result, error) {
 	}
 	bus := subscribeTeam(d, team)
 
+	rec := cfg.Tracer
+	d.SetTracer(rec)
+	bus.SetTracer(rec)
+	if rec.Enabled() {
+		rec.Emit(trace.Event{Kind: trace.KindRunStart,
+			Scenario: cfg.Scenario.Name, Mode: cfg.Mode.String(), Seed: cfg.Seed})
+	}
+
 	srv := &server{
 		d:       d,
 		bus:     bus,
+		rec:     rec,
 		maxOps:  maxOps,
 		res:     &Result{Mode: cfg.Mode, Seed: cfg.Seed},
 		reqs:    make(chan request),
@@ -62,6 +69,7 @@ func RunConcurrent(cfg Config) (*Result, error) {
 	srv.loop()
 
 	finishResult(srv.res, d)
+	emitRunEnd(rec, srv.res)
 	return srv.res, nil
 }
 
@@ -99,6 +107,7 @@ type response struct {
 type server struct {
 	d       *dpm.DPM
 	bus     *notify.Bus
+	rec     *trace.Recorder
 	maxOps  int
 	res     *Result
 	reqs    chan request
@@ -133,6 +142,15 @@ func (s *server) loop() {
 				req.reply <- response{stop: true}
 				continue
 			}
+			// The budget check happens on the server goroutine, before δ
+			// executes, so in-flight apply requests can never push the
+			// operation count past maxOps: the op that would exceed the
+			// budget is rejected, not applied.
+			if s.res.Operations >= s.maxOps {
+				s.stop()
+				req.reply <- response{stop: true}
+				continue
+			}
 			delete(s.idle, req.id)
 			tr, err := s.d.Apply(*req.op)
 			if err != nil {
@@ -146,6 +164,9 @@ func (s *server) loop() {
 			for id, ch := range s.wake {
 				if s.idle[id] {
 					delete(s.idle, id)
+					if s.rec.Enabled() {
+						s.rec.Emit(trace.Event{Kind: trace.KindWake, Stage: s.d.Stage(), Designer: id})
+					}
 					select {
 					case ch <- struct{}{}:
 					default:
@@ -164,6 +185,10 @@ func (s *server) loop() {
 				continue
 			}
 			s.idle[req.id] = true
+			if s.rec.Enabled() {
+				s.rec.Emit(trace.Event{Kind: trace.KindIdle, Stage: s.d.Stage(),
+					Designer: req.id, Idle: len(s.idle)})
+			}
 			if len(s.idle) == s.clients {
 				// Every designer is simultaneously idle: deadlock.
 				s.res.Deadlocked = !s.d.Done()

@@ -76,6 +76,49 @@ func TestRunConcurrentMaxOps(t *testing.T) {
 	}
 }
 
+// TestMaxOpsDefaultUnified pins the shared budget default: both engines
+// resolve MaxOps=0 through the same helper, so they can never diverge.
+func TestMaxOpsDefaultUnified(t *testing.T) {
+	if got := (Config{}).maxOps(); got != DefaultMaxOps {
+		t.Errorf("zero MaxOps resolves to %d, want DefaultMaxOps=%d", got, DefaultMaxOps)
+	}
+	if got := (Config{MaxOps: -3}).maxOps(); got != DefaultMaxOps {
+		t.Errorf("negative MaxOps resolves to %d, want DefaultMaxOps=%d", got, DefaultMaxOps)
+	}
+	if got := (Config{MaxOps: 7}).maxOps(); got != 7 {
+		t.Errorf("explicit MaxOps resolves to %d, want 7", got)
+	}
+}
+
+// TestRunConcurrentMaxOpsStress hammers the operation budget under real
+// goroutine contention: many iterations, tight budgets, both modes. The
+// server rejects an apply once the budget is reached *before* mutating
+// the DPM, so Operations must never overshoot — a post-hoc cap would
+// leave the network narrowed by operations the Result does not count.
+// Run with -race in CI to catch unsynchronized budget reads.
+func TestRunConcurrentMaxOpsStress(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		budget := 1 + i%7
+		mode := dpm.ADPM
+		if i%2 == 1 {
+			mode = dpm.Conventional
+		}
+		r, err := RunConcurrent(Config{
+			Scenario: scenario.Receiver(), Mode: mode, Seed: int64(i), MaxOps: budget,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Operations > budget {
+			t.Fatalf("iter %d: MaxOps=%d but executed %d operations", i, budget, r.Operations)
+		}
+		if len(r.EvalsPerOp) != r.Operations || len(r.SpinPerOp) != r.Operations {
+			t.Fatalf("iter %d: series lengths (%d, %d) disagree with Operations=%d",
+				i, len(r.EvalsPerOp), len(r.SpinPerOp), r.Operations)
+		}
+	}
+}
+
 // TestConcurrentMatchesDeterministicOutcome verifies both engines solve
 // the design (final assignments satisfy the specs), even though their
 // operation interleavings differ.

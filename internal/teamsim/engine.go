@@ -22,7 +22,12 @@ import (
 	"repro/internal/designer"
 	"repro/internal/dpm"
 	"repro/internal/notify"
+	"repro/internal/trace"
 )
+
+// DefaultMaxOps is the operation budget used when Config.MaxOps is 0,
+// shared by Run and RunConcurrent.
+const DefaultMaxOps = 5000
 
 // Config parameterizes one simulation run.
 type Config struct {
@@ -44,6 +49,19 @@ type Config struct {
 	PropOpts constraint.PropagateOptions
 	// Trace, when non-nil, receives a line per executed operation.
 	Trace io.Writer
+	// Tracer, when non-nil, receives structured trace events for the
+	// whole run: run-start/run-end, one event per operation, propagate
+	// and window-refresh summaries, notification deliveries, and
+	// idle/wake cycles. See internal/trace.
+	Tracer *trace.Recorder
+}
+
+// maxOps resolves the configured operation budget.
+func (c Config) maxOps() int {
+	if c.MaxOps <= 0 {
+		return DefaultMaxOps
+	}
+	return c.MaxOps
 }
 
 // Result captures one simulation run's statistics (§3.1.2).
@@ -101,10 +119,7 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Scenario == nil {
 		return nil, fmt.Errorf("teamsim: Config.Scenario is required")
 	}
-	maxOps := cfg.MaxOps
-	if maxOps <= 0 {
-		maxOps = 5000
-	}
+	maxOps := cfg.maxOps()
 	d, err := dpm.FromScenario(cfg.Scenario, cfg.Mode)
 	if err != nil {
 		return nil, err
@@ -117,6 +132,14 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	bus := subscribeTeam(d, team)
+
+	rec := cfg.Tracer
+	d.SetTracer(rec)
+	bus.SetTracer(rec)
+	if rec.Enabled() {
+		rec.Emit(trace.Event{Kind: trace.KindRunStart,
+			Scenario: cfg.Scenario.Name, Mode: cfg.Mode.String(), Seed: cfg.Seed})
+	}
 
 	res := &Result{Mode: cfg.Mode, Seed: cfg.Seed}
 	order := make([]int, len(team))
@@ -138,6 +161,11 @@ func Run(cfg Config) (*Result, error) {
 			view := dcm.BuildView(d, ds.ID())
 			op := ds.SelectOperation(view)
 			if op == nil {
+				// Round-level idleness; per-designer events only at full
+				// detail (every idle designer re-idles each round).
+				if rec.FullDetail() {
+					rec.Emit(trace.Event{Kind: trace.KindIdle, Stage: d.Stage(), Designer: ds.ID()})
+				}
 				continue
 			}
 			tr, err := d.Apply(*op)
@@ -159,7 +187,28 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	finishResult(res, d)
+	emitRunEnd(rec, res)
 	return res, nil
+}
+
+// emitRunEnd closes a traced run with the final Result metrics; the
+// validator and the differential test reconcile the summed per-event
+// counters against exactly these numbers.
+func emitRunEnd(rec *trace.Recorder, res *Result) {
+	if !rec.Enabled() {
+		return
+	}
+	rec.Emit(trace.Event{
+		Kind:          trace.KindRunEnd,
+		Mode:          res.Mode.String(),
+		Seed:          res.Seed,
+		Completed:     res.Completed,
+		Deadlocked:    res.Deadlocked,
+		Operations:    res.Operations,
+		Evaluations:   res.Evaluations,
+		Spins:         res.Spins,
+		Notifications: res.Notifications,
+	})
 }
 
 // DisabledHeuristics returns a heuristic set with every toggle off —
@@ -178,12 +227,16 @@ func buildTeam(cfg Config, d *dpm.DPM, master *rand.Rand) ([]*designer.Designer,
 	}
 	team := make([]*designer.Designer, len(owners))
 	for i, o := range owners {
-		team[i] = designer.New(designer.Config{
+		ds, err := designer.New(designer.Config{
 			ID:         o,
 			Heuristics: h,
 			DeltaFrac:  cfg.DeltaFrac,
 			Rand:       rand.New(rand.NewSource(master.Int63())),
 		})
+		if err != nil {
+			return nil, fmt.Errorf("teamsim: designer %q: %w", o, err)
+		}
+		team[i] = ds
 	}
 	return team, nil
 }
@@ -222,7 +275,7 @@ func recordTransition(res *Result, tr *dpm.Transition) {
 }
 
 func publishTransition(bus *notify.Bus, res *Result, tr *dpm.Transition) {
-	events := notify.DiffEvents(tr.Stage, tr.ViolationsBefore, tr.ViolationsAfter, tr.Narrowed, nil)
+	events := notify.DiffEvents(tr.Stage, tr.ViolationsBefore, tr.ViolationsAfter, tr.Narrowed, tr.Emptied)
 	for _, e := range events {
 		res.Notifications += bus.Publish(e)
 	}

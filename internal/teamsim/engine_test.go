@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/dpm"
+	"repro/internal/notify"
 	"repro/internal/scenario"
 )
 
@@ -215,5 +216,39 @@ func TestHeuristicAblationChangesBehavior(t *testing.T) {
 	}
 	if offOps <= fullOps {
 		t.Errorf("heuristics off (%d ops) not worse than on (%d ops)", offOps, fullOps)
+	}
+}
+
+// TestPublishTransitionEmptied pins the previously broken wiring from
+// Transition.Emptied to SubspaceEmptied events: an emptied property
+// produces exactly one SubspaceEmptied and no SubspaceReduced, even when
+// it also appears in Narrowed (an emptied subspace necessarily shrank).
+func TestPublishTransitionEmptied(t *testing.T) {
+	bus := notify.NewBus()
+	bus.Subscribe("watcher", nil)
+	res := &Result{}
+	tr := &dpm.Transition{
+		Stage:    4,
+		Narrowed: []string{"p", "q"},
+		Emptied:  []string{"p"},
+	}
+	publishTransition(bus, res, tr)
+	var emptied, reduced []string
+	for _, e := range bus.Drain("watcher") {
+		switch e.Kind {
+		case notify.SubspaceEmptied:
+			emptied = append(emptied, e.Property)
+		case notify.SubspaceReduced:
+			reduced = append(reduced, e.Property)
+		}
+	}
+	if len(emptied) != 1 || emptied[0] != "p" {
+		t.Errorf("SubspaceEmptied events = %v, want exactly [p]", emptied)
+	}
+	if len(reduced) != 1 || reduced[0] != "q" {
+		t.Errorf("SubspaceReduced events = %v, want exactly [q]", reduced)
+	}
+	if res.Notifications != 2 {
+		t.Errorf("Notifications = %d, want 2", res.Notifications)
 	}
 }

@@ -55,7 +55,8 @@ func RunMany(cfg Config, runs, parallelism int) (*MultiResult, error) {
 			defer func() { <-sem }()
 			c := cfg
 			c.Seed = cfg.Seed + int64(i)
-			c.Trace = nil // traces interleave nondeterministically
+			c.Trace = nil  // traces interleave nondeterministically
+			c.Tracer = nil // a shared recorder would mix runs
 			results[i], errs[i] = Run(c)
 		}(i)
 	}

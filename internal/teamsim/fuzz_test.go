@@ -19,7 +19,7 @@ func TestRandomScenariosCompleteBothModes(t *testing.T) {
 	}
 	totalConv, totalADPM := 0, 0
 	for seed := int64(0); seed < int64(seeds); seed++ {
-		scn := scenario.Random(seed, 1+int(seed%4))
+		scn := scenario.MustRandom(seed, 1+int(seed%4))
 		for _, mode := range []dpm.Mode{dpm.Conventional, dpm.ADPM} {
 			r, err := Run(Config{Scenario: scn, Mode: mode, Seed: seed + 100, MaxOps: 4000})
 			if err != nil {
@@ -55,7 +55,7 @@ func TestRandomScenariosCompleteBothModes(t *testing.T) {
 // goroutine-per-designer engine.
 func TestRandomScenariosConcurrentEngine(t *testing.T) {
 	for seed := int64(0); seed < 4; seed++ {
-		scn := scenario.Random(seed, 2+int(seed%3))
+		scn := scenario.MustRandom(seed, 2+int(seed%3))
 		r, err := RunConcurrent(Config{Scenario: scn, Mode: dpm.ADPM, Seed: seed, MaxOps: 4000})
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DesignerCounters aggregates per-designer activity.
+type DesignerCounters struct {
+	Operations int64 `json:"operations"`
+	Spins      int64 `json:"spins"`
+	Evals      int64 `json:"evals"`
+	Idles      int64 `json:"idles"`
+	Wakes      int64 `json:"wakes"`
+}
+
+// Counters are the exact aggregates maintained on every Emit. Unlike
+// the ring they never drop: the reconciliation against Result metrics
+// (operations, evaluations, notifications, spins) reads these.
+type Counters struct {
+	Events  uint64 `json:"events"`
+	Dropped uint64 `json:"dropped"`
+	Runs    int64  `json:"runs"`
+
+	// Operation-level aggregates; Operations/OperationEvals/Spins must
+	// reconcile exactly with Result.Operations/.Evaluations/.Spins.
+	Operations       int64 `json:"operations"`
+	SynthesisOps     int64 `json:"synthesis_ops"`
+	VerificationOps  int64 `json:"verification_ops"`
+	DecompositionOps int64 `json:"decomposition_ops"`
+	OperationEvals   int64 `json:"operation_evals"`
+	OperationNanos   int64 `json:"operation_ns"`
+	Spins            int64 `json:"spins"`
+	NewViolations    int64 `json:"new_violations"`
+
+	// Propagation aggregates.
+	PropagateRuns  int64 `json:"propagate_runs"`
+	Revisions      int64 `json:"revisions"`
+	PropagateEvals int64 `json:"propagate_evals"`
+	NarrowedProps  int64 `json:"narrowed_props"`
+	EmptiedProps   int64 `json:"emptied_props"`
+	CappedRuns     int64 `json:"capped_runs"`
+	PropagateNanos int64 `json:"propagate_ns"`
+
+	// Movement-window aggregates.
+	WindowRefreshes    int64 `json:"window_refreshes"`
+	WindowJobs         int64 `json:"window_jobs"`
+	WindowEvals        int64 `json:"window_evals"`
+	WindowRefreshNanos int64 `json:"window_refresh_ns"`
+
+	// Notification aggregates; Deliveries must reconcile exactly with
+	// Result.Notifications.
+	NotifyEvents int64 `json:"notify_events"`
+	Deliveries   int64 `json:"deliveries"`
+
+	// Engine-loop aggregates.
+	Idles int64 `json:"idles"`
+	Wakes int64 `json:"wakes"`
+
+	PerDesigner map[string]*DesignerCounters `json:"per_designer,omitempty"`
+}
+
+func (c *Counters) designer(id string) *DesignerCounters {
+	if id == "" {
+		return nil
+	}
+	dc := c.PerDesigner[id]
+	if dc == nil {
+		dc = &DesignerCounters{}
+		c.PerDesigner[id] = dc
+	}
+	return dc
+}
+
+// apply folds one event into the aggregates.
+func (c *Counters) apply(e Event) {
+	c.Events++
+	switch e.Kind {
+	case KindRunStart:
+		c.Runs++
+	case KindOperation:
+		c.Operations++
+		switch e.Op {
+		case "synthesis":
+			c.SynthesisOps++
+		case "verification":
+			c.VerificationOps++
+		case "decomposition":
+			c.DecompositionOps++
+		}
+		c.OperationEvals += e.Evals
+		c.OperationNanos += e.DurNanos
+		c.NewViolations += int64(e.NewViolations)
+		if e.Spin {
+			c.Spins++
+		}
+		if dc := c.designer(e.Designer); dc != nil {
+			dc.Operations++
+			dc.Evals += e.Evals
+			if e.Spin {
+				dc.Spins++
+			}
+		}
+	case KindPropagate:
+		c.PropagateRuns++
+		c.Revisions += int64(e.Revisions)
+		c.PropagateEvals += e.Evals
+		c.NarrowedProps += int64(e.Narrowed)
+		c.EmptiedProps += int64(e.Emptied)
+		if e.Capped {
+			c.CappedRuns++
+		}
+		c.PropagateNanos += e.DurNanos
+	case KindWindowRefresh:
+		c.WindowRefreshes++
+		c.WindowJobs += int64(e.Jobs)
+		c.WindowEvals += e.Evals
+		c.WindowRefreshNanos += e.DurNanos
+	case KindNotify:
+		c.NotifyEvents++
+		c.Deliveries += int64(e.Deliveries)
+	case KindIdle:
+		c.Idles++
+		if dc := c.designer(e.Designer); dc != nil {
+			dc.Idles++
+		}
+	case KindWake:
+		c.Wakes++
+		if dc := c.designer(e.Designer); dc != nil {
+			dc.Wakes++
+		}
+	}
+}
+
+func (c Counters) clone() Counters {
+	out := c
+	out.PerDesigner = make(map[string]*DesignerCounters, len(c.PerDesigner))
+	for id, dc := range c.PerDesigner {
+		cp := *dc
+		out.PerDesigner[id] = &cp
+	}
+	return out
+}
+
+// Summary renders the end-of-run metrics table.
+func (c Counters) Summary() string {
+	var b strings.Builder
+	b.WriteString("trace summary\n")
+	row := func(name string, args ...any) {
+		fmt.Fprintf(&b, "  %-22s", name)
+		fmt.Fprintln(&b, fmt.Sprint(args...))
+	}
+	row("events", fmt.Sprintf("%d (%d dropped from ring)", c.Events, c.Dropped))
+	row("operations", fmt.Sprintf("%d (synthesis %d, verification %d, decomposition %d)",
+		c.Operations, c.SynthesisOps, c.VerificationOps, c.DecompositionOps))
+	row("evaluations", fmt.Sprintf("%d (%.1f per op)", c.OperationEvals, ratio(c.OperationEvals, c.Operations)))
+	row("spins", fmt.Sprintf("%d", c.Spins))
+	row("new violations", fmt.Sprintf("%d", c.NewViolations))
+	row("propagate runs", fmt.Sprintf("%d (%d revisions, %d evals, %d capped)",
+		c.PropagateRuns, c.Revisions, c.PropagateEvals, c.CappedRuns))
+	row("subspace changes", fmt.Sprintf("%d narrowed, %d emptied", c.NarrowedProps, c.EmptiedProps))
+	row("window refreshes", fmt.Sprintf("%d (%d windows, %d evals)",
+		c.WindowRefreshes, c.WindowJobs, c.WindowEvals))
+	row("notifications", fmt.Sprintf("%d deliveries over %d events", c.Deliveries, c.NotifyEvents))
+	row("idle/wake", fmt.Sprintf("%d idles, %d wakes", c.Idles, c.Wakes))
+	if ms := float64(c.OperationNanos) / 1e6; ms > 0 {
+		row("time in δ", fmt.Sprintf("%.1fms total (%.3fms per op)", ms, ms/float64(max64(c.Operations, 1))))
+	}
+	if len(c.PerDesigner) > 0 {
+		b.WriteString("  per designer:\n")
+		ids := make([]string, 0, len(c.PerDesigner))
+		for id := range c.PerDesigner {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			dc := c.PerDesigner[id]
+			fmt.Fprintf(&b, "    %-20s ops=%-5d spins=%-4d evals=%-8d idles=%-4d wakes=%d\n",
+				id, dc.Operations, dc.Spins, dc.Evals, dc.Idles, dc.Wakes)
+		}
+	}
+	return b.String()
+}
+
+func ratio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

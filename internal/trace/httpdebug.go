@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// current is the recorder published to the expvar/debug endpoints; the
+// cmds point it at their per-run recorder via Publish.
+var current atomic.Pointer[Recorder]
+
+// Publish makes rec the recorder visible on the debug endpoints
+// (expvar "trace" and the /debug/trace handler). Pass nil to unpublish.
+func Publish(rec *Recorder) { current.Store(rec) }
+
+var publishOnce sync.Once
+
+// registerExpvar exposes the published recorder's counters as the
+// expvar variable "trace". Guarded by a Once because expvar panics on
+// duplicate names.
+func registerExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("trace", expvar.Func(func() any {
+			rec := current.Load()
+			if rec == nil {
+				return nil
+			}
+			return rec.Counters()
+		}))
+	})
+}
+
+// DebugMux returns an http.ServeMux with the standard pprof handlers,
+// expvar (including the "trace" counters of the published recorder),
+// and a /debug/trace JSON endpoint with the current counter snapshot.
+func DebugMux() *http.ServeMux {
+	registerExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		rec := current.Load()
+		if rec == nil {
+			w.Write([]byte("null\n"))
+			return
+		}
+		writeJSON(w, rec.Counters())
+	})
+	return mux
+}
+
+// ServeDebug serves DebugMux on addr in a background goroutine and
+// returns immediately. Errors (e.g. a busy port) are delivered on the
+// returned channel; callers typically just log them.
+func ServeDebug(addr string) <-chan error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- http.ListenAndServe(addr, DebugMux())
+	}()
+	return errc
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(append(b, '\n'))
+}

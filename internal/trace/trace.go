@@ -1,0 +1,360 @@
+// Package trace is the observability layer of the DCM/DPM/TeamSim
+// stack: a structured event stream over the quantities the paper counts
+// — constraint evaluations, propagation passes, movement-window
+// refreshes, notification deliveries, designer spins and idle cycles —
+// with per-run recording, JSONL emission, an end-of-run summary, and
+// pprof/expvar hooks for the long-running paths.
+//
+// Cost model. Tracing is off by default and the instrumented hot paths
+// are guarded so that the disabled cost is a single nil-pointer compare
+// per site (no allocation, no atomic, no time syscall); the engine
+// benchmarks enforce 0 additional allocs/op with tracing disabled. A
+// Recorder is attached per run (constraint.Network.SetTracer,
+// dpm.DPM.SetTracer, teamsim.Config.Tracer); each Recorder additionally
+// carries an atomic enable flag so emission can be paused and resumed
+// mid-run without unplumbing it. Scratch networks (movement-window and
+// resynthesis exploration) never carry a tracer — their propagation
+// work surfaces as the aggregated window-refresh events instead.
+//
+// Correctness contract. The trace is not a parallel bookkeeping scheme
+// that may drift from the metrics: every operation event carries the
+// transition's evaluation delta, so the summed trace counters equal the
+// run's Result metrics exactly. The differential golden test doubles as
+// a trace-correctness test by asserting that reconciliation bit for bit.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies trace events.
+type Kind uint8
+
+// Event kinds.
+const (
+	// KindRunStart opens one simulation run (scenario, mode, seed).
+	KindRunStart Kind = iota
+	// KindRunEnd closes one run with its final Result metrics.
+	KindRunEnd
+	// KindOperation is one executed design operation (δ transition):
+	// operation kind, problem, designer, evaluation delta, latency.
+	KindOperation
+	// KindPropagate is one constraint-propagation fixpoint run on the
+	// live network: revisions, evaluations, narrowed/emptied counts.
+	KindPropagate
+	// KindRevise is one HC4 revise of one constraint (DetailFull only).
+	KindRevise
+	// KindWindowRefresh is one movement-window refresh batch: job
+	// count, worker fan-out, total evaluations, latency.
+	KindWindowRefresh
+	// KindWindow is one movement-window exploration (DetailFull only).
+	KindWindow
+	// KindNotify is one Notification Manager publish: the NM event kind,
+	// its subject, and how many designers received it.
+	KindNotify
+	// KindIdle marks a designer going idle (nothing to do at a stage).
+	KindIdle
+	// KindWake marks an idle designer woken by new information.
+	KindWake
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"run-start", "run-end", "operation", "propagate", "revise",
+	"window-refresh", "window", "notify", "idle", "wake",
+}
+
+// String names the kind as it appears in the JSONL stream.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// KindFromString resolves a JSONL kind name; ok is false for unknown
+// names.
+func KindFromString(s string) (Kind, bool) {
+	for i, n := range kindNames {
+		if n == s {
+			return Kind(i), true
+		}
+	}
+	return 0, false
+}
+
+// MarshalJSON writes the kind name.
+func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON reads a kind name.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	kk, ok := KindFromString(s)
+	if !ok {
+		return fmt.Errorf("trace: unknown event kind %q", s)
+	}
+	*k = kk
+	return nil
+}
+
+// Detail selects how much the instrumented paths emit.
+type Detail int
+
+// Detail levels.
+const (
+	// DetailOps (the default) emits run, operation, propagate-summary,
+	// window-refresh, notify, and idle/wake events.
+	DetailOps Detail = iota
+	// DetailFull additionally emits one event per HC4 revise and per
+	// movement-window exploration. High volume; ring-bounded.
+	DetailFull
+)
+
+// Event is one structured trace record. The struct is flat and
+// fixed-size so ring storage never allocates; kind-specific fields are
+// zero (and omitted from JSON) on other kinds. See docs in DESIGN.md §7
+// for the per-kind schema.
+type Event struct {
+	// Seq is the 1-based emission sequence number within the recorder.
+	Seq uint64 `json:"seq"`
+	// TNanos is the emission time relative to the recorder start.
+	TNanos int64 `json:"t_ns"`
+	// Kind classifies the event.
+	Kind Kind `json:"kind"`
+
+	// Stage is the design-process stage index (operation, notify, idle).
+	Stage int `json:"stage,omitempty"`
+	// Op names the operation kind: synthesis, verification, decomposition.
+	Op string `json:"op,omitempty"`
+	// Problem names the operated-on problem.
+	Problem string `json:"problem,omitempty"`
+	// Designer identifies the acting/idle/woken designer.
+	Designer string `json:"designer,omitempty"`
+	// Name is the subject of constraint/property-scoped events: the
+	// revised constraint, the explored window property, or the NM
+	// event's subject.
+	Name string `json:"name,omitempty"`
+	// Event names the NM event kind on notify events.
+	Event string `json:"event,omitempty"`
+
+	// Evals is the constraint-evaluation delta attributable to the event.
+	Evals int64 `json:"evals,omitempty"`
+	// Revisions counts HC4 revises of a propagate run.
+	Revisions int `json:"revisions,omitempty"`
+	// Narrowed counts properties whose feasible subspace shrank
+	// (propagate runs) or arguments narrowed (revise events).
+	Narrowed int `json:"narrowed,omitempty"`
+	// Emptied counts properties whose feasible subspace emptied.
+	Emptied int `json:"emptied,omitempty"`
+	// Capped marks a propagate run stopped by MaxRevisions.
+	Capped bool `json:"capped,omitempty"`
+	// Jobs/Workers size a window-refresh batch and its fan-out.
+	Jobs    int `json:"jobs,omitempty"`
+	Workers int `json:"workers,omitempty"`
+	// Deliveries counts designers that received a notify event.
+	Deliveries int `json:"deliveries,omitempty"`
+	// NewViolations/OpenViolations count violations found by / open
+	// after an operation.
+	NewViolations  int `json:"new_violations,omitempty"`
+	OpenViolations int `json:"open_violations,omitempty"`
+	// Spin marks a design spin (cross-subsystem rework).
+	Spin bool `json:"spin,omitempty"`
+	// Idle is the number of simultaneously idle designers after an
+	// idle event.
+	Idle int `json:"idle,omitempty"`
+	// DurNanos is the wall-clock latency of the traced step.
+	DurNanos int64 `json:"dur_ns,omitempty"`
+
+	// Run-scoped fields (run-start / run-end).
+	Scenario      string `json:"scenario,omitempty"`
+	Mode          string `json:"mode,omitempty"`
+	Seed          int64  `json:"seed,omitempty"`
+	Completed     bool   `json:"completed,omitempty"`
+	Deadlocked    bool   `json:"deadlocked,omitempty"`
+	Operations    int    `json:"operations,omitempty"`
+	Evaluations   int64  `json:"evaluations,omitempty"`
+	Spins         int    `json:"spins,omitempty"`
+	Notifications int    `json:"notifications,omitempty"`
+}
+
+// Options parameterize a Recorder.
+type Options struct {
+	// RingSize bounds the in-memory event ring; 0 means 16384. The ring
+	// keeps the most recent events; older ones are dropped (counted in
+	// Counters.Dropped). Counters are exact regardless of drops.
+	RingSize int
+	// W, when non-nil, receives every event as one JSON line at
+	// emission time (buffered; Close flushes). Streaming loses nothing
+	// to ring wrap.
+	W io.Writer
+	// Detail selects the emission detail level.
+	Detail Detail
+}
+
+// DefaultRingSize is the event ring capacity when Options.RingSize is 0.
+const DefaultRingSize = 16384
+
+// activeRecorders counts enabled recorders process-wide; Active lets
+// coarse-grained call sites skip per-recorder checks entirely.
+var activeRecorders atomic.Int32
+
+// Active reports whether any enabled Recorder exists in the process.
+func Active() bool { return activeRecorders.Load() > 0 }
+
+// Recorder collects the trace of one run. It is safe for concurrent
+// use; the deterministic engine emits from one goroutine, the
+// concurrent engine from its server goroutine, and the debug HTTP
+// handlers read counters concurrently.
+type Recorder struct {
+	enabled atomic.Bool
+	start   time.Time
+
+	mu      sync.Mutex
+	seq     uint64
+	ring    []Event
+	head    int // index of the oldest event
+	n       int // events currently in the ring
+	dropped uint64
+	w       *bufio.Writer
+	werr    error
+	detail  Detail
+	c       Counters
+	closed  bool
+}
+
+// New returns an enabled Recorder with a preallocated ring.
+func New(opts Options) *Recorder {
+	size := opts.RingSize
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	r := &Recorder{
+		start:  time.Now(),
+		ring:   make([]Event, size),
+		detail: opts.Detail,
+	}
+	if opts.W != nil {
+		r.w = bufio.NewWriter(opts.W)
+	}
+	r.c.PerDesigner = map[string]*DesignerCounters{}
+	r.enabled.Store(true)
+	activeRecorders.Add(1)
+	return r
+}
+
+// Enabled reports whether the recorder currently accepts events.
+func (r *Recorder) Enabled() bool { return r != nil && r.enabled.Load() }
+
+// SetEnabled pauses (false) or resumes (true) emission. The atomic flag
+// makes toggling safe from any goroutine mid-run.
+func (r *Recorder) SetEnabled(on bool) {
+	if r == nil {
+		return
+	}
+	if r.enabled.Swap(on) != on {
+		if on {
+			activeRecorders.Add(1)
+		} else {
+			activeRecorders.Add(-1)
+		}
+	}
+}
+
+// Detail returns the configured detail level.
+func (r *Recorder) Detail() Detail {
+	if r == nil {
+		return DetailOps
+	}
+	return r.detail
+}
+
+// FullDetail reports whether per-revise / per-window events are wanted.
+func (r *Recorder) FullDetail() bool {
+	return r != nil && r.detail >= DetailFull && r.enabled.Load()
+}
+
+// Now returns the elapsed nanoseconds since the recorder started.
+func (r *Recorder) Now() int64 { return time.Since(r.start).Nanoseconds() }
+
+// Emit records one event: stamps sequence and time, updates counters,
+// stores it in the ring (evicting the oldest when full), and streams it
+// to the JSONL writer when configured. No-op when paused.
+func (r *Recorder) Emit(e Event) {
+	if r == nil || !r.enabled.Load() {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.seq++
+	e.Seq = r.seq
+	if e.TNanos == 0 {
+		e.TNanos = time.Since(r.start).Nanoseconds()
+	}
+	r.c.apply(e)
+	if r.n == len(r.ring) {
+		r.ring[r.head] = e
+		r.head = (r.head + 1) % len(r.ring)
+		r.dropped++
+		r.c.Dropped = r.dropped
+	} else {
+		r.ring[(r.head+r.n)%len(r.ring)] = e
+		r.n++
+	}
+	if r.w != nil && r.werr == nil {
+		b, err := json.Marshal(e)
+		if err == nil {
+			_, err = r.w.Write(append(b, '\n'))
+		}
+		if err != nil {
+			r.werr = err
+		}
+	}
+}
+
+// Events returns the ring contents in emission order (oldest first).
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.ring[(r.head+i)%len(r.ring)]
+	}
+	return out
+}
+
+// Counters returns a snapshot of the exact aggregate counters.
+func (r *Recorder) Counters() Counters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.c.clone()
+}
+
+// Close flushes the JSONL writer, disables the recorder, and returns
+// the first write error encountered while streaming.
+func (r *Recorder) Close() error {
+	r.SetEnabled(false)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return r.werr
+	}
+	r.closed = true
+	if r.w != nil {
+		if err := r.w.Flush(); err != nil && r.werr == nil {
+			r.werr = err
+		}
+	}
+	return r.werr
+}

@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRingWrapAndDrops(t *testing.T) {
+	r := New(Options{RingSize: 4})
+	defer r.Close()
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Kind: KindNotify, Event: "e", Deliveries: 1})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	// The ring keeps the most recent events, in emission order.
+	for i, e := range evs {
+		if want := uint64(7 + i); e.Seq != want {
+			t.Errorf("event %d has seq %d, want %d", i, e.Seq, want)
+		}
+	}
+	c := r.Counters()
+	if c.Events != 10 {
+		t.Errorf("Events = %d, want 10 (counters must be exact despite ring drops)", c.Events)
+	}
+	if c.Dropped != 6 {
+		t.Errorf("Dropped = %d, want 6", c.Dropped)
+	}
+	if c.Deliveries != 10 {
+		t.Errorf("Deliveries = %d, want 10", c.Deliveries)
+	}
+}
+
+func TestCountersPerKind(t *testing.T) {
+	r := New(Options{RingSize: 64})
+	defer r.Close()
+	r.Emit(Event{Kind: KindRunStart, Mode: "adpm"})
+	r.Emit(Event{Kind: KindOperation, Op: "synthesis", Problem: "p", Designer: "d1", Evals: 10, Spin: false})
+	r.Emit(Event{Kind: KindOperation, Op: "verification", Problem: "p", Designer: "d1", Evals: 5, Spin: true, NewViolations: 2})
+	r.Emit(Event{Kind: KindOperation, Op: "decomposition", Problem: "p", Designer: "d2", Evals: 1})
+	r.Emit(Event{Kind: KindPropagate, Revisions: 7, Evals: 12, Narrowed: 3, Emptied: 1, Capped: true})
+	r.Emit(Event{Kind: KindWindowRefresh, Jobs: 6, Workers: 2, Evals: 30})
+	r.Emit(Event{Kind: KindNotify, Event: "violation-appeared", Name: "c1", Deliveries: 3})
+	r.Emit(Event{Kind: KindIdle, Designer: "d2", Idle: 1})
+	r.Emit(Event{Kind: KindWake, Designer: "d2"})
+	c := r.Counters()
+	if c.Runs != 1 || c.Operations != 3 || c.SynthesisOps != 1 || c.VerificationOps != 1 || c.DecompositionOps != 1 {
+		t.Errorf("operation counters wrong: %+v", c)
+	}
+	if c.OperationEvals != 16 || c.Spins != 1 || c.NewViolations != 2 {
+		t.Errorf("operation aggregates wrong: evals=%d spins=%d newViol=%d", c.OperationEvals, c.Spins, c.NewViolations)
+	}
+	if c.PropagateRuns != 1 || c.Revisions != 7 || c.PropagateEvals != 12 || c.NarrowedProps != 3 || c.EmptiedProps != 1 || c.CappedRuns != 1 {
+		t.Errorf("propagate counters wrong: %+v", c)
+	}
+	if c.WindowRefreshes != 1 || c.WindowJobs != 6 || c.WindowEvals != 30 {
+		t.Errorf("window counters wrong: %+v", c)
+	}
+	if c.NotifyEvents != 1 || c.Deliveries != 3 {
+		t.Errorf("notify counters wrong: %+v", c)
+	}
+	if c.Idles != 1 || c.Wakes != 1 {
+		t.Errorf("idle/wake counters wrong: %+v", c)
+	}
+	d1 := c.PerDesigner["d1"]
+	if d1 == nil || d1.Operations != 2 || d1.Evals != 15 || d1.Spins != 1 {
+		t.Errorf("per-designer d1 wrong: %+v", d1)
+	}
+	d2 := c.PerDesigner["d2"]
+	if d2 == nil || d2.Operations != 1 || d2.Idles != 1 || d2.Wakes != 1 {
+		t.Errorf("per-designer d2 wrong: %+v", d2)
+	}
+	if s := c.Summary(); !strings.Contains(s, "operations") || !strings.Contains(s, "d1") {
+		t.Errorf("summary missing expected rows:\n%s", s)
+	}
+}
+
+func TestSetEnabledPausesEmission(t *testing.T) {
+	r := New(Options{RingSize: 8})
+	defer r.Close()
+	if !r.Enabled() {
+		t.Fatal("new recorder should be enabled")
+	}
+	if !Active() {
+		t.Fatal("Active() should report the enabled recorder")
+	}
+	r.Emit(Event{Kind: KindNotify, Event: "a", Deliveries: 1})
+	r.SetEnabled(false)
+	r.Emit(Event{Kind: KindNotify, Event: "b", Deliveries: 1})
+	r.SetEnabled(true)
+	r.Emit(Event{Kind: KindNotify, Event: "c", Deliveries: 1})
+	if c := r.Counters(); c.Events != 2 {
+		t.Errorf("paused emission leaked: %d events, want 2", c.Events)
+	}
+	// Idempotent toggles must not skew the process-wide active count.
+	r.SetEnabled(true)
+	r.SetEnabled(true)
+	r.Close()
+	if Active() {
+		t.Error("Active() should be false after Close")
+	}
+}
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() || r.FullDetail() {
+		t.Error("nil recorder must report disabled")
+	}
+	r.Emit(Event{Kind: KindNotify}) // must not panic
+	r.SetEnabled(true)              // must not panic
+	if r.Detail() != DetailOps {
+		t.Error("nil recorder detail should be DetailOps")
+	}
+}
+
+func TestJSONLStreamAndValidate(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(Options{RingSize: 2, W: &buf}) // tiny ring: stream must still see everything
+	r.Emit(Event{Kind: KindRunStart, Scenario: "amplifier", Mode: "adpm", Seed: 3})
+	r.Emit(Event{Kind: KindOperation, Op: "synthesis", Problem: "p1", Designer: "d1", Evals: 4})
+	r.Emit(Event{Kind: KindOperation, Op: "verification", Problem: "p1", Designer: "d1", Evals: 6, Spin: true})
+	r.Emit(Event{Kind: KindNotify, Event: "narrowed", Name: "x", Deliveries: 2})
+	r.Emit(Event{Kind: KindRunEnd, Completed: true, Operations: 2, Evaluations: 10, Spins: 1, Notifications: 2})
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != 5 {
+		t.Fatalf("stream has %d lines, want 5 (ring size must not limit streaming)", n)
+	}
+	st, err := ValidateJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ValidateJSONL: %v", err)
+	}
+	if st.Lines != 5 || st.Operations != 2 || st.Evaluations != 10 || st.Spins != 1 || st.Deliveries != 2 {
+		t.Errorf("stats wrong: %+v", st)
+	}
+	if st.ByKind["operation"] != 2 || st.ByKind["run-end"] != 1 {
+		t.Errorf("by-kind wrong: %v", st.ByKind)
+	}
+}
+
+func TestValidateRejectsBadStreams(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"empty", "", "empty trace"},
+		{"garbage", "not json\n", "invalid character"},
+		{"unknown kind", `{"seq":1,"t_ns":1,"kind":"bogus"}` + "\n", "unknown event kind"},
+		{"seq regression", `{"seq":2,"t_ns":1,"kind":"notify","event":"e"}` + "\n" + `{"seq":1,"t_ns":2,"kind":"notify","event":"e"}` + "\n", "not increasing"},
+		{"missing op kind", `{"seq":1,"t_ns":1,"kind":"operation","problem":"p"}` + "\n", "without op kind"},
+		{"bad reconciliation", `{"seq":1,"t_ns":1,"kind":"operation","op":"synthesis","problem":"p","evals":4}` + "\n" + `{"seq":2,"t_ns":2,"kind":"run-end","operations":1,"evaluations":9}` + "\n", "evaluations 9 != 4"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ValidateJSONL(strings.NewReader(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestKindRoundTrip(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		got, ok := KindFromString(k.String())
+		if !ok || got != k {
+			t.Errorf("KindFromString(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := KindFromString("nope"); ok {
+		t.Error("KindFromString should reject unknown names")
+	}
+}

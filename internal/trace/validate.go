@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ValidateStats summarizes a validated JSONL trace.
+type ValidateStats struct {
+	// Lines is the number of non-empty JSONL lines read.
+	Lines int
+	// ByKind counts events per kind name.
+	ByKind map[string]int
+	// Operations/Evaluations/Spins/Deliveries are the reconciliation
+	// sums recomputed from the stream (operation and notify events).
+	Operations  int
+	Evaluations int64
+	Spins       int
+	Deliveries  int
+	// RunEnd holds the last run-end event, if any.
+	RunEnd *Event
+}
+
+// ValidateJSONL reads a JSONL trace and checks it against the schema:
+// every line must be a valid event with a known kind, sequence numbers
+// must be strictly increasing, timestamps nondecreasing, kind-specific
+// required fields present, and — when a run-end event is present — the
+// summed operation/evaluation/spin/delivery counters must equal the
+// metrics it carries. It returns aggregate stats or the first error.
+func ValidateJSONL(r io.Reader) (*ValidateStats, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	st := &ValidateStats{ByKind: map[string]int{}}
+	var lastSeq uint64
+	var lastT int64
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		st.Lines++
+		st.ByKind[e.Kind.String()]++
+		if e.Seq <= lastSeq {
+			return nil, fmt.Errorf("trace: line %d: seq %d not increasing (previous %d)", line, e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+		if e.TNanos < lastT {
+			return nil, fmt.Errorf("trace: line %d: t_ns %d decreased (previous %d)", line, e.TNanos, lastT)
+		}
+		lastT = e.TNanos
+		if err := checkFields(e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		switch e.Kind {
+		case KindOperation:
+			st.Operations++
+			st.Evaluations += e.Evals
+			if e.Spin {
+				st.Spins++
+			}
+		case KindNotify:
+			st.Deliveries += e.Deliveries
+		case KindRunEnd:
+			ee := e
+			st.RunEnd = &ee
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading input: %w", err)
+	}
+	if st.Lines == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+	if re := st.RunEnd; re != nil {
+		if re.Operations != st.Operations {
+			return nil, fmt.Errorf("trace: run-end operations %d != %d summed operation events", re.Operations, st.Operations)
+		}
+		if re.Evaluations != st.Evaluations {
+			return nil, fmt.Errorf("trace: run-end evaluations %d != %d summed operation evals", re.Evaluations, st.Evaluations)
+		}
+		if re.Spins != st.Spins {
+			return nil, fmt.Errorf("trace: run-end spins %d != %d summed spin flags", re.Spins, st.Spins)
+		}
+		if re.Notifications != st.Deliveries {
+			return nil, fmt.Errorf("trace: run-end notifications %d != %d summed deliveries", re.Notifications, st.Deliveries)
+		}
+	}
+	return st, nil
+}
+
+// checkFields enforces the kind-specific required fields.
+func checkFields(e Event) error {
+	switch e.Kind {
+	case KindRunStart:
+		if e.Mode == "" {
+			return fmt.Errorf("run-start without mode")
+		}
+	case KindRunEnd:
+		// Zero operations is legal (an immediately done scenario); no
+		// required fields beyond the kind itself.
+	case KindOperation:
+		if e.Op == "" {
+			return fmt.Errorf("operation without op kind")
+		}
+		if e.Problem == "" {
+			return fmt.Errorf("operation without problem")
+		}
+	case KindPropagate:
+		if e.Revisions < 0 || e.Evals < 0 {
+			return fmt.Errorf("propagate with negative counters")
+		}
+	case KindRevise:
+		if e.Name == "" {
+			return fmt.Errorf("revise without constraint name")
+		}
+	case KindWindowRefresh:
+		if e.Jobs <= 0 || e.Workers <= 0 {
+			return fmt.Errorf("window-refresh without jobs/workers")
+		}
+	case KindWindow:
+		if e.Name == "" {
+			return fmt.Errorf("window without property name")
+		}
+	case KindNotify:
+		if e.Event == "" {
+			return fmt.Errorf("notify without event kind")
+		}
+	case KindIdle, KindWake:
+		if e.Designer == "" {
+			return fmt.Errorf("%s without designer", e.Kind)
+		}
+	default:
+		return fmt.Errorf("unknown kind %d", e.Kind)
+	}
+	return nil
+}
