@@ -1,0 +1,135 @@
+// Command adpmd serves design sessions over HTTP: a sharded
+// multi-session ADPM host (internal/server) exposing the DPM next-state
+// function as a JSON API.
+//
+// Usage:
+//
+//	adpmd [-addr :8080] [-shards 4] [-mailbox 64] [-maxops 5000]
+//	      [-idle-timeout 0] [-trace prefix] [-pprof :6060]
+//
+// API:
+//
+//	POST   /sessions            {"scenario":"receiver","mode":"ADPM"}  → 201 {id,...}
+//	POST   /sessions/{id}/ops   {"ops":[...]} atomic batch             → 200 deltas
+//	GET    /sessions/{id}/state                                        → 200 snapshot
+//	DELETE /sessions/{id}                                              → 200 summary
+//	GET    /stats, /healthz
+//
+// Backpressure: a full shard mailbox answers 429 with Retry-After; a
+// draining server answers 503. On SIGINT/SIGTERM the process stops
+// intake, finishes every accepted request, retires all sessions, and
+// prints per-shard summaries before exiting.
+//
+// -trace writes one JSONL event stream per shard (<prefix>-shard<i>.jsonl),
+// each ending in an aggregated run-end that reconciles against its
+// operation events (verify with the tracecheck command). -pprof serves
+// pprof and expvar — including the live "adpmd" shard gauges — on the
+// given address.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/teamsim"
+	"repro/internal/trace"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	shards := flag.Int("shards", server.DefaultShards, "session shards (event loops)")
+	mailbox := flag.Int("mailbox", server.DefaultMailboxSize, "per-shard mailbox bound (backpressure past this)")
+	maxOps := flag.Int("maxops", teamsim.DefaultMaxOps, "per-session operation budget ceiling")
+	idleTimeout := flag.Duration("idle-timeout", 0, "evict sessions idle this long (0 disables)")
+	tracePrefix := flag.String("trace", "", "write per-shard JSONL traces to <prefix>-shard<i>.jsonl")
+	pprofAddr := flag.String("pprof", "", "serve pprof/expvar debug endpoints on this address (e.g. :6060)")
+	flag.Parse()
+
+	opts := server.Options{
+		Shards:      *shards,
+		MailboxSize: *mailbox,
+		MaxOps:      *maxOps,
+		IdleTimeout: *idleTimeout,
+	}
+
+	var recs []*trace.Recorder
+	var traceFiles []*os.File
+	if *tracePrefix != "" {
+		base := strings.TrimSuffix(*tracePrefix, ".jsonl")
+		recs = make([]*trace.Recorder, *shards)
+		for i := 0; i < *shards; i++ {
+			f, err := os.Create(fmt.Sprintf("%s-shard%d.jsonl", base, i))
+			fail(err)
+			traceFiles = append(traceFiles, f)
+			recs[i] = trace.New(trace.Options{W: f})
+		}
+		opts.ShardRecorder = func(shard int) *trace.Recorder { return recs[shard] }
+	}
+
+	srv := server.New(opts)
+	srv.PublishDebug()
+
+	if *pprofAddr != "" {
+		errc := trace.ServeDebug(*pprofAddr)
+		select {
+		case err := <-errc:
+			fail(err)
+		default:
+		}
+		fmt.Fprintf(os.Stderr, "adpmd: debug endpoints on http://%s/debug/\n", *pprofAddr)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "adpmd: %d shards serving on %s\n", *shards, *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "adpmd: %v — draining\n", sig)
+	case err := <-httpErr:
+		fail(err)
+	}
+
+	// Stop intake first so every in-flight handler finishes (its shard
+	// task was accepted and will run), then drain the shards.
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "adpmd: shutdown: %v\n", err)
+	}
+	sums := srv.Drain()
+	for _, sum := range sums {
+		fmt.Fprintf(os.Stderr, "adpmd: shard %d: %d sessions, %d ops, %d evals, %d spins, %d notifications, %d evicted\n",
+			sum.Shard, len(sum.Sessions), sum.Totals.Operations, sum.Totals.Evaluations,
+			sum.Totals.Spins, sum.Totals.Notifications, sum.Evictions)
+	}
+	for i, rec := range recs {
+		if err := rec.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "adpmd: trace shard %d: %v\n", i, err)
+		}
+	}
+	for _, f := range traceFiles {
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "adpmd: %v\n", err)
+		}
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adpmd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,114 @@
+package adpm
+
+// Server-replay differential: every golden corpus run, replayed
+// operation-by-operation through adpmd's full handler stack (JSON
+// decode → shard mailbox → batch validate → Session.Apply), must
+// produce bit-for-bit the same metrics as the in-process engine. This
+// pins the serving path to the simulation semantics: wire encoding
+// round-trips values exactly, the server's NM subscriptions match the
+// engine's, and the shard loop adds no bookkeeping of its own.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// replayBatchSize keeps request bodies small without paying one HTTP
+// round-trip per operation.
+const replayBatchSize = 50
+
+func TestDifferentialServerReplay(t *testing.T) {
+	data, err := os.ReadFile("testdata/differential_seed.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var golden []differentialRecord
+	if err := json.Unmarshal(data, &golden); err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range golden {
+		rec := rec
+		name := fmt.Sprintf("%s/%s/seed%d", rec.Scenario, rec.Mode, rec.Seed)
+		t.Run(name, func(t *testing.T) {
+			if rec.Scenario == "receiver" && testing.Short() {
+				t.Skip("receiver differential runs skipped in -short mode")
+			}
+			scn, err := ScenarioByName(rec.Scenario)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mode := ModeConventional
+			if rec.Mode == ModeADPM.String() {
+				mode = ModeADPM
+			}
+			res, err := Run(Config{Scenario: scn, Mode: mode, Seed: rec.Seed, MaxOps: 3000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Operations != rec.Operations {
+				t.Fatalf("engine diverged from golden before replay: %d ops, want %d", res.Operations, rec.Operations)
+			}
+
+			srv := server.New(server.Options{Shards: 1, MaxOps: 3000})
+			defer srv.Drain()
+			h := srv.Handler()
+			createBody := fmt.Sprintf(`{"scenario":%q,"mode":%q,"max_ops":3000}`, rec.Scenario, rec.Mode)
+			rr := httptest.NewRecorder()
+			h.ServeHTTP(rr, httptest.NewRequest("POST", "/sessions", strings.NewReader(createBody)))
+			if rr.Code != http.StatusCreated {
+				t.Fatalf("create: status %d: %s", rr.Code, rr.Body)
+			}
+			var c server.CreateResponse
+			if err := json.Unmarshal(rr.Body.Bytes(), &c); err != nil {
+				t.Fatal(err)
+			}
+
+			history := res.Process.History()
+			for start := 0; start < len(history); start += replayBatchSize {
+				end := start + replayBatchSize
+				if end > len(history) {
+					end = len(history)
+				}
+				var req server.OpsRequest
+				for _, tr := range history[start:end] {
+					req.Ops = append(req.Ops, server.WireFromOperation(tr.Op))
+				}
+				body, err := json.Marshal(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rr := httptest.NewRecorder()
+				h.ServeHTTP(rr, httptest.NewRequest("POST", "/sessions/"+c.ID+"/ops", strings.NewReader(string(body))))
+				if rr.Code != http.StatusOK {
+					t.Fatalf("ops [%d:%d]: status %d: %s", start, end, rr.Code, rr.Body)
+				}
+			}
+
+			rr = httptest.NewRecorder()
+			h.ServeHTTP(rr, httptest.NewRequest("GET", "/sessions/"+c.ID+"/state", nil))
+			if rr.Code != http.StatusOK {
+				t.Fatalf("state: status %d", rr.Code)
+			}
+			var st server.StateResponse
+			if err := json.Unmarshal(rr.Body.Bytes(), &st); err != nil {
+				t.Fatal(err)
+			}
+			if st.Operations != res.Operations || st.Evaluations != res.Evaluations ||
+				st.Spins != res.Spins || st.Notifications != res.Notifications {
+				t.Errorf("server replay metrics diverged from engine:\n server: ops=%d evals=%d spins=%d notifs=%d\n engine: ops=%d evals=%d spins=%d notifs=%d",
+					st.Operations, st.Evaluations, st.Spins, st.Notifications,
+					res.Operations, res.Evaluations, res.Spins, res.Notifications)
+			}
+			if st.Done != res.Completed {
+				t.Errorf("server done=%v, engine completed=%v", st.Done, res.Completed)
+			}
+		})
+	}
+}

@@ -11,12 +11,36 @@ package adpm
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"testing"
 
 	"repro/internal/trace"
 )
+
+// -update-golden regenerates testdata/differential_seed.json from the
+// current implementation. Only valid when the current implementation is
+// already known-good (the existing records must reproduce unchanged);
+// used to grow the corpus, never to paper over a divergence.
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/differential_seed.json from the current engine")
+
+// Corpus shape: 2 scenarios x 2 modes x differentialSeeds seeded runs.
+const differentialSeeds = 16
+
+// differentialConfigs enumerates the corpus run configurations in
+// golden-file order: grouped by (scenario, mode), seeds ascending.
+func differentialConfigs() []differentialRecord {
+	var out []differentialRecord
+	for _, scn := range []string{"simplified", "receiver"} {
+		for _, mode := range []string{"conventional", "ADPM"} {
+			for seed := int64(1); seed <= differentialSeeds; seed++ {
+				out = append(out, differentialRecord{Scenario: scn, Mode: mode, Seed: seed})
+			}
+		}
+	}
+	return out
+}
 
 type differentialRecord struct {
 	Scenario    string `json:"scenario"`
@@ -74,8 +98,28 @@ func differentialRun(t *testing.T, rec differentialRecord) differentialRecord {
 }
 
 // TestDifferentialSeedMetrics replays every golden run and requires
-// exact equality of the paper metrics.
+// exact equality of the paper metrics. With -update-golden it instead
+// rewrites the golden file from the current engine (full corpus; do not
+// combine with -short).
 func TestDifferentialSeedMetrics(t *testing.T) {
+	if *updateGolden {
+		if testing.Short() {
+			t.Fatal("-update-golden needs the full corpus; drop -short")
+		}
+		var out []differentialRecord
+		for _, rec := range differentialConfigs() {
+			out = append(out, differentialRun(t, rec))
+		}
+		data, err := json.MarshalIndent(out, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile("testdata/differential_seed.json", append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d records", len(out))
+		return
+	}
 	data, err := os.ReadFile("testdata/differential_seed.json")
 	if err != nil {
 		t.Fatal(err)
@@ -84,8 +128,8 @@ func TestDifferentialSeedMetrics(t *testing.T) {
 	if err := json.Unmarshal(data, &golden); err != nil {
 		t.Fatal(err)
 	}
-	if len(golden) != 2*2*8 {
-		t.Fatalf("golden file has %d records, want 32 (2 scenarios x 2 modes x 8 seeds)", len(golden))
+	if len(golden) != 2*2*differentialSeeds {
+		t.Fatalf("golden file has %d records, want 64 (2 scenarios x 2 modes x 16 seeds)", len(golden))
 	}
 	for _, rec := range golden {
 		rec := rec

@@ -61,13 +61,24 @@ func (p *Property) Value() (domain.Value, bool) {
 	return *p.bound, true
 }
 
+// CanBind reports whether Bind would accept v, returning exactly the
+// error Bind would. Hosts that validate operation batches before
+// applying them (dpm.DPM.Validate, internal/server) rely on this being
+// the complete precondition of Bind.
+func (p *Property) CanBind(v domain.Value) error {
+	if v.IsString() != (p.Init.Kind() == domain.DiscreteString) {
+		return fmt.Errorf("constraint: binding %s to %s: value kind does not match domain kind %s",
+			p.Name, v, p.Init.Kind())
+	}
+	return nil
+}
+
 // Bind assigns a single value to the property. The value need not lie
 // inside the current feasible subspace (designers may deliberately probe
 // outside it), but it must be type-compatible with the initial domain.
 func (p *Property) Bind(v domain.Value) error {
-	if v.IsString() != (p.Init.Kind() == domain.DiscreteString) {
-		return fmt.Errorf("constraint: binding %s to %s: value kind does not match domain kind %s",
-			p.Name, v, p.Init.Kind())
+	if err := p.CanBind(v); err != nil {
+		return err
 	}
 	p.bound = &v
 	return nil

@@ -1,0 +1,44 @@
+package dpm
+
+import "fmt"
+
+// Validate checks an operation against the current process state and
+// returns the error Apply would return, without mutating anything.
+// After Validate succeeds, Apply's mutation path cannot fail: unknown
+// problems, unknown properties/constraints, value-kind mismatches
+// (Property.CanBind is the complete precondition of Bind), leaf
+// decompositions, and unknown operator kinds are the only error cases
+// in Apply. This is what lets a host apply a validated batch atomically
+// without checkpoint/rollback machinery — a rejected batch has touched
+// nothing.
+func (d *DPM) Validate(op Operation) error {
+	prob := d.problems[op.Problem]
+	if prob == nil {
+		return fmt.Errorf("dpm: operation on unknown problem %q", op.Problem)
+	}
+	switch op.Kind {
+	case OpSynthesis:
+		for _, a := range op.Assignments {
+			p := d.Net.Property(a.Prop)
+			if p == nil {
+				return fmt.Errorf("dpm: assignment to unknown property %q", a.Prop)
+			}
+			if err := p.CanBind(a.Value); err != nil {
+				return err
+			}
+		}
+	case OpVerification:
+		for _, cn := range op.Verify {
+			if d.Net.Constraint(cn) == nil {
+				return fmt.Errorf("dpm: verification of unknown constraint %q", cn)
+			}
+		}
+	case OpDecomposition:
+		if prob.IsLeaf() {
+			return fmt.Errorf("dpm: decomposition of leaf problem %q", op.Problem)
+		}
+	default:
+		return fmt.Errorf("dpm: unknown operation kind %v", op.Kind)
+	}
+	return nil
+}

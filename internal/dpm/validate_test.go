@@ -1,0 +1,89 @@
+package dpm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/domain"
+	"repro/internal/scenario"
+)
+
+// TestValidateMirrorsApply property-checks the contract internal/server
+// relies on for atomic batches: Validate(op) == nil implies Apply(op)
+// succeeds, and Validate's error equals the error Apply returns. Ops
+// are generated over a mix of valid and invalid problems, properties,
+// constraints, kinds, and value types.
+func TestValidateMirrorsApply(t *testing.T) {
+	scn := scenario.Sensor()
+	rng := rand.New(rand.NewSource(7))
+
+	props := []string{"Diaphragm_R", "Amp_gain", "nope", "", "Sensitivity"}
+	problems := []string{"Top", "SensorDesign", "InterfaceDesign", "Ghost", ""}
+	cons := []string{"ResSpec", "GapMin", "missing", ""}
+	kinds := []OpKind{OpSynthesis, OpVerification, OpDecomposition, OpKind(9)}
+
+	for i := 0; i < 400; i++ {
+		// Fresh process per op so a failed Apply never poisons the next
+		// iteration's comparison.
+		d, err := FromScenario(scn, ADPM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		op := Operation{
+			Kind:     kinds[rng.Intn(len(kinds))],
+			Problem:  problems[rng.Intn(len(problems))],
+			Designer: "prop",
+		}
+		switch op.Kind {
+		case OpSynthesis:
+			n := rng.Intn(3)
+			for j := 0; j < n; j++ {
+				v := domain.Real(rng.Float64() * 100)
+				if rng.Intn(4) == 0 {
+					v = domain.Str("oops") // kind mismatch on numeric domains
+				}
+				op.Assignments = append(op.Assignments, Assignment{
+					Prop: props[rng.Intn(len(props))], Value: v,
+				})
+			}
+		case OpVerification:
+			for j := rng.Intn(3); j > 0; j-- {
+				op.Verify = append(op.Verify, cons[rng.Intn(len(cons))])
+			}
+		}
+
+		verr := d.Validate(op)
+		_, aerr := d.Apply(op)
+		switch {
+		case verr == nil && aerr != nil:
+			t.Fatalf("iter %d: Validate accepted %v but Apply failed: %v", i, op, aerr)
+		case verr != nil && aerr == nil:
+			t.Fatalf("iter %d: Validate rejected %v (%v) but Apply succeeded", i, op, verr)
+		case verr != nil && aerr != nil && verr.Error() != aerr.Error():
+			t.Fatalf("iter %d: error mismatch:\n validate: %v\n apply:    %v", i, verr, aerr)
+		}
+	}
+}
+
+// TestValidateDoesNotMutate pins that Validate leaves the process
+// untouched even for valid operations.
+func TestValidateDoesNotMutate(t *testing.T) {
+	d, err := FromScenario(scenario.Simplified(), ADPM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evals := d.Net.EvalCount()
+	stage := d.Stage()
+	op := Operation{Kind: OpSynthesis, Problem: "AmpDesign",
+		Assignments: []Assignment{{Prop: "Width", Value: domain.Real(2)}}}
+	if err := d.Validate(op); err != nil {
+		t.Fatal(err)
+	}
+	if d.Net.EvalCount() != evals || d.Stage() != stage {
+		t.Errorf("Validate mutated the process: evals %d->%d stage %d->%d",
+			evals, d.Net.EvalCount(), stage, d.Stage())
+	}
+	if d.Net.Property("Width").IsBound() {
+		t.Errorf("Validate bound the property")
+	}
+}

@@ -1,0 +1,29 @@
+package server
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	debugServer atomic.Pointer[Server]
+	debugOnce   sync.Once
+)
+
+// PublishDebug exposes this server's live gauges as the expvar variable
+// "adpmd" (visible on /debug/vars alongside the trace package's
+// recorder export). expvar forbids re-publishing a name, so the
+// variable is registered once per process and always reflects the most
+// recently published server.
+func (s *Server) PublishDebug() {
+	debugServer.Store(s)
+	debugOnce.Do(func() {
+		expvar.Publish("adpmd", expvar.Func(func() interface{} {
+			if srv := debugServer.Load(); srv != nil {
+				return srv.Stats()
+			}
+			return nil
+		}))
+	})
+}

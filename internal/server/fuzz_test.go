@@ -1,0 +1,128 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/dpm"
+	"repro/internal/scenario"
+)
+
+// FuzzServerOps throws arbitrary bodies at the op-batch endpoint of a
+// live in-process server and checks the two hard invariants the batch
+// path promises:
+//
+//  1. no panic and no 500 — a 500 would mean a validated operation
+//     failed to apply, i.e. dpm.Validate's error set has a hole and the
+//     "atomic without rollback" argument is broken;
+//  2. any non-200 response leaves the session state byte-identical
+//     (serialized bindings, movement windows, metrics).
+func FuzzServerOps(f *testing.F) {
+	seeds := []string{
+		`{"ops":[{"kind":"synthesis","problem":"AmpDesign","assignments":[{"prop":"Width","value":3}]}]}`,
+		`{"ops":[{"kind":"synthesis","problem":"AmpDesign","assignments":[{"prop":"Width","value":3},{"prop":"Bias","value":19}]}]}`,
+		`{"ops":[{"kind":"verification","problem":"AmpDesign"}]}`,
+		`{"ops":[{"kind":"verification","problem":"Top","verify":["MaxPower"]}]}`,
+		`{"ops":[{"kind":"decomposition","problem":"Top"}]}`,
+		`{"ops":[{"kind":"decomposition","problem":"AmpDesign"}]}`,
+		`{"ops":[]}`,
+		`{"ops":[{"kind":"synthesis","problem":"AmpDesign","assignments":[{"prop":"Width","value":"oops"}]}]}`,
+		`{"ops":[{"kind":"synthesis","problem":"Ghost","assignments":[{"prop":"Width","value":1}]},{"kind":"synthesis","problem":"AmpDesign","assignments":[{"prop":"Ind","value":2}]}]}`,
+		`{"ops":[{"kind":"melt","problem":"Top"}]}`,
+		`{"ops":[{"kind":"synthesis","problem":"AmpDesign","assignments":[{"prop":"Width","value":null}]}]}`,
+		`{"ops":[{"kind":"synthesis","problem":"AmpDesign","assignments":[{"prop":"Width","value":1e308}]},{"kind":"synthesis","problem":"AmpDesign","assignments":[{"prop":"Width","value":-1e308}]}]}`,
+		`not json at all`,
+		`{"ops": 3}`,
+		`{"ops":[{"kind":"synthesis","problem":"AmpDesign"}]} trailing`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		s := New(Options{Shards: 1, MaxOps: 8})
+		defer s.Drain()
+		h := s.Handler()
+		c, err := s.Create(scenario.Simplified(), dpm.ADPM, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := fuzzState(t, h, c.ID)
+
+		rr := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/sessions/"+c.ID+"/ops", bytes.NewReader(body))
+		h.ServeHTTP(rr, req)
+
+		if rr.Code >= 500 {
+			t.Fatalf("op batch answered %d — validated-batch invariant broken: %s\nbody: %q",
+				rr.Code, rr.Body, body)
+		}
+		if rr.Code != http.StatusOK {
+			if after := fuzzState(t, h, c.ID); !bytes.Equal(before, after) {
+				t.Fatalf("rejected batch (status %d) mutated session state\nbody: %q\nbefore: %s\nafter:  %s",
+					rr.Code, body, before, after)
+			}
+		}
+	})
+}
+
+// FuzzCreateSession throws arbitrary bodies at session creation —
+// including arbitrary DDDL source text reaching the parser and network
+// builder — and checks that the server either creates a servable
+// session (201 whose id answers GET state) or rejects cleanly with a
+// 4xx, never panicking or answering 500.
+func FuzzCreateSession(f *testing.F) {
+	seeds := []string{
+		`{"scenario":"simplified"}`,
+		`{"scenario":"receiver","mode":"conventional","max_ops":10}`,
+		`{"scenario":"sensor","mode":"ADPM"}`,
+		`{"scenario":"nope"}`,
+		`{"source":"scenario T\nproperty X continuous [0, 1]\nproblem Top owner a { outputs { X } }"}`,
+		`{"source":"problem {{{"}`,
+		`{"source":"scenario T"}`,
+		`{"mode":"ADPM"}`,
+		`{"scenario":"simplified","source":"x"}`,
+		`{"max_ops":-5,"scenario":"simplified"}`,
+		`[]`,
+		`{"scenario":"simplified"`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		s := New(Options{Shards: 1, MaxOps: 8})
+		defer s.Drain()
+		h := s.Handler()
+
+		rr := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/sessions", bytes.NewReader(body))
+		h.ServeHTTP(rr, req)
+		if rr.Code >= 500 {
+			t.Fatalf("create answered %d: %s\nbody: %q", rr.Code, rr.Body, body)
+		}
+		if rr.Code == http.StatusCreated {
+			var c CreateResponse
+			if err := json.Unmarshal(rr.Body.Bytes(), &c); err != nil {
+				t.Fatalf("201 with unparsable body: %v", err)
+			}
+			st := httptest.NewRecorder()
+			h.ServeHTTP(st, httptest.NewRequest("GET", "/sessions/"+c.ID+"/state", nil))
+			if st.Code != http.StatusOK {
+				t.Fatalf("created session %q does not serve state: %d", c.ID, st.Code)
+			}
+		}
+	})
+}
+
+// fuzzState fetches the serialized session state via the HTTP stack.
+func fuzzState(t *testing.T, h http.Handler, id string) []byte {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/sessions/"+id+"/state", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("state: status %d", rr.Code)
+	}
+	return rr.Body.Bytes()
+}

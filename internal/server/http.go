@@ -1,0 +1,167 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/dddl"
+	"repro/internal/dpm"
+	"repro/internal/scenario"
+)
+
+// maxBodyBytes bounds request bodies; DDDL sources and op batches are
+// small, so anything past this is hostile or broken.
+const maxBodyBytes = 1 << 20
+
+// Handler returns the adpmd HTTP API:
+//
+//	POST   /sessions            create a session from a scenario
+//	POST   /sessions/{id}/ops   apply one atomic op batch
+//	GET    /sessions/{id}/state full design-state snapshot
+//	DELETE /sessions/{id}       retire a session
+//	GET    /stats               live shard gauges
+//	GET    /healthz             liveness (503 while draining)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sessions", s.handleCreate)
+	mux.HandleFunc("POST /sessions/{id}/ops", s.handleOps)
+	mux.HandleFunc("GET /sessions/{id}/state", s.handleState)
+	mux.HandleFunc("DELETE /sessions/{id}", s.handleDelete)
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	var scn *dddl.Scenario
+	var err error
+	switch {
+	case req.Source != "" && req.Scenario != "":
+		writeErr(w, fmt.Errorf("%w: scenario and source are mutually exclusive", ErrInvalid))
+		return
+	case req.Source != "":
+		if scn, err = dddl.ParseString(req.Source); err != nil {
+			writeErr(w, fmt.Errorf("%w: %v", ErrInvalid, err))
+			return
+		}
+	case req.Scenario != "":
+		if scn, err = scenario.ByName(req.Scenario); err != nil {
+			writeErr(w, fmt.Errorf("%w: %v", ErrInvalid, err))
+			return
+		}
+	default:
+		writeErr(w, fmt.Errorf("%w: scenario or source is required", ErrInvalid))
+		return
+	}
+	mode := dpm.ADPM
+	switch req.Mode {
+	case "", "ADPM", "adpm":
+	case "conventional":
+		mode = dpm.Conventional
+	default:
+		writeErr(w, fmt.Errorf("%w: unknown mode %q", ErrInvalid, req.Mode))
+		return
+	}
+	resp, err := s.Create(scn, mode, req.MaxOps)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+func (s *Server) handleOps(w http.ResponseWriter, r *http.Request) {
+	var req OpsRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	ops := make([]dpm.Operation, len(req.Ops))
+	for i, wo := range req.Ops {
+		op, err := wo.toOperation()
+		if err != nil {
+			writeErr(w, fmt.Errorf("op %d: %w", i, err))
+			return
+		}
+		ops[i] = op
+	}
+	resp, err := s.Apply(r.PathValue("id"), ops)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	resp, err := s.State(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	resp, err := s.Delete(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// decodeBody reads one JSON value and rejects trailing garbage.
+func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if dec.More() {
+		return fmt.Errorf("%w: trailing data after JSON body", ErrInvalid)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeErr maps the server error taxonomy onto HTTP statuses.
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrInvalid):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrUnknownSession):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrBudget):
+		status = http.StatusConflict
+	case errors.Is(err, ErrBusy):
+		// Backpressure: the shard mailbox is full. Retryable shortly.
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// do runs one request against the handler and returns the recorder.
+func do(h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	rr := httptest.NewRecorder()
+	var req *http.Request
+	if body == "" {
+		req = httptest.NewRequest(method, path, nil)
+	} else {
+		req = httptest.NewRequest(method, path, strings.NewReader(body))
+	}
+	h.ServeHTTP(rr, req)
+	return rr
+}
+
+func createViaHTTP(t *testing.T, h http.Handler, body string) CreateResponse {
+	t.Helper()
+	rr := do(h, "POST", "/sessions", body)
+	if rr.Code != http.StatusCreated {
+		t.Fatalf("create: status %d: %s", rr.Code, rr.Body)
+	}
+	var c CreateResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &c); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestHTTPLifecycle(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 2})
+	h := s.Handler()
+
+	c := createViaHTTP(t, h, `{"scenario":"simplified","max_ops":50}`)
+	if c.MaxOps != 50 || c.Mode != "ADPM" {
+		t.Errorf("create response %+v, want max_ops 50 mode ADPM", c)
+	}
+
+	rr := do(h, "POST", "/sessions/"+c.ID+"/ops",
+		`{"ops":[{"kind":"synthesis","problem":"AmpDesign","designer":"circuit",
+		  "assignments":[{"prop":"Width","value":3},{"prop":"Bias","value":4}]},
+		 {"kind":"verification","problem":"AmpDesign"}]}`)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("ops: status %d: %s", rr.Code, rr.Body)
+	}
+	var ack ApplyResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Applied != 2 || ack.Remaining != 48 || len(ack.Transitions) != 2 {
+		t.Errorf("ops ack %+v, want 2 applied with 48 remaining", ack)
+	}
+
+	rr = do(h, "GET", "/sessions/"+c.ID+"/state", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("state: status %d", rr.Code)
+	}
+	var st StateResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Operations != 2 || st.ID != c.ID {
+		t.Errorf("state %+v does not reflect the batch", st)
+	}
+
+	if rr = do(h, "GET", "/stats", ""); rr.Code != http.StatusOK {
+		t.Errorf("stats: status %d", rr.Code)
+	}
+	if rr = do(h, "GET", "/healthz", ""); rr.Code != http.StatusOK {
+		t.Errorf("healthz: status %d", rr.Code)
+	}
+
+	rr = do(h, "DELETE", "/sessions/"+c.ID, "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("delete: status %d: %s", rr.Code, rr.Body)
+	}
+	if rr = do(h, "GET", "/sessions/"+c.ID+"/state", ""); rr.Code != http.StatusNotFound {
+		t.Errorf("state after delete: status %d, want 404", rr.Code)
+	}
+}
+
+func TestHTTPCreateFromDDDLSource(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 1})
+	h := s.Handler()
+	body, err := json.Marshal(CreateRequest{Source: scenario.SimplifiedSource, Mode: "conventional"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := createViaHTTP(t, h, string(body))
+	if c.Mode != "conventional" {
+		t.Errorf("mode = %q, want conventional", c.Mode)
+	}
+	if rr := do(h, "GET", "/sessions/"+c.ID+"/state", ""); rr.Code != http.StatusOK {
+		t.Errorf("state on DDDL-sourced session: status %d", rr.Code)
+	}
+}
+
+func TestHTTPErrorStatuses(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 1})
+	h := s.Handler()
+	c := createViaHTTP(t, h, `{"scenario":"simplified","max_ops":1}`)
+
+	cases := []struct {
+		name, method, path, body string
+		want                     int
+	}{
+		{"bad json", "POST", "/sessions", `{`, 400},
+		{"no scenario", "POST", "/sessions", `{}`, 400},
+		{"both scenario and source", "POST", "/sessions", `{"scenario":"simplified","source":"x"}`, 400},
+		{"unknown scenario", "POST", "/sessions", `{"scenario":"nope"}`, 400},
+		{"bad dddl", "POST", "/sessions", `{"source":"problem {{{"}`, 400},
+		{"unknown mode", "POST", "/sessions", `{"scenario":"simplified","mode":"warp"}`, 400},
+		{"trailing garbage", "POST", "/sessions", `{"scenario":"simplified"} extra`, 400},
+		{"unknown id", "POST", "/sessions/zig/ops", `{"ops":[{"kind":"verification","problem":"Top"}]}`, 404},
+		{"unknown id state", "GET", "/sessions/s4-1/state", "", 404},
+		{"unknown id delete", "DELETE", "/sessions/s0-77", "", 404},
+		{"unknown op kind", "POST", "/sessions/" + c.ID + "/ops", `{"ops":[{"kind":"melt","problem":"Top"}]}`, 400},
+		{"bad value type", "POST", "/sessions/" + c.ID + "/ops",
+			`{"ops":[{"kind":"synthesis","problem":"AmpDesign","assignments":[{"prop":"Width","value":[1]}]}]}`, 400},
+		{"empty batch", "POST", "/sessions/" + c.ID + "/ops", `{"ops":[]}`, 400},
+		{"over budget", "POST", "/sessions/" + c.ID + "/ops",
+			`{"ops":[{"kind":"verification","problem":"Top"},{"kind":"verification","problem":"Top"}]}`, 409},
+	}
+	for _, tc := range cases {
+		if rr := do(h, tc.method, tc.path, tc.body); rr.Code != tc.want {
+			t.Errorf("%s: status %d, want %d (body %s)", tc.name, rr.Code, tc.want, rr.Body)
+		}
+	}
+}
+
+func TestHTTPDrainingStatuses(t *testing.T) {
+	s := New(Options{Shards: 1})
+	h := s.Handler()
+	c := createViaHTTP(t, h, `{"scenario":"simplified"}`)
+	s.Drain()
+
+	if rr := do(h, "GET", "/healthz", ""); rr.Code != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining: status %d, want 503", rr.Code)
+	}
+	if rr := do(h, "POST", "/sessions", `{"scenario":"simplified"}`); rr.Code != http.StatusServiceUnavailable {
+		t.Errorf("create while draining: status %d, want 503", rr.Code)
+	}
+	if rr := do(h, "POST", "/sessions/"+c.ID+"/ops",
+		`{"ops":[{"kind":"verification","problem":"Top"}]}`); rr.Code != http.StatusServiceUnavailable {
+		t.Errorf("ops while draining: status %d, want 503", rr.Code)
+	}
+	// Stats still works so operators can watch the drain.
+	if rr := do(h, "GET", "/stats", ""); rr.Code != http.StatusOK {
+		t.Errorf("stats while draining: status %d, want 200", rr.Code)
+	}
+}

@@ -1,0 +1,617 @@
+// Package server hosts many concurrent design sessions behind a
+// sharded event-loop architecture, the serving-side counterpart of the
+// paper's Minerva III DPM server: each shard owns a disjoint set of
+// sessions (one DPM + notification bus + Result per session) and runs
+// them on a single goroutine, so per-session state needs no locking and
+// every operation batch is applied atomically with the same
+// budget-before-δ invariant as the simulation engines (teamsim.Session).
+//
+// Shards communicate through bounded mailboxes: a full mailbox rejects
+// the request with ErrBusy (backpressure, surfaced as HTTP 429) instead
+// of queueing unboundedly. Idle sessions are evicted on a timer; their
+// final metrics are folded into the shard totals, so eviction never
+// loses accounting. Drain stops intake, executes every already-enqueued
+// task (no acknowledged operation is lost), folds live sessions into
+// per-shard summaries, and closes each shard's trace with a run-end
+// event carrying the aggregated totals — a drained shard trace passes
+// trace.ValidateJSONL's reconciliation.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/constraint"
+	"repro/internal/dddl"
+	"repro/internal/dpm"
+	"repro/internal/teamsim"
+	"repro/internal/trace"
+)
+
+// Defaults.
+const (
+	// DefaultShards is the shard count when Options.Shards is 0.
+	DefaultShards = 4
+	// DefaultMailboxSize bounds each shard's pending-task queue.
+	DefaultMailboxSize = 64
+)
+
+// Request-level errors, mapped to HTTP statuses by the handler layer.
+var (
+	// ErrBusy reports a full shard mailbox (backpressure; retryable).
+	ErrBusy = errors.New("server: shard mailbox full")
+	// ErrDraining reports a server that has stopped intake.
+	ErrDraining = errors.New("server: draining")
+	// ErrUnknownSession reports a session id that resolves to nothing.
+	ErrUnknownSession = errors.New("server: unknown session")
+	// ErrBudget reports an op batch larger than the session's remaining
+	// operation budget. Nothing was applied.
+	ErrBudget = errors.New("server: operation budget exceeded")
+	// ErrInvalid reports a malformed or unappliable request. Nothing was
+	// applied.
+	ErrInvalid = errors.New("server: invalid request")
+)
+
+// Options parameterize a Server.
+type Options struct {
+	// Shards is the number of session shards; 0 means DefaultShards.
+	Shards int
+	// MailboxSize bounds each shard's pending requests; 0 means
+	// DefaultMailboxSize. A full mailbox rejects with ErrBusy.
+	MailboxSize int
+	// MaxOps is the per-session operation budget ceiling; 0 means
+	// teamsim.DefaultMaxOps. Session creates may request less, never
+	// more.
+	MaxOps int
+	// IdleTimeout evicts sessions untouched for this long; 0 disables
+	// eviction.
+	IdleTimeout time.Duration
+	// SweepEvery is the eviction sweep period; 0 means IdleTimeout/4.
+	SweepEvery time.Duration
+	// PropOpts tunes ADPM propagation for hosted sessions.
+	PropOpts constraint.PropagateOptions
+	// ShardRecorder, when non-nil, supplies one trace recorder per
+	// shard. The shard emits a run-start per created session, per-op
+	// events via the engine instrumentation, an evict event per
+	// eviction, and one aggregated run-end at drain.
+	ShardRecorder func(shard int) *trace.Recorder
+
+	// nowFn overrides the clock (tests); nil means time.Now.
+	nowFn func() time.Time
+}
+
+// Totals aggregates the reconciliation metrics across sessions.
+type Totals struct {
+	Operations    int   `json:"operations"`
+	Evaluations   int64 `json:"evaluations"`
+	Spins         int   `json:"spins"`
+	Notifications int   `json:"notifications"`
+}
+
+func (t *Totals) add(s SessionSummary) {
+	t.Operations += s.Operations
+	t.Evaluations += s.Evaluations
+	t.Spins += s.Spins
+	t.Notifications += s.Notifications
+}
+
+// SessionSummary is the final accounting of one retired session.
+type SessionSummary struct {
+	ID            string `json:"id"`
+	Scenario      string `json:"scenario"`
+	Mode          string `json:"mode"`
+	Evicted       bool   `json:"evicted,omitempty"`
+	Deleted       bool   `json:"deleted,omitempty"`
+	Completed     bool   `json:"completed,omitempty"`
+	Operations    int    `json:"operations"`
+	Evaluations   int64  `json:"evaluations"`
+	Spins         int    `json:"spins"`
+	Notifications int    `json:"notifications"`
+}
+
+// ShardSummary is one shard's final accounting, returned by Drain.
+type ShardSummary struct {
+	Shard int `json:"shard"`
+	// Sessions lists every session the shard ever retired (deleted,
+	// evicted, or live at drain), in retirement order.
+	Sessions  []SessionSummary `json:"sessions,omitempty"`
+	Totals    Totals           `json:"totals"`
+	Evictions int              `json:"evictions"`
+}
+
+// Server hosts design sessions across shards.
+type Server struct {
+	opts     Options
+	shards   []*shard
+	seq      atomic.Uint64
+	draining atomic.Bool
+
+	drainOnce sync.Once
+	drainRes  []ShardSummary
+}
+
+// hostedSession is one live session owned by a shard.
+type hostedSession struct {
+	id       string
+	scenario string
+	sess     *teamsim.Session
+	lastUsed time.Time
+}
+
+// task is one unit of work executed on a shard's event loop.
+type task struct {
+	fn   func()
+	done chan struct{}
+}
+
+// shard owns a disjoint set of sessions; all access to them happens on
+// the loop goroutine.
+type shard struct {
+	idx  int
+	opts *Options
+	rec  *trace.Recorder
+
+	mu      sync.Mutex
+	closed  bool
+	mailbox chan task
+	quit    chan struct{}
+	done    chan struct{}
+
+	// Loop-goroutine state.
+	sessions       map[string]*hostedSession
+	closedSessions []SessionSummary
+	totals         Totals
+	summary        ShardSummary
+
+	// Gauges, readable from any goroutine (expvar / Stats).
+	nSessions atomic.Int64
+	created   atomic.Uint64
+	evicted   atomic.Uint64
+	deleted   atomic.Uint64
+	rejected  atomic.Uint64
+}
+
+// New starts a server with opts.Shards event loops.
+func New(opts Options) *Server {
+	if opts.Shards <= 0 {
+		opts.Shards = DefaultShards
+	}
+	if opts.MailboxSize <= 0 {
+		opts.MailboxSize = DefaultMailboxSize
+	}
+	if opts.MaxOps <= 0 {
+		opts.MaxOps = teamsim.DefaultMaxOps
+	}
+	if opts.IdleTimeout > 0 && opts.SweepEvery <= 0 {
+		opts.SweepEvery = opts.IdleTimeout / 4
+	}
+	if opts.nowFn == nil {
+		opts.nowFn = time.Now
+	}
+	s := &Server{opts: opts}
+	for i := 0; i < opts.Shards; i++ {
+		var rec *trace.Recorder
+		if opts.ShardRecorder != nil {
+			rec = opts.ShardRecorder(i)
+		}
+		sh := &shard{
+			idx:      i,
+			opts:     &s.opts,
+			rec:      rec,
+			mailbox:  make(chan task, opts.MailboxSize),
+			quit:     make(chan struct{}),
+			done:     make(chan struct{}),
+			sessions: map[string]*hostedSession{},
+		}
+		s.shards = append(s.shards, sh)
+		go sh.loop()
+	}
+	return s
+}
+
+// Shards returns the configured shard count.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// submit runs fn on the shard's event loop and waits for it. The mutex
+// orders submission against drain: once closed is set no new task can
+// enter the mailbox, so the drain sweep that empties the mailbox sees
+// every task whose submit succeeded.
+func (sh *shard) submit(fn func()) error {
+	t := task{fn: fn, done: make(chan struct{})}
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return ErrDraining
+	}
+	select {
+	case sh.mailbox <- t:
+		sh.mu.Unlock()
+	default:
+		sh.mu.Unlock()
+		sh.rejected.Add(1)
+		return ErrBusy
+	}
+	<-t.done
+	return nil
+}
+
+// loop is the shard's event loop: one task at a time, periodic eviction
+// sweeps, and a final drain pass that executes everything still queued
+// before folding live sessions into the summary.
+func (sh *shard) loop() {
+	var sweepC <-chan time.Time
+	if sh.opts.IdleTimeout > 0 {
+		tick := time.NewTicker(sh.opts.SweepEvery)
+		defer tick.Stop()
+		sweepC = tick.C
+	}
+	for {
+		select {
+		case t := <-sh.mailbox:
+			t.fn()
+			close(t.done)
+		case <-sweepC:
+			sh.sweepNow()
+		case <-sh.quit:
+			for {
+				select {
+				case t := <-sh.mailbox:
+					t.fn()
+					close(t.done)
+				default:
+					sh.finalize()
+					close(sh.done)
+					return
+				}
+			}
+		}
+	}
+}
+
+// now returns the shard clock reading.
+func (sh *shard) now() time.Time { return sh.opts.nowFn() }
+
+// retire finalizes a session, folds its metrics into the shard totals,
+// and removes it from the live set. Loop goroutine only.
+func (sh *shard) retire(hs *hostedSession, evicted, deleted bool) SessionSummary {
+	res := hs.sess.Finish()
+	sum := SessionSummary{
+		ID:            hs.id,
+		Scenario:      hs.scenario,
+		Mode:          res.Mode.String(),
+		Evicted:       evicted,
+		Deleted:       deleted,
+		Completed:     res.Completed,
+		Operations:    res.Operations,
+		Evaluations:   res.Evaluations,
+		Spins:         res.Spins,
+		Notifications: res.Notifications,
+	}
+	sh.closedSessions = append(sh.closedSessions, sum)
+	sh.totals.add(sum)
+	delete(sh.sessions, hs.id)
+	sh.nSessions.Store(int64(len(sh.sessions)))
+	return sum
+}
+
+// sweepNow evicts every session idle past the timeout. Loop goroutine
+// only. Returns the number evicted.
+func (sh *shard) sweepNow() int {
+	if sh.opts.IdleTimeout <= 0 {
+		return 0
+	}
+	now := sh.now()
+	var ids []string
+	for id, hs := range sh.sessions {
+		if now.Sub(hs.lastUsed) >= sh.opts.IdleTimeout {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		hs := sh.sessions[id]
+		sum := sh.retire(hs, true, false)
+		sh.evicted.Add(1)
+		if sh.rec.Enabled() {
+			sh.rec.Emit(trace.Event{
+				Kind:          trace.KindEvict,
+				Name:          sum.ID,
+				Scenario:      sum.Scenario,
+				Operations:    sum.Operations,
+				Evaluations:   sum.Evaluations,
+				Spins:         sum.Spins,
+				Notifications: sum.Notifications,
+			})
+		}
+	}
+	return len(ids)
+}
+
+// finalize folds the sessions still live at drain into the summary and
+// closes the shard trace with the aggregated run-end. Loop goroutine
+// only, exactly once.
+func (sh *shard) finalize() {
+	ids := make([]string, 0, len(sh.sessions))
+	for id := range sh.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		sh.retire(sh.sessions[id], false, false)
+	}
+	sh.summary = ShardSummary{
+		Shard:     sh.idx,
+		Sessions:  sh.closedSessions,
+		Totals:    sh.totals,
+		Evictions: int(sh.evicted.Load()),
+	}
+	if sh.rec.Enabled() {
+		// One shard-level run-end carrying the totals of every session
+		// that ever lived here: the stream's summed operation events
+		// reconcile against exactly these numbers (trace.ValidateJSONL).
+		sh.rec.Emit(trace.Event{
+			Kind:          trace.KindRunEnd,
+			Operations:    sh.totals.Operations,
+			Evaluations:   sh.totals.Evaluations,
+			Spins:         sh.totals.Spins,
+			Notifications: sh.totals.Notifications,
+		})
+	}
+}
+
+// shardFor resolves a session id ("s<shard>-<seq>") to its shard.
+func (s *Server) shardFor(id string) (*shard, error) {
+	rest, ok := strings.CutPrefix(id, "s")
+	if !ok {
+		return nil, ErrUnknownSession
+	}
+	idxStr, _, ok := strings.Cut(rest, "-")
+	if !ok {
+		return nil, ErrUnknownSession
+	}
+	idx, err := strconv.Atoi(idxStr)
+	if err != nil || idx < 0 || idx >= len(s.shards) {
+		return nil, ErrUnknownSession
+	}
+	return s.shards[idx], nil
+}
+
+// Create builds a session from the scenario and places it on a shard
+// (round-robin). The expensive construction — network build, initial
+// ADPM propagation — happens on the caller's goroutine; only the map
+// insert runs on the shard loop.
+func (s *Server) Create(scn *dddl.Scenario, mode dpm.Mode, maxOps int) (*CreateResponse, error) {
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	if maxOps <= 0 || maxOps > s.opts.MaxOps {
+		maxOps = s.opts.MaxOps
+	}
+	sess, err := teamsim.NewSession(scn, mode, maxOps, s.opts.PropOpts)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	seq := s.seq.Add(1) - 1
+	sh := s.shards[int(seq%uint64(len(s.shards)))]
+	hs := &hostedSession{
+		id:       fmt.Sprintf("s%d-%d", sh.idx, seq),
+		scenario: scn.Name,
+		sess:     sess,
+	}
+	var resp *CreateResponse
+	err = sh.submit(func() {
+		sess.SetTracer(sh.rec)
+		if sh.rec.Enabled() {
+			sh.rec.Emit(trace.Event{Kind: trace.KindRunStart,
+				Name: hs.id, Scenario: hs.scenario, Mode: mode.String()})
+		}
+		hs.lastUsed = sh.now()
+		sh.sessions[hs.id] = hs
+		sh.nSessions.Store(int64(len(sh.sessions)))
+		sh.created.Add(1)
+		resp = &CreateResponse{
+			ID:         hs.id,
+			Scenario:   hs.scenario,
+			Mode:       mode.String(),
+			MaxOps:     maxOps,
+			Shard:      sh.idx,
+			Stage:      sess.D.Stage(),
+			Violations: sess.D.Net.Violations(),
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Apply executes one operation batch atomically against a session:
+// either every operation in the batch applies (in order) or none does.
+// Atomicity needs no rollback — the whole batch is pre-checked against
+// the remaining budget and every operation is validated with
+// dpm.Validate, whose error set mirrors Apply's exactly, before the
+// first δ runs.
+func (s *Server) Apply(id string, ops []dpm.Operation) (*ApplyResponse, error) {
+	sh, err := s.shardFor(id)
+	if err != nil {
+		return nil, err
+	}
+	var resp *ApplyResponse
+	var aerr error
+	err = sh.submit(func() {
+		hs := sh.sessions[id]
+		if hs == nil {
+			aerr = ErrUnknownSession
+			return
+		}
+		hs.lastUsed = sh.now()
+		if len(ops) == 0 {
+			aerr = fmt.Errorf("%w: empty op batch", ErrInvalid)
+			return
+		}
+		if rem := hs.sess.Remaining(); rem < len(ops) {
+			aerr = fmt.Errorf("%w: batch of %d ops, %d remaining", ErrBudget, len(ops), rem)
+			return
+		}
+		for i := range ops {
+			if verr := hs.sess.D.Validate(ops[i]); verr != nil {
+				aerr = fmt.Errorf("%w: op %d: %v", ErrInvalid, i, verr)
+				return
+			}
+		}
+		resp = &ApplyResponse{ID: id}
+		for i := range ops {
+			tr, err := hs.sess.Apply(ops[i])
+			if err != nil {
+				// Validate mirrors Apply's full error set and the budget
+				// was pre-checked, so this is unreachable; if the
+				// invariant ever breaks (the fuzzers hunt for it), fail
+				// loudly rather than return a half-applied batch as OK.
+				aerr = fmt.Errorf("server: state diverged: validated op %d failed: %v", i, err)
+				resp = nil
+				return
+			}
+			resp.Transitions = append(resp.Transitions, transitionState(tr))
+		}
+		resp.Stage = hs.sess.D.Stage()
+		resp.Applied = len(ops)
+		resp.Remaining = hs.sess.Remaining()
+		resp.Done = hs.sess.D.Done()
+		resp.Violations = hs.sess.D.Net.Violations()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, aerr
+}
+
+// State returns a full snapshot of the session's design state.
+func (s *Server) State(id string) (*StateResponse, error) {
+	sh, err := s.shardFor(id)
+	if err != nil {
+		return nil, err
+	}
+	var resp *StateResponse
+	var serr error
+	err = sh.submit(func() {
+		hs := sh.sessions[id]
+		if hs == nil {
+			serr = ErrUnknownSession
+			return
+		}
+		hs.lastUsed = sh.now()
+		resp = buildState(hs)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, serr
+}
+
+// Delete retires a session and returns its final accounting.
+func (s *Server) Delete(id string) (*SessionSummary, error) {
+	sh, err := s.shardFor(id)
+	if err != nil {
+		return nil, err
+	}
+	var resp *SessionSummary
+	var derr error
+	err = sh.submit(func() {
+		hs := sh.sessions[id]
+		if hs == nil {
+			derr = ErrUnknownSession
+			return
+		}
+		sum := sh.retire(hs, false, true)
+		sh.deleted.Add(1)
+		resp = &sum
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, derr
+}
+
+// Sweep runs an eviction pass on every shard immediately and returns
+// the number of sessions evicted. The periodic sweeper calls the same
+// per-shard logic; this entry point exists for tests and operators.
+func (s *Server) Sweep() int {
+	total := 0
+	for _, sh := range s.shards {
+		n := 0
+		if err := sh.submit(func() { n = sh.sweepNow() }); err == nil {
+			total += n
+		}
+	}
+	return total
+}
+
+// Draining reports whether Drain has been initiated.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain stops intake, waits for every shard to execute its already
+// accepted requests (no acknowledged operation is lost), retires all
+// live sessions, and returns the per-shard summaries. Idempotent;
+// concurrent callers all receive the same summaries.
+func (s *Server) Drain() []ShardSummary {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			if !sh.closed {
+				sh.closed = true
+				close(sh.quit)
+			}
+			sh.mu.Unlock()
+		}
+		out := make([]ShardSummary, len(s.shards))
+		for i, sh := range s.shards {
+			<-sh.done
+			out[i] = sh.summary
+		}
+		s.drainRes = out
+	})
+	return s.drainRes
+}
+
+// ShardStats is one shard's live gauges.
+type ShardStats struct {
+	Shard        int    `json:"shard"`
+	Sessions     int64  `json:"sessions"`
+	MailboxDepth int    `json:"mailbox_depth"`
+	MailboxCap   int    `json:"mailbox_cap"`
+	Created      uint64 `json:"created"`
+	Evicted      uint64 `json:"evicted"`
+	Deleted      uint64 `json:"deleted"`
+	Rejected     uint64 `json:"rejected"`
+}
+
+// Stats is the server-wide gauge snapshot (expvar / GET /stats).
+type Stats struct {
+	Draining bool         `json:"draining"`
+	Shards   []ShardStats `json:"shards"`
+}
+
+// Stats snapshots the live gauges of every shard.
+func (s *Server) Stats() Stats {
+	st := Stats{Draining: s.draining.Load()}
+	for _, sh := range s.shards {
+		st.Shards = append(st.Shards, ShardStats{
+			Shard:        sh.idx,
+			Sessions:     sh.nSessions.Load(),
+			MailboxDepth: len(sh.mailbox),
+			MailboxCap:   cap(sh.mailbox),
+			Created:      sh.created.Load(),
+			Evicted:      sh.evicted.Load(),
+			Deleted:      sh.deleted.Load(),
+			Rejected:     sh.rejected.Load(),
+		})
+	}
+	return st
+}

@@ -1,0 +1,525 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/domain"
+	"repro/internal/dpm"
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+func newTestServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	s := New(opts)
+	t.Cleanup(func() { s.Drain() })
+	return s
+}
+
+func mustCreate(t *testing.T, s *Server, name string, maxOps int) *CreateResponse {
+	t.Helper()
+	scn, err := scenario.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.Create(scn, dpm.ADPM, maxOps)
+	if err != nil {
+		t.Fatalf("create %s: %v", name, err)
+	}
+	return resp
+}
+
+func synth(problem, prop string, v float64) dpm.Operation {
+	return dpm.Operation{
+		Kind:        dpm.OpSynthesis,
+		Problem:     problem,
+		Designer:    "test",
+		Assignments: []dpm.Assignment{{Prop: prop, Value: domain.Real(v)}},
+	}
+}
+
+func stateJSON(t *testing.T, s *Server, id string) []byte {
+	t.Helper()
+	st, err := s.State(id)
+	if err != nil {
+		t.Fatalf("state %s: %v", id, err)
+	}
+	b, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestCreateApplyStateDelete(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 2})
+	c := mustCreate(t, s, "simplified", 0)
+	if c.Shard != 0 || c.ID != "s0-0" {
+		t.Errorf("first session placed at %q shard %d, want s0-0 shard 0", c.ID, c.Shard)
+	}
+	if c.MaxOps != 5000 {
+		t.Errorf("default MaxOps = %d, want teamsim default 5000", c.MaxOps)
+	}
+	c2 := mustCreate(t, s, "simplified", 0)
+	if c2.Shard != 1 {
+		t.Errorf("second session on shard %d, want round-robin shard 1", c2.Shard)
+	}
+
+	resp, err := s.Apply(c.ID, []dpm.Operation{
+		synth("AmpDesign", "Width", 3),
+		synth("AmpDesign", "Ind", 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Applied != 2 || resp.Stage != 2 || len(resp.Transitions) != 2 {
+		t.Fatalf("batch ack = %+v, want 2 applied at stage 2", resp)
+	}
+	if resp.Remaining != 4998 {
+		t.Errorf("remaining = %d, want 4998", resp.Remaining)
+	}
+
+	st, err := s.State(c.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Operations != 2 || st.Stage != 2 || st.Evaluations == 0 {
+		t.Errorf("state metrics %+v do not reflect the applied batch", st)
+	}
+	if len(st.Problems) == 0 || len(st.Properties) == 0 {
+		t.Errorf("state snapshot missing problems/properties")
+	}
+
+	sum, err := s.Delete(c.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Deleted || sum.Operations != 2 {
+		t.Errorf("delete summary %+v, want deleted with 2 ops", sum)
+	}
+	if _, err := s.State(c.ID); !errors.Is(err, ErrUnknownSession) {
+		t.Errorf("state after delete: err %v, want ErrUnknownSession", err)
+	}
+}
+
+func TestUnknownSessionIDs(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 2})
+	for _, id := range []string{"", "nope", "s", "s-1", "sX-2", "s9-0", "s-1-0", "s0-999"} {
+		if _, err := s.State(id); !errors.Is(err, ErrUnknownSession) {
+			t.Errorf("State(%q) err = %v, want ErrUnknownSession", id, err)
+		}
+	}
+}
+
+// TestBatchAtomicity pins the no-rollback atomicity contract: a batch
+// with any invalid operation is rejected as a whole and the serialized
+// session state is byte-identical to before the attempt.
+func TestBatchAtomicity(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 1})
+	c := mustCreate(t, s, "simplified", 0)
+	before := stateJSON(t, s, c.ID)
+
+	batches := [][]dpm.Operation{
+		{synth("AmpDesign", "Width", 3), synth("Ghost", "Width", 1)},
+		{synth("AmpDesign", "Width", 3), synth("AmpDesign", "Nope", 1)},
+		{synth("AmpDesign", "Width", 3), {Kind: dpm.OpKind(9), Problem: "AmpDesign"}},
+		{synth("AmpDesign", "Width", 3), {Kind: dpm.OpDecomposition, Problem: "AmpDesign"}},
+		{synth("AmpDesign", "Width", 3), {Kind: dpm.OpVerification, Problem: "AmpDesign", Verify: []string{"missing"}}},
+		{},
+	}
+	for i, ops := range batches {
+		if _, err := s.Apply(c.ID, ops); !errors.Is(err, ErrInvalid) {
+			t.Fatalf("batch %d: err = %v, want ErrInvalid", i, err)
+		}
+		if after := stateJSON(t, s, c.ID); !bytes.Equal(before, after) {
+			t.Fatalf("batch %d: rejected batch mutated session state:\n before: %s\n after:  %s", i, before, after)
+		}
+	}
+}
+
+// TestBudgetPreCheck pins the whole-batch budget check: a batch larger
+// than the remaining budget is rejected before any of it applies, so a
+// session can never exceed MaxOps.
+func TestBudgetPreCheck(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 1})
+	c := mustCreate(t, s, "simplified", 3)
+	if c.MaxOps != 3 {
+		t.Fatalf("requested MaxOps=3, got %d", c.MaxOps)
+	}
+	if _, err := s.Apply(c.ID, []dpm.Operation{
+		synth("AmpDesign", "Width", 3), synth("AmpDesign", "Ind", 2),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before := stateJSON(t, s, c.ID)
+	if _, err := s.Apply(c.ID, []dpm.Operation{
+		synth("AmpDesign", "Bias", 3), synth("AmpDesign", "Width", 2.5),
+	}); !errors.Is(err, ErrBudget) {
+		t.Fatalf("over-budget batch err = %v, want ErrBudget", err)
+	}
+	if after := stateJSON(t, s, c.ID); !bytes.Equal(before, after) {
+		t.Fatal("rejected over-budget batch mutated session state")
+	}
+	resp, err := s.Apply(c.ID, []dpm.Operation{synth("AmpDesign", "Bias", 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Remaining != 0 {
+		t.Errorf("remaining = %d, want 0", resp.Remaining)
+	}
+	if _, err := s.Apply(c.ID, []dpm.Operation{synth("AmpDesign", "Width", 2)}); !errors.Is(err, ErrBudget) {
+		t.Errorf("exhausted session accepted another op: %v", err)
+	}
+	sum, err := s.Delete(c.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Operations != 3 {
+		t.Errorf("session executed %d ops with MaxOps=3", sum.Operations)
+	}
+}
+
+func TestMaxOpsCeiling(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 1, MaxOps: 10})
+	if c := mustCreate(t, s, "simplified", 500); c.MaxOps != 10 {
+		t.Errorf("requested 500 ops with ceiling 10, got %d", c.MaxOps)
+	}
+	if c := mustCreate(t, s, "simplified", 7); c.MaxOps != 7 {
+		t.Errorf("requested 7 ops under ceiling 10, got %d", c.MaxOps)
+	}
+}
+
+// TestBackpressure fills a 1-slot mailbox while the shard loop is
+// blocked and checks that the next submit is rejected with ErrBusy
+// instead of queueing unboundedly.
+func TestBackpressure(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 1, MailboxSize: 1})
+	sh := s.shards[0]
+
+	block := make(chan struct{})
+	running := make(chan struct{})
+	go sh.submit(func() { close(running); <-block })
+	<-running
+
+	fillerDone := make(chan error, 1)
+	go func() { fillerDone <- sh.submit(func() {}) }()
+	for len(sh.mailbox) == 0 {
+		runtime.Gosched()
+	}
+
+	if err := sh.submit(func() {}); !errors.Is(err, ErrBusy) {
+		t.Errorf("submit with full mailbox: err = %v, want ErrBusy", err)
+	}
+	if got := s.Stats().Shards[0].Rejected; got != 1 {
+		t.Errorf("rejected gauge = %d, want 1", got)
+	}
+
+	close(block)
+	if err := <-fillerDone; err != nil {
+		t.Errorf("queued task rejected after loop unblocked: %v", err)
+	}
+}
+
+// TestEvictedRecreatedSessionSameInitialWindows is the recreation
+// property: evicting a session and creating a new one from the same
+// scenario reaches exactly the same initial state — stage, bindings,
+// movement windows — as the first one started with.
+func TestEvictedRecreatedSessionSameInitialWindows(t *testing.T) {
+	var clock atomic.Int64
+	s := newTestServer(t, Options{
+		Shards:      1,
+		IdleTimeout: time.Minute,
+		SweepEvery:  time.Hour, // manual Sweep only
+		nowFn:       func() time.Time { return time.Unix(0, clock.Load()) },
+	})
+	first := mustCreate(t, s, "receiver", 0)
+	initial := stateJSON(t, s, first.ID)
+	if _, err := s.Apply(first.ID, []dpm.Operation{synth("AnalogFE", "Diff_pair_W", 3)}); err != nil {
+		t.Fatal(err)
+	}
+
+	clock.Store(int64(2 * time.Minute))
+	if n := s.Sweep(); n != 1 {
+		t.Fatalf("sweep evicted %d sessions, want 1", n)
+	}
+	if _, err := s.State(first.ID); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("evicted session still reachable: %v", err)
+	}
+	if got := s.Stats().Shards[0].Evicted; got != 1 {
+		t.Errorf("evicted gauge = %d, want 1", got)
+	}
+
+	second := mustCreate(t, s, "receiver", 0)
+	recreated := stateJSON(t, s, second.ID)
+	norm := func(b []byte, id string) []byte {
+		return bytes.ReplaceAll(b, []byte(`"id":"`+id+`"`), []byte(`"id":"X"`))
+	}
+	if !bytes.Equal(norm(initial, first.ID), norm(recreated, second.ID)) {
+		t.Errorf("recreated session initial state differs from the evicted one's:\n first:  %s\n second: %s",
+			initial, recreated)
+	}
+}
+
+// TestDrainLosesNoAcknowledgedOp drains the server while clients are
+// applying: every operation whose Apply returned success must appear in
+// the drain totals, and nothing applies after the drain began
+// rejecting.
+func TestDrainLosesNoAcknowledgedOp(t *testing.T) {
+	s := New(Options{Shards: 4, MailboxSize: 8, MaxOps: 100000})
+	const workers = 8
+	var acked atomic.Int64
+	var wg sync.WaitGroup
+	ids := make([]string, workers)
+	for w := 0; w < workers; w++ {
+		ids[w] = mustCreate(t, s, "simplified", 0).ID
+	}
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id string, seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			<-start
+			for {
+				resp, err := s.Apply(id, []dpm.Operation{
+					synth("AmpDesign", "Width", 2+rng.Float64()),
+				})
+				switch {
+				case err == nil:
+					acked.Add(int64(resp.Applied))
+				case errors.Is(err, ErrBusy):
+					runtime.Gosched()
+				case errors.Is(err, ErrDraining):
+					return
+				default:
+					t.Errorf("apply: %v", err)
+					return
+				}
+			}
+		}(ids[w], int64(w))
+	}
+	close(start)
+	time.Sleep(20 * time.Millisecond)
+	sums := s.Drain()
+	wg.Wait()
+
+	var total int
+	for _, sum := range sums {
+		total += sum.Totals.Operations
+	}
+	if int64(total) != acked.Load() {
+		t.Errorf("drain totals %d ops != %d acknowledged ops", total, acked.Load())
+	}
+	if _, err := s.Apply(ids[0], []dpm.Operation{synth("AmpDesign", "Width", 2)}); !errors.Is(err, ErrDraining) {
+		t.Errorf("apply after drain: err = %v, want ErrDraining", err)
+	}
+	if _, err := s.Create(scenario.Simplified(), dpm.ADPM, 0); !errors.Is(err, ErrDraining) {
+		t.Errorf("create after drain: err = %v, want ErrDraining", err)
+	}
+	// Idempotent: a second Drain returns the same summaries.
+	if again := s.Drain(); len(again) != len(sums) || again[0].Totals != sums[0].Totals {
+		t.Errorf("second Drain returned different summaries")
+	}
+}
+
+// TestShardTraceReconciles pins the shard trace contract: a stream with
+// several sessions (created, applied, evicted, deleted, live at drain)
+// passes ValidateJSONL — its single run-end carries the aggregated
+// totals of every operation event — and the counters include the
+// eviction.
+func TestShardTraceReconciles(t *testing.T) {
+	var buf bytes.Buffer
+	var clock atomic.Int64
+	var rec *trace.Recorder
+	s := New(Options{
+		Shards:      1,
+		IdleTimeout: time.Minute,
+		SweepEvery:  time.Hour,
+		nowFn:       func() time.Time { return time.Unix(0, clock.Load()) },
+		ShardRecorder: func(int) *trace.Recorder {
+			rec = trace.New(trace.Options{W: &buf})
+			return rec
+		},
+	})
+	a := mustCreate(t, s, "simplified", 0)
+	b := mustCreate(t, s, "simplified", 0)
+	c := mustCreate(t, s, "simplified", 0)
+	for _, id := range []string{a.ID, b.ID, c.ID} {
+		if _, err := s.Apply(id, []dpm.Operation{
+			synth("AmpDesign", "Width", 3), synth("AmpDesign", "Bias", 4),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clock.Store(int64(2 * time.Minute))
+	if _, err := s.State(c.ID); err != nil { // keep c fresh
+		t.Fatal(err)
+	}
+	if n := s.Sweep(); n != 2 {
+		t.Fatalf("sweep evicted %d, want 2 (a and b)", n)
+	}
+	if _, err := s.Delete(c.ID); err != nil {
+		t.Fatal(err)
+	}
+	sums := s.Drain()
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := trace.ValidateJSONL(&buf)
+	if err != nil {
+		t.Fatalf("shard trace failed validation: %v", err)
+	}
+	if st.Operations != 6 || st.Operations != sums[0].Totals.Operations {
+		t.Errorf("trace operations %d, drain totals %d, want 6", st.Operations, sums[0].Totals.Operations)
+	}
+	cs := rec.Counters()
+	if cs.Evictions != 2 || cs.Runs != 3 {
+		t.Errorf("counters evictions=%d runs=%d, want 2 and 3", cs.Evictions, cs.Runs)
+	}
+	if int(cs.Operations) != sums[0].Totals.Operations || cs.OperationEvals != sums[0].Totals.Evaluations ||
+		int(cs.Deliveries) != sums[0].Totals.Notifications {
+		t.Errorf("trace counters %+v do not reconcile with drain totals %+v", cs, sums[0].Totals)
+	}
+	if len(sums[0].Sessions) != 3 {
+		t.Errorf("summary lists %d sessions, want 3", len(sums[0].Sessions))
+	}
+}
+
+// TestServerRaceStress is the race sweep: 8 client goroutines over 4
+// shards continuously create, apply (valid and invalid batches), query,
+// delete, and evict ≥64 sessions; at drain the per-shard trace counters
+// must reconcile exactly with the summaries, and no session may exceed
+// its budget. Run with -race.
+func TestServerRaceStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	const (
+		shards      = 4
+		workers     = 8
+		perWorker   = 8 // sessions created per worker: 64 total
+		maxOps      = 25
+		idleTimeout = 30 * time.Millisecond
+	)
+	recs := make([]*trace.Recorder, shards)
+	bufs := make([]*bytes.Buffer, shards)
+	s := New(Options{
+		Shards:      shards,
+		MailboxSize: 16,
+		MaxOps:      maxOps,
+		IdleTimeout: idleTimeout,
+		SweepEvery:  5 * time.Millisecond,
+		ShardRecorder: func(i int) *trace.Recorder {
+			bufs[i] = &bytes.Buffer{}
+			recs[i] = trace.New(trace.Options{W: bufs[i], RingSize: 128})
+			return recs[i]
+		},
+	})
+
+	var acked atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for n := 0; n < perWorker; n++ {
+				c, err := s.Create(scenario.Simplified(), dpm.ADPM, 0)
+				if err != nil {
+					if errors.Is(err, ErrBusy) {
+						continue
+					}
+					t.Errorf("create: %v", err)
+					return
+				}
+				for i := 0; i < 12; i++ {
+					switch rng.Intn(5) {
+					case 0: // invalid batch: must reject atomically
+						_, err = s.Apply(c.ID, []dpm.Operation{
+							synth("AmpDesign", "Width", 3), synth("Ghost", "Width", 1),
+						})
+						if err == nil {
+							t.Errorf("invalid batch accepted")
+						}
+					case 1:
+						if _, err := s.State(c.ID); err != nil && !errors.Is(err, ErrBusy) &&
+							!errors.Is(err, ErrUnknownSession) {
+							t.Errorf("state: %v", err)
+						}
+					case 2:
+						if rng.Intn(4) == 0 {
+							time.Sleep(idleTimeout + 10*time.Millisecond) // let the sweeper evict
+						}
+					default:
+						resp, err := s.Apply(c.ID, []dpm.Operation{
+							synth("AmpDesign", "Width", 2+rng.Float64()),
+							synth("AmpDesign", "Bias", 2+rng.Float64()),
+						})
+						switch {
+						case err == nil:
+							acked.Add(int64(resp.Applied))
+						case errors.Is(err, ErrBusy), errors.Is(err, ErrBudget),
+							errors.Is(err, ErrUnknownSession):
+						default:
+							t.Errorf("apply: %v", err)
+						}
+					}
+				}
+				if rng.Intn(2) == 0 {
+					if _, err := s.Delete(c.ID); err != nil && !errors.Is(err, ErrBusy) &&
+						!errors.Is(err, ErrUnknownSession) {
+						t.Errorf("delete: %v", err)
+					}
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	sums := s.Drain()
+
+	var total Totals
+	sessions := 0
+	for i, sum := range sums {
+		sessions += len(sum.Sessions)
+		total.Operations += sum.Totals.Operations
+		total.Evaluations += sum.Totals.Evaluations
+		total.Spins += sum.Totals.Spins
+		total.Notifications += sum.Totals.Notifications
+		for _, ss := range sum.Sessions {
+			if ss.Operations > maxOps {
+				t.Errorf("session %s executed %d ops, budget %d overshot", ss.ID, ss.Operations, maxOps)
+			}
+		}
+		if err := recs[i].Close(); err != nil {
+			t.Fatal(err)
+		}
+		st, err := trace.ValidateJSONL(bufs[i])
+		if err != nil {
+			t.Fatalf("shard %d trace failed validation: %v", i, err)
+		}
+		cs := recs[i].Counters()
+		if int(cs.Operations) != sum.Totals.Operations || cs.OperationEvals != sum.Totals.Evaluations ||
+			int(cs.Spins) != sum.Totals.Spins || int(cs.Deliveries) != sum.Totals.Notifications {
+			t.Errorf("shard %d: trace counters (ops=%d evals=%d spins=%d deliv=%d) != drain totals %+v",
+				i, cs.Operations, cs.OperationEvals, cs.Spins, cs.Deliveries, sum.Totals)
+		}
+		if st.Operations != sum.Totals.Operations {
+			t.Errorf("shard %d: JSONL stream has %d operations, summary %d", i, st.Operations, sum.Totals.Operations)
+		}
+	}
+	if int64(total.Operations) != acked.Load() {
+		t.Errorf("drain totals %d ops != %d acknowledged", total.Operations, acked.Load())
+	}
+	if sessions == 0 || total.Operations == 0 {
+		t.Fatalf("stress produced no sessions/ops (sessions=%d ops=%d)", sessions, total.Operations)
+	}
+}

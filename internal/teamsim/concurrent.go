@@ -7,7 +7,6 @@ import (
 	"repro/internal/dcm"
 	"repro/internal/designer"
 	"repro/internal/dpm"
-	"repro/internal/notify"
 	"repro/internal/trace"
 )
 
@@ -45,11 +44,13 @@ func RunConcurrent(cfg Config) (*Result, error) {
 	}
 
 	srv := &server{
-		d:       d,
-		bus:     bus,
+		sess: &Session{
+			D:      d,
+			Bus:    bus,
+			Res:    &Result{Mode: cfg.Mode, Seed: cfg.Seed},
+			MaxOps: maxOps,
+		},
 		rec:     rec,
-		maxOps:  maxOps,
-		res:     &Result{Mode: cfg.Mode, Seed: cfg.Seed},
 		reqs:    make(chan request),
 		done:    make(chan struct{}),
 		exited:  make(chan struct{}),
@@ -68,9 +69,9 @@ func RunConcurrent(cfg Config) (*Result, error) {
 	// client goroutine has exited, so nothing leaks.
 	srv.loop()
 
-	finishResult(srv.res, d)
-	emitRunEnd(rec, srv.res)
-	return srv.res, nil
+	res := srv.sess.Finish()
+	emitRunEnd(rec, res)
+	return res, nil
 }
 
 // request is one client→server message.
@@ -103,13 +104,11 @@ type response struct {
 	stage int
 }
 
-// server owns the DPM; all state transitions happen on its goroutine.
+// server owns the session; all state transitions happen on its
+// goroutine.
 type server struct {
-	d       *dpm.DPM
-	bus     *notify.Bus
+	sess    *Session
 	rec     *trace.Recorder
-	maxOps  int
-	res     *Result
 	reqs    chan request
 	done    chan struct{}
 	exited  chan struct{}
@@ -135,37 +134,35 @@ func (s *server) loop() {
 				req.reply <- response{stop: true}
 				continue
 			}
-			s.bus.Drain(req.id)
-			req.reply <- response{view: dcm.BuildView(s.d, req.id), stage: s.d.Stage()}
+			s.sess.Bus.Drain(req.id)
+			req.reply <- response{view: dcm.BuildView(s.sess.D, req.id), stage: s.sess.D.Stage()}
 		case reqApply:
 			if s.stopped {
 				req.reply <- response{stop: true}
 				continue
 			}
-			// The budget check happens on the server goroutine, before δ
-			// executes, so in-flight apply requests can never push the
-			// operation count past maxOps: the op that would exceed the
-			// budget is rejected, not applied.
-			if s.res.Operations >= s.maxOps {
+			// Session.Apply checks the budget on the server goroutine,
+			// before δ executes, so in-flight apply requests can never
+			// push the operation count past MaxOps: the op that would
+			// exceed the budget is rejected, not applied.
+			tr, err := s.sess.Apply(*req.op)
+			if err == ErrOpBudget {
 				s.stop()
 				req.reply <- response{stop: true}
 				continue
 			}
-			delete(s.idle, req.id)
-			tr, err := s.d.Apply(*req.op)
 			if err != nil {
 				req.reply <- response{err: err}
 				s.stop()
 				continue
 			}
-			recordTransition(s.res, tr)
-			publishTransition(s.bus, s.res, tr)
+			delete(s.idle, req.id)
 			// New information may unblock idle designers.
 			for id, ch := range s.wake {
 				if s.idle[id] {
 					delete(s.idle, id)
 					if s.rec.Enabled() {
-						s.rec.Emit(trace.Event{Kind: trace.KindWake, Stage: s.d.Stage(), Designer: id})
+						s.rec.Emit(trace.Event{Kind: trace.KindWake, Stage: s.sess.D.Stage(), Designer: id})
 					}
 					select {
 					case ch <- struct{}{}:
@@ -173,12 +170,12 @@ func (s *server) loop() {
 					}
 				}
 			}
-			if s.d.Done() || s.res.Operations >= s.maxOps {
+			if s.sess.D.Done() || s.sess.Exhausted() {
 				s.stop()
 			}
 			req.reply <- response{tr: tr, stop: s.stopped}
 		case reqIdle:
-			if req.stage != s.d.Stage() {
+			if req.stage != s.sess.D.Stage() {
 				// The design state moved since this client's view; its
 				// idleness decision is stale.
 				req.reply <- response{stale: true, stop: s.stopped}
@@ -186,12 +183,12 @@ func (s *server) loop() {
 			}
 			s.idle[req.id] = true
 			if s.rec.Enabled() {
-				s.rec.Emit(trace.Event{Kind: trace.KindIdle, Stage: s.d.Stage(),
+				s.rec.Emit(trace.Event{Kind: trace.KindIdle, Stage: s.sess.D.Stage(),
 					Designer: req.id, Idle: len(s.idle)})
 			}
 			if len(s.idle) == s.clients {
 				// Every designer is simultaneously idle: deadlock.
-				s.res.Deadlocked = !s.d.Done()
+				s.sess.Res.Deadlocked = !s.sess.D.Done()
 				s.stop()
 			}
 			req.reply <- response{stop: s.stopped}

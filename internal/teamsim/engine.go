@@ -244,22 +244,11 @@ func buildTeam(cfg Config, d *dpm.DPM, master *rand.Rand) ([]*designer.Designer,
 // subscribeTeam registers every designer on the notification bus with
 // the NM relevance filter derived from their current concern set.
 func subscribeTeam(d *dpm.DPM, team []*designer.Designer) *notify.Bus {
-	bus := notify.NewBus()
-	for _, ds := range team {
-		view := dcm.BuildView(d, ds.ID())
-		props := map[string]bool{}
-		for name := range view.Props {
-			props[name] = true
-		}
-		cons := map[string]bool{}
-		for name := range props {
-			for _, c := range d.Net.ConstraintsOn(name) {
-				cons[c.Name] = true
-			}
-		}
-		bus.Subscribe(ds.ID(), notify.PropertyFilter(props, cons))
+	ids := make([]string, len(team))
+	for i, ds := range team {
+		ids[i] = ds.ID()
 	}
-	return bus
+	return subscribeOwners(d, ids)
 }
 
 func recordTransition(res *Result, tr *dpm.Transition) {

@@ -1,0 +1,139 @@
+package teamsim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/constraint"
+	"repro/internal/dcm"
+	"repro/internal/dddl"
+	"repro/internal/dpm"
+	"repro/internal/notify"
+	"repro/internal/trace"
+)
+
+// ErrOpBudget is returned by Session.Apply when the session's operation
+// budget is exhausted. The operation was not applied: the budget is
+// checked before the next-state function δ runs, so a session can never
+// execute more than MaxOps operations — a post-hoc cap would leave the
+// network narrowed by operations the Result does not count.
+var ErrOpBudget = errors.New("teamsim: operation budget exhausted")
+
+// Session bundles one live design session: the DPM owning the design
+// state, the notification bus with one subscription per problem owner,
+// and the accumulating Result, with the operation budget enforced
+// before every apply.
+//
+// Both the concurrent engine's DPM-server goroutine (RunConcurrent)
+// and internal/server's shard loops execute operations exclusively
+// through Session.Apply, so the budget-check-before-δ invariant lives
+// in exactly one place and cannot regress in only one host.
+//
+// A Session is not safe for concurrent use; hosts serialize access
+// (the concurrent engine on its server goroutine, internal/server on
+// the owning shard's event loop).
+type Session struct {
+	// D is the design process manager holding network, hierarchy, and
+	// history.
+	D *dpm.DPM
+	// Bus is the Notification Manager bus; Apply publishes transition
+	// diff events through it.
+	Bus *notify.Bus
+	// Res accumulates the run statistics across applies.
+	Res *Result
+	// MaxOps is the resolved operation budget (always > 0).
+	MaxOps int
+}
+
+// NewSession builds a standalone session from a scenario: a DPM (with
+// initial propagation in ADPM mode), a bus with the NM relevance filter
+// of every problem owner, and a zero Result. maxOps <= 0 selects
+// DefaultMaxOps — the same resolution Config.maxOps applies for the
+// simulation engines.
+func NewSession(scn *dddl.Scenario, mode dpm.Mode, maxOps int, opts constraint.PropagateOptions) (*Session, error) {
+	if scn == nil {
+		return nil, fmt.Errorf("teamsim: scenario is required")
+	}
+	if maxOps <= 0 {
+		maxOps = DefaultMaxOps
+	}
+	d, err := dpm.FromScenario(scn, mode)
+	if err != nil {
+		return nil, err
+	}
+	d.PropOpts = opts
+	return &Session{
+		D:      d,
+		Bus:    subscribeOwners(d, scn.Owners()),
+		Res:    &Result{Mode: mode},
+		MaxOps: maxOps,
+	}, nil
+}
+
+// SetTracer attaches a trace recorder to the session's DPM and bus;
+// nil detaches both.
+func (s *Session) SetTracer(rec *trace.Recorder) {
+	s.D.SetTracer(rec)
+	s.Bus.SetTracer(rec)
+}
+
+// Apply executes one design operation against the session. The budget
+// check happens before δ executes: the operation that would exceed
+// MaxOps is rejected with ErrOpBudget, not applied. On success the
+// transition is folded into Res and its diff events are published on
+// the bus (deliveries counted in Res.Notifications).
+func (s *Session) Apply(op dpm.Operation) (*dpm.Transition, error) {
+	if s.Res.Operations >= s.MaxOps {
+		return nil, ErrOpBudget
+	}
+	tr, err := s.D.Apply(op)
+	if err != nil {
+		return nil, err
+	}
+	recordTransition(s.Res, tr)
+	publishTransition(s.Bus, s.Res, tr)
+	return tr, nil
+}
+
+// Remaining returns the unused operation budget.
+func (s *Session) Remaining() int {
+	if r := s.MaxOps - s.Res.Operations; r > 0 {
+		return r
+	}
+	return 0
+}
+
+// Exhausted reports whether the operation budget is used up.
+func (s *Session) Exhausted() bool { return s.Res.Operations >= s.MaxOps }
+
+// Finish finalizes and returns the session's Result (termination flag,
+// final property values, process handle). Idempotent.
+func (s *Session) Finish() *Result {
+	finishResult(s.Res, s.D)
+	return s.Res
+}
+
+// subscribeOwners registers one bus subscription per owner id with the
+// NM relevance filter derived from the owner's current concern set: the
+// properties visible in their view and the constraints on them. Both
+// the simulation engines (via subscribeTeam) and standalone sessions
+// subscribe through here, so a replayed operation history produces
+// bit-for-bit the same delivery counts as the simulated run.
+func subscribeOwners(d *dpm.DPM, owners []string) *notify.Bus {
+	bus := notify.NewBus()
+	for _, id := range owners {
+		view := dcm.BuildView(d, id)
+		props := map[string]bool{}
+		for name := range view.Props {
+			props[name] = true
+		}
+		cons := map[string]bool{}
+		for name := range props {
+			for _, c := range d.Net.ConstraintsOn(name) {
+				cons[c.Name] = true
+			}
+		}
+		bus.Subscribe(id, notify.PropertyFilter(props, cons))
+	}
+	return bus
+}

@@ -1,0 +1,122 @@
+package teamsim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/domain"
+	"repro/internal/dpm"
+	"repro/internal/scenario"
+)
+
+func synthOp(problem, prop string, v float64) dpm.Operation {
+	return dpm.Operation{
+		Kind:        dpm.OpSynthesis,
+		Problem:     problem,
+		Designer:    "test",
+		Assignments: []dpm.Assignment{{Prop: prop, Value: domain.Real(v)}},
+	}
+}
+
+// TestSessionApplyBudget pins the shared apply-with-budget invariant:
+// the op that would exceed MaxOps is rejected with ErrOpBudget before δ
+// runs — the stage index and network state do not move. Both the
+// concurrent engine and internal/server apply through this one helper,
+// so the PR 2 budget-overshoot fix cannot regress in only one host.
+func TestSessionApplyBudget(t *testing.T) {
+	sess, err := NewSession(scenario.Simplified(), dpm.ADPM, 2, constraint.PropagateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []dpm.Operation{
+		synthOp("AmpDesign", "Width", 2),
+		synthOp("AmpDesign", "Ind", 1),
+		synthOp("AmpDesign", "Bias", 3),
+	}
+	for i, op := range ops[:2] {
+		if _, err := sess.Apply(op); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	if sess.Remaining() != 0 || !sess.Exhausted() {
+		t.Fatalf("after 2 ops with MaxOps=2: remaining=%d exhausted=%v", sess.Remaining(), sess.Exhausted())
+	}
+	stage := sess.D.Stage()
+	if _, err := sess.Apply(ops[2]); !errors.Is(err, ErrOpBudget) {
+		t.Fatalf("third apply: got err %v, want ErrOpBudget", err)
+	}
+	if sess.D.Stage() != stage {
+		t.Errorf("rejected op moved the stage: %d -> %d", stage, sess.D.Stage())
+	}
+	if sess.Res.Operations != 2 {
+		t.Errorf("Operations = %d, want 2", sess.Res.Operations)
+	}
+	if got, _ := sess.D.Net.Value("Bias"); sess.D.Net.Property("Bias").IsBound() {
+		t.Errorf("rejected op bound Bias=%v", got)
+	}
+}
+
+// TestSessionApplyRecordsAndPublishes verifies that a successful apply
+// folds the transition into the Result and publishes its diff events
+// (deliveries counted in Notifications), matching the engine loop's
+// bookkeeping.
+func TestSessionApplyRecordsAndPublishes(t *testing.T) {
+	sess, err := NewSession(scenario.Simplified(), dpm.ADPM, 0, constraint.PropagateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.MaxOps != DefaultMaxOps {
+		t.Fatalf("maxOps <= 0 resolved to %d, want DefaultMaxOps=%d", sess.MaxOps, DefaultMaxOps)
+	}
+	if _, err := sess.Apply(synthOp("AmpDesign", "Width", 9)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Apply(synthOp("AmpDesign", "Bias", 19)); err != nil {
+		t.Fatal(err)
+	}
+	res := sess.Res
+	if res.Operations != 2 || len(res.EvalsPerOp) != 2 || len(res.OpenViolationsPerOp) != 2 {
+		t.Fatalf("series not recorded: %+v", res)
+	}
+	if res.Evaluations <= 0 {
+		t.Errorf("no evaluations recorded")
+	}
+	// Width=9, Bias=19 pushes Amp_power = 9*19 + 2*9 far over MaxPower:
+	// the violation must have been published to the subscribed owners.
+	if res.Notifications == 0 {
+		t.Errorf("no notification deliveries recorded (violations: %v)", sess.D.Net.Violations())
+	}
+	fin := sess.Finish()
+	if fin.Completed {
+		t.Errorf("incomplete design reported Completed")
+	}
+	if len(fin.FinalValues) == 0 {
+		t.Errorf("Finish did not capture final values")
+	}
+}
+
+// TestSessionSubscribersMatchEngine pins that a standalone session
+// subscribes exactly the scenario owners — the precondition for
+// replayed histories reproducing the engine's delivery counts.
+func TestSessionSubscribersMatchEngine(t *testing.T) {
+	scn := scenario.Receiver()
+	sess, err := NewSession(scn, dpm.ADPM, 0, constraint.PropagateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := sess.Bus.Subscribers()
+	owners := scn.Owners()
+	if len(subs) != len(owners) {
+		t.Fatalf("subscribers %v != owners %v", subs, owners)
+	}
+	want := map[string]bool{}
+	for _, o := range owners {
+		want[o] = true
+	}
+	for _, id := range subs {
+		if !want[id] {
+			t.Errorf("unexpected subscriber %q", id)
+		}
+	}
+}

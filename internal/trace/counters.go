@@ -58,6 +58,9 @@ type Counters struct {
 	Idles int64 `json:"idles"`
 	Wakes int64 `json:"wakes"`
 
+	// Serving aggregates (internal/server shard traces).
+	Evictions int64 `json:"evictions"`
+
 	PerDesigner map[string]*DesignerCounters `json:"per_designer,omitempty"`
 }
 
@@ -130,6 +133,8 @@ func (c *Counters) apply(e Event) {
 		if dc := c.designer(e.Designer); dc != nil {
 			dc.Wakes++
 		}
+	case KindEvict:
+		c.Evictions++
 	}
 }
 
@@ -164,6 +169,9 @@ func (c Counters) Summary() string {
 		c.WindowRefreshes, c.WindowJobs, c.WindowEvals))
 	row("notifications", fmt.Sprintf("%d deliveries over %d events", c.Deliveries, c.NotifyEvents))
 	row("idle/wake", fmt.Sprintf("%d idles, %d wakes", c.Idles, c.Wakes))
+	if c.Evictions > 0 {
+		row("evictions", fmt.Sprintf("%d", c.Evictions))
+	}
 	if ms := float64(c.OperationNanos) / 1e6; ms > 0 {
 		row("time in δ", fmt.Sprintf("%.1fms total (%.3fms per op)", ms, ms/float64(max64(c.Operations, 1))))
 	}

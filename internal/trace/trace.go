@@ -62,12 +62,18 @@ const (
 	KindIdle
 	// KindWake marks an idle designer woken by new information.
 	KindWake
+	// KindEvict marks a hosted session evicted by its shard (idle
+	// timeout): the session id (Name), its scenario, and its final
+	// metrics. Emitted by internal/server; the metrics stay part of the
+	// shard's run-end totals, so eviction never hides work from the
+	// reconciliation.
+	KindEvict
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"run-start", "run-end", "operation", "propagate", "revise",
-	"window-refresh", "window", "notify", "idle", "wake",
+	"window-refresh", "window", "notify", "idle", "wake", "evict",
 }
 
 // String names the kind as it appears in the JSONL stream.

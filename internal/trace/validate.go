@@ -137,6 +137,10 @@ func checkFields(e Event) error {
 		if e.Designer == "" {
 			return fmt.Errorf("%s without designer", e.Kind)
 		}
+	case KindEvict:
+		if e.Name == "" {
+			return fmt.Errorf("evict without session id")
+		}
 	default:
 		return fmt.Errorf("unknown kind %d", e.Kind)
 	}
