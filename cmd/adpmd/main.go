@@ -6,6 +6,8 @@
 //
 //	adpmd [-addr :8080] [-shards 4] [-mailbox 64] [-maxops 5000]
 //	      [-idle-timeout 0] [-trace prefix] [-pprof :6060]
+//	      [-data-dir dir] [-fsync always|interval|never]
+//	      [-sync-every 25ms] [-segment-bytes 4194304]
 //
 // API:
 //
@@ -15,10 +17,19 @@
 //	DELETE /sessions/{id}                                              → 200 summary
 //	GET    /stats, /healthz
 //
-// Backpressure: a full shard mailbox answers 429 with Retry-After; a
-// draining server answers 503. On SIGINT/SIGTERM the process stops
-// intake, finishes every accepted request, retires all sessions, and
-// prints per-shard summaries before exiting.
+// Backpressure: a full shard mailbox answers 429 with a Retry-After
+// derived from how congested it was; a draining server answers 503. On
+// SIGINT/SIGTERM the process stops intake, finishes every accepted
+// request, retires all sessions, and prints per-shard summaries before
+// exiting.
+//
+// -data-dir makes sessions durable: every accepted batch is
+// write-ahead-logged under <dir>/shard-<i>/ before it is acknowledged,
+// idle eviction parks sessions instead of destroying them, and a
+// restarted adpmd recovers every session by deterministic replay —
+// byte-identical GET /state. -fsync picks the durability discipline
+// (always: fsync before each ack; interval: group commit every
+// -sync-every; never: leave it to the OS).
 //
 // -trace writes one JSONL event stream per shard (<prefix>-shard<i>.jsonl),
 // each ending in an aggregated run-end that reconciles against its
@@ -42,6 +53,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/teamsim"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -52,13 +64,23 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 0, "evict sessions idle this long (0 disables)")
 	tracePrefix := flag.String("trace", "", "write per-shard JSONL traces to <prefix>-shard<i>.jsonl")
 	pprofAddr := flag.String("pprof", "", "serve pprof/expvar debug endpoints on this address (e.g. :6060)")
+	dataDir := flag.String("data-dir", "", "write-ahead-log sessions under this directory (durability + crash recovery)")
+	fsyncMode := flag.String("fsync", "always", "WAL durability: always, interval, or never")
+	syncEvery := flag.Duration("sync-every", server.DefaultSyncEvery, "group-commit period under -fsync interval")
+	segmentBytes := flag.Int64("segment-bytes", wal.DefaultSegmentBytes, "rotate (snapshot-compact) WAL segments past this size")
 	flag.Parse()
 
+	policy, err := wal.ParsePolicy(*fsyncMode)
+	fail(err)
 	opts := server.Options{
-		Shards:      *shards,
-		MailboxSize: *mailbox,
-		MaxOps:      *maxOps,
-		IdleTimeout: *idleTimeout,
+		Shards:       *shards,
+		MailboxSize:  *mailbox,
+		MaxOps:       *maxOps,
+		IdleTimeout:  *idleTimeout,
+		DataDir:      *dataDir,
+		Fsync:        policy,
+		SyncEvery:    *syncEvery,
+		SegmentBytes: *segmentBytes,
 	}
 
 	var recs []*trace.Recorder
@@ -75,8 +97,17 @@ func main() {
 		opts.ShardRecorder = func(shard int) *trace.Recorder { return recs[shard] }
 	}
 
-	srv := server.New(opts)
+	srv, err := server.Open(opts)
+	fail(err)
 	srv.PublishDebug()
+	if *dataDir != "" {
+		recovered := 0
+		for _, st := range srv.Stats().Shards {
+			recovered += int(st.Parked)
+		}
+		fmt.Fprintf(os.Stderr, "adpmd: durable under %s (fsync=%s); recovered %d sessions\n",
+			*dataDir, policy, recovered)
+	}
 
 	if *pprofAddr != "" {
 		errc := trace.ServeDebug(*pprofAddr)
@@ -88,7 +119,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "adpmd: debug endpoints on http://%s/debug/\n", *pprofAddr)
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Hardened listener: header/read deadlines (slowloris → 408) and a
+	// global body cap on top of the per-handler MaxBytesReader.
+	hs := server.NewHTTPServer(*addr, srv.Handler())
 	httpErr := make(chan error, 1)
 	go func() { httpErr <- hs.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "adpmd: %d shards serving on %s\n", *shards, *addr)

@@ -1,0 +1,267 @@
+// Package faultfs is the filesystem seam under the write-ahead log: a
+// small fs-style interface covering exactly the operations the WAL
+// needs (append-oriented file writes, fsync, directory listing and
+// sync, whole-file reads), an OS-backed implementation, and a Fault
+// wrapper that injects failures — short writes, fsync errors, failed
+// directory operations — at scripted points so the chaos suite can
+// exercise every storage-error path without touching a real disk's
+// failure modes.
+//
+// The interface is deliberately minimal: the WAL appends, syncs,
+// truncates (torn-tail repair), lists and removes segments, and syncs
+// directories for segment-creation durability. Nothing else is
+// representable, so nothing else can be depended on.
+package faultfs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is a writable log file handle.
+type File interface {
+	// Write appends len(b) bytes; a short write returns n < len(b) and
+	// a non-nil error, leaving a torn tail in the file.
+	Write(b []byte) (int, error)
+	// Sync flushes the file to stable storage.
+	Sync() error
+	// Truncate cuts the file to size bytes (torn-tail repair).
+	Truncate(size int64) error
+	// Close releases the handle.
+	Close() error
+}
+
+// FS is the filesystem surface the WAL writes through.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics for the flags the
+	// WAL uses (O_CREATE|O_WRONLY|O_APPEND, O_WRONLY, O_TRUNC).
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// ReadFile returns the entire contents of name.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists the file names in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	// MkdirAll creates dir and parents.
+	MkdirAll(dir string, perm fs.FileMode) error
+	// Remove deletes name.
+	Remove(name string) error
+	// SyncDir fsyncs the directory itself, making renames and segment
+	// creations durable.
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+// OpenFile opens via os.OpenFile.
+func (OS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// ReadFile reads via os.ReadFile.
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// ReadDir lists file names via os.ReadDir (already sorted).
+func (OS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+// MkdirAll creates via os.MkdirAll.
+func (OS) MkdirAll(dir string, perm fs.FileMode) error { return os.MkdirAll(dir, perm) }
+
+// Remove deletes via os.Remove.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// SyncDir opens the directory and fsyncs it.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// WriteFile writes name atomically enough for small metadata files:
+// create/truncate, write, sync, close.
+func WriteFile(fsys FS, name string, data []byte, perm fs.FileMode) error {
+	f, err := fsys.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Fault wraps an FS and injects failures through optional hooks. Each
+// hook receives a 1-based global operation index of its kind, so tests
+// script "the Nth write short-writes k bytes" or "the Nth sync fails"
+// deterministically. A nil hook means the operation passes through.
+//
+// Fault is not safe for concurrent use across shards — give each shard
+// its own instance (the server uses one FS for all shards, but every
+// chaos test runs a single shard).
+type Fault struct {
+	// Inner is the wrapped filesystem; nil means OS{}.
+	Inner FS
+
+	// OnWrite, when non-nil, is consulted before every file write with
+	// the write index and payload. Returning allow < len(b) makes the
+	// write short: allow bytes reach the file and the returned error
+	// (or ErrInjected if nil) is reported. allow >= len(b) with a nil
+	// error passes the write through.
+	OnWrite func(n int, name string, b []byte) (allow int, err error)
+	// OnSync, when non-nil, is consulted before every file Sync; a
+	// non-nil return suppresses the real sync and is returned.
+	OnSync func(n int, name string) error
+	// OnTruncate, when non-nil, can fail torn-tail repair.
+	OnTruncate func(n int, name string) error
+	// OnDirOp, when non-nil, is consulted before Remove ("remove"),
+	// MkdirAll ("mkdir"), and SyncDir ("syncdir").
+	OnDirOp func(op, name string) error
+
+	writes, syncs, truncs int
+}
+
+// ErrInjected is the default error reported by injected failures.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// inner returns the wrapped FS.
+func (f *Fault) inner() FS {
+	if f.Inner == nil {
+		return OS{}
+	}
+	return f.Inner
+}
+
+// OpenFile wraps the inner file with the injection hooks.
+func (f *Fault) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	inner, err := f.inner().OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, name: name, inner: inner}, nil
+}
+
+// ReadFile passes through.
+func (f *Fault) ReadFile(name string) ([]byte, error) { return f.inner().ReadFile(name) }
+
+// ReadDir passes through, sorted for determinism.
+func (f *Fault) ReadDir(dir string) ([]string, error) {
+	names, err := f.inner().ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// MkdirAll applies OnDirOp then passes through.
+func (f *Fault) MkdirAll(dir string, perm fs.FileMode) error {
+	if f.OnDirOp != nil {
+		if err := f.OnDirOp("mkdir", dir); err != nil {
+			return err
+		}
+	}
+	return f.inner().MkdirAll(dir, perm)
+}
+
+// Remove applies OnDirOp then passes through.
+func (f *Fault) Remove(name string) error {
+	if f.OnDirOp != nil {
+		if err := f.OnDirOp("remove", name); err != nil {
+			return err
+		}
+	}
+	return f.inner().Remove(name)
+}
+
+// SyncDir applies OnDirOp then passes through.
+func (f *Fault) SyncDir(dir string) error {
+	if f.OnDirOp != nil {
+		if err := f.OnDirOp("syncdir", dir); err != nil {
+			return err
+		}
+	}
+	return f.inner().SyncDir(dir)
+}
+
+// faultFile applies the parent Fault's hooks to one file handle.
+type faultFile struct {
+	fs    *Fault
+	name  string
+	inner File
+}
+
+func (ff *faultFile) Write(b []byte) (int, error) {
+	ff.fs.writes++
+	if ff.fs.OnWrite != nil {
+		allow, err := ff.fs.OnWrite(ff.fs.writes, ff.name, b)
+		if allow < len(b) || err != nil {
+			if allow < 0 {
+				allow = 0
+			}
+			if allow > len(b) {
+				allow = len(b)
+			}
+			n := 0
+			if allow > 0 {
+				// The short prefix really lands in the file: that is what
+				// makes the tail torn.
+				var werr error
+				n, werr = ff.inner.Write(b[:allow])
+				if werr != nil {
+					return n, werr
+				}
+			}
+			if err == nil {
+				err = ErrInjected
+			}
+			return n, err
+		}
+	}
+	return ff.inner.Write(b)
+}
+
+func (ff *faultFile) Sync() error {
+	ff.fs.syncs++
+	if ff.fs.OnSync != nil {
+		if err := ff.fs.OnSync(ff.fs.syncs, ff.name); err != nil {
+			return err
+		}
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	ff.fs.truncs++
+	if ff.fs.OnTruncate != nil {
+		if err := ff.fs.OnTruncate(ff.fs.truncs, ff.name); err != nil {
+			return err
+		}
+	}
+	return ff.inner.Truncate(size)
+}
+
+func (ff *faultFile) Close() error { return ff.inner.Close() }

@@ -1,0 +1,88 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestShortWriteLandsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "f")
+	fsys := &Fault{OnWrite: func(n int, _ string, b []byte) (int, error) {
+		if n == 2 {
+			return 3, nil
+		}
+		return len(b), nil
+	}}
+	f, err := fsys.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatalf("write 1 passed through, got %v", err)
+	}
+	n, err := f.Write([]byte("world"))
+	if !errors.Is(err, ErrInjected) || n != 3 {
+		t.Fatalf("short write: n=%d err=%v, want 3/ErrInjected", n, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The torn prefix must really be on disk — that is what recovery has
+	// to cope with.
+	b, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "hellowor" {
+		t.Errorf("file contents %q, want %q", b, "hellowor")
+	}
+}
+
+func TestSyncAndDirOpInjection(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "f")
+	boom := errors.New("boom")
+	fsys := &Fault{
+		OnSync: func(n int, _ string) error { return boom },
+		OnDirOp: func(op, _ string) error {
+			if op == "remove" {
+				return boom
+			}
+			return nil
+		},
+	}
+	f, err := fsys.OpenFile(name, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); !errors.Is(err, boom) {
+		t.Errorf("sync: %v, want injected error", err)
+	}
+	if err := fsys.Remove(name); !errors.Is(err, boom) {
+		t.Errorf("remove: %v, want injected error", err)
+	}
+	if err := fsys.MkdirAll(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Errorf("mkdir (not scripted): %v", err)
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "meta")
+	if err := WriteFile(OS{}, name, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := OS{}.ReadFile(name)
+	if err != nil || string(b) != "x" {
+		t.Fatalf("read back %q, %v", b, err)
+	}
+	// A scripted sync failure must surface instead of silently acking.
+	fsys := &Fault{OnSync: func(int, string) error { return ErrInjected }}
+	if err := WriteFile(fsys, name, []byte("y"), 0o644); !errors.Is(err, ErrInjected) {
+		t.Errorf("WriteFile with failing sync: %v", err)
+	}
+}

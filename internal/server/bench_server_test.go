@@ -1,0 +1,54 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/dpm"
+	"repro/internal/wal"
+)
+
+// BenchmarkApply measures the per-batch cost of the accepted-op path:
+// purely in-memory, and durable under each fsync policy. The deltas
+// against "memory" are the WAL overhead recorded in BENCH_server.json —
+// framing+CRC for never, group commit for interval, one fsync per ack
+// for always.
+func BenchmarkApply(b *testing.B) {
+	cases := []struct {
+		name string
+		opts func(b *testing.B) Options
+	}{
+		{"memory", func(b *testing.B) Options {
+			return Options{Shards: 1, MaxOps: 1 << 30}
+		}},
+		{"wal-never", func(b *testing.B) Options {
+			return Options{Shards: 1, MaxOps: 1 << 30, DataDir: b.TempDir(), Fsync: wal.SyncNever}
+		}},
+		{"wal-interval", func(b *testing.B) Options {
+			return Options{Shards: 1, MaxOps: 1 << 30, DataDir: b.TempDir(), Fsync: wal.SyncInterval}
+		}},
+		{"wal-always", func(b *testing.B) Options {
+			return Options{Shards: 1, MaxOps: 1 << 30, DataDir: b.TempDir(), Fsync: wal.SyncAlways}
+		}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			s, err := Open(tc.opts(b))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Drain()
+			c, err := s.CreateSession(CreateSpec{Name: "simplified", Mode: dpm.ADPM, MaxOps: 1 << 30})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ops := []dpm.Operation{{Kind: dpm.OpVerification, Problem: "AmpDesign", Designer: "bench"}}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Apply(c.ID, ops); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,367 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/dpm"
+	"repro/internal/faultfs"
+	"repro/internal/wal"
+)
+
+// chaosScript drives one durable single-shard server through a fixed
+// sequence of accepted mutations — each appending exactly one WAL
+// record — and captures, after every record, the expected serialized
+// state of every session alive at that point. Element i of the returned
+// snapshots corresponds to a log holding exactly i+1 records.
+type chaosStep struct {
+	// states maps live session id → canonical GET /state JSON after
+	// this record.
+	states map[string][]byte
+}
+
+func runChaosScript(t *testing.T, dir string) []chaosStep {
+	t.Helper()
+	s, err := Open(Options{Shards: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain()
+
+	var steps []chaosStep
+	snap := func(ids ...string) {
+		st := map[string][]byte{}
+		for _, id := range ids {
+			st[id] = stateJSON(t, s, id)
+		}
+		steps = append(steps, chaosStep{states: st})
+	}
+
+	a, err := s.CreateSession(CreateSpec{Name: "simplified", Mode: dpm.ADPM, MaxOps: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap(a.ID)
+	applyKeyed(t, s, a.ID, "k1", []dpm.Operation{synth("AmpDesign", "Width", 3)})
+	snap(a.ID)
+	b, err := s.CreateSession(CreateSpec{Name: "receiver", Mode: dpm.ADPM, MaxOps: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap(a.ID, b.ID)
+	applyKeyed(t, s, b.ID, "k2", []dpm.Operation{synth("AnalogFE", "Diff_pair_W", 3)})
+	snap(a.ID, b.ID)
+	applyKeyed(t, s, a.ID, "", []dpm.Operation{
+		synth("AmpDesign", "Bias", 4),
+		{Kind: dpm.OpVerification, Problem: "AmpDesign", Designer: "test"},
+	})
+	snap(a.ID, b.ID)
+	if _, err := s.Delete(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	snap(a.ID)
+	applyKeyed(t, s, a.ID, "k3", []dpm.Operation{
+		{Kind: dpm.OpVerification, Problem: "AmpDesign", Designer: "test"},
+	})
+	snap(a.ID)
+	return steps
+}
+
+// cloneDataDirTruncated copies a single-shard data dir, cutting the
+// shard's only WAL segment to cut bytes — a simulated crash image.
+func cloneDataDirTruncated(t *testing.T, srcDir string, seg []byte, cut int) string {
+	t.Helper()
+	dst := t.TempDir()
+	meta, err := os.ReadFile(filepath.Join(srcDir, "META.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dst, "META.json"), meta, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	shardD := filepath.Join(dst, "shard-0")
+	if err := os.MkdirAll(shardD, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(shardD, "wal-00000001.seg"), seg[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// TestCrashMatrixEveryRecordBoundary is the acceptance gate for crash
+// recovery: for a crash image cut at EVERY record boundary (and at torn
+// offsets inside every record), a fresh server must recover exactly the
+// prefix of accepted records — each session's state byte-identical to
+// the snapshot taken when that record was acknowledged — and a replayed
+// idempotency-keyed batch must be a no-op ack.
+func TestCrashMatrixEveryRecordBoundary(t *testing.T) {
+	srcDir := t.TempDir()
+	steps := runChaosScript(t, srcDir)
+
+	seg, err := os.ReadFile(filepath.Join(srcDir, "shard-0", "wal-00000001.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, clean := wal.ScanFrames(seg)
+	if !clean {
+		t.Fatal("script left a torn log without a crash")
+	}
+	if len(frames) != len(steps) {
+		t.Fatalf("%d records for %d scripted steps — the 1:1 record/step assumption broke", len(frames), len(steps))
+	}
+
+	// Record boundaries: after k records the expected state is steps[k-1]
+	// (k=0: an empty server).
+	boundary := make([]int, len(frames)+1)
+	for i, fl := range frames {
+		boundary[i+1] = boundary[i] + fl
+	}
+
+	check := func(t *testing.T, cut, records int) {
+		dir := cloneDataDirTruncated(t, srcDir, seg, cut)
+		s, err := Open(Options{Shards: 1, DataDir: dir})
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		defer s.Drain()
+		var want map[string][]byte
+		if records == 0 {
+			want = map[string][]byte{}
+		} else {
+			want = steps[records-1].states
+		}
+		if got := int(s.Stats().Shards[0].Parked); got != len(want) {
+			t.Fatalf("cut %d (%d records): recovered %d sessions, want %d", cut, records, got, len(want))
+		}
+		for id, w := range want {
+			if got := stateJSON(t, s, id); !bytes.Equal(got, w) {
+				t.Errorf("cut %d (%d records): state of %s differs\n want: %s\n got:  %s", cut, records, id, w, got)
+			}
+		}
+		// Exactly-once: the first step's keyed batch replays as a cached
+		// ack whenever that record survived the crash.
+		if records >= 2 {
+			if _, ok := want["s0-0"]; ok {
+				_, replayed, err := s.ApplyKeyed("s0-0", "k1", []dpm.Operation{synth("AmpDesign", "Width", 3)})
+				if err != nil || !replayed {
+					t.Errorf("cut %d: retried keyed batch after crash: replayed=%v err=%v", cut, replayed, err)
+				}
+				if got := stateJSON(t, s, "s0-0"); !bytes.Equal(got, want["s0-0"]) {
+					t.Errorf("cut %d: keyed retry after crash mutated state", cut)
+				}
+			}
+		}
+	}
+
+	for k := 0; k <= len(frames); k++ {
+		k := k
+		t.Run(fmt.Sprintf("boundary-%d", k), func(t *testing.T) { check(t, boundary[k], k) })
+	}
+	// Torn mid-record tails: +1 byte, mid-frame, one short of complete.
+	for k := 0; k < len(frames); k++ {
+		k := k
+		offs := []int{1, frames[k] / 2, frames[k] - 1}
+		for _, d := range offs {
+			d := d
+			if d <= 0 || d >= frames[k] {
+				continue
+			}
+			t.Run(fmt.Sprintf("torn-%d+%d", k, d), func(t *testing.T) { check(t, boundary[k]+d, k) })
+		}
+	}
+}
+
+// TestCrashTornTailBitFlip: a flipped byte inside the final record's
+// payload fails its CRC; recovery must drop exactly that record and
+// keep the intact prefix.
+func TestCrashTornTailBitFlip(t *testing.T) {
+	srcDir := t.TempDir()
+	steps := runChaosScript(t, srcDir)
+	seg, err := os.ReadFile(filepath.Join(srcDir, "shard-0", "wal-00000001.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte(nil), seg...)
+	corrupt[len(seg)-3] ^= 0xFF
+	dir := cloneDataDirTruncated(t, srcDir, corrupt, len(corrupt))
+	s, err := Open(Options{Shards: 1, DataDir: dir})
+	if err != nil {
+		t.Fatalf("open with corrupt final record: %v", err)
+	}
+	defer s.Drain()
+	want := steps[len(steps)-2].states
+	for id, w := range want {
+		if got := stateJSON(t, s, id); !bytes.Equal(got, w) {
+			t.Errorf("after dropping corrupt final record, state of %s differs", id)
+		}
+	}
+}
+
+// TestChaosCrashAfterRotation: crash images taken after a rotation
+// (snapshot-headed segment) must recover identically too.
+func TestChaosCrashAfterRotation(t *testing.T) {
+	srcDir := t.TempDir()
+	s, err := Open(Options{Shards: 1, DataDir: srcDir, SegmentBytes: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.CreateSession(CreateSpec{Name: "simplified", Mode: dpm.ADPM, MaxOps: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		applyKeyed(t, s, c.ID, fmt.Sprintf("k%d", i), []dpm.Operation{
+			{Kind: dpm.OpVerification, Problem: "AmpDesign", Designer: "test"},
+		})
+	}
+	if s.Stats().Shards[0].Rotations == 0 {
+		t.Fatal("no rotation with 600-byte segments")
+	}
+	want := stateJSON(t, s, c.ID)
+	s.Drain()
+
+	// Crash image = the data dir exactly as the dead process left it.
+	s2, err := Open(Options{Shards: 1, DataDir: srcDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Drain()
+	if got := stateJSON(t, s2, c.ID); !bytes.Equal(got, want) {
+		t.Errorf("post-rotation crash recovery differs:\n want: %s\n got:  %s", want, got)
+	}
+	// And the newest keyed batch still replays as a no-op.
+	_, replayed, err := s2.ApplyKeyed(c.ID, "k11", []dpm.Operation{
+		{Kind: dpm.OpVerification, Problem: "AmpDesign", Designer: "test"},
+	})
+	if err != nil || !replayed {
+		t.Errorf("keyed replay after rotation+crash: replayed=%v err=%v", replayed, err)
+	}
+}
+
+// TestChaosShortWriteDuringApply: an injected short write on an ops
+// append must reject the batch (ErrStorage-free path: truncate repair
+// succeeds), leave state untouched, keep serving, and leave a log that
+// recovers cleanly.
+func TestChaosShortWriteDuringApply(t *testing.T) {
+	dir := t.TempDir()
+	var arm atomic.Bool
+	fsys := &faultfs.Fault{OnWrite: func(n int, name string, b []byte) (int, error) {
+		if arm.Load() && strings.HasSuffix(name, ".seg") {
+			arm.Store(false)
+			return len(b) / 3, nil
+		}
+		return len(b), nil
+	}}
+	s, err := Open(Options{Shards: 1, DataDir: dir, FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.CreateSession(CreateSpec{Name: "simplified", Mode: dpm.ADPM, MaxOps: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyKeyed(t, s, c.ID, "", []dpm.Operation{synth("AmpDesign", "Width", 3)})
+	want := stateJSON(t, s, c.ID)
+
+	arm.Store(true)
+	_, _, err = s.ApplyKeyed(c.ID, "torn", []dpm.Operation{synth("AmpDesign", "Bias", 4)})
+	if err == nil {
+		t.Fatal("short-written append was acknowledged")
+	}
+	if got := stateJSON(t, s, c.ID); !bytes.Equal(got, want) {
+		t.Error("rejected (torn) batch mutated state")
+	}
+	if s.Stats().Shards[0].WALBroken {
+		t.Error("repairable short write marked the WAL broken")
+	}
+	// The shard keeps accepting work after the repair...
+	applyKeyed(t, s, c.ID, "", []dpm.Operation{synth("AmpDesign", "Bias", 5)})
+	final := stateJSON(t, s, c.ID)
+	s.Drain()
+	// ...and the repaired log recovers without torn bytes.
+	s2, err := Open(Options{Shards: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Drain()
+	if got := stateJSON(t, s2, c.ID); !bytes.Equal(got, final) {
+		t.Errorf("recovery after repaired short write differs:\n want: %s\n got:  %s", final, got)
+	}
+}
+
+// TestChaosFsyncFailureAtEverySync arms an fsync failure at each sync
+// index in turn. A batch whose fsync failed is rejected (fail-stop),
+// but its record may already be on disk — the classic in-doubt write.
+// The resolution is the idempotency key: after recovery the client
+// retries every keyed batch, each applies exactly once (cached ack if
+// the record survived, fresh apply if not), and the final state must
+// equal an oracle server that simply applied everything once.
+func TestChaosFsyncFailureAtEverySync(t *testing.T) {
+	const batches = 3
+	batch := func(i int) []dpm.Operation {
+		return []dpm.Operation{synth("AmpDesign", "Width", float64(i+2))}
+	}
+	// Oracle: the state when create + every batch applied exactly once.
+	oracle := newTestServer(t, Options{Shards: 1})
+	oc := mustCreate(t, oracle, "simplified", 50)
+	for i := 0; i < batches; i++ {
+		applyKeyed(t, oracle, oc.ID, "", batch(i))
+	}
+	oracleState := stateJSON(t, oracle, oc.ID)
+	canon := func(b []byte, id string) []byte {
+		return bytes.ReplaceAll(b, []byte(`"id":"`+id+`"`), []byte(`"id":"X"`))
+	}
+
+	for failAt := 1; failAt <= 6; failAt++ {
+		failAt := failAt
+		t.Run(fmt.Sprintf("sync-%d", failAt), func(t *testing.T) {
+			dir := t.TempDir()
+			var segSyncs atomic.Int32
+			fsys := &faultfs.Fault{OnSync: func(n int, name string) error {
+				if strings.HasSuffix(name, ".seg") && int(segSyncs.Add(1)) == failAt {
+					return faultfs.ErrInjected
+				}
+				return nil
+			}}
+			s, err := Open(Options{Shards: 1, DataDir: dir, FS: fsys})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := s.CreateSession(CreateSpec{Name: "simplified", Mode: dpm.ADPM, MaxOps: 50})
+			if err != nil {
+				// The create's own fsync failed: the client saw a 503 and
+				// owns the retry; nothing more to assert here.
+				s.Drain()
+				return
+			}
+			for i := 0; i < batches; i++ {
+				s.ApplyKeyed(c.ID, fmt.Sprintf("k%d", i), batch(i))
+			}
+			s.Drain()
+
+			// Recovery on the same (healthy) dir, then the client's retry
+			// loop: every keyed batch re-sent.
+			s2, err := Open(Options{Shards: 1, DataDir: dir})
+			if err != nil {
+				t.Fatalf("recovery open: %v", err)
+			}
+			defer s2.Drain()
+			for i := 0; i < batches; i++ {
+				if _, _, err := s2.ApplyKeyed(c.ID, fmt.Sprintf("k%d", i), batch(i)); err != nil {
+					t.Fatalf("retrying batch %d after recovery: %v", i, err)
+				}
+			}
+			got := stateJSON(t, s2, c.ID)
+			if !bytes.Equal(canon(got, c.ID), canon(oracleState, oc.ID)) {
+				t.Errorf("after recovery + keyed retries state is not exactly-once:\n want: %s\n got:  %s",
+					oracleState, got)
+			}
+		})
+	}
+}

@@ -1,0 +1,442 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dpm"
+	"repro/internal/faultfs"
+	"repro/internal/trace"
+)
+
+func newDurableServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	if opts.DataDir == "" {
+		opts.DataDir = t.TempDir()
+	}
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatalf("open durable server: %v", err)
+	}
+	t.Cleanup(func() { s.Drain() })
+	return s
+}
+
+// reopen drains a durable server and opens a fresh one on the same data
+// dir — the crash-free restart.
+func reopen(t *testing.T, s *Server, opts Options) *Server {
+	t.Helper()
+	s.Drain()
+	opts.DataDir = s.opts.DataDir
+	return newDurableServer(t, opts)
+}
+
+func applyKeyed(t *testing.T, s *Server, id, key string, ops []dpm.Operation) *ApplyResponse {
+	t.Helper()
+	resp, replayed, err := s.ApplyKeyed(id, key, ops)
+	if err != nil {
+		t.Fatalf("apply %s key %q: %v", id, key, err)
+	}
+	if replayed {
+		t.Fatalf("fresh key %q reported replayed", key)
+	}
+	return resp
+}
+
+// TestRestartRecoversByteIdenticalState is the tentpole acceptance
+// check at the API layer: after a drain and reopen on the same data
+// dir, every session's serialized state is byte-identical to the
+// pre-restart snapshot, and new creates do not collide with recovered
+// ids.
+func TestRestartRecoversByteIdenticalState(t *testing.T) {
+	opts := Options{Shards: 2}
+	s := newDurableServer(t, opts)
+
+	byName, err := s.CreateSession(CreateSpec{Name: "simplified", Mode: dpm.ADPM, MaxOps: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `scenario tiny
+object O owner d {
+    property x real [0, 10]
+}
+constraint c1: x >= 1
+problem P owner d {
+    outputs { x }
+    constraints { c1 }
+}
+`
+	bySource, err := s.CreateSession(CreateSpec{Source: src, Mode: dpm.ADPM, MaxOps: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyKeyed(t, s, byName.ID, "k1", []dpm.Operation{
+		synth("AmpDesign", "Width", 3),
+		{Kind: dpm.OpVerification, Problem: "AmpDesign", Designer: "test"},
+	})
+	applyKeyed(t, s, byName.ID, "", []dpm.Operation{synth("AmpDesign", "Bias", 4)})
+	applyKeyed(t, s, bySource.ID, "k2", []dpm.Operation{synth("P", "x", 2)})
+
+	want := map[string][]byte{
+		byName.ID:   stateJSON(t, s, byName.ID),
+		bySource.ID: stateJSON(t, s, bySource.ID),
+	}
+
+	s2 := reopen(t, s, opts)
+	for id, w := range want {
+		if got := stateJSON(t, s2, id); !bytes.Equal(got, w) {
+			t.Errorf("recovered state of %s differs:\n pre:  %s\n post: %s", id, w, got)
+		}
+	}
+	// Sequence restoration: a post-restart create must mint a fresh id.
+	fresh, err := s2.CreateSession(CreateSpec{Name: "simplified", Mode: dpm.ADPM, MaxOps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, dup := want[fresh.ID]; dup {
+		t.Fatalf("post-restart create reused recovered id %s", fresh.ID)
+	}
+
+	// A third generation still agrees — recovery is idempotent.
+	s3 := reopen(t, s2, opts)
+	for id, w := range want {
+		if got := stateJSON(t, s3, id); !bytes.Equal(got, w) {
+			t.Errorf("second recovery of %s diverged", id)
+		}
+	}
+}
+
+// TestParkRestoreTransparent: on a durable server idle eviction parks
+// the session; the next touch restores it with identical state instead
+// of 404ing (the non-durable behavior).
+func TestParkRestoreTransparent(t *testing.T) {
+	var clock atomic.Int64
+	opts := Options{
+		Shards:      1,
+		IdleTimeout: time.Minute,
+		SweepEvery:  time.Hour,
+		nowFn:       func() time.Time { return time.Unix(0, clock.Load()) },
+	}
+	s := newDurableServer(t, opts)
+	c, err := s.CreateSession(CreateSpec{Name: "receiver", Mode: dpm.ADPM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyKeyed(t, s, c.ID, "k", []dpm.Operation{synth("AnalogFE", "Diff_pair_W", 3)})
+	want := stateJSON(t, s, c.ID)
+
+	clock.Store(int64(2 * time.Minute))
+	if n := s.Sweep(); n != 1 {
+		t.Fatalf("sweep evicted %d, want 1", n)
+	}
+	st := s.Stats().Shards[0]
+	if st.Parked != 1 || st.Sessions != 0 || st.Evicted != 1 {
+		t.Fatalf("post-park gauges %+v, want 1 parked / 0 live", st)
+	}
+
+	if got := stateJSON(t, s, c.ID); !bytes.Equal(got, want) {
+		t.Errorf("restored state differs:\n pre:  %s\n post: %s", want, got)
+	}
+	st = s.Stats().Shards[0]
+	if st.Parked != 0 || st.Sessions != 1 || st.Restored != 1 {
+		t.Errorf("post-restore gauges %+v, want 1 live / 1 restored", st)
+	}
+	// The restored session keeps working.
+	applyKeyed(t, s, c.ID, "", []dpm.Operation{
+		{Kind: dpm.OpVerification, Problem: "AnalogFE", Designer: "test"},
+	})
+}
+
+// TestIdempotentApply: a keyed batch applies exactly once — retries get
+// the cached acknowledgement, including after park/restore and after a
+// full restart (the key rides in the WAL).
+func TestIdempotentApply(t *testing.T) {
+	opts := Options{Shards: 1}
+	s := newDurableServer(t, opts)
+	c, err := s.CreateSession(CreateSpec{Name: "simplified", Mode: dpm.ADPM, MaxOps: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []dpm.Operation{synth("AmpDesign", "Width", 3)}
+	first := applyKeyed(t, s, c.ID, "once", batch)
+	firstJSON, _ := json.Marshal(first)
+	want := stateJSON(t, s, c.ID)
+
+	retry, replayed, err := s.ApplyKeyed(c.ID, "once", batch)
+	if err != nil || !replayed {
+		t.Fatalf("retry: replayed=%v err=%v, want replayed ack", replayed, err)
+	}
+	retryJSON, _ := json.Marshal(retry)
+	if !bytes.Equal(firstJSON, retryJSON) {
+		t.Errorf("replayed ack differs:\n first: %s\n retry: %s", firstJSON, retryJSON)
+	}
+	if got := stateJSON(t, s, c.ID); !bytes.Equal(got, want) {
+		t.Errorf("retried key mutated state")
+	}
+
+	s2 := reopen(t, s, opts)
+	retry2, replayed, err := s2.ApplyKeyed(c.ID, "once", batch)
+	if err != nil || !replayed {
+		t.Fatalf("post-restart retry: replayed=%v err=%v", replayed, err)
+	}
+	retry2JSON, _ := json.Marshal(retry2)
+	if !bytes.Equal(firstJSON, retry2JSON) {
+		t.Errorf("post-restart replayed ack differs:\n first: %s\n retry: %s", firstJSON, retry2JSON)
+	}
+	if got := stateJSON(t, s2, c.ID); !bytes.Equal(got, want) {
+		t.Errorf("post-restart retried key mutated state")
+	}
+}
+
+// TestDeleteDurable: deletes are logged, so a deleted session stays
+// deleted across restart, and deleting a parked session works without
+// restoring it.
+func TestDeleteDurable(t *testing.T) {
+	var clock atomic.Int64
+	opts := Options{
+		Shards:      1,
+		IdleTimeout: time.Minute,
+		SweepEvery:  time.Hour,
+		nowFn:       func() time.Time { return time.Unix(0, clock.Load()) },
+	}
+	s := newDurableServer(t, opts)
+	live, err := s.CreateSession(CreateSpec{Name: "simplified", Mode: dpm.ADPM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parked, err := s.CreateSession(CreateSpec{Name: "simplified", Mode: dpm.ADPM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyKeyed(t, s, parked.ID, "", []dpm.Operation{synth("AmpDesign", "Width", 3)})
+
+	clock.Store(int64(2 * time.Minute))
+	if n := s.Sweep(); n != 2 {
+		t.Fatalf("sweep evicted %d, want 2", n)
+	}
+	// Touch one back to live; delete both (one live, one parked).
+	if _, err := s.State(live.ID); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := s.Delete(parked.ID)
+	if err != nil {
+		t.Fatalf("delete parked: %v", err)
+	}
+	if !sum.Deleted || sum.Operations != 1 {
+		t.Errorf("parked delete summary %+v, want Deleted with its 1 op accounted", sum)
+	}
+	if _, err := s.Delete(live.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := reopen(t, s, opts)
+	for _, id := range []string{live.ID, parked.ID} {
+		if _, err := s2.State(id); !errors.Is(err, ErrUnknownSession) {
+			t.Errorf("deleted session %s resurrected after restart: %v", id, err)
+		}
+	}
+}
+
+// TestRotationCompacts: with a tiny segment threshold the shard
+// rotates, old segments disappear, and recovery from the
+// snapshot-headed segment is still byte-identical.
+func TestRotationCompacts(t *testing.T) {
+	opts := Options{Shards: 1, SegmentBytes: 512}
+	s := newDurableServer(t, opts)
+	c, err := s.CreateSession(CreateSpec{Name: "simplified", Mode: dpm.ADPM, MaxOps: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		applyKeyed(t, s, c.ID, "", []dpm.Operation{
+			{Kind: dpm.OpVerification, Problem: "AmpDesign", Designer: "test"},
+		})
+	}
+	if rot := s.Stats().Shards[0].Rotations; rot == 0 {
+		t.Fatal("no rotation despite 512-byte segments")
+	}
+	want := stateJSON(t, s, c.ID)
+	s2 := reopen(t, s, opts)
+	if got := stateJSON(t, s2, c.ID); !bytes.Equal(got, want) {
+		t.Errorf("post-rotation recovery differs:\n pre:  %s\n post: %s", want, got)
+	}
+}
+
+// TestRotationDoublingGuard: once a session's history outgrows the
+// segment limit, every snapshot is itself over-limit — naive
+// size-triggered rotation would then rewrite the full state on every
+// append (O(history²) I/O). The doubling rule must keep rotations
+// logarithmic-ish, not per-append, while recovery stays exact.
+func TestRotationDoublingGuard(t *testing.T) {
+	opts := Options{Shards: 1, SegmentBytes: 256, MaxOps: 1 << 20}
+	s := newDurableServer(t, opts)
+	c, err := s.CreateSession(CreateSpec{Name: "simplified", Mode: dpm.ADPM, MaxOps: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batches = 60
+	for i := 0; i < batches; i++ {
+		applyKeyed(t, s, c.ID, "", []dpm.Operation{
+			{Kind: dpm.OpVerification, Problem: "AmpDesign", Designer: "test"},
+		})
+	}
+	rot := s.Stats().Shards[0].Rotations
+	if rot == 0 {
+		t.Fatal("no rotation despite 256-byte segments")
+	}
+	if rot > batches/3 {
+		t.Errorf("%d rotations for %d batches — rotation storm, the doubling guard is not holding", rot, batches)
+	}
+	want := stateJSON(t, s, c.ID)
+	s2 := reopen(t, s, opts)
+	if got := stateJSON(t, s2, c.ID); !bytes.Equal(got, want) {
+		t.Errorf("recovery under over-limit snapshots differs:\n pre:  %s\n post: %s", want, got)
+	}
+}
+
+// TestMetaShardMismatch: reopening a data dir with a different shard
+// count must fail loudly instead of misrouting recovered ids.
+func TestMetaShardMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Shards: 2, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Drain()
+	if _, err := Open(Options{Shards: 4, DataDir: dir}); !errors.Is(err, ErrStorage) {
+		t.Fatalf("shard-count mismatch: %v, want ErrStorage", err)
+	}
+}
+
+// TestStorageFailureRejectsWithoutGhostState: when the WAL cannot log a
+// batch the request must fail with ErrStorage and the session state
+// must be untouched — no ghost applies that recovery would not see.
+func TestStorageFailureRejectsWithoutGhostState(t *testing.T) {
+	var failSyncs atomic.Bool
+	fsys := &faultfs.Fault{OnSync: func(n int, name string) error {
+		if failSyncs.Load() && strings.HasSuffix(name, ".seg") {
+			return faultfs.ErrInjected
+		}
+		return nil
+	}}
+	opts := Options{Shards: 1, FS: fsys}
+	s := newDurableServer(t, opts)
+	c, err := s.CreateSession(CreateSpec{Name: "simplified", Mode: dpm.ADPM, MaxOps: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyKeyed(t, s, c.ID, "", []dpm.Operation{synth("AmpDesign", "Width", 3)})
+	want := stateJSON(t, s, c.ID)
+
+	failSyncs.Store(true)
+	_, _, err = s.ApplyKeyed(c.ID, "doomed", []dpm.Operation{synth("AmpDesign", "Bias", 4)})
+	if !errors.Is(err, ErrStorage) {
+		t.Fatalf("apply with broken fsync: %v, want ErrStorage", err)
+	}
+	if got := stateJSON(t, s, c.ID); !bytes.Equal(got, want) {
+		t.Errorf("failed append still mutated state:\n pre:  %s\n post: %s", want, got)
+	}
+	if !s.Stats().Shards[0].WALBroken {
+		t.Error("WALBroken gauge not set after fsync failure")
+	}
+	// Fail-stop: later writes keep failing fast (fsyncgate discipline).
+	_, _, err = s.ApplyKeyed(c.ID, "", []dpm.Operation{synth("AmpDesign", "Bias", 4)})
+	if !errors.Is(err, ErrStorage) {
+		t.Fatalf("apply on broken log: %v, want ErrStorage", err)
+	}
+	// Reads still serve.
+	if _, err := s.State(c.ID); err != nil {
+		t.Errorf("read on broken-log shard failed: %v", err)
+	}
+}
+
+// TestDurableTraceReconciles: a durable shard's trace — including
+// recover, wal-append, evict(park), and restore events — still ends in
+// a run-end that reconciles, across park/restore and a restart.
+func TestDurableTraceReconciles(t *testing.T) {
+	var clock atomic.Int64
+	dir := t.TempDir()
+	run := func(buf *bytes.Buffer, firstGen bool) {
+		rec := trace.New(trace.Options{W: buf})
+		opts := Options{
+			Shards:        1,
+			DataDir:       dir,
+			IdleTimeout:   time.Minute,
+			SweepEvery:    time.Hour,
+			nowFn:         func() time.Time { return time.Unix(0, clock.Load()) },
+			ShardRecorder: func(int) *trace.Recorder { return rec },
+		}
+		s, err := Open(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var id string
+		if firstGen {
+			c, err := s.CreateSession(CreateSpec{Name: "simplified", Mode: dpm.ADPM, MaxOps: 50})
+			if err != nil {
+				t.Fatal(err)
+			}
+			id = c.ID
+			applyKeyed(t, s, id, "a", []dpm.Operation{synth("AmpDesign", "Width", 3)})
+			// Park, then restore, then apply more: the restore replay must
+			// not double-trace the first batch.
+			clock.Add(int64(2 * time.Minute))
+			if n := s.Sweep(); n != 1 {
+				t.Fatalf("sweep evicted %d, want 1", n)
+			}
+			applyKeyed(t, s, id, "b", []dpm.Operation{synth("AmpDesign", "Bias", 4)})
+		} else {
+			// Second generation: the recovered session replays with the
+			// tracer attached (this stream never saw its ops).
+			id = "s0-0"
+			applyKeyed(t, s, id, "c", []dpm.Operation{
+				{Kind: dpm.OpVerification, Problem: "AmpDesign", Designer: "test"},
+			})
+		}
+		s.Drain()
+		if err := rec.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var gen1, gen2 bytes.Buffer
+	run(&gen1, true)
+	run(&gen2, false)
+
+	for name, buf := range map[string]*bytes.Buffer{"gen1": &gen1, "gen2": &gen2} {
+		st, err := trace.ValidateJSONL(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s trace does not validate: %v\n%s", name, err, buf.Bytes())
+		}
+		if st.ByKind["wal-append"] == 0 {
+			t.Errorf("%s: no wal-append events", name)
+		}
+		if name == "gen1" && st.ByKind["restore"] == 0 {
+			t.Errorf("gen1: no restore event after park+touch")
+		}
+		if name == "gen2" && st.ByKind["recover"] == 0 {
+			t.Errorf("gen2: no recover event on reopen")
+		}
+	}
+}
+
+// TestNonDurableServerUnchanged: without a DataDir nothing durable
+// happens — no WAL files, eviction still destroys, keys still work
+// (in-memory only).
+func TestNonDurableServerUnchanged(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 1})
+	c := mustCreate(t, s, "simplified", 50)
+	first := applyKeyed(t, s, c.ID, "k", []dpm.Operation{synth("AmpDesign", "Width", 3)})
+	_, replayed, err := s.ApplyKeyed(c.ID, "k", []dpm.Operation{synth("AmpDesign", "Width", 3)})
+	if err != nil || !replayed {
+		t.Fatalf("in-memory idempotency: replayed=%v err=%v", replayed, err)
+	}
+	if first == nil || s.Stats().Shards[0].WALAppends != 0 {
+		t.Error("non-durable server wrote WAL records")
+	}
+}

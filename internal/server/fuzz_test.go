@@ -5,21 +5,26 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/dpm"
-	"repro/internal/scenario"
 )
 
 // FuzzServerOps throws arbitrary bodies at the op-batch endpoint of a
-// live in-process server and checks the two hard invariants the batch
-// path promises:
+// live durable server and checks the hard invariants the batch path
+// promises, interleaving a crash/recover cycle mid-corpus:
 //
 //  1. no panic and no 500 — a 500 would mean a validated operation
 //     failed to apply, i.e. dpm.Validate's error set has a hole and the
 //     "atomic without rollback" argument is broken;
 //  2. any non-200 response leaves the session state byte-identical
-//     (serialized bindings, movement windows, metrics).
+//     (serialized bindings, movement windows, metrics);
+//  3. after a hard crash (the data dir copied as the dead process left
+//     it) a fresh server recovers the session byte-identical, still
+//     never answers 500, and a retry of the same keyed batch is a
+//     cached no-op ack.
 func FuzzServerOps(f *testing.F) {
 	seeds := []string{
 		`{"ops":[{"kind":"synthesis","problem":"AmpDesign","assignments":[{"prop":"Width","value":3}]}]}`,
@@ -42,30 +47,96 @@ func FuzzServerOps(f *testing.F) {
 		f.Add([]byte(s))
 	}
 	f.Fuzz(func(t *testing.T, body []byte) {
-		s := New(Options{Shards: 1, MaxOps: 8})
-		defer s.Drain()
+		dir := t.TempDir()
+		s, err := Open(Options{Shards: 1, MaxOps: 8, DataDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
 		h := s.Handler()
-		c, err := s.Create(scenario.Simplified(), dpm.ADPM, 0)
+		c, err := s.CreateSession(CreateSpec{Name: "simplified", Mode: dpm.ADPM})
 		if err != nil {
 			t.Fatal(err)
 		}
 		before := fuzzState(t, h, c.ID)
 
-		rr := httptest.NewRecorder()
-		req := httptest.NewRequest("POST", "/sessions/"+c.ID+"/ops", bytes.NewReader(body))
-		h.ServeHTTP(rr, req)
-
+		send := func(h http.Handler) *httptest.ResponseRecorder {
+			rr := httptest.NewRecorder()
+			req := httptest.NewRequest("POST", "/sessions/"+c.ID+"/ops", bytes.NewReader(body))
+			req.Header.Set("Idempotency-Key", "fuzz-1")
+			h.ServeHTTP(rr, req)
+			return rr
+		}
+		rr := send(h)
 		if rr.Code >= 500 {
 			t.Fatalf("op batch answered %d — validated-batch invariant broken: %s\nbody: %q",
 				rr.Code, rr.Body, body)
 		}
-		if rr.Code != http.StatusOK {
-			if after := fuzzState(t, h, c.ID); !bytes.Equal(before, after) {
-				t.Fatalf("rejected batch (status %d) mutated session state\nbody: %q\nbefore: %s\nafter:  %s",
-					rr.Code, body, before, after)
+		after := fuzzState(t, h, c.ID)
+		if rr.Code != http.StatusOK && !bytes.Equal(before, after) {
+			t.Fatalf("rejected batch (status %d) mutated session state\nbody: %q\nbefore: %s\nafter:  %s",
+				rr.Code, body, before, after)
+		}
+
+		// Crash mid-corpus: under SyncAlways every acknowledged record is
+		// already on disk, so a raw copy of the data dir is exactly what a
+		// killed process would leave behind. Recover from it and re-check
+		// every invariant.
+		crashDir := cloneDataDir(t, dir)
+		s.Drain()
+		s2, err := Open(Options{Shards: 1, MaxOps: 8, DataDir: crashDir})
+		if err != nil {
+			t.Fatalf("recovery open after crash: %v\nbody: %q", err, body)
+		}
+		defer s2.Drain()
+		h2 := s2.Handler()
+		if got := fuzzState(t, h2, c.ID); !bytes.Equal(got, after) {
+			t.Fatalf("crash recovery lost or invented state\nbody: %q\npre-crash: %s\nrecovered: %s",
+				body, after, got)
+		}
+		rr2 := send(h2)
+		if rr2.Code >= 500 {
+			t.Fatalf("post-recovery retry answered %d: %s\nbody: %q", rr2.Code, rr2.Body, body)
+		}
+		if rr.Code == http.StatusOK {
+			// The accepted batch's key survived the crash: the retry must be
+			// a cached ack, not a second application.
+			if rr2.Code != http.StatusOK || rr2.Header().Get("Idempotent-Replay") != "true" {
+				t.Fatalf("keyed retry after crash not replayed (status %d, replay %q)\nbody: %q",
+					rr2.Code, rr2.Header().Get("Idempotent-Replay"), body)
 			}
 		}
+		if got := fuzzState(t, h2, c.ID); !bytes.Equal(got, after) {
+			t.Fatalf("post-recovery retry mutated state\nbody: %q\nwant: %s\ngot:  %s", body, after, got)
+		}
 	})
+}
+
+// cloneDataDir copies a durable server's data dir byte-for-byte — the
+// crash image a killed process leaves behind.
+func cloneDataDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			return os.MkdirAll(filepath.Join(dst, rel), 0o755)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(dst, rel), b, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
 }
 
 // FuzzCreateSession throws arbitrary bodies at session creation —

@@ -5,15 +5,54 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"strconv"
+	"time"
 
-	"repro/internal/dddl"
 	"repro/internal/dpm"
-	"repro/internal/scenario"
 )
 
 // maxBodyBytes bounds request bodies; DDDL sources and op batches are
 // small, so anything past this is hostile or broken.
 const maxBodyBytes = 1 << 20
+
+// ErrTooLarge reports a request body over maxBodyBytes. Surfaced as
+// HTTP 413.
+var ErrTooLarge = errors.New("server: request body too large")
+
+// ErrTimeout reports a client that sent its headers but then stalled
+// the body past the server's ReadTimeout. Surfaced as HTTP 408.
+var ErrTimeout = errors.New("server: timed out reading request body")
+
+// Slow-client limits for NewHTTPServer. A peer that cannot deliver its
+// headers (or its ≤1MiB body) inside these windows is holding a
+// connection hostage, not designing.
+const (
+	// DefaultReadHeaderTimeout bounds the wait for request headers; Go's
+	// http.Server answers an overrun with 408 on its own.
+	DefaultReadHeaderTimeout = 5 * time.Second
+	// DefaultReadTimeout bounds reading the entire request.
+	DefaultReadTimeout = 30 * time.Second
+	// DefaultIdleTimeout bounds keep-alive connections between requests.
+	DefaultIdleTimeout = 2 * time.Minute
+)
+
+// NewHTTPServer wraps the handler in an http.Server hardened against
+// slow and oversized clients: header and whole-request read deadlines
+// (slowloris defense — a stalled header gets the connection closed, a
+// stalled body surfaces as 408 via decodeBody) and a MaxBytesHandler so
+// even handlers that never touch the body cannot be streamed at.
+// Body-reading handlers still apply their own MaxBytesReader, which
+// maps to the 413 taxonomy.
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           http.MaxBytesHandler(h, maxBodyBytes),
+		ReadHeaderTimeout: DefaultReadHeaderTimeout,
+		ReadTimeout:       DefaultReadTimeout,
+		IdleTimeout:       DefaultIdleTimeout,
+	}
+}
 
 // Handler returns the adpmd HTTP API:
 //
@@ -48,24 +87,8 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	var scn *dddl.Scenario
-	var err error
-	switch {
-	case req.Source != "" && req.Scenario != "":
+	if req.Source != "" && req.Scenario != "" {
 		writeErr(w, fmt.Errorf("%w: scenario and source are mutually exclusive", ErrInvalid))
-		return
-	case req.Source != "":
-		if scn, err = dddl.ParseString(req.Source); err != nil {
-			writeErr(w, fmt.Errorf("%w: %v", ErrInvalid, err))
-			return
-		}
-	case req.Scenario != "":
-		if scn, err = scenario.ByName(req.Scenario); err != nil {
-			writeErr(w, fmt.Errorf("%w: %v", ErrInvalid, err))
-			return
-		}
-	default:
-		writeErr(w, fmt.Errorf("%w: scenario or source is required", ErrInvalid))
 		return
 	}
 	mode := dpm.ADPM
@@ -77,7 +100,14 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, fmt.Errorf("%w: unknown mode %q", ErrInvalid, req.Mode))
 		return
 	}
-	resp, err := s.Create(scn, mode, req.MaxOps)
+	// CreateSession resolves the name/source itself and — durably — logs
+	// exactly what the client sent, so recovery reparses the same input.
+	resp, err := s.CreateSession(CreateSpec{
+		Name:   req.Scenario,
+		Source: req.Source,
+		Mode:   mode,
+		MaxOps: req.MaxOps,
+	})
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -91,6 +121,14 @@ func (s *Server) handleOps(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	key := req.Key
+	if h := r.Header.Get("Idempotency-Key"); h != "" {
+		if key != "" && key != h {
+			writeErr(w, fmt.Errorf("%w: Idempotency-Key header and body key disagree", ErrInvalid))
+			return
+		}
+		key = h
+	}
 	ops := make([]dpm.Operation, len(req.Ops))
 	for i, wo := range req.Ops {
 		op, err := wo.toOperation()
@@ -100,10 +138,15 @@ func (s *Server) handleOps(w http.ResponseWriter, r *http.Request) {
 		}
 		ops[i] = op
 	}
-	resp, err := s.Apply(r.PathValue("id"), ops)
+	resp, replayed, err := s.ApplyKeyed(r.PathValue("id"), key, ops)
 	if err != nil {
 		writeErr(w, err)
 		return
+	}
+	if replayed {
+		// The batch was already applied under this key; this is the
+		// cached acknowledgement, not a second application.
+		w.Header().Set("Idempotent-Replay", "true")
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -126,10 +169,21 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// decodeBody reads one JSON value and rejects trailing garbage.
+// decodeBody reads one JSON value and rejects trailing garbage. A body
+// over maxBodyBytes surfaces as ErrTooLarge (413), distinct from
+// malformed JSON (400).
 func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return fmt.Errorf("%w: body exceeds %d bytes", ErrTooLarge, mbe.Limit)
+		}
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			// The connection's read deadline (Server.ReadTimeout) expired
+			// mid-body: the client stalled, not malformed JSON.
+			return ErrTimeout
+		}
 		return fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
 	if dec.More() {
@@ -154,13 +208,27 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusBadRequest
 	case errors.Is(err, ErrUnknownSession):
 		status = http.StatusNotFound
+	case errors.Is(err, ErrTimeout):
+		status = http.StatusRequestTimeout
+	case errors.Is(err, ErrTooLarge):
+		status = http.StatusRequestEntityTooLarge
 	case errors.Is(err, ErrBudget):
 		status = http.StatusConflict
 	case errors.Is(err, ErrBusy):
-		// Backpressure: the shard mailbox is full. Retryable shortly.
-		w.Header().Set("Retry-After", "1")
+		// Backpressure: the shard mailbox was full. The hint scales with
+		// how congested the mailbox was at rejection (1s..4s) so clients
+		// back off harder the deeper the queue.
+		retry := 1
+		var be *busyError
+		if errors.As(err, &be) {
+			retry = be.RetrySeconds()
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		status = http.StatusTooManyRequests
 	case errors.Is(err, ErrDraining):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrStorage):
+		// The WAL could not log the request; nothing was applied.
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})

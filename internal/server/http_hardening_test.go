@@ -1,0 +1,212 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSlowClientTimeouts exercises the slowloris defenses NewHTTPServer
+// configures: a client that stalls its HEADERS is disconnected when
+// ReadHeaderTimeout passes (net/http closes silently), and a client
+// that sends headers but stalls its BODY gets an explicit 408 from the
+// decodeBody taxonomy when ReadTimeout expires.
+func TestSlowClientTimeouts(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 1})
+	hs := NewHTTPServer("127.0.0.1:0", s.Handler())
+	if hs.ReadHeaderTimeout != DefaultReadHeaderTimeout || hs.ReadTimeout != DefaultReadTimeout {
+		t.Fatalf("NewHTTPServer timeouts %v/%v, want %v/%v",
+			hs.ReadHeaderTimeout, hs.ReadTimeout, DefaultReadHeaderTimeout, DefaultReadTimeout)
+	}
+	// The default seconds-scale values would stall the test; the knobs
+	// stay plain http.Server fields.
+	hs.ReadHeaderTimeout = 50 * time.Millisecond
+	hs.ReadTimeout = 150 * time.Millisecond
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go hs.Serve(ln)
+	t.Cleanup(func() { hs.Close() })
+
+	t.Run("stalled-headers-disconnected", func(t *testing.T) {
+		conn, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if _, err := conn.Write([]byte("GET /healthz HTTP/1.1\r\nHost: x\r\n")); err != nil {
+			t.Fatal(err)
+		}
+		// Never send the terminating CRLF: the server must cut us off
+		// instead of holding the goroutine forever.
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := bufio.NewReader(conn).ReadString('\n'); err == nil {
+			t.Error("stalled header got a response, want the connection closed")
+		} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			t.Error("stalled header connection still open after ReadHeaderTimeout")
+		}
+	})
+
+	t.Run("stalled-body-408", func(t *testing.T) {
+		conn, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		// Complete headers promising a body that never arrives.
+		if _, err := conn.Write([]byte("POST /sessions HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\nContent-Length: 100\r\n\r\n{")); err != nil {
+			t.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		status, err := bufio.NewReader(conn).ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading response to stalled body: %v", err)
+		}
+		if !strings.Contains(status, "408") {
+			t.Errorf("stalled body got %q, want a 408", strings.TrimSpace(status))
+		}
+	})
+}
+
+// TestOversizedBodyGets413: a body past maxBodyBytes maps to 413 (not a
+// generic 400), via the MaxBytesError branch of decodeBody.
+func TestOversizedBodyGets413(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 1})
+	h := s.Handler()
+	big := `{"scenario":"simplified","source":"` + strings.Repeat("x", maxBodyBytes+1) + `"}`
+	rr := do(h, "POST", "/sessions", big)
+	if rr.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized create body: status %d, want 413", rr.Code)
+	}
+	c := createViaHTTP(t, h, `{"scenario":"simplified"}`)
+	rr = do(h, "POST", "/sessions/"+c.ID+"/ops", `{"key":"`+strings.Repeat("y", maxBodyBytes+1)+`"}`)
+	if rr.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized ops body: status %d, want 413", rr.Code)
+	}
+	// A body just under the cap still parses (and fails for its content,
+	// not its size).
+	rr = do(h, "POST", "/sessions", `{"scenario":"nope"}`)
+	if rr.Code != http.StatusBadRequest {
+		t.Errorf("small invalid body: status %d, want 400", rr.Code)
+	}
+}
+
+// TestRetryAfterDerivedFromMailbox: a rejection from a saturated
+// mailbox carries a Retry-After derived from the observed depth —
+// a full mailbox advises the max backoff (4s), and the header is
+// always within 1..4.
+func TestRetryAfterDerivedFromMailbox(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 1, MailboxSize: 2})
+	h := s.Handler()
+	c := createViaHTTP(t, h, `{"scenario":"simplified"}`)
+	sh := s.shards[0]
+
+	// Wedge the event loop, then fill the mailbox to capacity.
+	block := make(chan struct{})
+	wedged := make(chan struct{})
+	go sh.submit(func() { close(wedged); <-block })
+	<-wedged
+	for i := 0; i < cap(sh.mailbox); i++ {
+		go sh.submit(func() {})
+	}
+	deadline := time.Now().Add(time.Second)
+	for len(sh.mailbox) < cap(sh.mailbox) {
+		if time.Now().After(deadline) {
+			t.Fatal("could not saturate the mailbox")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	rr := do(h, "GET", "/sessions/"+c.ID+"/state", "")
+	close(block)
+	if rr.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated shard: status %d, want 429", rr.Code)
+	}
+	ra := rr.Header().Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 || secs > 4 {
+		t.Fatalf("Retry-After %q, want an integer in [1,4]", ra)
+	}
+	if want := 1 + 3*cap(sh.mailbox)/cap(sh.mailbox); secs != want {
+		t.Errorf("full mailbox Retry-After = %d, want %d", secs, want)
+	}
+}
+
+// TestRetrySecondsScaling pins the depth→seconds mapping.
+func TestRetrySecondsScaling(t *testing.T) {
+	for _, tc := range []struct {
+		depth, capacity, want int
+	}{
+		{0, 64, 1}, {21, 64, 1}, {22, 64, 2}, {43, 64, 3}, {64, 64, 4}, {5, 0, 1},
+	} {
+		e := &busyError{depth: tc.depth, capacity: tc.capacity}
+		if got := e.RetrySeconds(); got != tc.want {
+			t.Errorf("RetrySeconds(%d/%d) = %d, want %d", tc.depth, tc.capacity, got, tc.want)
+		}
+	}
+}
+
+// TestIdempotencyKeyOverHTTP: the Idempotency-Key header (or body key)
+// makes POST /ops exactly-once, with the replay marked by the
+// Idempotent-Replay response header.
+func TestIdempotencyKeyOverHTTP(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 1})
+	h := s.Handler()
+	c := createViaHTTP(t, h, `{"scenario":"simplified","max_ops":50}`)
+	body := `{"ops":[{"kind":"synthesis","problem":"AmpDesign","designer":"circuit",
+	  "assignments":[{"prop":"Width","value":3}]}]}`
+
+	send := func(withHeader bool) *http.Response {
+		req := httptest.NewRequest("POST", "/sessions/"+c.ID+"/ops", strings.NewReader(body))
+		if withHeader {
+			req.Header.Set("Idempotency-Key", "try-1")
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Result()
+	}
+	first := send(true)
+	if first.StatusCode != http.StatusOK || first.Header.Get("Idempotent-Replay") != "" {
+		t.Fatalf("first keyed apply: status %d replay %q", first.StatusCode, first.Header.Get("Idempotent-Replay"))
+	}
+	var firstAck ApplyResponse
+	json.NewDecoder(first.Body).Decode(&firstAck)
+
+	second := send(true)
+	if second.StatusCode != http.StatusOK || second.Header.Get("Idempotent-Replay") != "true" {
+		t.Fatalf("retried keyed apply: status %d replay %q", second.StatusCode, second.Header.Get("Idempotent-Replay"))
+	}
+	var secondAck ApplyResponse
+	json.NewDecoder(second.Body).Decode(&secondAck)
+	if fmt.Sprintf("%+v", firstAck) != fmt.Sprintf("%+v", secondAck) {
+		t.Errorf("replayed ack differs: %+v vs %+v", firstAck, secondAck)
+	}
+
+	// The state saw exactly one application.
+	st, err := s.State(c.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Operations != 1 {
+		t.Errorf("state shows %d operations after a retried keyed batch, want 1", st.Operations)
+	}
+
+	// Body key and header disagreeing is a client bug → 400.
+	req := httptest.NewRequest("POST", "/sessions/"+c.ID+"/ops",
+		strings.NewReader(`{"key":"other","ops":[{"kind":"verification","problem":"AmpDesign"}]}`))
+	req.Header.Set("Idempotency-Key", "try-1")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Result().StatusCode != http.StatusBadRequest {
+		t.Errorf("disagreeing keys: status %d, want 400", rec.Result().StatusCode)
+	}
+}

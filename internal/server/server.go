@@ -30,8 +30,11 @@ import (
 	"repro/internal/constraint"
 	"repro/internal/dddl"
 	"repro/internal/dpm"
+	"repro/internal/faultfs"
+	"repro/internal/scenario"
 	"repro/internal/teamsim"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // Defaults.
@@ -82,9 +85,31 @@ type Options struct {
 	// eviction, and one aggregated run-end at drain.
 	ShardRecorder func(shard int) *trace.Recorder
 
+	// DataDir, when non-empty, makes sessions durable: every shard
+	// write-ahead-logs its accepted transitions under
+	// DataDir/shard-<i>/ and recovers them on Open by deterministic
+	// replay. Idle eviction becomes persist-then-evict with lazy
+	// restore instead of data loss.
+	DataDir string
+	// Fsync selects the WAL durability discipline (wal.SyncAlways when
+	// zero: fsync before every acknowledgement).
+	Fsync wal.SyncPolicy
+	// SyncEvery is the group-commit period under wal.SyncInterval; 0
+	// means DefaultSyncEvery.
+	SyncEvery time.Duration
+	// SegmentBytes rotates (and snapshot-compacts) a shard's WAL
+	// segment past this size; 0 means wal.DefaultSegmentBytes.
+	SegmentBytes int64
+	// FS is the filesystem under the WAL; nil means the real one. The
+	// chaos suite injects faults here.
+	FS faultfs.FS
+
 	// nowFn overrides the clock (tests); nil means time.Now.
 	nowFn func() time.Time
 }
+
+// DefaultSyncEvery is the SyncInterval group-commit period when unset.
+const DefaultSyncEvery = 25 * time.Millisecond
 
 // Totals aggregates the reconciliation metrics across sessions.
 type Totals struct {
@@ -142,6 +167,13 @@ type hostedSession struct {
 	scenario string
 	sess     *teamsim.Session
 	lastUsed time.Time
+	// img is the session's durable image (create parameters + accepted
+	// batch history); nil on a non-durable server.
+	img *wal.SessionImage
+	// idem maps client idempotency keys to the acknowledgement each
+	// keyed batch produced: a retried key returns the cached ack
+	// instead of double-applying.
+	idem map[string]*ApplyResponse
 }
 
 // task is one unit of work executed on a shard's event loop.
@@ -165,20 +197,48 @@ type shard struct {
 
 	// Loop-goroutine state.
 	sessions       map[string]*hostedSession
+	parked         map[string]*parkedSession
 	closedSessions []SessionSummary
 	totals         Totals
 	summary        ShardSummary
+	wal            *wal.Log
+	// segBase is the segment size right after the last rotation (or
+	// open) — i.e. roughly the snapshot's own footprint. Rotation also
+	// waits for the segment to double past it, so a snapshot larger
+	// than the segment limit cannot trigger rotation on every append.
+	segBase int64
 
 	// Gauges, readable from any goroutine (expvar / Stats).
-	nSessions atomic.Int64
-	created   atomic.Uint64
-	evicted   atomic.Uint64
-	deleted   atomic.Uint64
-	rejected  atomic.Uint64
+	nSessions  atomic.Int64
+	nParked    atomic.Int64
+	created    atomic.Uint64
+	evicted    atomic.Uint64
+	restored   atomic.Uint64
+	deleted    atomic.Uint64
+	rejected   atomic.Uint64
+	walAppends atomic.Uint64
+	walBytes   atomic.Uint64
+	rotations  atomic.Uint64
+	walBroken  atomic.Bool
 }
 
-// New starts a server with opts.Shards event loops.
+// New starts a server with opts.Shards event loops. It is the
+// non-durable constructor kept for compatibility: with Options.DataDir
+// set it panics on a recovery failure — durable callers use Open and
+// handle the error.
 func New(opts Options) *Server {
+	s, err := Open(opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open starts a server, recovering every durable session from
+// Options.DataDir when one is configured: each shard's WAL is scanned,
+// torn tails are truncated, and the surviving records fold into session
+// images that restore lazily (by deterministic replay) on first touch.
+func Open(opts Options) (*Server, error) {
 	if opts.Shards <= 0 {
 		opts.Shards = DefaultShards
 	}
@@ -191,10 +251,27 @@ func New(opts Options) *Server {
 	if opts.IdleTimeout > 0 && opts.SweepEvery <= 0 {
 		opts.SweepEvery = opts.IdleTimeout / 4
 	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = DefaultSyncEvery
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = wal.DefaultSegmentBytes
+	}
+	if opts.FS == nil {
+		opts.FS = faultfs.OS{}
+	}
 	if opts.nowFn == nil {
 		opts.nowFn = time.Now
 	}
 	s := &Server{opts: opts}
+	durable := opts.DataDir != ""
+	if durable {
+		if err := checkMeta(opts.FS, opts.DataDir, opts.Shards); err != nil {
+			return nil, err
+		}
+	}
+	var maxSeq uint64
+	haveSeq := false
 	for i := 0; i < opts.Shards; i++ {
 		var rec *trace.Recorder
 		if opts.ShardRecorder != nil {
@@ -208,15 +285,62 @@ func New(opts Options) *Server {
 			quit:     make(chan struct{}),
 			done:     make(chan struct{}),
 			sessions: map[string]*hostedSession{},
+			parked:   map[string]*parkedSession{},
+		}
+		if durable {
+			seq, err := sh.openShardWAL(opts.DataDir, opts.Fsync, opts.SegmentBytes, opts.FS)
+			if err != nil {
+				for _, prev := range s.shards {
+					if prev.wal != nil {
+						prev.wal.Close()
+					}
+				}
+				return nil, err
+			}
+			if len(sh.parked) > 0 {
+				haveSeq = true
+				if seq > maxSeq {
+					maxSeq = seq
+				}
+			}
 		}
 		s.shards = append(s.shards, sh)
+	}
+	if haveSeq {
+		// Recovered ids embed the global sequence; resume past the
+		// highest one so new sessions never collide.
+		s.seq.Store(maxSeq + 1)
+	}
+	for _, sh := range s.shards {
 		go sh.loop()
 	}
-	return s
+	return s, nil
 }
 
 // Shards returns the configured shard count.
 func (s *Server) Shards() int { return len(s.shards) }
+
+// busyError is ErrBusy carrying the congestion observation that caused
+// the rejection; the HTTP layer derives Retry-After from it.
+type busyError struct {
+	depth, capacity int
+}
+
+func (e *busyError) Error() string {
+	return fmt.Sprintf("server: shard mailbox full (%d/%d)", e.depth, e.capacity)
+}
+
+// Is makes errors.Is(err, ErrBusy) hold for busyError values.
+func (e *busyError) Is(target error) bool { return target == ErrBusy }
+
+// RetrySeconds maps the observed congestion to a client backoff hint:
+// 1s at the low end, up to 4s when the mailbox was entirely full.
+func (e *busyError) RetrySeconds() int {
+	if e.capacity <= 0 {
+		return 1
+	}
+	return 1 + 3*e.depth/e.capacity
+}
 
 // submit runs fn on the shard's event loop and waits for it. The mutex
 // orders submission against drain: once closed is set no new task can
@@ -233,9 +357,10 @@ func (sh *shard) submit(fn func()) error {
 	case sh.mailbox <- t:
 		sh.mu.Unlock()
 	default:
+		depth := len(sh.mailbox)
 		sh.mu.Unlock()
 		sh.rejected.Add(1)
-		return ErrBusy
+		return &busyError{depth: depth, capacity: cap(sh.mailbox)}
 	}
 	<-t.done
 	return nil
@@ -251,6 +376,14 @@ func (sh *shard) loop() {
 		defer tick.Stop()
 		sweepC = tick.C
 	}
+	var syncC <-chan time.Time
+	if sh.wal != nil && sh.opts.Fsync == wal.SyncInterval {
+		// Group commit: acknowledged appends become durable at this
+		// cadence (the SyncInterval trade-off).
+		tick := time.NewTicker(sh.opts.SyncEvery)
+		defer tick.Stop()
+		syncC = tick.C
+	}
 	for {
 		select {
 		case t := <-sh.mailbox:
@@ -258,6 +391,10 @@ func (sh *shard) loop() {
 			close(t.done)
 		case <-sweepC:
 			sh.sweepNow()
+		case <-syncC:
+			if sh.wal.Sync() != nil {
+				sh.walBroken.Store(true)
+			}
 		case <-sh.quit:
 			for {
 				select {
@@ -300,8 +437,11 @@ func (sh *shard) retire(hs *hostedSession, evicted, deleted bool) SessionSummary
 	return sum
 }
 
-// sweepNow evicts every session idle past the timeout. Loop goroutine
-// only. Returns the number evicted.
+// sweepNow evicts every session idle past the timeout. On a durable
+// shard eviction is persist-then-evict: the session parks (image kept,
+// live engine dropped) and restores transparently on its next touch;
+// without a WAL it retires for good (the pre-durability semantics).
+// Loop goroutine only. Returns the number evicted.
 func (sh *shard) sweepNow() int {
 	if sh.opts.IdleTimeout <= 0 {
 		return 0
@@ -316,6 +456,10 @@ func (sh *shard) sweepNow() int {
 	sort.Strings(ids)
 	for _, id := range ids {
 		hs := sh.sessions[id]
+		if sh.wal != nil {
+			sh.park(hs)
+			continue
+		}
 		sum := sh.retire(hs, true, false)
 		sh.evicted.Add(1)
 		if sh.rec.Enabled() {
@@ -345,6 +489,21 @@ func (sh *shard) finalize() {
 	for _, id := range ids {
 		sh.retire(sh.sessions[id], false, false)
 	}
+	// Parked sessions stay durable on disk; their park-time summaries
+	// fold into the totals so the drain accounting (and the trace
+	// reconciliation) still sees every operation ever acknowledged.
+	pids := make([]string, 0, len(sh.parked))
+	for id := range sh.parked {
+		pids = append(pids, id)
+	}
+	sort.Strings(pids)
+	for _, id := range pids {
+		sum := sh.parked[id].sum
+		sh.closedSessions = append(sh.closedSessions, sum)
+		sh.totals.add(sum)
+		delete(sh.parked, id)
+	}
+	sh.nParked.Store(0)
 	sh.summary = ShardSummary{
 		Shard:     sh.idx,
 		Sessions:  sh.closedSessions,
@@ -362,6 +521,11 @@ func (sh *shard) finalize() {
 			Spins:         sh.totals.Spins,
 			Notifications: sh.totals.Notifications,
 		})
+	}
+	if sh.wal != nil {
+		if sh.wal.Close() != nil {
+			sh.walBroken.Store(true)
+		}
 	}
 }
 
@@ -382,17 +546,63 @@ func (s *Server) shardFor(id string) (*shard, error) {
 	return s.shards[idx], nil
 }
 
+// CreateSpec names what a session is created from. For durable servers
+// the distinction matters: the WAL create record stores the built-in
+// scenario name or the client's exact DDDL source, so recovery resolves
+// the scenario through precisely the path creation used.
+type CreateSpec struct {
+	// Scenario is the pre-parsed scenario; when nil it is resolved from
+	// Name or Source.
+	Scenario *dddl.Scenario
+	// Name is the built-in scenario name ("sensor", "receiver",
+	// "simplified") when the session was created by name.
+	Name string
+	// Source is the raw DDDL source when the session was created from
+	// source.
+	Source string
+	// Mode is the transition mode.
+	Mode dpm.Mode
+	// MaxOps is the requested budget (0 or over-ceiling resolves to the
+	// server ceiling).
+	MaxOps int
+}
+
 // Create builds a session from the scenario and places it on a shard
-// (round-robin). The expensive construction — network build, initial
-// ADPM propagation — happens on the caller's goroutine; only the map
-// insert runs on the shard loop.
+// (round-robin). Compatibility wrapper over CreateSession; on a durable
+// server the scenario is persisted as its canonical DDDL rendering.
 func (s *Server) Create(scn *dddl.Scenario, mode dpm.Mode, maxOps int) (*CreateResponse, error) {
+	return s.CreateSession(CreateSpec{Scenario: scn, Mode: mode, MaxOps: maxOps})
+}
+
+// CreateSession builds a session and places it on a shard
+// (round-robin). The expensive construction — network build, initial
+// ADPM propagation — happens on the caller's goroutine; only the WAL
+// create record and the map insert run on the shard loop, so the
+// create is logged before it is acknowledged.
+func (s *Server) CreateSession(spec CreateSpec) (*CreateResponse, error) {
 	if s.draining.Load() {
 		return nil, ErrDraining
 	}
+	scn := spec.Scenario
+	var err error
+	switch {
+	case scn != nil:
+	case spec.Name != "":
+		if scn, err = scenario.ByName(spec.Name); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+		}
+	case spec.Source != "":
+		if scn, err = dddl.ParseString(spec.Source); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+		}
+	default:
+		return nil, fmt.Errorf("%w: scenario or source is required", ErrInvalid)
+	}
+	maxOps := spec.MaxOps
 	if maxOps <= 0 || maxOps > s.opts.MaxOps {
 		maxOps = s.opts.MaxOps
 	}
+	mode := spec.Mode
 	sess, err := teamsim.NewSession(scn, mode, maxOps, s.opts.PropOpts)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
@@ -403,9 +613,39 @@ func (s *Server) Create(scn *dddl.Scenario, mode dpm.Mode, maxOps int) (*CreateR
 		id:       fmt.Sprintf("s%d-%d", sh.idx, seq),
 		scenario: scn.Name,
 		sess:     sess,
+		idem:     map[string]*ApplyResponse{},
+	}
+	if s.opts.DataDir != "" {
+		src := spec.Source
+		if spec.Name == "" && src == "" {
+			// Programmatic create: persist the canonical rendering (the
+			// Format/Parse round-trip property makes it equivalent).
+			src = scn.Format()
+		}
+		hs.img = &wal.SessionImage{
+			ID:       hs.id,
+			Scenario: spec.Name,
+			Source:   src,
+			Mode:     mode.String(),
+			MaxOps:   maxOps,
+		}
 	}
 	var resp *CreateResponse
+	var aerr error
 	err = sh.submit(func() {
+		if hs.img != nil {
+			aerr = sh.appendWAL(&wal.Record{
+				Type:     wal.TypeCreate,
+				Session:  hs.id,
+				Scenario: hs.img.Scenario,
+				Source:   hs.img.Source,
+				Mode:     hs.img.Mode,
+				MaxOps:   hs.img.MaxOps,
+			})
+			if aerr != nil {
+				return
+			}
+		}
 		sess.SetTracer(sh.rec)
 		if sh.rec.Enabled() {
 			sh.rec.Emit(trace.Event{Kind: trace.KindRunStart,
@@ -415,6 +655,7 @@ func (s *Server) Create(scn *dddl.Scenario, mode dpm.Mode, maxOps int) (*CreateR
 		sh.sessions[hs.id] = hs
 		sh.nSessions.Store(int64(len(sh.sessions)))
 		sh.created.Add(1)
+		sh.maybeRotate()
 		resp = &CreateResponse{
 			ID:         hs.id,
 			Scenario:   hs.scenario,
@@ -428,6 +669,9 @@ func (s *Server) Create(scn *dddl.Scenario, mode dpm.Mode, maxOps int) (*CreateR
 	if err != nil {
 		return nil, err
 	}
+	if aerr != nil {
+		return nil, aerr
+	}
 	return resp, nil
 }
 
@@ -438,60 +682,79 @@ func (s *Server) Create(scn *dddl.Scenario, mode dpm.Mode, maxOps int) (*CreateR
 // dpm.Validate, whose error set mirrors Apply's exactly, before the
 // first δ runs.
 func (s *Server) Apply(id string, ops []dpm.Operation) (*ApplyResponse, error) {
-	sh, err := s.shardFor(id)
-	if err != nil {
-		return nil, err
-	}
-	var resp *ApplyResponse
-	var aerr error
-	err = sh.submit(func() {
-		hs := sh.sessions[id]
-		if hs == nil {
-			aerr = ErrUnknownSession
-			return
-		}
-		hs.lastUsed = sh.now()
-		if len(ops) == 0 {
-			aerr = fmt.Errorf("%w: empty op batch", ErrInvalid)
-			return
-		}
-		if rem := hs.sess.Remaining(); rem < len(ops) {
-			aerr = fmt.Errorf("%w: batch of %d ops, %d remaining", ErrBudget, len(ops), rem)
-			return
-		}
-		for i := range ops {
-			if verr := hs.sess.D.Validate(ops[i]); verr != nil {
-				aerr = fmt.Errorf("%w: op %d: %v", ErrInvalid, i, verr)
-				return
-			}
-		}
-		resp = &ApplyResponse{ID: id}
-		for i := range ops {
-			tr, err := hs.sess.Apply(ops[i])
-			if err != nil {
-				// Validate mirrors Apply's full error set and the budget
-				// was pre-checked, so this is unreachable; if the
-				// invariant ever breaks (the fuzzers hunt for it), fail
-				// loudly rather than return a half-applied batch as OK.
-				aerr = fmt.Errorf("server: state diverged: validated op %d failed: %v", i, err)
-				resp = nil
-				return
-			}
-			resp.Transitions = append(resp.Transitions, transitionState(tr))
-		}
-		resp.Stage = hs.sess.D.Stage()
-		resp.Applied = len(ops)
-		resp.Remaining = hs.sess.Remaining()
-		resp.Done = hs.sess.D.Done()
-		resp.Violations = hs.sess.D.Net.Violations()
-	})
-	if err != nil {
-		return nil, err
-	}
-	return resp, aerr
+	resp, _, err := s.ApplyKeyed(id, "", ops)
+	return resp, err
 }
 
-// State returns a full snapshot of the session's design state.
+// ApplyKeyed is Apply with an optional client idempotency key. A keyed
+// batch is applied exactly once per session: retrying the same key —
+// after a 429, a timeout, or even a crash and recovery, since the key
+// rides in the WAL ops record — returns the original acknowledgement
+// with replayed=true and applies nothing. On a durable server the
+// batch is logged (and, under SyncAlways, fsynced) before the first δ
+// runs: any acknowledged batch survives a crash.
+func (s *Server) ApplyKeyed(id, key string, ops []dpm.Operation) (*ApplyResponse, bool, error) {
+	sh, err := s.shardFor(id)
+	if err != nil {
+		return nil, false, err
+	}
+	// Encode the wire form on the caller's goroutine; the shard loop
+	// only appends it.
+	var opsRaw []byte
+	if s.opts.DataDir != "" {
+		if opsRaw, err = encodeOpsWire(ops); err != nil {
+			return nil, false, err
+		}
+	}
+	var resp *ApplyResponse
+	var replayed bool
+	var aerr error
+	err = sh.submit(func() {
+		hs, lerr := sh.lookup(id)
+		if lerr != nil {
+			aerr = lerr
+			return
+		}
+		if key != "" {
+			if cached := hs.idem[key]; cached != nil {
+				resp, replayed = cached, true
+				return
+			}
+		}
+		if aerr = validateBatch(hs, ops); aerr != nil {
+			return
+		}
+		// Log before ack: the accepted batch reaches the WAL before any
+		// state changes, so every acknowledged batch is recoverable. A
+		// crash between log and apply replays the batch on recovery —
+		// legal, because a validated batch always applies and the client
+		// never saw a rejection.
+		if hs.img != nil {
+			aerr = sh.appendWAL(&wal.Record{Type: wal.TypeOps, Session: id, Key: key, Ops: opsRaw})
+			if aerr != nil {
+				return
+			}
+		}
+		resp, aerr = applyBatch(hs, ops)
+		if aerr != nil {
+			return
+		}
+		if hs.img != nil {
+			hs.img.Ops = append(hs.img.Ops, wal.OpsEntry{Key: key, Ops: opsRaw})
+		}
+		if key != "" {
+			hs.idem[key] = resp
+		}
+		sh.maybeRotate()
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return resp, replayed, aerr
+}
+
+// State returns a full snapshot of the session's design state,
+// transparently restoring a parked session.
 func (s *Server) State(id string) (*StateResponse, error) {
 	sh, err := s.shardFor(id)
 	if err != nil {
@@ -500,12 +763,11 @@ func (s *Server) State(id string) (*StateResponse, error) {
 	var resp *StateResponse
 	var serr error
 	err = sh.submit(func() {
-		hs := sh.sessions[id]
-		if hs == nil {
-			serr = ErrUnknownSession
+		hs, lerr := sh.lookup(id)
+		if lerr != nil {
+			serr = lerr
 			return
 		}
-		hs.lastUsed = sh.now()
 		resp = buildState(hs)
 	})
 	if err != nil {
@@ -514,7 +776,11 @@ func (s *Server) State(id string) (*StateResponse, error) {
 	return resp, serr
 }
 
-// Delete retires a session and returns its final accounting.
+// Delete retires a session and returns its final accounting. On a
+// durable server the delete is logged first, so a recovered server
+// never resurrects a session the client saw deleted; a parked session
+// is deleted in place (its park-time summary is the final accounting)
+// without paying for a restore.
 func (s *Server) Delete(id string) (*SessionSummary, error) {
 	sh, err := s.shardFor(id)
 	if err != nil {
@@ -524,11 +790,29 @@ func (s *Server) Delete(id string) (*SessionSummary, error) {
 	var derr error
 	err = sh.submit(func() {
 		hs := sh.sessions[id]
-		if hs == nil {
+		p := sh.parked[id]
+		if hs == nil && p == nil {
 			derr = ErrUnknownSession
 			return
 		}
-		sum := sh.retire(hs, false, true)
+		if sh.wal != nil {
+			if derr = sh.appendWAL(&wal.Record{Type: wal.TypeDelete, Session: id}); derr != nil {
+				return
+			}
+		}
+		if hs != nil {
+			sum := sh.retire(hs, false, true)
+			sh.deleted.Add(1)
+			resp = &sum
+			return
+		}
+		sum := p.sum
+		sum.Evicted = false
+		sum.Deleted = true
+		sh.closedSessions = append(sh.closedSessions, sum)
+		sh.totals.add(sum)
+		delete(sh.parked, id)
+		sh.nParked.Store(int64(len(sh.parked)))
 		sh.deleted.Add(1)
 		resp = &sum
 	})
@@ -590,6 +874,14 @@ type ShardStats struct {
 	Evicted      uint64 `json:"evicted"`
 	Deleted      uint64 `json:"deleted"`
 	Rejected     uint64 `json:"rejected"`
+
+	// Durability gauges; zero on a non-durable server.
+	Parked     int64  `json:"parked,omitempty"`
+	Restored   uint64 `json:"restored,omitempty"`
+	WALAppends uint64 `json:"wal_appends,omitempty"`
+	WALBytes   uint64 `json:"wal_bytes,omitempty"`
+	Rotations  uint64 `json:"wal_rotations,omitempty"`
+	WALBroken  bool   `json:"wal_broken,omitempty"`
 }
 
 // Stats is the server-wide gauge snapshot (expvar / GET /stats).
@@ -611,6 +903,12 @@ func (s *Server) Stats() Stats {
 			Evicted:      sh.evicted.Load(),
 			Deleted:      sh.deleted.Load(),
 			Rejected:     sh.rejected.Load(),
+			Parked:       sh.nParked.Load(),
+			Restored:     sh.restored.Load(),
+			WALAppends:   sh.walAppends.Load(),
+			WALBytes:     sh.walBytes.Load(),
+			Rotations:    sh.rotations.Load(),
+			WALBroken:    sh.walBroken.Load(),
 		})
 	}
 	return st

@@ -31,9 +31,14 @@ type CreateResponse struct {
 	Violations []string `json:"violations,omitempty"`
 }
 
-// OpsRequest is the POST /sessions/{id}/ops body: one atomic batch.
+// OpsRequest is the POST /sessions/{id}/ops body: one atomic batch,
+// optionally tagged with a client idempotency key (equivalently sent as
+// the Idempotency-Key header). Retrying a keyed batch — after a 429, a
+// dropped response, or a server crash — returns the original
+// acknowledgement instead of applying twice.
 type OpsRequest struct {
 	Ops []WireOp `json:"ops"`
+	Key string   `json:"key,omitempty"`
 }
 
 // WireOp is one design operation on the wire.

@@ -61,6 +61,16 @@ type Counters struct {
 	// Serving aggregates (internal/server shard traces).
 	Evictions int64 `json:"evictions"`
 
+	// Durability aggregates (write-ahead log).
+	WALAppends int64 `json:"wal_appends,omitempty"`
+	WALBytes   int64 `json:"wal_bytes,omitempty"`
+	Recoveries int64 `json:"recoveries,omitempty"`
+	// RecoveredSessions counts sessions reconstructed across recoveries.
+	RecoveredSessions int64 `json:"recovered_sessions,omitempty"`
+	// Restores counts lazy session restores (post-recovery touch or
+	// persist-then-evict wakeup).
+	Restores int64 `json:"restores,omitempty"`
+
 	PerDesigner map[string]*DesignerCounters `json:"per_designer,omitempty"`
 }
 
@@ -135,6 +145,14 @@ func (c *Counters) apply(e Event) {
 		}
 	case KindEvict:
 		c.Evictions++
+	case KindWALAppend:
+		c.WALAppends++
+		c.WALBytes += e.Bytes
+	case KindRecover:
+		c.Recoveries++
+		c.RecoveredSessions += int64(e.Sessions)
+	case KindRestore:
+		c.Restores++
 	}
 }
 
@@ -171,6 +189,15 @@ func (c Counters) Summary() string {
 	row("idle/wake", fmt.Sprintf("%d idles, %d wakes", c.Idles, c.Wakes))
 	if c.Evictions > 0 {
 		row("evictions", fmt.Sprintf("%d", c.Evictions))
+	}
+	if c.WALAppends > 0 {
+		row("wal appends", fmt.Sprintf("%d (%d bytes)", c.WALAppends, c.WALBytes))
+	}
+	if c.Recoveries > 0 {
+		row("recoveries", fmt.Sprintf("%d (%d sessions)", c.Recoveries, c.RecoveredSessions))
+	}
+	if c.Restores > 0 {
+		row("restores", fmt.Sprintf("%d", c.Restores))
 	}
 	if ms := float64(c.OperationNanos) / 1e6; ms > 0 {
 		row("time in δ", fmt.Sprintf("%.1fms total (%.3fms per op)", ms, ms/float64(max64(c.Operations, 1))))

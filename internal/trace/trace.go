@@ -68,12 +68,26 @@ const (
 	// shard's run-end totals, so eviction never hides work from the
 	// reconciliation.
 	KindEvict
+	// KindWALAppend is one durable append to a shard's write-ahead log:
+	// the framed byte count (Bytes) and the record type (Name). Emitted
+	// by internal/server before the logged batch is applied.
+	KindWALAppend
+	// KindRecover summarizes one shard's WAL recovery at startup: the
+	// sessions (Sessions), records (Records), and intact bytes (Bytes)
+	// reconstructed, plus any torn tail bytes truncated away
+	// (TornBytes).
+	KindRecover
+	// KindRestore is one lazy session restore (after recovery or
+	// persist-then-evict): the session id (Name), its scenario, and the
+	// number of replayed operation batches (Records).
+	KindRestore
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"run-start", "run-end", "operation", "propagate", "revise",
 	"window-refresh", "window", "notify", "idle", "wake", "evict",
+	"wal-append", "recover", "restore",
 }
 
 // String names the kind as it appears in the JSONL stream.
@@ -179,6 +193,16 @@ type Event struct {
 	Idle int `json:"idle,omitempty"`
 	// DurNanos is the wall-clock latency of the traced step.
 	DurNanos int64 `json:"dur_ns,omitempty"`
+
+	// Durability fields (wal-append / recover / restore).
+	// Bytes is the framed byte count appended or recovered.
+	Bytes int64 `json:"bytes,omitempty"`
+	// Records counts WAL records recovered or batches replayed.
+	Records int `json:"records,omitempty"`
+	// Sessions counts sessions reconstructed by a recovery.
+	Sessions int `json:"sessions,omitempty"`
+	// TornBytes is the truncated torn-tail length of a recovery.
+	TornBytes int64 `json:"torn_bytes,omitempty"`
 
 	// Run-scoped fields (run-start / run-end).
 	Scenario      string `json:"scenario,omitempty"`

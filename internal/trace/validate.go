@@ -141,6 +141,18 @@ func checkFields(e Event) error {
 		if e.Name == "" {
 			return fmt.Errorf("evict without session id")
 		}
+	case KindWALAppend:
+		if e.Bytes <= 0 {
+			return fmt.Errorf("wal-append without byte count")
+		}
+	case KindRecover:
+		if e.Records < 0 || e.Sessions < 0 || e.Bytes < 0 || e.TornBytes < 0 {
+			return fmt.Errorf("recover with negative counters")
+		}
+	case KindRestore:
+		if e.Name == "" {
+			return fmt.Errorf("restore without session id")
+		}
 	default:
 		return fmt.Errorf("unknown kind %d", e.Kind)
 	}

@@ -1,0 +1,139 @@
+// Package wal is the per-shard write-ahead log behind durable design
+// sessions: a segmented, length+CRC32C-framed record stream of accepted
+// state transitions (session creates, operation batches, deletes) plus
+// periodic snapshot records that make older segments deletable.
+//
+// The engine's next-state function δ is deterministic bit for bit (the
+// differential corpus and trace reconciliation prove it), so the WAL
+// does not serialize engine state at all: a snapshot of a session is
+// its generating history — the create parameters and every accepted
+// operation batch, in order — and recovery is snapshot-load plus
+// deterministic replay of the log tail. Replay cost is bounded by the
+// per-session operation budget (teamsim.DefaultMaxOps), and the
+// recovered state is byte-identical to the pre-crash one by the same
+// argument that makes the differential golden test exact.
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Record types.
+const (
+	// TypeCreate logs one accepted session creation.
+	TypeCreate = "create"
+	// TypeOps logs one accepted (validated, about-to-apply) operation
+	// batch. It is written and synced before the batch is applied or
+	// acked, so every acknowledged batch is recoverable.
+	TypeOps = "ops"
+	// TypeDelete logs one session retirement.
+	TypeDelete = "delete"
+	// TypeSnapshot opens a segment with the full session images of the
+	// shard at rotation time; it subsumes every earlier record.
+	TypeSnapshot = "snapshot"
+)
+
+// OpsEntry is one accepted operation batch inside a session image: the
+// client idempotency key (empty when none was supplied) and the batch
+// in its wire encoding (internal/server WireOp JSON), which round-trips
+// operations exactly.
+type OpsEntry struct {
+	Key string          `json:"key,omitempty"`
+	Ops json.RawMessage `json:"ops"`
+}
+
+// SessionImage is the durable form of one session: the create
+// parameters plus the accepted batch history. Replaying the history
+// through the same apply path reproduces the session bit for bit.
+type SessionImage struct {
+	// ID is the hosted session id ("s<shard>-<seq>").
+	ID string `json:"id"`
+	// Scenario is the built-in scenario name the session was created
+	// from, when it was created by name.
+	Scenario string `json:"scenario,omitempty"`
+	// Source is the raw DDDL source the session was created from, when
+	// it was created from source (exactly the client's bytes, so the
+	// recovery parse is the creation parse).
+	Source string `json:"source,omitempty"`
+	// Mode is the transition mode ("ADPM" or "conventional").
+	Mode string `json:"mode"`
+	// MaxOps is the resolved per-session operation budget.
+	MaxOps int `json:"max_ops"`
+	// Ops is the accepted batch history in acceptance order.
+	Ops []OpsEntry `json:"ops,omitempty"`
+}
+
+// Clone deep-copies the image (the Ops slice is shared-structure
+// otherwise; RawMessage payloads are immutable by convention).
+func (im *SessionImage) Clone() *SessionImage {
+	cp := *im
+	cp.Ops = append([]OpsEntry(nil), im.Ops...)
+	return &cp
+}
+
+// Record is one WAL entry. Exactly one of the type-specific field sets
+// is populated, keyed by Type.
+type Record struct {
+	// Type is one of TypeCreate, TypeOps, TypeDelete, TypeSnapshot.
+	Type string `json:"type"`
+	// Session is the subject session id (create/ops/delete).
+	Session string `json:"session,omitempty"`
+	// Create parameters (TypeCreate).
+	Scenario string `json:"scenario,omitempty"`
+	Source   string `json:"source,omitempty"`
+	Mode     string `json:"mode,omitempty"`
+	MaxOps   int    `json:"max_ops,omitempty"`
+	// Key is the client idempotency key of an ops record.
+	Key string `json:"key,omitempty"`
+	// Ops is the wire-encoded operation batch of an ops record.
+	Ops json.RawMessage `json:"ops,omitempty"`
+	// Sessions are the full shard images of a snapshot record.
+	Sessions []SessionImage `json:"sessions,omitempty"`
+}
+
+// Fold applies one record to the recovered-session map: create inserts
+// an image, ops appends to its history, delete removes it, and snapshot
+// replaces the whole map. Fold is the single definition of what the log
+// means; Open uses it during recovery and tests use it to state
+// expected outcomes.
+func Fold(sessions map[string]*SessionImage, rec *Record) error {
+	switch rec.Type {
+	case TypeCreate:
+		if rec.Session == "" {
+			return fmt.Errorf("wal: create record without session id")
+		}
+		if _, ok := sessions[rec.Session]; ok {
+			return fmt.Errorf("wal: duplicate create for session %s", rec.Session)
+		}
+		sessions[rec.Session] = &SessionImage{
+			ID:       rec.Session,
+			Scenario: rec.Scenario,
+			Source:   rec.Source,
+			Mode:     rec.Mode,
+			MaxOps:   rec.MaxOps,
+		}
+	case TypeOps:
+		im := sessions[rec.Session]
+		if im == nil {
+			return fmt.Errorf("wal: ops record for unknown session %s", rec.Session)
+		}
+		im.Ops = append(im.Ops, OpsEntry{Key: rec.Key, Ops: rec.Ops})
+	case TypeDelete:
+		if _, ok := sessions[rec.Session]; !ok {
+			return fmt.Errorf("wal: delete record for unknown session %s", rec.Session)
+		}
+		delete(sessions, rec.Session)
+	case TypeSnapshot:
+		for id := range sessions {
+			delete(sessions, id)
+		}
+		for i := range rec.Sessions {
+			im := rec.Sessions[i].Clone()
+			sessions[im.ID] = im
+		}
+	default:
+		return fmt.Errorf("wal: unknown record type %q", rec.Type)
+	}
+	return nil
+}

@@ -1,0 +1,448 @@
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/faultfs"
+)
+
+// Framing: every record is [payloadLen uint32 LE][crc32c uint32 LE of
+// payload][payload JSON]. The frame is written with a single Write, so
+// any crash or short write leaves at most one torn record at the tail
+// of the newest segment, which recovery detects (short frame or CRC
+// mismatch) and truncates away.
+const frameHeader = 8
+
+// MaxRecordBytes bounds one record's payload; a length field past this
+// is treated as a torn/corrupt frame, not an allocation request.
+const MaxRecordBytes = 16 << 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SyncPolicy selects when appended records reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before every append returns: an acknowledged
+	// batch is durable against power loss. Highest latency.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval group-commits: appends return after the buffered
+	// write and a periodic Sync (driven by the log's owner) makes them
+	// durable. A crash can lose the last interval's acknowledged
+	// batches — but never corrupt the log.
+	SyncInterval
+	// SyncNever leaves flushing to the OS. Crash durability is whatever
+	// the page cache got around to; the log still recovers to a
+	// consistent prefix.
+	SyncNever
+)
+
+// String names the policy as accepted by adpmd's -fsync flag.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return "always"
+	}
+}
+
+// ParsePolicy resolves a -fsync flag value.
+func ParsePolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "", "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return SyncAlways, fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or never)", s)
+}
+
+// ErrBroken reports a log that hit an unrecoverable storage error (a
+// failed fsync, or a torn append that could not be truncated away).
+// The log fails every subsequent append fast: after an fsync failure
+// the page cache state is unknowable, so continuing to ack writes
+// would be lying about durability (fail-stop, the post-fsyncgate
+// discipline).
+var ErrBroken = errors.New("wal: log broken by storage error")
+
+// Options parameterize Open.
+type Options struct {
+	// Dir is the log directory (one per shard).
+	Dir string
+	// FS is the filesystem; nil is invalid (callers pass faultfs.OS{}
+	// or an injected Fault).
+	FS faultfs.FS
+	// Policy selects the fsync discipline. SyncAlways when zero.
+	Policy SyncPolicy
+	// SegmentBytes is advisory for the owner's rotation decision; the
+	// log itself only reports SegmentSize. 0 means 4 MiB.
+	SegmentBytes int64
+}
+
+// DefaultSegmentBytes is the rotation threshold when unset.
+const DefaultSegmentBytes = 4 << 20
+
+// RecoverInfo summarizes what Open reconstructed.
+type RecoverInfo struct {
+	// Sessions are the live session images after folding every record.
+	Sessions map[string]*SessionImage
+	// Segments is the number of segment files scanned.
+	Segments int
+	// Records is the number of intact records folded.
+	Records int
+	// Bytes is the total intact record bytes (frames included).
+	Bytes int64
+	// TornBytes is the size of the truncated torn tail, if any.
+	TornBytes int64
+}
+
+// Log is one shard's write-ahead log. Not safe for concurrent use; the
+// owning shard event loop serializes all calls.
+type Log struct {
+	fs      faultfs.FS
+	dir     string
+	policy  SyncPolicy
+	segMax  int64
+	cur     faultfs.File
+	curName string
+	curIdx  int
+	curSize int64
+	dirty   bool // unsynced appends outstanding (interval/never policies)
+	broken  error
+}
+
+const segPattern = "wal-%08d.seg"
+
+// segIndex parses a segment file name; ok is false for foreign files.
+func segIndex(name string) (int, bool) {
+	var idx int
+	if _, err := fmt.Sscanf(name, segPattern, &idx); err != nil {
+		return 0, false
+	}
+	return idx, true
+}
+
+// Open scans the log directory, folds every intact record into session
+// images, truncates a torn tail off the newest segment, and positions
+// the log for appending. A torn or CRC-corrupt record in any segment
+// but the newest is real corruption and fails the open; in the newest
+// it is the expected signature of a crash mid-append.
+func Open(opts Options) (*Log, *RecoverInfo, error) {
+	if opts.FS == nil {
+		return nil, nil, fmt.Errorf("wal: Options.FS is required")
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := opts.FS.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	names, err := opts.FS.ReadDir(opts.Dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []int
+	for _, n := range names {
+		if idx, ok := segIndex(n); ok {
+			segs = append(segs, idx)
+		}
+	}
+	sort.Ints(segs)
+
+	info := &RecoverInfo{Sessions: map[string]*SessionImage{}}
+	l := &Log{fs: opts.FS, dir: opts.Dir, policy: opts.Policy, segMax: opts.SegmentBytes}
+
+	lastGood := int64(0)
+	for i, idx := range segs {
+		name := filepath.Join(opts.Dir, fmt.Sprintf(segPattern, idx))
+		data, err := opts.FS.ReadFile(name)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: reading %s: %w", name, err)
+		}
+		info.Segments++
+		final := i == len(segs)-1
+		good, recs, err := scanSegment(data, info.Sessions)
+		if err != nil && !final {
+			return nil, nil, fmt.Errorf("wal: segment %s: %w", name, err)
+		}
+		info.Records += recs
+		info.Bytes += good
+		if final {
+			lastGood = good
+			if torn := int64(len(data)) - good; torn > 0 {
+				info.TornBytes = torn
+				f, terr := opts.FS.OpenFile(name, os.O_WRONLY, 0o644)
+				if terr != nil {
+					return nil, nil, fmt.Errorf("wal: repairing %s: %w", name, terr)
+				}
+				if terr := f.Truncate(good); terr != nil {
+					f.Close()
+					return nil, nil, fmt.Errorf("wal: truncating torn tail of %s: %w", name, terr)
+				}
+				if terr := f.Sync(); terr != nil {
+					f.Close()
+					return nil, nil, fmt.Errorf("wal: syncing repaired %s: %w", name, terr)
+				}
+				if terr := f.Close(); terr != nil {
+					return nil, nil, fmt.Errorf("wal: closing repaired %s: %w", name, terr)
+				}
+			}
+		}
+	}
+
+	// Position for appends: continue the newest segment, or start the
+	// first one.
+	idx := 1
+	if len(segs) > 0 {
+		idx = segs[len(segs)-1]
+	}
+	name := filepath.Join(opts.Dir, fmt.Sprintf(segPattern, idx))
+	f, err := opts.FS.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: opening %s for append: %w", name, err)
+	}
+	if len(segs) == 0 {
+		if err := opts.FS.SyncDir(opts.Dir); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: syncing %s: %w", opts.Dir, err)
+		}
+	}
+	l.cur, l.curName, l.curIdx, l.curSize = f, name, idx, lastGood
+	return l, info, nil
+}
+
+// scanSegment folds the intact frame prefix of one segment into
+// sessions. It returns the byte length of that prefix, the record
+// count, and a non-nil error when the segment does not end cleanly
+// (torn frame, CRC mismatch, or undecodable payload).
+func scanSegment(data []byte, sessions map[string]*SessionImage) (int64, int, error) {
+	off := int64(0)
+	recs := 0
+	for int64(len(data))-off >= frameHeader {
+		n := int64(binary.LittleEndian.Uint32(data[off:]))
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if n > MaxRecordBytes {
+			return off, recs, fmt.Errorf("frame length %d exceeds limit at offset %d", n, off)
+		}
+		if int64(len(data))-off-frameHeader < n {
+			return off, recs, fmt.Errorf("torn frame at offset %d", off)
+		}
+		payload := data[off+frameHeader : off+frameHeader+n]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return off, recs, fmt.Errorf("CRC mismatch at offset %d", off)
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return off, recs, fmt.Errorf("undecodable record at offset %d: %v", off, err)
+		}
+		if err := Fold(sessions, &rec); err != nil {
+			return off, recs, err
+		}
+		off += frameHeader + n
+		recs++
+	}
+	if off != int64(len(data)) {
+		return off, recs, fmt.Errorf("torn frame header at offset %d", off)
+	}
+	return off, recs, nil
+}
+
+// EncodeFrame frames one record payload (tests and offline tools).
+func EncodeFrame(payload []byte) []byte {
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
+	copy(frame[frameHeader:], payload)
+	return frame
+}
+
+// Append frames and writes one record, fsyncing first under SyncAlways.
+// It returns the framed byte count. On a write error it repairs the
+// torn tail by truncating back; if the repair or an fsync fails the log
+// is marked broken and every later Append fails fast with ErrBroken.
+func (l *Log) Append(rec *Record) (int, error) {
+	if l.broken != nil {
+		return 0, l.broken
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return 0, fmt.Errorf("wal: encoding record: %w", err)
+	}
+	if len(payload) > MaxRecordBytes {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds limit", len(payload))
+	}
+	frame := EncodeFrame(payload)
+	if _, werr := l.cur.Write(frame); werr != nil {
+		// A short write left a torn tail; cut it back so the in-memory
+		// state and the log stay in lockstep.
+		if terr := l.cur.Truncate(l.curSize); terr != nil {
+			l.broken = fmt.Errorf("%w: write failed (%v) and truncate repair failed (%v)", ErrBroken, werr, terr)
+			return 0, l.broken
+		}
+		if serr := l.cur.Sync(); serr != nil {
+			l.broken = fmt.Errorf("%w: write failed (%v) and repair sync failed (%v)", ErrBroken, werr, serr)
+			return 0, l.broken
+		}
+		return 0, fmt.Errorf("wal: append: %w", werr)
+	}
+	if l.policy == SyncAlways {
+		if serr := l.cur.Sync(); serr != nil {
+			// Fail-stop: after a failed fsync the kernel may have dropped
+			// the dirty pages; acking anything further would be unsound.
+			l.broken = fmt.Errorf("%w: fsync failed: %v", ErrBroken, serr)
+			return 0, l.broken
+		}
+	} else {
+		l.dirty = true
+	}
+	l.curSize += int64(len(frame))
+	return len(frame), nil
+}
+
+// Sync flushes outstanding appends (the SyncInterval group commit). A
+// failed sync breaks the log (see Append).
+func (l *Log) Sync() error {
+	if l.broken != nil {
+		return l.broken
+	}
+	if !l.dirty {
+		return nil
+	}
+	if err := l.cur.Sync(); err != nil {
+		l.broken = fmt.Errorf("%w: fsync failed: %v", ErrBroken, err)
+		return l.broken
+	}
+	l.dirty = false
+	return nil
+}
+
+// Broken returns the sticky storage error, if any.
+func (l *Log) Broken() error { return l.broken }
+
+// SegmentSize returns the current segment's byte length.
+func (l *Log) SegmentSize() int64 { return l.curSize }
+
+// SegmentLimit returns the configured rotation threshold.
+func (l *Log) SegmentLimit() int64 { return l.segMax }
+
+// Rotate starts the next segment with the given snapshot record (the
+// caller's full session images), syncs it durable, then removes every
+// older segment. A failure before the new segment is durable leaves the
+// log on the old segment with the partial new one removed; a failure
+// while removing old segments is harmless (recovery folds across
+// segments in order) and reported for accounting only.
+func (l *Log) Rotate(snapshot *Record) error {
+	if l.broken != nil {
+		return l.broken
+	}
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	payload, err := json.Marshal(snapshot)
+	if err != nil {
+		return fmt.Errorf("wal: encoding snapshot: %w", err)
+	}
+	frame := EncodeFrame(payload)
+	nextIdx := l.curIdx + 1
+	nextName := filepath.Join(l.dir, fmt.Sprintf(segPattern, nextIdx))
+	abort := func(f faultfs.File, stage string, err error) error {
+		if f != nil {
+			f.Close()
+		}
+		// Best-effort: a partial next segment must not survive, or a
+		// snapshot torn mid-write could later be mistaken for the
+		// newest state. If the remove itself fails the log is broken.
+		if rerr := l.fs.Remove(nextName); rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
+			l.broken = fmt.Errorf("%w: rotate %s failed (%v) and cleanup failed (%v)", ErrBroken, stage, err, rerr)
+			return l.broken
+		}
+		return fmt.Errorf("wal: rotate %s: %w", stage, err)
+	}
+	f, err := l.fs.OpenFile(nextName, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return abort(nil, "create", err)
+	}
+	if _, err := f.Write(frame); err != nil {
+		return abort(f, "write", err)
+	}
+	if err := f.Sync(); err != nil {
+		return abort(f, "sync", err)
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		return abort(f, "syncdir", err)
+	}
+	old := l.cur
+	l.cur, l.curName, l.curIdx, l.curSize = f, nextName, nextIdx, int64(len(frame))
+	l.dirty = false
+	old.Close()
+	// Old segments are subsumed by the snapshot; removal failures cost
+	// only disk space.
+	var removeErr error
+	if names, err := l.fs.ReadDir(l.dir); err == nil {
+		for _, n := range names {
+			if idx, ok := segIndex(n); ok && idx < nextIdx {
+				if err := l.fs.Remove(filepath.Join(l.dir, n)); err != nil && removeErr == nil {
+					removeErr = err
+				}
+			}
+		}
+	}
+	if removeErr != nil {
+		return fmt.Errorf("wal: rotated, but removing old segments: %w", removeErr)
+	}
+	return l.fs.SyncDir(l.dir)
+}
+
+// Close flushes and closes the current segment. The broken flag is
+// preserved: closing a broken log reports why it broke.
+func (l *Log) Close() error {
+	if l.cur == nil {
+		return l.broken
+	}
+	var first error
+	if l.broken == nil && l.dirty {
+		if err := l.cur.Sync(); err != nil {
+			first = err
+		}
+	}
+	if err := l.cur.Close(); err != nil && first == nil {
+		first = err
+	}
+	l.cur = nil
+	if l.broken != nil {
+		return l.broken
+	}
+	return first
+}
+
+// ScanFrames parses raw segment bytes into per-record frame lengths —
+// the chaos harness uses this to enumerate every record boundary of a
+// generated log. The bool reports whether the bytes end cleanly.
+func ScanFrames(data []byte) (frames []int, clean bool) {
+	off := 0
+	for len(data)-off >= frameHeader {
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		if int64(n) > MaxRecordBytes || len(data)-off-frameHeader < n {
+			return frames, false
+		}
+		payload := data[off+frameHeader : off+frameHeader+n]
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[off+4:]) {
+			return frames, false
+		}
+		frames = append(frames, frameHeader+n)
+		off += frameHeader + n
+	}
+	return frames, off == len(data)
+}

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Runs the propagation-engine benchmarks and writes BENCH_propagation.json
 # at the repo root: one record per benchmark with ns/op, B/op, and
-# allocs/op (mean over -count runs).
+# allocs/op (mean over -count runs). Also runs the server/WAL durability
+# benchmarks and writes BENCH_server.json — BenchmarkApply compares the
+# in-memory accepted-op path against the durable path under each fsync
+# policy (the delta is the WAL append overhead), and BenchmarkAppend
+# isolates the raw framed-record append per policy.
 #
 # Usage: scripts/bench.sh [count]
 #   count  benchmark repetitions per entry (default 6)
@@ -54,3 +58,37 @@ END {
 }' "$RAW"
 
 echo "wrote $OUT"
+
+SRV_PATTERN='BenchmarkApply|BenchmarkAppend'
+SRV_OUT=BENCH_server.json
+
+go test -run '^$' -bench "$SRV_PATTERN" -benchmem -count "$COUNT" \
+    ./internal/server/ ./internal/wal/ | tee "$RAW"
+
+awk -v out="$SRV_OUT" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns != "")     { nsum[name] += ns;     n[name]++ }
+    if (bytes != "")  { bsum[name] += bytes }
+    if (allocs != "") { asum[name] += allocs }
+}
+END {
+    printf "{\n  \"benchmarks\": [\n" > out
+    first = 1
+    for (name in n) {
+        if (!first) printf ",\n" >> out
+        first = 0
+        printf "    {\"name\": \"%s\", \"runs\": %d, \"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.1f}", \
+            name, n[name], nsum[name]/n[name], bsum[name]/n[name], asum[name]/n[name] >> out
+    }
+    printf "\n  ]\n}\n" >> out
+}' "$RAW"
+
+echo "wrote $SRV_OUT"
