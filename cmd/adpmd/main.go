@@ -15,7 +15,7 @@
 //	POST   /sessions/{id}/ops   {"ops":[...]} atomic batch             → 200 deltas
 //	GET    /sessions/{id}/state                                        → 200 snapshot
 //	DELETE /sessions/{id}                                              → 200 summary
-//	GET    /stats, /healthz
+//	GET    /stats, /healthz, /readyz
 //
 // Backpressure: a full shard mailbox answers 429 with a Retry-After
 // derived from how congested it was; a draining server answers 503. On

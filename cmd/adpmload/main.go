@@ -1,0 +1,210 @@
+// Command adpmload is the deterministic load generator and capacity
+// tester for adpmd (internal/loadgen). It derives seeded designer
+// workloads from TeamSim runs, replays them against a live server (or
+// an in-process one with -hermetic), reports per-endpoint latency
+// histograms (p50/p90/p99/p99.9/max), throughput, and a status-code
+// taxonomy, cross-checks every acknowledged batch against a sequential
+// engine oracle, and — in -check mode — gates on an SLO spec.
+//
+// Usage:
+//
+//	adpmload -addr http://127.0.0.1:8080 \
+//	         [-scenario simplified] [-mode ADPM] [-seed 1] \
+//	         [-clients 8] [-sessions 2] [-batch 8] [-state-every 4] \
+//	         [-retry-frac 0.1] [-delete-frac 0.25] [-pool 4] [-ops 48] \
+//	         [-rate 0] [-duration 10s] [-ramp 2:2s,8:8s] \
+//	         [-out BENCH_load.json] [-trace load.jsonl] [-oracle] \
+//	         [-ready-timeout 10s] \
+//	         [-check -slo p99=200ms,errs=1%]
+//
+// Modes. The default is closed-loop: -clients workers each drive
+// scripted sessions back to back; with -duration 0 that is exactly one
+// pass over the derived program set (fixed work — two runs with the
+// same -seed issue identical request sequences). -rate R switches to
+// open-loop: session arrivals are scheduled at R per second for
+// -duration regardless of completions, the model that exposes
+// coordinated omission. -ramp runs a sequence of closed-loop phases
+// "clients:duration" (e.g. 2:2s,8:8s) before reporting.
+//
+// The oracle (on by default) replays each session's acked batches into
+// a fresh single-threaded engine session and compares the final served
+// state byte for byte; it assumes the target runs default propagation
+// options, so disable it with -oracle=false against tuned servers.
+//
+// Exit status: 0 on success, 1 on operational error, 2 when -check
+// finds an SLO violation or an oracle mismatch.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+func main() {
+	addr := flag.String("addr", "", "target base URL (e.g. http://127.0.0.1:8080)")
+	hermetic := flag.Bool("hermetic", false, "run against an in-process server instead of -addr")
+	scenarioName := flag.String("scenario", "simplified", "built-in scenario driving the workload")
+	mode := flag.String("mode", "ADPM", "transition mode: ADPM or conventional")
+	seed := flag.Int64("seed", 1, "workload seed (same seed, same request sequences)")
+	clients := flag.Int("clients", 8, "client programs / closed-loop workers")
+	sessions := flag.Int("sessions", 2, "sessions per client program")
+	batch := flag.Int("batch", loadgen.DefaultBatchSize, "operations per POST /ops batch")
+	stateEvery := flag.Int("state-every", loadgen.DefaultStateEvery, "GET /state every N batches (<0 disables)")
+	retryFrac := flag.Float64("retry-frac", 0.1, "probability a keyed batch is re-sent (idempotent replay)")
+	deleteFrac := flag.Float64("delete-frac", 0.25, "probability a session ends with DELETE")
+	pool := flag.Int("pool", loadgen.DefaultHistoryPool, "distinct TeamSim histories the programs draw from")
+	opsPer := flag.Int("ops", loadgen.DefaultOpsPerSession, "operations per session")
+	rate := flag.Float64("rate", 0, "open-loop session arrivals per second (0 = closed loop)")
+	duration := flag.Duration("duration", 0, "phase duration (closed loop: 0 = one fixed pass)")
+	ramp := flag.String("ramp", "", "closed-loop ramp phases as clients:duration[,clients:duration...]")
+	out := flag.String("out", "BENCH_load.json", "write the JSON report here (empty disables)")
+	traceFile := flag.String("trace", "", "write load-phase JSONL trace events here")
+	oracle := flag.Bool("oracle", true, "cross-check acked batches against the sequential oracle")
+	readyTimeout := flag.Duration("ready-timeout", 10*time.Second, "wait this long for the target's /readyz")
+	check := flag.Bool("check", false, "gate mode: exit 2 on SLO violation or oracle mismatch")
+	sloSpec := flag.String("slo", "", "SLO spec for -check, e.g. p99=200ms,errs=1%,throughput=50")
+	flag.Parse()
+
+	w := loadgen.Workload{
+		Scenario:          *scenarioName,
+		Mode:              *mode,
+		Seed:              *seed,
+		Clients:           *clients,
+		SessionsPerClient: *sessions,
+		BatchSize:         *batch,
+		StateEvery:        *stateEvery,
+		RetryFrac:         *retryFrac,
+		DeleteFrac:        *deleteFrac,
+		HistoryPool:       *pool,
+		OpsPerSession:     *opsPer,
+	}
+	programs, err := loadgen.BuildPrograms(w)
+	fail(err)
+
+	var slo *loadgen.SLO
+	if *sloSpec != "" {
+		slo, err = loadgen.ParseSLO(*sloSpec)
+		fail(err)
+	}
+	if *check && slo == nil && !*oracle {
+		fail(fmt.Errorf("-check needs -slo and/or -oracle"))
+	}
+
+	phases, err := buildPhases(*ramp, *clients, *rate, *duration)
+	fail(err)
+
+	var target loadgen.Target
+	switch {
+	case *hermetic:
+		srv, err := server.Open(server.Options{})
+		fail(err)
+		defer srv.Drain()
+		target = &loadgen.HandlerTarget{Handler: srv.Handler()}
+	case *addr != "":
+		ht := &loadgen.HTTPTarget{Base: *addr}
+		fail(ht.WaitReady(*readyTimeout))
+		target = ht
+	default:
+		fail(fmt.Errorf("need -addr or -hermetic"))
+	}
+
+	var rec *trace.Recorder
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		fail(err)
+		defer f.Close()
+		rec = trace.New(trace.Options{W: f})
+		defer rec.Close()
+	}
+
+	runner := &loadgen.Runner{Target: target, Programs: programs, Seed: *seed, Tracer: rec}
+	res, err := runner.Run(phases)
+	fail(err)
+
+	var orc *loadgen.OracleResult
+	if *oracle {
+		orc, err = loadgen.CheckOracle(res)
+		fail(err)
+	}
+	rep := loadgen.BuildReport(w, res, orc)
+
+	gateOK := true
+	if slo != nil {
+		var sloOK bool
+		rep.SLO, sloOK = slo.Eval(rep)
+		gateOK = gateOK && sloOK
+	}
+	if *check && orc != nil && !orc.OK() {
+		gateOK = false
+	}
+
+	if *out != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		fail(err)
+		fail(os.WriteFile(*out, append(b, '\n'), 0o644))
+	}
+	fmt.Print(rep.Human())
+
+	if *check && !gateOK {
+		if orc != nil && !orc.OK() {
+			fmt.Fprintf(os.Stderr, "adpmload: oracle mismatches:\n")
+			for _, m := range orc.Mismatches {
+				fmt.Fprintf(os.Stderr, "  %s\n", m)
+			}
+		}
+		fmt.Fprintln(os.Stderr, "adpmload: SLO gate FAILED")
+		os.Exit(2)
+	}
+}
+
+// buildPhases assembles the phase list from the mode flags: a -ramp
+// spec wins, then open-loop (-rate), then a single closed-loop phase.
+func buildPhases(ramp string, clients int, rate float64, duration time.Duration) ([]loadgen.Phase, error) {
+	if ramp != "" {
+		if rate > 0 {
+			return nil, fmt.Errorf("-ramp and -rate are mutually exclusive")
+		}
+		var phases []loadgen.Phase
+		for i, part := range strings.Split(ramp, ",") {
+			cs, ds, ok := strings.Cut(strings.TrimSpace(part), ":")
+			if !ok {
+				return nil, fmt.Errorf("ramp phase %q is not clients:duration", part)
+			}
+			c, err := strconv.Atoi(cs)
+			if err != nil || c <= 0 {
+				return nil, fmt.Errorf("ramp phase %q: bad client count", part)
+			}
+			d, err := time.ParseDuration(ds)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("ramp phase %q: bad duration", part)
+			}
+			phases = append(phases, loadgen.Phase{
+				Name: fmt.Sprintf("ramp-%d", i), Clients: c, Duration: d,
+			})
+		}
+		return phases, nil
+	}
+	if rate > 0 {
+		if duration <= 0 {
+			return nil, fmt.Errorf("open loop (-rate) needs a positive -duration")
+		}
+		return []loadgen.Phase{{Name: "open", Rate: rate, Duration: duration}}, nil
+	}
+	return []loadgen.Phase{{Name: "closed", Clients: clients, Duration: duration}}, nil
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adpmload:", err)
+		os.Exit(1)
+	}
+}

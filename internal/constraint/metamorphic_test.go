@@ -1,0 +1,295 @@
+package constraint_test
+
+// Metamorphic suite: declaration order must not change what the DCM
+// computes. Two relations are checked over the differential corpus
+// (scenario × mode × seed), with realistic bindings taken from seeded
+// TeamSim runs:
+//
+//  1. Property-insertion-order permutation with constraint order held
+//     fixed yields bit-identical fixpoint windows AND identical
+//     evaluation counts — the worklist is seeded in constraint
+//     insertion order, so renumbering properties must be invisible.
+//  2. Constraint-declaration-order permutation changes the revise
+//     schedule (eval counts may differ), but after CanonicalClone —
+//     which re-interns both properties and constraints in sorted-name
+//     order — the permuted and original networks propagate bit-
+//     identically: same windows, same eval counts, same revise counts.
+//     Fixpoint windows themselves must also agree without
+//     canonicalization (HC4 fixpoints are confluent).
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/dddl"
+	"repro/internal/domain"
+	"repro/internal/dpm"
+	"repro/internal/scenario"
+	"repro/internal/teamsim"
+)
+
+// conSpec is one constraint declaration in BuildNetwork's order:
+// derived-property defining equalities first (property declaration
+// order), then the scenario's explicit constraints.
+type conSpec struct {
+	name string
+	src  string
+	mono map[string]int
+}
+
+func conSpecs(scn *dddl.Scenario) []conSpec {
+	var out []conSpec
+	for _, pd := range scn.Properties {
+		if pd.IsDerived() {
+			out = append(out, conSpec{name: pd.Name + ".def", src: pd.Name + " == " + pd.Formula})
+		}
+	}
+	for _, cd := range scn.Constraints {
+		out = append(out, conSpec{name: cd.Name, src: cd.Src, mono: cd.Mono})
+	}
+	return out
+}
+
+// buildPermuted rebuilds the scenario's network with properties added
+// in propOrder and constraints in conOrder (indices into
+// scn.Properties / conSpecs). Requirements bind in scenario order, as
+// BuildNetwork does.
+func buildPermuted(t *testing.T, scn *dddl.Scenario, propOrder, conOrder []int) *constraint.Network {
+	t.Helper()
+	net := constraint.NewNetwork()
+	for _, pi := range propOrder {
+		pd := scn.Properties[pi]
+		p := constraint.NewProperty(pd.Name, pd.Domain)
+		p.Object = pd.Object
+		p.Owner = pd.Owner
+		if err := net.AddProperty(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	specs := conSpecs(scn)
+	for _, ci := range conOrder {
+		sp := specs[ci]
+		c, err := constraint.ParseConstraint(sp.name, sp.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sp.mono) > 0 {
+			c.MonoOverride = map[string]int{}
+			for k, v := range sp.mono {
+				c.MonoOverride[k] = v
+			}
+		}
+		if err := net.AddConstraint(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range scn.Requirements {
+		if err := net.Bind(r.Property, r.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// bindFinalValues applies a TeamSim run's final bindings (sorted by
+// name, so both sides bind identically) and runs propagation to a
+// fixpoint, returning the result.
+func bindFinalValues(t *testing.T, net *constraint.Network, values map[string]float64) constraint.PropagateResult {
+	t.Helper()
+	names := make([]string, 0, len(values))
+	for name := range values {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := net.Property(name)
+		if p == nil {
+			t.Fatalf("final value for unknown property %q", name)
+		}
+		v := domain.Real(values[name])
+		if p.CanBind(v) != nil {
+			continue
+		}
+		if err := net.Bind(name, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.ResetFeasible()
+	return net.Propagate(constraint.PropagateOptions{})
+}
+
+// windowsEqual asserts every property's fixpoint feasible subspace is
+// identical across the two networks.
+func windowsEqual(t *testing.T, label string, a, b *constraint.Network) {
+	t.Helper()
+	for _, name := range a.SortedPropertyNames() {
+		pa, pb := a.Property(name), b.Property(name)
+		if pb == nil {
+			t.Fatalf("%s: property %q missing from permuted network", label, name)
+		}
+		if !pa.Feasible().Equal(pb.Feasible()) {
+			t.Fatalf("%s: window divergence on %q:\n  base:     %v\n  permuted: %v",
+				label, name, pa.Feasible(), pb.Feasible())
+		}
+	}
+}
+
+func sortedCopy(s []string) []string {
+	out := append([]string(nil), s...)
+	sort.Strings(out)
+	return out
+}
+
+func stringsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func metamorphicConfigs(t *testing.T) []teamsim.Config {
+	var cfgs []teamsim.Config
+	for _, name := range []string{"simplified", "receiver"} {
+		if name == "receiver" && testing.Short() {
+			continue
+		}
+		scn, err := scenario.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []dpm.Mode{dpm.ADPM, dpm.Conventional} {
+			for seed := int64(1); seed <= 16; seed++ {
+				cfgs = append(cfgs, teamsim.Config{
+					Scenario: scn, Mode: mode, Seed: seed, MaxOps: 300,
+				})
+			}
+		}
+	}
+	return cfgs
+}
+
+// TestMetamorphicDeclarationOrder sweeps the differential-corpus
+// configurations and checks both order-invariance relations under
+// bindings taken from the corresponding seeded run.
+func TestMetamorphicDeclarationOrder(t *testing.T) {
+	for _, cfg := range metamorphicConfigs(t) {
+		res, err := teamsim.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scn := cfg.Scenario
+		rng := rand.New(rand.NewSource(cfg.Seed * 7919))
+		nProps := len(scn.Properties)
+		nCons := len(conSpecs(scn))
+
+		// Leg 1: permute property insertion order, constraint order fixed.
+		base := buildPermuted(t, scn, identity(nProps), identity(nCons))
+		permProps := buildPermuted(t, scn, rng.Perm(nProps), identity(nCons))
+		resBase := bindFinalValues(t, base, res.FinalValues)
+		resPerm := bindFinalValues(t, permProps, res.FinalValues)
+		label := cfg.Scenario.Name + "/" + cfg.Mode.String()
+		windowsEqual(t, label+" prop-order", base, permProps)
+		if base.EvalCount() != permProps.EvalCount() {
+			t.Fatalf("%s seed %d: prop-order permutation changed eval count: %d vs %d",
+				label, cfg.Seed, base.EvalCount(), permProps.EvalCount())
+		}
+		if resBase.Evaluations != resPerm.Evaluations || resBase.Revisions != resPerm.Revisions ||
+			resBase.Capped != resPerm.Capped {
+			t.Fatalf("%s seed %d: prop-order permutation changed propagation accounting: %+v vs %+v",
+				label, cfg.Seed, resBase, resPerm)
+		}
+		if !stringsEqual(sortedCopy(resBase.Narrowed), sortedCopy(resPerm.Narrowed)) ||
+			!stringsEqual(sortedCopy(resBase.Emptied), sortedCopy(resPerm.Emptied)) ||
+			!stringsEqual(sortedCopy(resBase.Violated), sortedCopy(resPerm.Violated)) {
+			t.Fatalf("%s seed %d: prop-order permutation changed narrow/empty/violation sets",
+				label, cfg.Seed)
+		}
+
+		// Leg 2: permute constraint declaration order. Fixpoint windows
+		// must agree directly (confluence) ...
+		permCons := buildPermuted(t, scn, identity(nProps), rng.Perm(nCons))
+		bindFinalValues(t, permCons, res.FinalValues)
+		windowsEqual(t, label+" con-order", base, permCons)
+
+		// ... and after canonicalization the permuted and original
+		// networks must propagate bit-identically, eval counts included.
+		canonA := buildPermuted(t, scn, identity(nProps), identity(nCons)).CanonicalClone()
+		canonB := buildPermuted(t, scn, rng.Perm(nProps), rng.Perm(nCons)).CanonicalClone()
+		resA := bindFinalValues(t, canonA, res.FinalValues)
+		resB := bindFinalValues(t, canonB, res.FinalValues)
+		windowsEqual(t, label+" canonical", canonA, canonB)
+		if canonA.EvalCount() != canonB.EvalCount() {
+			t.Fatalf("%s seed %d: canonical clones diverged in eval count: %d vs %d",
+				label, cfg.Seed, canonA.EvalCount(), canonB.EvalCount())
+		}
+		if resA.Evaluations != resB.Evaluations || resA.Revisions != resB.Revisions ||
+			resA.Capped != resB.Capped ||
+			!stringsEqual(resA.Narrowed, resB.Narrowed) ||
+			!stringsEqual(resA.Emptied, resB.Emptied) ||
+			!stringsEqual(resA.Violated, resB.Violated) {
+			t.Fatalf("%s seed %d: canonical clones diverged in propagation accounting:\n%+v\nvs\n%+v",
+				label, cfg.Seed, resA, resB)
+		}
+	}
+}
+
+// TestCanonicalClonePreservesState checks CanonicalClone carries over
+// bindings, feasible subspaces, statuses, and the eval counter.
+func TestCanonicalClonePreservesState(t *testing.T) {
+	scn, err := scenario.ByName("simplified")
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := scn.BuildNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Propagate(constraint.PropagateOptions{})
+	net.EvaluateAll()
+	clone := net.CanonicalClone()
+	if clone.NumProperties() != net.NumProperties() || clone.NumConstraints() != net.NumConstraints() {
+		t.Fatalf("clone shape %d/%d, want %d/%d",
+			clone.NumProperties(), clone.NumConstraints(), net.NumProperties(), net.NumConstraints())
+	}
+	if clone.EvalCount() != net.EvalCount() {
+		t.Fatalf("clone evals %d, want %d", clone.EvalCount(), net.EvalCount())
+	}
+	for _, name := range net.SortedPropertyNames() {
+		p, q := net.Property(name), clone.Property(name)
+		if !p.Feasible().Equal(q.Feasible()) {
+			t.Fatalf("feasible subspace of %q not preserved", name)
+		}
+		if pv, ok := p.Value(); ok {
+			qv, qok := q.Value()
+			if !qok || pv != qv {
+				t.Fatalf("binding of %q not preserved", name)
+			}
+		} else if q.IsBound() {
+			t.Fatalf("clone invented a binding for %q", name)
+		}
+	}
+	for _, c := range net.Constraints() {
+		if net.Status(c.Name) != clone.Status(c.Name) {
+			t.Fatalf("status of %q not preserved", c.Name)
+		}
+	}
+	if !stringsEqual(net.Violations(), sortedCopy(clone.Violations())) &&
+		!stringsEqual(sortedCopy(net.Violations()), sortedCopy(clone.Violations())) {
+		t.Fatalf("violations not preserved: %v vs %v", net.Violations(), clone.Violations())
+	}
+}

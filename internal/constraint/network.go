@@ -512,6 +512,39 @@ func (n *Network) Restore(s *Snapshot) {
 	n.evals = s.evals
 }
 
+// CanonicalClone returns an order-normalized deep copy: properties and
+// constraints re-interned in sorted-name order, with feasible
+// subspaces, bindings, constraint statuses, and the eval counter
+// preserved. Declaration order is the one thing a canonical clone
+// forgets — two networks that differ only in the order their
+// properties and constraints were added have structurally identical
+// canonical clones, so propagation on the clones seeds its worklist
+// identically. The metamorphic suite uses this to separate the
+// observables that may depend on declaration order (worklist seeding,
+// hence revise schedules) from those that must not (fixpoint windows).
+func (n *Network) CanonicalClone() *Network {
+	out := NewNetwork()
+	for _, name := range n.SortedPropertyNames() {
+		if err := out.AddProperty(n.propList[n.propIDs[name]].clone()); err != nil {
+			panic("constraint: CanonicalClone: " + err.Error())
+		}
+	}
+	conNames := make([]string, 0, len(n.conList))
+	for _, c := range n.conList {
+		conNames = append(conNames, c.Name)
+	}
+	sort.Strings(conNames)
+	for _, name := range conNames {
+		ci := n.conIDs[name]
+		if err := out.AddConstraint(n.conList[ci]); err != nil {
+			panic("constraint: CanonicalClone: " + err.Error())
+		}
+		out.status[out.conIDs[name]] = n.status[ci]
+	}
+	out.evals = n.evals
+	return out
+}
+
 // Clone returns an independent deep copy of the network. The immutable
 // structure tables are shared copy-on-write; only properties' mutable
 // state and constraint statuses are duplicated.

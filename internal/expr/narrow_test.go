@@ -256,7 +256,7 @@ func TestQuickNarrowSound(t *testing.T) {
 		}
 		return containsTol(bx["x"], x) && containsTol(bx["y"], y)
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+	if err := quick.Check(f, quickCfg(500)); err != nil {
 		t.Error(err)
 	}
 }
@@ -275,7 +275,7 @@ func TestQuickNarrowContractive(t *testing.T) {
 		}
 		return A.ContainsInterval(bx["x"]) && B.ContainsInterval(bx["y"])
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+	if err := quick.Check(f, quickCfg(500)); err != nil {
 		t.Error(err)
 	}
 }

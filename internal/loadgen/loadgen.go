@@ -1,0 +1,267 @@
+// Package loadgen is the deterministic load-generation and
+// capacity-testing subsystem for the ADPM server (cmd/adpmload): it
+// derives realistic designer workloads from seeded TeamSim runs,
+// replays them against a live adpmd or an in-process server.Handler in
+// open-loop (fixed arrival rate) or closed-loop (N concurrent clients)
+// mode, records per-endpoint latency in log-bucketed HDR-style
+// histograms (stats.LogHist), and cross-checks every acknowledged
+// batch against a single-threaded engine oracle — making the load tool
+// a correctness instrument as well as a capacity one (the CSM-model
+// verification idea: concurrent executions validated against a
+// sequential specification).
+//
+// Determinism contract: a Workload is a pure function of its fields.
+// BuildPrograms(w) twice yields identical programs — identical request
+// bodies, idempotency keys, and injected retries — so two hermetic
+// runs with the same seed issue identical request sequences and reach
+// identical oracle-checked final session states. Wall-clock latency is
+// the only nondeterministic output.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dpm"
+	"repro/internal/scenario"
+	"repro/internal/server"
+	"repro/internal/teamsim"
+)
+
+// Workload defaults.
+const (
+	DefaultBatchSize     = 8
+	DefaultStateEvery    = 4
+	DefaultHistoryPool   = 4
+	DefaultOpsPerSession = 48
+)
+
+// Workload parameterizes a deterministic client-program set.
+type Workload struct {
+	// Scenario is a built-in scenario name (simplified, receiver,
+	// sensor).
+	Scenario string
+	// Mode is the transition mode: "ADPM" (default) or "conventional".
+	Mode string
+	// Seed drives every stochastic choice: the history pool, each
+	// client's history picks, retry injection, and delete decisions.
+	Seed int64
+	// Clients is the number of client programs to derive.
+	Clients int
+	// SessionsPerClient is how many sessions each client program runs
+	// in sequence; 0 means 1.
+	SessionsPerClient int
+	// BatchSize is the number of operations per POST /ops batch; 0
+	// means DefaultBatchSize.
+	BatchSize int
+	// StateEvery inserts a GET /state after every N-th batch; 0 means
+	// DefaultStateEvery, negative disables intermediate reads. A final
+	// state read always closes the session (the oracle compares it).
+	StateEvery int
+	// RetryFrac is the probability (0..1) that a keyed batch is
+	// immediately re-sent with the same key and body — exercising the
+	// idempotent-replay path under load.
+	RetryFrac float64
+	// DeleteFrac is the probability (0..1) that a session ends with
+	// DELETE after its final state read.
+	DeleteFrac float64
+	// HistoryPool is how many distinct TeamSim histories the programs
+	// draw from; 0 means DefaultHistoryPool.
+	HistoryPool int
+	// OpsPerSession caps the operations drawn from a history per
+	// session (also the TeamSim op budget when generating the pool); 0
+	// means DefaultOpsPerSession.
+	OpsPerSession int
+}
+
+func (w Workload) withDefaults() Workload {
+	if w.Mode == "" {
+		w.Mode = "ADPM"
+	}
+	if w.Clients <= 0 {
+		w.Clients = 1
+	}
+	if w.SessionsPerClient <= 0 {
+		w.SessionsPerClient = 1
+	}
+	if w.BatchSize <= 0 {
+		w.BatchSize = DefaultBatchSize
+	}
+	if w.StateEvery == 0 {
+		w.StateEvery = DefaultStateEvery
+	}
+	if w.HistoryPool <= 0 {
+		w.HistoryPool = DefaultHistoryPool
+	}
+	if w.OpsPerSession <= 0 {
+		w.OpsPerSession = DefaultOpsPerSession
+	}
+	return w
+}
+
+// StepKind classifies one program step.
+type StepKind int
+
+// Program step kinds, mapping 1:1 onto the adpmd API.
+const (
+	StepCreate StepKind = iota
+	StepOps
+	StepState
+	StepDelete
+)
+
+// String names the step kind (also the latency-endpoint label).
+func (k StepKind) String() string {
+	switch k {
+	case StepCreate:
+		return "create"
+	case StepOps:
+		return "ops"
+	case StepState:
+		return "state"
+	case StepDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("StepKind(%d)", int(k))
+}
+
+// Step is one HTTP request of a client program.
+type Step struct {
+	Kind StepKind
+	// Ops is the batch in wire form (StepOps); EngineOps is its
+	// engine-level twin, carried so the oracle replays acked batches
+	// without a decode round-trip.
+	Ops       []server.WireOp
+	EngineOps []dpm.Operation
+	// Key is the batch's idempotency key (StepOps).
+	Key string
+	// Retry marks an injected duplicate of the previous keyed batch:
+	// the expected outcome is a cached ack with Idempotent-Replay.
+	Retry bool
+}
+
+// Program is one client's scripted session: a create, a sequence of op
+// batches with interleaved state reads and injected retries, a final
+// state read, and an optional delete.
+type Program struct {
+	// Client/Ordinal locate the program: client index and session
+	// ordinal within that client.
+	Client  int
+	Ordinal int
+	// Scenario/Mode/MaxOps echo the create request.
+	Scenario string
+	Mode     string
+	MaxOps   int
+	Steps    []Step
+}
+
+// Requests returns the number of HTTP requests the program issues.
+func (p *Program) Requests() int { return len(p.Steps) }
+
+// BuildPrograms derives the full deterministic program set of a
+// workload. The history pool is generated first (one seeded TeamSim
+// run per entry — the paper's designer teams are the load model, so
+// request streams carry realistic operation mixes, not synthetic
+// no-ops); each client then scripts its sessions with a client-local
+// RNG, so programs are independent of build order and bit-identical
+// across calls.
+func BuildPrograms(w Workload) ([]Program, error) {
+	w = w.withDefaults()
+	scn, err := scenario.ByName(w.Scenario)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %v", err)
+	}
+	mode, err := parseMode(w.Mode)
+	if err != nil {
+		return nil, err
+	}
+	pool := make([][]dpm.Operation, w.HistoryPool)
+	for i := range pool {
+		res, err := teamsim.Run(teamsim.Config{
+			Scenario: scn,
+			Mode:     mode,
+			Seed:     w.Seed + int64(i)*1_000_003,
+			MaxOps:   w.OpsPerSession,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: history pool run %d: %v", i, err)
+		}
+		var ops []dpm.Operation
+		for _, tr := range res.Process.History() {
+			ops = append(ops, tr.Op)
+		}
+		pool[i] = ops
+	}
+
+	var progs []Program
+	for c := 0; c < w.Clients; c++ {
+		rng := rand.New(rand.NewSource(w.Seed ^ (int64(c+1) * 0x9E3779B9)))
+		for s := 0; s < w.SessionsPerClient; s++ {
+			ops := pool[rng.Intn(len(pool))]
+			prog := Program{
+				Client:   c,
+				Ordinal:  s,
+				Scenario: w.Scenario,
+				Mode:     w.Mode,
+				MaxOps:   maxInt(len(ops), 1),
+			}
+			prog.Steps = append(prog.Steps, Step{Kind: StepCreate})
+			batch := 0
+			for start := 0; start < len(ops); start += w.BatchSize {
+				end := minInt(start+w.BatchSize, len(ops))
+				chunk := ops[start:end]
+				wire := make([]server.WireOp, len(chunk))
+				for i, op := range chunk {
+					wire[i] = server.WireFromOperation(op)
+				}
+				step := Step{
+					Kind:      StepOps,
+					Ops:       wire,
+					EngineOps: chunk,
+					Key:       fmt.Sprintf("c%d-s%d-b%d", c, s, batch),
+				}
+				prog.Steps = append(prog.Steps, step)
+				if rng.Float64() < w.RetryFrac {
+					dup := step
+					dup.Retry = true
+					prog.Steps = append(prog.Steps, dup)
+				}
+				batch++
+				if w.StateEvery > 0 && batch%w.StateEvery == 0 {
+					prog.Steps = append(prog.Steps, Step{Kind: StepState})
+				}
+			}
+			prog.Steps = append(prog.Steps, Step{Kind: StepState})
+			if rng.Float64() < w.DeleteFrac {
+				prog.Steps = append(prog.Steps, Step{Kind: StepDelete})
+			}
+			progs = append(progs, prog)
+		}
+	}
+	return progs, nil
+}
+
+// parseMode resolves a workload mode name.
+func parseMode(s string) (dpm.Mode, error) {
+	switch s {
+	case "", "ADPM", "adpm":
+		return dpm.ADPM, nil
+	case "conventional":
+		return dpm.Conventional, nil
+	}
+	return dpm.ADPM, fmt.Errorf("loadgen: unknown mode %q", s)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,149 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// EndpointReport is one endpoint's (or the aggregate "total" row's)
+// latency and status summary. Latencies are milliseconds from the
+// log-bucketed histogram (≤ ~3.1% relative quantile error).
+type EndpointReport struct {
+	Endpoint      string            `json:"endpoint"`
+	Requests      uint64            `json:"requests"`
+	Errors        uint64            `json:"errors"`
+	Statuses      map[string]uint64 `json:"statuses"`
+	ThroughputRPS float64           `json:"throughput_rps"`
+	MeanMs        float64           `json:"mean_ms"`
+	P50Ms         float64           `json:"p50_ms"`
+	P90Ms         float64           `json:"p90_ms"`
+	P99Ms         float64           `json:"p99_ms"`
+	P999Ms        float64           `json:"p99_9_ms"`
+	MaxMs         float64           `json:"max_ms"`
+}
+
+// Report is the BENCH_load.json schema: workload configuration, phase
+// summaries, aggregate and per-endpoint latency/throughput/status
+// taxonomies, idempotent-replay count, oracle verdict, and (in -check
+// mode) the SLO results.
+type Report struct {
+	Tool          string           `json:"tool"`
+	Workload      Workload         `json:"workload"`
+	Phases        []PhaseStats     `json:"phases"`
+	WallSeconds   float64          `json:"wall_seconds"`
+	Requests      uint64           `json:"requests"`
+	Errors        uint64           `json:"errors"`
+	ErrorRate     float64          `json:"error_rate"`
+	ThroughputRPS float64          `json:"throughput_rps"`
+	Replays       uint64           `json:"idempotent_replays"`
+	Total         EndpointReport   `json:"total"`
+	Endpoints     []EndpointReport `json:"endpoints"`
+	Oracle        *OracleResult    `json:"oracle,omitempty"`
+	SLO           []SLOResult      `json:"slo,omitempty"`
+}
+
+// isError classifies a status for the error-rate taxonomy: transport
+// failures (0) and every 4xx/5xx. Idempotent replays are 200s and never
+// count.
+func isError(status int) bool { return status == 0 || status >= 400 }
+
+func endpointReport(label string, agg *endpointAgg, wallSec float64) EndpointReport {
+	ep := EndpointReport{
+		Endpoint: label,
+		Requests: agg.hist.Count(),
+		Statuses: map[string]uint64{},
+		MeanMs:   agg.hist.Mean() / 1e6,
+		P50Ms:    float64(agg.hist.Quantile(0.50)) / 1e6,
+		P90Ms:    float64(agg.hist.Quantile(0.90)) / 1e6,
+		P99Ms:    float64(agg.hist.Quantile(0.99)) / 1e6,
+		P999Ms:   float64(agg.hist.Quantile(0.999)) / 1e6,
+		MaxMs:    float64(agg.hist.Max()) / 1e6,
+	}
+	for code, n := range agg.statuses {
+		ep.Statuses[strconv.Itoa(code)] = n
+		if isError(code) {
+			ep.Errors += n
+		}
+	}
+	if wallSec > 0 {
+		ep.ThroughputRPS = float64(ep.Requests) / wallSec
+	}
+	return ep
+}
+
+// BuildReport assembles the report from a run (and optional oracle
+// verdict).
+func BuildReport(w Workload, res *RunResult, oracle *OracleResult) *Report {
+	rep := &Report{
+		Tool:        "adpmload",
+		Workload:    w.withDefaults(),
+		Phases:      res.Phases,
+		WallSeconds: res.Wall.Seconds(),
+		Requests:    res.Requests,
+		Replays:     res.Replays,
+		Oracle:      oracle,
+	}
+	total := &endpointAgg{statuses: map[int]uint64{}}
+	for _, label := range res.Endpoints() {
+		agg := res.endpoints[label]
+		rep.Endpoints = append(rep.Endpoints, endpointReport(label, agg, rep.WallSeconds))
+		total.hist.Merge(&agg.hist)
+		for code, n := range agg.statuses {
+			total.statuses[code] += n
+		}
+	}
+	rep.Total = endpointReport("total", total, rep.WallSeconds)
+	rep.Errors = rep.Total.Errors
+	if rep.Requests > 0 {
+		rep.ErrorRate = float64(rep.Errors) / float64(rep.Requests)
+	}
+	rep.ThroughputRPS = rep.Total.ThroughputRPS
+	return rep
+}
+
+// Human renders the report as the terminal summary.
+func (rep *Report) Human() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "adpmload: scenario=%s mode=%s seed=%d\n",
+		rep.Workload.Scenario, rep.Workload.Mode, rep.Workload.Seed)
+	for _, ph := range rep.Phases {
+		fmt.Fprintf(&b, "  phase %-12s %-6s clients=%-4d reqs=%-7d %.2fs\n",
+			ph.Name, ph.Mode, ph.Clients, ph.Requests, ph.Duration.Seconds())
+	}
+	fmt.Fprintf(&b, "  %-8s %9s %8s %9s %9s %9s %9s %9s %9s\n",
+		"endpoint", "reqs", "errs", "rps", "p50ms", "p90ms", "p99ms", "p99.9ms", "maxms")
+	rows := append([]EndpointReport{}, rep.Endpoints...)
+	rows = append(rows, rep.Total)
+	for _, ep := range rows {
+		fmt.Fprintf(&b, "  %-8s %9d %8d %9.1f %9.3f %9.3f %9.3f %9.3f %9.3f\n",
+			ep.Endpoint, ep.Requests, ep.Errors, ep.ThroughputRPS,
+			ep.P50Ms, ep.P90Ms, ep.P99Ms, ep.P999Ms, ep.MaxMs)
+	}
+	if rep.Replays > 0 {
+		fmt.Fprintf(&b, "  idempotent replays: %d\n", rep.Replays)
+	}
+	statuses := make([]string, 0, len(rep.Total.Statuses))
+	for code := range rep.Total.Statuses {
+		statuses = append(statuses, code)
+	}
+	sort.Strings(statuses)
+	b.WriteString("  statuses:")
+	for _, code := range statuses {
+		fmt.Fprintf(&b, " %s=%d", code, rep.Total.Statuses[code])
+	}
+	b.WriteString("\n")
+	if rep.Oracle != nil {
+		fmt.Fprintf(&b, "  oracle: %d sessions, %d checked, %d skipped, %d mismatches\n",
+			rep.Oracle.Sessions, rep.Oracle.Checked, rep.Oracle.Skipped, len(rep.Oracle.Mismatches))
+	}
+	for _, r := range rep.SLO {
+		verdict := "ok"
+		if !r.OK {
+			verdict = "VIOLATED"
+		}
+		fmt.Fprintf(&b, "  slo %-12s limit=%-10s actual=%-10s %s\n", r.Name, r.Limit, r.Actual, verdict)
+	}
+	return b.String()
+}

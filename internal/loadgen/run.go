@@ -1,0 +1,349 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dpm"
+	"repro/internal/server"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Phase is one segment of a load run. Phases execute in sequence, so a
+// ramp is just a list of phases with increasing Clients or Rate.
+type Phase struct {
+	// Name labels the phase in the report and the trace stream.
+	Name string
+	// Clients is the closed-loop worker count; used when Rate == 0.
+	Clients int
+	// Rate, when > 0, switches the phase to open-loop: program arrivals
+	// are scheduled at Rate per second regardless of completions, each
+	// running on its own goroutine (the standard open-loop model that
+	// exposes coordinated omission).
+	Rate float64
+	// Duration bounds the phase. In closed-loop mode a zero Duration
+	// means one full pass over the program set — fixed work, which is
+	// what the hermetic determinism tests need. Open-loop phases
+	// require a positive Duration.
+	Duration time.Duration
+}
+
+// SessionTrace records what one executed program actually did: the
+// acked batches (in order), the last served state snapshot, and the
+// session's resolved identity — everything the oracle needs.
+type SessionTrace struct {
+	// ID is the server-assigned session id ("" if create failed).
+	ID string
+	// Program is the script this session executed.
+	Program *Program
+	// Scenario and MaxOps are what the server resolved at create time.
+	Scenario string
+	MaxOps   int
+	// Acked holds the engine-level batches acknowledged with 200 and
+	// not flagged Idempotent-Replay, in send order. The server's
+	// session state is exactly these batches applied in order.
+	Acked [][]dpm.Operation
+	// FinalState is the body of the last successful GET /state.
+	FinalState []byte
+	// Deleted marks a session retired by its program.
+	Deleted bool
+	// CreateFailed marks a program whose create was rejected (e.g.
+	// 429 under overload); no further steps were attempted.
+	CreateFailed bool
+}
+
+// endpointAgg accumulates one endpoint's latency histogram and status
+// taxonomy.
+type endpointAgg struct {
+	hist     stats.LogHist
+	statuses map[int]uint64
+}
+
+// PhaseStats summarizes one executed phase.
+type PhaseStats struct {
+	Name     string        `json:"name"`
+	Mode     string        `json:"mode"` // "closed" or "open"
+	Clients  int           `json:"clients,omitempty"`
+	Rate     float64       `json:"rate,omitempty"`
+	Requests uint64        `json:"requests"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// RunResult is the raw outcome of a load run: merged per-endpoint
+// metrics plus one SessionTrace per executed program instance.
+type RunResult struct {
+	Wall      time.Duration
+	Requests  uint64
+	Replays   uint64
+	Phases    []PhaseStats
+	Sessions  []*SessionTrace
+	endpoints map[string]*endpointAgg
+}
+
+// Endpoints lists the endpoint labels seen, in a stable order.
+func (r *RunResult) Endpoints() []string {
+	var out []string
+	for _, k := range []StepKind{StepCreate, StepOps, StepState, StepDelete} {
+		if _, ok := r.endpoints[k.String()]; ok {
+			out = append(out, k.String())
+		}
+	}
+	return out
+}
+
+// workerState is one goroutine's private metrics, merged into the
+// collector when the goroutine finishes — per-request locking would
+// serialize the very contention the tool exists to create.
+type workerState struct {
+	endpoints map[string]*endpointAgg
+	requests  uint64
+	replays   uint64
+	sessions  []*SessionTrace
+}
+
+func newWorkerState() *workerState {
+	return &workerState{endpoints: map[string]*endpointAgg{}}
+}
+
+func (w *workerState) record(label string, status int, d time.Duration) {
+	agg := w.endpoints[label]
+	if agg == nil {
+		agg = &endpointAgg{statuses: map[int]uint64{}}
+		w.endpoints[label] = agg
+	}
+	agg.hist.Observe(d.Nanoseconds())
+	agg.statuses[status]++
+	w.requests++
+}
+
+// Runner executes programs against a target across phases.
+type Runner struct {
+	Target   Target
+	Programs []Program
+	// Seed is echoed into trace events and has no effect on execution.
+	Seed int64
+	// Tracer, when non-nil, receives one load-phase event per phase.
+	Tracer *trace.Recorder
+}
+
+// Run executes the phases in order and returns merged results.
+func (r *Runner) Run(phases []Phase) (*RunResult, error) {
+	if len(r.Programs) == 0 {
+		return nil, fmt.Errorf("loadgen: no programs to run")
+	}
+	if len(phases) == 0 {
+		phases = []Phase{{Name: "run", Clients: 1}}
+	}
+	res := &RunResult{endpoints: map[string]*endpointAgg{}}
+	start := time.Now()
+	for i := range phases {
+		ph := &phases[i]
+		if ph.Name == "" {
+			ph.Name = fmt.Sprintf("phase-%d", i)
+		}
+		var st PhaseStats
+		var err error
+		if ph.Rate > 0 {
+			st, err = r.runOpen(ph, res)
+		} else {
+			st, err = r.runClosed(ph, res)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Phases = append(res.Phases, st)
+		if r.Tracer.Enabled() {
+			r.Tracer.Emit(trace.Event{
+				Kind:       trace.KindLoadPhase,
+				Name:       st.Name,
+				Workers:    st.Clients,
+				Operations: int(st.Requests),
+				Seed:       r.Seed,
+				DurNanos:   st.Duration.Nanoseconds(),
+			})
+		}
+	}
+	res.Wall = time.Since(start)
+	return res, nil
+}
+
+// merge folds a finished worker's private state into the run result.
+func (res *RunResult) merge(mu *sync.Mutex, w *workerState) {
+	mu.Lock()
+	defer mu.Unlock()
+	for label, agg := range w.endpoints {
+		dst := res.endpoints[label]
+		if dst == nil {
+			dst = &endpointAgg{statuses: map[int]uint64{}}
+			res.endpoints[label] = dst
+		}
+		dst.hist.Merge(&agg.hist)
+		for code, n := range agg.statuses {
+			dst.statuses[code] += n
+		}
+	}
+	res.Requests += w.requests
+	res.Replays += w.replays
+	res.Sessions = append(res.Sessions, w.sessions...)
+}
+
+// runClosed runs a closed-loop phase: Clients workers pull programs
+// from a shared cursor. Duration == 0 is one fixed pass over the set;
+// Duration > 0 cycles the set until the deadline.
+func (r *Runner) runClosed(ph *Phase, res *RunResult) (PhaseStats, error) {
+	clients := ph.Clients
+	if clients <= 0 {
+		clients = 1
+	}
+	var mu sync.Mutex
+	var cursor atomic.Int64
+	var deadline time.Time
+	if ph.Duration > 0 {
+		deadline = time.Now().Add(ph.Duration)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < clients; wkr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := newWorkerState()
+			for {
+				i := int(cursor.Add(1) - 1)
+				if deadline.IsZero() {
+					if i >= len(r.Programs) {
+						break
+					}
+				} else if time.Now().After(deadline) {
+					break
+				}
+				r.execProgram(&r.Programs[i%len(r.Programs)], ws)
+			}
+			res.merge(&mu, ws)
+		}()
+	}
+	wg.Wait()
+	dur := time.Since(start)
+	mu.Lock()
+	reqs := res.Requests
+	for i := range res.Phases {
+		reqs -= res.Phases[i].Requests
+	}
+	mu.Unlock()
+	return PhaseStats{Name: ph.Name, Mode: "closed", Clients: clients,
+		Requests: reqs, Duration: dur}, nil
+}
+
+// runOpen runs an open-loop phase: arrival k is scheduled at
+// start + k/Rate (absolute schedule, so a slow server cannot push
+// arrivals back — the point of open-loop testing) and runs its program
+// on a fresh goroutine.
+func (r *Runner) runOpen(ph *Phase, res *RunResult) (PhaseStats, error) {
+	if ph.Duration <= 0 {
+		return PhaseStats{}, fmt.Errorf("loadgen: open-loop phase %q needs a positive duration", ph.Name)
+	}
+	interval := time.Duration(float64(time.Second) / ph.Rate)
+	if interval <= 0 {
+		return PhaseStats{}, fmt.Errorf("loadgen: rate %v too high", ph.Rate)
+	}
+	var mu sync.Mutex
+	start := time.Now()
+	deadline := start.Add(ph.Duration)
+	var wg sync.WaitGroup
+	launched := 0
+	for n := 0; ; n++ {
+		at := start.Add(time.Duration(n) * interval)
+		if at.After(deadline) {
+			break
+		}
+		time.Sleep(time.Until(at))
+		prog := &r.Programs[n%len(r.Programs)]
+		wg.Add(1)
+		launched++
+		go func() {
+			defer wg.Done()
+			ws := newWorkerState()
+			r.execProgram(prog, ws)
+			res.merge(&mu, ws)
+		}()
+	}
+	wg.Wait()
+	dur := time.Since(start)
+	mu.Lock()
+	reqs := res.Requests
+	for i := range res.Phases {
+		reqs -= res.Phases[i].Requests
+	}
+	mu.Unlock()
+	return PhaseStats{Name: ph.Name, Mode: "open", Clients: launched,
+		Rate: ph.Rate, Requests: reqs, Duration: dur}, nil
+}
+
+// execProgram plays one program against the target, recording every
+// request into ws and the session outcome into ws.sessions.
+func (r *Runner) execProgram(prog *Program, ws *workerState) {
+	st := &SessionTrace{Program: prog}
+	ws.sessions = append(ws.sessions, st)
+
+	do := func(label, method, path string, body []byte) *Response {
+		t0 := time.Now()
+		resp, err := r.Target.Do(method, path, body)
+		d := time.Since(t0)
+		if err != nil {
+			// Transport failure: recorded as status 0 in the taxonomy.
+			ws.record(label, 0, d)
+			return nil
+		}
+		ws.record(label, resp.Status, d)
+		return resp
+	}
+
+	createBody, _ := json.Marshal(server.CreateRequest{
+		Scenario: prog.Scenario, Mode: prog.Mode, MaxOps: prog.MaxOps,
+	})
+	resp := do("create", http.MethodPost, "/sessions", createBody)
+	if resp == nil || resp.Status != http.StatusCreated {
+		st.CreateFailed = true
+		return
+	}
+	var created server.CreateResponse
+	if err := json.Unmarshal(resp.Body, &created); err != nil || created.ID == "" {
+		st.CreateFailed = true
+		return
+	}
+	st.ID = created.ID
+	st.Scenario = created.Scenario
+	st.MaxOps = created.MaxOps
+
+	opsPath := "/sessions/" + created.ID + "/ops"
+	statePath := "/sessions/" + created.ID + "/state"
+	for i := 1; i < len(prog.Steps); i++ {
+		step := &prog.Steps[i]
+		switch step.Kind {
+		case StepOps:
+			body, _ := json.Marshal(server.OpsRequest{Ops: step.Ops, Key: step.Key})
+			resp := do("ops", http.MethodPost, opsPath, body)
+			if resp == nil || resp.Status != http.StatusOK {
+				continue
+			}
+			if resp.Header.Get("Idempotent-Replay") == "true" {
+				ws.replays++
+				continue
+			}
+			st.Acked = append(st.Acked, step.EngineOps)
+		case StepState:
+			if resp := do("state", http.MethodGet, statePath, nil); resp != nil && resp.Status == http.StatusOK {
+				st.FinalState = resp.Body
+			}
+		case StepDelete:
+			if resp := do("delete", http.MethodDelete, "/sessions/"+created.ID, nil); resp != nil && resp.Status == http.StatusOK {
+				st.Deleted = true
+			}
+		}
+	}
+}

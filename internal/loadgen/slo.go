@@ -1,0 +1,154 @@
+package loadgen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// sloKind classifies what an SLO term measures.
+type sloKind int
+
+const (
+	sloLatency    sloKind = iota // aggregate quantile/max/mean ≤ limit
+	sloErrs                      // error rate ≤ limit (fraction)
+	sloThroughput                // aggregate rps ≥ limit
+)
+
+type sloCheck struct {
+	name  string
+	kind  sloKind
+	limit float64 // ns (latency), fraction (errs), rps (throughput)
+}
+
+// SLO is a parsed service-level-objective gate.
+type SLO struct {
+	checks []sloCheck
+}
+
+// SLOResult is one evaluated SLO term.
+type SLOResult struct {
+	Name   string `json:"name"`
+	Limit  string `json:"limit"`
+	Actual string `json:"actual"`
+	OK     bool   `json:"ok"`
+}
+
+// ParseSLO parses a gate spec like
+//
+//	p99=200ms,p99.9=1s,errs=1%,throughput=50
+//
+// Latency terms (p50, p90, p99, p99.9, max, mean) take Go durations
+// and bound the aggregate ("total") latency from above. errs takes a
+// percentage ("1%") or fraction ("0.01") and bounds the error rate.
+// throughput takes a number and bounds aggregate requests/second from
+// below.
+func ParseSLO(s string) (*SLO, error) {
+	slo := &SLO{}
+	for _, term := range strings.Split(s, ",") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(term, "=")
+		if !ok {
+			return nil, fmt.Errorf("loadgen: SLO term %q is not name=value", term)
+		}
+		name = strings.TrimSpace(name)
+		val = strings.TrimSpace(val)
+		switch name {
+		case "p50", "p90", "p99", "p99.9", "max", "mean":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: SLO %s: %v", name, err)
+			}
+			if d <= 0 {
+				return nil, fmt.Errorf("loadgen: SLO %s: limit must be positive", name)
+			}
+			slo.checks = append(slo.checks, sloCheck{name: name, kind: sloLatency, limit: float64(d.Nanoseconds())})
+		case "errs":
+			frac, err := parseFraction(val)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: SLO errs: %v", err)
+			}
+			slo.checks = append(slo.checks, sloCheck{name: name, kind: sloErrs, limit: frac})
+		case "throughput":
+			rps, err := strconv.ParseFloat(val, 64)
+			if err != nil || rps <= 0 {
+				return nil, fmt.Errorf("loadgen: SLO throughput: %q is not a positive number", val)
+			}
+			slo.checks = append(slo.checks, sloCheck{name: name, kind: sloThroughput, limit: rps})
+		default:
+			return nil, fmt.Errorf("loadgen: unknown SLO term %q (want p50/p90/p99/p99.9/max/mean/errs/throughput)", name)
+		}
+	}
+	if len(slo.checks) == 0 {
+		return nil, fmt.Errorf("loadgen: empty SLO spec")
+	}
+	return slo, nil
+}
+
+// parseFraction accepts "1%" or "0.01"; both must land in [0, 1].
+func parseFraction(s string) (float64, error) {
+	pct := strings.HasSuffix(s, "%")
+	f, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		return 0, fmt.Errorf("%q is not a number", s)
+	}
+	if pct {
+		f /= 100
+	}
+	if f < 0 || f > 1 {
+		return 0, fmt.Errorf("%q is out of [0,1]", s)
+	}
+	return f, nil
+}
+
+// latencyMs pulls the aggregate latency statistic an SLO term bounds.
+func latencyMs(rep *Report, name string) float64 {
+	switch name {
+	case "p50":
+		return rep.Total.P50Ms
+	case "p90":
+		return rep.Total.P90Ms
+	case "p99":
+		return rep.Total.P99Ms
+	case "p99.9":
+		return rep.Total.P999Ms
+	case "max":
+		return rep.Total.MaxMs
+	case "mean":
+		return rep.Total.MeanMs
+	}
+	return 0
+}
+
+// Eval checks the report against the gate; ok is true when every term
+// holds.
+func (s *SLO) Eval(rep *Report) (results []SLOResult, ok bool) {
+	ok = true
+	for _, c := range s.checks {
+		r := SLOResult{Name: c.name}
+		switch c.kind {
+		case sloLatency:
+			actual := latencyMs(rep, c.name)
+			r.Limit = time.Duration(c.limit).String()
+			r.Actual = fmt.Sprintf("%.3fms", actual)
+			r.OK = actual <= c.limit/1e6
+		case sloErrs:
+			r.Limit = fmt.Sprintf("%.2f%%", c.limit*100)
+			r.Actual = fmt.Sprintf("%.2f%%", rep.ErrorRate*100)
+			r.OK = rep.ErrorRate <= c.limit
+		case sloThroughput:
+			r.Limit = fmt.Sprintf("%.1frps", c.limit)
+			r.Actual = fmt.Sprintf("%.1frps", rep.ThroughputRPS)
+			r.OK = rep.ThroughputRPS >= c.limit
+		}
+		if !r.OK {
+			ok = false
+		}
+		results = append(results, r)
+	}
+	return results, ok
+}

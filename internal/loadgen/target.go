@@ -1,0 +1,137 @@
+package loadgen
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Response is the slice of an HTTP response the load generator needs.
+type Response struct {
+	Status int
+	Body   []byte
+	Header http.Header
+}
+
+// Target abstracts where requests land: an in-process http.Handler for
+// hermetic runs or a live adpmd over TCP. Implementations must be safe
+// for concurrent use.
+type Target interface {
+	Do(method, path string, body []byte) (*Response, error)
+}
+
+// HandlerTarget drives an http.Handler directly — no sockets, no
+// network jitter — so hermetic load tests measure only the server
+// stack and stay runnable anywhere.
+type HandlerTarget struct {
+	Handler http.Handler
+}
+
+// memRecorder is a minimal in-memory http.ResponseWriter; unlike
+// httptest.ResponseRecorder it keeps net/http/httptest out of the
+// shipped binary.
+type memRecorder struct {
+	status int
+	hdr    http.Header
+	buf    bytes.Buffer
+}
+
+func (m *memRecorder) Header() http.Header { return m.hdr }
+
+func (m *memRecorder) WriteHeader(code int) {
+	if m.status == 0 {
+		m.status = code
+	}
+}
+
+func (m *memRecorder) Write(b []byte) (int, error) {
+	if m.status == 0 {
+		m.status = http.StatusOK
+	}
+	return m.buf.Write(b)
+}
+
+// Do serves one request synchronously on the calling goroutine.
+func (t *HandlerTarget) Do(method, path string, body []byte) (*Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, "http://adpmload.local"+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	rec := &memRecorder{hdr: http.Header{}}
+	t.Handler.ServeHTTP(rec, req)
+	if rec.status == 0 {
+		rec.status = http.StatusOK
+	}
+	return &Response{Status: rec.status, Body: rec.buf.Bytes(), Header: rec.hdr}, nil
+}
+
+// HTTPTarget drives a live adpmd over the network.
+type HTTPTarget struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// Client defaults to a dedicated client with a 30s timeout.
+	Client *http.Client
+}
+
+func (t *HTTPTarget) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// Do issues one request and reads the full response body.
+func (t *HTTPTarget) Do(method, path string, body []byte) (*Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, strings.TrimRight(t.Base, "/")+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{Status: resp.StatusCode, Body: b, Header: resp.Header}, nil
+}
+
+// WaitReady polls GET /readyz until the target answers 200 or the
+// timeout elapses — the handshake cmd/adpmload uses before opening
+// fire on a freshly booted adpmd.
+func (t *HTTPTarget) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var last error
+	for time.Now().Before(deadline) {
+		resp, err := t.Do(http.MethodGet, "/readyz", nil)
+		if err == nil && resp.Status == http.StatusOK {
+			return nil
+		}
+		if err != nil {
+			last = err
+		} else {
+			last = fmt.Errorf("readyz status %d", resp.Status)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("loadgen: target not ready after %v: %v", timeout, last)
+}

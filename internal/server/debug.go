@@ -12,16 +12,23 @@ var (
 )
 
 // PublishDebug exposes this server's live gauges as the expvar variable
-// "adpmd" (visible on /debug/vars alongside the trace package's
-// recorder export). expvar forbids re-publishing a name, so the
-// variable is registered once per process and always reflects the most
-// recently published server.
+// "adpmd" and its per-endpoint latency histograms as "adpmd_latency"
+// (visible on /debug/vars alongside the trace package's recorder
+// export). expvar forbids re-publishing a name, so the variables are
+// registered once per process and always reflect the most recently
+// published server.
 func (s *Server) PublishDebug() {
 	debugServer.Store(s)
 	debugOnce.Do(func() {
 		expvar.Publish("adpmd", expvar.Func(func() interface{} {
 			if srv := debugServer.Load(); srv != nil {
 				return srv.Stats()
+			}
+			return nil
+		}))
+		expvar.Publish("adpmd_latency", expvar.Func(func() interface{} {
+			if srv := debugServer.Load(); srv != nil {
+				return srv.Latency()
 			}
 			return nil
 		}))

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -339,7 +340,7 @@ func (sh *shard) buildFromImage(img *wal.SessionImage, tracedBatches int) (*host
 		scenario: scn.Name,
 		sess:     sess,
 		img:      img,
-		idem:     map[string]*ApplyResponse{},
+		idem:     map[string]idemEntry{},
 	}
 	attached := false
 	for i, entry := range img.Ops {
@@ -359,7 +360,10 @@ func (sh *shard) buildFromImage(img *wal.SessionImage, tracedBatches int) (*host
 			return nil, fmt.Errorf("batch %d: %v", i, err)
 		}
 		if entry.Key != "" {
-			hs.idem[entry.Key] = resp
+			// The WAL stores exactly the wire-canonical bytes the live
+			// path hashed, so the conflict check survives park/restore
+			// and crash recovery unchanged.
+			hs.idem[entry.Key] = idemEntry{resp: resp, hash: sha256.Sum256(entry.Ops)}
 		}
 	}
 	if !attached {

@@ -62,22 +62,27 @@ func NewHTTPServer(addr string, h http.Handler) *http.Server {
 //	DELETE /sessions/{id}       retire a session
 //	GET    /stats               live shard gauges
 //	GET    /healthz             liveness (503 while draining)
+//	GET    /readyz              readiness (503 while draining or WAL-broken)
+//
+// Every route is wrapped with the per-endpoint latency recorder
+// (Server.Latency, expvar "adpmd_latency").
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /sessions", s.handleCreate)
-	mux.HandleFunc("POST /sessions/{id}/ops", s.handleOps)
-	mux.HandleFunc("GET /sessions/{id}/state", s.handleState)
-	mux.HandleFunc("DELETE /sessions/{id}", s.handleDelete)
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /sessions", s.instrument("create", s.handleCreate))
+	mux.HandleFunc("POST /sessions/{id}/ops", s.instrument("ops", s.handleOps))
+	mux.HandleFunc("GET /sessions/{id}/state", s.instrument("state", s.handleState))
+	mux.HandleFunc("DELETE /sessions/{id}", s.instrument("delete", s.handleDelete))
+	mux.HandleFunc("GET /stats", s.instrument("stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
 			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	}))
+	mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReady))
 	return mux
 }
 
@@ -214,6 +219,10 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusRequestEntityTooLarge
 	case errors.Is(err, ErrBudget):
 		status = http.StatusConflict
+	case errors.Is(err, ErrKeyConflict):
+		// Idempotency key reused with a byte-different batch: the
+		// request parses but contradicts the key's first use.
+		status = http.StatusUnprocessableEntity
 	case errors.Is(err, ErrBusy):
 		// Backpressure: the shard mailbox was full. The hint scales with
 		// how congested the mailbox was at rejection (1s..4s) so clients

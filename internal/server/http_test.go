@@ -109,6 +109,13 @@ func TestHTTPErrorStatuses(t *testing.T) {
 	h := s.Handler()
 	c := createViaHTTP(t, h, `{"scenario":"simplified","max_ops":1}`)
 
+	// Bind key "k1" to a batch so the table can exercise the keyed
+	// replay (200 + Idempotent-Replay) and key-conflict (422) rows.
+	keyedBody := `{"ops":[{"kind":"verification","problem":"Top"}],"key":"k1"}`
+	if rr := do(h, "POST", "/sessions/"+c.ID+"/ops", keyedBody); rr.Code != 200 {
+		t.Fatalf("keyed apply: status %d: %s", rr.Code, rr.Body)
+	}
+
 	cases := []struct {
 		name, method, path, body string
 		want                     int
@@ -129,6 +136,11 @@ func TestHTTPErrorStatuses(t *testing.T) {
 		{"empty batch", "POST", "/sessions/" + c.ID + "/ops", `{"ops":[]}`, 400},
 		{"over budget", "POST", "/sessions/" + c.ID + "/ops",
 			`{"ops":[{"kind":"verification","problem":"Top"},{"kind":"verification","problem":"Top"}]}`, 409},
+		{"keyed replay", "POST", "/sessions/" + c.ID + "/ops", keyedBody, 200},
+		// Same key, byte-different batch: the key stays bound to its
+		// first body; the conflict wins over the exhausted budget.
+		{"key conflict", "POST", "/sessions/" + c.ID + "/ops",
+			`{"ops":[{"kind":"verification","problem":"AmpDesign"}],"key":"k1"}`, 422},
 	}
 	for _, tc := range cases {
 		if rr := do(h, tc.method, tc.path, tc.body); rr.Code != tc.want {

@@ -1,0 +1,125 @@
+package server
+
+// Idempotency-key edge cases, each with a deterministic documented
+// outcome (OpsRequest doc):
+//   - empty key   → unkeyed: the batch applies on every send;
+//   - key + byte-different body → 422 (ErrKeyConflict), nothing
+//     applied, the key stays bound to its first body — including
+//     across a durable restart, where the hash is rebuilt from the
+//     WAL's canonical bytes;
+//   - keys are per-session: the same key on two sessions applies
+//     independently on each.
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/dpm"
+)
+
+func verify(problem string) dpm.Operation {
+	return dpm.Operation{Kind: dpm.OpVerification, Problem: problem, Designer: "test"}
+}
+
+func TestIdempotencyEmptyKeyAppliesEveryTime(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 1})
+	c := mustCreate(t, s, "simplified", 4)
+	for i := 1; i <= 3; i++ {
+		resp, replayed, err := s.ApplyKeyed(c.ID, "", []dpm.Operation{verify("Top")})
+		if err != nil {
+			t.Fatalf("unkeyed send %d: %v", i, err)
+		}
+		if replayed {
+			t.Fatalf("unkeyed send %d reported replayed", i)
+		}
+		if resp.Remaining != 4-i {
+			t.Fatalf("unkeyed send %d: remaining %d, want %d", i, resp.Remaining, 4-i)
+		}
+	}
+	st, err := s.State(c.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Operations != 3 {
+		t.Fatalf("unkeyed batches applied %d times, want 3", st.Operations)
+	}
+}
+
+func TestIdempotencyKeyConflict(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 1})
+	c := mustCreate(t, s, "simplified", 4)
+
+	first, replayed, err := s.ApplyKeyed(c.ID, "k", []dpm.Operation{verify("Top")})
+	if err != nil || replayed {
+		t.Fatalf("first keyed send: err=%v replayed=%v", err, replayed)
+	}
+	before := stateJSON(t, s, c.ID)
+
+	// Byte-different body under the same key: rejected, nothing applied.
+	if _, _, err := s.ApplyKeyed(c.ID, "k", []dpm.Operation{verify("AmpDesign")}); !errors.Is(err, ErrKeyConflict) {
+		t.Fatalf("conflicting body: err=%v, want ErrKeyConflict", err)
+	}
+	if after := stateJSON(t, s, c.ID); !bytes.Equal(before, after) {
+		t.Fatalf("rejected conflicting batch changed state:\n%s\nvs\n%s", before, after)
+	}
+
+	// The key stays bound to its first body: the original batch still
+	// replays its cached acknowledgement ...
+	again, replayed, err := s.ApplyKeyed(c.ID, "k", []dpm.Operation{verify("Top")})
+	if err != nil || !replayed {
+		t.Fatalf("original body after conflict: err=%v replayed=%v, want cached replay", err, replayed)
+	}
+	if again.Remaining != first.Remaining || again.Stage != first.Stage {
+		t.Fatalf("replay differs from first ack: %+v vs %+v", again, first)
+	}
+	// ... and the conflicting body keeps being rejected.
+	if _, _, err := s.ApplyKeyed(c.ID, "k", []dpm.Operation{verify("AmpDesign")}); !errors.Is(err, ErrKeyConflict) {
+		t.Fatalf("second conflicting send: err=%v, want ErrKeyConflict", err)
+	}
+}
+
+func TestIdempotencyKeyCrossSession(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 2})
+	a := mustCreate(t, s, "simplified", 4)
+	b := mustCreate(t, s, "simplified", 4)
+
+	if _, replayed, err := s.ApplyKeyed(a.ID, "shared", []dpm.Operation{verify("Top")}); err != nil || replayed {
+		t.Fatalf("session a: err=%v replayed=%v", err, replayed)
+	}
+	// Same key, different session, different body: applies fresh there —
+	// no replay, no conflict.
+	if _, replayed, err := s.ApplyKeyed(b.ID, "shared", []dpm.Operation{verify("AmpDesign")}); err != nil || replayed {
+		t.Fatalf("session b with reused key: err=%v replayed=%v, want fresh apply", err, replayed)
+	}
+	stA, err := s.State(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stB, err := s.State(b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stA.Operations != 1 || stB.Operations != 1 {
+		t.Fatalf("per-session key scoping broken: ops %d/%d, want 1/1", stA.Operations, stB.Operations)
+	}
+}
+
+// TestIdempotencyKeyConflictSurvivesRestart: the conflict hash is
+// rebuilt from the WAL's canonical batch bytes on recovery, so a
+// restarted server still refuses the same key with a different body
+// and still replays the original one.
+func TestIdempotencyKeyConflictSurvivesRestart(t *testing.T) {
+	opts := Options{Shards: 1, DataDir: t.TempDir()}
+	s := newDurableServer(t, opts)
+	c := mustCreate(t, s, "simplified", 4)
+	applyKeyed(t, s, c.ID, "k", []dpm.Operation{verify("Top")})
+
+	s2 := reopen(t, s, opts)
+	if _, replayed, err := s2.ApplyKeyed(c.ID, "k", []dpm.Operation{verify("Top")}); err != nil || !replayed {
+		t.Fatalf("same body after restart: err=%v replayed=%v, want cached replay", err, replayed)
+	}
+	if _, _, err := s2.ApplyKeyed(c.ID, "k", []dpm.Operation{verify("AmpDesign")}); !errors.Is(err, ErrKeyConflict) {
+		t.Fatalf("conflicting body after restart: err=%v, want ErrKeyConflict", err)
+	}
+}

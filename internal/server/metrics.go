@@ -1,0 +1,156 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Per-endpoint latency metrics. Every API route is wrapped by
+// instrument, which records one sample per request — wall-clock latency
+// into a log-bucketed histogram (stats.LogHist, ≤3.1% quantile error)
+// and the response status into exact counters. The recorders are
+// lock-guarded rather than per-goroutine because one sample per HTTP
+// request is far off the propagation hot path; the engine benches
+// (7/12 allocs/op) never touch this code.
+
+// endpointLabels is the fixed route set, in display order.
+var endpointLabels = []string{"create", "ops", "state", "delete", "stats", "healthz", "readyz"}
+
+// endpointRecorder accumulates one route's latency and status counts.
+type endpointRecorder struct {
+	mu       sync.Mutex
+	hist     stats.LogHist
+	statuses map[int]uint64
+	errors   uint64
+}
+
+func (er *endpointRecorder) record(status int, d time.Duration) {
+	er.mu.Lock()
+	defer er.mu.Unlock()
+	if er.statuses == nil {
+		er.statuses = map[int]uint64{}
+	}
+	er.hist.Observe(d.Nanoseconds())
+	er.statuses[status]++
+	if status >= 400 {
+		er.errors++
+	}
+}
+
+// latencySet holds every route's recorder; built once per Server.
+type latencySet struct {
+	byLabel map[string]*endpointRecorder
+}
+
+func newLatencySet() *latencySet {
+	ls := &latencySet{byLabel: map[string]*endpointRecorder{}}
+	for _, l := range endpointLabels {
+		ls.byLabel[l] = &endpointRecorder{}
+	}
+	return ls
+}
+
+// statusWriter captures the response status for the recorder.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps one route with the labeled latency recorder.
+func (s *Server) instrument(label string, h http.HandlerFunc) http.HandlerFunc {
+	er := s.lat.byLabel[label]
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		er.record(sw.status, time.Since(start))
+	}
+}
+
+// EndpointLatency is one route's latency snapshot: exact request/status
+// counts and log-bucketed quantiles in nanoseconds. Exposed on expvar
+// (PublishDebug, variable "adpmd_latency") so a scraping load generator
+// or dashboard can read server-side latency next to the shard gauges.
+type EndpointLatency struct {
+	Endpoint string            `json:"endpoint"`
+	Requests uint64            `json:"requests"`
+	Errors   uint64            `json:"errors"`
+	Statuses map[string]uint64 `json:"statuses,omitempty"`
+	P50Ns    int64             `json:"p50_ns"`
+	P90Ns    int64             `json:"p90_ns"`
+	P99Ns    int64             `json:"p99_ns"`
+	P999Ns   int64             `json:"p999_ns"`
+	MaxNs    int64             `json:"max_ns"`
+	MeanNs   float64           `json:"mean_ns"`
+}
+
+// Latency snapshots every route's latency recorder, in the fixed
+// endpoint order. Routes that never served a request are included with
+// zero counts so the set of keys is stable for scrapers.
+func (s *Server) Latency() []EndpointLatency {
+	out := make([]EndpointLatency, 0, len(endpointLabels))
+	for _, label := range endpointLabels {
+		er := s.lat.byLabel[label]
+		er.mu.Lock()
+		el := EndpointLatency{
+			Endpoint: label,
+			Requests: er.hist.Count(),
+			Errors:   er.errors,
+			P50Ns:    er.hist.Quantile(0.50),
+			P90Ns:    er.hist.Quantile(0.90),
+			P99Ns:    er.hist.Quantile(0.99),
+			P999Ns:   er.hist.Quantile(0.999),
+			MaxNs:    er.hist.Max(),
+			MeanNs:   er.hist.Mean(),
+		}
+		if len(er.statuses) > 0 {
+			el.Statuses = make(map[string]uint64, len(er.statuses))
+			for code, n := range er.statuses {
+				el.Statuses[strconv.Itoa(code)] = n
+			}
+		}
+		er.mu.Unlock()
+		out = append(out, el)
+	}
+	return out
+}
+
+// handleReady is GET /readyz: readiness, as opposed to /healthz's
+// liveness. A server is ready when it accepts new work — not draining
+// and no shard's WAL has failed sticky-broken. Load generators
+// (adpmload) and orchestrators gate on this before sending traffic.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	for _, sh := range s.shards {
+		if sh.walBroken.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+				"status": "degraded", "error": "shard write-ahead log broken"})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}

@@ -18,6 +18,7 @@
 package server
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"sort"
@@ -59,6 +60,12 @@ var (
 	// ErrInvalid reports a malformed or unappliable request. Nothing was
 	// applied.
 	ErrInvalid = errors.New("server: invalid request")
+	// ErrKeyConflict reports an idempotency key reused with a
+	// byte-different batch body (wire-canonical form). The cached ack is
+	// not returned — acking would silently drop whichever batch the
+	// client meant to send — and nothing is applied. Surfaced as HTTP
+	// 422.
+	ErrKeyConflict = errors.New("server: idempotency key reused with a different batch")
 )
 
 // Options parameterize a Server.
@@ -156,6 +163,7 @@ type Server struct {
 	shards   []*shard
 	seq      atomic.Uint64
 	draining atomic.Bool
+	lat      *latencySet
 
 	drainOnce sync.Once
 	drainRes  []ShardSummary
@@ -172,8 +180,20 @@ type hostedSession struct {
 	img *wal.SessionImage
 	// idem maps client idempotency keys to the acknowledgement each
 	// keyed batch produced: a retried key returns the cached ack
-	// instead of double-applying.
-	idem map[string]*ApplyResponse
+	// instead of double-applying — provided the retry's batch body
+	// hashes identically (ErrKeyConflict otherwise).
+	idem map[string]idemEntry
+}
+
+// idemEntry is one cached keyed acknowledgement plus the SHA-256 of
+// the wire-canonical batch it acknowledged. The hash pins the key to
+// one batch body: an empty key is simply unkeyed (applies every time),
+// the same key with a byte-different body is a client bug answered
+// with ErrKeyConflict, and keys are scoped per session (reuse across
+// sessions applies independently).
+type idemEntry struct {
+	resp *ApplyResponse
+	hash [sha256.Size]byte
 }
 
 // task is one unit of work executed on a shard's event loop.
@@ -263,7 +283,7 @@ func Open(opts Options) (*Server, error) {
 	if opts.nowFn == nil {
 		opts.nowFn = time.Now
 	}
-	s := &Server{opts: opts}
+	s := &Server{opts: opts, lat: newLatencySet()}
 	durable := opts.DataDir != ""
 	if durable {
 		if err := checkMeta(opts.FS, opts.DataDir, opts.Shards); err != nil {
@@ -613,7 +633,7 @@ func (s *Server) CreateSession(spec CreateSpec) (*CreateResponse, error) {
 		id:       fmt.Sprintf("s%d-%d", sh.idx, seq),
 		scenario: scn.Name,
 		sess:     sess,
-		idem:     map[string]*ApplyResponse{},
+		idem:     map[string]idemEntry{},
 	}
 	if s.opts.DataDir != "" {
 		src := spec.Source
@@ -699,11 +719,18 @@ func (s *Server) ApplyKeyed(id, key string, ops []dpm.Operation) (*ApplyResponse
 		return nil, false, err
 	}
 	// Encode the wire form on the caller's goroutine; the shard loop
-	// only appends it.
+	// only appends and hashes it. A keyed batch is encoded even on a
+	// non-durable server: the key's conflict check hashes the canonical
+	// wire form, so a keyed batch must be wire-encodable (in particular
+	// NaN/Inf assignments are rejected up front).
 	var opsRaw []byte
-	if s.opts.DataDir != "" {
+	var keyHash [sha256.Size]byte
+	if s.opts.DataDir != "" || key != "" {
 		if opsRaw, err = encodeOpsWire(ops); err != nil {
 			return nil, false, err
+		}
+		if key != "" {
+			keyHash = sha256.Sum256(opsRaw)
 		}
 	}
 	var resp *ApplyResponse
@@ -716,8 +743,12 @@ func (s *Server) ApplyKeyed(id, key string, ops []dpm.Operation) (*ApplyResponse
 			return
 		}
 		if key != "" {
-			if cached := hs.idem[key]; cached != nil {
-				resp, replayed = cached, true
+			if cached, ok := hs.idem[key]; ok {
+				if cached.hash != keyHash {
+					aerr = fmt.Errorf("%w: key %q", ErrKeyConflict, key)
+					return
+				}
+				resp, replayed = cached.resp, true
 				return
 			}
 		}
@@ -743,7 +774,7 @@ func (s *Server) ApplyKeyed(id, key string, ops []dpm.Operation) (*ApplyResponse
 			hs.img.Ops = append(hs.img.Ops, wal.OpsEntry{Key: key, Ops: opsRaw})
 		}
 		if key != "" {
-			hs.idem[key] = resp
+			hs.idem[key] = idemEntry{resp: resp, hash: keyHash}
 		}
 		sh.maybeRotate()
 	})

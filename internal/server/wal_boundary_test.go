@@ -1,0 +1,164 @@
+package server
+
+// Segment-rotation boundary coverage. The rotation predicate on the
+// loop goroutine is
+//
+//	SegmentSize() >= SegmentLimit() && SegmentSize() >= 2*segBase
+//
+// checked after each append, so the record that crosses the limit lands
+// in the old segment and the new one starts with exactly the snapshot
+// frame. WAL records carry no per-record sequence number, which makes
+// identical batches produce identical frame sizes — these tests lean on
+// that to engineer segment sizes that hit the limit exactly.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dpm"
+)
+
+// walShardState is a point-in-time read of shard 0's WAL accounting,
+// taken on the loop goroutine.
+type walShardState struct {
+	size, limit, segBase int64
+	rotations            uint64
+}
+
+func shardWALState(t *testing.T, s *Server) walShardState {
+	t.Helper()
+	sh := s.shards[0]
+	var st walShardState
+	if err := sh.submit(func() {
+		st.size = sh.wal.SegmentSize()
+		st.limit = sh.wal.SegmentLimit()
+		st.segBase = sh.segBase
+		st.rotations = sh.rotations.Load()
+	}); err != nil {
+		t.Fatalf("reading shard WAL state: %v", err)
+	}
+	return st
+}
+
+// measureFrames records, on a server whose limit can never trip, the
+// segment size right after the first create (size0) and the constant
+// framed size of one repeated unkeyed batch (batchFrame).
+func measureFrames(t *testing.T, maxOps int, batch []dpm.Operation) (size0, batchFrame int64) {
+	t.Helper()
+	m := newDurableServer(t, Options{Shards: 1, SegmentBytes: 1 << 30})
+	c := mustCreate(t, m, "simplified", maxOps)
+	size0 = shardWALState(t, m).size
+	applyKeyed(t, m, c.ID, "", batch)
+	size1 := shardWALState(t, m).size
+	applyKeyed(t, m, c.ID, "", batch)
+	size2 := shardWALState(t, m).size
+	batchFrame = size1 - size0
+	if batchFrame <= 0 || size2-size1 != batchFrame {
+		t.Fatalf("batch frame size not constant: %d then %d", batchFrame, size2-size1)
+	}
+	return size0, batchFrame
+}
+
+// TestRotationFiresExactlyAtLimit pins the >= at the boundary: a
+// segment whose size reaches the limit exactly rotates, and one byte
+// under does not.
+func TestRotationFiresExactlyAtLimit(t *testing.T) {
+	batch := []dpm.Operation{verify("Top")}
+	size0, batchFrame := measureFrames(t, 200, batch)
+
+	// Exact server: after the create and two batches the segment is at
+	// precisely the limit.
+	limit := size0 + 2*batchFrame
+	ex := newDurableServer(t, Options{Shards: 1, SegmentBytes: limit})
+	ce := mustCreate(t, ex, "simplified", 200)
+	if got := shardWALState(t, ex).size; got != size0 {
+		t.Fatalf("create frame measured %d bytes, exact server wrote %d", size0, got)
+	}
+	applyKeyed(t, ex, ce.ID, "", batch)
+	st := shardWALState(t, ex)
+	if st.rotations != 0 {
+		t.Fatalf("rotated %d bytes below the limit (size %d, limit %d)",
+			st.limit-st.size, st.size, st.limit)
+	}
+	applyKeyed(t, ex, ce.ID, "", batch)
+	st = shardWALState(t, ex)
+	if st.rotations != 1 {
+		t.Fatalf("segment hit the limit exactly (size0 %d + 2×%d == limit %d) but rotations = %d",
+			size0, batchFrame, limit, st.rotations)
+	}
+	// Post-rotation the segment holds exactly the snapshot frame, and
+	// segBase tracks it.
+	if st.segBase != st.size {
+		t.Fatalf("post-rotation segBase %d != segment size %d", st.segBase, st.size)
+	}
+
+	// The exact-boundary rotation must be a recovery no-op: state is
+	// byte-identical across a reopen that folds only the snapshot.
+	before := stateJSON(t, ex, ce.ID)
+	ex2 := reopen(t, ex, Options{Shards: 1, SegmentBytes: limit})
+	if after := stateJSON(t, ex2, ce.ID); !bytes.Equal(before, after) {
+		t.Fatalf("state diverged across exact-boundary rotation + reopen:\n%s\nvs\n%s", before, after)
+	}
+
+	// Off-by-one server: the same two batches stop one byte short of the
+	// limit, so rotation must wait for the third.
+	ob := newDurableServer(t, Options{Shards: 1, SegmentBytes: limit + 1})
+	co := mustCreate(t, ob, "simplified", 200)
+	applyKeyed(t, ob, co.ID, "", batch)
+	applyKeyed(t, ob, co.ID, "", batch)
+	if st := shardWALState(t, ob); st.rotations != 0 {
+		t.Fatalf("rotated at size %d, one byte under limit %d", st.size, st.limit)
+	}
+	applyKeyed(t, ob, co.ID, "", batch)
+	if st := shardWALState(t, ob); st.rotations != 1 {
+		t.Fatalf("no rotation after crossing the limit (size %d, limit %d)", st.size, st.limit)
+	}
+}
+
+// TestRotationBoundaryInvariant steps one batch at a time under a limit
+// small enough that the snapshot heading each new segment is itself at
+// or past the limit, and checks the full predicate — including the
+// doubling guard's no-rotate window (limit <= size < 2*segBase) — with
+// exact equality semantics on every step.
+func TestRotationBoundaryInvariant(t *testing.T) {
+	batch := []dpm.Operation{verify("Top")}
+	_, batchFrame := measureFrames(t, 400, batch)
+
+	s := newDurableServer(t, Options{Shards: 1, SegmentBytes: 256})
+	c := mustCreate(t, s, "simplified", 400)
+
+	rotationsSeen, guardHits := 0, 0
+	for i := 0; i < 60; i++ {
+		pre := shardWALState(t, s)
+		applyKeyed(t, s, c.ID, "", batch)
+		post := shardWALState(t, s)
+
+		preAppend := pre.size + batchFrame
+		wantRotate := preAppend >= pre.limit && preAppend >= 2*pre.segBase
+		rotated := post.rotations > pre.rotations
+		if rotated != wantRotate {
+			t.Fatalf("batch %d: rotated=%v but predicate says %v (pre %d + frame %d vs limit %d, segBase %d)",
+				i, rotated, wantRotate, pre.size, batchFrame, pre.limit, pre.segBase)
+		}
+		if rotated {
+			rotationsSeen++
+			if post.segBase != post.size {
+				t.Fatalf("batch %d: post-rotation segBase %d != segment size %d", i, post.segBase, post.size)
+			}
+		} else {
+			if post.size != preAppend {
+				t.Fatalf("batch %d: segment size %d, want %d (append accounting drifted)", i, post.size, preAppend)
+			}
+			if preAppend >= pre.limit {
+				// Over the limit but inside the doubling guard's window.
+				guardHits++
+			}
+		}
+	}
+	if rotationsSeen < 2 {
+		t.Fatalf("only %d rotations in 60 batches; limit too generous to exercise the boundary", rotationsSeen)
+	}
+	if guardHits == 0 {
+		t.Fatal("doubling-guard window (limit <= size < 2*segBase) never exercised; shrink the limit")
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/domain"
 	"repro/internal/dpm"
+	"repro/internal/teamsim"
 )
 
 // CreateRequest is the POST /sessions body: either a built-in scenario
@@ -36,6 +37,14 @@ type CreateResponse struct {
 // the Idempotency-Key header). Retrying a keyed batch — after a 429, a
 // dropped response, or a server crash — returns the original
 // acknowledgement instead of applying twice.
+//
+// Key semantics at the edges, each deterministic:
+//   - an empty key is unkeyed: the batch applies on every send;
+//   - the same key with a byte-different batch body (wire-canonical
+//     form) is rejected with 422 — the key stays bound to its first
+//     body, and nothing is applied;
+//   - keys are scoped per session: reusing a key on another session
+//     applies independently there.
 type OpsRequest struct {
 	Ops []WireOp `json:"ops"`
 	Key string   `json:"key,omitempty"`
@@ -226,6 +235,15 @@ type StateResponse struct {
 	Violations    []string        `json:"violations,omitempty"`
 	Problems      []ProblemState  `json:"problems"`
 	Properties    []PropertyState `json:"properties"`
+}
+
+// SnapshotSession renders the StateResponse GET /state would return
+// for a session hosted outside the server: the oracle side of the
+// load-generator cross-check (internal/loadgen) replays every acked
+// batch into a fresh single-threaded teamsim.Session and compares this
+// snapshot byte-for-byte against the served state.
+func SnapshotSession(id, scenarioName string, sess *teamsim.Session) *StateResponse {
+	return buildState(&hostedSession{id: id, scenario: scenarioName, sess: sess})
 }
 
 // buildState snapshots a hosted session. Shard-loop goroutine only.

@@ -1,0 +1,162 @@
+package stats
+
+import "math/bits"
+
+// Log-bucketed (HDR-style) histogram layout. Values are non-negative
+// int64s (the latency recorders feed nanoseconds). The first
+// histSubBuckets buckets are exact (one value each); past that, each
+// power-of-two octave is split into histSubBuckets linear sub-buckets,
+// bounding the relative quantile error at 1/histSubBuckets (≈3.1%)
+// while keeping the whole table small enough to embed per endpoint.
+const (
+	histSubBits    = 5
+	histSubBuckets = 1 << histSubBits
+	// histBuckets covers every int64 ≥ 0: the top value (2^63-1) lands
+	// in the last bucket, whose upper bound is exactly 2^63-1.
+	histBuckets = (63-histSubBits)<<histSubBits + histSubBuckets
+)
+
+// histBucket maps a value to its bucket index.
+func histBucket(v int64) int {
+	if v < histSubBuckets {
+		return int(v)
+	}
+	shift := bits.Len64(uint64(v)) - 1 - histSubBits
+	return (shift+1)<<histSubBits + int((v>>uint(shift))&(histSubBuckets-1))
+}
+
+// histUpper returns the largest value that maps to bucket i — the
+// value Quantile reports for ranks landing in that bucket.
+func histUpper(i int) int64 {
+	if i < histSubBuckets {
+		return int64(i)
+	}
+	shift := uint(i>>histSubBits - 1)
+	lo := int64(histSubBuckets+i&(histSubBuckets-1)) << shift
+	return lo + (int64(1) << shift) - 1
+}
+
+// LogHist is a log-bucketed histogram of non-negative int64 samples
+// (latencies in nanoseconds, sizes in bytes). Recording is O(1) with no
+// allocation after the first Observe; quantiles are read back with a
+// bounded relative error of 1/32 ≈ 3.1% (exact below 32). Min, max, sum
+// and count are tracked exactly. The zero value is ready to use.
+//
+// A LogHist is not safe for concurrent use: callers either keep one per
+// goroutine and Merge at the end (the load generator), or guard it with
+// a lock (the server's endpoint recorders).
+type LogHist struct {
+	counts []uint64
+	count  uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// Observe records one sample. Negative values clamp to zero.
+func (h *LogHist) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.counts == nil {
+		h.counts = make([]uint64, histBuckets)
+	}
+	h.counts[histBucket(v)]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// Merge folds o into h. o is unchanged.
+func (h *LogHist) Merge(o *LogHist) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if h.counts == nil {
+		h.counts = make([]uint64, histBuckets)
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// Count returns the number of recorded samples.
+func (h *LogHist) Count() uint64 { return h.count }
+
+// Sum returns the exact sum of recorded samples.
+func (h *LogHist) Sum() int64 { return h.sum }
+
+// Min returns the exact smallest sample (0 when empty).
+func (h *LogHist) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the exact largest sample (0 when empty).
+func (h *LogHist) Max() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the exact mean (0 when empty).
+func (h *LogHist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns the q-quantile (q in [0,1]) as the upper bound of
+// the bucket holding the rank-⌈q·n⌉ sample, clamped to the exact
+// observed min/max so Quantile(0) and Quantile(1) are exact. Returns 0
+// when empty.
+func (h *LogHist) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := uint64(q * float64(h.count))
+	if float64(rank) < q*float64(h.count) {
+		rank++
+	}
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			v := histUpper(i)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
+		}
+	}
+	return h.max
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestLogHistExactBelowLinearRange(t *testing.T) {
+	var h LogHist
+	for v := int64(0); v < 32; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 32 || h.Min() != 0 || h.Max() != 31 {
+		t.Fatalf("count/min/max = %d/%d/%d", h.Count(), h.Min(), h.Max())
+	}
+	// Every sample below 32 has its own bucket, so quantiles are exact:
+	// rank ⌈q·32⌉ selects sample value rank-1.
+	for _, q := range []float64{0.25, 0.5, 0.75, 1} {
+		rank := int64(math.Ceil(q * 32))
+		if got := h.Quantile(q); got != rank-1 {
+			t.Errorf("Quantile(%g) = %d, want %d", q, got, rank-1)
+		}
+	}
+}
+
+func TestLogHistBucketRoundTrip(t *testing.T) {
+	// histUpper(i) must be the largest value mapping to bucket i, and
+	// histUpper(i)+1 must map to bucket i+1 — no gaps, no overlaps.
+	for i := 0; i < histBuckets-1; i++ {
+		up := histUpper(i)
+		if histBucket(up) != i {
+			t.Fatalf("bucket(upper(%d)=%d) = %d", i, up, histBucket(up))
+		}
+		if up < math.MaxInt64 && histBucket(up+1) != i+1 {
+			t.Fatalf("bucket(%d) = %d, want %d", up+1, histBucket(up+1), i+1)
+		}
+	}
+	if got := histBucket(math.MaxInt64); got >= histBuckets {
+		t.Fatalf("MaxInt64 bucket %d out of range %d", got, histBuckets)
+	}
+}
+
+func TestLogHistQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h LogHist
+	samples := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Mix scales: sub-linear, microsecond-ish, and heavy tail.
+		var v int64
+		switch i % 3 {
+		case 0:
+			v = rng.Int63n(32)
+		case 1:
+			v = rng.Int63n(1_000_000)
+		default:
+			v = rng.Int63n(5_000_000_000)
+		}
+		samples = append(samples, v)
+		h.Observe(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		rank := int(math.Ceil(q * float64(len(samples))))
+		exact := samples[rank-1]
+		got := h.Quantile(q)
+		// The reported value is the bucket upper bound of the exact
+		// sample: never below it, and within one sub-bucket width above.
+		if got < exact {
+			t.Errorf("Quantile(%g) = %d below exact %d", q, got, exact)
+		}
+		if tol := float64(exact)/32 + 1; float64(got-exact) > tol {
+			t.Errorf("Quantile(%g) = %d, exact %d: error beyond bound %g", q, got, exact, tol)
+		}
+	}
+	if h.Quantile(1) != samples[len(samples)-1] {
+		t.Errorf("Quantile(1) = %d, want exact max %d", h.Quantile(1), samples[len(samples)-1])
+	}
+	if h.Quantile(0) != samples[0] {
+		t.Errorf("Quantile(0) = %d, want exact min %d", h.Quantile(0), samples[0])
+	}
+}
+
+func TestLogHistMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var whole, a, b LogHist
+	for i := 0; i < 5000; i++ {
+		v := rng.Int63n(1_000_000_000)
+		whole.Observe(v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() || a.Sum() != whole.Sum() ||
+		a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatalf("merge aggregate mismatch: %d/%d/%d/%d vs %d/%d/%d/%d",
+			a.Count(), a.Sum(), a.Min(), a.Max(),
+			whole.Count(), whole.Sum(), whole.Min(), whole.Max())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("merge Quantile(%g) = %d, want %d", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+	// Merging into an empty histogram copies the source exactly.
+	var c LogHist
+	c.Merge(&whole)
+	if c.Count() != whole.Count() || c.Min() != whole.Min() || c.Max() != whole.Max() {
+		t.Fatal("merge into empty lost aggregates")
+	}
+}
+
+func TestLogHistEmpty(t *testing.T) {
+	var h LogHist
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatal("zero-value histogram not zero everywhere")
+	}
+	h.Merge(nil)
+	h.Merge(&LogHist{})
+	if h.Count() != 0 {
+		t.Fatal("merging empties changed the count")
+	}
+	h.Observe(-5)
+	if h.Count() != 1 || h.Max() != 0 {
+		t.Fatal("negative sample must clamp to zero")
+	}
+}

@@ -71,6 +71,10 @@ type Counters struct {
 	// persist-then-evict wakeup).
 	Restores int64 `json:"restores,omitempty"`
 
+	// Load-generation aggregates (adpmload phases).
+	LoadPhases   int64 `json:"load_phases,omitempty"`
+	LoadRequests int64 `json:"load_requests,omitempty"`
+
 	PerDesigner map[string]*DesignerCounters `json:"per_designer,omitempty"`
 }
 
@@ -153,6 +157,9 @@ func (c *Counters) apply(e Event) {
 		c.RecoveredSessions += int64(e.Sessions)
 	case KindRestore:
 		c.Restores++
+	case KindLoadPhase:
+		c.LoadPhases++
+		c.LoadRequests += int64(e.Operations)
 	}
 }
 
@@ -198,6 +205,9 @@ func (c Counters) Summary() string {
 	}
 	if c.Restores > 0 {
 		row("restores", fmt.Sprintf("%d", c.Restores))
+	}
+	if c.LoadPhases > 0 {
+		row("load phases", fmt.Sprintf("%d (%d requests)", c.LoadPhases, c.LoadRequests))
 	}
 	if ms := float64(c.OperationNanos) / 1e6; ms > 0 {
 		row("time in δ", fmt.Sprintf("%.1fms total (%.3fms per op)", ms, ms/float64(max64(c.Operations, 1))))

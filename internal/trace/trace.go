@@ -81,13 +81,18 @@ const (
 	// persist-then-evict): the session id (Name), its scenario, and the
 	// number of replayed operation batches (Records).
 	KindRestore
+	// KindLoadPhase is one completed load-generation phase (adpmload):
+	// the phase label (Name), its client fan-out (Workers), the requests
+	// it issued (Operations), the workload seed (Seed), and its
+	// wall-clock duration (DurNanos).
+	KindLoadPhase
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"run-start", "run-end", "operation", "propagate", "revise",
 	"window-refresh", "window", "notify", "idle", "wake", "evict",
-	"wal-append", "recover", "restore",
+	"wal-append", "recover", "restore", "load-phase",
 }
 
 // String names the kind as it appears in the JSONL stream.

@@ -153,6 +153,13 @@ func checkFields(e Event) error {
 		if e.Name == "" {
 			return fmt.Errorf("restore without session id")
 		}
+	case KindLoadPhase:
+		if e.Name == "" {
+			return fmt.Errorf("load-phase without phase label")
+		}
+		if e.Operations < 0 || e.Workers < 0 {
+			return fmt.Errorf("load-phase with negative counters")
+		}
 	default:
 		return fmt.Errorf("unknown kind %d", e.Kind)
 	}

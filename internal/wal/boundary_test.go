@@ -1,0 +1,117 @@
+package wal
+
+// Exact segment accounting at the rotation boundary: SegmentSize must
+// equal the sum of framed record lengths byte for byte (the server's
+// rotation predicate compares it to SegmentLimit with >=, so a drift of
+// even one byte moves the rotation point), and a snapshot frame exactly
+// equal to the limit is legal — the new segment opens already eligible
+// for the next rotation, which is precisely the case the server's
+// doubling guard exists to absorb.
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/faultfs"
+)
+
+func frameLen(t *testing.T, rec *Record) int64 {
+	t.Helper()
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return int64(len(EncodeFrame(payload)))
+}
+
+func TestSegmentAccountingExact(t *testing.T) {
+	l, _, err := Open(Options{Dir: t.TempDir(), FS: faultfs.OS{}, Policy: SyncNever, SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.SegmentLimit() != 1<<20 {
+		t.Fatalf("SegmentLimit %d, want %d", l.SegmentLimit(), 1<<20)
+	}
+
+	var want int64
+	recs := []*Record{
+		{Type: TypeCreate, Session: "s0-1", Scenario: "simplified", Mode: "ADPM", MaxOps: 40},
+		{Type: TypeOps, Session: "s0-1", Key: "k1", Ops: json.RawMessage(`[{"kind":"verification","problem":"Top"}]`)},
+		{Type: TypeOps, Session: "s0-1", Ops: json.RawMessage(`[{"kind":"verification","problem":"Top"}]`)},
+		{Type: TypeDelete, Session: "s0-1"},
+	}
+	for i, rec := range recs {
+		fl := frameLen(t, rec)
+		n, err := l.Append(rec)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if int64(n) != fl {
+			t.Fatalf("append %d reported %d bytes, independent framing says %d", i, n, fl)
+		}
+		want += fl
+		if l.SegmentSize() != want {
+			t.Fatalf("after append %d: SegmentSize %d, want exactly %d", i, l.SegmentSize(), want)
+		}
+	}
+
+	// Identical records frame to identical sizes — there is no
+	// per-record sequence number to perturb the payload. The server's
+	// boundary tests engineer exact segment sizes on this property.
+	a := frameLen(t, recs[2])
+	if b := frameLen(t, &Record{Type: TypeOps, Session: "s0-1", Ops: recs[2].Ops}); a != b {
+		t.Fatalf("identical ops records framed to %d and %d bytes", a, b)
+	}
+
+	// After rotation the segment holds the snapshot frame and nothing
+	// else.
+	snap := &Record{Type: TypeSnapshot, Sessions: []SessionImage{{
+		ID: "s0-1", Scenario: "simplified", Mode: "ADPM", MaxOps: 40,
+		Ops: []OpsEntry{{Key: "k1", Ops: recs[1].Ops}},
+	}}}
+	if err := l.Rotate(snap); err != nil {
+		t.Fatal(err)
+	}
+	if sf := frameLen(t, snap); l.SegmentSize() != sf {
+		t.Fatalf("post-rotation SegmentSize %d, want the snapshot frame %d", l.SegmentSize(), sf)
+	}
+}
+
+// TestSnapshotFrameEqualToLimit opens a log whose limit equals the
+// snapshot frame size exactly: rotation succeeds and the fresh segment
+// starts at SegmentSize == SegmentLimit, the state the server's
+// doubling guard must tolerate without rotating again on every append.
+func TestSnapshotFrameEqualToLimit(t *testing.T) {
+	snap := &Record{Type: TypeSnapshot, Sessions: []SessionImage{{
+		ID: "s0-1", Scenario: "simplified", Mode: "ADPM", MaxOps: 40,
+		Ops: []OpsEntry{{Ops: json.RawMessage(`[{"kind":"verification","problem":"Top"}]`)}},
+	}}}
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit := int64(len(EncodeFrame(payload)))
+
+	l, _, err := Open(Options{Dir: t.TempDir(), FS: faultfs.OS{}, Policy: SyncNever, SegmentBytes: limit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Rotate(snap); err != nil {
+		t.Fatal(err)
+	}
+	if l.SegmentSize() != l.SegmentLimit() {
+		t.Fatalf("SegmentSize %d != SegmentLimit %d after snapshot-sized rotation", l.SegmentSize(), l.SegmentLimit())
+	}
+
+	// The segment folds back to exactly the snapshot's sessions.
+	sessions := map[string]*SessionImage{}
+	if err := Fold(sessions, snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(sessions) != 1 || sessions["s0-1"] == nil {
+		t.Fatalf("snapshot fold produced %v", fmt.Sprint(sessions))
+	}
+}

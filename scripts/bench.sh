@@ -7,6 +7,10 @@
 # policy (the delta is the WAL append overhead), and BenchmarkAppend
 # isolates the raw framed-record append per policy.
 #
+# Finally it runs a hermetic adpmload pass (in-process server, fixed
+# seed, oracle on) and leaves its per-endpoint latency report in
+# BENCH_load.json.
+#
 # Usage: scripts/bench.sh [count]
 #   count  benchmark repetitions per entry (default 6)
 set -euo pipefail
@@ -92,3 +96,10 @@ END {
 }' "$RAW"
 
 echo "wrote $SRV_OUT"
+
+# Load/capacity report: hermetic (in-process server), fixed seed, one
+# closed-loop pass with the sequential oracle cross-check on.
+go run ./cmd/adpmload -hermetic -seed 1 -clients 8 -sessions 2 \
+    -out BENCH_load.json >/dev/null
+
+echo "wrote BENCH_load.json"
