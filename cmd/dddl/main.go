@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	builtin := flag.String("builtin", "", "dump a built-in scenario instead of a file")
+	builtin := flag.String("builtin", "", "dump a built-in scenario (or scale spec family:n[:sSEED]) instead of a file")
 	solve := flag.Bool("solve", false, "search for a satisfying assignment (branch-and-prune)")
 	minimize := flag.String("minimize", "", "minimize this objective expression subject to all constraints")
 	format := flag.Bool("format", false, "emit canonical DDDL instead of a summary")

@@ -36,7 +36,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "base random seed")
 	maxOps := flag.Int("maxops", 3000, "operation cap per run")
 	parallel := flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
-	scenarioName := flag.String("scenario", "simplified", "Fig. 7 profile scenario")
+	scenarioName := flag.String("scenario", "simplified",
+		"Fig. 7 profile scenario; also accepts a generated scale spec family:n[:sSEED] with family grid, layers, hub, or sparse (e.g. grid:10000)")
 	modeName := flag.String("mode", "adpm", "Fig. 8 snapshot mode: adpm or conventional")
 	csvDir := flag.String("csv", "", "also write figure data as CSV files into this directory")
 	tracePath := flag.String("trace", "", "trace one run of -scenario/-mode/-seed as JSONL instead of figures")

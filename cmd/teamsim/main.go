@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	teamsim [-scenario receiver|sensor|simplified] [-file scenario.dddl]
+//	teamsim [-scenario receiver|sensor|simplified|family:n[:sSEED]]
+//	        [-file scenario.dddl]
 //	        [-mode adpm|conventional] [-seed 1] [-runs 1] [-maxops 3000]
 //	        [-concurrent] [-verbose] [-trace run.jsonl] [-pprof :6060]
 //	        [-inspect] [-csv out.csv] [-json out.json]
@@ -35,7 +36,8 @@ import (
 )
 
 func main() {
-	scenarioName := flag.String("scenario", "receiver", "built-in scenario: receiver, sensor, simplified")
+	scenarioName := flag.String("scenario", "receiver",
+		"built-in scenario (receiver, sensor, simplified) or generated scale spec family:n[:sSEED] with family grid, layers, hub, or sparse (e.g. grid:10000, sparse:100000:s7)")
 	file := flag.String("file", "", "DDDL scenario file (overrides -scenario)")
 	modeName := flag.String("mode", "adpm", "process mode: adpm or conventional")
 	seed := flag.Int64("seed", 1, "random seed (base seed when -runs > 1)")

@@ -71,6 +71,28 @@ type Network struct {
 	// guidance layer (per-property constraint slices, indirect-β counts).
 	// Validated against gen; never shared between networks.
 	views *viewCache
+	// regions caches the connected-region partition of the constraint
+	// graph (regions.go). Validated against gen; never shared between
+	// networks.
+	regions *regionCache
+
+	// Dirty-set tracking for incremental re-propagation. dirty/dirtyList
+	// record properties whose binding changed through the Network API
+	// since the last fixpoint marker; allDirty subsumes the list after a
+	// bulk change (ResetFeasible, Restore, CloneInto). fixValid marks
+	// that the current feasible subspaces are the fixpoint of a full
+	// reset-and-propagate at generation fixGen under options fixOpts —
+	// the precondition for an incremental run to skip clean regions.
+	// Only Propagate with Incremental set establishes the marker, because
+	// only that entry point owns the initial ResetFeasible; direct
+	// Property mutations (Property.Bind, Property.SetFeasible) bypass
+	// this tracking, so code paths that use them must not opt in.
+	dirty     []bool
+	dirtyList []int
+	allDirty  bool
+	fixValid  bool
+	fixGen    int64
+	fixOpts   PropagateOptions
 }
 
 // viewCache memoizes pure-structure queries that view building issues
@@ -364,13 +386,51 @@ func (n *Network) EvalCount() int64 { return n.evals }
 // AddEvals adds externally performed evaluations to the counter.
 func (n *Network) AddEvals(k int64) { n.evals += k }
 
+// markDirty records a binding change of property id pid for incremental
+// re-propagation.
+func (n *Network) markDirty(pid int) {
+	if n.allDirty {
+		return
+	}
+	if len(n.dirty) < len(n.propList) {
+		d := make([]bool, len(n.propList))
+		copy(d, n.dirty)
+		n.dirty = d
+	}
+	if !n.dirty[pid] {
+		n.dirty[pid] = true
+		n.dirtyList = append(n.dirtyList, pid)
+	}
+}
+
+// markAllDirty records a bulk state change: the next incremental
+// propagation falls back to a full reset-and-propagate.
+func (n *Network) markAllDirty() {
+	n.allDirty = true
+}
+
+// clearDirty resets the dirty set after a marker-establishing run.
+func (n *Network) clearDirty() {
+	for _, pid := range n.dirtyList {
+		if pid < len(n.dirty) {
+			n.dirty[pid] = false
+		}
+	}
+	n.dirtyList = n.dirtyList[:0]
+	n.allDirty = false
+}
+
 // Bind assigns a value to a property.
 func (n *Network) Bind(prop string, v domain.Value) error {
-	p := n.Property(prop)
-	if p == nil {
+	id, ok := n.propIDs[prop]
+	if !ok {
 		return fmt.Errorf("constraint: bind of unknown property %q", prop)
 	}
-	return p.Bind(v)
+	if err := n.propList[id].Bind(v); err != nil {
+		return err
+	}
+	n.markDirty(id)
+	return nil
 }
 
 // BindReal assigns a numeric value to a property.
@@ -380,8 +440,9 @@ func (n *Network) BindReal(prop string, v float64) error {
 
 // Unbind removes a property's assignment.
 func (n *Network) Unbind(prop string) {
-	if p := n.Property(prop); p != nil {
-		p.Unbind()
+	if id, ok := n.propIDs[prop]; ok {
+		n.propList[id].Unbind()
+		n.markDirty(id)
 	}
 }
 
@@ -392,6 +453,7 @@ func (n *Network) ResetFeasible() {
 	for _, p := range n.propList {
 		p.ResetFeasible()
 	}
+	n.markAllDirty()
 }
 
 // Domain implements expr.IntervalEnv over the network's current state:
@@ -510,6 +572,10 @@ func (n *Network) Restore(s *Snapshot) {
 		}
 	}
 	n.evals = s.evals
+	// The restored feasible subspaces are an arbitrary earlier state, so
+	// the fixpoint marker no longer describes the network.
+	n.markAllDirty()
+	n.fixValid = false
 }
 
 // CanonicalClone returns an order-normalized deep copy: properties and
@@ -583,6 +649,8 @@ func (n *Network) CloneInto(dst *Network) {
 		}
 		copy(dst.status, n.status)
 		dst.evals = n.evals
+		dst.markAllDirty()
+		dst.fixValid = false
 		return
 	}
 
@@ -608,8 +676,11 @@ func (n *Network) CloneInto(dst *Network) {
 	dst.scratch = nil
 	dst.tracer = nil
 	// A stale cache could validate against the new gen by coincidence;
-	// the fast path keeps it because the structure tables are identical.
+	// the fast path keeps them because the structure tables are identical.
 	dst.views = nil
+	dst.regions = nil
+	dst.markAllDirty()
+	dst.fixValid = false
 }
 
 // SortedPropertyNames returns property names sorted lexicographically.

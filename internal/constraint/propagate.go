@@ -1,6 +1,7 @@
 package constraint
 
 import (
+	"math"
 	"sort"
 
 	"repro/internal/domain"
@@ -30,7 +31,9 @@ type PropagateOptions struct {
 	// MaxRevisions bounds the total number of constraint revises; 0
 	// means the default (DefaultMaxRevisions, 2000). The bound exists
 	// because continuous domains can contract asymptotically (interval
-	// propagation is only guaranteed to converge in the limit).
+	// propagation is only guaranteed to converge in the limit). Large
+	// networks need a proportionally larger budget: the default suits
+	// the paper-scale scenarios, not a 10⁴-property grid.
 	MaxRevisions int
 	// MinShrink is the minimum relative width reduction for a narrowing
 	// to count as a change worth re-enqueueing neighbours for; 0 means
@@ -42,6 +45,43 @@ type PropagateOptions struct {
 	// shrinking a fixed fraction — so a relative-shrink threshold alone
 	// never converges.
 	MaxVisits int
+	// Parallelism selects the propagation engine. 0 or 1 keeps the
+	// sequential FIFO engine, whose revise schedule — and therefore
+	// every metric — is bit-for-bit what it has always been. Values > 1
+	// select the deterministic round engine (propagate_parallel.go),
+	// which revises independent constraints of one round concurrently
+	// on up to Parallelism goroutines. The round engine's result is a
+	// function of the network alone, not of Parallelism: any two values
+	// > 1 (and > 1 on any GOMAXPROCS) produce identical windows,
+	// statuses, and counters. Its fixpoint can differ from the
+	// sequential engine's within MinShrink tolerance, so the two
+	// engines' runs are not interchangeable mid-session.
+	Parallelism int
+	// Incremental seeds the worklist from the dirty property set instead
+	// of revisiting the whole network. An incremental run owns the
+	// initial reset: Propagate{Incremental: true} is equivalent to
+	// ResetFeasible followed by a full Propagate with the same options —
+	// bit-identical windows and statuses — but only resets and revisits
+	// the regions (regions.go) containing a property whose binding
+	// changed since the last incremental fixpoint. Structural edits,
+	// Restore, CloneInto, ResetFeasible, a capped run, or changed
+	// options all invalidate the fixpoint marker and force the next
+	// incremental run to fall back to the full reset-and-propagate.
+	// Evaluations/Revisions/Narrowed/Emptied then describe only the
+	// re-propagated regions; Violated and the network state are global.
+	//
+	// Only binding changes made through the Network API (Bind, BindReal,
+	// Unbind) are tracked; callers that mutate Property state directly
+	// must not opt in.
+	Incremental bool
+	// Priority orders the worklist by largest expected narrowing first —
+	// a constraint woken by a bigger relative shrink of one of its
+	// arguments is revised earlier — with ties broken by ascending
+	// constraint id for determinism. The default (false) keeps the
+	// insertion-order FIFO schedule that the differential corpus pins.
+	// Priority applies to the sequential engine; the round engine has
+	// its own (round) order.
+	Priority bool
 }
 
 // withDefaults resolves zero fields to the package defaults.
@@ -56,6 +96,18 @@ func (o PropagateOptions) withDefaults() PropagateOptions {
 		o.MaxVisits = DefaultMaxVisits
 	}
 	return o
+}
+
+// samePropagationParams reports whether two resolved option sets produce
+// the same fixpoint semantics, which is what lets an incremental run
+// reuse the previous run's marker. Parallelism collapses to the engine
+// choice: all Parallelism>1 values share one fixpoint.
+func samePropagationParams(a, b PropagateOptions) bool {
+	return a.MaxRevisions == b.MaxRevisions &&
+		a.MinShrink == b.MinShrink &&
+		a.MaxVisits == b.MaxVisits &&
+		a.Priority == b.Priority &&
+		(a.Parallelism > 1) == (b.Parallelism > 1)
 }
 
 // PropagateResult summarizes one propagation run (one execution of the
@@ -77,6 +129,21 @@ type PropagateResult struct {
 	Capped bool
 }
 
+// prioEntry is one max-heap element of the priority worklist.
+type prioEntry struct {
+	pri float64
+	ci  int
+}
+
+// prioLess orders the priority worklist: larger expected narrowing
+// first, ties broken by ascending constraint id.
+func prioLess(a, b prioEntry) bool {
+	if a.pri != b.pri {
+		return a.pri > b.pri
+	}
+	return a.ci < b.ci
+}
+
 // propScratch is the reusable propagation workspace of one network:
 // the int-indexed worklist state and per-property marks that one run
 // of Propagate needs, plus the per-constraint shadow trees for
@@ -85,6 +152,9 @@ type PropagateResult struct {
 type propScratch struct {
 	// queue is the constraint-id worklist; head indexes the next pop.
 	queue []int
+	// prio is the max-heap worklist used when PropagateOptions.Priority
+	// is set (same membership discipline as queue, ordered by prioLess).
+	prio []prioEntry
 	// inQueue/visits are per constraint id.
 	inQueue []bool
 	visits  []int
@@ -96,9 +166,16 @@ type propScratch struct {
 	revMark  []bool
 	revList  []int
 	pre      []interval.Interval
+	// regionMark/regionList collect the dirty regions of an incremental
+	// run (cleared after seeding).
+	regionMark []bool
+	regionList []int
 	// shadows holds the reusable HC4 forward trees per constraint id;
 	// they persist across runs.
 	shadows []*expr.Shadow
+	// par holds the round engine's extra workspace (propagate_parallel.go),
+	// allocated on first parallel run.
+	par *parScratch
 }
 
 // getScratch returns the network's propagation workspace, grown to the
@@ -114,6 +191,7 @@ func (n *Network) getScratch() *propScratch {
 		sc.queue = make([]int, 0, nc*2)
 	}
 	sc.queue = sc.queue[:0]
+	sc.prio = sc.prio[:0]
 	if len(sc.inQueue) < nc {
 		sc.inQueue = make([]bool, nc)
 		sc.visits = make([]int, nc)
@@ -206,6 +284,128 @@ func (b *propagationBox) SetDomainID(id int, iv interval.Interval) {
 
 var _ expr.IndexedBox = (*propagationBox)(nil)
 
+// canIncremental reports whether the fixpoint marker lets an
+// incremental run skip regions without dirty properties.
+func (n *Network) canIncremental(opts PropagateOptions) bool {
+	return n.fixValid && n.fixGen == n.gen && !n.allDirty &&
+		samePropagationParams(opts, n.fixOpts)
+}
+
+// seedWorklist fills the scratch worklist for one run: every constraint
+// for a full run, or — when the incremental fixpoint marker holds —
+// only the constraints of regions containing a dirty property, after
+// resetting exactly those regions' feasible subspaces to E_i. Because a
+// revise reads and writes only its own region, the skipped regions
+// already hold the windows a full reset-and-propagate would recompute
+// for them, and the seeded regions rerun the exact sub-schedule the
+// full run would give them (the full schedule restricted to a region is
+// determined by that region's seeds and state alone). Seeds are pushed
+// in ascending constraint id order either way — the same order a full
+// run seeds them in.
+func (n *Network) seedWorklist(sc *propScratch, opts PropagateOptions) {
+	if opts.Incremental {
+		if n.canIncremental(opts) {
+			rc := n.getRegionCache()
+			if len(sc.regionMark) < len(rc.regionProps) {
+				sc.regionMark = make([]bool, len(rc.regionProps))
+			}
+			sc.regionList = sc.regionList[:0]
+			for _, pid := range n.dirtyList {
+				r := rc.propRegion[pid]
+				if !sc.regionMark[r] {
+					sc.regionMark[r] = true
+					sc.regionList = append(sc.regionList, r)
+				}
+			}
+			sort.Ints(sc.regionList)
+			for _, r := range sc.regionList {
+				for _, pid := range rc.regionProps[r] {
+					n.propList[pid].ResetFeasible()
+				}
+				for _, ci := range rc.regionCons[r] {
+					sc.queue = append(sc.queue, ci)
+					sc.inQueue[ci] = true
+				}
+			}
+			for _, r := range sc.regionList {
+				sc.regionMark[r] = false
+			}
+			return
+		}
+		// Marker invalid: this entry point owns the reset, so fall back
+		// to the full reset-and-propagate it is defined against.
+		n.ResetFeasible()
+	}
+	for ci := range n.conList {
+		sc.queue = append(sc.queue, ci)
+		sc.inQueue[ci] = true
+	}
+}
+
+// noteFixpoint maintains the incremental marker after a run. Only
+// incremental runs establish it: they own the initial reset, so their
+// result is a reset-based fixpoint by construction. A plain run narrows
+// from whatever state the caller prepared, which the marker cannot
+// describe.
+func (n *Network) noteFixpoint(opts PropagateOptions, res *PropagateResult) {
+	if !opts.Incremental {
+		n.fixValid = false
+		return
+	}
+	n.clearDirty()
+	n.fixValid = !res.Capped
+	n.fixGen = n.gen
+	n.fixOpts = opts
+}
+
+// prioSeed moves the FIFO seeds into the priority heap with infinite
+// priority. Equal priorities with ascending ids already satisfy the
+// heap order, so the copy is the heap.
+func (sc *propScratch) prioSeed() {
+	for _, ci := range sc.queue {
+		sc.prio = append(sc.prio, prioEntry{pri: math.Inf(1), ci: ci})
+	}
+	sc.queue = sc.queue[:0]
+}
+
+// prioPush inserts one entry into the priority heap.
+func (sc *propScratch) prioPush(e prioEntry) {
+	sc.prio = append(sc.prio, e)
+	i := len(sc.prio) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !prioLess(sc.prio[i], sc.prio[p]) {
+			break
+		}
+		sc.prio[i], sc.prio[p] = sc.prio[p], sc.prio[i]
+		i = p
+	}
+}
+
+// prioPop removes and returns the highest-priority constraint id.
+func (sc *propScratch) prioPop() int {
+	top := sc.prio[0].ci
+	last := len(sc.prio) - 1
+	sc.prio[0] = sc.prio[last]
+	sc.prio = sc.prio[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(sc.prio) && prioLess(sc.prio[l], sc.prio[best]) {
+			best = l
+		}
+		if r < len(sc.prio) && prioLess(sc.prio[r], sc.prio[best]) {
+			best = r
+		}
+		if best == i {
+			return top
+		}
+		sc.prio[i], sc.prio[best] = sc.prio[best], sc.prio[i]
+		i = best
+	}
+}
+
 // Propagate runs constraint propagation to a fixpoint: it repeatedly
 // evaluates constraint statuses and narrows feasible subspaces until no
 // domain changes enough to matter (AC-3 over HC4 revises). Violated
@@ -215,10 +415,21 @@ var _ expr.IndexedBox = (*propagationBox)(nil)
 //
 // The worklist, visit counts, and per-property marks live in a
 // reusable int-indexed workspace owned by the network, so repeated
-// runs perform no steady-state allocation.
+// runs perform no steady-state allocation. Options select the engine:
+// the default sequential FIFO, the priority-ordered sequential variant
+// (Priority), the deterministic parallel round engine (Parallelism>1),
+// and dirty-set incremental seeding (Incremental) — see the
+// PropagateOptions fields for the semantics of each.
 func (n *Network) Propagate(opts PropagateOptions) PropagateResult {
 	opts = opts.withDefaults()
+	if opts.Parallelism > 1 {
+		return n.propagateParallel(opts)
+	}
+	return n.propagateSeq(opts)
+}
 
+// propagateSeq is the sequential engine (FIFO or priority worklist).
+func (n *Network) propagateSeq(opts PropagateOptions) PropagateResult {
 	res := PropagateResult{}
 	startEvals := n.evals
 	tr := n.tracer
@@ -232,19 +443,32 @@ func (n *Network) Propagate(opts PropagateOptions) PropagateResult {
 	// Worklist of constraint ids in insertion order; inQueue avoids
 	// duplicates. head indexes the next pop (the queue slice only
 	// grows; popped entries are left behind).
-	for ci := range n.conList {
-		sc.queue = append(sc.queue, ci)
-		sc.inQueue[ci] = true
+	n.seedWorklist(sc, opts)
+	usePrio := opts.Priority
+	if usePrio {
+		sc.prioSeed()
 	}
 	head := 0
 
-	for head < len(sc.queue) {
+	for {
+		if usePrio {
+			if len(sc.prio) == 0 {
+				break
+			}
+		} else if head >= len(sc.queue) {
+			break
+		}
 		if res.Revisions >= opts.MaxRevisions {
 			res.Capped = true
 			break
 		}
-		ci := sc.queue[head]
-		head++
+		var ci int
+		if usePrio {
+			ci = sc.prioPop()
+		} else {
+			ci = sc.queue[head]
+			head++
+		}
 		sc.inQueue[ci] = false
 		c := n.conList[ci]
 		sc.visits[ci]++
@@ -325,10 +549,26 @@ func (n *Network) Propagate(opts PropagateOptions) PropagateResult {
 			if !significantShrink(sc.pre[aid], p.CurrentInterval(), opts.MinShrink) && !p.feasible.IsEmpty() {
 				continue
 			}
+			var pri float64
+			if usePrio {
+				// The wake strength — the relative shrink of the changed
+				// argument — is the expected-narrowing estimate for the
+				// constraints it wakes.
+				pri = math.Inf(1)
+				if !p.feasible.IsEmpty() {
+					if pw := sc.pre[aid].Width(); pw > 0 {
+						pri = (pw - p.CurrentInterval().Width()) / pw
+					}
+				}
+			}
 			for _, nb := range n.byProp[aid] {
 				if nb != ci && !sc.inQueue[nb] && sc.visits[nb] < opts.MaxVisits {
 					sc.inQueue[nb] = true
-					sc.queue = append(sc.queue, nb)
+					if usePrio {
+						sc.prioPush(prioEntry{pri: pri, ci: nb})
+					} else {
+						sc.queue = append(sc.queue, nb)
+					}
 				}
 			}
 		}
@@ -352,6 +592,7 @@ func (n *Network) Propagate(opts PropagateOptions) PropagateResult {
 			res.Violated = append(res.Violated, n.conList[ci].Name)
 		}
 	}
+	n.noteFixpoint(opts, &res)
 	if tr.Enabled() {
 		tr.Emit(trace.Event{
 			Kind:      trace.KindPropagate,

@@ -1,0 +1,374 @@
+package constraint
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/domain"
+	"repro/internal/expr"
+	"repro/internal/interval"
+	"repro/internal/trace"
+)
+
+// The round engine (PropagateOptions.Parallelism > 1).
+//
+// The sequential engine's FIFO schedule is inherently serial: each
+// revise reads the narrowings of every revise before it. To use more
+// than one core without giving up reproducibility, the round engine
+// switches to Jacobi-style iteration: it revises the whole worklist of
+// one round against an immutable snapshot of the round-start domains,
+// buffers the narrowings each revise proposes, and only then applies
+// them. Because every proposal is an intersection against the same
+// property, application order cannot matter — the merged domain is the
+// snapshot intersected with all proposals — so the round's outcome is a
+// function of the round's worklist and snapshot alone. Splitting the
+// worklist across W workers changes nothing observable: workers own
+// disjoint contiguous chunks, their proposal logs concatenate back into
+// worklist order, and statuses/visit counts are per-constraint. The
+// result is identical for every Parallelism > 1 and every GOMAXPROCS,
+// which is what lets the size-sweep artifact compare worker counts
+// honestly.
+//
+// The fixpoint can differ from the sequential engine's within MinShrink
+// tolerance (Jacobi revises see older domains than Gauss-Seidel would),
+// so the engines are not interchangeable mid-session; the differential
+// corpus pins the sequential engine only.
+
+// parallelInlineThreshold: rounds smaller than this are revised on the
+// calling goroutine — goroutine handoff costs more than the revises.
+// The threshold only moves work between goroutines, never changes the
+// outcome.
+const parallelInlineThreshold = 32
+
+// proposal is one buffered domain change: intersect pid's feasible
+// subspace with iv, or — for viol — empty it (violation semantics:
+// emptying by violation does not by itself wake neighbours, matching
+// the sequential engine).
+type proposal struct {
+	pid  int
+	iv   interval.Interval
+	viol bool
+}
+
+// pendEntry is one in-revise narrowing: later reads of the same
+// property within the revise must see it (HC4 narrows a variable with
+// multiple occurrences several times in one backward pass).
+type pendEntry struct {
+	pid int
+	iv  interval.Interval
+}
+
+// parScratch is the round engine's reusable workspace.
+type parScratch struct {
+	// snap/snapEpoch/narrowable are the per-property round snapshot:
+	// the hull every revise of the round reads, stamped lazily with the
+	// round epoch. narrowable records whether the property can accept
+	// narrowing (unbound, numeric, non-empty) as of round start.
+	snap       []interval.Interval
+	snapEpoch  []int64
+	narrowable []bool
+	epoch      int64
+	// touched/narrowTouched/touchList collect the properties the round's
+	// merge wrote (narrowTouched: by a narrowing proposal, the wake-
+	// eligible kind).
+	touched       []bool
+	narrowTouched []bool
+	touchList     []int
+	// next/inNext build the next round's worklist.
+	next   []int
+	inNext []bool
+	// workers are the reusable per-worker revise contexts.
+	workers []*parWorker
+	wg      sync.WaitGroup
+}
+
+// getPar returns the round-engine workspace, grown to the current
+// structure size.
+func (sc *propScratch) getPar(n *Network, parallelism int) *parScratch {
+	ps := sc.par
+	if ps == nil {
+		ps = &parScratch{}
+		sc.par = ps
+	}
+	np, nc := len(n.propList), len(n.conList)
+	if len(ps.snap) < np {
+		ps.snap = make([]interval.Interval, np)
+		ps.snapEpoch = make([]int64, np)
+		ps.narrowable = make([]bool, np)
+		ps.touched = make([]bool, np)
+		ps.narrowTouched = make([]bool, np)
+	}
+	if len(ps.inNext) < nc {
+		ps.inNext = make([]bool, nc)
+	}
+	for len(ps.workers) < parallelism {
+		ps.workers = append(ps.workers, &parWorker{n: n, sc: sc, ps: ps})
+	}
+	for _, w := range ps.workers {
+		w.n, w.sc, w.ps = n, sc, ps
+	}
+	ps.touchList = ps.touchList[:0]
+	ps.next = ps.next[:0]
+	return ps
+}
+
+// parWorker revises one contiguous chunk of a round's worklist. It
+// implements expr.IndexedBox against the round snapshot plus its own
+// in-revise pending narrowings; effective narrowings are buffered as
+// proposals instead of applied.
+type parWorker struct {
+	n     *Network
+	sc    *propScratch
+	ps    *parScratch
+	props []proposal
+	pend  []pendEntry
+}
+
+func (w *parWorker) Domain(name string) interval.Interval {
+	if id, ok := w.n.propIDs[name]; ok {
+		return w.DomainID(id)
+	}
+	return interval.Entire()
+}
+
+func (w *parWorker) DomainID(id int) interval.Interval {
+	for i := len(w.pend) - 1; i >= 0; i-- {
+		if w.pend[i].pid == id {
+			return w.pend[i].iv
+		}
+	}
+	if w.ps.snapEpoch[id] == w.ps.epoch {
+		return w.ps.snap[id]
+	}
+	// Not an argument of any constraint in this round; nothing writes
+	// property state mid-round, so the live read is safe.
+	return w.n.propList[id].CurrentInterval()
+}
+
+func (w *parWorker) SetDomain(name string, iv interval.Interval) {
+	if id, ok := w.n.propIDs[name]; ok {
+		w.SetDomainID(id, iv)
+	}
+}
+
+func (w *parWorker) SetDomainID(id int, iv interval.Interval) {
+	if !w.ps.narrowable[id] {
+		return
+	}
+	w.props = append(w.props, proposal{pid: id, iv: iv})
+	w.pend = append(w.pend, pendEntry{pid: id, iv: iv})
+}
+
+var _ expr.IndexedBox = (*parWorker)(nil)
+
+// run revises the chunk q. Statuses and visit bookkeeping touch only
+// indices owned by this chunk; everything else is buffered.
+func (w *parWorker) run(q []int) {
+	n := w.n
+	w.props = w.props[:0]
+	for _, ci := range q {
+		w.pend = w.pend[:0]
+		c := n.conList[ci]
+		status := statusFromDiff(expr.EvalInterval(n.compiled[ci], w), c.Rel)
+		n.status[ci] = status
+		if status == Violated {
+			for _, aid := range n.conArgs[ci] {
+				if w.ps.narrowable[aid] {
+					w.props = append(w.props, proposal{pid: aid, viol: true})
+				}
+			}
+			continue
+		}
+		if status == Satisfied {
+			continue
+		}
+		want, hasWant := c.requiredDiff()
+		if !hasWant {
+			continue
+		}
+		if !n.shadowFor(w.sc, ci).Narrow(want, w) {
+			n.status[ci] = Violated
+		}
+	}
+}
+
+// propagateParallel runs the round engine to a fixpoint. Seeding
+// (including incremental dirty-region seeding) is shared with the
+// sequential engine.
+func (n *Network) propagateParallel(opts PropagateOptions) PropagateResult {
+	res := PropagateResult{}
+	startEvals := n.evals
+	tr := n.tracer
+	var traceStart int64
+	if tr.Enabled() {
+		traceStart = tr.Now()
+	}
+	sc := n.getScratch()
+	n.seedWorklist(sc, opts)
+	ps := sc.getPar(n, opts.Parallelism)
+	queue := sc.queue
+
+	for len(queue) > 0 {
+		rem := opts.MaxRevisions - res.Revisions
+		if rem <= 0 {
+			res.Capped = true
+			break
+		}
+		if len(queue) > rem {
+			// Deterministic truncation: the worklist is id-sorted, so the
+			// budget cuts the same tail at every worker count.
+			queue = queue[:rem]
+			res.Capped = true
+		}
+
+		// Round snapshot: stamp the hull and narrowability of every
+		// argument of the round's constraints, and charge the visits.
+		ps.epoch++
+		for _, ci := range queue {
+			sc.visits[ci]++
+			for _, aid := range n.conArgs[ci] {
+				if ps.snapEpoch[aid] != ps.epoch {
+					ps.snapEpoch[aid] = ps.epoch
+					p := n.propList[aid]
+					ps.snap[aid] = p.CurrentInterval()
+					ps.narrowable[aid] = !p.IsBound() && p.IsNumeric() && !p.feasible.IsEmpty()
+				}
+			}
+		}
+		res.Revisions += len(queue)
+		n.evals += int64(len(queue))
+
+		// Revise the round: contiguous chunks across workers. Chunk
+		// boundaries move with the worker count, but the concatenation
+		// of the workers' proposal logs is always worklist order.
+		nw := 1
+		if len(queue) >= parallelInlineThreshold && opts.Parallelism >= 2 {
+			nw = min(opts.Parallelism, len(queue))
+		}
+		if nw == 1 {
+			ps.workers[0].run(queue)
+		} else {
+			chunk := (len(queue) + nw - 1) / nw
+			used := 0
+			for i := 0; i < nw; i++ {
+				lo := i * chunk
+				hi := min(lo+chunk, len(queue))
+				if lo >= hi {
+					break
+				}
+				used++
+				ps.wg.Add(1)
+				go func(wk *parWorker, q []int) {
+					defer ps.wg.Done()
+					wk.run(q)
+				}(ps.workers[i], queue[lo:hi])
+			}
+			ps.wg.Wait()
+			nw = used
+		}
+		if tr.FullDetail() {
+			for _, ci := range queue {
+				tr.Emit(trace.Event{Kind: trace.KindRevise, Name: n.conList[ci].Name, Evals: 1})
+			}
+		}
+
+		// Merge: apply proposals in worklist order. Intersections
+		// commute, so this order is presentation, not semantics.
+		for i := 0; i < nw; i++ {
+			for _, pr := range ps.workers[i].props {
+				p := n.propList[pr.pid]
+				if !ps.touched[pr.pid] {
+					ps.touched[pr.pid] = true
+					ps.touchList = append(ps.touchList, pr.pid)
+				}
+				if pr.viol {
+					if !p.feasible.IsEmpty() {
+						p.feasible = domain.Empty(p.feasible.Kind())
+						sc.narrowed[pr.pid] = true
+						sc.emptied[pr.pid] = true
+					}
+					continue
+				}
+				ps.narrowTouched[pr.pid] = true
+				if p.feasible.IsEmpty() {
+					continue
+				}
+				nf := p.feasible.NarrowTo(pr.iv)
+				if !nf.Equal(p.feasible) {
+					p.feasible = nf
+					sc.narrowed[pr.pid] = true
+					if nf.IsEmpty() {
+						sc.emptied[pr.pid] = true
+					}
+				}
+			}
+		}
+
+		// Next round: neighbours of properties that shrank enough (or
+		// were emptied by a narrowing), visit-capped, id-sorted.
+		ps.next = ps.next[:0]
+		for _, pid := range ps.touchList {
+			wake := false
+			if ps.narrowTouched[pid] {
+				p := n.propList[pid]
+				if p.feasible.IsEmpty() {
+					wake = true
+				} else {
+					wake = significantShrink(ps.snap[pid], p.CurrentInterval(), opts.MinShrink)
+				}
+			}
+			ps.touched[pid] = false
+			ps.narrowTouched[pid] = false
+			if !wake {
+				continue
+			}
+			for _, nb := range n.byProp[pid] {
+				if !ps.inNext[nb] && sc.visits[nb] < opts.MaxVisits {
+					ps.inNext[nb] = true
+					ps.next = append(ps.next, nb)
+				}
+			}
+		}
+		ps.touchList = ps.touchList[:0]
+		if res.Capped {
+			break
+		}
+		sort.Ints(ps.next)
+		queue, ps.next = ps.next, queue
+		for _, ci := range queue {
+			ps.inNext[ci] = false
+		}
+	}
+
+	res.Evaluations = n.evals - startEvals
+	for id, ok := range sc.narrowed {
+		if ok {
+			res.Narrowed = append(res.Narrowed, n.propList[id].Name)
+		}
+	}
+	sort.Strings(res.Narrowed)
+	for id, ok := range sc.emptied {
+		if ok {
+			res.Emptied = append(res.Emptied, n.propList[id].Name)
+		}
+	}
+	sort.Strings(res.Emptied)
+	for ci, s := range n.status {
+		if s == Violated {
+			res.Violated = append(res.Violated, n.conList[ci].Name)
+		}
+	}
+	n.noteFixpoint(opts, &res)
+	if tr.Enabled() {
+		tr.Emit(trace.Event{
+			Kind:      trace.KindPropagate,
+			Revisions: res.Revisions,
+			Evals:     res.Evaluations,
+			Narrowed:  len(res.Narrowed),
+			Emptied:   len(res.Emptied),
+			Capped:    res.Capped,
+			DurNanos:  tr.Now() - traceStart,
+		})
+	}
+	return res
+}

@@ -1,0 +1,337 @@
+// Incremental and parallel propagation tests over generated scale
+// networks. These live in an external test package so they can import
+// internal/scenario (which itself depends on internal/constraint).
+package constraint_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/interval"
+	"repro/internal/scenario"
+)
+
+// bigBudget returns options with a revise budget no generated fixpoint
+// hits, so incremental equivalence holds unconditionally.
+func bigBudget(net *constraint.Network) constraint.PropagateOptions {
+	return constraint.PropagateOptions{MaxRevisions: 40*net.NumConstraints() + 1000}
+}
+
+// netState captures the observables two runs must agree on bit-for-bit.
+func netState(net *constraint.Network) map[string]interval.Interval {
+	out := make(map[string]interval.Interval, net.NumProperties())
+	for _, p := range net.Properties() {
+		out[p.Name] = net.Domain(p.Name)
+	}
+	return out
+}
+
+func assertStateEqual(t *testing.T, label string, ref, got *constraint.Network) {
+	t.Helper()
+	rs, gs := netState(ref), netState(got)
+	bad := 0
+	for name, riv := range rs {
+		if giv := gs[name]; giv != riv {
+			bad++
+			if bad <= 3 {
+				t.Errorf("%s: window %s: ref [%v, %v] vs got [%v, %v]", label, name, riv.Lo, riv.Hi, giv.Lo, giv.Hi)
+			}
+		}
+	}
+	if bad > 3 {
+		t.Errorf("%s: %d windows differ in total", label, bad)
+	}
+	for _, c := range ref.Constraints() {
+		if ref.Status(c.Name) != got.Status(c.Name) {
+			t.Fatalf("%s: status %s: ref %v vs got %v", label, c.Name, ref.Status(c.Name), got.Status(c.Name))
+		}
+	}
+	if bad > 0 {
+		t.FailNow()
+	}
+}
+
+// TestIncrementalMatchesFull is the incremental soundness property
+// test: after every step of a seeded random op sequence (bind to a
+// random in-range value, sometimes unbind), Propagate{Incremental}
+// must leave windows and statuses bit-identical to ResetFeasible plus
+// a from-scratch full Propagate on an identically mutated network —
+// while only re-propagating dirty regions.
+func TestIncrementalMatchesFull(t *testing.T) {
+	for _, fam := range scenario.ScaleFamilies() {
+		for seed := int64(1); seed <= 2; seed++ {
+			t.Run(fmt.Sprintf("%s/s%d", fam, seed), func(t *testing.T) {
+				sn := scenario.MustScale(fam, 800, seed)
+				ref, err := sn.Scenario.BuildNetwork()
+				if err != nil {
+					t.Fatal(err)
+				}
+				inc, err := sn.Scenario.BuildNetwork()
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts := bigBudget(ref)
+				incOpts := opts
+				incOpts.Incremental = true
+
+				if res := inc.Propagate(incOpts); res.Capped {
+					t.Fatal("initial incremental run capped")
+				}
+				ref.ResetFeasible()
+				if res := ref.Propagate(opts); res.Capped {
+					t.Fatal("initial full run capped")
+				}
+				assertStateEqual(t, "initial", ref, inc)
+
+				rng := rand.New(rand.NewSource(seed * 13))
+				props := ref.Properties()
+				var bound []string
+				sawSavings := false
+				for step := 0; step < 25; step++ {
+					if len(bound) > 0 && rng.Intn(4) == 0 {
+						i := rng.Intn(len(bound))
+						name := bound[i]
+						bound = append(bound[:i], bound[i+1:]...)
+						ref.Unbind(name)
+						inc.Unbind(name)
+					} else {
+						p := props[rng.Intn(len(props))]
+						iv, _ := p.Init.Interval()
+						v := iv.Lo + rng.Float64()*(iv.Hi-iv.Lo)
+						if err := ref.BindReal(p.Name, v); err != nil {
+							t.Fatal(err)
+						}
+						if err := inc.BindReal(p.Name, v); err != nil {
+							t.Fatal(err)
+						}
+						bound = append(bound, p.Name)
+					}
+					incRes := inc.Propagate(incOpts)
+					ref.ResetFeasible()
+					refRes := ref.Propagate(opts)
+					if incRes.Capped || refRes.Capped {
+						t.Fatalf("step %d: capped run (inc=%v full=%v); raise the budget", step, incRes.Capped, refRes.Capped)
+					}
+					if incRes.Revisions < refRes.Revisions {
+						sawSavings = true
+					}
+					if incRes.Revisions > refRes.Revisions {
+						t.Errorf("step %d: incremental did MORE revisions (%d) than full (%d)", step, incRes.Revisions, refRes.Revisions)
+					}
+					assertStateEqual(t, fmt.Sprintf("step %d", step), ref, inc)
+				}
+				if (fam == "sparse" || fam == "hub") && !sawSavings {
+					t.Errorf("%s: incremental never did fewer revisions than full", fam)
+				}
+
+				// A structural edit invalidates the marker; the next
+				// incremental run must fall back to a full run and still
+				// match.
+				pa, pb := props[0].Name, props[1].Name
+				c, err := constraint.ParseConstraint("late_edge", pa+" + "+pb+" <= 1000000")
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, n := range []*constraint.Network{ref, inc} {
+					if err := n.AddConstraint(c); err != nil {
+						t.Fatal(err)
+					}
+				}
+				opts2 := bigBudget(ref)
+				incOpts2 := opts2
+				incOpts2.Incremental = true
+				inc.Propagate(incOpts2)
+				ref.ResetFeasible()
+				ref.Propagate(opts2)
+				assertStateEqual(t, "post-structural-edit", ref, inc)
+			})
+		}
+	}
+}
+
+// TestIncrementalNoDirtyIsFree: with a valid marker and no dirty
+// properties, an incremental run does zero revisions and changes
+// nothing.
+func TestIncrementalNoDirtyIsFree(t *testing.T) {
+	sn := scenario.MustScale("sparse", 500, 1)
+	net, err := sn.Scenario.BuildNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := bigBudget(net)
+	opts.Incremental = true
+	first := net.Propagate(opts)
+	if first.Revisions == 0 {
+		t.Fatal("initial run did no work")
+	}
+	before := netState(net)
+	again := net.Propagate(opts)
+	if again.Revisions != 0 || again.Evaluations != 0 {
+		t.Errorf("no-dirty incremental run did work: %d revisions, %d evals", again.Revisions, again.Evaluations)
+	}
+	for name, iv := range netState(net) {
+		if before[name] != iv {
+			t.Fatalf("no-dirty incremental run changed window %s", name)
+		}
+	}
+}
+
+// TestIncrementalPriority: the incremental marker composes with the
+// priority worklist — region re-runs under Priority reproduce the full
+// priority run bit-for-bit.
+func TestIncrementalPriority(t *testing.T) {
+	sn := scenario.MustScale("hub", 600, 3)
+	ref, _ := sn.Scenario.BuildNetwork()
+	inc, _ := sn.Scenario.BuildNetwork()
+	opts := bigBudget(ref)
+	opts.Priority = true
+	incOpts := opts
+	incOpts.Incremental = true
+
+	inc.Propagate(incOpts)
+	ref.ResetFeasible()
+	ref.Propagate(opts)
+	assertStateEqual(t, "priority/initial", ref, inc)
+
+	rng := rand.New(rand.NewSource(7))
+	props := ref.Properties()
+	for step := 0; step < 10; step++ {
+		p := props[rng.Intn(len(props))]
+		iv, _ := p.Init.Interval()
+		v := iv.Lo + rng.Float64()*(iv.Hi-iv.Lo)
+		ref.BindReal(p.Name, v)
+		inc.BindReal(p.Name, v)
+		inc.Propagate(incOpts)
+		ref.ResetFeasible()
+		ref.Propagate(opts)
+		assertStateEqual(t, fmt.Sprintf("priority/step %d", step), ref, inc)
+	}
+}
+
+// TestPriorityDeterminism: the priority engine is deterministic
+// run-to-run and keeps the witness point feasible.
+func TestPriorityDeterminism(t *testing.T) {
+	sn := scenario.MustScale("grid", 900, 2)
+	a, _ := sn.Scenario.BuildNetwork()
+	b, _ := sn.Scenario.BuildNetwork()
+	opts := bigBudget(a)
+	opts.Priority = true
+	a.ResetFeasible()
+	ra := a.Propagate(opts)
+	b.ResetFeasible()
+	rb := b.Propagate(opts)
+	if ra.Revisions != rb.Revisions || ra.Evaluations != rb.Evaluations {
+		t.Errorf("priority runs diverge: revisions %d vs %d", ra.Revisions, rb.Revisions)
+	}
+	assertStateEqual(t, "priority-rerun", a, b)
+	if len(ra.Violated) > 0 || len(ra.Emptied) > 0 {
+		t.Errorf("priority run on witness-built net: violated=%d emptied=%d", len(ra.Violated), len(ra.Emptied))
+	}
+	const eps = 1e-6
+	for _, p := range a.Properties() {
+		w := sn.Witness[p.Name]
+		iv := a.Domain(p.Name)
+		if w < iv.Lo-eps || w > iv.Hi+eps {
+			t.Fatalf("priority: witness %s=%g outside [%v, %v]", p.Name, w, iv.Lo, iv.Hi)
+		}
+	}
+}
+
+// TestParallelDeterminism: the round engine's result is a function of
+// the network alone — identical across Parallelism values > 1 and
+// across repeated runs under live goroutine scheduling.
+func TestParallelDeterminism(t *testing.T) {
+	for _, fam := range []string{"grid", "sparse", "layers"} {
+		t.Run(fam, func(t *testing.T) {
+			sn := scenario.MustScale(fam, 900, 2)
+			type run struct {
+				net *constraint.Network
+				res constraint.PropagateResult
+			}
+			var runs []run
+			for _, par := range []int{2, 3, 8, 2} {
+				net, err := sn.Scenario.BuildNetwork()
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts := bigBudget(net)
+				opts.Parallelism = par
+				net.ResetFeasible()
+				res := net.Propagate(opts)
+				if res.Capped {
+					t.Fatalf("P=%d: capped", par)
+				}
+				runs = append(runs, run{net, res})
+			}
+			for i := 1; i < len(runs); i++ {
+				if runs[i].res.Revisions != runs[0].res.Revisions ||
+					runs[i].res.Evaluations != runs[0].res.Evaluations ||
+					len(runs[i].res.Narrowed) != len(runs[0].res.Narrowed) ||
+					len(runs[i].res.Emptied) != len(runs[0].res.Emptied) ||
+					len(runs[i].res.Violated) != len(runs[0].res.Violated) {
+					t.Errorf("run %d metrics diverge from run 0: revisions %d vs %d, evals %d vs %d",
+						i, runs[i].res.Revisions, runs[0].res.Revisions,
+						runs[i].res.Evaluations, runs[0].res.Evaluations)
+				}
+				assertStateEqual(t, fmt.Sprintf("P-run %d", i), runs[0].net, runs[i].net)
+			}
+			// Witness survives the round engine too.
+			const eps = 1e-6
+			for _, p := range runs[0].net.Properties() {
+				w := sn.Witness[p.Name]
+				iv := runs[0].net.Domain(p.Name)
+				if w < iv.Lo-eps || w > iv.Hi+eps {
+					t.Fatalf("parallel: witness %s=%g outside [%v, %v]", p.Name, w, iv.Lo, iv.Hi)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelIncremental: dirty-region seeding composes with the round
+// engine: an incremental parallel run after an edit matches a fresh
+// full parallel run on an identically mutated network, bit for bit.
+func TestParallelIncremental(t *testing.T) {
+	sn := scenario.MustScale("sparse", 800, 4)
+	inc, _ := sn.Scenario.BuildNetwork()
+	opts := bigBudget(inc)
+	opts.Parallelism = 4
+	opts.Incremental = true
+
+	first := inc.Propagate(opts)
+	if first.Capped {
+		t.Fatal("initial parallel incremental run capped")
+	}
+	props := inc.Properties()
+	rng := rand.New(rand.NewSource(11))
+	for step := 0; step < 8; step++ {
+		p := props[rng.Intn(len(props))]
+		iv, _ := p.Init.Interval()
+		v := iv.Lo + rng.Float64()*(iv.Hi-iv.Lo)
+		inc.BindReal(p.Name, v)
+		stepRes := inc.Propagate(opts)
+		if stepRes.Revisions >= first.Revisions {
+			t.Errorf("step %d: incremental parallel revisions %d not below full %d", step, stepRes.Revisions, first.Revisions)
+		}
+
+		ref, err := sn.Scenario.BuildNetwork()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Replay all bindings performed so far onto the fresh network.
+		for _, q := range props {
+			if v, ok := inc.Property(q.Name).Value(); ok {
+				if err := ref.Bind(q.Name, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		refRes := ref.Propagate(opts) // marker invalid: full parallel run
+		if refRes.Capped {
+			t.Fatal("reference parallel run capped")
+		}
+		assertStateEqual(t, fmt.Sprintf("parallel-inc step %d", step), ref, inc)
+	}
+}

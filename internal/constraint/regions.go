@@ -1,0 +1,132 @@
+package constraint
+
+// Region partition of the constraint graph. Two properties are in the
+// same region when a chain of constraints connects them; a constraint
+// belongs to the region of its arguments. Regions are the independence
+// boundary of propagation: a revise reads and writes only properties of
+// its own region, so disjoint regions can be propagated in any order —
+// or concurrently — without changing any fixpoint window. Incremental
+// re-propagation uses the same fact in the other direction: a region
+// with no dirty property reaches exactly the fixpoint it already holds,
+// so it can be skipped outright (see propagate.go).
+//
+// The partition is pure structure, so it is cached and validated
+// against the structure generation exactly like viewCache: any
+// AddProperty/AddConstraint invalidates it and the next query rebuilds.
+type regionCache struct {
+	gen int64
+	// propRegion/conRegion map property/constraint ids to region ids.
+	// Region ids are dense and deterministic: regions are numbered in
+	// order of their smallest property id. Constraints with no
+	// arguments get region -1 (they relate nothing).
+	propRegion []int
+	conRegion  []int
+	// regionProps/regionCons list each region's property/constraint ids
+	// in ascending id order.
+	regionProps [][]int
+	regionCons  [][]int
+}
+
+// getRegionCache returns the region partition, rebuilding it when the
+// structure generation has moved since it was built.
+func (n *Network) getRegionCache() *regionCache {
+	rc := n.regions
+	if rc != nil && rc.gen == n.gen && len(rc.propRegion) == len(n.propList) {
+		return rc
+	}
+	np := len(n.propList)
+	// Union-find over property ids; each constraint unions its args.
+	parent := make([]int, np)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	for _, args := range n.conArgs {
+		if len(args) == 0 {
+			continue
+		}
+		r0 := find(args[0])
+		for _, a := range args[1:] {
+			r := find(a)
+			if r != r0 {
+				// Union by smaller root id keeps numbering deterministic
+				// without a separate rank array.
+				if r < r0 {
+					r0, r = r, r0
+				}
+				parent[r] = r0
+			}
+		}
+	}
+	rc = &regionCache{
+		gen:        n.gen,
+		propRegion: make([]int, np),
+		conRegion:  make([]int, len(n.conList)),
+	}
+	// Number regions by first appearance over ascending property ids.
+	rootRegion := make([]int, np)
+	for i := range rootRegion {
+		rootRegion[i] = -1
+	}
+	for pid := 0; pid < np; pid++ {
+		root := find(pid)
+		r := rootRegion[root]
+		if r < 0 {
+			r = len(rc.regionProps)
+			rootRegion[root] = r
+			rc.regionProps = append(rc.regionProps, nil)
+			rc.regionCons = append(rc.regionCons, nil)
+		}
+		rc.propRegion[pid] = r
+		rc.regionProps[r] = append(rc.regionProps[r], pid)
+	}
+	for ci, args := range n.conArgs {
+		if len(args) == 0 {
+			rc.conRegion[ci] = -1
+			continue
+		}
+		r := rc.propRegion[args[0]]
+		rc.conRegion[ci] = r
+		rc.regionCons[r] = append(rc.regionCons[r], ci)
+	}
+	n.regions = rc
+	return rc
+}
+
+// RegionCount returns the number of connected regions of the constraint
+// graph (isolated properties count as singleton regions).
+func (n *Network) RegionCount() int {
+	return len(n.getRegionCache().regionProps)
+}
+
+// RegionOf returns the region id of the named property, or -1 when the
+// property is unknown. Region ids are dense, deterministic (numbered by
+// smallest member property id), and stable until the next structural
+// change.
+func (n *Network) RegionOf(prop string) int {
+	pid := n.propID(prop)
+	if pid < 0 {
+		return -1
+	}
+	return n.getRegionCache().propRegion[pid]
+}
+
+// RegionStats returns the region count and the property count of the
+// largest region — the quick diagnostic for whether a network can
+// benefit from region-level concurrency and incremental skipping.
+func (n *Network) RegionStats() (regions, largest int) {
+	rc := n.getRegionCache()
+	for _, ps := range rc.regionProps {
+		if len(ps) > largest {
+			largest = len(ps)
+		}
+	}
+	return len(rc.regionProps), largest
+}

@@ -1,0 +1,81 @@
+package constraint
+
+import (
+	"testing"
+
+	"repro/internal/domain"
+)
+
+// buildRegionsNet builds two disjoint two-property chains plus one
+// isolated property: three regions.
+func buildRegionsNet(t *testing.T) *Network {
+	t.Helper()
+	n := NewNetwork()
+	for _, name := range []string{"a", "b", "c", "d", "iso"} {
+		if err := n.AddProperty(NewProperty(name, domain.NewInterval(0, 10))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range []struct{ name, src string }{
+		{"c0", "a + b <= 12"},
+		{"c1", "c - d <= 3"},
+	} {
+		pc, err := ParseConstraint(c.name, c.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.AddConstraint(pc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}
+
+func TestRegionPartition(t *testing.T) {
+	n := buildRegionsNet(t)
+	if got := n.RegionCount(); got != 3 {
+		t.Fatalf("RegionCount = %d, want 3", got)
+	}
+	// Regions are numbered by smallest member property id: {a,b}=0,
+	// {c,d}=1, {iso}=2.
+	for name, want := range map[string]int{"a": 0, "b": 0, "c": 1, "d": 1, "iso": 2} {
+		if got := n.RegionOf(name); got != want {
+			t.Errorf("RegionOf(%s) = %d, want %d", name, got, want)
+		}
+	}
+	if got := n.RegionOf("nosuch"); got != -1 {
+		t.Errorf("RegionOf(nosuch) = %d, want -1", got)
+	}
+	regions, largest := n.RegionStats()
+	if regions != 3 || largest != 2 {
+		t.Errorf("RegionStats = (%d, %d), want (3, 2)", regions, largest)
+	}
+}
+
+func TestRegionCacheInvalidation(t *testing.T) {
+	n := buildRegionsNet(t)
+	if got := n.RegionCount(); got != 3 {
+		t.Fatalf("RegionCount = %d, want 3", got)
+	}
+	// A bridging constraint merges the two chains.
+	pc, err := ParseConstraint("bridge", "b + c <= 15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddConstraint(pc); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.RegionCount(); got != 2 {
+		t.Fatalf("after bridge: RegionCount = %d, want 2", got)
+	}
+	if a, c := n.RegionOf("a"), n.RegionOf("c"); a != c {
+		t.Errorf("after bridge: RegionOf(a)=%d != RegionOf(c)=%d", a, c)
+	}
+	// New isolated property becomes its own region.
+	if err := n.AddProperty(NewProperty("iso2", domain.NewInterval(0, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.RegionCount(); got != 3 {
+		t.Fatalf("after iso2: RegionCount = %d, want 3", got)
+	}
+}

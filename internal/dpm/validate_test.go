@@ -1,10 +1,11 @@
-package dpm
+package dpm_test
 
 import (
 	"math/rand"
 	"testing"
 
 	"repro/internal/domain"
+	"repro/internal/dpm"
 	"repro/internal/scenario"
 )
 
@@ -20,33 +21,33 @@ func TestValidateMirrorsApply(t *testing.T) {
 	props := []string{"Diaphragm_R", "Amp_gain", "nope", "", "Sensitivity"}
 	problems := []string{"Top", "SensorDesign", "InterfaceDesign", "Ghost", ""}
 	cons := []string{"ResSpec", "GapMin", "missing", ""}
-	kinds := []OpKind{OpSynthesis, OpVerification, OpDecomposition, OpKind(9)}
+	kinds := []dpm.OpKind{dpm.OpSynthesis, dpm.OpVerification, dpm.OpDecomposition, dpm.OpKind(9)}
 
 	for i := 0; i < 400; i++ {
 		// Fresh process per op so a failed Apply never poisons the next
 		// iteration's comparison.
-		d, err := FromScenario(scn, ADPM)
+		d, err := dpm.FromScenario(scn, dpm.ADPM)
 		if err != nil {
 			t.Fatal(err)
 		}
-		op := Operation{
+		op := dpm.Operation{
 			Kind:     kinds[rng.Intn(len(kinds))],
 			Problem:  problems[rng.Intn(len(problems))],
 			Designer: "prop",
 		}
 		switch op.Kind {
-		case OpSynthesis:
+		case dpm.OpSynthesis:
 			n := rng.Intn(3)
 			for j := 0; j < n; j++ {
 				v := domain.Real(rng.Float64() * 100)
 				if rng.Intn(4) == 0 {
 					v = domain.Str("oops") // kind mismatch on numeric domains
 				}
-				op.Assignments = append(op.Assignments, Assignment{
+				op.Assignments = append(op.Assignments, dpm.Assignment{
 					Prop: props[rng.Intn(len(props))], Value: v,
 				})
 			}
-		case OpVerification:
+		case dpm.OpVerification:
 			for j := rng.Intn(3); j > 0; j-- {
 				op.Verify = append(op.Verify, cons[rng.Intn(len(cons))])
 			}
@@ -68,14 +69,14 @@ func TestValidateMirrorsApply(t *testing.T) {
 // TestValidateDoesNotMutate pins that Validate leaves the process
 // untouched even for valid operations.
 func TestValidateDoesNotMutate(t *testing.T) {
-	d, err := FromScenario(scenario.Simplified(), ADPM)
+	d, err := dpm.FromScenario(scenario.Simplified(), dpm.ADPM)
 	if err != nil {
 		t.Fatal(err)
 	}
 	evals := d.Net.EvalCount()
 	stage := d.Stage()
-	op := Operation{Kind: OpSynthesis, Problem: "AmpDesign",
-		Assignments: []Assignment{{Prop: "Width", Value: domain.Real(2)}}}
+	op := dpm.Operation{Kind: dpm.OpSynthesis, Problem: "AmpDesign",
+		Assignments: []dpm.Assignment{{Prop: "Width", Value: domain.Real(2)}}}
 	if err := d.Validate(op); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,263 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/dddl"
+	"repro/internal/dpm"
+)
+
+// scaleBudget returns a revise budget large enough that no generated
+// fixpoint is capped.
+func scaleBudget(net *constraint.Network) constraint.PropagateOptions {
+	return constraint.PropagateOptions{MaxRevisions: 40*net.NumConstraints() + 1000}
+}
+
+// TestScaleDeterminism: same (family, n, seed) ⇒ byte-identical DDDL
+// and identical op script and witness, across independent generator
+// runs.
+func TestScaleDeterminism(t *testing.T) {
+	for _, fam := range ScaleFamilies() {
+		a := MustScale(fam, 500, 3)
+		b := MustScale(fam, 500, 3)
+		if a.Scenario.Format() != b.Scenario.Format() {
+			t.Errorf("%s: two generations differ in DDDL text", fam)
+		}
+		if !reflect.DeepEqual(a.Ops, b.Ops) {
+			t.Errorf("%s: two generations differ in op script", fam)
+		}
+		if !reflect.DeepEqual(a.Witness, b.Witness) {
+			t.Errorf("%s: two generations differ in witness", fam)
+		}
+		c := MustScale(fam, 500, 4)
+		if a.Scenario.Format() == c.Scenario.Format() {
+			t.Errorf("%s: different seeds produced identical DDDL", fam)
+		}
+	}
+}
+
+// TestScaleValidity: every family validates, builds a network of
+// exactly the requested size, and its op script passes dpm.Validate in
+// both modes.
+func TestScaleValidity(t *testing.T) {
+	for _, fam := range ScaleFamilies() {
+		sn := MustScale(fam, 1000, 1)
+		if err := sn.Scenario.Validate(); err != nil {
+			t.Fatalf("%s: Validate: %v", fam, err)
+		}
+		net, err := sn.Scenario.BuildNetwork()
+		if err != nil {
+			t.Fatalf("%s: BuildNetwork: %v", fam, err)
+		}
+		if net.NumProperties() != 1000 {
+			t.Errorf("%s: properties = %d, want 1000", fam, net.NumProperties())
+		}
+		if net.NumConstraints() == 0 {
+			t.Errorf("%s: no constraints generated", fam)
+		}
+		if len(sn.Ops) == 0 {
+			t.Errorf("%s: empty op script", fam)
+		}
+		for _, mode := range []dpm.Mode{dpm.Conventional, dpm.ADPM} {
+			d, err := dpm.FromScenario(sn.Scenario, mode)
+			if err != nil {
+				t.Fatalf("%s: FromScenario: %v", fam, err)
+			}
+			for i, op := range sn.Ops {
+				if err := d.Validate(op); err != nil {
+					t.Fatalf("%s: op %d (%s) invalid: %v", fam, i, op, err)
+				}
+			}
+		}
+	}
+}
+
+// TestScaleWitnessFeasible: the witness point survives propagation in
+// every family — no violations, no emptied subspaces, and every
+// unbound property's window contains its witness value. This is the
+// satisfiable-by-construction guarantee.
+func TestScaleWitnessFeasible(t *testing.T) {
+	for _, fam := range ScaleFamilies() {
+		sn := MustScale(fam, 1000, 1)
+		net, err := sn.Scenario.BuildNetwork()
+		if err != nil {
+			t.Fatalf("%s: BuildNetwork: %v", fam, err)
+		}
+		net.ResetFeasible()
+		res := net.Propagate(scaleBudget(net))
+		if res.Capped {
+			t.Fatalf("%s: propagation capped at %d revisions", fam, res.Revisions)
+		}
+		if len(res.Violated) > 0 {
+			t.Fatalf("%s: witness-built network has violations: %v", fam, res.Violated[:min(5, len(res.Violated))])
+		}
+		if len(res.Emptied) > 0 {
+			t.Fatalf("%s: emptied properties: %v", fam, res.Emptied[:min(5, len(res.Emptied))])
+		}
+		const eps = 1e-6
+		for _, p := range net.Properties() {
+			w := sn.Witness[p.Name]
+			iv := net.Domain(p.Name)
+			if w < iv.Lo-eps || w > iv.Hi+eps {
+				t.Fatalf("%s: witness %s=%g outside window [%g, %g]", fam, p.Name, w, iv.Lo, iv.Hi)
+			}
+		}
+	}
+}
+
+// TestScaleMetamorphic: declaration-order invariance over one generated
+// 10³-property network per family. Permuting the property declaration
+// order must not change revise counts, evaluation counts, or windows
+// (worklist seeding follows constraint order, which is unchanged); and
+// canonical clones of differently-ordered declarations must propagate
+// identically (CanonicalClone forgets declaration order).
+func TestScaleMetamorphic(t *testing.T) {
+	for _, fam := range ScaleFamilies() {
+		sn := MustScale(fam, 1000, 2)
+		base, err := sn.Scenario.BuildNetwork()
+		if err != nil {
+			t.Fatalf("%s: BuildNetwork: %v", fam, err)
+		}
+		opts := scaleBudget(base)
+		base.ResetFeasible()
+		resBase := base.Propagate(opts)
+
+		// Permute the declaration order of non-derived properties.
+		// (Derived declarations stay in place: BuildNetwork emits their
+		// .def equality constraints in declaration order, so moving them
+		// changes the constraint order — a different, legitimate
+		// schedule. The canonical-clone relation below covers full
+		// reordering.) Worklist seeding follows constraint order, which
+		// this permutation leaves unchanged.
+		perm := &dddl.Scenario{
+			Name:           sn.Scenario.Name,
+			Objects:        sn.Scenario.Objects,
+			Properties:     append([]*dddl.PropertyDecl(nil), sn.Scenario.Properties...),
+			Constraints:    sn.Scenario.Constraints,
+			Problems:       sn.Scenario.Problems,
+			Decompositions: sn.Scenario.Decompositions,
+			Requirements:   sn.Scenario.Requirements,
+		}
+		var baseSlots []int
+		for i, pd := range perm.Properties {
+			if !pd.IsDerived() {
+				baseSlots = append(baseSlots, i)
+			}
+		}
+		rng := rand.New(rand.NewSource(99))
+		rng.Shuffle(len(baseSlots), func(i, j int) {
+			pi, pj := baseSlots[i], baseSlots[j]
+			perm.Properties[pi], perm.Properties[pj] = perm.Properties[pj], perm.Properties[pi]
+		})
+		pnet, err := perm.BuildNetwork()
+		if err != nil {
+			t.Fatalf("%s: permuted BuildNetwork: %v", fam, err)
+		}
+		pnet.ResetFeasible()
+		resPerm := pnet.Propagate(opts)
+
+		if resBase.Revisions != resPerm.Revisions || resBase.Evaluations != resPerm.Evaluations {
+			t.Errorf("%s: property-order permutation changed metrics: revisions %d vs %d, evals %d vs %d",
+				fam, resBase.Revisions, resPerm.Revisions, resBase.Evaluations, resPerm.Evaluations)
+		}
+		assertSameWindows(t, fam+"/prop-perm", base, pnet)
+
+		// Canonical clones forget declaration order entirely.
+		cb, cp := base.CanonicalClone(), pnet.CanonicalClone()
+		cb.ResetFeasible()
+		cp.ResetFeasible()
+		rb := cb.Propagate(opts)
+		rp := cp.Propagate(opts)
+		if rb.Revisions != rp.Revisions || rb.Evaluations != rp.Evaluations {
+			t.Errorf("%s: canonical clones diverge: revisions %d vs %d", fam, rb.Revisions, rp.Revisions)
+		}
+		assertSameWindows(t, fam+"/canonical", cb, cp)
+	}
+}
+
+// assertSameWindows fails unless every property window is bit-identical
+// between the two networks.
+func assertSameWindows(t *testing.T, label string, a, b *constraint.Network) {
+	t.Helper()
+	bad := 0
+	for _, p := range a.Properties() {
+		wa, wb := a.Domain(p.Name), b.Domain(p.Name)
+		if wa != wb {
+			bad++
+			if bad <= 3 {
+				t.Errorf("%s: window %s differs: [%g, %g] vs [%g, %g]", label, p.Name, wa.Lo, wa.Hi, wb.Lo, wb.Hi)
+			}
+		}
+	}
+	if bad > 3 {
+		t.Errorf("%s: %d windows differ in total", label, bad)
+	}
+}
+
+// TestScaleByName wires the families into the scenario registry used by
+// cmd/repro and cmd/teamsim.
+func TestScaleByName(t *testing.T) {
+	for _, spec := range []string{"grid:100", "layers:200:s5", "hub:150", "sparse:256:s2"} {
+		scn, err := ByName(spec)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", spec, err)
+		}
+		if _, err := scn.BuildNetwork(); err != nil {
+			t.Fatalf("ByName(%q).BuildNetwork: %v", spec, err)
+		}
+	}
+	for _, spec := range []string{"grid:notanumber", "grid:10:x5", "grid:10:5:9"} {
+		if _, err := ByName(spec); err == nil {
+			t.Errorf("ByName(%q) unexpectedly succeeded", spec)
+		}
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Error("ByName(nosuch) unexpectedly succeeded")
+	}
+	// Region structure sanity: sparse/hub are many-region, grid is one.
+	gridNet, _ := mustBuild(t, "grid:400")
+	if r := gridNet.RegionCount(); r != 1 {
+		t.Errorf("grid:400 regions = %d, want 1", r)
+	}
+	sparseNet, _ := mustBuild(t, "sparse:400")
+	if r := sparseNet.RegionCount(); r < 4 {
+		t.Errorf("sparse:400 regions = %d, want >= 4", r)
+	}
+	hubNet, _ := mustBuild(t, "hub:400")
+	if r := hubNet.RegionCount(); r < 4 {
+		t.Errorf("hub:400 regions = %d, want >= 4", r)
+	}
+}
+
+func mustBuild(t *testing.T, spec string) (*constraint.Network, *dddl.Scenario) {
+	t.Helper()
+	scn, err := ByName(spec)
+	if err != nil {
+		t.Fatalf("ByName(%q): %v", spec, err)
+	}
+	net, err := scn.BuildNetwork()
+	if err != nil {
+		t.Fatalf("BuildNetwork(%q): %v", spec, err)
+	}
+	return net, scn
+}
+
+// "grid:1000" style specs must produce the same network as direct Scale
+// calls — the registry is a view, not a second generator.
+func TestScaleByNameMatchesScale(t *testing.T) {
+	scn, err := ByName("hub:300:s9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := MustScale("hub", 300, 9)
+	if scn.Format() != direct.Scenario.Format() {
+		t.Error("ByName(hub:300:s9) differs from Scale(hub, 300, 9)")
+	}
+	if got, want := scn.Name, fmt.Sprintf("hub_%d_s%d", 300, 9); got != want {
+		t.Errorf("scenario name = %q, want %q", got, want)
+	}
+}

@@ -300,7 +300,9 @@ func Simplified() *dddl.Scenario { return dddl.MustParseString(SimplifiedSource)
 func GainSweep() []float64 { return []float64{48, 72, 96, 120, 144, 168} }
 
 // ByName returns a built-in scenario by name ("sensor", "receiver",
-// "simplified").
+// "simplified") or a generated scale-family instance by spec
+// ("family:n[:sSEED]" with family one of grid, layers, hub, sparse —
+// e.g. "grid:10000" or "sparse:4096:s7"; see Scale).
 func ByName(name string) (*dddl.Scenario, error) {
 	switch name {
 	case "sensor":
@@ -310,7 +312,10 @@ func ByName(name string) (*dddl.Scenario, error) {
 	case "simplified":
 		return Simplified(), nil
 	}
-	return nil, fmt.Errorf("scenario: unknown scenario %q (want sensor, receiver, or simplified)", name)
+	if scn, isScale, err := scaleByName(name); isScale {
+		return scn, err
+	}
+	return nil, fmt.Errorf("scenario: unknown scenario %q (want sensor, receiver, simplified, or a scale spec like grid:10000)", name)
 }
 
 // Names lists the built-in scenario names.

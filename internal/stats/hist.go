@@ -72,6 +72,16 @@ func (h *LogHist) Observe(v int64) {
 	h.sum += v
 }
 
+// Reset clears all recorded samples but keeps the bucket table
+// allocated, so an Observe after Reset allocates nothing. Benchmarks
+// that sweep a parameter reuse one histogram per sweep point this way.
+func (h *LogHist) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.count, h.sum, h.min, h.max = 0, 0, 0, 0
+}
+
 // Merge folds o into h. o is unchanged.
 func (h *LogHist) Merge(o *LogHist) {
 	if o == nil || o.count == 0 {

@@ -114,6 +114,40 @@ func TestLogHistMerge(t *testing.T) {
 	}
 }
 
+func TestLogHistReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var reused, fresh LogHist
+	for round := 0; round < 3; round++ {
+		reused.Reset()
+		fresh = LogHist{}
+		for i := 0; i < 2000; i++ {
+			v := rng.Int63n(int64(1) << uint(10+round*20))
+			reused.Observe(v)
+			fresh.Observe(v)
+		}
+		if reused.Count() != fresh.Count() || reused.Sum() != fresh.Sum() ||
+			reused.Min() != fresh.Min() || reused.Max() != fresh.Max() {
+			t.Fatalf("round %d: reset histogram diverged from fresh one", round)
+		}
+		for _, q := range []float64{0.5, 0.99} {
+			if reused.Quantile(q) != fresh.Quantile(q) {
+				t.Errorf("round %d: Quantile(%g) = %d, want %d", round, q, reused.Quantile(q), fresh.Quantile(q))
+			}
+		}
+	}
+	// Reset keeps the bucket table: further observes must not allocate.
+	reused.Reset()
+	if allocs := testing.AllocsPerRun(100, func() { reused.Observe(42) }); allocs != 0 {
+		t.Errorf("Observe after Reset allocates %g times per call", allocs)
+	}
+	// Reset on a zero-value histogram is a no-op, not a panic.
+	var z LogHist
+	z.Reset()
+	if z.Count() != 0 {
+		t.Fatal("reset zero-value histogram has samples")
+	}
+}
+
 func TestLogHistEmpty(t *testing.T) {
 	var h LogHist
 	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Quantile(0.99) != 0 {

@@ -1,55 +1,144 @@
 #!/usr/bin/env bash
 # Runs the propagation-engine benchmarks and writes BENCH_propagation.json
 # at the repo root: one record per benchmark with ns/op, B/op, and
-# allocs/op (mean over -count runs). Also runs the server/WAL durability
-# benchmarks and writes BENCH_server.json — BenchmarkApply compares the
-# in-memory accepted-op path against the durable path under each fsync
-# policy (the delta is the WAL append overhead), and BenchmarkAppend
-# isolates the raw framed-record append per policy.
+# allocs/op (mean over -count runs), plus a size-sweep section from
+# BenchmarkPropagateScale (grid/layers/hub/sparse × 10²..10⁵ properties)
+# and parallel/incremental engine comparisons. Also runs the server/WAL
+# durability benchmarks and writes BENCH_server.json — BenchmarkApply
+# compares the in-memory accepted-op path against the durable path under
+# each fsync policy (the delta is the WAL append overhead), and
+# BenchmarkAppend isolates the raw framed-record append per policy.
 #
 # Finally it runs a hermetic adpmload pass (in-process server, fixed
 # seed, oracle on) and leaves its per-endpoint latency report in
 # BENCH_load.json.
 #
-# Usage: scripts/bench.sh [count]
-#   count  benchmark repetitions per entry (default 6)
+# The script exits non-zero if any expected benchmark is missing from
+# the `go test -bench` output (a renamed or deleted benchmark must not
+# silently drop out of the artifact).
+#
+# Usage: scripts/bench.sh [count] [sweep_count]
+#   count        benchmark repetitions per entry (default 6)
+#   sweep_count  repetitions for the size sweep (default min(count, 3):
+#                the 10⁵ points are seconds per iteration)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 COUNT="${1:-6}"
+SWEEP_COUNT="${2:-$(( COUNT < 3 ? COUNT : 3 ))}"
 PATTERN='BenchmarkFig7Profile|BenchmarkMovementWindow|BenchmarkPropagate$|BenchmarkRunSimplified'
+SWEEP_PATTERN='BenchmarkPropagateScale|BenchmarkPropagateParallel|BenchmarkPropagateIncremental'
 OUT=BENCH_propagation.json
 
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+SWEEP_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$SWEEP_RAW"' EXIT
+
+# require_bench RAWFILE NAME... — fail loudly when an expected benchmark
+# is absent from the raw output (e.g. renamed, deleted, or filtered out).
+# A name matches itself, any -GOMAXPROCS suffix, and any sub-benchmark.
+require_bench() {
+    local raw="$1" missing=0
+    shift
+    for name in "$@"; do
+        if ! grep -Eq "^${name}([/-][^ 	]*)?[[:space:]]" "$raw"; then
+            echo "bench.sh: expected benchmark missing from output: $name" >&2
+            missing=1
+        fi
+    done
+    if [ "$missing" -ne 0 ]; then
+        echo "bench.sh: refusing to write an incomplete $OUT" >&2
+        exit 1
+    fi
+}
 
 go test -run '^$' -bench "$PATTERN" -benchmem -count "$COUNT" . | tee "$RAW"
+require_bench "$RAW" \
+    BenchmarkFig7Profile \
+    BenchmarkPropagate \
+    BenchmarkMovementWindow \
+    BenchmarkRunSimplified/conventional \
+    BenchmarkRunSimplified/adpm
+
+# Size sweep: one short benchtime pass — the large points run seconds
+# per iteration, and network construction is cached across -count runs.
+go test -run '^$' -bench "$SWEEP_PATTERN" -benchmem -benchtime 100ms \
+    -count "$SWEEP_COUNT" -timeout 60m . | tee "$SWEEP_RAW"
+sweep_expected=()
+for fam in grid layers hub sparse; do
+    for n in 100 1000 10000 100000; do
+        sweep_expected+=("BenchmarkPropagateScale/$fam/n=$n")
+    done
+done
+require_bench "$SWEEP_RAW" "${sweep_expected[@]}" \
+    BenchmarkPropagateParallel/p=1 \
+    BenchmarkPropagateParallel/p=2 \
+    BenchmarkPropagateIncremental/full-after-edit \
+    BenchmarkPropagateIncremental/incremental-after-edit
 
 awk -v out="$OUT" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix if present
     # fields: name iters ns/op ... B/op ... allocs/op (custom metrics between)
-    ns = ""; bytes = ""; allocs = ""
+    ns = ""; bytes = ""; allocs = ""; p50 = ""; p99 = ""
     for (i = 2; i < NF; i++) {
         if ($(i+1) == "ns/op")     ns = $i
         if ($(i+1) == "B/op")      bytes = $i
         if ($(i+1) == "allocs/op") allocs = $i
+        if ($(i+1) == "p50-ns")    p50 = $i
+        if ($(i+1) == "p99-ns")    p99 = $i
     }
-    if (ns != "")     { nsum[name] += ns;     n[name]++ }
+    if (ns != "") {
+        if (!(name in n)) { order[++nnames] = name }
+        nsum[name] += ns; n[name]++
+    }
     if (bytes != "")  { bsum[name] += bytes }
     if (allocs != "") { asum[name] += allocs }
+    if (p50 != "")    { p50sum[name] += p50 }
+    if (p99 != "")    { p99sum[name] += p99 }
+}
+function emit(name, extra,    s) {
+    s = sprintf("    {\"name\": \"%s\", %s\"runs\": %d, \"ns_per_op\": %.0f", \
+        name, extra, n[name], nsum[name]/n[name])
+    if (name in p50sum)
+        s = s sprintf(", \"p50_ns\": %.0f, \"p99_ns\": %.0f", \
+            p50sum[name]/n[name], p99sum[name]/n[name])
+    s = s sprintf(", \"bytes_per_op\": %.0f, \"allocs_per_op\": %.1f}", \
+        bsum[name]/n[name], asum[name]/n[name])
+    return s
+}
+function section(title, pat, famfield,    i, name, first, extra, parts) {
+    printf "  \"%s\": [\n", title >> out
+    first = 1
+    for (i = 1; i <= nnames; i++) {
+        name = order[i]
+        if (name !~ pat) continue
+        extra = ""
+        if (famfield) {
+            split(name, parts, "/")
+            extra = sprintf("\"family\": \"%s\", \"n\": %d, ", parts[2], substr(parts[3], 3))
+        }
+        if (!first) printf ",\n" >> out
+        first = 0
+        printf "%s", emit(name, extra) >> out
+    }
+    printf "\n  ],\n" >> out
 }
 END {
     printf "{\n  \"benchmarks\": [\n" > out
     first = 1
-    for (name in n) {
+    for (i = 1; i <= nnames; i++) {
+        name = order[i]
+        if (name ~ /^BenchmarkPropagate(Scale|Parallel|Incremental)\//) continue
         if (!first) printf ",\n" >> out
         first = 0
-        printf "    {\"name\": \"%s\", \"runs\": %d, \"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.1f}", \
-            name, n[name], nsum[name]/n[name], bsum[name]/n[name], asum[name]/n[name] >> out
+        printf "%s", emit(name, "") >> out
     }
     printf "\n  ],\n" >> out
+    section("size_sweep", "^BenchmarkPropagateScale\\/", 1)
+    section("parallel", "^BenchmarkPropagateParallel\\/", 0)
+    section("incremental", "^BenchmarkPropagateIncremental\\/", 0)
     # Seed baseline (commit 6693656, pre interning/scratch-reuse), same
     # machine class; kept here so regenerated files retain the comparison.
     printf "  \"baseline_seed\": [\n" >> out
@@ -59,7 +148,7 @@ END {
     printf "    {\"name\": \"BenchmarkRunSimplified/conventional\", \"ns_per_op\": 1510785, \"bytes_per_op\": 508947, \"allocs_per_op\": 15087},\n" >> out
     printf "    {\"name\": \"BenchmarkRunSimplified/adpm\", \"ns_per_op\": 880190, \"bytes_per_op\": 273817, \"allocs_per_op\": 5358}\n" >> out
     printf "  ]\n}\n" >> out
-}' "$RAW"
+}' "$RAW" "$SWEEP_RAW"
 
 echo "wrote $OUT"
 
@@ -68,6 +157,7 @@ SRV_OUT=BENCH_server.json
 
 go test -run '^$' -bench "$SRV_PATTERN" -benchmem -count "$COUNT" \
     ./internal/server/ ./internal/wal/ | tee "$RAW"
+require_bench "$RAW" BenchmarkApply BenchmarkAppend
 
 awk -v out="$SRV_OUT" '
 /^Benchmark/ {
