@@ -11,10 +11,11 @@
 //
 // API:
 //
-//	POST   /sessions            {"scenario":"receiver","mode":"ADPM"}  → 201 {id,...}
-//	POST   /sessions/{id}/ops   {"ops":[...]} atomic batch             → 200 deltas
-//	GET    /sessions/{id}/state                                        → 200 snapshot
-//	DELETE /sessions/{id}                                              → 200 summary
+//	POST   /sessions             {"scenario":"receiver","mode":"ADPM"}  → 201 {id,...}
+//	POST   /sessions/{id}/ops    {"ops":[...]} atomic batch             → 200 deltas
+//	GET    /sessions/{id}/state                                         → 200 snapshot (cached per generation)
+//	GET    /sessions/{id}/events                                        → 200 SSE notification stream
+//	DELETE /sessions/{id}                                               → 200 summary
 //	GET    /stats, /healthz, /readyz
 //
 // Backpressure: a full shard mailbox answers 429 with a Retry-After
@@ -68,6 +69,8 @@ func main() {
 	fsyncMode := flag.String("fsync", "always", "WAL durability: always, interval, or never")
 	syncEvery := flag.Duration("sync-every", server.DefaultSyncEvery, "group-commit period under -fsync interval")
 	segmentBytes := flag.Int64("segment-bytes", wal.DefaultSegmentBytes, "rotate (snapshot-compact) WAL segments past this size")
+	heartbeat := flag.Duration("heartbeat", server.DefaultHeartbeat, "SSE keep-alive comment period on /sessions/{id}/events")
+	idemCap := flag.Int("idem-cap", server.DefaultIdemCap, "per-session cached idempotency acks (LRU; negative = unlimited)")
 	flag.Parse()
 
 	policy, err := wal.ParsePolicy(*fsyncMode)
@@ -81,6 +84,8 @@ func main() {
 		Fsync:        policy,
 		SyncEvery:    *syncEvery,
 		SegmentBytes: *segmentBytes,
+		Heartbeat:    *heartbeat,
+		IdemCap:      *idemCap,
 	}
 
 	var recs []*trace.Recorder
@@ -135,8 +140,12 @@ func main() {
 		fail(err)
 	}
 
-	// Stop intake first so every in-flight handler finishes (its shard
-	// task was accepted and will run), then drain the shards.
+	// End the long-lived event streams first — an SSE handler outlives
+	// any single request and would otherwise hold Shutdown open until
+	// its client went away. Then stop intake so every in-flight handler
+	// finishes (its shard task was accepted and will run), then drain
+	// the shards.
+	srv.StopSubscribers()
 	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -12,10 +12,10 @@
 //	         [-scenario simplified] [-mode ADPM] [-seed 1] \
 //	         [-clients 8] [-sessions 2] [-batch 8] [-state-every 4] \
 //	         [-retry-frac 0.1] [-delete-frac 0.25] [-pool 4] [-ops 48] \
-//	         [-rate 0] [-duration 10s] [-ramp 2:2s,8:8s] \
+//	         [-subscribers 0] [-rate 0] [-duration 10s] [-ramp 2:2s,8:8s] \
 //	         [-out BENCH_load.json] [-trace load.jsonl] [-oracle] \
 //	         [-ready-timeout 10s] \
-//	         [-check -slo p99=200ms,errs=1%]
+//	         [-check -slo p99=200ms,errs=1%,deliver_p99=100ms]
 //
 // Modes. The default is closed-loop: -clients workers each drive
 // scripted sessions back to back; with -duration 0 that is exactly one
@@ -25,6 +25,13 @@
 // -duration regardless of completions, the model that exposes
 // coordinated omission. -ramp runs a sequence of closed-loop phases
 // "clients:duration" (e.g. 2:2s,8:8s) before reporting.
+//
+// -subscribers N attaches N live SSE readers (GET /sessions/{id}/events)
+// to every created session. Each live frame carries the server's
+// publish timestamp, so the report gains a "deliver" row with true
+// publish→deliver latency quantiles (and a "subscribe" row for stream
+// opens); deliver_-prefixed SLO terms (deliver_p99=100ms) gate on it.
+// Subscribers only read — request sequences stay deterministic.
 //
 // The oracle (on by default) replays each session's acked batches into
 // a fresh single-threaded engine session and compares the final served
@@ -63,6 +70,7 @@ func main() {
 	deleteFrac := flag.Float64("delete-frac", 0.25, "probability a session ends with DELETE")
 	pool := flag.Int("pool", loadgen.DefaultHistoryPool, "distinct TeamSim histories the programs draw from")
 	opsPer := flag.Int("ops", loadgen.DefaultOpsPerSession, "operations per session")
+	subscribers := flag.Int("subscribers", 0, "live SSE notification readers per session (publish→deliver latency)")
 	rate := flag.Float64("rate", 0, "open-loop session arrivals per second (0 = closed loop)")
 	duration := flag.Duration("duration", 0, "phase duration (closed loop: 0 = one fixed pass)")
 	ramp := flag.String("ramp", "", "closed-loop ramp phases as clients:duration[,clients:duration...]")
@@ -86,6 +94,7 @@ func main() {
 		DeleteFrac:        *deleteFrac,
 		HistoryPool:       *pool,
 		OpsPerSession:     *opsPer,
+		Subscribers:       *subscribers,
 	}
 	programs, err := loadgen.BuildPrograms(w)
 	fail(err)
@@ -126,7 +135,7 @@ func main() {
 		defer rec.Close()
 	}
 
-	runner := &loadgen.Runner{Target: target, Programs: programs, Seed: *seed, Tracer: rec}
+	runner := &loadgen.Runner{Target: target, Programs: programs, Seed: *seed, Tracer: rec, Subscribers: *subscribers}
 	res, err := runner.Run(phases)
 	fail(err)
 

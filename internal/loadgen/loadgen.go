@@ -72,6 +72,11 @@ type Workload struct {
 	// session (also the TeamSim op budget when generating the pool); 0
 	// means DefaultOpsPerSession.
 	OpsPerSession int
+	// Subscribers attaches this many live SSE notification readers to
+	// every created session, measuring publish→deliver latency per
+	// frame (the "deliver" pseudo-endpoint). Subscribers only read, so
+	// the deterministic request sequences are unchanged; 0 disables.
+	Subscribers int
 }
 
 func (w Workload) withDefaults() Workload {

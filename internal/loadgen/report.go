@@ -38,6 +38,7 @@ type Report struct {
 	ErrorRate     float64          `json:"error_rate"`
 	ThroughputRPS float64          `json:"throughput_rps"`
 	Replays       uint64           `json:"idempotent_replays"`
+	Deliveries    uint64           `json:"deliveries,omitempty"`
 	Total         EndpointReport   `json:"total"`
 	Endpoints     []EndpointReport `json:"endpoints"`
 	Oracle        *OracleResult    `json:"oracle,omitempty"`
@@ -83,12 +84,19 @@ func BuildReport(w Workload, res *RunResult, oracle *OracleResult) *Report {
 		WallSeconds: res.Wall.Seconds(),
 		Requests:    res.Requests,
 		Replays:     res.Replays,
+		Deliveries:  res.Deliveries,
 		Oracle:      oracle,
 	}
 	total := &endpointAgg{statuses: map[int]uint64{}}
 	for _, label := range res.Endpoints() {
 		agg := res.endpoints[label]
 		rep.Endpoints = append(rep.Endpoints, endpointReport(label, agg, rep.WallSeconds))
+		if label == labelDeliver {
+			// Deliver samples are notification frames, not requests: they
+			// get their own row (and deliver_* SLO terms) but must not
+			// skew the aggregate request-latency row.
+			continue
+		}
 		total.hist.Merge(&agg.hist)
 		for code, n := range agg.statuses {
 			total.statuses[code] += n
@@ -112,17 +120,20 @@ func (rep *Report) Human() string {
 		fmt.Fprintf(&b, "  phase %-12s %-6s clients=%-4d reqs=%-7d %.2fs\n",
 			ph.Name, ph.Mode, ph.Clients, ph.Requests, ph.Duration.Seconds())
 	}
-	fmt.Fprintf(&b, "  %-8s %9s %8s %9s %9s %9s %9s %9s %9s\n",
+	fmt.Fprintf(&b, "  %-9s %9s %8s %9s %9s %9s %9s %9s %9s\n",
 		"endpoint", "reqs", "errs", "rps", "p50ms", "p90ms", "p99ms", "p99.9ms", "maxms")
 	rows := append([]EndpointReport{}, rep.Endpoints...)
 	rows = append(rows, rep.Total)
 	for _, ep := range rows {
-		fmt.Fprintf(&b, "  %-8s %9d %8d %9.1f %9.3f %9.3f %9.3f %9.3f %9.3f\n",
+		fmt.Fprintf(&b, "  %-9s %9d %8d %9.1f %9.3f %9.3f %9.3f %9.3f %9.3f\n",
 			ep.Endpoint, ep.Requests, ep.Errors, ep.ThroughputRPS,
 			ep.P50Ms, ep.P90Ms, ep.P99Ms, ep.P999Ms, ep.MaxMs)
 	}
 	if rep.Replays > 0 {
 		fmt.Fprintf(&b, "  idempotent replays: %d\n", rep.Replays)
+	}
+	if rep.Deliveries > 0 {
+		fmt.Fprintf(&b, "  notifications delivered: %d\n", rep.Deliveries)
 	}
 	statuses := make([]string, 0, len(rep.Total.Statuses))
 	for code := range rep.Total.Statuses {

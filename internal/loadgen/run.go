@@ -77,20 +77,28 @@ type PhaseStats struct {
 // RunResult is the raw outcome of a load run: merged per-endpoint
 // metrics plus one SessionTrace per executed program instance.
 type RunResult struct {
-	Wall      time.Duration
-	Requests  uint64
-	Replays   uint64
-	Phases    []PhaseStats
-	Sessions  []*SessionTrace
-	endpoints map[string]*endpointAgg
+	Wall       time.Duration
+	Requests   uint64
+	Replays    uint64
+	Deliveries uint64
+	Phases     []PhaseStats
+	Sessions   []*SessionTrace
+	endpoints  map[string]*endpointAgg
 }
 
-// Endpoints lists the endpoint labels seen, in a stable order.
+// Endpoints lists the endpoint labels seen, in a stable order. The
+// subscriber labels trail the request endpoints: "subscribe" (stream
+// opens) and "deliver" (per-notification publish→deliver latency).
 func (r *RunResult) Endpoints() []string {
 	var out []string
 	for _, k := range []StepKind{StepCreate, StepOps, StepState, StepDelete} {
 		if _, ok := r.endpoints[k.String()]; ok {
 			out = append(out, k.String())
+		}
+	}
+	for _, label := range []string{labelSubscribe, labelDeliver} {
+		if _, ok := r.endpoints[label]; ok {
+			out = append(out, label)
 		}
 	}
 	return out
@@ -100,10 +108,11 @@ func (r *RunResult) Endpoints() []string {
 // collector when the goroutine finishes — per-request locking would
 // serialize the very contention the tool exists to create.
 type workerState struct {
-	endpoints map[string]*endpointAgg
-	requests  uint64
-	replays   uint64
-	sessions  []*SessionTrace
+	endpoints  map[string]*endpointAgg
+	requests   uint64
+	replays    uint64
+	deliveries uint64
+	sessions   []*SessionTrace
 }
 
 func newWorkerState() *workerState {
@@ -111,14 +120,40 @@ func newWorkerState() *workerState {
 }
 
 func (w *workerState) record(label string, status int, d time.Duration) {
+	w.agg(label).statuses[status]++
+	w.observe(label, d)
+	w.requests++
+}
+
+// observe records a latency sample without counting a request — the
+// "deliver" label measures notification frames, not HTTP round trips.
+func (w *workerState) observe(label string, d time.Duration) {
+	w.agg(label).hist.Observe(d.Nanoseconds())
+}
+
+func (w *workerState) agg(label string) *endpointAgg {
 	agg := w.endpoints[label]
 	if agg == nil {
 		agg = &endpointAgg{statuses: map[int]uint64{}}
 		w.endpoints[label] = agg
 	}
-	agg.hist.Observe(d.Nanoseconds())
-	agg.statuses[status]++
-	w.requests++
+	return agg
+}
+
+// fold absorbs another worker's private state (a finished subscriber's)
+// without locking; the caller owns both.
+func (w *workerState) fold(o *workerState) {
+	for label, agg := range o.endpoints {
+		dst := w.agg(label)
+		dst.hist.Merge(&agg.hist)
+		for code, n := range agg.statuses {
+			dst.statuses[code] += n
+		}
+	}
+	w.requests += o.requests
+	w.replays += o.replays
+	w.deliveries += o.deliveries
+	w.sessions = append(w.sessions, o.sessions...)
 }
 
 // Runner executes programs against a target across phases.
@@ -129,7 +164,19 @@ type Runner struct {
 	Seed int64
 	// Tracer, when non-nil, receives one load-phase event per phase.
 	Tracer *trace.Recorder
+	// Subscribers attaches this many live SSE readers to every created
+	// session (publish→deliver latency under the "deliver" label). The
+	// Target must implement StreamTarget; readers issue only GETs, so
+	// the request sequences — the determinism contract — are unchanged.
+	Subscribers int
 }
+
+// subscriberDrainGrace is how long execProgram keeps a session's
+// subscribers attached after its last step, letting the final batch's
+// notifications deliver before the streams close. Latency samples are
+// per frame, so the cut-off only bounds sample count, never skews the
+// measured latencies.
+const subscriberDrainGrace = 50 * time.Millisecond
 
 // Run executes the phases in order and returns merged results.
 func (r *Runner) Run(phases []Phase) (*RunResult, error) {
@@ -189,6 +236,7 @@ func (res *RunResult) merge(mu *sync.Mutex, w *workerState) {
 	}
 	res.Requests += w.requests
 	res.Replays += w.replays
+	res.Deliveries += w.deliveries
 	res.Sessions = append(res.Sessions, w.sessions...)
 }
 
@@ -319,6 +367,21 @@ func (r *Runner) execProgram(prog *Program, ws *workerState) {
 	st.ID = created.ID
 	st.Scenario = created.Scenario
 	st.MaxOps = created.MaxOps
+
+	if r.Subscribers > 0 {
+		if stream, ok := r.Target.(StreamTarget); ok {
+			var subs []*subscriberRun
+			for k := 0; k < r.Subscribers; k++ {
+				subs = append(subs, startSubscriber(stream, created.ID))
+			}
+			defer func() {
+				time.Sleep(subscriberDrainGrace)
+				for _, sub := range subs {
+					sub.stop(ws)
+				}
+			}()
+		}
+	}
 
 	opsPath := "/sessions/" + created.ID + "/ops"
 	statePath := "/sessions/" + created.ID + "/state"

@@ -14,6 +14,7 @@ const (
 	sloLatency    sloKind = iota // aggregate quantile/max/mean ≤ limit
 	sloErrs                      // error rate ≤ limit (fraction)
 	sloThroughput                // aggregate rps ≥ limit
+	sloDeliver                   // publish→deliver quantile/max/mean ≤ limit
 )
 
 type sloCheck struct {
@@ -37,13 +38,16 @@ type SLOResult struct {
 
 // ParseSLO parses a gate spec like
 //
-//	p99=200ms,p99.9=1s,errs=1%,throughput=50
+//	p99=200ms,p99.9=1s,errs=1%,throughput=50,deliver_p99=100ms
 //
 // Latency terms (p50, p90, p99, p99.9, max, mean) take Go durations
 // and bound the aggregate ("total") latency from above. errs takes a
 // percentage ("1%") or fraction ("0.01") and bounds the error rate.
 // throughput takes a number and bounds aggregate requests/second from
-// below.
+// below. deliver_-prefixed latency terms (deliver_p50 … deliver_mean)
+// bound the subscriber publish→deliver latency instead of request
+// latency; they require a run with subscribers (no "deliver" samples
+// fails the term rather than passing vacuously).
 func ParseSLO(s string) (*SLO, error) {
 	slo := &SLO{}
 	for _, term := range strings.Split(s, ",") {
@@ -58,7 +62,8 @@ func ParseSLO(s string) (*SLO, error) {
 		name = strings.TrimSpace(name)
 		val = strings.TrimSpace(val)
 		switch name {
-		case "p50", "p90", "p99", "p99.9", "max", "mean":
+		case "p50", "p90", "p99", "p99.9", "max", "mean",
+			"deliver_p50", "deliver_p90", "deliver_p99", "deliver_p99.9", "deliver_max", "deliver_mean":
 			d, err := time.ParseDuration(val)
 			if err != nil {
 				return nil, fmt.Errorf("loadgen: SLO %s: %v", name, err)
@@ -66,7 +71,11 @@ func ParseSLO(s string) (*SLO, error) {
 			if d <= 0 {
 				return nil, fmt.Errorf("loadgen: SLO %s: limit must be positive", name)
 			}
-			slo.checks = append(slo.checks, sloCheck{name: name, kind: sloLatency, limit: float64(d.Nanoseconds())})
+			kind := sloLatency
+			if strings.HasPrefix(name, "deliver_") {
+				kind = sloDeliver
+			}
+			slo.checks = append(slo.checks, sloCheck{name: name, kind: kind, limit: float64(d.Nanoseconds())})
 		case "errs":
 			frac, err := parseFraction(val)
 			if err != nil {
@@ -80,7 +89,7 @@ func ParseSLO(s string) (*SLO, error) {
 			}
 			slo.checks = append(slo.checks, sloCheck{name: name, kind: sloThroughput, limit: rps})
 		default:
-			return nil, fmt.Errorf("loadgen: unknown SLO term %q (want p50/p90/p99/p99.9/max/mean/errs/throughput)", name)
+			return nil, fmt.Errorf("loadgen: unknown SLO term %q (want p50/p90/p99/p99.9/max/mean/errs/throughput or a deliver_-prefixed latency)", name)
 		}
 	}
 	if len(slo.checks) == 0 {
@@ -105,23 +114,34 @@ func parseFraction(s string) (float64, error) {
 	return f, nil
 }
 
-// latencyMs pulls the aggregate latency statistic an SLO term bounds.
-func latencyMs(rep *Report, name string) float64 {
+// latencyMs pulls the latency statistic an SLO term bounds from an
+// endpoint row.
+func latencyMs(ep *EndpointReport, name string) float64 {
 	switch name {
 	case "p50":
-		return rep.Total.P50Ms
+		return ep.P50Ms
 	case "p90":
-		return rep.Total.P90Ms
+		return ep.P90Ms
 	case "p99":
-		return rep.Total.P99Ms
+		return ep.P99Ms
 	case "p99.9":
-		return rep.Total.P999Ms
+		return ep.P999Ms
 	case "max":
-		return rep.Total.MaxMs
+		return ep.MaxMs
 	case "mean":
-		return rep.Total.MeanMs
+		return ep.MeanMs
 	}
 	return 0
+}
+
+// endpointRow finds a per-endpoint report row by label.
+func endpointRow(rep *Report, label string) *EndpointReport {
+	for i := range rep.Endpoints {
+		if rep.Endpoints[i].Endpoint == label {
+			return &rep.Endpoints[i]
+		}
+	}
+	return nil
 }
 
 // Eval checks the report against the gate; ok is true when every term
@@ -132,8 +152,21 @@ func (s *SLO) Eval(rep *Report) (results []SLOResult, ok bool) {
 		r := SLOResult{Name: c.name}
 		switch c.kind {
 		case sloLatency:
-			actual := latencyMs(rep, c.name)
+			actual := latencyMs(&rep.Total, c.name)
 			r.Limit = time.Duration(c.limit).String()
+			r.Actual = fmt.Sprintf("%.3fms", actual)
+			r.OK = actual <= c.limit/1e6
+		case sloDeliver:
+			r.Limit = time.Duration(c.limit).String()
+			ep := endpointRow(rep, labelDeliver)
+			if ep == nil || ep.Requests == 0 {
+				// No delivered frames at all: a deliver gate on a run
+				// without subscribers is a misconfiguration, not a pass.
+				r.Actual = "no deliveries"
+				r.OK = false
+				break
+			}
+			actual := latencyMs(ep, strings.TrimPrefix(c.name, "deliver_"))
 			r.Actual = fmt.Sprintf("%.3fms", actual)
 			r.OK = actual <= c.limit/1e6
 		case sloErrs:

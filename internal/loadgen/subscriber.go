@@ -1,0 +1,178 @@
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Subscriber clients. Alongside its scripted requests, each session can
+// carry -subscribers live SSE readers on GET /sessions/{id}/events.
+// Every live frame embeds the server's publish timestamp (pub_ns,
+// stamped inside the shard loop), so a reader measures true
+// publish→deliver latency per notification — the fan-out path's
+// equivalent of request latency. Samples land in the "deliver"
+// pseudo-endpoint histogram (frames, not requests: they are excluded
+// from the aggregate "total" row and the request count); stream opens
+// are recorded as the "subscribe" endpoint. Backlog frames carry no
+// pub_ns and are skipped. The clock is the server's on one side and the
+// client's on the other, so cross-machine runs need synchronized clocks;
+// hermetic and localhost runs measure a single clock.
+
+// Endpoint labels for the subscriber path.
+const (
+	labelSubscribe = "subscribe"
+	labelDeliver   = "deliver"
+)
+
+// StreamTarget is implemented by targets that can open a long-lived
+// streaming GET (the SSE feed). Stream returns after response headers:
+// the body reads frames as the server flushes them, and Close both
+// stops reading and tears the request down.
+type StreamTarget interface {
+	Stream(path string) (body io.ReadCloser, status int, err error)
+}
+
+// cancelCloser couples a response body with its request context cancel
+// so Close reliably unblocks a reader mid-stream.
+type cancelCloser struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (c *cancelCloser) Close() error {
+	c.cancel()
+	return c.ReadCloser.Close()
+}
+
+// Stream opens a live SSE request. The default Client's timeout would
+// kill a healthy long-lived stream, so streaming uses a dedicated
+// timeout-free client; Close cancels the request context instead.
+func (t *HTTPTarget) Stream(path string) (io.ReadCloser, int, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(t.Base, "/")+path, nil)
+	if err != nil {
+		cancel()
+		return nil, 0, err
+	}
+	resp, err := (&http.Client{}).Do(req)
+	if err != nil {
+		cancel()
+		return nil, 0, err
+	}
+	return &cancelCloser{ReadCloser: resp.Body, cancel: cancel}, resp.StatusCode, nil
+}
+
+// streamRecorder is the streaming counterpart of memRecorder: an
+// http.ResponseWriter whose writes land in a pipe the client reads
+// concurrently, with a real http.Flusher so the SSE handler streams
+// instead of buffering. status is published once on the first
+// WriteHeader/Write.
+type streamRecorder struct {
+	hdr    http.Header
+	pw     *io.PipeWriter
+	status chan int
+	sent   bool
+}
+
+func (s *streamRecorder) Header() http.Header { return s.hdr }
+
+func (s *streamRecorder) WriteHeader(code int) {
+	if !s.sent {
+		s.sent = true
+		s.status <- code
+	}
+}
+
+func (s *streamRecorder) Write(b []byte) (int, error) {
+	s.WriteHeader(http.StatusOK)
+	return s.pw.Write(b)
+}
+
+// Flush is a no-op: pipe writes are visible to the reader immediately.
+func (s *streamRecorder) Flush() {}
+
+// Stream serves the request on its own goroutine, handing back the read
+// half of a pipe once the handler commits a status. Closing the body
+// cancels the request context, which ends the SSE handler's loop.
+func (t *HandlerTarget) Stream(path string) (io.ReadCloser, int, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://adpmload.local"+path, nil)
+	if err != nil {
+		cancel()
+		return nil, 0, err
+	}
+	pr, pw := io.Pipe()
+	rec := &streamRecorder{hdr: http.Header{}, pw: pw, status: make(chan int, 1)}
+	go func() {
+		t.Handler.ServeHTTP(rec, req)
+		rec.WriteHeader(http.StatusOK) // handler wrote nothing at all
+		pw.Close()
+	}()
+	return &cancelCloser{ReadCloser: pr, cancel: cancel}, <-rec.status, nil
+}
+
+// subscriberRun is one live reader attached to a session.
+type subscriberRun struct {
+	body io.ReadCloser
+	ws   *workerState
+	done chan struct{}
+}
+
+// startSubscriber opens the session's event stream and consumes it
+// until the stream ends (session retired, server stopping subscribers)
+// or stop() closes it. The open itself is recorded under "subscribe";
+// each live frame's publish→deliver latency under "deliver".
+func startSubscriber(target StreamTarget, sessionID string) *subscriberRun {
+	sr := &subscriberRun{ws: newWorkerState(), done: make(chan struct{})}
+	t0 := time.Now()
+	body, status, err := target.Stream("/sessions/" + sessionID + "/events")
+	if err != nil {
+		sr.ws.record(labelSubscribe, 0, time.Since(t0))
+		close(sr.done)
+		return sr
+	}
+	sr.ws.record(labelSubscribe, status, time.Since(t0))
+	if status != http.StatusOK {
+		body.Close()
+		close(sr.done)
+		return sr
+	}
+	sr.body = body
+	go func() {
+		defer close(sr.done)
+		sc := bufio.NewScanner(body)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if !bytes.HasPrefix(line, []byte("data: ")) {
+				continue // id:/event: lines, heartbeats, blank separators
+			}
+			var payload server.EventPayload
+			if json.Unmarshal(line[len("data: "):], &payload) != nil {
+				continue
+			}
+			if payload.PubNanos == 0 {
+				continue // backlog replay: no publish instant to measure from
+			}
+			sr.ws.deliveries++
+			sr.ws.observe(labelDeliver, time.Duration(time.Now().UnixNano()-payload.PubNanos))
+		}
+	}()
+	return sr
+}
+
+// stop tears the stream down and folds the reader's metrics into ws.
+func (sr *subscriberRun) stop(ws *workerState) {
+	if sr.body != nil {
+		sr.body.Close()
+	}
+	<-sr.done
+	ws.fold(sr.ws)
+}

@@ -1,0 +1,117 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// runWithSubscribers executes a small fixed-work pass with live SSE
+// readers attached to every session.
+func runWithSubscribers(t *testing.T, subs int) (*RunResult, *Report) {
+	t.Helper()
+	w := Workload{
+		Scenario:          "simplified",
+		Mode:              "ADPM",
+		Seed:              19,
+		Clients:           2,
+		SessionsPerClient: 1,
+		BatchSize:         4,
+		StateEvery:        2,
+		HistoryPool:       2,
+		OpsPerSession:     16,
+		Subscribers:       subs,
+	}
+	progs, err := BuildPrograms(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.Open(server.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Drain()
+	r := &Runner{
+		Target:      &HandlerTarget{Handler: srv.Handler()},
+		Programs:    progs,
+		Seed:        w.Seed,
+		Subscribers: w.Subscribers,
+	}
+	res, err := r.Run([]Phase{{Name: "steady", Clients: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, BuildReport(w, res, nil)
+}
+
+func TestSubscribersMeasureDeliverLatency(t *testing.T) {
+	res, rep := runWithSubscribers(t, 2)
+	if res.Deliveries == 0 {
+		t.Fatal("subscribers delivered no notifications")
+	}
+	labels := strings.Join(res.Endpoints(), ",")
+	if !strings.Contains(labels, labelSubscribe) || !strings.Contains(labels, labelDeliver) {
+		t.Fatalf("endpoints %q missing subscriber labels", labels)
+	}
+
+	deliver := endpointRow(rep, labelDeliver)
+	if deliver == nil || deliver.Requests != res.Deliveries {
+		t.Fatalf("deliver row %+v, want %d frames", deliver, res.Deliveries)
+	}
+	if deliver.P50Ms < 0 || deliver.MaxMs < deliver.P50Ms {
+		t.Fatalf("deliver latencies implausible: p50=%f max=%f", deliver.P50Ms, deliver.MaxMs)
+	}
+	sub := endpointRow(rep, labelSubscribe)
+	// Every session opened Subscribers streams, all 200.
+	wantStreams := uint64(len(res.Sessions) * 2)
+	if sub == nil || sub.Requests != wantStreams || sub.Errors != 0 {
+		t.Fatalf("subscribe row %+v, want %d clean opens", sub, wantStreams)
+	}
+
+	// The deliver frames must not leak into the aggregate request row.
+	var reqTotal uint64
+	for _, ep := range rep.Endpoints {
+		if ep.Endpoint != labelDeliver {
+			reqTotal += ep.Requests
+		}
+	}
+	if rep.Total.Requests != reqTotal {
+		t.Fatalf("total row holds %d samples, want %d (deliver excluded)", rep.Total.Requests, reqTotal)
+	}
+
+	// A deliver SLO term evaluates against the deliver row. The max
+	// bound is generous: hermetic delivery is micro-to-milliseconds.
+	slo, err := ParseSLO("deliver_p50=10s,deliver_max=30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, ok := slo.Eval(rep)
+	if !ok {
+		t.Fatalf("deliver SLO failed on a healthy run: %+v", results)
+	}
+}
+
+func TestDeliverSLOFailsWithoutSubscribers(t *testing.T) {
+	_, rep := runWithSubscribers(t, 0)
+	if rep.Deliveries != 0 {
+		t.Fatalf("run without subscribers reports %d deliveries", rep.Deliveries)
+	}
+	slo, err := ParseSLO("deliver_p99=1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, ok := slo.Eval(rep)
+	if ok {
+		t.Fatal("deliver gate passed vacuously with no subscribers")
+	}
+	if len(results) != 1 || results[0].Actual != "no deliveries" {
+		t.Fatalf("results = %+v, want a single 'no deliveries' failure", results)
+	}
+}
+
+func TestParseSLORejectsUnknownDeliverTerm(t *testing.T) {
+	if _, err := ParseSLO("deliver_p42=1s"); err == nil {
+		t.Fatal("bogus deliver quantile accepted")
+	}
+}

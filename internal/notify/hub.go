@@ -1,0 +1,344 @@
+package notify
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/trace"
+)
+
+// Hub is the live fan-out side of the Notification Manager: where Bus
+// queues events for the simulated designers that drain them between
+// operations, the Hub delivers them to external subscribers (SSE
+// streams) through per-subscriber bounded queues.
+//
+// The contract that matters for the serving path: Publish never blocks
+// and does bounded work. A stalled subscriber cannot back-pressure the
+// publisher — its queue fills and the configured DropPolicy decides
+// which event to lose (counted, never silent). Publish is called from
+// the session owner's goroutine (a server shard loop); subscribers
+// drain from their own goroutines, so the enqueue/dequeue handoff is
+// the only synchronization between them.
+type Hub struct {
+	mu     sync.Mutex
+	subs   map[uint64]*Sub
+	nextID uint64
+	closed bool
+	// stats, when non-nil, receives the hub's delivery accounting; a
+	// host shares one HubStats across many hubs to aggregate cheaply.
+	stats *HubStats
+	// tracer, when non-nil, receives one notify-drop event per lost
+	// event. Set it from the publishing goroutine's recorder.
+	tracer *trace.Recorder
+}
+
+// HubStats aggregates delivery accounting across one or more hubs. All
+// fields are atomics so any goroutine may read them while shards
+// publish.
+type HubStats struct {
+	// Subscribers is the number of currently attached subscribers.
+	Subscribers atomic.Int64
+	// Published counts events offered to the hub (before filtering).
+	Published atomic.Uint64
+	// Delivered counts events enqueued to some subscriber's queue.
+	Delivered atomic.Uint64
+	// Dropped counts events lost to a full queue under DropOldest (the
+	// displaced oldest event) — or under Coalesce when no coalescible
+	// older event existed.
+	Dropped atomic.Uint64
+	// Coalesced counts events displaced by a newer event about the same
+	// subject under Coalesce.
+	Coalesced atomic.Uint64
+}
+
+// DropPolicy decides which event a full subscriber queue loses.
+type DropPolicy int
+
+const (
+	// DropOldest discards the oldest queued event to admit the new one:
+	// a stalled consumer keeps the freshest window of events.
+	DropOldest DropPolicy = iota
+	// Coalesce first tries to displace an older queued event with the
+	// same kind and subject (the newer event supersedes it — e.g. two
+	// SubspaceReduced on one property); only when no such event exists
+	// does it fall back to dropping the oldest.
+	Coalesce
+)
+
+// String names the policy as it appears in the events-endpoint query.
+func (p DropPolicy) String() string {
+	if p == Coalesce {
+		return "coalesce"
+	}
+	return "drop-oldest"
+}
+
+// SeqEvent is one event with its session-log sequence id (1-based
+// index into the session's event log — the SSE event id, so a client
+// resumes with Last-Event-ID).
+type SeqEvent struct {
+	ID int
+	Event
+	// PubNanos is the publisher's wall clock (unix nanoseconds) at
+	// Publish time, 0 for backlog events re-delivered on resume.
+	// Subscriber clients derive publish→deliver latency from it.
+	PubNanos int64
+}
+
+// Sub is one subscriber's bounded queue. Drain with Next from a single
+// consumer goroutine; Wake signals new events, Done signals closure.
+type Sub struct {
+	hub    *Hub
+	id     uint64
+	filter Filter
+	policy DropPolicy
+
+	mu      sync.Mutex
+	buf     []SeqEvent // ring
+	head    int
+	n       int
+	dropped uint64
+	closed  bool
+
+	wake chan struct{} // cap 1: "queue became non-empty"
+	done chan struct{} // closed exactly once on Close
+}
+
+// NewHub returns an empty hub reporting into stats (nil for none).
+func NewHub(stats *HubStats) *Hub {
+	return &Hub{subs: map[uint64]*Sub{}, stats: stats}
+}
+
+// SetTracer attaches a trace recorder for drop events; nil detaches.
+func (h *Hub) SetTracer(tr *trace.Recorder) { h.tracer = tr }
+
+// Subscribe attaches a subscriber with a relevance filter (nil receives
+// everything), a queue capacity (clamped to at least 1), and a drop
+// policy. Returns nil if the hub is already closed.
+func (h *Hub) Subscribe(f Filter, policy DropPolicy, queueCap int) *Sub {
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil
+	}
+	h.nextID++
+	s := &Sub{
+		hub:    h,
+		id:     h.nextID,
+		filter: f,
+		policy: policy,
+		buf:    make([]SeqEvent, queueCap),
+		wake:   make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	h.subs[s.id] = s
+	if h.stats != nil {
+		h.stats.Subscribers.Add(1)
+	}
+	return s
+}
+
+// Publish offers one event (with its session-log id and publish
+// timestamp) to every subscriber whose filter accepts it. Never blocks;
+// a full queue loses one event per the subscriber's policy. Returns the
+// number of queues the event entered.
+func (h *Hub) Publish(ev SeqEvent) int {
+	h.mu.Lock()
+	subs := make([]*Sub, 0, len(h.subs))
+	for _, s := range h.subs {
+		subs = append(subs, s)
+	}
+	h.mu.Unlock()
+	if h.stats != nil {
+		h.stats.Published.Add(1)
+	}
+	n := 0
+	for _, s := range subs {
+		if s.offer(ev) {
+			n++
+		}
+	}
+	return n
+}
+
+// Close detaches and wakes every subscriber; the hub accepts no new
+// ones. Queued events remain drainable after closure, so a consumer
+// sees everything enqueued before the close, then end-of-stream.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	subs := make([]*Sub, 0, len(h.subs))
+	for _, s := range h.subs {
+		subs = append(subs, s)
+	}
+	h.subs = map[uint64]*Sub{}
+	h.mu.Unlock()
+	for _, s := range subs {
+		s.markClosed()
+	}
+	if h.stats != nil {
+		h.stats.Subscribers.Add(int64(-len(subs)))
+	}
+}
+
+// offer enqueues ev if the filter accepts it, applying the drop policy
+// on overflow. Reports whether the event entered the queue.
+func (s *Sub) offer(ev SeqEvent) bool {
+	if s.filter != nil && !s.filter(ev.Event) {
+		return false
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	if s.n == len(s.buf) {
+		s.evictLocked(ev)
+	}
+	s.buf[(s.head+s.n)%len(s.buf)] = ev
+	s.n++
+	s.mu.Unlock()
+	if s.hub.stats != nil {
+		s.hub.stats.Delivered.Add(1)
+	}
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// evictLocked makes room for one event in a full queue: under Coalesce
+// it first displaces an older event with the same kind and subject as
+// the incoming one; otherwise (and under DropOldest) the oldest event
+// goes. The loss is counted on the sub, the hub stats, and the trace.
+func (s *Sub) evictLocked(incoming SeqEvent) {
+	coalesced := false
+	if s.policy == Coalesce {
+		for i := 0; i < s.n; i++ {
+			at := (s.head + i) % len(s.buf)
+			old := s.buf[at].Event
+			if old.Kind == incoming.Kind && old.subject() == incoming.subject() {
+				// Shift the younger tail left over the displaced slot.
+				for j := i; j < s.n-1; j++ {
+					s.buf[(s.head+j)%len(s.buf)] = s.buf[(s.head+j+1)%len(s.buf)]
+				}
+				s.n--
+				coalesced = true
+				break
+			}
+		}
+	}
+	var lost SeqEvent
+	if coalesced {
+		lost = incoming // trace the subject; the superseded event died
+	} else {
+		lost = s.buf[s.head]
+		s.head = (s.head + 1) % len(s.buf)
+		s.n--
+	}
+	s.dropped++
+	if st := s.hub.stats; st != nil {
+		if coalesced {
+			st.Coalesced.Add(1)
+		} else {
+			st.Dropped.Add(1)
+		}
+	}
+	if tr := s.hub.tracer; tr.Enabled() {
+		tr.Emit(trace.Event{
+			Kind:  trace.KindNotifyDrop,
+			Stage: lost.Stage,
+			Event: lost.Kind.String(),
+			Name:  lost.subject(),
+		})
+	}
+}
+
+// markClosed closes the done channel and flags the sub; queued events
+// stay drainable.
+func (s *Sub) markClosed() {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already {
+		close(s.done)
+	}
+}
+
+// Close detaches the subscriber from its hub (idempotent).
+func (s *Sub) Close() {
+	s.hub.mu.Lock()
+	_, attached := s.hub.subs[s.id]
+	delete(s.hub.subs, s.id)
+	h := s.hub
+	s.hub.mu.Unlock()
+	if attached && h.stats != nil {
+		h.stats.Subscribers.Add(-1)
+	}
+	s.markClosed()
+}
+
+// Feed enqueues events directly into this subscriber's queue — the
+// backlog seeding path for a Last-Event-ID resume. The filter and drop
+// policy apply exactly as on a live publish; the returned count is how
+// many events entered the queue.
+func (s *Sub) Feed(evs ...SeqEvent) int {
+	n := 0
+	for _, ev := range evs {
+		if s.offer(ev) {
+			n++
+		}
+	}
+	return n
+}
+
+// Wake returns the channel signaled when the queue becomes non-empty.
+func (s *Sub) Wake() <-chan struct{} { return s.wake }
+
+// Done returns the channel closed when the subscriber is detached (hub
+// closed, session retired, or Close called).
+func (s *Sub) Done() <-chan struct{} { return s.done }
+
+// Next drains up to max queued events (all of them when max <= 0).
+func (s *Sub) Next(max int) []SeqEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.n
+	if max > 0 && n > max {
+		n = max
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]SeqEvent, n)
+	for i := 0; i < n; i++ {
+		out[i] = s.buf[(s.head+i)%len(s.buf)]
+	}
+	s.head = (s.head + n) % len(s.buf)
+	s.n -= n
+	return out
+}
+
+// Pending returns the number of queued events.
+func (s *Sub) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Dropped returns how many events this subscriber has lost to its
+// bounded queue (dropped or coalesced).
+func (s *Sub) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}

@@ -1,0 +1,305 @@
+package notify
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func seq(id int, kind EventKind, prop string) SeqEvent {
+	return SeqEvent{ID: id, Event: Event{Kind: kind, Stage: id, Property: prop}, PubNanos: int64(id)}
+}
+
+func drainIDs(s *Sub) []int {
+	evs := s.Next(0)
+	ids := make([]int, len(evs))
+	for i, e := range evs {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+func TestHubDeliversInOrder(t *testing.T) {
+	h := NewHub(nil)
+	s := h.Subscribe(nil, DropOldest, 8)
+	for i := 1; i <= 5; i++ {
+		if n := h.Publish(seq(i, SubspaceReduced, "W")); n != 1 {
+			t.Fatalf("publish %d entered %d queues, want 1", i, n)
+		}
+	}
+	ids := drainIDs(s)
+	for i, id := range ids {
+		if id != i+1 {
+			t.Fatalf("ids %v not in publish order", ids)
+		}
+	}
+	if s.Dropped() != 0 {
+		t.Fatalf("dropped %d, want 0", s.Dropped())
+	}
+}
+
+func TestHubFilter(t *testing.T) {
+	h := NewHub(nil)
+	only := func(e Event) bool { return e.Property == "W" }
+	s := h.Subscribe(only, DropOldest, 8)
+	h.Publish(seq(1, SubspaceReduced, "W"))
+	if n := h.Publish(seq(2, SubspaceReduced, "L")); n != 0 {
+		t.Fatalf("filtered event entered %d queues, want 0", n)
+	}
+	h.Publish(seq(3, SubspaceReduced, "W"))
+	if got := drainIDs(s); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("filtered delivery got %v, want [1 3]", got)
+	}
+}
+
+func TestHubDropOldest(t *testing.T) {
+	st := &HubStats{}
+	h := NewHub(st)
+	s := h.Subscribe(nil, DropOldest, 3)
+	for i := 1; i <= 5; i++ {
+		h.Publish(seq(i, SubspaceReduced, "W"))
+	}
+	if got := drainIDs(s); len(got) != 3 || got[0] != 3 || got[2] != 5 {
+		t.Fatalf("drop-oldest kept %v, want [3 4 5]", got)
+	}
+	if s.Dropped() != 2 {
+		t.Fatalf("sub dropped %d, want 2", s.Dropped())
+	}
+	if st.Dropped.Load() != 2 || st.Coalesced.Load() != 0 {
+		t.Fatalf("stats dropped=%d coalesced=%d, want 2/0", st.Dropped.Load(), st.Coalesced.Load())
+	}
+	if st.Delivered.Load() != 5 || st.Published.Load() != 5 {
+		t.Fatalf("stats delivered=%d published=%d, want 5/5", st.Delivered.Load(), st.Published.Load())
+	}
+}
+
+func TestHubCoalesceSameSubject(t *testing.T) {
+	st := &HubStats{}
+	h := NewHub(st)
+	s := h.Subscribe(nil, Coalesce, 3)
+	h.Publish(seq(1, SubspaceReduced, "W"))
+	h.Publish(seq(2, SubspaceReduced, "L"))
+	h.Publish(seq(3, SubspaceReduced, "R"))
+	// Queue full; a newer event about W should displace the older W
+	// event, keeping L and R.
+	h.Publish(seq(4, SubspaceReduced, "W"))
+	if got := drainIDs(s); len(got) != 3 || got[0] != 2 || got[1] != 3 || got[2] != 4 {
+		t.Fatalf("coalesce kept %v, want [2 3 4]", got)
+	}
+	if st.Coalesced.Load() != 1 || st.Dropped.Load() != 0 {
+		t.Fatalf("stats coalesced=%d dropped=%d, want 1/0", st.Coalesced.Load(), st.Dropped.Load())
+	}
+}
+
+func TestHubCoalesceDistinctSubjectsFallsBackToOldest(t *testing.T) {
+	h := NewHub(nil)
+	s := h.Subscribe(nil, Coalesce, 2)
+	h.Publish(seq(1, SubspaceReduced, "A"))
+	h.Publish(seq(2, SubspaceReduced, "B"))
+	// No queued event shares kind+subject with C: oldest (A) goes.
+	h.Publish(seq(3, SubspaceReduced, "C"))
+	if got := drainIDs(s); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("fallback kept %v, want [2 3]", got)
+	}
+	if s.Dropped() != 1 {
+		t.Fatalf("dropped %d, want 1", s.Dropped())
+	}
+}
+
+func TestHubCoalesceKindMatters(t *testing.T) {
+	h := NewHub(nil)
+	s := h.Subscribe(nil, Coalesce, 2)
+	h.Publish(seq(1, SubspaceReduced, "W"))
+	h.Publish(seq(2, SubspaceEmptied, "W"))
+	// Same subject, different kind: must NOT coalesce the emptied event
+	// away; oldest (the reduced) is dropped instead... but the reduced
+	// shares kind with the incoming, so it coalesces.
+	h.Publish(seq(3, SubspaceReduced, "W"))
+	if got := drainIDs(s); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("kept %v, want [2 3] (emptied survives)", got)
+	}
+}
+
+func TestHubDropTraced(t *testing.T) {
+	rec := trace.New(trace.Options{RingSize: 64})
+	defer rec.Close()
+	h := NewHub(nil)
+	h.SetTracer(rec)
+	h.Subscribe(nil, DropOldest, 1)
+	h.Publish(seq(1, SubspaceReduced, "W"))
+	h.Publish(seq(2, ViolationDetected, "W"))
+	c := rec.Counters()
+	if c.NotifyDrops != 1 {
+		t.Fatalf("trace NotifyDrops = %d, want 1", c.NotifyDrops)
+	}
+	evs := rec.Events()
+	var found bool
+	for _, e := range evs {
+		if e.Kind == trace.KindNotifyDrop {
+			found = true
+			if e.Event != "subspace-reduced" || e.Name != "W" {
+				t.Fatalf("drop event fields %q/%q, want subspace-reduced/W", e.Event, e.Name)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no notify-drop event in ring")
+	}
+}
+
+func TestHubWakeAndDone(t *testing.T) {
+	h := NewHub(nil)
+	s := h.Subscribe(nil, DropOldest, 4)
+	select {
+	case <-s.Wake():
+		t.Fatalf("wake before any publish")
+	default:
+	}
+	h.Publish(seq(1, SubspaceReduced, "W"))
+	select {
+	case <-s.Wake():
+	case <-time.After(time.Second):
+		t.Fatalf("no wake after publish")
+	}
+	h.Close()
+	select {
+	case <-s.Done():
+	case <-time.After(time.Second):
+		t.Fatalf("done not closed by hub close")
+	}
+	// Events queued before close stay drainable.
+	if got := drainIDs(s); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("post-close drain got %v, want [1]", got)
+	}
+	if h.Subscribe(nil, DropOldest, 4) != nil {
+		t.Fatalf("subscribe after close returned a sub")
+	}
+}
+
+func TestHubSubCloseDetaches(t *testing.T) {
+	st := &HubStats{}
+	h := NewHub(st)
+	s := h.Subscribe(nil, DropOldest, 4)
+	if st.Subscribers.Load() != 1 {
+		t.Fatalf("subscribers %d, want 1", st.Subscribers.Load())
+	}
+	s.Close()
+	s.Close() // idempotent
+	if st.Subscribers.Load() != 0 {
+		t.Fatalf("subscribers %d after close, want 0", st.Subscribers.Load())
+	}
+	if n := h.Publish(seq(1, SubspaceReduced, "W")); n != 0 {
+		t.Fatalf("publish after sub close entered %d queues", n)
+	}
+	select {
+	case <-s.Done():
+	default:
+		t.Fatalf("done not closed by sub close")
+	}
+}
+
+// TestHubPublisherNeverBlocks floods a hub whose only subscriber never
+// drains; every publish must complete promptly (bounded work), with the
+// overflow counted.
+func TestHubPublisherNeverBlocks(t *testing.T) {
+	st := &HubStats{}
+	h := NewHub(st)
+	s := h.Subscribe(nil, DropOldest, 4)
+	const n = 50000
+	start := time.Now()
+	for i := 1; i <= n; i++ {
+		h.Publish(seq(i, SubspaceReduced, "W"))
+	}
+	elapsed := time.Since(start)
+	if elapsed > 5*time.Second {
+		t.Fatalf("publishing %d events into a stalled sub took %v", n, elapsed)
+	}
+	if got := s.Pending(); got != 4 {
+		t.Fatalf("pending %d, want 4", got)
+	}
+	if want := uint64(n - 4); s.Dropped() != want {
+		t.Fatalf("dropped %d, want %d", s.Dropped(), want)
+	}
+	if st.Dropped.Load()+uint64(s.Pending()) != uint64(n) {
+		t.Fatalf("accounting: dropped %d + pending %d != published %d",
+			st.Dropped.Load(), s.Pending(), n)
+	}
+}
+
+// TestHubConcurrentPublishDrain races one publisher against one
+// consumer and checks the invariants that survive drops: drained IDs
+// strictly increase (order, no duplicates) and delivered+dropped
+// accounts for every publish.
+func TestHubConcurrentPublishDrain(t *testing.T) {
+	st := &HubStats{}
+	h := NewHub(st)
+	s := h.Subscribe(nil, DropOldest, 16)
+	const n = 20000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= n; i++ {
+			h.Publish(seq(i, SubspaceReduced, "W"))
+		}
+		h.Close()
+	}()
+	last := 0
+	got := 0
+	for {
+		evs := s.Next(0)
+		for _, e := range evs {
+			if e.ID <= last {
+				t.Errorf("id %d after %d: out of order or duplicate", e.ID, last)
+			}
+			last = e.ID
+			got++
+		}
+		if len(evs) == 0 {
+			select {
+			case <-s.Wake():
+			case <-s.Done():
+				// Final drain after close.
+				for _, e := range s.Next(0) {
+					if e.ID <= last {
+						t.Errorf("id %d after %d post-close", e.ID, last)
+					}
+					last = e.ID
+					got++
+				}
+				wg.Wait()
+				if uint64(got)+s.Dropped() != n {
+					t.Fatalf("received %d + dropped %d != published %d", got, s.Dropped(), n)
+				}
+				return
+			}
+		}
+	}
+}
+
+func TestDropPolicyString(t *testing.T) {
+	if DropOldest.String() != "drop-oldest" || Coalesce.String() != "coalesce" {
+		t.Fatalf("policy names %q/%q", DropOldest.String(), Coalesce.String())
+	}
+	if !strings.Contains(DropOldest.String(), "oldest") {
+		t.Fatalf("unexpected name %q", DropOldest)
+	}
+}
+
+func TestBusFilterAccessor(t *testing.T) {
+	b := NewBus()
+	b.Subscribe("alice", func(e Event) bool { return e.Property == "W" })
+	f, ok := b.Filter("alice")
+	if !ok || f == nil {
+		t.Fatalf("Filter(alice) = %v, %v", f, ok)
+	}
+	if !f(Event{Kind: SubspaceReduced, Property: "W"}) || f(Event{Kind: SubspaceReduced, Property: "L"}) {
+		t.Fatalf("returned filter does not match subscription")
+	}
+	if _, ok := b.Filter("nobody"); ok {
+		t.Fatalf("Filter(nobody) reported subscribed")
+	}
+}

@@ -114,6 +114,15 @@ func (b *Bus) Subscribers() []string {
 	return append([]string(nil), b.order...)
 }
 
+// Filter returns the subscriber's relevance filter and whether the id
+// is subscribed. The live fan-out layer uses it to attach an external
+// subscriber (an SSE stream) with the same owner/relevance selection as
+// the simulated designer it follows.
+func (b *Bus) Filter(id string) (Filter, bool) {
+	f, ok := b.subs[id]
+	return f, ok
+}
+
 // SetTracer attaches a trace recorder to the bus; nil detaches.
 func (b *Bus) SetTracer(tr *trace.Recorder) { b.tracer = tr }
 

@@ -52,3 +52,60 @@ func BenchmarkApply(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkState measures the hot read path: "cached" reads an
+// unchanged session (every read after the first serves the
+// generation-keyed bytes — zero serialization), "uncached" interleaves
+// a mutation before each read so every read re-walks and re-serializes
+// the full design state. The ratio is the snapshot cache's win,
+// recorded in BENCH_server.json.
+func BenchmarkState(b *testing.B) {
+	b.Run("cached", func(b *testing.B) {
+		s, err := Open(Options{Shards: 1, MaxOps: 1 << 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Drain()
+		c, err := s.CreateSession(CreateSpec{Name: "simplified", Mode: dpm.ADPM, MaxOps: 1 << 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.StateBytes(c.ID); err != nil { // fill the cache
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.StateBytes(c.ID); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := s.Stats().Shards[0]
+		if st.StateMisses != 1 {
+			b.Fatalf("cached run took %d misses, want 1", st.StateMisses)
+		}
+	})
+	b.Run("uncached", func(b *testing.B) {
+		s, err := Open(Options{Shards: 1, MaxOps: 1 << 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Drain()
+		c, err := s.CreateSession(CreateSpec{Name: "simplified", Mode: dpm.ADPM, MaxOps: 1 << 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops := []dpm.Operation{{Kind: dpm.OpVerification, Problem: "AmpDesign", Designer: "bench"}}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Apply(c.ID, ops); err != nil { // bump generation
+				b.Fatal(err)
+			}
+			if _, err := s.StateBytes(c.ID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -340,8 +340,12 @@ func (sh *shard) buildFromImage(img *wal.SessionImage, tracedBatches int) (*host
 		scenario: scn.Name,
 		sess:     sess,
 		img:      img,
-		idem:     map[string]idemEntry{},
+		idem:     newIdemCache(sh.opts.IdemCap),
 	}
+	// The event hook rides the replay: every replayed batch regenerates
+	// the session's notification log positions exactly as the live run
+	// produced them (no hub exists yet, so nothing is re-delivered).
+	sh.attachEvents(hs)
 	attached := false
 	for i, entry := range img.Ops {
 		if i >= tracedBatches && !attached {
@@ -361,9 +365,10 @@ func (sh *shard) buildFromImage(img *wal.SessionImage, tracedBatches int) (*host
 		}
 		if entry.Key != "" {
 			// The WAL stores exactly the wire-canonical bytes the live
-			// path hashed, so the conflict check survives park/restore
-			// and crash recovery unchanged.
-			hs.idem[entry.Key] = idemEntry{resp: resp, hash: sha256.Sum256(entry.Ops)}
+			// path hashed, so the conflict check survives park/restore and
+			// crash recovery unchanged; rebuilding through the same add
+			// path means the LRU bound (and order) survives too.
+			hs.idem.add(entry.Key, sha256.Sum256(entry.Ops), resp)
 		}
 	}
 	if !attached {
@@ -373,8 +378,14 @@ func (sh *shard) buildFromImage(img *wal.SessionImage, tracedBatches int) (*host
 }
 
 // park drops a session's live engine but keeps its durable image and
-// summary: persist-then-evict. Loop goroutine only.
+// summary: persist-then-evict. Live subscribers are detached — their
+// streams end, and a reconnect with Last-Event-ID restores the session
+// and resumes from the regenerated event log. Loop goroutine only.
 func (sh *shard) park(hs *hostedSession) {
+	if hs.hub != nil {
+		hs.hub.Close()
+		hs.hub = nil
+	}
 	sum := SessionSummary{
 		ID:            hs.id,
 		Scenario:      hs.scenario,
@@ -445,5 +456,10 @@ func applyBatch(hs *hostedSession, ops []dpm.Operation) (*ApplyResponse, error) 
 	resp.Remaining = hs.sess.Remaining()
 	resp.Done = hs.sess.D.Done()
 	resp.Violations = hs.sess.D.Net.Violations()
+	// Every accepted batch bumps the generation, live or replayed:
+	// the serialized-state cache keyed by it can never serve stale
+	// bytes. Rejected batches leave it untouched, so a rejection keeps
+	// the cache (and the state) byte-identical.
+	hs.gen++
 	return resp, nil
 }

@@ -56,10 +56,11 @@ func NewHTTPServer(addr string, h http.Handler) *http.Server {
 
 // Handler returns the adpmd HTTP API:
 //
-//	POST   /sessions            create a session from a scenario
-//	POST   /sessions/{id}/ops   apply one atomic op batch
-//	GET    /sessions/{id}/state full design-state snapshot
-//	DELETE /sessions/{id}       retire a session
+//	POST   /sessions             create a session from a scenario
+//	POST   /sessions/{id}/ops    apply one atomic op batch
+//	GET    /sessions/{id}/state  full design-state snapshot (cached per generation)
+//	GET    /sessions/{id}/events live notification stream (SSE)
+//	DELETE /sessions/{id}        retire a session
 //	GET    /stats               live shard gauges
 //	GET    /healthz             liveness (503 while draining)
 //	GET    /readyz              readiness (503 while draining or WAL-broken)
@@ -71,6 +72,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /sessions", s.instrument("create", s.handleCreate))
 	mux.HandleFunc("POST /sessions/{id}/ops", s.instrument("ops", s.handleOps))
 	mux.HandleFunc("GET /sessions/{id}/state", s.instrument("state", s.handleState))
+	mux.HandleFunc("GET /sessions/{id}/events", s.instrument("events", s.handleEvents))
 	mux.HandleFunc("DELETE /sessions/{id}", s.instrument("delete", s.handleDelete))
 	mux.HandleFunc("GET /stats", s.instrument("stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
@@ -157,12 +159,16 @@ func (s *Server) handleOps(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
-	resp, err := s.State(r.PathValue("id"))
+	// The pre-serialized snapshot (generation-keyed cache): byte-for-byte
+	// what writeJSON(StateResponse) produced before the cache existed.
+	b, err := s.StateBytes(r.PathValue("id"))
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -222,6 +228,10 @@ func writeErr(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrKeyConflict):
 		// Idempotency key reused with a byte-different batch: the
 		// request parses but contradicts the key's first use.
+		status = http.StatusUnprocessableEntity
+	case errors.Is(err, ErrAckEvicted):
+		// The key's cached acknowledgement aged out of the per-session
+		// LRU: replaying it could silently re-apply, so fail closed.
 		status = http.StatusUnprocessableEntity
 	case errors.Is(err, ErrBusy):
 		// Backpressure: the shard mailbox was full. The hint scales with

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"errors"
+)
+
+// ErrAckEvicted reports an idempotency key whose acknowledgement aged
+// out of the bounded per-session cache. The retry's body matches the
+// original, so re-applying would be wrong (the batch already applied)
+// and acking blind would fabricate a response — the server fails closed
+// instead. Surfaced as HTTP 422 like ErrKeyConflict: both are "this key
+// cannot be honored", distinguishable by message.
+var ErrAckEvicted = errors.New("server: idempotency acknowledgement evicted (retry window exceeded)")
+
+// DefaultIdemCap is the per-session cached-ack bound when
+// Options.IdemCap is 0.
+const DefaultIdemCap = 1024
+
+// idemCache is one session's idempotency state, bounded so a long-lived
+// session cannot grow it without limit. Two tiers with different costs
+// and different caps:
+//
+//   - hashes pins every key ever used to the SHA-256 of its
+//     wire-canonical batch. A hash is 32 bytes and must never be
+//     evicted — dropping it would let a conflicting reuse (same key,
+//     different body) slip through as a replay or a double-apply.
+//   - acks holds the full cached acknowledgements, LRU-bounded at cap.
+//     An evicted ack fails the retry closed (ErrAckEvicted) rather than
+//     re-applying; exactly-once is preserved, only the cached response
+//     is lost.
+//
+// The cache is rebuilt through the same Add path during WAL replay, so
+// the bound (and the LRU order, which follows the log order) survives
+// park/restore and crash recovery.
+type idemCache struct {
+	cap    int // ack bound; <= 0 means unlimited
+	hashes map[string][sha256.Size]byte
+	acks   map[string]*list.Element
+	lru    *list.List // front = most recent
+}
+
+// idemNode is one LRU entry.
+type idemNode struct {
+	key  string
+	resp *ApplyResponse
+}
+
+// idemOutcome classifies a key lookup.
+type idemOutcome int
+
+const (
+	// idemMiss: key never used; apply fresh.
+	idemMiss idemOutcome = iota
+	// idemReplay: key used with this exact body and the ack is cached;
+	// return it without applying.
+	idemReplay
+	// idemConflict: key used with a byte-different body (ErrKeyConflict).
+	idemConflict
+	// idemEvicted: key used with this body but the ack aged out
+	// (ErrAckEvicted; fail closed).
+	idemEvicted
+)
+
+// newIdemCache builds a cache with the resolved bound: 0 selects
+// DefaultIdemCap, negative means unlimited.
+func newIdemCache(capacity int) *idemCache {
+	if capacity == 0 {
+		capacity = DefaultIdemCap
+	}
+	return &idemCache{
+		cap:    capacity,
+		hashes: map[string][sha256.Size]byte{},
+		acks:   map[string]*list.Element{},
+		lru:    list.New(),
+	}
+}
+
+// lookup classifies a keyed retry and returns the cached ack on replay.
+func (c *idemCache) lookup(key string, hash [sha256.Size]byte) (*ApplyResponse, idemOutcome) {
+	h, ok := c.hashes[key]
+	if !ok {
+		return nil, idemMiss
+	}
+	if h != hash {
+		return nil, idemConflict
+	}
+	el, ok := c.acks[key]
+	if !ok {
+		return nil, idemEvicted
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*idemNode).resp, idemReplay
+}
+
+// add records a fresh keyed acknowledgement, evicting the
+// least-recently-used ack past the bound. The key's hash is pinned
+// unconditionally.
+func (c *idemCache) add(key string, hash [sha256.Size]byte, resp *ApplyResponse) {
+	c.hashes[key] = hash
+	if el, ok := c.acks[key]; ok {
+		el.Value.(*idemNode).resp = resp
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.acks[key] = c.lru.PushFront(&idemNode{key: key, resp: resp})
+	if c.cap > 0 {
+		for c.lru.Len() > c.cap {
+			oldest := c.lru.Back()
+			c.lru.Remove(oldest)
+			delete(c.acks, oldest.Value.(*idemNode).key)
+		}
+	}
+}
+
+// len returns the number of cached acks (tests).
+func (c *idemCache) len() int { return c.lru.Len() }

@@ -1,0 +1,163 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/dpm"
+)
+
+// The bounded ack cache's contract (ISSUE 7 bugfix): a session stores
+// at most IdemCap cached acknowledgements, LRU-evicted; a key whose
+// ack aged out is answered exactly-once-or-fail-closed — 422
+// ErrAckEvicted, never a silent re-application. Conflict hashes are
+// pinned forever, so a byte-different body under an evicted key is
+// still a conflict, not an eviction.
+
+// fillIdemKeys applies n distinct keyed one-op batches, k0..k<n-1>.
+func fillIdemKeys(t *testing.T, s *Server, id string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, replayed, err := s.ApplyKeyed(id, fmt.Sprintf("k%d", i), []dpm.Operation{verify("Top")}); err != nil || replayed {
+			t.Fatalf("keyed apply %d: err=%v replayed=%v", i, err, replayed)
+		}
+	}
+}
+
+func TestIdemCapEvictsOldestAckFailsClosed(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 1, IdemCap: 2})
+	c := mustCreate(t, s, "simplified", 0)
+	fillIdemKeys(t, s, c.ID, 3) // k0's ack is evicted by k2
+
+	before := stateJSON(t, s, c.ID)
+	opsBefore, _ := s.State(c.ID)
+
+	// Resending k0 with its original body: the ack is gone, so the
+	// server cannot prove it would not re-apply — fail closed.
+	if _, _, err := s.ApplyKeyed(c.ID, "k0", []dpm.Operation{verify("Top")}); !errors.Is(err, ErrAckEvicted) {
+		t.Fatalf("evicted key resend err = %v, want ErrAckEvicted", err)
+	}
+	// Nothing was applied — not silently re-applied.
+	if after := stateJSON(t, s, c.ID); !bytes.Equal(before, after) {
+		t.Fatal("evicted-key resend changed session state")
+	}
+	opsAfter, _ := s.State(c.ID)
+	if opsAfter.Operations != opsBefore.Operations {
+		t.Fatalf("evicted-key resend re-applied: %d ops, had %d", opsAfter.Operations, opsBefore.Operations)
+	}
+
+	// The newest keys still replay from cache.
+	for _, k := range []string{"k1", "k2"} {
+		if _, replayed, err := s.ApplyKeyed(c.ID, k, []dpm.Operation{verify("Top")}); err != nil || !replayed {
+			t.Fatalf("key %s: err=%v replayed=%v, want cached replay", k, err, replayed)
+		}
+	}
+}
+
+func TestIdemCapConflictOutlivesEviction(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 1, IdemCap: 1})
+	c := mustCreate(t, s, "simplified", 0)
+	fillIdemKeys(t, s, c.ID, 2) // k0's ack evicted immediately by k1
+
+	// Byte-different body under the evicted key: the pinned hash still
+	// detects the contradiction — conflict, not eviction.
+	if _, _, err := s.ApplyKeyed(c.ID, "k0", []dpm.Operation{verify("AmpDesign")}); !errors.Is(err, ErrKeyConflict) {
+		t.Fatalf("conflicting body under evicted key err = %v, want ErrKeyConflict", err)
+	}
+}
+
+func TestIdemCapLRUOrderIsUseOrder(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 1, IdemCap: 2})
+	c := mustCreate(t, s, "simplified", 0)
+	fillIdemKeys(t, s, c.ID, 2)
+
+	// Touch k0 so k1 becomes the least recently used...
+	if _, replayed, err := s.ApplyKeyed(c.ID, "k0", []dpm.Operation{verify("Top")}); err != nil || !replayed {
+		t.Fatalf("touch k0: err=%v replayed=%v", err, replayed)
+	}
+	// ... then a third key evicts k1, not k0.
+	if _, _, err := s.ApplyKeyed(c.ID, "k2", []dpm.Operation{verify("Top")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, replayed, err := s.ApplyKeyed(c.ID, "k0", []dpm.Operation{verify("Top")}); err != nil || !replayed {
+		t.Fatalf("k0 after touch: err=%v replayed=%v, want still cached", err, replayed)
+	}
+	if _, _, err := s.ApplyKeyed(c.ID, "k1", []dpm.Operation{verify("Top")}); !errors.Is(err, ErrAckEvicted) {
+		t.Fatalf("k1 err = %v, want ErrAckEvicted", err)
+	}
+}
+
+func TestIdemCapUnlimited(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 1, IdemCap: -1})
+	c := mustCreate(t, s, "simplified", 0)
+	fillIdemKeys(t, s, c.ID, DefaultIdemCap+10)
+	// Every key — including the very first — still replays.
+	if _, replayed, err := s.ApplyKeyed(c.ID, "k0", []dpm.Operation{verify("Top")}); err != nil || !replayed {
+		t.Fatalf("k0 under unlimited cap: err=%v replayed=%v", err, replayed)
+	}
+}
+
+// TestIdemCapSurvivesRestart: replay rebuilds the ack cache through the
+// same bounded add path, so the LRU bound (and which keys aged out)
+// carries across a durable restart.
+func TestIdemCapSurvivesRestart(t *testing.T) {
+	opts := Options{Shards: 1, DataDir: t.TempDir(), IdemCap: 2}
+	s := newDurableServer(t, opts)
+	c := mustCreate(t, s, "simplified", 0)
+	fillIdemKeys(t, s, c.ID, 3)
+
+	s2 := reopen(t, s, opts)
+	if _, _, err := s2.ApplyKeyed(c.ID, "k0", []dpm.Operation{verify("Top")}); !errors.Is(err, ErrAckEvicted) {
+		t.Fatalf("evicted key after restart err = %v, want ErrAckEvicted", err)
+	}
+	for _, k := range []string{"k1", "k2"} {
+		if _, replayed, err := s2.ApplyKeyed(c.ID, k, []dpm.Operation{verify("Top")}); err != nil || !replayed {
+			t.Fatalf("key %s after restart: err=%v replayed=%v, want cached replay", k, err, replayed)
+		}
+	}
+	// Conflict detection also survives for the evicted key.
+	if _, _, err := s2.ApplyKeyed(c.ID, "k0", []dpm.Operation{verify("AmpDesign")}); !errors.Is(err, ErrKeyConflict) {
+		t.Fatalf("conflict under evicted key after restart err = %v, want ErrKeyConflict", err)
+	}
+}
+
+// TestIdemCapHTTP422 pins the wire taxonomy: an evicted ack surfaces as
+// 422, same class as a key conflict — the request is well-formed but
+// cannot be satisfied safely.
+func TestIdemCapHTTP422(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 1, IdemCap: 1})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	c := mustCreate(t, s, "simplified", 0)
+
+	post := func(key string) *http.Response {
+		t.Helper()
+		body := `{"ops":[{"kind":"verification","problem":"Top","designer":"test"}]}`
+		req, err := http.NewRequest("POST", ts.URL+"/sessions/"+c.ID+"/ops", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Idempotency-Key", key)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	if resp := post("a"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first keyed POST status %d", resp.StatusCode)
+	}
+	if resp := post("b"); resp.StatusCode != http.StatusOK { // evicts a
+		t.Fatalf("second keyed POST status %d", resp.StatusCode)
+	}
+	resp := post("a")
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("evicted-key POST status %d, want 422", resp.StatusCode)
+	}
+}

@@ -18,7 +18,7 @@ import (
 // (7/12 allocs/op) never touch this code.
 
 // endpointLabels is the fixed route set, in display order.
-var endpointLabels = []string{"create", "ops", "state", "delete", "stats", "healthz", "readyz"}
+var endpointLabels = []string{"create", "ops", "state", "events", "delete", "stats", "healthz", "readyz"}
 
 // endpointRecorder accumulates one route's latency and status counts.
 type endpointRecorder struct {
@@ -73,6 +73,17 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	}
 	return w.ResponseWriter.Write(b)
 }
+
+// Flush forwards to the underlying writer so instrumented SSE handlers
+// can stream (the events endpoint type-asserts http.Flusher).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap supports http.ResponseController passthrough.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // instrument wraps one route with the labeled latency recorder.
 func (s *Server) instrument(label string, h http.HandlerFunc) http.HandlerFunc {

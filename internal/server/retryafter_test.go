@@ -1,0 +1,41 @@
+package server
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestRetrySecondsClamp pins the Retry-After hint to [1,4] across the
+// boundary observations (ISSUE 7 bugfix): a zero-capacity mailbox used
+// to divide by zero, and a depth over-reported past capacity (racy read
+// mid-drain) used to hint absurd backoffs.
+func TestRetrySecondsClamp(t *testing.T) {
+	cases := []struct {
+		depth, capacity int
+		want            int
+	}{
+		{0, 0, 1},    // no signal at all
+		{5, 0, 1},    // zero capacity: no denominator, clamp low
+		{0, 64, 1},   // zero depth: emptied between observation points
+		{-3, 64, 1},  // negative depth can't happen, but never panic
+		{1, 64, 1},   // barely congested
+		{21, 64, 1},  // just under the 1/3 threshold
+		{22, 64, 2},  // crosses 1/3
+		{32, 64, 2},  // half full
+		{43, 64, 3},  // two thirds
+		{63, 64, 3},  // nearly full
+		{64, 64, 4},  // exactly full
+		{100, 64, 4}, // over-reported depth: clamp high
+		{1000, 1, 4}, // degenerate 1-slot mailbox, huge over-report
+		{1, 1, 4},    // full 1-slot mailbox
+	}
+	for _, tc := range cases {
+		e := &busyError{depth: tc.depth, capacity: tc.capacity}
+		if got := e.RetrySeconds(); got != tc.want {
+			t.Errorf("RetrySeconds(depth=%d, cap=%d) = %d, want %d", tc.depth, tc.capacity, got, tc.want)
+		}
+		if !errors.Is(e, ErrBusy) {
+			t.Errorf("busyError{%d,%d} does not match ErrBusy", tc.depth, tc.capacity)
+		}
+	}
+}

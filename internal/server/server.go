@@ -32,6 +32,7 @@ import (
 	"repro/internal/dddl"
 	"repro/internal/dpm"
 	"repro/internal/faultfs"
+	"repro/internal/notify"
 	"repro/internal/scenario"
 	"repro/internal/teamsim"
 	"repro/internal/trace"
@@ -111,6 +112,16 @@ type Options struct {
 	// chaos suite injects faults here.
 	FS faultfs.FS
 
+	// Heartbeat is the SSE keep-alive comment period on
+	// GET /sessions/{id}/events; 0 means DefaultHeartbeat.
+	Heartbeat time.Duration
+	// IdemCap bounds the per-session idempotency-ack cache: at most this
+	// many cached acknowledgements are retained (LRU), while every key
+	// ever used keeps its body hash so conflicting reuse is still
+	// rejected. 0 means DefaultIdemCap; negative means unlimited (the
+	// pre-cap behavior).
+	IdemCap int
+
 	// nowFn overrides the clock (tests); nil means time.Now.
 	nowFn func() time.Time
 }
@@ -165,6 +176,13 @@ type Server struct {
 	draining atomic.Bool
 	lat      *latencySet
 
+	// subStop, once closed, ends every SSE stream and rejects new
+	// subscriptions: the drain-aware shutdown signal for the fan-out
+	// layer. Closed by StopSubscribers (Drain calls it first), so
+	// long-lived event streams never hold up http.Server.Shutdown.
+	subStop     chan struct{}
+	subStopOnce sync.Once
+
 	drainOnce sync.Once
 	drainRes  []ShardSummary
 }
@@ -178,22 +196,29 @@ type hostedSession struct {
 	// img is the session's durable image (create parameters + accepted
 	// batch history); nil on a non-durable server.
 	img *wal.SessionImage
-	// idem maps client idempotency keys to the acknowledgement each
-	// keyed batch produced: a retried key returns the cached ack
-	// instead of double-applying — provided the retry's batch body
-	// hashes identically (ErrKeyConflict otherwise).
-	idem map[string]idemEntry
-}
+	// idem caches client idempotency acknowledgements (bounded LRU):
+	// a retried key returns the cached ack instead of double-applying —
+	// provided the retry's batch body hashes identically (ErrKeyConflict
+	// otherwise) and the ack is still cached (ErrAckEvicted otherwise:
+	// fail closed, never silently re-apply).
+	idem *idemCache
 
-// idemEntry is one cached keyed acknowledgement plus the SHA-256 of
-// the wire-canonical batch it acknowledged. The hash pins the key to
-// one batch body: an empty key is simply unkeyed (applies every time),
-// the same key with a byte-different body is a client bug answered
-// with ErrKeyConflict, and keys are scoped per session (reuse across
-// sessions applies independently).
-type idemEntry struct {
-	resp *ApplyResponse
-	hash [sha256.Size]byte
+	// events is the session's notification log: every event its applied
+	// transitions produced, in order. IDs are 1-based log positions —
+	// deterministic across park/restore and crash recovery, because
+	// replay regenerates the identical log — and double as SSE event ids
+	// for Last-Event-ID resume.
+	events []notify.Event
+	// hub fans events out to live SSE subscribers; nil until the first
+	// subscriber attaches, closed when the session retires or parks.
+	hub *notify.Hub
+
+	// gen counts accepted mutations (batch applies); the serialized
+	// state snapshot is cached keyed by it, so GET /state between
+	// mutations is a byte copy, not a re-serialization.
+	gen      uint64
+	cacheGen uint64
+	cache    []byte
 }
 
 // task is one unit of work executed on a shard's event loop.
@@ -228,18 +253,24 @@ type shard struct {
 	// than the segment limit cannot trigger rotation on every append.
 	segBase int64
 
+	// hubStats aggregates live-subscriber delivery accounting across
+	// every session hub the shard owns.
+	hubStats notify.HubStats
+
 	// Gauges, readable from any goroutine (expvar / Stats).
-	nSessions  atomic.Int64
-	nParked    atomic.Int64
-	created    atomic.Uint64
-	evicted    atomic.Uint64
-	restored   atomic.Uint64
-	deleted    atomic.Uint64
-	rejected   atomic.Uint64
-	walAppends atomic.Uint64
-	walBytes   atomic.Uint64
-	rotations  atomic.Uint64
-	walBroken  atomic.Bool
+	nSessions   atomic.Int64
+	nParked     atomic.Int64
+	created     atomic.Uint64
+	evicted     atomic.Uint64
+	restored    atomic.Uint64
+	deleted     atomic.Uint64
+	rejected    atomic.Uint64
+	walAppends  atomic.Uint64
+	walBytes    atomic.Uint64
+	rotations   atomic.Uint64
+	walBroken   atomic.Bool
+	stateHits   atomic.Uint64
+	stateMisses atomic.Uint64
 }
 
 // New starts a server with opts.Shards event loops. It is the
@@ -283,7 +314,10 @@ func Open(opts Options) (*Server, error) {
 	if opts.nowFn == nil {
 		opts.nowFn = time.Now
 	}
-	s := &Server{opts: opts, lat: newLatencySet()}
+	if opts.Heartbeat <= 0 {
+		opts.Heartbeat = DefaultHeartbeat
+	}
+	s := &Server{opts: opts, lat: newLatencySet(), subStop: make(chan struct{})}
 	durable := opts.DataDir != ""
 	if durable {
 		if err := checkMeta(opts.FS, opts.DataDir, opts.Shards); err != nil {
@@ -353,13 +387,21 @@ func (e *busyError) Error() string {
 // Is makes errors.Is(err, ErrBusy) hold for busyError values.
 func (e *busyError) Is(target error) bool { return target == ErrBusy }
 
-// RetrySeconds maps the observed congestion to a client backoff hint:
-// 1s at the low end, up to 4s when the mailbox was entirely full.
+// RetrySeconds maps the observed congestion to a client backoff hint,
+// clamped to [1,4]: 1s at the low end, 4s when the mailbox was entirely
+// full. The clamp holds for the edge observations too — a zero-capacity
+// mailbox (no depth signal) hints 1s, and a depth past capacity (racy
+// reads mid-drain can over-report) still caps at 4s rather than telling
+// clients to back off for longer than the scale was ever meant to span.
 func (e *busyError) RetrySeconds() int {
-	if e.capacity <= 0 {
+	if e.capacity <= 0 || e.depth <= 0 {
 		return 1
 	}
-	return 1 + 3*e.depth/e.capacity
+	r := 1 + 3*e.depth/e.capacity
+	if r > 4 {
+		r = 4
+	}
+	return r
 }
 
 // submit runs fn on the shard's event loop and waits for it. The mutex
@@ -437,6 +479,10 @@ func (sh *shard) now() time.Time { return sh.opts.nowFn() }
 // retire finalizes a session, folds its metrics into the shard totals,
 // and removes it from the live set. Loop goroutine only.
 func (sh *shard) retire(hs *hostedSession, evicted, deleted bool) SessionSummary {
+	if hs.hub != nil {
+		hs.hub.Close()
+		hs.hub = nil
+	}
 	res := hs.sess.Finish()
 	sum := SessionSummary{
 		ID:            hs.id,
@@ -633,8 +679,9 @@ func (s *Server) CreateSession(spec CreateSpec) (*CreateResponse, error) {
 		id:       fmt.Sprintf("s%d-%d", sh.idx, seq),
 		scenario: scn.Name,
 		sess:     sess,
-		idem:     map[string]idemEntry{},
+		idem:     newIdemCache(s.opts.IdemCap),
 	}
+	sh.attachEvents(hs)
 	if s.opts.DataDir != "" {
 		src := spec.Source
 		if spec.Name == "" && src == "" {
@@ -743,12 +790,20 @@ func (s *Server) ApplyKeyed(id, key string, ops []dpm.Operation) (*ApplyResponse
 			return
 		}
 		if key != "" {
-			if cached, ok := hs.idem[key]; ok {
-				if cached.hash != keyHash {
-					aerr = fmt.Errorf("%w: key %q", ErrKeyConflict, key)
-					return
-				}
-				resp, replayed = cached.resp, true
+			cached, outcome := hs.idem.lookup(key, keyHash)
+			switch outcome {
+			case idemReplay:
+				resp, replayed = cached, true
+				return
+			case idemConflict:
+				aerr = fmt.Errorf("%w: key %q", ErrKeyConflict, key)
+				return
+			case idemEvicted:
+				// The batch already applied under this key but its ack
+				// aged out of the bounded cache. Fail closed: re-applying
+				// would break exactly-once, and fabricating an ack would
+				// lie about what the original apply returned.
+				aerr = fmt.Errorf("%w: key %q", ErrAckEvicted, key)
 				return
 			}
 		}
@@ -774,7 +829,7 @@ func (s *Server) ApplyKeyed(id, key string, ops []dpm.Operation) (*ApplyResponse
 			hs.img.Ops = append(hs.img.Ops, wal.OpsEntry{Key: key, Ops: opsRaw})
 		}
 		if key != "" {
-			hs.idem[key] = idemEntry{resp: resp, hash: keyHash}
+			hs.idem.add(key, keyHash, resp)
 		}
 		sh.maybeRotate()
 	})
@@ -870,12 +925,22 @@ func (s *Server) Sweep() int {
 // Draining reports whether Drain has been initiated.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
+// StopSubscribers ends every live SSE stream and rejects new
+// subscriptions; applied work is unaffected. Idempotent. Drain calls it
+// first, but hosts that shut the HTTP listener down before draining
+// (cmd/adpmd) call it themselves so event streams — which outlive any
+// single request — never wedge http.Server.Shutdown.
+func (s *Server) StopSubscribers() {
+	s.subStopOnce.Do(func() { close(s.subStop) })
+}
+
 // Drain stops intake, waits for every shard to execute its already
 // accepted requests (no acknowledged operation is lost), retires all
 // live sessions, and returns the per-shard summaries. Idempotent;
 // concurrent callers all receive the same summaries.
 func (s *Server) Drain() []ShardSummary {
 	s.drainOnce.Do(func() {
+		s.StopSubscribers()
 		s.draining.Store(true)
 		for _, sh := range s.shards {
 			sh.mu.Lock()
@@ -913,6 +978,16 @@ type ShardStats struct {
 	WALBytes   uint64 `json:"wal_bytes,omitempty"`
 	Rotations  uint64 `json:"wal_rotations,omitempty"`
 	WALBroken  bool   `json:"wal_broken,omitempty"`
+
+	// Live fan-out gauges; zero when no subscriber ever attached.
+	Subscribers     int64  `json:"subscribers,omitempty"`
+	NotifyDelivered uint64 `json:"notify_delivered,omitempty"`
+	NotifyDropped   uint64 `json:"notify_dropped,omitempty"`
+	NotifyCoalesced uint64 `json:"notify_coalesced,omitempty"`
+
+	// Snapshot-cache gauges (GET /state).
+	StateHits   uint64 `json:"state_hits,omitempty"`
+	StateMisses uint64 `json:"state_misses,omitempty"`
 }
 
 // Stats is the server-wide gauge snapshot (expvar / GET /stats).
@@ -940,6 +1015,14 @@ func (s *Server) Stats() Stats {
 			WALBytes:     sh.walBytes.Load(),
 			Rotations:    sh.rotations.Load(),
 			WALBroken:    sh.walBroken.Load(),
+
+			Subscribers:     sh.hubStats.Subscribers.Load(),
+			NotifyDelivered: sh.hubStats.Delivered.Load(),
+			NotifyDropped:   sh.hubStats.Dropped.Load() + sh.hubStats.Coalesced.Load(),
+			NotifyCoalesced: sh.hubStats.Coalesced.Load(),
+
+			StateHits:   sh.stateHits.Load(),
+			StateMisses: sh.stateMisses.Load(),
 		})
 	}
 	return st

@@ -1,0 +1,279 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/notify"
+)
+
+// Live notification fan-out. The paper's Notification Manager is a push
+// subsystem — "alerting designers of key information that might
+// otherwise go unnoticed" — and GET /sessions/{id}/events is its wire
+// form: a Server-Sent-Events stream of the session's notification log.
+//
+// Every applied transition's events append to the session's log (the
+// hook installed by attachEvents); IDs are 1-based log positions, and
+// because the log is regenerated bit-for-bit by deterministic replay, a
+// client's Last-Event-ID remains meaningful across park/restore and
+// even a server restart. Delivery happens on the subscriber's own HTTP
+// handler goroutine, never on the shard loop: the shard only enqueues
+// into the hub's bounded per-subscriber queues, where a stalled
+// consumer loses events by its chosen policy (counted, §trace
+// notify-drop) instead of blocking the shard.
+
+// SSE defaults.
+const (
+	// DefaultHeartbeat is the keep-alive comment period when
+	// Options.Heartbeat is 0.
+	DefaultHeartbeat = 15 * time.Second
+	// DefaultSubscriberQueue is the per-subscriber queue bound when the
+	// request does not pick one.
+	DefaultSubscriberQueue = 256
+	// MaxSubscriberQueue clamps client-chosen queue bounds.
+	MaxSubscriberQueue = 4096
+)
+
+// SubscribeOptions parameterize one event-stream subscription.
+type SubscribeOptions struct {
+	// Designer, when non-empty, reuses the named designer's NM relevance
+	// filter (owner's concern set); unknown designers are ErrInvalid.
+	// Empty receives every event.
+	Designer string
+	// Policy is what a full queue loses: notify.DropOldest or
+	// notify.Coalesce.
+	Policy notify.DropPolicy
+	// QueueCap bounds the subscriber queue; 0 means
+	// DefaultSubscriberQueue, clamped to [1, MaxSubscriberQueue].
+	QueueCap int
+	// AfterID resumes after the given event id: log events with id >
+	// AfterID are seeded into the queue before live delivery. 0 replays
+	// the whole log.
+	AfterID int
+}
+
+// Subscribe attaches a live subscriber to a session's event stream,
+// transparently restoring a parked session. The returned Sub is
+// drained by the caller's goroutine (Next/Wake/Done) and must be
+// Closed when done.
+func (s *Server) Subscribe(id string, opt SubscribeOptions) (*notify.Sub, error) {
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	select {
+	case <-s.subStop:
+		return nil, ErrDraining
+	default:
+	}
+	sh, err := s.shardFor(id)
+	if err != nil {
+		return nil, err
+	}
+	queueCap := opt.QueueCap
+	if queueCap <= 0 {
+		queueCap = DefaultSubscriberQueue
+	}
+	if queueCap > MaxSubscriberQueue {
+		queueCap = MaxSubscriberQueue
+	}
+	var sub *notify.Sub
+	var serr error
+	err = sh.submit(func() {
+		hs, lerr := sh.lookup(id)
+		if lerr != nil {
+			serr = lerr
+			return
+		}
+		var f notify.Filter
+		if opt.Designer != "" {
+			ff, ok := hs.sess.Bus.Filter(opt.Designer)
+			if !ok {
+				serr = fmt.Errorf("%w: unknown designer %q", ErrInvalid, opt.Designer)
+				return
+			}
+			f = ff
+		}
+		if hs.hub == nil {
+			hs.hub = notify.NewHub(&sh.hubStats)
+			hs.hub.SetTracer(sh.rec)
+		}
+		sub = hs.hub.Subscribe(f, opt.Policy, queueCap)
+		// Seed the backlog through the same bounded queue live delivery
+		// uses: a resume far behind a large log degrades by the sub's own
+		// drop policy instead of buffering unboundedly. Backlog events
+		// carry no publish timestamp (they are re-deliveries, not fresh
+		// publishes — subscriber latency accounting skips them).
+		after := opt.AfterID
+		if after < 0 {
+			after = 0
+		}
+		for i := after; i < len(hs.events); i++ {
+			sub.Feed(notify.SeqEvent{ID: i + 1, Event: hs.events[i]})
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if serr != nil {
+		return nil, serr
+	}
+	return sub, nil
+}
+
+// attachEvents installs the session's event hook: applied transitions
+// append their events to the session log and publish to the live hub
+// when one exists. Runs on the owning goroutine (shard loop live,
+// opener during replay), so the append needs no locking; only the hub
+// enqueue crosses goroutines, and that is the hub's job.
+func (sh *shard) attachEvents(hs *hostedSession) {
+	hs.sess.OnEvents = func(evs []notify.Event) {
+		base := len(hs.events)
+		hs.events = append(hs.events, evs...)
+		if hs.hub == nil {
+			return
+		}
+		now := sh.now().UnixNano()
+		for i, e := range evs {
+			hs.hub.Publish(notify.SeqEvent{ID: base + i + 1, Event: e, PubNanos: now})
+		}
+	}
+}
+
+// EventPayload is the SSE data frame for one notification event.
+type EventPayload struct {
+	Kind       string `json:"kind"`
+	Stage      int    `json:"stage"`
+	Constraint string `json:"constraint,omitempty"`
+	Property   string `json:"property,omitempty"`
+	Problem    string `json:"problem,omitempty"`
+	Detail     string `json:"detail,omitempty"`
+	// PubNanos is the server wall clock at publish (unix ns); 0 on
+	// backlog re-deliveries. Subscriber clients derive publish→deliver
+	// latency from it.
+	PubNanos int64 `json:"pub_ns,omitempty"`
+}
+
+// handleEvents is GET /sessions/{id}/events: the SSE stream.
+//
+// Query parameters: designer (relevance filter), policy
+// ("drop-oldest"|"coalesce"), queue (per-subscriber bound),
+// last_event_id (resume; the Last-Event-ID header, which EventSource
+// sends on reconnect, takes precedence). Heartbeat comments flow every
+// Options.Heartbeat so intermediaries cannot declare the stream dead
+// between design operations.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, fmt.Errorf("%w: streaming unsupported by connection", ErrInvalid))
+		return
+	}
+	opt := SubscribeOptions{Designer: r.URL.Query().Get("designer")}
+	switch p := r.URL.Query().Get("policy"); p {
+	case "", "drop-oldest":
+		opt.Policy = notify.DropOldest
+	case "coalesce":
+		opt.Policy = notify.Coalesce
+	default:
+		writeErr(w, fmt.Errorf("%w: unknown policy %q", ErrInvalid, p))
+		return
+	}
+	if q := r.URL.Query().Get("queue"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			writeErr(w, fmt.Errorf("%w: bad queue %q", ErrInvalid, q))
+			return
+		}
+		opt.QueueCap = n
+	}
+	lastID := r.Header.Get("Last-Event-ID")
+	if lastID == "" {
+		lastID = r.URL.Query().Get("last_event_id")
+	}
+	if lastID != "" {
+		n, err := strconv.Atoi(lastID)
+		if err != nil || n < 0 {
+			writeErr(w, fmt.Errorf("%w: bad Last-Event-ID %q", ErrInvalid, lastID))
+			return
+		}
+		opt.AfterID = n
+	}
+	sub, err := s.Subscribe(r.PathValue("id"), opt)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer sub.Close()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	hb := time.NewTicker(s.opts.Heartbeat)
+	defer hb.Stop()
+	var buf bytes.Buffer
+	flush := func() bool {
+		if sseWriteBatch(&buf, sub.Next(0)) {
+			if _, err := w.Write(buf.Bytes()); err != nil {
+				return false
+			}
+			fl.Flush()
+		}
+		return true
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.subStop:
+			// Drain-aware shutdown: deliver what is queued, then end the
+			// stream so http.Server.Shutdown is never held open by us.
+			flush()
+			return
+		case <-sub.Done():
+			// Session retired, parked, or deleted: final drain, then EOF.
+			// A client resumes with Last-Event-ID (park/restore
+			// regenerates the log deterministically).
+			flush()
+			return
+		case <-sub.Wake():
+			if !flush() {
+				return
+			}
+		case <-hb.C:
+			if _, err := fmt.Fprint(w, ": hb\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// sseWriteBatch renders events as SSE frames into buf (reset first);
+// reports whether there is anything to send.
+func sseWriteBatch(buf *bytes.Buffer, evs []notify.SeqEvent) bool {
+	buf.Reset()
+	for _, ev := range evs {
+		payload := EventPayload{
+			Kind:       ev.Kind.String(),
+			Stage:      ev.Stage,
+			Constraint: ev.Constraint,
+			Property:   ev.Property,
+			Problem:    ev.Problem,
+			Detail:     ev.Detail,
+			PubNanos:   ev.PubNanos,
+		}
+		data, err := json.Marshal(payload)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(buf, "id: %d\nevent: %s\ndata: %s\n\n", ev.ID, payload.Kind, data)
+	}
+	return buf.Len() > 0
+}

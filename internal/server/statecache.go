@@ -1,0 +1,66 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+// The hot read path. GET /state used to walk the whole design state
+// (wire.go's buildState: properties, windows, constraints, hierarchy)
+// and re-serialize it on every read. Under notification fan-in — many
+// designers reading after each transition — those bytes are identical
+// between mutations, so the session caches them keyed by its mutation
+// generation: a cache hit is a single buffered write, zero
+// serialization. The bytes are produced by the same json.Encoder
+// configuration writeJSON uses (EscapeHTML off, trailing newline), so
+// responses are byte-identical to the uncached path — the 64-run
+// server-replay differential corpus pins that.
+
+// marshalState renders a StateResponse exactly as writeJSON would put
+// it on the wire (trailing '\n' included).
+func marshalState(st *StateResponse) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// StateBytes returns the session's serialized state snapshot — the
+// exact bytes GET /state responds with — serving from the
+// generation-keyed cache when no mutation intervened. The returned
+// slice is shared with the cache; callers must not modify it.
+func (s *Server) StateBytes(id string) ([]byte, error) {
+	sh, err := s.shardFor(id)
+	if err != nil {
+		return nil, err
+	}
+	var out []byte
+	var serr error
+	err = sh.submit(func() {
+		hs, lerr := sh.lookup(id)
+		if lerr != nil {
+			serr = lerr
+			return
+		}
+		if hs.cache != nil && hs.cacheGen == hs.gen {
+			sh.stateHits.Add(1)
+			out = hs.cache
+			return
+		}
+		b, merr := marshalState(buildState(hs))
+		if merr != nil {
+			serr = merr
+			return
+		}
+		hs.cache, hs.cacheGen = b, hs.gen
+		sh.stateMisses.Add(1)
+		out = b
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, serr
+}

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/dpm"
+)
+
+// TestStateBytesByteIdentical pins the cache's contract: the cached
+// bytes are exactly what writeJSON(StateResponse) would put on the
+// wire, hit or miss.
+func TestStateBytesByteIdentical(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 1})
+	c := mustCreate(t, s, "simplified", 0)
+	applyEventOps(t, s, c.ID)
+
+	st, err := s.State(c.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := marshalState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss, err := s.StateBytes(c.ID) // first read: miss, fills the cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, err := s.StateBytes(c.ID) // second read: generation unchanged
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(miss, want) {
+		t.Fatalf("uncached StateBytes differ from writeJSON rendering:\n%s\nvs\n%s", miss, want)
+	}
+	if !bytes.Equal(hit, want) {
+		t.Fatalf("cached StateBytes differ from writeJSON rendering:\n%s\nvs\n%s", hit, want)
+	}
+	if want[len(want)-1] != '\n' {
+		t.Fatal("rendering lost writeJSON's trailing newline")
+	}
+}
+
+func TestStateCacheHitMissGauges(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 1})
+	c := mustCreate(t, s, "simplified", 0)
+
+	read := func() []byte {
+		t.Helper()
+		b, err := s.StateBytes(c.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	gauges := func() (hits, misses uint64) {
+		st := s.Stats().Shards[0]
+		return st.StateHits, st.StateMisses
+	}
+
+	read()
+	if h, m := gauges(); h != 0 || m != 1 {
+		t.Fatalf("after first read: hits=%d misses=%d, want 0/1", h, m)
+	}
+	before := read()
+	if h, m := gauges(); h != 1 || m != 1 {
+		t.Fatalf("after second read: hits=%d misses=%d, want 1/1", h, m)
+	}
+
+	// A mutation bumps the generation: next read is a miss with new bytes.
+	if _, err := s.Apply(c.ID, []dpm.Operation{synth("AmpDesign", "Width", 3)}); err != nil {
+		t.Fatal(err)
+	}
+	after := read()
+	if h, m := gauges(); h != 1 || m != 2 {
+		t.Fatalf("after mutation+read: hits=%d misses=%d, want 1/2", h, m)
+	}
+	if bytes.Equal(before, after) {
+		t.Fatal("state bytes unchanged across an accepted mutation")
+	}
+	if h, m := func() (uint64, uint64) { read(); return gauges() }(); h != 2 || m != 2 {
+		t.Fatalf("after re-read: hits=%d misses=%d, want 2/2", h, m)
+	}
+}
+
+// TestStateCacheRejectedBatchStaysValid: a rejected batch must not bump
+// the generation — the cache keeps serving the same bytes without a
+// spurious miss.
+func TestStateCacheRejectedBatchStaysValid(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 1})
+	c := mustCreate(t, s, "simplified", 1)
+	if _, err := s.Apply(c.ID, []dpm.Operation{verify("Top")}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := s.StateBytes(c.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget exhausted: this batch is rejected before application.
+	if _, err := s.Apply(c.ID, []dpm.Operation{verify("Top")}); !errors.Is(err, ErrBudget) {
+		t.Fatalf("over-budget apply err = %v, want ErrBudget", err)
+	}
+	after, err := s.StateBytes(c.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("rejected batch changed the cached state bytes")
+	}
+	st := s.Stats().Shards[0]
+	if st.StateHits != 1 || st.StateMisses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1 (rejection must not invalidate)", st.StateHits, st.StateMisses)
+	}
+}
+
+// TestStateCacheAcrossRestart: replay regenerates the same generation
+// count and the same bytes — a restarted server's first read misses
+// (fresh cache) but returns identical JSON.
+func TestStateCacheAcrossRestart(t *testing.T) {
+	opts := Options{Shards: 1, DataDir: t.TempDir()}
+	s := newDurableServer(t, opts)
+	c := mustCreate(t, s, "simplified", 0)
+	applyEventOps(t, s, c.ID)
+	before, err := s.StateBytes(c.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := reopen(t, s, opts)
+	after, err := s2.StateBytes(c.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatalf("state bytes changed across restart:\n%s\nvs\n%s", before, after)
+	}
+}

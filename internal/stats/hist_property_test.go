@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property sweep for the histogram's algebra (ISSUE 7 satellite): the
+// identities a latency pipeline leans on when per-worker histograms are
+// merged — merge with an empty histogram is the identity, merge is
+// commutative in every readout, single samples are reported exactly,
+// and quantiles are monotone in q. Randomized but seeded, so failures
+// reproduce.
+
+var quantileGrid = []float64{0, 0.001, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1}
+
+// sameReadouts asserts every observable of two histograms agrees.
+func sameReadouts(t *testing.T, label string, got, want *LogHist) {
+	t.Helper()
+	if got.Count() != want.Count() || got.Sum() != want.Sum() ||
+		got.Min() != want.Min() || got.Max() != want.Max() || got.Mean() != want.Mean() {
+		t.Fatalf("%s: aggregates %d/%d/%d/%d vs %d/%d/%d/%d", label,
+			got.Count(), got.Sum(), got.Min(), got.Max(),
+			want.Count(), want.Sum(), want.Min(), want.Max())
+	}
+	for _, q := range quantileGrid {
+		if got.Quantile(q) != want.Quantile(q) {
+			t.Fatalf("%s: Quantile(%g) = %d, want %d", label, q, got.Quantile(q), want.Quantile(q))
+		}
+	}
+}
+
+// randHist builds a histogram of n samples drawn across the full bucket
+// range (exact linear region, mid octaves, and huge values).
+func randHist(rng *rand.Rand, n int) *LogHist {
+	var h LogHist
+	for i := 0; i < n; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			h.Observe(rng.Int63n(histSubBuckets)) // exact region
+		case 1:
+			h.Observe(rng.Int63n(1_000_000_000)) // typical latencies
+		default:
+			h.Observe(rng.Int63()) // anywhere in int64
+		}
+	}
+	return &h
+}
+
+func TestLogHistMergeEmptyIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for round := 0; round < 50; round++ {
+		x := randHist(rng, rng.Intn(200)) // including n == 0 and n == 1
+		want := &LogHist{}
+		want.Merge(x) // copy via merge-into-empty
+
+		// empty.Merge(x) == x — for a zero-value empty and for a
+		// previously-used-then-Reset empty (allocated bucket table).
+		fresh := &LogHist{}
+		fresh.Merge(x)
+		sameReadouts(t, "merge(zero-value, x)", fresh, want)
+
+		reset := randHist(rng, 50)
+		reset.Reset()
+		reset.Merge(x)
+		sameReadouts(t, "merge(reset, x)", reset, want)
+
+		// x.Merge(empty) == x — both empty flavors, x unchanged.
+		x.Merge(&LogHist{})
+		x.Merge(nil)
+		used := randHist(rng, 50)
+		used.Reset()
+		x.Merge(used)
+		sameReadouts(t, "merge(x, empty)", x, want)
+	}
+}
+
+func TestLogHistMergeCommutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for round := 0; round < 50; round++ {
+		a, b := randHist(rng, rng.Intn(150)), randHist(rng, rng.Intn(150))
+		ab := &LogHist{}
+		ab.Merge(a)
+		ab.Merge(b)
+		ba := &LogHist{}
+		ba.Merge(b)
+		ba.Merge(a)
+		sameReadouts(t, "merge order", ab, ba)
+	}
+}
+
+func TestLogHistSingleSampleExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for round := 0; round < 200; round++ {
+		v := rng.Int63()
+		if round == 0 {
+			v = 0 // the boundary sample
+		}
+		var h LogHist
+		h.Observe(v)
+		if h.Count() != 1 || h.Min() != v || h.Max() != v || h.Sum() != v || h.Mean() != float64(v) {
+			t.Fatalf("single sample %d: aggregates %d/%d/%d/%d", v, h.Count(), h.Min(), h.Max(), h.Sum())
+		}
+		// Every quantile of a one-sample histogram is that sample,
+		// exactly — bucket upper bounds must clamp to the observed value.
+		for _, q := range quantileGrid {
+			if got := h.Quantile(q); got != v {
+				t.Fatalf("single sample %d: Quantile(%g) = %d", v, q, got)
+			}
+		}
+	}
+}
+
+func TestLogHistQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for round := 0; round < 25; round++ {
+		h := randHist(rng, 1+rng.Intn(500))
+		prev := int64(-1)
+		for _, q := range quantileGrid {
+			v := h.Quantile(q)
+			if v < prev {
+				t.Fatalf("Quantile(%g) = %d below previous %d", q, v, prev)
+			}
+			prev = v
+		}
+		if h.Quantile(0) != h.Min() || h.Quantile(1) != h.Max() {
+			t.Fatalf("extreme quantiles not exact: q0=%d min=%d, q1=%d max=%d",
+				h.Quantile(0), h.Min(), h.Quantile(1), h.Max())
+		}
+	}
+}

@@ -263,11 +263,12 @@ func recordTransition(res *Result, tr *dpm.Transition) {
 	res.SpinPerOp = append(res.SpinPerOp, tr.IsSpin)
 }
 
-func publishTransition(bus *notify.Bus, res *Result, tr *dpm.Transition) {
+func publishTransition(bus *notify.Bus, res *Result, tr *dpm.Transition) []notify.Event {
 	events := notify.DiffEvents(tr.Stage, tr.ViolationsBefore, tr.ViolationsAfter, tr.Narrowed, tr.Emptied)
 	for _, e := range events {
 		res.Notifications += bus.Publish(e)
 	}
+	return events
 }
 
 func finishResult(res *Result, d *dpm.DPM) {

@@ -43,6 +43,13 @@ type Session struct {
 	Res *Result
 	// MaxOps is the resolved operation budget (always > 0).
 	MaxOps int
+	// OnEvents, when non-nil, receives each applied transition's
+	// notification events right after they are published on Bus. Hosts
+	// use it to feed live subscriber fan-out (internal/server's SSE hub)
+	// without the engine knowing about transports; because Apply is
+	// deterministic, a replayed history invokes the hook with exactly
+	// the events of the original run.
+	OnEvents func(events []notify.Event)
 }
 
 // NewSession builds a standalone session from a scenario: a DPM (with
@@ -91,7 +98,10 @@ func (s *Session) Apply(op dpm.Operation) (*dpm.Transition, error) {
 		return nil, err
 	}
 	recordTransition(s.Res, tr)
-	publishTransition(s.Bus, s.Res, tr)
+	events := publishTransition(s.Bus, s.Res, tr)
+	if s.OnEvents != nil && len(events) > 0 {
+		s.OnEvents(events)
+	}
 	return tr, nil
 }
 

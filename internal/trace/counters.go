@@ -53,6 +53,10 @@ type Counters struct {
 	// Result.Notifications.
 	NotifyEvents int64 `json:"notify_events"`
 	Deliveries   int64 `json:"deliveries"`
+	// NotifyDrops counts events lost at live subscribers' bounded
+	// queues. Deliberately outside the Deliveries reconciliation: a drop
+	// is flow control on the fan-out side, not a missed publish.
+	NotifyDrops int64 `json:"notify_drops,omitempty"`
 
 	// Engine-loop aggregates.
 	Idles int64 `json:"idles"`
@@ -160,6 +164,8 @@ func (c *Counters) apply(e Event) {
 	case KindLoadPhase:
 		c.LoadPhases++
 		c.LoadRequests += int64(e.Operations)
+	case KindNotifyDrop:
+		c.NotifyDrops++
 	}
 }
 
@@ -193,6 +199,9 @@ func (c Counters) Summary() string {
 	row("window refreshes", fmt.Sprintf("%d (%d windows, %d evals)",
 		c.WindowRefreshes, c.WindowJobs, c.WindowEvals))
 	row("notifications", fmt.Sprintf("%d deliveries over %d events", c.Deliveries, c.NotifyEvents))
+	if c.NotifyDrops > 0 {
+		row("notify drops", fmt.Sprintf("%d", c.NotifyDrops))
+	}
 	row("idle/wake", fmt.Sprintf("%d idles, %d wakes", c.Idles, c.Wakes))
 	if c.Evictions > 0 {
 		row("evictions", fmt.Sprintf("%d", c.Evictions))

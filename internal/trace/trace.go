@@ -86,13 +86,19 @@ const (
 	// it issued (Operations), the workload seed (Seed), and its
 	// wall-clock duration (DurNanos).
 	KindLoadPhase
+	// KindNotifyDrop is one event lost at a live subscriber's bounded
+	// queue (drop-oldest or coalesce): the lost event's NM kind (Event)
+	// and subject (Name). Emitted by the notify hub; drops are a
+	// flow-control outcome, so they do not feed the delivery
+	// reconciliation that KindNotify participates in.
+	KindNotifyDrop
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"run-start", "run-end", "operation", "propagate", "revise",
 	"window-refresh", "window", "notify", "idle", "wake", "evict",
-	"wal-append", "recover", "restore", "load-phase",
+	"wal-append", "recover", "restore", "load-phase", "notify-drop",
 }
 
 // String names the kind as it appears in the JSONL stream.

@@ -160,6 +160,10 @@ func checkFields(e Event) error {
 		if e.Operations < 0 || e.Workers < 0 {
 			return fmt.Errorf("load-phase with negative counters")
 		}
+	case KindNotifyDrop:
+		if e.Event == "" {
+			return fmt.Errorf("notify-drop without event kind")
+		}
 	default:
 		return fmt.Errorf("unknown kind %d", e.Kind)
 	}

@@ -6,8 +6,10 @@
 # and parallel/incremental engine comparisons. Also runs the server/WAL
 # durability benchmarks and writes BENCH_server.json — BenchmarkApply
 # compares the in-memory accepted-op path against the durable path under
-# each fsync policy (the delta is the WAL append overhead), and
-# BenchmarkAppend isolates the raw framed-record append per policy.
+# each fsync policy (the delta is the WAL append overhead),
+# BenchmarkAppend isolates the raw framed-record append per policy, and
+# BenchmarkState compares the generation-keyed snapshot cache's hit path
+# (zero serialization) against a full state rebuild per read.
 #
 # Finally it runs a hermetic adpmload pass (in-process server, fixed
 # seed, oracle on) and leaves its per-endpoint latency report in
@@ -152,12 +154,12 @@ END {
 
 echo "wrote $OUT"
 
-SRV_PATTERN='BenchmarkApply|BenchmarkAppend'
+SRV_PATTERN='BenchmarkApply|BenchmarkAppend|BenchmarkState'
 SRV_OUT=BENCH_server.json
 
 go test -run '^$' -bench "$SRV_PATTERN" -benchmem -count "$COUNT" \
     ./internal/server/ ./internal/wal/ | tee "$RAW"
-require_bench "$RAW" BenchmarkApply BenchmarkAppend
+require_bench "$RAW" BenchmarkApply BenchmarkAppend BenchmarkState
 
 awk -v out="$SRV_OUT" '
 /^Benchmark/ {
