@@ -1,0 +1,196 @@
+// Command adpmsim runs the deterministic whole-server simulation
+// (internal/sim) and the explicit-state model checker
+// (internal/sim/check) for the session/durability protocol.
+//
+// Every simulation run is a pure function of (seed, fault script): the
+// real internal/server stack executes under a virtual clock, a seeded
+// PRNG, and an in-memory durability-modeling filesystem, so a failing
+// seed replays byte for byte — the seed IS the bug report.
+//
+// Usage:
+//
+//	adpmsim -seed 42 [-steps 300] [-fsync always|interval|never]
+//	        [-shards 2] [-script '{"sync_fails":[{"op":"rotate","nth":3,"at":1}]}']
+//	        [-trace out.jsonl] [-v]
+//	adpmsim -seeds 0..500 [-steps 300] [-fsync interval]   # sweep
+//	adpmsim -check [-check-epochs 4] [-check-len 3] [-fsync always]
+//
+// Modes:
+//
+//   - -seed N: one simulation; prints the result summary (and the
+//     trace with -trace/-v). Exit 2 on invariant violations.
+//   - -seeds N..M: sweep the inclusive seed range; on the first
+//     violating seed, print the seed, its fault script, and the
+//     violations, then exit 2. This is the CI gate: the printed seed
+//     reproduces the failure exactly.
+//   - -check: exhaustive explicit-state model checking of the small
+//     configuration (2 shards, 3 sessions, 4 keyed ops, crash at every
+//     WAL record boundary). Exit 2 on violations with the action trace.
+//
+// Exit status: 0 clean, 1 operational error, 2 violation found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/sim/check"
+	"repro/internal/wal"
+)
+
+func main() {
+	seed := flag.Int64("seed", -1, "run one simulation with this seed")
+	seeds := flag.String("seeds", "", "sweep an inclusive seed range N..M")
+	steps := flag.Int("steps", sim.DefaultSteps, "workload actions per run")
+	shards := flag.Int("shards", 2, "server shard count")
+	fsync := flag.String("fsync", "always", "WAL durability policy: always, interval, never")
+	script := flag.String("script", "", "JSON fault script (overrides the seed-derived one)")
+	traceOut := flag.String("trace", "", "write the run's JSONL trace to this file")
+	verbose := flag.Bool("v", false, "print the JSONL trace to stdout")
+	doCheck := flag.Bool("check", false, "run the explicit-state model checker instead of a simulation")
+	checkEpochs := flag.Int("check-epochs", 4, "model checker: DFS depth in crash epochs")
+	checkLen := flag.Int("check-len", 3, "model checker: max client actions between crash points")
+	checkSessions := flag.Int("check-sessions", 3, "model checker: max concurrent sessions (≤3)")
+	checkOps := flag.Int("check-ops", 4, "model checker: max keyed batches (≤4)")
+	flag.Parse()
+
+	policy, err := wal.ParsePolicy(*fsync)
+	if err != nil {
+		fail(err)
+	}
+
+	switch {
+	case *doCheck:
+		runCheck(policy, *shards, *checkSessions, *checkOps, *checkEpochs, *checkLen)
+	case *seeds != "":
+		lo, hi, err := parseRange(*seeds)
+		if err != nil {
+			fail(err)
+		}
+		runSweep(lo, hi, *steps, *shards, policy)
+	case *seed >= 0:
+		runOne(*seed, *steps, *shards, policy, *script, *traceOut, *verbose)
+	default:
+		fmt.Fprintln(os.Stderr, "adpmsim: one of -seed, -seeds, or -check is required")
+		flag.Usage()
+		os.Exit(1)
+	}
+}
+
+func runOne(seed int64, steps, shards int, policy wal.SyncPolicy, scriptJSON, traceOut string, verbose bool) {
+	cfg := sim.Config{Seed: seed, Steps: steps, Shards: shards, Policy: policy}
+	if scriptJSON != "" {
+		sc, err := sim.ParseScript([]byte(scriptJSON))
+		if err != nil {
+			fail(err)
+		}
+		cfg.Script = sc
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		fail(err)
+	}
+	if verbose {
+		os.Stdout.Write(res.Trace)
+	}
+	if traceOut != "" {
+		if err := os.WriteFile(traceOut, res.Trace, 0o644); err != nil {
+			fail(err)
+		}
+	}
+	printResult(res)
+	if len(res.Violations) > 0 {
+		os.Exit(2)
+	}
+}
+
+func runSweep(lo, hi int64, steps, shards int, policy wal.SyncPolicy) {
+	var acks, kills, cuts, faults int
+	for s := lo; s <= hi; s++ {
+		res, err := sim.Run(sim.Config{Seed: s, Steps: steps, Shards: shards, Policy: policy})
+		if err != nil {
+			fail(err)
+		}
+		acks += res.Acks
+		kills += res.Kills
+		cuts += res.Powercuts
+		faults += res.Faults
+		if len(res.Violations) > 0 {
+			fmt.Printf("FAIL seed=%d fsync=%s script=%s digest=%s\n", s, policy, res.Script, res.Digest)
+			for _, v := range res.Violations {
+				fmt.Printf("  violation: %s\n", v)
+			}
+			fmt.Printf("reproduce: adpmsim -seed %d -steps %d -shards %d -fsync %s\n", s, steps, shards, policy)
+			os.Exit(2)
+		}
+	}
+	fmt.Printf("ok: seeds %d..%d fsync=%s (%d acks, %d kills, %d powercuts, %d injected faults)\n",
+		lo, hi, policy, acks, kills, cuts, faults)
+}
+
+func runCheck(policy wal.SyncPolicy, shards, sessions, ops, epochs, length int) {
+	rep, err := check.Run(check.Config{
+		Shards:      shards,
+		MaxSessions: sessions,
+		MaxOps:      ops,
+		MaxEpochs:   epochs,
+		EpochLen:    length,
+		Policy:      policy,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if len(rep.Violations) > 0 {
+		fmt.Printf("FAIL: model checker found a violation (fsync=%s)\n", policy)
+		for _, v := range rep.Violations {
+			fmt.Printf("  violation: %s\n", v)
+		}
+		fmt.Println("  trace (one epoch per line, ending in its crash kind):")
+		for _, step := range rep.Trace {
+			fmt.Printf("    %s\n", step)
+		}
+		os.Exit(2)
+	}
+	fmt.Printf("ok: model checker explored %d states (%d transitions) under fsync=%s — no violations\n",
+		rep.States, rep.Transitions, policy)
+}
+
+func printResult(res *sim.Result) {
+	fmt.Printf("seed=%d fsync=%s steps=%d digest=%s script=%s\n",
+		res.Seed, res.Policy, res.Steps, res.Digest, res.Script)
+	fmt.Printf("  acks=%d replays=%d creates=%d deletes=%d parks=%d restores=%d\n",
+		res.Acks, res.Replays, res.Creates, res.Deletes, res.Parks, res.Restores)
+	fmt.Printf("  restarts=%d kills=%d powercuts=%d rotations=%d faults=%d rejects=%d\n",
+		res.Restarts, res.Kills, res.Powercuts, res.Rotations, res.Faults, res.Rejects)
+	for _, v := range res.Violations {
+		fmt.Printf("  violation: %s\n", v)
+	}
+}
+
+func parseRange(s string) (int64, int64, error) {
+	lo, hi, ok := strings.Cut(s, "..")
+	if !ok {
+		return 0, 0, fmt.Errorf("adpmsim: -seeds wants N..M, got %q", s)
+	}
+	l, err := strconv.ParseInt(lo, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("adpmsim: bad range start %q", lo)
+	}
+	h, err := strconv.ParseInt(hi, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("adpmsim: bad range end %q", hi)
+	}
+	if l < 0 || h < l {
+		return 0, 0, fmt.Errorf("adpmsim: bad range %d..%d", l, h)
+	}
+	return l, h, nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "adpmsim: %v\n", err)
+	os.Exit(1)
+}

@@ -19,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 )
 
 // File is a writable log file handle.
@@ -119,9 +120,14 @@ func WriteFile(fsys FS, name string, data []byte, perm fs.FileMode) error {
 // script "the Nth write short-writes k bytes" or "the Nth sync fails"
 // deterministically. A nil hook means the operation passes through.
 //
-// Fault is not safe for concurrent use across shards — give each shard
-// its own instance (the server uses one FS for all shards, but every
-// chaos test runs a single shard).
+// Fault is safe for concurrent use: counters, the MarkOp label, and
+// hook invocations are serialized under an internal lock (the server
+// shares one FS across all shards). Hooks run while the lock is held —
+// they must not call back into the same Fault. Note that concurrent
+// callers still interleave the global and op-relative ordinals
+// nondeterministically; deterministic fault scripting additionally
+// requires a scheduler that runs one disk operation at a time, which
+// is what internal/sim's synchronous driver provides.
 type Fault struct {
 	// Inner is the wrapped filesystem; nil means OS{}.
 	Inner FS
@@ -140,8 +146,61 @@ type Fault struct {
 	// OnDirOp, when non-nil, is consulted before Remove ("remove"),
 	// MkdirAll ("mkdir"), and SyncDir ("syncdir").
 	OnDirOp func(op, name string) error
+	// OnOpSync, when non-nil, is consulted before every sync — file
+	// Sync and SyncDir alike — with the current operation label (set by
+	// MarkOp) and the 1-based ordinal of this sync *within* that
+	// operation. Global sync ordinals (OnSync) are brittle against
+	// unrelated syncs being added upstream; op-relative ordinals let a
+	// test say "the 2nd sync of a rotation" and mean it. A non-nil
+	// return suppresses the real sync and is returned.
+	OnOpSync func(op string, nth int, name string) error
+	// DropWrite, when non-nil, is consulted before every file write
+	// with the global write index and payload. Returning true reports
+	// the write as fully successful while discarding the bytes — a
+	// lying disk. This exists for the model-checker self-test: dropping
+	// a WAL append (selected by content) while the server acks the
+	// batch is precisely the ack-before-append bug the checker must be
+	// able to catch.
+	DropWrite func(n int, name string, b []byte) bool
 
+	mu                    sync.Mutex
 	writes, syncs, truncs int
+	op                    string
+	opSyncs               int
+}
+
+// MarkOp labels the operation in progress ("append", "rotate", "sync",
+// "open") and resets the within-operation sync counter consulted by
+// OnOpSync.
+func (f *Fault) MarkOp(op string) {
+	f.mu.Lock()
+	f.op = op
+	f.opSyncs = 0
+	f.mu.Unlock()
+}
+
+// Mark calls MarkOp if fsys is fault-wrapped; otherwise it is a no-op.
+// Instrumented code (the WAL) calls it unconditionally.
+func Mark(fsys FS, op string) {
+	if f, ok := fsys.(*Fault); ok {
+		f.MarkOp(op)
+	}
+}
+
+// opSync runs the OnOpSync hook for one sync (file or directory).
+func (f *Fault) opSync(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.opSyncLocked(name)
+}
+
+// opSyncLocked is opSync with f.mu already held.
+func (f *Fault) opSyncLocked(name string) error {
+	if f.OnOpSync == nil {
+		return nil
+	}
+	f.opSyncs++
+	return f.OnOpSync(f.op, f.opSyncs, name)
 }
 
 // ErrInjected is the default error reported by injected failures.
@@ -197,12 +256,15 @@ func (f *Fault) Remove(name string) error {
 	return f.inner().Remove(name)
 }
 
-// SyncDir applies OnDirOp then passes through.
+// SyncDir applies OnDirOp and OnOpSync then passes through.
 func (f *Fault) SyncDir(dir string) error {
 	if f.OnDirOp != nil {
 		if err := f.OnDirOp("syncdir", dir); err != nil {
 			return err
 		}
+	}
+	if err := f.opSync(dir); err != nil {
+		return err
 	}
 	return f.inner().SyncDir(dir)
 }
@@ -215,9 +277,17 @@ type faultFile struct {
 }
 
 func (ff *faultFile) Write(b []byte) (int, error) {
-	ff.fs.writes++
-	if ff.fs.OnWrite != nil {
-		allow, err := ff.fs.OnWrite(ff.fs.writes, ff.name, b)
+	f := ff.fs
+	f.mu.Lock()
+	f.writes++
+	n := f.writes
+	if f.DropWrite != nil && f.DropWrite(n, ff.name, b) {
+		f.mu.Unlock()
+		return len(b), nil
+	}
+	if f.OnWrite != nil {
+		allow, err := f.OnWrite(n, ff.name, b)
+		f.mu.Unlock()
 		if allow < len(b) || err != nil {
 			if allow < 0 {
 				allow = 0
@@ -240,27 +310,41 @@ func (ff *faultFile) Write(b []byte) (int, error) {
 			}
 			return n, err
 		}
+	} else {
+		f.mu.Unlock()
 	}
 	return ff.inner.Write(b)
 }
 
 func (ff *faultFile) Sync() error {
-	ff.fs.syncs++
-	if ff.fs.OnSync != nil {
-		if err := ff.fs.OnSync(ff.fs.syncs, ff.name); err != nil {
+	f := ff.fs
+	f.mu.Lock()
+	f.syncs++
+	if f.OnSync != nil {
+		if err := f.OnSync(f.syncs, ff.name); err != nil {
+			f.mu.Unlock()
 			return err
 		}
 	}
+	if err := f.opSyncLocked(ff.name); err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	f.mu.Unlock()
 	return ff.inner.Sync()
 }
 
 func (ff *faultFile) Truncate(size int64) error {
-	ff.fs.truncs++
-	if ff.fs.OnTruncate != nil {
-		if err := ff.fs.OnTruncate(ff.fs.truncs, ff.name); err != nil {
+	f := ff.fs
+	f.mu.Lock()
+	f.truncs++
+	if f.OnTruncate != nil {
+		if err := f.OnTruncate(f.truncs, ff.name); err != nil {
+			f.mu.Unlock()
 			return err
 		}
 	}
+	f.mu.Unlock()
 	return ff.inner.Truncate(size)
 }
 

@@ -1,6 +1,7 @@
 package notify
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -147,10 +148,7 @@ func (h *Hub) Subscribe(f Filter, policy DropPolicy, queueCap int) *Sub {
 // number of queues the event entered.
 func (h *Hub) Publish(ev SeqEvent) int {
 	h.mu.Lock()
-	subs := make([]*Sub, 0, len(h.subs))
-	for _, s := range h.subs {
-		subs = append(subs, s)
-	}
+	subs := h.snapshotLocked()
 	h.mu.Unlock()
 	if h.stats != nil {
 		h.stats.Published.Add(1)
@@ -174,10 +172,7 @@ func (h *Hub) Close() {
 		return
 	}
 	h.closed = true
-	subs := make([]*Sub, 0, len(h.subs))
-	for _, s := range h.subs {
-		subs = append(subs, s)
-	}
+	subs := h.snapshotLocked()
 	h.subs = map[uint64]*Sub{}
 	h.mu.Unlock()
 	for _, s := range subs {
@@ -186,6 +181,20 @@ func (h *Hub) Close() {
 	if h.stats != nil {
 		h.stats.Subscribers.Add(int64(-len(subs)))
 	}
+}
+
+// snapshotLocked copies the subscriber set in ascending subscription
+// order. Map iteration order would do for correctness, but delivery —
+// and therefore which subscriber's full queue drops which event — must
+// not depend on it: the deterministic simulation replays byte for byte
+// only if fan-out order is a function of state, not of map hashing.
+func (h *Hub) snapshotLocked() []*Sub {
+	subs := make([]*Sub, 0, len(h.subs))
+	for _, s := range h.subs {
+		subs = append(subs, s)
+	}
+	sort.Slice(subs, func(i, j int) bool { return subs[i].id < subs[j].id })
+	return subs
 }
 
 // offer enqueues ev if the filter accepts it, applying the drop policy

@@ -365,3 +365,66 @@ func TestChaosFsyncFailureAtEverySync(t *testing.T) {
 		})
 	}
 }
+
+// TestChaosRotationTailFsyncFailure fails the rotation tail — the
+// directory sync that makes old-segment removal durable (the 3rd sync
+// of every rotation, addressed by op-relative ordinal). The rotation
+// proper has already succeeded by then (snapshot segment written,
+// synced, and linked), so the server must swallow the error and keep
+// serving with a healthy WAL. The sting is in the power cut that
+// follows: the un-durable removals resurrect the old segments, and
+// recovery must fold the stale bytes under the newer snapshot instead
+// of replaying them over it.
+func TestChaosRotationTailFsyncFailure(t *testing.T) {
+	mem := faultfs.NewMemFS()
+	var tailFails atomic.Int64
+	fsys := &faultfs.Fault{Inner: mem, OnOpSync: func(op string, nth int, name string) error {
+		if op == "rotate" && nth == 3 {
+			tailFails.Add(1)
+			return faultfs.ErrInjected
+		}
+		return nil
+	}}
+	s, err := Open(Options{Shards: 1, DataDir: "data", FS: fsys, SegmentBytes: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.CreateSession(CreateSpec{Name: "simplified", Mode: dpm.ADPM, MaxOps: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		applyKeyed(t, s, c.ID, fmt.Sprintf("k%d", i), []dpm.Operation{
+			{Kind: dpm.OpVerification, Problem: "AmpDesign", Designer: "test"},
+		})
+	}
+	if tailFails.Load() == 0 {
+		t.Fatal("600-byte segments never drove a rotation into its tail sync")
+	}
+	if s.Stats().Shards[0].WALBroken {
+		t.Fatal("rotation-tail fsync failure broke the WAL; it is retryable, not fatal")
+	}
+	// The shard keeps accepting work after the swallowed failure.
+	applyKeyed(t, s, c.ID, "after-tail", []dpm.Operation{synth("AmpDesign", "Width", 3)})
+	want := stateJSON(t, s, c.ID)
+	s.Kill()
+
+	// Power cut: everything not fsynced is gone — including the segment
+	// removals, which come back from the dead.
+	mem.Crash()
+	s2, err := Open(Options{Shards: 1, DataDir: "data", FS: mem})
+	if err != nil {
+		t.Fatalf("recovery with resurrected segments: %v", err)
+	}
+	defer s2.Drain()
+	if got := stateJSON(t, s2, c.ID); !bytes.Equal(got, want) {
+		t.Errorf("recovery over resurrected pre-rotation segments lost acked state:\n want: %s\n got:  %s", want, got)
+	}
+	// Idempotency survives too: the newest keyed batch replays from cache.
+	_, replayed, err := s2.ApplyKeyed(c.ID, "k11", []dpm.Operation{
+		{Kind: dpm.OpVerification, Problem: "AmpDesign", Designer: "test"},
+	})
+	if err != nil || !replayed {
+		t.Errorf("keyed replay after tail failure + powercut: replayed=%v err=%v", replayed, err)
+	}
+}

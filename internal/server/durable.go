@@ -174,10 +174,14 @@ func decodeOpsWire(raw json.RawMessage) ([]dpm.Operation, error) {
 }
 
 // openShardWAL opens shard i's log, folds its records into parked
-// sessions, and returns the highest recovered sequence number. Called
-// from Open before the shard loop starts, so it may touch loop state
-// directly.
-func (sh *shard) openShardWAL(dataDir string, policy wal.SyncPolicy, segBytes int64, fsys faultfs.FS) (uint64, error) {
+// sessions, and returns the highest sequence number mentioned anywhere
+// in the log (with ok reporting whether any was). The high-water scans
+// every id the log ever saw, not just survivors: a deleted session's
+// records are gone from the fold but its id must never be re-issued,
+// or idempotency keys and Last-Event-ID positions scoped to the old
+// incarnation would apply to the new one. Called from Open before the
+// shard loop starts, so it may touch loop state directly.
+func (sh *shard) openShardWAL(dataDir string, policy wal.SyncPolicy, segBytes int64, fsys faultfs.FS) (uint64, bool, error) {
 	lg, info, err := wal.Open(wal.Options{
 		Dir:          shardDir(dataDir, sh.idx),
 		FS:           fsys,
@@ -185,11 +189,30 @@ func (sh *shard) openShardWAL(dataDir string, policy wal.SyncPolicy, segBytes in
 		SegmentBytes: segBytes,
 	})
 	if err != nil {
-		return 0, fmt.Errorf("%w: shard %d: %v", ErrStorage, sh.idx, err)
+		return 0, false, fmt.Errorf("%w: shard %d: %v", ErrStorage, sh.idx, err)
 	}
 	sh.wal = lg
 	sh.segBase = lg.SegmentSize()
 	var maxSeq uint64
+	haveSeq := false
+	for id := range info.AllSessions {
+		if seq, ok := seqFromID(id); ok {
+			haveSeq = true
+			if seq > maxSeq {
+				maxSeq = seq
+			}
+		}
+	}
+	// Snapshot-recorded high-water: compaction deletes the segments that
+	// mentioned dead ids, so AllSessions alone forgets a deleted
+	// session once a rotation subsumes its records. The snapshot's
+	// NextSeq is the counter value itself (next id to issue).
+	if info.NextSeq > 0 {
+		haveSeq = true
+		if info.NextSeq-1 > maxSeq {
+			maxSeq = info.NextSeq - 1
+		}
+	}
 	now := sh.now()
 	for id, img := range info.Sessions {
 		scn, rerr := resolveImageScenario(img)
@@ -203,9 +226,6 @@ func (sh *shard) openShardWAL(dataDir string, policy wal.SyncPolicy, segBytes in
 			sum:      SessionSummary{ID: id, Scenario: label, Mode: img.Mode, Evicted: true},
 			lastUsed: now,
 		}
-		if seq, ok := seqFromID(id); ok && seq > maxSeq {
-			maxSeq = seq
-		}
 	}
 	sh.nParked.Store(int64(len(sh.parked)))
 	if sh.rec.Enabled() {
@@ -217,7 +237,7 @@ func (sh *shard) openShardWAL(dataDir string, policy wal.SyncPolicy, segBytes in
 			TornBytes: info.TornBytes,
 		})
 	}
-	return maxSeq, nil
+	return maxSeq, haveSeq, nil
 }
 
 // appendWAL logs one record, updating the gauges and trace; a nil
@@ -255,7 +275,7 @@ func (sh *shard) maybeRotate() {
 	if size := sh.wal.SegmentSize(); size < sh.wal.SegmentLimit() || size < 2*sh.segBase {
 		return
 	}
-	snap := &wal.Record{Type: wal.TypeSnapshot}
+	snap := &wal.Record{Type: wal.TypeSnapshot, NextSeq: sh.seqNow()}
 	ids := make([]string, 0, len(sh.sessions)+len(sh.parked))
 	for id := range sh.sessions {
 		ids = append(ids, id)

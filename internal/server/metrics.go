@@ -90,12 +90,12 @@ func (s *Server) instrument(label string, h http.HandlerFunc) http.HandlerFunc {
 	er := s.lat.byLabel[label]
 	return func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
-		start := time.Now()
+		start := s.opts.nowFn()
 		h(sw, r)
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
-		er.record(sw.status, time.Since(start))
+		er.record(sw.status, s.opts.nowFn().Sub(start))
 	}
 }
 

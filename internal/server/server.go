@@ -36,6 +36,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/teamsim"
 	"repro/internal/trace"
+	"repro/internal/vclock"
 	"repro/internal/wal"
 )
 
@@ -122,7 +123,15 @@ type Options struct {
 	// pre-cap behavior).
 	IdemCap int
 
-	// nowFn overrides the clock (tests); nil means time.Now.
+	// Clock supplies every time reading and ticker in the serving stack
+	// (idle sweeps, group-commit syncs, SSE heartbeats, latency
+	// accounting); nil means the real clock. The deterministic
+	// simulation injects a vclock.Manual here — whose tickers are inert,
+	// so the harness drives timer work explicitly via Sweep and
+	// SyncWALs.
+	Clock vclock.Clock
+
+	// nowFn overrides just the now-reading (tests); nil means Clock.Now.
 	nowFn func() time.Time
 }
 
@@ -233,12 +242,16 @@ type shard struct {
 	idx  int
 	opts *Options
 	rec  *trace.Recorder
+	// seqNow reads the server's session-sequence counter; rotation
+	// snapshots record it so the id high-water survives compaction.
+	seqNow func() uint64
 
 	mu      sync.Mutex
 	closed  bool
 	mailbox chan task
 	quit    chan struct{}
 	done    chan struct{}
+	killed  atomic.Bool
 
 	// Loop-goroutine state.
 	sessions       map[string]*hostedSession
@@ -311,8 +324,11 @@ func Open(opts Options) (*Server, error) {
 	if opts.FS == nil {
 		opts.FS = faultfs.OS{}
 	}
+	if opts.Clock == nil {
+		opts.Clock = vclock.System{}
+	}
 	if opts.nowFn == nil {
-		opts.nowFn = time.Now
+		opts.nowFn = opts.Clock.Now
 	}
 	if opts.Heartbeat <= 0 {
 		opts.Heartbeat = DefaultHeartbeat
@@ -335,6 +351,7 @@ func Open(opts Options) (*Server, error) {
 			idx:      i,
 			opts:     &s.opts,
 			rec:      rec,
+			seqNow:   s.seq.Load,
 			mailbox:  make(chan task, opts.MailboxSize),
 			quit:     make(chan struct{}),
 			done:     make(chan struct{}),
@@ -342,7 +359,7 @@ func Open(opts Options) (*Server, error) {
 			parked:   map[string]*parkedSession{},
 		}
 		if durable {
-			seq, err := sh.openShardWAL(opts.DataDir, opts.Fsync, opts.SegmentBytes, opts.FS)
+			seq, ok, err := sh.openShardWAL(opts.DataDir, opts.Fsync, opts.SegmentBytes, opts.FS)
 			if err != nil {
 				for _, prev := range s.shards {
 					if prev.wal != nil {
@@ -351,7 +368,7 @@ func Open(opts Options) (*Server, error) {
 				}
 				return nil, err
 			}
-			if len(sh.parked) > 0 {
+			if ok {
 				haveSeq = true
 				if seq > maxSeq {
 					maxSeq = seq
@@ -434,17 +451,17 @@ func (sh *shard) submit(fn func()) error {
 func (sh *shard) loop() {
 	var sweepC <-chan time.Time
 	if sh.opts.IdleTimeout > 0 {
-		tick := time.NewTicker(sh.opts.SweepEvery)
+		tick := sh.opts.Clock.NewTicker(sh.opts.SweepEvery)
 		defer tick.Stop()
-		sweepC = tick.C
+		sweepC = tick.C()
 	}
 	var syncC <-chan time.Time
 	if sh.wal != nil && sh.opts.Fsync == wal.SyncInterval {
 		// Group commit: acknowledged appends become durable at this
 		// cadence (the SyncInterval trade-off).
-		tick := time.NewTicker(sh.opts.SyncEvery)
+		tick := sh.opts.Clock.NewTicker(sh.opts.SyncEvery)
 		defer tick.Stop()
-		syncC = tick.C
+		syncC = tick.C()
 	}
 	for {
 		select {
@@ -464,7 +481,16 @@ func (sh *shard) loop() {
 					t.fn()
 					close(t.done)
 				default:
-					sh.finalize()
+					if sh.killed.Load() {
+						// Crash semantics: no final flush, fold, or WAL
+						// close — the log keeps only the durability it
+						// already earned.
+						if sh.wal != nil {
+							sh.wal.Abandon()
+						}
+					} else {
+						sh.finalize()
+					}
 					close(sh.done)
 					return
 				}
@@ -922,6 +948,60 @@ func (s *Server) Sweep() int {
 	return total
 }
 
+// SyncWALs runs the WAL group commit on every durable shard now — the
+// work the SyncInterval ticker does on a wall clock, exposed so a
+// simulation driving a virtual clock can fire it as an explicit event.
+// Returns the first sync failure (the shard's log is then broken).
+func (s *Server) SyncWALs() error {
+	var first error
+	for _, sh := range s.shards {
+		if sh.wal == nil {
+			continue
+		}
+		err := sh.submit(func() {
+			if serr := sh.wal.Sync(); serr != nil {
+				sh.walBroken.Store(true)
+				if first == nil {
+					first = serr
+				}
+			}
+		})
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Kill stops the server the way a crash would: intake stops and tasks
+// already accepted still execute (their submitters are blocked on
+// them), but there is no final WAL flush, no summary fold, and no
+// clean close — each shard's log is abandoned with exactly the
+// durability it already earned. What a reopened server recovers is
+// then a pure function of the fsync policy, which is the point: the
+// simulation uses Kill (plus faultfs crash semantics) to probe the
+// durability contract rather than the shutdown path. Kill and Drain
+// are mutually exclusive; whichever runs first wins.
+func (s *Server) Kill() {
+	s.drainOnce.Do(func() {
+		s.StopSubscribers()
+		s.draining.Store(true)
+		// Shards die one at a time, in index order: the shutdown path of
+		// shard i+1 must not interleave with shard i's, or runs sharing a
+		// fault-injecting FS lose their deterministic operation order.
+		for _, sh := range s.shards {
+			sh.killed.Store(true)
+			sh.mu.Lock()
+			if !sh.closed {
+				sh.closed = true
+				close(sh.quit)
+			}
+			sh.mu.Unlock()
+			<-sh.done
+		}
+	})
+}
+
 // Draining reports whether Drain has been initiated.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
@@ -942,16 +1022,17 @@ func (s *Server) Drain() []ShardSummary {
 	s.drainOnce.Do(func() {
 		s.StopSubscribers()
 		s.draining.Store(true)
-		for _, sh := range s.shards {
+		// Sequential, in index order, for the same reason as Kill: shard
+		// finalization fsyncs against a shared FS must land in a
+		// deterministic order for the simulation's byte-replayability.
+		out := make([]ShardSummary, len(s.shards))
+		for i, sh := range s.shards {
 			sh.mu.Lock()
 			if !sh.closed {
 				sh.closed = true
 				close(sh.quit)
 			}
 			sh.mu.Unlock()
-		}
-		out := make([]ShardSummary, len(s.shards))
-		for i, sh := range s.shards {
 			<-sh.done
 			out[i] = sh.summary
 		}

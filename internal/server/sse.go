@@ -215,7 +215,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
 
-	hb := time.NewTicker(s.opts.Heartbeat)
+	hb := s.opts.Clock.NewTicker(s.opts.Heartbeat)
 	defer hb.Stop()
 	var buf bytes.Buffer
 	flush := func() bool {
@@ -246,7 +246,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			if !flush() {
 				return
 			}
-		case <-hb.C:
+		case <-hb.C():
 			if _, err := fmt.Fprint(w, ": hb\n\n"); err != nil {
 				return
 			}

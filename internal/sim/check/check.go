@@ -1,0 +1,388 @@
+// Package check is an explicit-state model checker for the session
+// lifecycle and durability protocol of internal/server. It explores,
+// exhaustively for a small configuration (≤2 shards, ≤3 sessions, ≤4
+// keyed operation batches), every interleaving of client actions with
+// crash points at every WAL record boundary, and asserts the protocol's
+// core invariants on every reachable state.
+//
+// The state graph is built around a key property of the stack: a
+// server process is a deterministic function of its filesystem image
+// and the client actions applied since it opened. A checker state is
+// therefore (filesystem image, client model) — no server memory needs
+// snapshotting — and a transition is one *epoch*: open the real server
+// on the image, apply a short sequence of client actions (create,
+// apply-keyed-batch, delete, park-and-restore, explicit group commit),
+// then end the process by one of drain (graceful), kill (process
+// crash: the page cache survives), or powercut (machine crash: only
+// fsynced bytes survive). Because every client action appends at most
+// one WAL record and the sync action is explicit, terminating each
+// epoch after every action prefix crashes the system at every record
+// boundary, in both synced and unsynced variants.
+//
+// States are deduplicated by hash — SHA-256 over the filesystem
+// fingerprint (volatile and durable views, see faultfs.MemFS) and the
+// canonically encoded client model — and explored by DFS to a bounded
+// number of epochs.
+//
+// Invariants, checked at every recovery and during every epoch:
+//
+//  1. Exactly-once acknowledgements: retrying an acked idempotency key
+//     replays the byte-identical acknowledgement, never a double
+//     apply.
+//  2. No acked operation is lost: after drain or kill every acked
+//     batch must be recovered; after a powercut every batch acked
+//     under SyncAlways — or group-committed under SyncInterval — must
+//     be recovered, and any loss of the unsynced suffix must be
+//     prefix-closed per session.
+//  3. Byte-identical state: park→restore and crash→recover reproduce
+//     the session state (and, once lost batches are re-applied, the
+//     full event log) byte for byte.
+//  4. Last-Event-ID resume monotonicity: the event log ids are the
+//     strictly sequential positions 1..n and the log is append-only
+//     across park, restore, and recovery.
+//  5. Deleted sessions stay deleted under the same durability contract
+//     as any other acknowledged record.
+package check
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/domain"
+	"repro/internal/dpm"
+	"repro/internal/faultfs"
+	"repro/internal/wal"
+)
+
+// Bug selects a seeded defect for checker self-tests: the checker must
+// find the violation the bug introduces, or it is not checking.
+type Bug int
+
+const (
+	// BugNone checks the real protocol.
+	BugNone Bug = iota
+	// BugAckBeforeAppend makes the storage layer silently drop WAL
+	// ops-record appends (a lying disk): the server acknowledges
+	// batches that were never logged. The checker must report the
+	// resulting lost-acked-operation violation after a powercut.
+	BugAckBeforeAppend
+)
+
+// Config bounds the explored configuration.
+type Config struct {
+	// Shards is the server shard count (1 or 2).
+	Shards int
+	// MaxSessions bounds concurrently live sessions (≤3).
+	MaxSessions int
+	// MaxOps bounds keyed operation batches per run (≤4).
+	MaxOps int
+	// MaxEpochs is the DFS depth in crash epochs.
+	MaxEpochs int
+	// EpochLen is the max client actions per epoch.
+	EpochLen int
+	// Policy is the WAL sync discipline under test.
+	Policy wal.SyncPolicy
+	// Bug injects a seeded defect (self-tests).
+	Bug Bug
+	// MaxStates aborts runaway explorations; 0 means no cap.
+	MaxStates int
+}
+
+// Report is one exploration's outcome.
+type Report struct {
+	// States is the number of distinct states visited.
+	States int
+	// Transitions is the number of epochs executed.
+	Transitions int
+	// Violations holds one entry per distinct violating trace found
+	// (exploration stops at the first by default — a violation makes
+	// every deeper state suspect).
+	Violations []string
+	// Trace is the action path to the first violation, outermost epoch
+	// first; empty when no violation was found.
+	Trace []string
+}
+
+// opVocab is the fixed operation vocabulary: MaxOps batches are applied
+// in this global order, so the state space stays finite and state
+// hashes are comparable across interleavings.
+var opVocab = []dpm.Operation{
+	{Kind: dpm.OpSynthesis, Problem: "AmpDesign", Designer: "chk",
+		Assignments: []dpm.Assignment{{Prop: "Width", Value: domain.Real(2)}}},
+	{Kind: dpm.OpSynthesis, Problem: "AmpDesign", Designer: "chk",
+		Assignments: []dpm.Assignment{{Prop: "Ind", Value: domain.Real(1)}}},
+	{Kind: dpm.OpSynthesis, Problem: "FilterPart", Designer: "chk",
+		Assignments: []dpm.Assignment{{Prop: "Beam_len", Value: domain.Real(12)}}},
+	{Kind: dpm.OpSynthesis, Problem: "AmpDesign", Designer: "chk",
+		Assignments: []dpm.Assignment{{Prop: "Bias", Value: domain.Real(4)}}},
+}
+
+// batch is one acked keyed batch in the model.
+type batch struct {
+	key    string
+	opIdx  int
+	ack    []byte
+	synced bool // reached durable storage (fsynced)
+}
+
+// msession is the model of one session.
+type msession struct {
+	id           string
+	createSynced bool
+	batches      []*batch
+	state        []byte
+	events       []string
+	// deleted is set when the client deleted the session; deleteSynced
+	// when the tombstone reached durable storage.
+	deleted      bool
+	deleteSynced bool
+	// gone marks a session legally lost (unsynced create taken by a
+	// power cut) or whose id was legally recycled; it is no longer
+	// checked.
+	gone bool
+}
+
+// model is the client-side protocol model: the oracle.
+type model struct {
+	sessions []*msession // creation order
+	opNext   int         // next opVocab index to apply
+}
+
+func (m *model) clone() *model {
+	cp := &model{opNext: m.opNext}
+	for _, s := range m.sessions {
+		ns := *s
+		ns.batches = make([]*batch, len(s.batches))
+		for i, b := range s.batches {
+			nb := *b
+			ns.batches[i] = &nb
+		}
+		ns.events = append([]string(nil), s.events...)
+		cp.sessions = append(cp.sessions, &ns)
+	}
+	return cp
+}
+
+func (m *model) live() []*msession {
+	var out []*msession
+	for _, s := range m.sessions {
+		if !s.deleted && !s.gone {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// hash canonically encodes the model.
+func (m *model) hash() [sha256.Size]byte {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(m.opNext))
+	h.Write(buf[:])
+	for _, s := range m.sessions {
+		fmt.Fprintf(h, "|s:%s:%t:%t:%t:%t", s.id, s.createSynced, s.deleted, s.deleteSynced, s.gone)
+		h.Write(s.state)
+		for _, e := range s.events {
+			fmt.Fprintf(h, "|e:%s", e)
+		}
+		for _, b := range s.batches {
+			fmt.Fprintf(h, "|b:%s:%d:%t:", b.key, b.opIdx, b.synced)
+			h.Write(b.ack)
+		}
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// node is one DFS state.
+type node struct {
+	fs    *faultfs.MemFS
+	model *model
+	depth int
+	path  []string
+}
+
+// checker drives one exploration.
+type checker struct {
+	cfg     Config
+	visited map[[sha256.Size]byte]bool
+	rep     *Report
+	err     error
+}
+
+// Run explores the state space exhaustively and reports violations.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 2
+	}
+	if cfg.MaxSessions <= 0 || cfg.MaxSessions > 3 {
+		cfg.MaxSessions = 3
+	}
+	if cfg.MaxOps <= 0 || cfg.MaxOps > len(opVocab) {
+		cfg.MaxOps = len(opVocab)
+	}
+	if cfg.MaxEpochs <= 0 {
+		cfg.MaxEpochs = 4
+	}
+	if cfg.EpochLen <= 0 {
+		cfg.EpochLen = 2
+	}
+	c := &checker{
+		cfg:     cfg,
+		visited: map[[sha256.Size]byte]bool{},
+		rep:     &Report{},
+	}
+	root := &node{fs: faultfs.NewMemFS(), model: &model{}}
+	c.visit(root)
+	c.dfs(root)
+	return c.rep, c.err
+}
+
+func (c *checker) stop() bool {
+	return c.err != nil || len(c.rep.Violations) > 0 ||
+		(c.cfg.MaxStates > 0 && c.rep.States >= c.cfg.MaxStates)
+}
+
+// visit marks a node's state hash; reports whether it was new.
+func (c *checker) visit(n *node) bool {
+	h := sha256.New()
+	fp := n.fs.Fingerprint()
+	h.Write(fp[:])
+	mh := n.model.hash()
+	h.Write(mh[:])
+	var key [sha256.Size]byte
+	h.Sum(key[:0])
+	if c.visited[key] {
+		return false
+	}
+	c.visited[key] = true
+	c.rep.States++
+	return true
+}
+
+// dfs expands one node: for every action sequence of length ≤ EpochLen
+// and every terminator, execute an epoch on a copy of the state and
+// recurse on the successor.
+func (c *checker) dfs(n *node) {
+	if c.stop() {
+		return
+	}
+	if n.depth >= c.cfg.MaxEpochs {
+		// Leaf state: its recovery still needs verifying — run one
+		// action-free epoch purely for the recovery checks.
+		c.epoch(n, nil, "drain")
+		return
+	}
+	for _, seq := range c.actionSeqs(n.model) {
+		for _, term := range []string{"drain", "kill", "powercut"} {
+			if c.stop() {
+				return
+			}
+			succ := c.epoch(n, seq, term)
+			if succ == nil {
+				continue
+			}
+			if c.visit(succ) {
+				c.dfs(succ)
+			}
+		}
+	}
+}
+
+// action is one client step inside an epoch.
+type action struct {
+	kind string // "create", "apply", "delete", "park", "sync"
+	sess int    // model session index for apply/delete
+}
+
+func (a action) String() string {
+	if a.kind == "apply" || a.kind == "delete" {
+		return fmt.Sprintf("%s(%d)", a.kind, a.sess)
+	}
+	return a.kind
+}
+
+// actionSeqs enumerates all action sequences of length 0..EpochLen
+// valid from the given model state (validity of later steps depends on
+// earlier ones; enumeration simulates the model cheaply).
+func (c *checker) actionSeqs(m *model) [][]action {
+	var out [][]action
+	var rec func(prefix []action, m *model)
+	rec = func(prefix []action, m *model) {
+		out = append(out, append([]action(nil), prefix...))
+		if len(prefix) >= c.cfg.EpochLen {
+			return
+		}
+		var opts []action
+		if len(m.live()) < c.cfg.MaxSessions {
+			opts = append(opts, action{kind: "create"})
+		}
+		for i, s := range m.sessions {
+			if s.deleted || s.gone {
+				continue
+			}
+			if m.opNext < c.cfg.MaxOps {
+				opts = append(opts, action{kind: "apply", sess: i})
+			}
+			opts = append(opts, action{kind: "delete", sess: i})
+		}
+		if len(m.live()) > 0 {
+			opts = append(opts, action{kind: "park"})
+		}
+		if c.cfg.Policy != wal.SyncAlways {
+			opts = append(opts, action{kind: "sync"})
+		}
+		for _, a := range opts {
+			nm := m.clone()
+			applyToModel(nm, a)
+			rec(append(prefix, a), nm)
+		}
+	}
+	rec(nil, m)
+	return out
+}
+
+// applyToModel advances the *shape* of the model for enumeration only
+// (ids, acks, and states are filled in during execution).
+func applyToModel(m *model, a action) {
+	switch a.kind {
+	case "create":
+		m.sessions = append(m.sessions, &msession{})
+	case "apply":
+		m.sessions[a.sess].batches = append(m.sessions[a.sess].batches, &batch{opIdx: m.opNext})
+		m.opNext++
+	case "delete":
+		m.sessions[a.sess].deleted = true
+	}
+}
+
+// violate records the first violation with its action trace.
+func (c *checker) violate(n *node, seq []action, term, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	c.rep.Violations = append(c.rep.Violations, msg)
+	c.rep.Trace = append(append([]string(nil), n.path...), epochLabel(seq, term))
+}
+
+func epochLabel(seq []action, term string) string {
+	var b bytes.Buffer
+	for i, a := range seq {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(a.String())
+	}
+	if b.Len() > 0 {
+		b.WriteByte(' ')
+	}
+	b.WriteString(term)
+	return b.String()
+}
+
+func shortHash(b []byte) string {
+	s := sha256.Sum256(b)
+	return hex.EncodeToString(s[:6])
+}

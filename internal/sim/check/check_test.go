@@ -1,0 +1,82 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+// TestExhaustiveSyncAlways: the full small configuration — 2 shards, 3
+// sessions, 4 keyed ops, crash/kill/drain after every action prefix —
+// explored exhaustively under SyncAlways must be violation-free.
+func TestExhaustiveSyncAlways(t *testing.T) {
+	rep, err := Run(Config{
+		Shards:      2,
+		MaxSessions: 3,
+		MaxOps:      4,
+		MaxEpochs:   4,
+		EpochLen:    3,
+		Policy:      wal.SyncAlways,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violation: %s\ntrace:\n  %s", rep.Violations[0], strings.Join(rep.Trace, "\n  "))
+	}
+	if rep.States < 50 {
+		t.Fatalf("only %d distinct states explored; the configuration should reach far more", rep.States)
+	}
+	t.Logf("states=%d transitions=%d", rep.States, rep.Transitions)
+}
+
+// TestExhaustiveSyncInterval: under group commit the checker also
+// explores the explicit sync action and the legal-loss recovery rules.
+func TestExhaustiveSyncInterval(t *testing.T) {
+	rep, err := Run(Config{
+		Shards:      1,
+		MaxSessions: 2,
+		MaxOps:      3,
+		MaxEpochs:   4,
+		EpochLen:    2,
+		Policy:      wal.SyncInterval,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violation: %s\ntrace:\n  %s", rep.Violations[0], strings.Join(rep.Trace, "\n  "))
+	}
+	t.Logf("states=%d transitions=%d", rep.States, rep.Transitions)
+}
+
+// TestCheckerCatchesAckBeforeAppend is the checker's own soundness
+// test: a seeded lying-disk bug (the server acknowledges batches whose
+// WAL append never landed) must produce a lost-acked-operation
+// violation, or the checker is not actually checking anything.
+func TestCheckerCatchesAckBeforeAppend(t *testing.T) {
+	rep, err := Run(Config{
+		Shards:      1,
+		MaxSessions: 2,
+		MaxOps:      2,
+		MaxEpochs:   2,
+		EpochLen:    2,
+		Policy:      wal.SyncAlways,
+		Bug:         BugAckBeforeAppend,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatal("checker explored the seeded ack-before-append bug without finding the lost-acked-op violation")
+	}
+	v := rep.Violations[0]
+	if !strings.Contains(v, "lost") {
+		t.Fatalf("violation found, but not the expected loss: %s", v)
+	}
+	if len(rep.Trace) == 0 {
+		t.Fatal("violation reported without an action trace")
+	}
+	t.Logf("caught: %s\ntrace:\n  %s", v, strings.Join(rep.Trace, "\n  "))
+}

@@ -1,0 +1,382 @@
+package check
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/dpm"
+	"repro/internal/faultfs"
+	"repro/internal/server"
+	"repro/internal/vclock"
+	"repro/internal/wal"
+)
+
+// epoch executes one transition: open the real server on a copy of the
+// node's filesystem image, verify recovery against the model, run the
+// action sequence with inline invariant checks, terminate the process,
+// and return the successor node. A nil return means the sequence was
+// infeasible from the post-recovery state (a target session turned out
+// lost) or a violation ended the exploration.
+func (c *checker) epoch(n *node, seq []action, term string) *node {
+	fs := n.fs.Clone()
+	m := n.model.clone()
+	var fsys faultfs.FS = fs
+	if c.cfg.Bug == BugAckBeforeAppend {
+		// The lying disk: WAL ops-record appends report success while
+		// the bytes never land. The server acks batches it never
+		// logged — the checker must catch the loss.
+		fsys = &faultfs.Fault{Inner: fs, DropWrite: func(_ int, name string, b []byte) bool {
+			return strings.Contains(name, "wal-") && bytes.Contains(b, []byte(`"type":"ops"`))
+		}}
+	}
+	clk := vclock.NewManual()
+	srv, err := server.Open(server.Options{
+		Shards:      c.cfg.Shards,
+		MailboxSize: 16,
+		MaxOps:      64,
+		IdleTimeout: time.Minute,
+		DataDir:     "data",
+		Fsync:       c.cfg.Policy,
+		FS:          fsys,
+		Clock:       clk,
+		IdemCap:     -1,
+	})
+	if err != nil {
+		c.err = fmt.Errorf("check: open: %w", err)
+		return nil
+	}
+	defer srv.Drain() // idempotent; the terminator usually got there first
+	c.rep.Transitions++
+
+	if !c.verifyRecovery(srv, m, n, seq, term) {
+		return nil
+	}
+	for _, a := range seq {
+		if !c.execute(srv, clk, m, a, n, seq, term) {
+			return nil
+		}
+	}
+
+	switch term {
+	case "drain":
+		srv.Drain()
+		// A graceful shutdown flushes and closes every shard log:
+		// everything appended so far is durable.
+		m.markAllSynced()
+	case "kill":
+		// Process crash: no flush, but the page cache (the volatile
+		// view) survives — nothing may be lost.
+		srv.Kill()
+	case "powercut":
+		srv.Kill()
+		fs.Crash()
+	}
+	return &node{
+		fs:    fs,
+		model: m,
+		depth: n.depth + 1,
+		path:  append(append([]string(nil), n.path...), epochLabel(seq, term)),
+	}
+}
+
+func (m *model) markAllSynced() {
+	for _, s := range m.sessions {
+		if s.gone {
+			continue
+		}
+		s.createSynced = true
+		if s.deleted {
+			s.deleteSynced = true
+		}
+		for _, b := range s.batches {
+			b.synced = true
+		}
+	}
+}
+
+// verifyRecovery checks the freshly opened server against the model:
+// deleted sessions stay deleted, surviving sessions hold every synced
+// batch (and any loss is prefix-closed), re-acked batches reproduce
+// byte-identical acknowledgements, and state and event log are
+// byte-identical once the history is settled. It mutates the model to
+// the post-recovery truth. Returns false when the exploration should
+// stop (violation recorded).
+func (c *checker) verifyRecovery(srv *server.Server, m *model, n *node, seq []action, term string) bool {
+	for _, s := range m.sessions {
+		if s.gone {
+			continue
+		}
+		_, serr := srv.State(s.id)
+		if s.deleted {
+			switch {
+			case errors.Is(serr, server.ErrUnknownSession):
+				// Tombstone holding — and durable now: wal.Open fsyncs the
+				// recovered tail, so recovery is a durability checkpoint.
+				s.createSynced = true
+				s.deleteSynced = true
+				continue
+			case serr == nil:
+				if s.deleteSynced {
+					c.violate(n, seq, term, "deleted session %s resurrected (tombstone was durable)", s.id)
+					return false
+				}
+				// The unsynced tombstone was legally lost: the session is
+				// live again with its logged history.
+				s.deleted = false
+			default:
+				c.violate(n, seq, term, "deleted session %s: unexpected error %v", s.id, serr)
+				return false
+			}
+		} else if errors.Is(serr, server.ErrUnknownSession) {
+			if s.createSynced {
+				c.violate(n, seq, term, "session %s lost (create record was durable)", s.id)
+				return false
+			}
+			s.gone = true
+			continue
+		} else if serr != nil {
+			c.violate(n, seq, term, "session %s: unexpected error %v", s.id, serr)
+			return false
+		}
+
+		// The session survived into this open; wal.Open fsynced the
+		// recovered tail, so its create record is durable from here on.
+		s.createSynced = true
+
+		// Retry every batch in order: replays mark survivors, fresh
+		// applies mark losses.
+		lost := false
+		for _, b := range s.batches {
+			resp, replayed, err := srv.ApplyKeyed(s.id, b.key, []dpm.Operation{opVocab[b.opIdx]})
+			if err != nil {
+				c.violate(n, seq, term, "recovery retry %s on %s: %v", b.key, s.id, err)
+				return false
+			}
+			ack := mustJSON(resp)
+			if replayed {
+				if lost {
+					c.violate(n, seq, term, "batch %s on %s survived after an earlier batch was lost (not prefix-closed)", b.key, s.id)
+					return false
+				}
+				if !bytes.Equal(ack, b.ack) {
+					c.violate(n, seq, term, "recovered ack for %s on %s differs (was %s, now %s)", b.key, s.id, shortHash(b.ack), shortHash(ack))
+					return false
+				}
+				b.synced = true // recovered → fsynced by the open
+			} else {
+				if b.synced {
+					c.violate(n, seq, term, "acked batch %s on %s lost although it was durable (ack-before-append?)", b.key, s.id)
+					return false
+				}
+				lost = true
+				b.ack = ack
+				b.synced = c.cfg.Policy == wal.SyncAlways
+			}
+		}
+		// History settled: state and event log must be byte-identical
+		// to the model (replay determinism).
+		if !c.checkStateAndEvents(srv, s, n, seq, term, "recovery") {
+			return false
+		}
+	}
+	return true
+}
+
+// checkStateAndEvents compares the session's state bytes and full event
+// log against the model, updating the model when it had no observation
+// yet.
+func (c *checker) checkStateAndEvents(srv *server.Server, s *msession, n *node, seq []action, term, when string) bool {
+	st, err := srv.State(s.id)
+	if err != nil {
+		c.violate(n, seq, term, "%s: state %s: %v", when, s.id, err)
+		return false
+	}
+	cur := mustJSON(st)
+	if s.state != nil && !bytes.Equal(cur, s.state) {
+		c.violate(n, seq, term, "%s: state of %s not byte-identical (was %s, now %s)", when, s.id, shortHash(s.state), shortHash(cur))
+		return false
+	}
+	s.state = cur
+
+	sub, err := srv.Subscribe(s.id, server.SubscribeOptions{QueueCap: server.MaxSubscriberQueue})
+	if err != nil {
+		c.violate(n, seq, term, "%s: subscribe %s: %v", when, s.id, err)
+		return false
+	}
+	evs := sub.Next(0)
+	sub.Close()
+	for i, ev := range evs {
+		if ev.ID != i+1 {
+			c.violate(n, seq, term, "%s: event %d of %s has id %d (ids must be the 1-based log positions)", when, i, s.id, ev.ID)
+			return false
+		}
+	}
+	got := make([]string, len(evs))
+	for i, ev := range evs {
+		got[i] = ev.Event.String()
+	}
+	if len(got) != len(s.events) {
+		c.violate(n, seq, term, "%s: event log of %s has %d events, model has %d", when, s.id, len(got), len(s.events))
+		return false
+	}
+	for i := range got {
+		if got[i] != s.events[i] {
+			c.violate(n, seq, term, "%s: event %d of %s changed (%q vs %q)", when, i+1, s.id, got[i], s.events[i])
+			return false
+		}
+	}
+	return true
+}
+
+// execute runs one client action with its inline invariant checks.
+// Returns false when the epoch must be abandoned (infeasible sequence)
+// or the exploration stops (violation).
+func (c *checker) execute(srv *server.Server, clk *vclock.Manual, m *model, a action, n *node, seq []action, term string) bool {
+	clk.Advance(time.Millisecond)
+	switch a.kind {
+	case "create":
+		if len(m.live()) >= c.cfg.MaxSessions {
+			return false // infeasible after recovery reshaped the model
+		}
+		resp, err := srv.CreateSession(server.CreateSpec{Name: "simplified", Mode: dpm.ADPM, MaxOps: 64})
+		if err != nil {
+			c.violate(n, seq, term, "create: %v", err)
+			return false
+		}
+		for _, old := range m.sessions {
+			if old.id == resp.ID && !old.gone {
+				if c.cfg.Policy == wal.SyncAlways {
+					c.violate(n, seq, term, "session id %s re-issued under SyncAlways", resp.ID)
+					return false
+				}
+				old.gone = true // identity legally recycled
+			}
+		}
+		s := &msession{id: resp.ID, createSynced: c.cfg.Policy == wal.SyncAlways}
+		m.sessions = append(m.sessions, s)
+		return c.checkStateAndEvents(srv, s, n, seq, term, "create")
+
+	case "apply":
+		s := m.sessions[a.sess]
+		if s.gone || s.deleted || m.opNext >= c.cfg.MaxOps {
+			return false
+		}
+		opIdx := m.opNext
+		key := fmt.Sprintf("k%d", opIdx+1)
+		ops := []dpm.Operation{opVocab[opIdx]}
+		resp, replayed, err := srv.ApplyKeyed(s.id, key, ops)
+		if err != nil {
+			c.violate(n, seq, term, "apply %s on %s: %v", key, s.id, err)
+			return false
+		}
+		if replayed {
+			c.violate(n, seq, term, "fresh key %s on %s came back replayed", key, s.id)
+			return false
+		}
+		ack := mustJSON(resp)
+		// Exactly-once, immediately: the retried key must replay the
+		// byte-identical acknowledgement, not double-apply.
+		r2, rep2, err := srv.ApplyKeyed(s.id, key, ops)
+		if err != nil || !rep2 {
+			c.violate(n, seq, term, "immediate retry of %s on %s: replayed=%t err=%v", key, s.id, rep2, err)
+			return false
+		}
+		if ack2 := mustJSON(r2); !bytes.Equal(ack, ack2) {
+			c.violate(n, seq, term, "immediate retry of %s on %s returned a different ack", key, s.id)
+			return false
+		}
+		s.batches = append(s.batches, &batch{key: key, opIdx: opIdx, ack: ack, synced: c.cfg.Policy == wal.SyncAlways})
+		m.opNext++
+		st, err := srv.State(s.id)
+		if err != nil {
+			c.violate(n, seq, term, "state %s after apply: %v", s.id, err)
+			return false
+		}
+		s.state = mustJSON(st)
+		return c.captureEvents(srv, s, s.events, n, seq, term)
+
+	case "delete":
+		s := m.sessions[a.sess]
+		if s.gone || s.deleted {
+			return false
+		}
+		if _, err := srv.Delete(s.id); err != nil {
+			c.violate(n, seq, term, "delete %s: %v", s.id, err)
+			return false
+		}
+		s.deleted = true
+		s.deleteSynced = c.cfg.Policy == wal.SyncAlways
+		return true
+
+	case "park":
+		// Advance past the idle timeout and sweep: every session parks
+		// to its durable image; the next read restores it, which must be
+		// byte-identical (invariant 3, the persist-then-evict contract).
+		clk.Advance(2 * time.Minute)
+		srv.Sweep()
+		for _, s := range m.live() {
+			if s.gone {
+				continue
+			}
+			if !c.checkStateAndEvents(srv, s, n, seq, term, "park-restore") {
+				return false
+			}
+		}
+		return true
+
+	case "sync":
+		if err := srv.SyncWALs(); err != nil {
+			c.violate(n, seq, term, "syncwals: %v", err)
+			return false
+		}
+		m.markAllSynced()
+		return true
+	}
+	c.err = fmt.Errorf("check: unknown action %q", a.kind)
+	return false
+}
+
+// captureEvents re-reads the full event log after an apply, verifies
+// the prior log is an untouched prefix (append-only), and stores the
+// grown log in the model.
+func (c *checker) captureEvents(srv *server.Server, s *msession, prior []string, n *node, seq []action, term string) bool {
+	sub, err := srv.Subscribe(s.id, server.SubscribeOptions{QueueCap: server.MaxSubscriberQueue})
+	if err != nil {
+		c.violate(n, seq, term, "subscribe %s: %v", s.id, err)
+		return false
+	}
+	evs := sub.Next(0)
+	sub.Close()
+	got := make([]string, len(evs))
+	for i, ev := range evs {
+		if ev.ID != i+1 {
+			c.violate(n, seq, term, "event ids of %s not sequential at %d", s.id, i)
+			return false
+		}
+		got[i] = ev.Event.String()
+	}
+	if len(got) < len(prior) {
+		c.violate(n, seq, term, "event log of %s shrank after apply (%d -> %d)", s.id, len(prior), len(got))
+		return false
+	}
+	for i := range prior {
+		if got[i] != prior[i] {
+			c.violate(n, seq, term, "event log of %s rewrote position %d", s.id, i+1)
+			return false
+		}
+	}
+	s.events = got
+	return true
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("check: unencodable value: %v", err))
+	}
+	return b
+}

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+var updateCorpus = flag.Bool("update", false, "regenerate testdata/sim corpus expectations")
+
+// corpusFile pins one simulation seed as a regression fixture. The
+// expectations are the run's interest counters, not its trace digest:
+// counters survive benign trace-format changes yet still move the
+// moment scheduling, fault injection, or recovery behavior drifts —
+// which is exactly the drift the corpus exists to catch. Regenerate
+// deliberately with `go test ./internal/sim -run TestPinnedSeedCorpus
+// -update` and eyeball the diff.
+type corpusFile struct {
+	Seed   int64  `json:"seed"`
+	Steps  int    `json:"steps"`
+	Shards int    `json:"shards"`
+	Fsync  string `json:"fsync"`
+	Expect struct {
+		Acks      int `json:"acks"`
+		Replays   int `json:"replays"`
+		Creates   int `json:"creates"`
+		Deletes   int `json:"deletes"`
+		Parks     int `json:"parks"`
+		Restores  int `json:"restores"`
+		Restarts  int `json:"restarts"`
+		Kills     int `json:"kills"`
+		Powercuts int `json:"powercuts"`
+		Rotations int `json:"rotations"`
+		Faults    int `json:"faults"`
+		Rejects   int `json:"rejects"`
+	} `json:"expect"`
+}
+
+const corpusDir = "../../testdata/sim"
+
+// TestPinnedSeedCorpus replays every pinned seed and demands the exact
+// historical counters plus zero invariant violations. Each run is also
+// executed twice so the corpus doubles as a determinism gate.
+func TestPinnedSeedCorpus(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join(corpusDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatalf("no corpus files under %s", corpusDir)
+	}
+	for _, p := range paths {
+		p := p
+		t.Run(filepath.Base(p), func(t *testing.T) {
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cf corpusFile
+			if err := json.Unmarshal(raw, &cf); err != nil {
+				t.Fatalf("parsing %s: %v", p, err)
+			}
+			policy, err := wal.ParsePolicy(cf.Fsync)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := Config{Seed: cf.Seed, Steps: cf.Steps, Shards: cf.Shards, Policy: policy}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("violation: %s", v)
+			}
+			again, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Digest != again.Digest {
+				t.Fatalf("seed %d is not deterministic: digests %s vs %s", cf.Seed, res.Digest, again.Digest)
+			}
+			got := cf
+			got.Expect.Acks = res.Acks
+			got.Expect.Replays = res.Replays
+			got.Expect.Creates = res.Creates
+			got.Expect.Deletes = res.Deletes
+			got.Expect.Parks = res.Parks
+			got.Expect.Restores = res.Restores
+			got.Expect.Restarts = res.Restarts
+			got.Expect.Kills = res.Kills
+			got.Expect.Powercuts = res.Powercuts
+			got.Expect.Rotations = res.Rotations
+			got.Expect.Faults = res.Faults
+			got.Expect.Rejects = res.Rejects
+			if *updateCorpus {
+				out, err := json.MarshalIndent(got, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(p, append(out, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("updated %s", p)
+				return
+			}
+			if got.Expect != cf.Expect {
+				t.Errorf("seed %d counters drifted from the pinned corpus:\n pinned: %+v\n got:    %+v\n(rerun with -update if the drift is intentional)",
+					cf.Seed, cf.Expect, got.Expect)
+			}
+		})
+	}
+}

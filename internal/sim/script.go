@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+)
+
+// Script is a deterministic fault plan: which storage sync points fail
+// during a simulation run. A run's outcome is a pure function of
+// (seed, script) — the seed drives the workload schedule and the
+// script drives the storage faults — so any failure replays exactly
+// from those two values. Run generates a script from the seed when none
+// is supplied and reports the one it used in the Result, which is what
+// `adpmsim -script` feeds back in.
+type Script struct {
+	// SyncFails are the scripted fsync failures, addressed by
+	// operation-relative sync point (see faultfs.Fault.OnOpSync): the
+	// At-th time the Nth sync within a WAL operation of kind Op occurs
+	// — counted cumulatively across the whole run, process restarts
+	// included — it fails with faultfs.ErrInjected. Nth addressing is
+	// what lets a script name "the rotation tail" (rotate/3, the
+	// post-removal directory sync) as opposed to merely "some sync".
+	SyncFails []SyncFail `json:"sync_fails,omitempty"`
+}
+
+// SyncFail is one scripted fsync failure.
+type SyncFail struct {
+	// Op is the WAL operation kind: "append", "rotate", "sync", "open".
+	Op string `json:"op"`
+	// Nth is the 1-based sync ordinal within the operation.
+	Nth int `json:"nth"`
+	// At is the 1-based cumulative occurrence of that (Op, Nth) sync
+	// point at which the failure fires. Each entry fires once.
+	At int `json:"at"`
+}
+
+// String renders the script compactly for traces and job summaries.
+func (sc *Script) String() string {
+	if sc == nil || len(sc.SyncFails) == 0 {
+		return "none"
+	}
+	b, _ := json.Marshal(sc)
+	return string(b)
+}
+
+// ParseScript decodes a script previously serialized by Result (JSON).
+func ParseScript(b []byte) (*Script, error) {
+	var sc Script
+	if err := json.Unmarshal(b, &sc); err != nil {
+		return nil, fmt.Errorf("sim: bad script: %w", err)
+	}
+	for i, sf := range sc.SyncFails {
+		switch sf.Op {
+		case "append", "rotate", "sync", "open":
+		default:
+			return nil, fmt.Errorf("sim: script entry %d: unknown op %q", i, sf.Op)
+		}
+		if sf.Nth < 1 || sf.At < 1 {
+			return nil, fmt.Errorf("sim: script entry %d: nth and at are 1-based", i)
+		}
+	}
+	return &sc, nil
+}
+
+// genScript derives a fault plan from the workload RNG: usually none
+// (most schedules should exercise the happy path's crash/park/restart
+// interleavings), sometimes one or two sync failures at early-to-mid
+// occurrences so the fail-stop path and its recovery get swept too.
+func genScript(rng *rand.Rand) *Script {
+	sc := &Script{}
+	if rng.Intn(3) != 0 { // 2/3 of seeds: no storage faults
+		return sc
+	}
+	n := 1 + rng.Intn(2)
+	for i := 0; i < n; i++ {
+		var sf SyncFail
+		switch rng.Intn(4) {
+		case 0:
+			sf = SyncFail{Op: "append", Nth: 1, At: 3 + rng.Intn(25)}
+		case 1:
+			sf = SyncFail{Op: "rotate", Nth: 1, At: 1 + rng.Intn(3)}
+		case 2:
+			sf = SyncFail{Op: "rotate", Nth: 2, At: 1 + rng.Intn(3)}
+		default:
+			// The rotation tail: the post-removal directory sync.
+			sf = SyncFail{Op: "rotate", Nth: 3, At: 1 + rng.Intn(3)}
+		}
+		sc.SyncFails = append(sc.SyncFails, sf)
+	}
+	return sc
+}

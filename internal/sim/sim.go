@@ -1,0 +1,844 @@
+// Package sim is a FoundationDB-style deterministic simulation harness
+// for the real internal/server stack: one logical scheduler (the
+// harness goroutine) drives a seeded workload of session creates,
+// keyed operation batches, parks, restarts, process kills, power cuts,
+// and scripted storage faults against a server wired to a virtual
+// clock (vclock.Manual), an in-memory durability-modeling filesystem
+// (faultfs.MemFS), and a seeded PRNG. Nothing in the run reads the
+// wall clock, the goroutine scheduler, or a map's iteration order, so
+// a run's JSONL trace — every action, every acknowledgement hash,
+// every recovery outcome — is a pure function of (seed, script) and
+// replays byte for byte.
+//
+// Determinism is not an end in itself: the harness checks the
+// session/durability protocol's invariants continuously —
+//
+//   - exactly-once acks: a retried idempotency key returns the
+//     original acknowledgement, byte-identical, never a double apply;
+//   - no acked op lost: after any kill or power cut, every batch the
+//     client saw acknowledged is recovered (always under SyncAlways;
+//     as a durable prefix under the relaxed policies, where only an
+//     un-group-committed suffix may be lost to a power cut);
+//   - byte-identical restore: park→restore and crash→recover
+//     reproduce session state exactly (δ-determinism end to end);
+//   - resume monotonicity: Last-Event-ID resume yields strictly
+//     sequential event ids and a stable event log across restores
+//
+// — and any violation reports the seed that reproduces it.
+package sim
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/domain"
+	"repro/internal/dpm"
+	"repro/internal/faultfs"
+	"repro/internal/server"
+	"repro/internal/vclock"
+	"repro/internal/wal"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Seed drives the workload schedule (and the fault script, when
+	// Script is nil).
+	Seed int64
+	// Steps is the number of workload actions; 0 means DefaultSteps.
+	Steps int
+	// Shards is the server shard count; 0 means 2.
+	Shards int
+	// Policy is the WAL durability discipline under test.
+	Policy wal.SyncPolicy
+	// Script overrides the seed-derived fault plan.
+	Script *Script
+	// MaxSessions bounds concurrently tracked sessions; 0 means 3.
+	MaxSessions int
+	// SegmentBytes is the WAL rotation threshold; small values force
+	// rotations into the schedule. 0 means 4096.
+	SegmentBytes int64
+}
+
+// DefaultSteps is the workload length when Config.Steps is 0.
+const DefaultSteps = 300
+
+// Result is one run's outcome.
+type Result struct {
+	Seed   int64   `json:"seed"`
+	Policy string  `json:"policy"`
+	Steps  int     `json:"steps"`
+	Script *Script `json:"script"`
+	// Digest is the SHA-256 of the trace: the whole run, one hash.
+	Digest string `json:"digest"`
+	// Trace is the run's JSONL action log.
+	Trace []byte `json:"-"`
+	// Violations are invariant failures; empty means the run passed.
+	Violations []string `json:"violations,omitempty"`
+
+	// Schedule accounting (what the seed actually exercised).
+	Acks      int `json:"acks"`
+	Replays   int `json:"replays"`
+	Creates   int `json:"creates"`
+	Deletes   int `json:"deletes"`
+	Parks     int `json:"parks"`
+	Restores  int `json:"restores"`
+	Restarts  int `json:"restarts"`
+	Kills     int `json:"kills"`
+	Powercuts int `json:"powercuts"`
+	Rotations int `json:"rotations"`
+	Faults    int `json:"faults"`
+	Rejects   int `json:"rejects"`
+}
+
+// batchStatus tracks what the client knows about one keyed batch.
+type batchStatus int
+
+const (
+	batchAcked   batchStatus = iota // acknowledgement received and recorded
+	batchInDoubt                    // storage error: applied-ness unknown
+)
+
+// batchRec is one keyed batch in a session's client-side history.
+type batchRec struct {
+	key    string
+	ops    []dpm.Operation
+	status batchStatus
+	ack    []byte // canonical ack JSON, nil while in doubt
+}
+
+// sessModel is the client-side model of one session: the oracle the
+// server is checked against.
+type sessModel struct {
+	id       string
+	batches  []*batchRec
+	state    []byte   // last observed state JSON (nil before first read)
+	events   []string // event log as canonical strings, grown by resume checks
+	inDoubt  bool     // some batch is in doubt: state/ack comparisons suspended
+	applied  int      // ops applied (budget tracking)
+	maxOps   int
+	retained bool // still expected to exist on the server
+	// deleted marks an explicit client Delete whose tombstone is still
+	// being enforced; deletedAtCuts is the power-cut count at delete
+	// time — under a relaxed sync policy a later power cut may legally
+	// drop the unsynced delete record, so the tombstone check stops at
+	// the first cut after the delete.
+	deleted       bool
+	deletedAtCuts int
+}
+
+// harness is one run's mutable state.
+type harness struct {
+	cfg    Config
+	rng    *rand.Rand
+	clk    *vclock.Manual
+	fs     *faultfs.MemFS
+	script *Script
+	fired  []bool
+	occur  map[string]int // cumulative (op,nth) sync-point occurrences
+
+	srv      *server.Server
+	sessions []*sessModel // creation order; never reordered
+	byID     map[string]*sessModel
+	keyN     int
+	step     int
+
+	needsRestart bool
+	trace        bytes.Buffer
+	res          *Result
+}
+
+// Run executes one simulation. The returned error covers harness-level
+// failures only (a server that cannot even open); protocol violations
+// land in Result.Violations.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Steps <= 0 {
+		cfg.Steps = DefaultSteps
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 2
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 3
+	}
+	if cfg.SegmentBytes <= 0 {
+		cfg.SegmentBytes = 4096
+	}
+	h := &harness{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		clk:   vclock.NewManual(),
+		fs:    faultfs.NewMemFS(),
+		occur: map[string]int{},
+		byID:  map[string]*sessModel{},
+		res:   &Result{Seed: cfg.Seed, Policy: cfg.Policy.String(), Steps: cfg.Steps},
+	}
+	h.script = cfg.Script
+	if h.script == nil {
+		h.script = genScript(h.rng)
+	}
+	h.fired = make([]bool, len(h.script.SyncFails))
+	h.res.Script = h.script
+
+	if err := h.open(); err != nil {
+		return nil, fmt.Errorf("sim: initial open: %w", err)
+	}
+	for h.step = 0; h.step < cfg.Steps; h.step++ {
+		if len(h.res.Violations) >= 8 {
+			break // enough evidence; stop accumulating duplicates
+		}
+		if h.needsRestart {
+			h.needsRestart = false
+			h.doKillRestart()
+			continue
+		}
+		h.stepOnce()
+	}
+	h.collectStats()
+	h.srv.Drain()
+	h.res.Trace = append([]byte(nil), h.trace.Bytes()...)
+	sum := sha256.Sum256(h.res.Trace)
+	h.res.Digest = hex.EncodeToString(sum[:])
+	return h.res, nil
+}
+
+// open starts a server process incarnation over the shared MemFS and
+// virtual clock, with a fresh fault wrapper feeding the cumulative
+// sync-point counters.
+func (h *harness) open() error {
+	fault := &faultfs.Fault{Inner: h.fs, OnOpSync: h.onOpSync}
+	srv, err := server.Open(server.Options{
+		Shards:       h.cfg.Shards,
+		MailboxSize:  16,
+		MaxOps:       512,
+		IdleTimeout:  time.Minute,
+		DataDir:      "data",
+		Fsync:        h.cfg.Policy,
+		SegmentBytes: h.cfg.SegmentBytes,
+		FS:           fault,
+		Clock:        h.clk,
+		IdemCap:      -1, // exactly-once checks must never hit ack eviction
+	})
+	if err != nil {
+		return err
+	}
+	h.srv = srv
+	return nil
+}
+
+// onOpSync injects the scripted sync failures, counting (op, nth)
+// sync-point occurrences cumulatively across process incarnations.
+func (h *harness) onOpSync(op string, nth int, name string) error {
+	k := fmt.Sprintf("%s/%d", op, nth)
+	h.occur[k]++
+	c := h.occur[k]
+	for i, sf := range h.script.SyncFails {
+		if !h.fired[i] && sf.Op == op && sf.Nth == nth && sf.At == c {
+			h.fired[i] = true
+			h.res.Faults++
+			h.emit(map[string]any{"action": "fault", "op": op, "nth": nth, "at": c})
+			return faultfs.ErrInjected
+		}
+	}
+	return nil
+}
+
+// emit appends one JSONL trace line, stamping step and virtual time.
+func (h *harness) emit(fields map[string]any) {
+	fields["step"] = h.step
+	fields["vms"] = h.clk.Now().Sub(vclock.Epoch).Milliseconds()
+	b, err := json.Marshal(fields)
+	if err != nil {
+		panic(fmt.Sprintf("sim: unencodable trace line: %v", err))
+	}
+	h.trace.Write(b)
+	h.trace.WriteByte('\n')
+}
+
+// violate records one invariant failure, in the trace and the result.
+func (h *harness) violate(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	h.res.Violations = append(h.res.Violations, fmt.Sprintf("step %d: %s", h.step, msg))
+	h.emit(map[string]any{"action": "violation", "detail": msg})
+}
+
+func shortHash(b []byte) string {
+	s := sha256.Sum256(b)
+	return hex.EncodeToString(s[:8])
+}
+
+// live returns the tracked sessions still expected on the server.
+func (h *harness) live() []*sessModel {
+	var out []*sessModel
+	for _, sm := range h.sessions {
+		if sm.retained {
+			out = append(out, sm)
+		}
+	}
+	return out
+}
+
+// stepOnce picks and executes one workload action.
+func (h *harness) stepOnce() {
+	// Small virtual-time drift between actions so timestamps order the
+	// trace and idle timeouts are reachable by the park action alone.
+	h.clk.Advance(time.Duration(1+h.rng.Intn(50)) * time.Millisecond)
+
+	n := len(h.live())
+	w := h.rng.Intn(100)
+	switch {
+	case n == 0 || (w < 10 && n < h.cfg.MaxSessions):
+		h.doCreate()
+	case w < 55:
+		h.doApply()
+	case w < 63:
+		h.doStateCheck()
+	case w < 70:
+		h.doRetryAcked()
+	case w < 77:
+		h.doResumeCheck()
+	case w < 84:
+		h.doParkRestore()
+	case w < 88:
+		h.doSyncWALs()
+	case w < 91:
+		h.doDelete()
+	case w < 94:
+		h.doGracefulRestart()
+	case w < 97:
+		h.doKillRestart()
+	default:
+		h.doPowercut()
+	}
+}
+
+func (h *harness) pick() *sessModel {
+	live := h.live()
+	if len(live) == 0 {
+		return nil
+	}
+	return live[h.rng.Intn(len(live))]
+}
+
+// ---- workload actions ----
+
+func (h *harness) doCreate() {
+	resp, err := h.srv.CreateSession(server.CreateSpec{
+		Name:   "simplified",
+		Mode:   dpm.ADPM,
+		MaxOps: 512,
+	})
+	if err != nil {
+		h.emit(map[string]any{"action": "create", "status": errClass(err)})
+		if errors.Is(err, server.ErrStorage) {
+			h.needsRestart = true
+			return
+		}
+		h.violate("create failed unexpectedly: %v", err)
+		return
+	}
+	if old := h.byID[resp.ID]; old != nil {
+		// The server re-issued an id. Legal only when a power cut could
+		// have taken the id high-water with it (relaxed sync policy);
+		// under SyncAlways every create/snapshot carrying the counter is
+		// durable before acknowledgement, so reuse means the high-water
+		// recovery is broken (e.g. compaction erased a deleted id).
+		if h.cfg.Policy == wal.SyncAlways {
+			h.violate("session id %s re-issued under SyncAlways", resp.ID)
+		}
+		h.purgeID(resp.ID)
+	}
+	sm := &sessModel{id: resp.ID, maxOps: resp.MaxOps, retained: true}
+	h.sessions = append(h.sessions, sm)
+	h.byID[resp.ID] = sm
+	h.res.Creates++
+	h.emit(map[string]any{"action": "create", "sess": resp.ID, "status": "ok"})
+	h.refreshState(sm)
+}
+
+// randBatch builds 1-3 valid synthesis ops on the simplified scenario.
+func (h *harness) randBatch() []dpm.Operation {
+	n := 1 + h.rng.Intn(3)
+	ops := make([]dpm.Operation, n)
+	for i := range ops {
+		var problem, prop string
+		var lo, hi float64
+		switch h.rng.Intn(4) {
+		case 0:
+			problem, prop, lo, hi = "AmpDesign", "Width", 0.5, 10
+		case 1:
+			problem, prop, lo, hi = "AmpDesign", "Ind", 0.05, 2
+		case 2:
+			problem, prop, lo, hi = "AmpDesign", "Bias", 0.5, 20
+		default:
+			problem, prop, lo, hi = "FilterPart", "Beam_len", 5, 30
+		}
+		v := lo + h.rng.Float64()*(hi-lo)
+		ops[i] = dpm.Operation{
+			Kind:        dpm.OpSynthesis,
+			Problem:     problem,
+			Designer:    "sim",
+			Assignments: []dpm.Assignment{{Prop: prop, Value: domain.Real(v)}},
+		}
+	}
+	return ops
+}
+
+func (h *harness) doApply() {
+	sm := h.pick()
+	if sm == nil {
+		return
+	}
+	if sm.applied+3 >= sm.maxOps {
+		return // stay clear of the budget edge; ErrBudget is not under test
+	}
+	ops := h.randBatch()
+	h.keyN++
+	key := fmt.Sprintf("k%d", h.keyN)
+	resp, replayed, err := h.srv.ApplyKeyed(sm.id, key, ops)
+	switch {
+	case err == nil:
+		if replayed {
+			h.violate("fresh key %s came back replayed", key)
+		}
+		ack := mustJSON(resp)
+		sm.batches = append(sm.batches, &batchRec{key: key, ops: ops, status: batchAcked, ack: ack})
+		sm.applied += len(ops)
+		h.res.Acks++
+		h.emit(map[string]any{"action": "apply", "sess": sm.id, "key": key, "n": len(ops), "status": "ok", "ack": shortHash(ack)})
+		h.refreshState(sm)
+	case errors.Is(err, server.ErrStorage):
+		// In doubt: the record may or may not have reached the log.
+		sm.batches = append(sm.batches, &batchRec{key: key, ops: ops, status: batchInDoubt})
+		sm.inDoubt = true
+		h.needsRestart = true
+		h.emit(map[string]any{"action": "apply", "sess": sm.id, "key": key, "status": "storage"})
+	case errors.Is(err, server.ErrInvalid), errors.Is(err, server.ErrBudget):
+		h.res.Rejects++
+		h.emit(map[string]any{"action": "apply", "sess": sm.id, "key": key, "status": errClass(err)})
+	default:
+		h.violate("apply %s: unexpected error %v", key, err)
+	}
+}
+
+// doStateCheck re-reads a session's state: it must be byte-identical to
+// the last observation (no mutation happened in between — reads are
+// reads).
+func (h *harness) doStateCheck() {
+	sm := h.pick()
+	if sm == nil {
+		return
+	}
+	st, err := h.srv.State(sm.id)
+	if err != nil {
+		h.violate("state %s: %v", sm.id, err)
+		return
+	}
+	cur := mustJSON(st)
+	if sm.state != nil && !bytes.Equal(cur, sm.state) {
+		h.violate("state %s changed between mutations", sm.id)
+	}
+	sm.state = cur
+	h.emit(map[string]any{"action": "state", "sess": sm.id, "sha": shortHash(cur)})
+}
+
+// doRetryAcked replays a random acknowledged key: exactly-once demands
+// replayed=true and the byte-original ack.
+func (h *harness) doRetryAcked() {
+	sm := h.pick()
+	if sm == nil || len(sm.batches) == 0 {
+		return
+	}
+	b := sm.batches[h.rng.Intn(len(sm.batches))]
+	if b.status != batchAcked {
+		return
+	}
+	resp, replayed, err := h.srv.ApplyKeyed(sm.id, b.key, b.ops)
+	if err != nil {
+		if errors.Is(err, server.ErrStorage) {
+			// The lookup itself cannot touch storage, but a restore of a
+			// parked session on a broken shard can.
+			h.needsRestart = true
+			h.emit(map[string]any{"action": "retry", "sess": sm.id, "key": b.key, "status": "storage"})
+			return
+		}
+		h.violate("retry %s: %v", b.key, err)
+		return
+	}
+	if !replayed {
+		h.violate("retry of acked key %s re-applied (double apply)", b.key)
+		return
+	}
+	if ack := mustJSON(resp); !bytes.Equal(ack, b.ack) {
+		h.violate("retry of key %s returned a different ack", b.key)
+	}
+	h.res.Replays++
+	h.emit(map[string]any{"action": "retry", "sess": sm.id, "key": b.key, "status": "replayed"})
+}
+
+// doResumeCheck subscribes with a Last-Event-ID and asserts the backlog
+// is the strictly sequential suffix of a stable event log.
+func (h *harness) doResumeCheck() {
+	sm := h.pick()
+	if sm == nil {
+		return
+	}
+	after := 0
+	if len(sm.events) > 0 {
+		after = h.rng.Intn(len(sm.events) + 1)
+	}
+	sub, err := h.srv.Subscribe(sm.id, server.SubscribeOptions{
+		AfterID:  after,
+		QueueCap: server.MaxSubscriberQueue,
+	})
+	if err != nil {
+		h.violate("subscribe %s: %v", sm.id, err)
+		return
+	}
+	evs := sub.Next(0)
+	sub.Close()
+	for i, ev := range evs {
+		wantID := after + i + 1
+		if ev.ID != wantID {
+			h.violate("resume %s after %d: event %d has id %d, want %d", sm.id, after, i, ev.ID, wantID)
+			return
+		}
+		s := ev.Event.String()
+		switch {
+		case wantID-1 < len(sm.events):
+			if sm.events[wantID-1] != s {
+				h.violate("resume %s: event %d changed: %q vs %q", sm.id, wantID, s, sm.events[wantID-1])
+				return
+			}
+		case wantID-1 == len(sm.events):
+			sm.events = append(sm.events, s)
+		default:
+			h.violate("resume %s: id %d skipped past known log end %d", sm.id, wantID, len(sm.events))
+			return
+		}
+	}
+	h.emit(map[string]any{"action": "resume", "sess": sm.id, "after": after, "got": len(evs)})
+}
+
+// doParkRestore advances past the idle timeout, sweeps every session
+// into its parked image, then touches each one: restore must be
+// byte-identical.
+func (h *harness) doParkRestore() {
+	h.clk.Advance(2 * time.Minute)
+	parked := h.srv.Sweep()
+	h.res.Parks += parked
+	h.emit(map[string]any{"action": "park", "swept": parked})
+	for _, sm := range h.live() {
+		st, err := h.srv.State(sm.id)
+		if err != nil {
+			if errors.Is(err, server.ErrStorage) {
+				h.needsRestart = true
+				h.emit(map[string]any{"action": "restore", "sess": sm.id, "status": "storage"})
+				return
+			}
+			h.violate("restore %s after park: %v", sm.id, err)
+			continue
+		}
+		h.res.Restores++
+		cur := mustJSON(st)
+		if sm.state != nil && !bytes.Equal(cur, sm.state) {
+			h.violate("park→restore %s not byte-identical", sm.id)
+		}
+		sm.state = cur
+	}
+}
+
+func (h *harness) doSyncWALs() {
+	err := h.srv.SyncWALs()
+	if err != nil {
+		h.needsRestart = true
+	}
+	h.emit(map[string]any{"action": "syncwals", "status": errClass(err)})
+}
+
+func (h *harness) doDelete() {
+	sm := h.pick()
+	if sm == nil {
+		return
+	}
+	if _, err := h.srv.Delete(sm.id); err != nil {
+		if errors.Is(err, server.ErrStorage) {
+			h.needsRestart = true
+			h.emit(map[string]any{"action": "delete", "sess": sm.id, "status": "storage"})
+			return
+		}
+		h.violate("delete %s: %v", sm.id, err)
+		return
+	}
+	sm.retained = false
+	sm.deleted = true
+	sm.deletedAtCuts = h.res.Powercuts
+	h.res.Deletes++
+	h.emit(map[string]any{"action": "delete", "sess": sm.id, "status": "ok"})
+}
+
+// purgeID retires every model entry tracked under a recycled id: the
+// old incarnation's checks no longer describe the session now living
+// at that address.
+func (h *harness) purgeID(id string) {
+	kept := h.sessions[:0]
+	for _, sm := range h.sessions {
+		if sm.id == id {
+			continue
+		}
+		kept = append(kept, sm)
+	}
+	h.sessions = kept
+	delete(h.byID, id)
+}
+
+// collectStats folds the incarnation's gauges into the result before
+// the server goes away.
+func (h *harness) collectStats() {
+	for _, st := range h.srv.Stats().Shards {
+		h.res.Rotations += int(st.Rotations)
+	}
+}
+
+// ---- restarts ----
+
+func (h *harness) doGracefulRestart() {
+	h.collectStats()
+	h.srv.Drain()
+	h.res.Restarts++
+	h.emit(map[string]any{"action": "restart"})
+	if err := h.open(); err != nil {
+		h.violate("reopen after drain: %v", err)
+		h.mustReopenBare()
+		return
+	}
+	h.verifyRecovery(false)
+}
+
+func (h *harness) doKillRestart() {
+	h.collectStats()
+	h.srv.Kill()
+	h.res.Kills++
+	h.emit(map[string]any{"action": "kill"})
+	if err := h.open(); err != nil {
+		h.violate("reopen after kill: %v", err)
+		h.mustReopenBare()
+		return
+	}
+	h.verifyRecovery(false)
+}
+
+func (h *harness) doPowercut() {
+	h.collectStats()
+	h.srv.Kill()
+	h.fs.Crash()
+	h.res.Powercuts++
+	h.emit(map[string]any{"action": "powercut"})
+	if err := h.open(); err != nil {
+		h.violate("reopen after powercut: %v", err)
+		h.mustReopenBare()
+		return
+	}
+	h.verifyRecovery(true)
+}
+
+// mustReopenBare is the last-resort recovery when a reopen fails (a
+// scripted open-time fault): wipe the data dir's volatile state back to
+// durable and retry once; a second failure ends the run via panic — the
+// harness cannot continue serverless.
+func (h *harness) mustReopenBare() {
+	h.fs.Crash()
+	if err := h.open(); err != nil {
+		panic(fmt.Sprintf("sim seed %d: server unrecoverable: %v", h.cfg.Seed, err))
+	}
+	h.verifyRecovery(true)
+}
+
+// verifyRecovery checks the recovered server against the client model:
+// which sessions survived, which acked batches survived (and in what
+// pattern), and whether recovered state is byte-identical. powercut
+// distinguishes the power-loss crash (volatile page cache lost) from a
+// process kill or graceful restart (volatile view intact — nothing may
+// be missing).
+func (h *harness) verifyRecovery(powercut bool) {
+	strict := h.cfg.Policy == wal.SyncAlways
+	for _, sm := range h.live() {
+		_, err := h.srv.State(sm.id)
+		switch {
+		case err == nil:
+		case errors.Is(err, server.ErrUnknownSession):
+			// The whole session vanished: legal only when a power cut
+			// could have taken the un-committed create record.
+			if !powercut || strict {
+				h.violate("session %s lost across %s", sm.id, restartKind(powercut))
+			}
+			sm.retained = false
+			h.emit(map[string]any{"action": "recover", "sess": sm.id, "status": "lost"})
+			continue
+		default:
+			h.violate("recover %s: %v", sm.id, err)
+			continue
+		}
+
+		// Retry every keyed batch in order. Replays mark survivors;
+		// fresh applies mark losses, which must form a suffix of the
+		// acked history (the WAL is ordered, so durability is
+		// prefix-closed).
+		lostAcked := false
+		resolved := sm.batches[:0]
+		for _, b := range sm.batches {
+			resp, replayed, err := h.srv.ApplyKeyed(sm.id, b.key, b.ops)
+			if err != nil {
+				if b.status == batchInDoubt && (errors.Is(err, server.ErrInvalid) || errors.Is(err, server.ErrBudget)) {
+					// Never applied, and by now legitimately unappliable;
+					// drop it from the history.
+					continue
+				}
+				if errors.Is(err, server.ErrStorage) {
+					// Recovery tripped another scripted fault; keep the
+					// batch for the next recovery round.
+					resolved = append(resolved, b)
+					h.needsRestart = true
+					continue
+				}
+				h.violate("recovery retry %s: %v", b.key, err)
+				continue
+			}
+			ack := mustJSON(resp)
+			if replayed {
+				if b.status == batchAcked {
+					if lostAcked {
+						h.violate("batch %s survived after an earlier acked batch was lost (durability not prefix-closed)", b.key)
+					}
+					if !sm.inDoubt && !bytes.Equal(ack, b.ack) {
+						h.violate("recovered ack for %s differs from the original", b.key)
+					}
+				}
+			} else {
+				if b.status == batchAcked {
+					if !powercut {
+						h.violate("acked batch %s lost across %s (volatile view survives a kill)", b.key, restartKind(powercut))
+					} else if strict {
+						h.violate("SyncAlways lost acked batch %s to a power cut", b.key)
+					}
+					lostAcked = true
+					if !sm.inDoubt && !bytes.Equal(ack, b.ack) {
+						h.violate("re-applied batch %s produced a different ack (δ not deterministic?)", b.key)
+					}
+				}
+			}
+			b.status = batchAcked
+			b.ack = ack
+			resolved = append(resolved, b)
+		}
+		sm.batches = resolved
+
+		// With every batch settled, state must be reproducible. An
+		// in-doubt batch may have re-entered the history at a different
+		// position than the original timeline, so only doubt-free
+		// sessions compare against the pre-crash bytes.
+		st, err := h.srv.State(sm.id)
+		if err != nil {
+			h.violate("state %s after recovery: %v", sm.id, err)
+			continue
+		}
+		cur := mustJSON(st)
+		if !sm.inDoubt && !lostAcked && sm.state != nil && !bytes.Equal(cur, sm.state) {
+			h.violate("state %s after %s not byte-identical", sm.id, restartKind(powercut))
+		}
+		sm.state = cur
+		sm.inDoubt = false
+		// The event log is regenerated by replay; known prefixes are
+		// re-verified lazily by the next resume check. After a lossy
+		// recovery the log may legitimately be shorter.
+		if lostAcked {
+			sm.events = nil
+		}
+		h.emit(map[string]any{"action": "recover", "sess": sm.id, "status": "ok", "sha": shortHash(cur)})
+	}
+	// Deleted sessions must stay deleted: the delete is acknowledged, so
+	// its tombstone is subject to the same durability contract as any
+	// other acked record.
+	for _, sm := range h.sessions {
+		if sm.retained || !sm.deleted {
+			continue
+		}
+		if !strict && h.res.Powercuts > sm.deletedAtCuts {
+			// A power cut after the delete may have taken the unsynced
+			// delete record with it — resurrection is legal from here on,
+			// so the tombstone is no longer checkable.
+			sm.deleted = false
+			continue
+		}
+		if _, err := h.srv.State(sm.id); !errors.Is(err, server.ErrUnknownSession) {
+			h.violate("deleted session %s resurrected across %s (err=%v)", sm.id, restartKind(powercut), err)
+			sm.deleted = false // report once, not at every later restart
+		}
+	}
+}
+
+// refreshState re-reads and caches a session's canonical state bytes.
+func (h *harness) refreshState(sm *sessModel) {
+	st, err := h.srv.State(sm.id)
+	if err != nil {
+		if errors.Is(err, server.ErrStorage) {
+			h.needsRestart = true
+			return
+		}
+		h.violate("state %s: %v", sm.id, err)
+		return
+	}
+	sm.state = mustJSON(st)
+}
+
+func restartKind(powercut bool) string {
+	if powercut {
+		return "powercut"
+	}
+	return "restart"
+}
+
+func errClass(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, server.ErrStorage):
+		return "storage"
+	case errors.Is(err, server.ErrInvalid):
+		return "invalid"
+	case errors.Is(err, server.ErrBudget):
+		return "budget"
+	case errors.Is(err, server.ErrUnknownSession):
+		return "unknown"
+	default:
+		return "error"
+	}
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("sim: unencodable value: %v", err))
+	}
+	return b
+}
+
+// ReplayCheck runs the same configuration twice and reports whether the
+// two traces (and digests) are byte-identical — the determinism
+// contract itself, callable from tests and the CLI.
+func ReplayCheck(cfg Config) (*Result, *Result, error) {
+	a, err := Run(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		return a, nil, err
+	}
+	return a, b, nil
+}

@@ -1,0 +1,109 @@
+// Package vclock is the clock seam between the serving stack and time
+// itself: a tiny Clock interface covering exactly what the server needs
+// (a now-reading and tickers), a System implementation backed by
+// package time, and a Manual implementation for deterministic
+// simulation, where the harness — not the runtime — owns the arrow of
+// time.
+//
+// Manual is deliberately inert: its tickers never fire on their own,
+// because a tick delivered into a live goroutine's select races against
+// whatever else that goroutine is selecting on, and the scheduling of
+// that race is exactly the nondeterminism a simulation exists to
+// remove. Instead the harness advances the clock and invokes
+// timer-driven work itself (Server.Sweep, Server.SyncWALs), so every
+// "timer firing" is an explicit, replayable event in the simulation
+// schedule.
+package vclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the time surface the server stack reads through.
+type Clock interface {
+	// Now returns the current reading.
+	Now() time.Time
+	// NewTicker returns a ticker with period d.
+	NewTicker(d time.Duration) Ticker
+}
+
+// Ticker is the subset of time.Ticker the server uses.
+type Ticker interface {
+	// C returns the tick channel. A nil channel (Manual tickers) simply
+	// never becomes ready in a select.
+	C() <-chan time.Time
+	// Stop releases the ticker.
+	Stop()
+}
+
+// System is the real clock.
+type System struct{}
+
+// Now returns time.Now().
+func (System) Now() time.Time { return time.Now() }
+
+// NewTicker wraps time.NewTicker.
+func (System) NewTicker(d time.Duration) Ticker {
+	return sysTicker{t: time.NewTicker(d)}
+}
+
+type sysTicker struct{ t *time.Ticker }
+
+func (s sysTicker) C() <-chan time.Time { return s.t.C }
+func (s sysTicker) Stop()               { s.t.Stop() }
+
+// Epoch is the Manual clock's default start: a fixed instant so every
+// simulation begins at the same virtual time regardless of the host.
+var Epoch = time.Unix(1_000_000_000, 0).UTC()
+
+// Manual is a deterministic virtual clock. Now returns the virtual
+// reading; Advance moves it forward. Tickers created from a Manual
+// clock are inert (see the package comment) — their C() is nil.
+//
+// Manual is safe for concurrent reads against Advance (the simulation
+// driver advances while shard loops read), guarded by a mutex.
+type Manual struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewManual returns a Manual clock starting at Epoch.
+func NewManual() *Manual { return &Manual{now: Epoch} }
+
+// Now returns the current virtual reading.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Advance moves the virtual clock forward by d (negative d is ignored)
+// and returns the new reading.
+func (m *Manual) Advance(d time.Duration) time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d > 0 {
+		m.now = m.now.Add(d)
+	}
+	return m.now
+}
+
+// Set jumps the clock to t if t is later than the current reading.
+func (m *Manual) Set(t time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t.After(m.now) {
+		m.now = t
+	}
+}
+
+// NewTicker returns an inert ticker: C() is nil, so a select on it
+// blocks forever and timer-driven work only happens when the harness
+// invokes it explicitly.
+func (m *Manual) NewTicker(d time.Duration) Ticker { return manualTicker{} }
+
+type manualTicker struct{}
+
+func (manualTicker) C() <-chan time.Time { return nil }
+func (manualTicker) Stop()               {}

@@ -1,0 +1,59 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestManualAdvanceAndSet(t *testing.T) {
+	m := NewManual()
+	if got := m.Now(); !got.Equal(Epoch) {
+		t.Fatalf("fresh Manual reads %v, want Epoch %v", got, Epoch)
+	}
+	at := m.Advance(3 * time.Second)
+	if want := Epoch.Add(3 * time.Second); !at.Equal(want) {
+		t.Fatalf("after Advance(3s): %v, want %v", at, want)
+	}
+	if got := m.Advance(-time.Hour); !got.Equal(at) {
+		t.Fatalf("negative Advance moved the clock: %v", got)
+	}
+	m.Set(at.Add(-time.Minute))
+	if got := m.Now(); !got.Equal(at) {
+		t.Fatalf("Set backwards moved the clock: %v", got)
+	}
+	m.Set(at.Add(time.Minute))
+	if got, want := m.Now(), at.Add(time.Minute); !got.Equal(want) {
+		t.Fatalf("Set forwards: %v, want %v", got, want)
+	}
+}
+
+func TestManualTickerInert(t *testing.T) {
+	m := NewManual()
+	tk := m.NewTicker(time.Nanosecond)
+	defer tk.Stop()
+	m.Advance(time.Hour)
+	select {
+	case <-tk.C():
+		t.Fatal("Manual ticker fired; it must be inert")
+	default:
+	}
+	if tk.C() != nil {
+		t.Fatal("Manual ticker channel is non-nil")
+	}
+}
+
+func TestSystemClock(t *testing.T) {
+	var c Clock = System{}
+	before := time.Now()
+	got := c.Now()
+	if got.Before(before.Add(-time.Second)) {
+		t.Fatalf("System.Now %v far behind time.Now %v", got, before)
+	}
+	tk := c.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	select {
+	case <-tk.C():
+	case <-time.After(2 * time.Second):
+		t.Fatal("System ticker never fired")
+	}
+}

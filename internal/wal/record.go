@@ -90,6 +90,14 @@ type Record struct {
 	Ops json.RawMessage `json:"ops,omitempty"`
 	// Sessions are the full shard images of a snapshot record.
 	Sessions []SessionImage `json:"sessions,omitempty"`
+	// NextSeq, on a snapshot record, is the server's session-sequence
+	// high-water at rotation time. A snapshot subsumes (and deletes)
+	// the segments holding earlier create/delete records, so without it
+	// compaction would erase all evidence of a deleted session's id and
+	// a recovered server could re-issue it — re-attaching the dead
+	// incarnation's idempotency keys and Last-Event-ID positions to an
+	// unrelated new session.
+	NextSeq uint64 `json:"next_seq,omitempty"`
 }
 
 // Fold applies one record to the recovered-session map: create inserts

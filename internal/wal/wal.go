@@ -98,6 +98,18 @@ const DefaultSegmentBytes = 4 << 20
 type RecoverInfo struct {
 	// Sessions are the live session images after folding every record.
 	Sessions map[string]*SessionImage
+	// AllSessions holds every session id mentioned anywhere in the log,
+	// including sessions later deleted. The server derives its id
+	// sequence high-water from this set, not from the surviving
+	// sessions: otherwise create→delete→restart would re-issue a dead
+	// session's id, and an idempotency key or Last-Event-ID scoped to
+	// the old incarnation would silently apply to the new one.
+	AllSessions map[string]bool
+	// NextSeq is the highest snapshot-recorded session-sequence
+	// high-water seen in the log (0 when no snapshot carried one). It
+	// keeps the id high-water alive across compaction, which deletes
+	// the segments that mentioned dead session ids.
+	NextSeq uint64
 	// Segments is the number of segment files scanned.
 	Segments int
 	// Records is the number of intact records folded.
@@ -161,9 +173,10 @@ func Open(opts Options) (*Log, *RecoverInfo, error) {
 	}
 	sort.Ints(segs)
 
-	info := &RecoverInfo{Sessions: map[string]*SessionImage{}}
+	info := &RecoverInfo{Sessions: map[string]*SessionImage{}, AllSessions: map[string]bool{}}
 	l := &Log{fs: opts.FS, dir: opts.Dir, policy: opts.Policy, segMax: opts.SegmentBytes}
 
+	faultfs.Mark(opts.FS, "open")
 	lastGood := int64(0)
 	for i, idx := range segs {
 		name := filepath.Join(opts.Dir, fmt.Sprintf(segPattern, idx))
@@ -173,7 +186,7 @@ func Open(opts Options) (*Log, *RecoverInfo, error) {
 		}
 		info.Segments++
 		final := i == len(segs)-1
-		good, recs, err := scanSegment(data, info.Sessions)
+		good, recs, err := scanSegment(data, info.Sessions, info.AllSessions, &info.NextSeq)
 		if err != nil && !final {
 			return nil, nil, fmt.Errorf("wal: segment %s: %w", name, err)
 		}
@@ -218,16 +231,29 @@ func Open(opts Options) (*Log, *RecoverInfo, error) {
 			f.Close()
 			return nil, nil, fmt.Errorf("wal: syncing %s: %w", opts.Dir, err)
 		}
+	} else {
+		// Fsync the inherited tail segment: the previous process may
+		// have died with acknowledged-but-unsynced appends still in the
+		// page cache, and this process's group commits would otherwise
+		// report "nothing dirty" while those inherited bytes stay
+		// volatile. Syncing here makes recovery a durability
+		// checkpoint — everything this open recovered is durable once
+		// Open returns.
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: syncing recovered %s: %w", name, err)
+		}
 	}
 	l.cur, l.curName, l.curIdx, l.curSize = f, name, idx, lastGood
 	return l, info, nil
 }
 
 // scanSegment folds the intact frame prefix of one segment into
-// sessions. It returns the byte length of that prefix, the record
-// count, and a non-nil error when the segment does not end cleanly
-// (torn frame, CRC mismatch, or undecodable payload).
-func scanSegment(data []byte, sessions map[string]*SessionImage) (int64, int, error) {
+// sessions, noting every session id it sees in all (which may be nil).
+// It returns the byte length of that prefix, the record count, and a
+// non-nil error when the segment does not end cleanly (torn frame, CRC
+// mismatch, or undecodable payload).
+func scanSegment(data []byte, sessions map[string]*SessionImage, all map[string]bool, nextSeq *uint64) (int64, int, error) {
 	off := int64(0)
 	recs := 0
 	for int64(len(data))-off >= frameHeader {
@@ -246,6 +272,17 @@ func scanSegment(data []byte, sessions map[string]*SessionImage) (int64, int, er
 		var rec Record
 		if err := json.Unmarshal(payload, &rec); err != nil {
 			return off, recs, fmt.Errorf("undecodable record at offset %d: %v", off, err)
+		}
+		if all != nil {
+			if rec.Session != "" {
+				all[rec.Session] = true
+			}
+			for i := range rec.Sessions {
+				all[rec.Sessions[i].ID] = true
+			}
+		}
+		if nextSeq != nil && rec.NextSeq > *nextSeq {
+			*nextSeq = rec.NextSeq
 		}
 		if err := Fold(sessions, &rec); err != nil {
 			return off, recs, err
@@ -276,6 +313,7 @@ func (l *Log) Append(rec *Record) (int, error) {
 	if l.broken != nil {
 		return 0, l.broken
 	}
+	faultfs.Mark(l.fs, "append")
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		return 0, fmt.Errorf("wal: encoding record: %w", err)
@@ -320,6 +358,7 @@ func (l *Log) Sync() error {
 	if !l.dirty {
 		return nil
 	}
+	faultfs.Mark(l.fs, "sync")
 	if err := l.cur.Sync(); err != nil {
 		l.broken = fmt.Errorf("%w: fsync failed: %v", ErrBroken, err)
 		return l.broken
@@ -350,6 +389,10 @@ func (l *Log) Rotate(snapshot *Record) error {
 	if err := l.Sync(); err != nil {
 		return err
 	}
+	// Everything from here is the rotation proper: the new segment's
+	// data sync is rotate#1, its creation SyncDir rotate#2, and the
+	// post-removal SyncDir rotate#3 — the "rotation tail".
+	faultfs.Mark(l.fs, "rotate")
 	payload, err := json.Marshal(snapshot)
 	if err != nil {
 		return fmt.Errorf("wal: encoding snapshot: %w", err)
@@ -361,11 +404,20 @@ func (l *Log) Rotate(snapshot *Record) error {
 		if f != nil {
 			f.Close()
 		}
-		// Best-effort: a partial next segment must not survive, or a
-		// snapshot torn mid-write could later be mistaken for the
-		// newest state. If the remove itself fails the log is broken.
+		// A partial next segment must not survive, or a snapshot torn
+		// mid-write could later be mistaken for the newest state. The
+		// removal must itself be made durable with a directory sync:
+		// without it a power cut can resurrect the removed segment, and
+		// if its snapshot frame was already fsynced (the abort-on-
+		// SyncDir-failure case) recovery would fold that stale snapshot
+		// AFTER the old segment's newer appends — silently dropping
+		// acknowledged batches. If either step fails the log is broken.
 		if rerr := l.fs.Remove(nextName); rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
 			l.broken = fmt.Errorf("%w: rotate %s failed (%v) and cleanup failed (%v)", ErrBroken, stage, err, rerr)
+			return l.broken
+		}
+		if serr := l.fs.SyncDir(l.dir); serr != nil {
+			l.broken = fmt.Errorf("%w: rotate %s failed (%v) and cleanup syncdir failed (%v)", ErrBroken, stage, err, serr)
 			return l.broken
 		}
 		return fmt.Errorf("wal: rotate %s: %w", stage, err)
@@ -425,6 +477,18 @@ func (l *Log) Close() error {
 		return l.broken
 	}
 	return first
+}
+
+// Abandon drops the log's file handle without flushing anything — the
+// simulation's process-kill path. Unsynced appends stay wherever the
+// filesystem's volatile view has them (a real page cache would too);
+// recovery decides what survives. Abandon never reports an error:
+// a killed process does not get to hear one.
+func (l *Log) Abandon() {
+	if l.cur != nil {
+		l.cur.Close()
+		l.cur = nil
+	}
 }
 
 // ScanFrames parses raw segment bytes into per-record frame lengths —

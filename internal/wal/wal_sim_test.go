@@ -1,0 +1,165 @@
+package wal
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultfs"
+)
+
+// TestRecoverInfoAllSessions: a deleted session vanishes from the fold
+// but its id must still be reported, so the server never re-issues it.
+func TestRecoverInfoAllSessions(t *testing.T) {
+	m := faultfs.NewMemFS()
+	dir := "wal"
+	l, _, err := Open(Options{Dir: dir, FS: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := []*Record{
+		{Type: TypeCreate, Session: "s0-0", Scenario: "sensor", Mode: "ADPM", MaxOps: 8},
+		{Type: TypeDelete, Session: "s0-0"},
+		{Type: TypeCreate, Session: "s0-4", Scenario: "sensor", Mode: "ADPM", MaxOps: 8},
+	}
+	for _, r := range records {
+		if _, err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, info, err := Open(Options{Dir: dir, FS: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Sessions) != 1 || info.Sessions["s0-4"] == nil {
+		t.Fatalf("surviving sessions: %v", info.Sessions)
+	}
+	if !info.AllSessions["s0-0"] || !info.AllSessions["s0-4"] || len(info.AllSessions) != 2 {
+		t.Fatalf("AllSessions = %v, want both ids including the deleted one", info.AllSessions)
+	}
+}
+
+// TestAllSessionsFromSnapshot: snapshot images count toward AllSessions
+// too (after rotation the create records are gone).
+func TestAllSessionsFromSnapshot(t *testing.T) {
+	m := faultfs.NewMemFS()
+	dir := "wal"
+	l, _, err := Open(Options{Dir: dir, FS: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(&Record{Type: TypeCreate, Session: "s0-8", Mode: "ADPM", Scenario: "sensor", MaxOps: 8}); err != nil {
+		t.Fatal(err)
+	}
+	snap := &Record{Type: TypeSnapshot, Sessions: []SessionImage{
+		{ID: "s0-8", Scenario: "sensor", Mode: "ADPM", MaxOps: 8},
+	}}
+	if err := l.Rotate(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, info, err := Open(Options{Dir: dir, FS: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.AllSessions["s0-8"] {
+		t.Fatalf("AllSessions = %v, want snapshot image id", info.AllSessions)
+	}
+}
+
+// TestAbandonSkipsFlush: Abandon under SyncInterval leaves unsynced
+// appends volatile; a power cut then loses them, while Close would have
+// flushed. The MemFS durable/volatile split makes the distinction
+// observable.
+func TestAbandonSkipsFlush(t *testing.T) {
+	m := faultfs.NewMemFS()
+	dir := "wal"
+	l, _, err := Open(Options{Dir: dir, FS: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Opening the first segment dir-syncs it, so the file survives a
+	// crash; its unsynced content does not.
+	if _, err := l.Append(&Record{Type: TypeCreate, Session: "s0-0", Mode: "ADPM", Scenario: "sensor", MaxOps: 8}); err != nil {
+		t.Fatal(err)
+	}
+	// SyncAlways is the default policy — reopen under interval to hold
+	// bytes volatile.
+	l.Close()
+	l, _, err = Open(Options{Dir: dir, FS: m, Policy: SyncInterval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(&Record{Type: TypeOps, Session: "s0-0", Ops: []byte(`[]`)}); err != nil {
+		t.Fatal(err)
+	}
+	l.Abandon()
+	crashed := m.Clone()
+	crashed.Crash()
+	seg := filepath.Join(dir, "wal-00000001.seg")
+	vol, _ := m.ReadFile(seg)
+	dur, err := crashed.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dur) >= len(vol) {
+		t.Fatalf("abandoned log fully durable (%d of %d bytes); Abandon must not flush", len(dur), len(vol))
+	}
+	sessions := map[string]*SessionImage{}
+	good, recs, serr := scanSegment(dur, sessions, nil, nil)
+	if serr != nil {
+		t.Fatalf("durable prefix does not scan cleanly: %v (good=%d recs=%d)", serr, good, recs)
+	}
+	if recs != 1 {
+		t.Fatalf("durable prefix holds %d records, want just the synced create", recs)
+	}
+}
+
+// TestOpSyncMarks: the WAL labels its storage operations so faults can
+// address "the Nth sync within an append/rotate" instead of a global
+// ordinal.
+func TestOpSyncMarks(t *testing.T) {
+	m := faultfs.NewMemFS()
+	type mark struct {
+		op  string
+		nth int
+	}
+	var trail []mark
+	ff := &faultfs.Fault{Inner: m, OnOpSync: func(op string, nth int, name string) error {
+		trail = append(trail, mark{op, nth})
+		return nil
+	}}
+	dir := "wal"
+	l, _, err := Open(Options{Dir: dir, FS: ff, SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(&Record{Type: TypeCreate, Session: "s0-0", Mode: "ADPM", Scenario: "sensor", MaxOps: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Rotate(&Record{Type: TypeSnapshot}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := []mark{
+		{"open", 1},   // first-segment creation SyncDir
+		{"append", 1}, // SyncAlways fsync
+		{"rotate", 1}, // new segment data sync
+		{"rotate", 2}, // new segment creation SyncDir
+		{"rotate", 3}, // rotation tail: post-removal SyncDir
+	}
+	if len(trail) != len(want) {
+		t.Fatalf("sync trail %v, want %v", trail, want)
+	}
+	for i := range want {
+		if trail[i] != want[i] {
+			t.Fatalf("sync trail %v, want %v", trail, want)
+		}
+	}
+}
