@@ -37,20 +37,54 @@
 // operation events (verify with the tracecheck command). -pprof serves
 // pprof and expvar — including the live "adpmd" shard gauges — on the
 // given address.
+//
+// # Replication
+//
+// Two adpmd processes form a warm-standby pair:
+//
+//	adpmd -addr :8081 -data-dir /data/b -follow :9090            # follower
+//	adpmd -addr :8080 -data-dir /data/a -repl 127.0.0.1:9090 \
+//	      -repl-ack quorum -fsync always [-rolling]              # leader
+//
+// The leader ships every shard-WAL mutation to the follower over
+// -repl, which continuously folds the stream into recoverable session
+// images. -repl-ack quorum makes the ship part of the ack path — a
+// batch is acknowledged only after it is durable on both nodes (zero
+// acked-op loss across failover; requires -fsync always). async acks
+// locally and lets the follower lag while the link is down; a failover
+// may lose only the acked-but-unshipped suffix, prefix-closed. GET
+// /readyz on either node reports per-shard role, sync state, and lag.
+//
+// The follower serves 503 on every session route until it is promoted:
+// by the leader's handoff, or explicitly via POST /promote (the
+// kill-and-promote path when the leader is gone). Promotion swaps the
+// admin handler for a full serving stack opened over the mirrored
+// data, recovering every session by the same replay a restart uses.
+//
+// -rolling turns the leader's SIGTERM drain into a zero-loss handoff:
+// park every session (their WAL images ship to the follower), drain,
+// final catch-up, hand off. The follower promotes itself and owns the
+// pair; restart the old leader as the new follower to complete the
+// rolling restart.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"repro/internal/replica"
 	"repro/internal/server"
 	"repro/internal/teamsim"
 	"repro/internal/trace"
@@ -71,10 +105,34 @@ func main() {
 	segmentBytes := flag.Int64("segment-bytes", wal.DefaultSegmentBytes, "rotate (snapshot-compact) WAL segments past this size")
 	heartbeat := flag.Duration("heartbeat", server.DefaultHeartbeat, "SSE keep-alive comment period on /sessions/{id}/events")
 	idemCap := flag.Int("idem-cap", server.DefaultIdemCap, "per-session cached idempotency acks (LRU; negative = unlimited)")
+	repl := flag.String("repl", "", "leader: replicate shard WALs to the follower at this host:port (requires -data-dir)")
+	replAck := flag.String("repl-ack", "async", "replication ack mode: quorum (ship before ack; requires -fsync always) or async")
+	rolling := flag.Bool("rolling", false, "with -repl: SIGTERM parks all sessions, drains, and hands the pair off to the follower")
+	follow := flag.String("follow", "", "follower: accept replication on this address, serve admin HTTP on -addr, promote on handoff or POST /promote")
 	flag.Parse()
 
 	policy, err := wal.ParsePolicy(*fsyncMode)
 	fail(err)
+	var quorum bool
+	switch *replAck {
+	case "async":
+	case "quorum":
+		quorum = true
+		if *repl != "" && policy != wal.SyncAlways {
+			fail(fmt.Errorf("-repl-ack quorum promises dual durability per ack and needs -fsync always"))
+		}
+	default:
+		fail(fmt.Errorf("-repl-ack must be quorum or async, got %q", *replAck))
+	}
+	if *follow != "" && *repl != "" {
+		fail(fmt.Errorf("-follow and -repl are mutually exclusive (one node, one role)"))
+	}
+	if (*follow != "" || *repl != "") && *dataDir == "" {
+		fail(fmt.Errorf("replication works on WAL bytes: -follow/-repl require -data-dir"))
+	}
+	if *rolling && *repl == "" {
+		fail(fmt.Errorf("-rolling hands off to a follower: it requires -repl"))
+	}
 	opts := server.Options{
 		Shards:       *shards,
 		MailboxSize:  *mailbox,
@@ -102,6 +160,30 @@ func main() {
 		opts.ShardRecorder = func(shard int) *trace.Recorder { return recs[shard] }
 	}
 
+	if *follow != "" {
+		runFollower(*addr, *follow, opts)
+		return
+	}
+
+	var rep *replica.Replicator
+	if *repl != "" {
+		rep, err = replica.NewReplicator(replica.ReplicatorOptions{
+			Peer:    replica.Dial(*repl),
+			DataDir: *dataDir,
+			Shards:  *shards,
+			Quorum:  quorum,
+		})
+		fail(err)
+		opts.Repl = rep
+		opts.ReplStatus = func(shard int) server.ReplStatus {
+			st := rep.ShardStatus(shard)
+			return server.ReplStatus{
+				Role: "leader", Quorum: st.Quorum, InSync: st.InSync,
+				LagRecords: st.LagRecords, LagBytes: st.LagBytes,
+			}
+		}
+	}
+
 	srv, err := server.Open(opts)
 	fail(err)
 	srv.PublishDebug()
@@ -112,6 +194,12 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "adpmd: durable under %s (fsync=%s); recovered %d sessions\n",
 			*dataDir, policy, recovered)
+	}
+	if rep != nil {
+		if err := rep.CatchUpAll(); err != nil {
+			fmt.Fprintf(os.Stderr, "adpmd: initial catch-up: %v (retried on every ship)\n", err)
+		}
+		fmt.Fprintf(os.Stderr, "adpmd: replicating to %s (%s acks)\n", *repl, *replAck)
 	}
 
 	if *pprofAddr != "" {
@@ -151,6 +239,13 @@ func main() {
 	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "adpmd: shutdown: %v\n", err)
 	}
+	if *rolling && rep != nil {
+		// Park-then-transfer: every session's image lands in its WAL
+		// (and ships) before the drain, so the handoff moves the whole
+		// working set, not just what happened to be parked already.
+		parked := srv.ParkAll()
+		fmt.Fprintf(os.Stderr, "adpmd: rolling: parked %d sessions for transfer\n", parked)
+	}
 	sums := srv.Drain()
 	for _, sum := range sums {
 		fmt.Fprintf(os.Stderr, "adpmd: shard %d: %d sessions, %d ops, %d evals, %d spins, %d notifications, %d evicted\n",
@@ -165,6 +260,136 @@ func main() {
 	for _, f := range traceFiles {
 		if err := f.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "adpmd: %v\n", err)
+		}
+	}
+	if *rolling && rep != nil {
+		// Handoff runs a final catch-up over the closed WALs, then grants
+		// the follower permission to promote. A failure leaves the data
+		// owned here — restarting this node in place loses nothing.
+		if err := rep.Handoff(); err != nil {
+			fmt.Fprintf(os.Stderr, "adpmd: rolling handoff FAILED: %v — follower not promoted, data remains local\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "adpmd: rolling: handoff complete — the follower owns the pair\n")
+	}
+}
+
+// runFollower is the standby role: mirror the leader's shard WALs from
+// the replication listener into recoverable session images, answer 503
+// on every session route, and — on the leader's handoff or an explicit
+// POST /promote — swap in a full serving stack opened over the
+// mirrored data. The swap is atomic: requests racing the promotion see
+// either the 503 standby handler or the recovered server, never a
+// half-open state.
+func runFollower(addr, followAddr string, opts server.Options) {
+	fol, err := replica.NewFollower(replica.FollowerOptions{Dir: opts.DataDir, Shards: opts.Shards})
+	fail(err)
+	ln, err := net.Listen("tcp", followAddr)
+	fail(err)
+	go func() {
+		if err := replica.Serve(ln, fol); err != nil && !errors.Is(err, net.ErrClosed) {
+			fmt.Fprintf(os.Stderr, "adpmd: replication listener: %v\n", err)
+		}
+	}()
+
+	var handler atomic.Pointer[http.Handler] // what currently serves -addr
+	promoted := make(chan *server.Server, 1)
+	var promoteOnce sync.Once
+	promote := func(reason string) {
+		promoteOnce.Do(func() {
+			fmt.Fprintf(os.Stderr, "adpmd: promoting (%s)\n", reason)
+			// Promote first: from here every replication write from a
+			// still-live leader is refused with ErrPromoted, so the fork
+			// point is sharp. Then stop accepting new leader connections.
+			if err := fol.Promote(); err != nil {
+				fail(err)
+			}
+			ln.Close()
+			srv, err := server.Open(opts)
+			fail(err)
+			srv.PublishDebug()
+			recovered := 0
+			for _, st := range srv.Stats().Shards {
+				recovered += int(st.Parked)
+			}
+			h := srv.Handler()
+			handler.Store(&h)
+			fmt.Fprintf(os.Stderr, "adpmd: promoted — serving %d recovered sessions on %s\n", recovered, addr)
+			promoted <- srv
+		})
+	}
+
+	// Handoff watcher: the leader's rolling restart ends in a handoff
+	// frame; seeing it means the mirror is complete and this node owns
+	// the data.
+	go func() {
+		for !fol.Promoted() {
+			if fol.HandoffReceived() {
+				promote("handoff received")
+				return
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}()
+
+	standby := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/healthz":
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"ok":true,"role":"follower"}`)
+		case r.URL.Path == "/promote" && r.Method == http.MethodPost:
+			promote("admin request")
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"promoted":true}`)
+		case r.URL.Path == "/readyz":
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]any{
+				"ready": false, "role": "follower", "shards": fol.Status(),
+			})
+		default:
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "follower: not serving until promoted", http.StatusServiceUnavailable)
+		}
+	})
+	sh := http.Handler(standby)
+	handler.Store(&sh)
+	hs := server.NewHTTPServer(addr, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		(*handler.Load()).ServeHTTP(w, r)
+	}))
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "adpmd: follower mirroring on %s, admin on %s\n", followAddr, addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "adpmd: %v — draining\n", sig)
+	case err := <-httpErr:
+		fail(err)
+	}
+
+	var srv *server.Server
+	select {
+	case srv = <-promoted:
+	default:
+	}
+	if srv != nil {
+		srv.StopSubscribers()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "adpmd: shutdown: %v\n", err)
+	}
+	ln.Close()
+	if srv != nil {
+		for _, sum := range srv.Drain() {
+			fmt.Fprintf(os.Stderr, "adpmd: shard %d: %d sessions, %d ops, %d evals, %d spins, %d notifications, %d evicted\n",
+				sum.Shard, len(sum.Sessions), sum.Totals.Operations, sum.Totals.Evaluations,
+				sum.Totals.Spins, sum.Totals.Notifications, sum.Evictions)
 		}
 	}
 }

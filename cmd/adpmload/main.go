@@ -14,7 +14,7 @@
 //	         [-retry-frac 0.1] [-delete-frac 0.25] [-pool 4] [-ops 48] \
 //	         [-subscribers 0] [-rate 0] [-duration 10s] [-ramp 2:2s,8:8s] \
 //	         [-out BENCH_load.json] [-trace load.jsonl] [-oracle] \
-//	         [-ready-timeout 10s] \
+//	         [-ready-timeout 10s] [-retries 0] \
 //	         [-check -slo p99=200ms,errs=1%,deliver_p99=100ms]
 //
 // Modes. The default is closed-loop: -clients workers each drive
@@ -32,6 +32,19 @@
 // publish→deliver latency quantiles (and a "subscribe" row for stream
 // opens); deliver_-prefixed SLO terms (deliver_p99=100ms) gate on it.
 // Subscribers only read — request sequences stay deterministic.
+//
+// -addr accepts a comma-separated list of base URLs — a leader and its
+// warm standbys. Requests follow the current base and rotate to the
+// next one on transport error, so a kill-and-promote failover mid-run
+// costs one errored (or retried) request instead of the run. -retries N
+// re-attempts transiently failed requests (transport error, 408, 429,
+// 503) with server-directed Retry-After or jittered capped exponential
+// backoff; only the final attempt enters the latency/status taxonomy,
+// with retry counts and total backoff time reported separately. Driving
+// a two-node pair through a rolling restart is the combination of both:
+//
+//	adpmload -addr http://127.0.0.1:8080,http://127.0.0.1:8081 \
+//	         -retries 8 -duration 10s -check -slo errs=0%
 //
 // The oracle (on by default) replays each session's acked batches into
 // a fresh single-threaded engine session and compares the final served
@@ -57,7 +70,7 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "", "target base URL (e.g. http://127.0.0.1:8080)")
+	addr := flag.String("addr", "", "target base URL(s), comma-separated for a failover pair (e.g. http://127.0.0.1:8080,http://127.0.0.1:8081)")
 	hermetic := flag.Bool("hermetic", false, "run against an in-process server instead of -addr")
 	scenarioName := flag.String("scenario", "simplified", "built-in scenario driving the workload")
 	mode := flag.String("mode", "ADPM", "transition mode: ADPM or conventional")
@@ -78,6 +91,7 @@ func main() {
 	traceFile := flag.String("trace", "", "write load-phase JSONL trace events here")
 	oracle := flag.Bool("oracle", true, "cross-check acked batches against the sequential oracle")
 	readyTimeout := flag.Duration("ready-timeout", 10*time.Second, "wait this long for the target's /readyz")
+	retries := flag.Int("retries", 0, "reactive re-attempts per request on transport error/408/429/503 (Retry-After honored; 0 disables)")
 	check := flag.Bool("check", false, "gate mode: exit 2 on SLO violation or oracle mismatch")
 	sloSpec := flag.String("slo", "", "SLO spec for -check, e.g. p99=200ms,errs=1%,throughput=50")
 	flag.Parse()
@@ -112,12 +126,23 @@ func main() {
 	fail(err)
 
 	var target loadgen.Target
+	var failover *loadgen.FailoverTarget
 	switch {
 	case *hermetic:
 		srv, err := server.Open(server.Options{})
 		fail(err)
 		defer srv.Drain()
 		target = &loadgen.HandlerTarget{Handler: srv.Handler()}
+	case strings.Contains(*addr, ","):
+		var bases []string
+		for _, b := range strings.Split(*addr, ",") {
+			if b = strings.TrimSpace(b); b != "" {
+				bases = append(bases, b)
+			}
+		}
+		failover = &loadgen.FailoverTarget{Bases: bases}
+		fail(failover.WaitReady(*readyTimeout))
+		target = failover
 	case *addr != "":
 		ht := &loadgen.HTTPTarget{Base: *addr}
 		fail(ht.WaitReady(*readyTimeout))
@@ -135,9 +160,15 @@ func main() {
 		defer rec.Close()
 	}
 
-	runner := &loadgen.Runner{Target: target, Programs: programs, Seed: *seed, Tracer: rec, Subscribers: *subscribers}
+	runner := &loadgen.Runner{
+		Target: target, Programs: programs, Seed: *seed, Tracer: rec,
+		Subscribers: *subscribers, Retry: loadgen.RetryPolicy{Max: *retries},
+	}
 	res, err := runner.Run(phases)
 	fail(err)
+	if failover != nil && failover.Rotations() > 0 {
+		fmt.Printf("adpmload: rotated target %d time(s) on transport failure\n", failover.Rotations())
+	}
 
 	var orc *loadgen.OracleResult
 	if *oracle {

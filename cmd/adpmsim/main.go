@@ -11,9 +11,10 @@
 //
 //	adpmsim -seed 42 [-steps 300] [-fsync always|interval|never]
 //	        [-shards 2] [-script '{"sync_fails":[{"op":"rotate","nth":3,"at":1}]}']
-//	        [-trace out.jsonl] [-v]
-//	adpmsim -seeds 0..500 [-steps 300] [-fsync interval]   # sweep
+//	        [-replica] [-quorum] [-trace out.jsonl] [-v]
+//	adpmsim -seeds 0..500 [-steps 300] [-fsync interval] [-replica]   # sweep
 //	adpmsim -check [-check-epochs 4] [-check-len 3] [-fsync always]
+//	        [-replica] [-quorum]
 //
 // Modes:
 //
@@ -26,6 +27,15 @@
 //   - -check: exhaustive explicit-state model checking of the small
 //     configuration (2 shards, 3 sessions, 4 keyed ops, crash at every
 //     WAL record boundary). Exit 2 on violations with the action trace.
+//
+// With -replica every mode runs against a two-node pair — a warm
+// standby tails the leader's WALs over a fault-injectable link, and the
+// schedule gains follower crashes, message drops, partitions,
+// failovers, and rolling restarts (the checker: follower crashes, link
+// cuts, and promote/cutpromote terminators). -quorum selects
+// ship-before-ack replication (zero acked-op loss across failover;
+// requires -fsync always); without it acks are async and a failover may
+// lose only the acked-but-unshipped suffix, prefix-closed.
 //
 // Exit status: 0 clean, 1 operational error, 2 violation found.
 package main
@@ -56,7 +66,11 @@ func main() {
 	checkLen := flag.Int("check-len", 3, "model checker: max client actions between crash points")
 	checkSessions := flag.Int("check-sessions", 3, "model checker: max concurrent sessions (≤3)")
 	checkOps := flag.Int("check-ops", 4, "model checker: max keyed batches (≤4)")
+	replicaF := flag.Bool("replica", false, "run against a two-node pair: warm standby, failovers, rolling restarts")
+	quorum := flag.Bool("quorum", false, "quorum replication acks (implies -replica; requires -fsync always)")
 	flag.Parse()
+
+	replica := *replicaF || *quorum
 
 	policy, err := wal.ParsePolicy(*fsync)
 	if err != nil {
@@ -65,15 +79,15 @@ func main() {
 
 	switch {
 	case *doCheck:
-		runCheck(policy, *shards, *checkSessions, *checkOps, *checkEpochs, *checkLen)
+		runCheck(policy, *shards, *checkSessions, *checkOps, *checkEpochs, *checkLen, replica, *quorum)
 	case *seeds != "":
 		lo, hi, err := parseRange(*seeds)
 		if err != nil {
 			fail(err)
 		}
-		runSweep(lo, hi, *steps, *shards, policy)
+		runSweep(lo, hi, *steps, *shards, policy, replica, *quorum)
 	case *seed >= 0:
-		runOne(*seed, *steps, *shards, policy, *script, *traceOut, *verbose)
+		runOne(*seed, *steps, *shards, policy, *script, *traceOut, *verbose, replica, *quorum)
 	default:
 		fmt.Fprintln(os.Stderr, "adpmsim: one of -seed, -seeds, or -check is required")
 		flag.Usage()
@@ -81,8 +95,8 @@ func main() {
 	}
 }
 
-func runOne(seed int64, steps, shards int, policy wal.SyncPolicy, scriptJSON, traceOut string, verbose bool) {
-	cfg := sim.Config{Seed: seed, Steps: steps, Shards: shards, Policy: policy}
+func runOne(seed int64, steps, shards int, policy wal.SyncPolicy, scriptJSON, traceOut string, verbose, replica, quorum bool) {
+	cfg := sim.Config{Seed: seed, Steps: steps, Shards: shards, Policy: policy, Replica: replica, Quorum: quorum}
 	if scriptJSON != "" {
 		sc, err := sim.ParseScript([]byte(scriptJSON))
 		if err != nil {
@@ -108,10 +122,10 @@ func runOne(seed int64, steps, shards int, policy wal.SyncPolicy, scriptJSON, tr
 	}
 }
 
-func runSweep(lo, hi int64, steps, shards int, policy wal.SyncPolicy) {
-	var acks, kills, cuts, faults int
+func runSweep(lo, hi int64, steps, shards int, policy wal.SyncPolicy, replica, quorum bool) {
+	var acks, kills, cuts, faults, fails, rolls int
 	for s := lo; s <= hi; s++ {
-		res, err := sim.Run(sim.Config{Seed: s, Steps: steps, Shards: shards, Policy: policy})
+		res, err := sim.Run(sim.Config{Seed: s, Steps: steps, Shards: shards, Policy: policy, Replica: replica, Quorum: quorum})
 		if err != nil {
 			fail(err)
 		}
@@ -119,20 +133,32 @@ func runSweep(lo, hi int64, steps, shards int, policy wal.SyncPolicy) {
 		kills += res.Kills
 		cuts += res.Powercuts
 		faults += res.Faults
+		fails += res.Failovers
+		rolls += res.Rollings
 		if len(res.Violations) > 0 {
 			fmt.Printf("FAIL seed=%d fsync=%s script=%s digest=%s\n", s, policy, res.Script, res.Digest)
 			for _, v := range res.Violations {
 				fmt.Printf("  violation: %s\n", v)
 			}
-			fmt.Printf("reproduce: adpmsim -seed %d -steps %d -shards %d -fsync %s\n", s, steps, shards, policy)
+			repro := fmt.Sprintf("adpmsim -seed %d -steps %d -shards %d -fsync %s", s, steps, shards, policy)
+			if quorum {
+				repro += " -quorum"
+			} else if replica {
+				repro += " -replica"
+			}
+			fmt.Printf("reproduce: %s\n", repro)
 			os.Exit(2)
 		}
 	}
-	fmt.Printf("ok: seeds %d..%d fsync=%s (%d acks, %d kills, %d powercuts, %d injected faults)\n",
-		lo, hi, policy, acks, kills, cuts, faults)
+	extra := ""
+	if replica {
+		extra = fmt.Sprintf(", %d failovers, %d rolling restarts", fails, rolls)
+	}
+	fmt.Printf("ok: seeds %d..%d fsync=%s (%d acks, %d kills, %d powercuts, %d injected faults%s)\n",
+		lo, hi, policy, acks, kills, cuts, faults, extra)
 }
 
-func runCheck(policy wal.SyncPolicy, shards, sessions, ops, epochs, length int) {
+func runCheck(policy wal.SyncPolicy, shards, sessions, ops, epochs, length int, replica, quorum bool) {
 	rep, err := check.Run(check.Config{
 		Shards:      shards,
 		MaxSessions: sessions,
@@ -140,6 +166,8 @@ func runCheck(policy wal.SyncPolicy, shards, sessions, ops, epochs, length int) 
 		MaxEpochs:   epochs,
 		EpochLen:    length,
 		Policy:      policy,
+		Replica:     replica,
+		Quorum:      quorum,
 	})
 	if err != nil {
 		fail(err)
@@ -155,8 +183,14 @@ func runCheck(policy wal.SyncPolicy, shards, sessions, ops, epochs, length int) 
 		}
 		os.Exit(2)
 	}
-	fmt.Printf("ok: model checker explored %d states (%d transitions) under fsync=%s — no violations\n",
-		rep.States, rep.Transitions, policy)
+	mode := ""
+	if quorum {
+		mode = " repl=quorum"
+	} else if replica {
+		mode = " repl=async"
+	}
+	fmt.Printf("ok: model checker explored %d states (%d transitions) under fsync=%s%s — no violations\n",
+		rep.States, rep.Transitions, policy, mode)
 }
 
 func printResult(res *sim.Result) {
@@ -166,6 +200,10 @@ func printResult(res *sim.Result) {
 		res.Acks, res.Replays, res.Creates, res.Deletes, res.Parks, res.Restores)
 	fmt.Printf("  restarts=%d kills=%d powercuts=%d rotations=%d faults=%d rejects=%d\n",
 		res.Restarts, res.Kills, res.Powercuts, res.Rotations, res.Faults, res.Rejects)
+	if res.Failovers+res.Rollings+res.FollowerCrashes+res.NetDrops+res.Partitions+res.ReplChecks > 0 {
+		fmt.Printf("  failovers=%d rollings=%d folcrashes=%d netdrops=%d partitions=%d replchecks=%d\n",
+			res.Failovers, res.Rollings, res.FollowerCrashes, res.NetDrops, res.Partitions, res.ReplChecks)
+	}
 	for _, v := range res.Violations {
 		fmt.Printf("  violation: %s\n", v)
 	}

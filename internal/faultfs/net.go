@@ -1,0 +1,65 @@
+package faultfs
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrPartitioned is the error every message reports while a NetFault is
+// partitioned.
+var ErrPartitioned = errors.New("faultfs: injected network partition")
+
+// NetFault is the transport-side sibling of Fault: a scripted failure
+// injector for message-passing links (the replication peer connection).
+// It counts messages globally, so tests and the simulation can say
+// "drop the Nth replication message" with the same determinism the
+// filesystem hooks give "fail the Nth sync". Safe for concurrent use;
+// the hook runs under the internal lock and must not call back in.
+type NetFault struct {
+	// OnMsg, when non-nil, is consulted before every message with its
+	// 1-based global index and kind ("append", "rotate", "sync", "pos",
+	// "copy", "reset", "handoff"). A non-nil return suppresses delivery
+	// and is reported to the sender.
+	OnMsg func(n int, kind string) error
+
+	mu          sync.Mutex
+	msgs        int
+	partitioned bool
+}
+
+// Before accounts for one message about to cross the link and returns
+// the injected failure, if any. A partition outranks the hook: every
+// message fails with ErrPartitioned until the partition heals.
+func (nf *NetFault) Before(kind string) error {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	nf.msgs++
+	if nf.partitioned {
+		return ErrPartitioned
+	}
+	if nf.OnMsg != nil {
+		return nf.OnMsg(nf.msgs, kind)
+	}
+	return nil
+}
+
+// SetPartitioned cuts (true) or heals (false) the link.
+func (nf *NetFault) SetPartitioned(v bool) {
+	nf.mu.Lock()
+	nf.partitioned = v
+	nf.mu.Unlock()
+}
+
+// Partitioned reports whether the link is currently cut.
+func (nf *NetFault) Partitioned() bool {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	return nf.partitioned
+}
+
+// Messages returns the number of messages accounted so far.
+func (nf *NetFault) Messages() int {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	return nf.msgs
+}

@@ -1,0 +1,83 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// FailoverTarget fans one logical target over several adpmd base URLs —
+// a leader and its warm standbys. Requests go to the current base; a
+// transport error advances the rotation (compare-and-swap, so racing
+// workers move it exactly once per failure) and returns the error for
+// the caller's retry layer to re-issue against the next base. Status
+// failures do not rotate: a not-yet-promoted follower answers 503, and
+// the right move is to retry in place until its promotion lands — which
+// the retry layer's 503 handling does.
+type FailoverTarget struct {
+	// Bases are the server roots in preference order, e.g.
+	// ["http://127.0.0.1:8080", "http://127.0.0.1:8081"].
+	Bases []string
+	// Client is shared by all bases; nil means each request uses the
+	// HTTPTarget default (30s timeout).
+	Client *http.Client
+
+	cur       atomic.Int64
+	rotations atomic.Uint64
+}
+
+func (t *FailoverTarget) target(i int64) *HTTPTarget {
+	return &HTTPTarget{Base: t.Bases[int(i%int64(len(t.Bases)))], Client: t.Client}
+}
+
+// Do issues the request against the current base, rotating on transport
+// error.
+func (t *FailoverTarget) Do(method, path string, body []byte) (*Response, error) {
+	i := t.cur.Load()
+	resp, err := t.target(i).Do(method, path, body)
+	if err != nil && t.cur.CompareAndSwap(i, i+1) {
+		t.rotations.Add(1)
+	}
+	return resp, err
+}
+
+// Stream opens the SSE feed against the current base.
+func (t *FailoverTarget) Stream(path string) (io.ReadCloser, int, error) {
+	return t.target(t.cur.Load()).Stream(path)
+}
+
+// Rotations reports how many times a transport error advanced the
+// rotation — the run's observed failover count.
+func (t *FailoverTarget) Rotations() uint64 { return t.rotations.Load() }
+
+// WaitReady polls every base round-robin until any one answers
+// GET /readyz with 200, and parks the rotation on it. In a two-node
+// pair only the leader is ready (the follower reports 503 until
+// promoted), so this also selects the right starting base.
+func (t *FailoverTarget) WaitReady(timeout time.Duration) error {
+	if len(t.Bases) == 0 {
+		return fmt.Errorf("loadgen: failover target has no bases")
+	}
+	deadline := time.Now().Add(timeout)
+	var last error
+	for {
+		for i := range t.Bases {
+			resp, err := t.target(int64(i)).Do(http.MethodGet, "/readyz", nil)
+			if err == nil && resp.Status == http.StatusOK {
+				t.cur.Store(int64(i))
+				return nil
+			}
+			if err != nil {
+				last = err
+			} else {
+				last = fmt.Errorf("%s: readyz status %d", t.Bases[i], resp.Status)
+			}
+		}
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("loadgen: no base ready after %v: %v", timeout, last)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -29,20 +29,22 @@ type EndpointReport struct {
 // taxonomies, idempotent-replay count, oracle verdict, and (in -check
 // mode) the SLO results.
 type Report struct {
-	Tool          string           `json:"tool"`
-	Workload      Workload         `json:"workload"`
-	Phases        []PhaseStats     `json:"phases"`
-	WallSeconds   float64          `json:"wall_seconds"`
-	Requests      uint64           `json:"requests"`
-	Errors        uint64           `json:"errors"`
-	ErrorRate     float64          `json:"error_rate"`
-	ThroughputRPS float64          `json:"throughput_rps"`
-	Replays       uint64           `json:"idempotent_replays"`
-	Deliveries    uint64           `json:"deliveries,omitempty"`
-	Total         EndpointReport   `json:"total"`
-	Endpoints     []EndpointReport `json:"endpoints"`
-	Oracle        *OracleResult    `json:"oracle,omitempty"`
-	SLO           []SLOResult      `json:"slo,omitempty"`
+	Tool           string           `json:"tool"`
+	Workload       Workload         `json:"workload"`
+	Phases         []PhaseStats     `json:"phases"`
+	WallSeconds    float64          `json:"wall_seconds"`
+	Requests       uint64           `json:"requests"`
+	Errors         uint64           `json:"errors"`
+	ErrorRate      float64          `json:"error_rate"`
+	ThroughputRPS  float64          `json:"throughput_rps"`
+	Replays        uint64           `json:"idempotent_replays"`
+	Retries        uint64           `json:"retries,omitempty"`
+	BackoffSeconds float64          `json:"backoff_seconds,omitempty"`
+	Deliveries     uint64           `json:"deliveries,omitempty"`
+	Total          EndpointReport   `json:"total"`
+	Endpoints      []EndpointReport `json:"endpoints"`
+	Oracle         *OracleResult    `json:"oracle,omitempty"`
+	SLO            []SLOResult      `json:"slo,omitempty"`
 }
 
 // isError classifies a status for the error-rate taxonomy: transport
@@ -78,14 +80,16 @@ func endpointReport(label string, agg *endpointAgg, wallSec float64) EndpointRep
 // verdict).
 func BuildReport(w Workload, res *RunResult, oracle *OracleResult) *Report {
 	rep := &Report{
-		Tool:        "adpmload",
-		Workload:    w.withDefaults(),
-		Phases:      res.Phases,
-		WallSeconds: res.Wall.Seconds(),
-		Requests:    res.Requests,
-		Replays:     res.Replays,
-		Deliveries:  res.Deliveries,
-		Oracle:      oracle,
+		Tool:           "adpmload",
+		Workload:       w.withDefaults(),
+		Phases:         res.Phases,
+		WallSeconds:    res.Wall.Seconds(),
+		Requests:       res.Requests,
+		Replays:        res.Replays,
+		Retries:        res.Retries,
+		BackoffSeconds: res.Backoff.Seconds(),
+		Deliveries:     res.Deliveries,
+		Oracle:         oracle,
 	}
 	total := &endpointAgg{statuses: map[int]uint64{}}
 	for _, label := range res.Endpoints() {
@@ -131,6 +135,9 @@ func (rep *Report) Human() string {
 	}
 	if rep.Replays > 0 {
 		fmt.Fprintf(&b, "  idempotent replays: %d\n", rep.Replays)
+	}
+	if rep.Retries > 0 {
+		fmt.Fprintf(&b, "  reactive retries: %d (%.2fs backing off)\n", rep.Retries, rep.BackoffSeconds)
 	}
 	if rep.Deliveries > 0 {
 		fmt.Fprintf(&b, "  notifications delivered: %d\n", rep.Deliveries)

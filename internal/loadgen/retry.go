@@ -1,0 +1,99 @@
+package loadgen
+
+import (
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Reactive retries. Injected retries (Step.Retry) are part of the
+// deterministic program text; reactive retries are the opposite — a
+// runtime response to transient failure (a dropped connection, a 429
+// shed, a 503 from a follower that has not finished promoting). The
+// retry layer re-issues a failed request up to Max times, sleeping a
+// server-directed Retry-After when one is present and a jittered capped
+// exponential backoff otherwise. Only the final attempt lands in the
+// latency/status taxonomy — the report describes outcomes, with the
+// retry effort accounted separately (Retries, BackoffSeconds) so a run
+// that survived a failover is distinguishable from one that never
+// needed to.
+
+// RetryPolicy bounds the reactive-retry loop.
+type RetryPolicy struct {
+	// Max is the number of re-attempts per request; 0 disables reactive
+	// retries entirely (the default, preserving the strict determinism
+	// contract for hermetic runs).
+	Max int
+	// Base is the first backoff step; doubled per attempt. 0 means 25ms.
+	Base time.Duration
+	// Cap bounds the exponential growth (not a Retry-After, which is
+	// server-directed and honored as given). 0 means 1s.
+	Cap time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Base <= 0 {
+		p.Base = 25 * time.Millisecond
+	}
+	if p.Cap <= 0 {
+		p.Cap = time.Second
+	}
+	return p
+}
+
+// retryable classifies a final status as worth re-attempting: transport
+// failures (0), timeouts (408), load shedding (429), and unavailability
+// (503 — what a not-yet-promoted follower answers). Everything else is
+// a definitive outcome.
+func retryable(status int) bool {
+	switch status {
+	case 0, http.StatusRequestTimeout, http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		return true
+	}
+	return false
+}
+
+// retryAfter parses a Retry-After header: delta-seconds or an HTTP
+// date. Returns false when absent or unparseable.
+func retryAfter(h http.Header) (time.Duration, bool) {
+	if h == nil {
+		return 0, false
+	}
+	v := strings.TrimSpace(h.Get("Retry-After"))
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second, true
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// backoff computes the wait before re-attempt number attempt (0-based).
+// A parseable Retry-After wins verbatim — the server knows its own
+// recovery schedule better than any client curve. Otherwise the wait is
+// Base·2^attempt capped at Cap, jittered uniformly over its upper half
+// so synchronized workers spread out without ever collapsing below half
+// the schedule.
+func (p RetryPolicy) backoff(attempt int, h http.Header, rng *rand.Rand) time.Duration {
+	if d, ok := retryAfter(h); ok {
+		return d
+	}
+	d := p.Base << uint(attempt)
+	if d <= 0 || d > p.Cap {
+		d = p.Cap
+	}
+	half := d / 2
+	if rng != nil && half > 0 {
+		return half + time.Duration(rng.Int63n(int64(half)+1))
+	}
+	return d
+}

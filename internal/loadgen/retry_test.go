@@ -1,0 +1,280 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+func TestRetryAfterParse(t *testing.T) {
+	if _, ok := retryAfter(nil); ok {
+		t.Fatal("nil header parsed")
+	}
+	h := http.Header{}
+	if _, ok := retryAfter(h); ok {
+		t.Fatal("absent header parsed")
+	}
+	h.Set("Retry-After", "3")
+	if d, ok := retryAfter(h); !ok || d != 3*time.Second {
+		t.Fatalf("delta-seconds: got %v %v", d, ok)
+	}
+	h.Set("Retry-After", "soon")
+	if _, ok := retryAfter(h); ok {
+		t.Fatal("garbage value parsed")
+	}
+	h.Set("Retry-After", time.Now().Add(2*time.Second).UTC().Format(http.TimeFormat))
+	if d, ok := retryAfter(h); !ok || d <= 0 || d > 2*time.Second {
+		t.Fatalf("http-date: got %v %v", d, ok)
+	}
+	h.Set("Retry-After", time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat))
+	if d, ok := retryAfter(h); !ok || d != 0 {
+		t.Fatalf("past http-date should clamp to 0, got %v %v", d, ok)
+	}
+	h.Set("Retry-After", "-5")
+	if _, ok := retryAfter(h); ok {
+		t.Fatal("negative seconds parsed")
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	p := RetryPolicy{Max: 5, Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond}.withDefaults()
+	rng := rand.New(rand.NewSource(1))
+	for attempt := 0; attempt < 8; attempt++ {
+		want := p.Base << uint(attempt)
+		if want <= 0 || want > p.Cap {
+			want = p.Cap
+		}
+		for i := 0; i < 50; i++ {
+			d := p.backoff(attempt, nil, rng)
+			if d < want/2 || d > want {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, want/2, want)
+			}
+		}
+	}
+	// A server-directed Retry-After overrides the curve, uncapped.
+	h := http.Header{}
+	h.Set("Retry-After", "2")
+	if d := p.backoff(0, h, rng); d != 2*time.Second {
+		t.Fatalf("Retry-After not honored: %v", d)
+	}
+}
+
+// flakyTarget rejects the first failN requests per (method, path) with
+// a scripted status (and optional Retry-After), then delegates.
+type flakyTarget struct {
+	inner      Target
+	mu         sync.Mutex
+	seen       map[string]int
+	failN      int
+	status     int
+	retryAfter string
+	rejected   int
+}
+
+func (f *flakyTarget) Do(method, path string, body []byte) (*Response, error) {
+	f.mu.Lock()
+	key := method + " " + path
+	f.seen[key]++
+	reject := f.seen[key] <= f.failN
+	if reject {
+		f.rejected++
+	}
+	f.mu.Unlock()
+	if reject {
+		hdr := http.Header{}
+		if f.retryAfter != "" {
+			hdr.Set("Retry-After", f.retryAfter)
+		}
+		if f.status == 0 {
+			return nil, errors.New("flaky: connection reset")
+		}
+		return &Response{Status: f.status, Header: hdr}, nil
+	}
+	return f.inner.Do(method, path, body)
+}
+
+// TestReactiveRetryRecovers drives a workload through a target that
+// 503s (Retry-After: 0) the first attempt of every request: with the
+// retry layer on, the run must complete with a clean taxonomy (final
+// attempts only — no 503s or transport errors recorded), a clean
+// oracle, and the retry effort counted.
+func TestReactiveRetryRecovers(t *testing.T) {
+	w := testWorkload()
+	w.Clients = 2
+	w.SessionsPerClient = 1
+	w.RetryFrac = 0
+	progs, err := BuildPrograms(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.Open(server.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Drain()
+	flaky := &flakyTarget{
+		inner: &HandlerTarget{Handler: srv.Handler()},
+		seen:  map[string]int{}, failN: 1,
+		status: http.StatusServiceUnavailable, retryAfter: "0",
+	}
+	r := &Runner{
+		Target: flaky, Programs: progs, Seed: w.Seed,
+		Retry: RetryPolicy{Max: 3, Base: time.Millisecond, Cap: 4 * time.Millisecond},
+	}
+	res, err := r.Run([]Phase{{Name: "steady", Clients: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries == 0 {
+		t.Fatal("flaky target triggered no reactive retries")
+	}
+	if int(res.Retries) != flaky.rejected {
+		t.Fatalf("retries %d, target rejected %d", res.Retries, flaky.rejected)
+	}
+	for label, agg := range res.endpoints {
+		for _, code := range []int{0, http.StatusServiceUnavailable} {
+			if n := agg.statuses[code]; n != 0 {
+				t.Fatalf("%s: %d final status-%d outcomes; retried attempts must stay out of the taxonomy", label, n, code)
+			}
+		}
+	}
+	oracle, err := CheckOracle(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oracle.OK() {
+		t.Fatalf("oracle mismatches under reactive retries: %v", oracle.Mismatches)
+	}
+	rep := BuildReport(w, res, oracle)
+	if rep.Retries != res.Retries || rep.Errors != 0 {
+		t.Fatalf("report retries=%d errors=%d, want retries=%d errors=0", rep.Retries, rep.Errors, res.Retries)
+	}
+}
+
+// dropAckTarget forwards requests but "loses" the response of the first
+// POST to each ops path — the server applies and acks, the client sees
+// a transport error. The reactive retry then gets an Idempotent-Replay
+// ack, which execProgram must count as the batch's real acknowledgment
+// or the oracle diverges from the server state.
+type dropAckTarget struct {
+	inner   Target
+	mu      sync.Mutex
+	dropped map[string]bool
+	drops   int
+}
+
+func (d *dropAckTarget) Do(method, path string, body []byte) (*Response, error) {
+	resp, err := d.inner.Do(method, path, body)
+	if method == http.MethodPost && err == nil && resp.Status == http.StatusOK {
+		d.mu.Lock()
+		key := path + "#" + string(body)
+		first := !d.dropped[key]
+		if first {
+			d.dropped[key] = true
+			d.drops++
+		}
+		d.mu.Unlock()
+		if first && resp.Header.Get("Idempotent-Replay") != "true" {
+			return nil, errors.New("dropack: response lost")
+		}
+	}
+	return resp, err
+}
+
+func TestRetryAckedButLostInTransit(t *testing.T) {
+	w := testWorkload()
+	w.Clients = 2
+	w.SessionsPerClient = 1
+	w.RetryFrac = 0
+	w.DeleteFrac = 0
+	progs, err := BuildPrograms(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.Open(server.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Drain()
+	drop := &dropAckTarget{inner: &HandlerTarget{Handler: srv.Handler()}, dropped: map[string]bool{}}
+	r := &Runner{
+		Target: drop, Programs: progs, Seed: w.Seed,
+		Retry: RetryPolicy{Max: 2, Base: time.Millisecond, Cap: 2 * time.Millisecond},
+	}
+	res, err := r.Run([]Phase{{Name: "steady", Clients: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drop.drops == 0 || res.Retries == 0 {
+		t.Fatalf("no acks dropped (%d) or no retries (%d)", drop.drops, res.Retries)
+	}
+	if res.Replays == 0 {
+		t.Fatal("dropped acks produced no idempotent replays")
+	}
+	// The decisive check: every server-applied batch is in the traces,
+	// so the sequential oracle agrees with the served final states.
+	oracle, err := CheckOracle(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oracle.OK() {
+		t.Fatalf("oracle mismatches — replay acks after lost responses miscounted: %v", oracle.Mismatches)
+	}
+	if oracle.Checked == 0 {
+		t.Fatal("oracle checked nothing")
+	}
+}
+
+// TestFailoverTargetRotates points a FailoverTarget at a dead base and
+// a live one: the first request errors and rotates, the second lands.
+func TestFailoverTargetRotates(t *testing.T) {
+	live := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		fmt.Fprint(rw, "ok")
+	}))
+	defer live.Close()
+	ft := &FailoverTarget{Bases: []string{"http://127.0.0.1:1", live.URL}}
+	if _, err := ft.Do(http.MethodGet, "/readyz", nil); err == nil {
+		t.Fatal("dead base answered")
+	}
+	if ft.Rotations() != 1 {
+		t.Fatalf("rotations %d, want 1", ft.Rotations())
+	}
+	resp, err := ft.Do(http.MethodGet, "/readyz", nil)
+	if err != nil || resp.Status != http.StatusOK {
+		t.Fatalf("rotated request failed: %v %v", resp, err)
+	}
+	if ft.Rotations() != 1 {
+		t.Fatalf("successful request advanced the rotation: %d", ft.Rotations())
+	}
+}
+
+// TestFailoverWaitReadyAnyBase: WaitReady succeeds when any base is
+// ready and parks the rotation on it, skipping dead and 503 bases.
+func TestFailoverWaitReadyAnyBase(t *testing.T) {
+	notReady := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		rw.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer notReady.Close()
+	ready := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		rw.WriteHeader(http.StatusOK)
+	}))
+	defer ready.Close()
+	ft := &FailoverTarget{Bases: []string{"http://127.0.0.1:1", notReady.URL, ready.URL}}
+	if err := ft.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := ft.cur.Load(); got != 2 {
+		t.Fatalf("rotation parked on base %d, want 2 (the ready one)", got)
+	}
+	none := &FailoverTarget{Bases: []string{"http://127.0.0.1:1", notReady.URL}}
+	if err := none.WaitReady(300 * time.Millisecond); err == nil {
+		t.Fatal("WaitReady succeeded with no ready base")
+	}
+}

@@ -3,6 +3,7 @@ package loadgen
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -81,9 +82,14 @@ type RunResult struct {
 	Requests   uint64
 	Replays    uint64
 	Deliveries uint64
-	Phases     []PhaseStats
-	Sessions   []*SessionTrace
-	endpoints  map[string]*endpointAgg
+	// Retries counts reactive re-attempts (not the injected duplicate
+	// steps, which are Replays); Backoff is the total time spent
+	// sleeping between attempts, across all workers.
+	Retries   uint64
+	Backoff   time.Duration
+	Phases    []PhaseStats
+	Sessions  []*SessionTrace
+	endpoints map[string]*endpointAgg
 }
 
 // Endpoints lists the endpoint labels seen, in a stable order. The
@@ -112,7 +118,12 @@ type workerState struct {
 	requests   uint64
 	replays    uint64
 	deliveries uint64
+	retries    uint64
+	backoff    time.Duration
 	sessions   []*SessionTrace
+	// rng drives reactive-retry jitter; seeded per worker so backoff
+	// schedules are independent. Nil when the worker never retries.
+	rng *rand.Rand
 }
 
 func newWorkerState() *workerState {
@@ -153,6 +164,8 @@ func (w *workerState) fold(o *workerState) {
 	w.requests += o.requests
 	w.replays += o.replays
 	w.deliveries += o.deliveries
+	w.retries += o.retries
+	w.backoff += o.backoff
 	w.sessions = append(w.sessions, o.sessions...)
 }
 
@@ -169,6 +182,12 @@ type Runner struct {
 	// Target must implement StreamTarget; readers issue only GETs, so
 	// the request sequences — the determinism contract — are unchanged.
 	Subscribers int
+	// Retry, when Retry.Max > 0, re-attempts transiently failed
+	// requests (transport error, 408, 429, 503) with Retry-After /
+	// jittered-exponential backoff. Off by default: reactive retries
+	// depend on server behavior, so hermetic determinism runs leave
+	// them disabled.
+	Retry RetryPolicy
 }
 
 // subscriberDrainGrace is how long execProgram keeps a session's
@@ -237,6 +256,8 @@ func (res *RunResult) merge(mu *sync.Mutex, w *workerState) {
 	res.Requests += w.requests
 	res.Replays += w.replays
 	res.Deliveries += w.deliveries
+	res.Retries += w.retries
+	res.Backoff += w.backoff
 	res.Sessions = append(res.Sessions, w.sessions...)
 }
 
@@ -261,6 +282,7 @@ func (r *Runner) runClosed(ph *Phase, res *RunResult) (PhaseStats, error) {
 		go func() {
 			defer wg.Done()
 			ws := newWorkerState()
+			ws.rng = rand.New(rand.NewSource(r.Seed ^ (int64(wkr+1) * 0x9E3779B9)))
 			for {
 				i := int(cursor.Add(1) - 1)
 				if deadline.IsZero() {
@@ -316,6 +338,7 @@ func (r *Runner) runOpen(ph *Phase, res *RunResult) (PhaseStats, error) {
 		go func() {
 			defer wg.Done()
 			ws := newWorkerState()
+			ws.rng = rand.New(rand.NewSource(r.Seed ^ (int64(n+1) * 0x9E3779B9)))
 			r.execProgram(prog, ws)
 			res.merge(&mu, ws)
 		}()
@@ -338,23 +361,47 @@ func (r *Runner) execProgram(prog *Program, ws *workerState) {
 	st := &SessionTrace{Program: prog}
 	ws.sessions = append(ws.sessions, st)
 
-	do := func(label, method, path string, body []byte) *Response {
-		t0 := time.Now()
-		resp, err := r.Target.Do(method, path, body)
-		d := time.Since(t0)
-		if err != nil {
-			// Transport failure: recorded as status 0 in the taxonomy.
-			ws.record(label, 0, d)
-			return nil
+	pol := r.Retry.withDefaults()
+	// do issues one request, re-attempting transient failures up to
+	// pol.Max times. Only the final attempt lands in the taxonomy (the
+	// report describes outcomes; retry effort is counted separately),
+	// and the second return says whether any re-attempt happened — the
+	// StepOps path needs it to classify an Idempotent-Replay ack
+	// correctly.
+	do := func(label, method, path string, body []byte) (*Response, bool) {
+		for attempt := 0; ; attempt++ {
+			t0 := time.Now()
+			resp, err := r.Target.Do(method, path, body)
+			d := time.Since(t0)
+			status := 0
+			if err == nil {
+				status = resp.Status
+			}
+			if attempt < pol.Max && retryable(status) {
+				var hdr http.Header
+				if resp != nil {
+					hdr = resp.Header
+				}
+				wait := pol.backoff(attempt, hdr, ws.rng)
+				ws.retries++
+				ws.backoff += wait
+				time.Sleep(wait)
+				continue
+			}
+			if err != nil {
+				// Transport failure: recorded as status 0 in the taxonomy.
+				ws.record(label, 0, d)
+				return nil, attempt > 0
+			}
+			ws.record(label, status, d)
+			return resp, attempt > 0
 		}
-		ws.record(label, resp.Status, d)
-		return resp
 	}
 
 	createBody, _ := json.Marshal(server.CreateRequest{
 		Scenario: prog.Scenario, Mode: prog.Mode, MaxOps: prog.MaxOps,
 	})
-	resp := do("create", http.MethodPost, "/sessions", createBody)
+	resp, _ := do("create", http.MethodPost, "/sessions", createBody)
 	if resp == nil || resp.Status != http.StatusCreated {
 		st.CreateFailed = true
 		return
@@ -390,21 +437,28 @@ func (r *Runner) execProgram(prog *Program, ws *workerState) {
 		switch step.Kind {
 		case StepOps:
 			body, _ := json.Marshal(server.OpsRequest{Ops: step.Ops, Key: step.Key})
-			resp := do("ops", http.MethodPost, opsPath, body)
+			resp, retried := do("ops", http.MethodPost, opsPath, body)
 			if resp == nil || resp.Status != http.StatusOK {
 				continue
 			}
 			if resp.Header.Get("Idempotent-Replay") == "true" {
 				ws.replays++
+				if !step.Retry && retried {
+					// A reactive retry whose first attempt was acked
+					// server-side but lost in transit: the replay ack is
+					// this batch's real (first) acknowledgment, so the
+					// oracle must count it.
+					st.Acked = append(st.Acked, step.EngineOps)
+				}
 				continue
 			}
 			st.Acked = append(st.Acked, step.EngineOps)
 		case StepState:
-			if resp := do("state", http.MethodGet, statePath, nil); resp != nil && resp.Status == http.StatusOK {
+			if resp, _ := do("state", http.MethodGet, statePath, nil); resp != nil && resp.Status == http.StatusOK {
 				st.FinalState = resp.Body
 			}
 		case StepDelete:
-			if resp := do("delete", http.MethodDelete, "/sessions/"+created.ID, nil); resp != nil && resp.Status == http.StatusOK {
+			if resp, _ := do("delete", http.MethodDelete, "/sessions/"+created.ID, nil); resp != nil && resp.Status == http.StatusOK {
 				st.Deleted = true
 			}
 		}

@@ -1,0 +1,332 @@
+package replica
+
+// The replication chaos matrix, sibling of internal/server's chaos
+// suite: follower crashes mid-catch-up, torn and bit-flipped stream
+// frames, torn follower tails on disk, and a seeded random storm of
+// appends, rotations, partitions, message drops, and follower
+// restarts. The invariant throughout is the package contract — the
+// follower never applies a corrupt frame, resumes from its last
+// durable offset, and converges to a byte-identical mirror once the
+// link heals.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/faultfs"
+	"repro/internal/wal"
+)
+
+// foldDir folds every segment of a shard directory into a fresh
+// session map — the byte-level oracle for what a directory means.
+func foldDir(t *testing.T, fsys faultfs.FS, dir string) map[string]*wal.SessionImage {
+	t.Helper()
+	sessions := map[string]*wal.SessionImage{}
+	segs, err := wal.ListSegments(fsys, dir)
+	if err != nil {
+		t.Fatalf("ListSegments(%s): %v", dir, err)
+	}
+	for _, idx := range segs {
+		data, err := fsys.ReadFile(wal.SegmentPath(dir, idx))
+		if err != nil {
+			t.Fatalf("read seg %d: %v", idx, err)
+		}
+		for len(data) > 0 {
+			frame, ferr := nextFrame(data)
+			if frame == nil {
+				t.Fatalf("segment %d unclean: %v", idx, ferr)
+			}
+			rec, derr := decodeFrame(frame)
+			if derr != nil {
+				t.Fatalf("segment %d: %v", idx, derr)
+			}
+			if err := wal.Fold(sessions, rec); err != nil {
+				t.Fatalf("fold: %v", err)
+			}
+			data = data[len(frame):]
+		}
+	}
+	return sessions
+}
+
+func TestChaosFollowerCrashMidCatchUp(t *testing.T) {
+	p := newPair(t, false)
+	if err := p.createRec("s0-1"); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := p.opsRec("s0-1", "k0", 0); err != nil {
+		t.Fatalf("ops: %v", err)
+	}
+	// Build an 8-record backlog behind a partition.
+	p.net.SetPartitioned(true)
+	for i := 1; i <= 8; i++ {
+		if err := p.opsRec("s0-1", fmt.Sprintf("k%d", i), i); err != nil {
+			t.Fatalf("ops %d: %v", i, err)
+		}
+	}
+	p.net.SetPartitioned(false)
+	// The link dies again after four more messages — mid-catch-up, with
+	// three frames applied and fsynced on the follower.
+	base := p.net.Messages()
+	p.net.OnMsg = func(n int, kind string) error {
+		if n > base+4 {
+			return errors.New("injected link death")
+		}
+		return nil
+	}
+	if err := p.rep.CatchUp(0); err == nil {
+		t.Fatalf("catch-up should have died mid-stream")
+	}
+	partial, err := p.fol.Pos(0)
+	if err != nil {
+		t.Fatalf("pos: %v", err)
+	}
+	// Crash the follower process: volatile state is gone, but every
+	// applied frame was fsynced, so the restart recovers all of them.
+	p.fsF.Crash()
+	fol, err := NewFollower(FollowerOptions{Dir: folDir, FS: p.fsF, Shards: 1})
+	if err != nil {
+		t.Fatalf("NewFollower after crash: %v", err)
+	}
+	p.fol = fol
+	p.rep.SetPeer(&FaultPeer{Inner: fol, Net: p.net})
+	p.rep.Invalidate()
+	restarted, err := fol.Pos(0)
+	if err != nil {
+		t.Fatalf("pos after restart: %v", err)
+	}
+	if restarted != partial {
+		t.Fatalf("restart lost durable progress: had %v, recovered %v", partial, restarted)
+	}
+	// Heal and record the second catch-up's message kinds: it must
+	// resume streaming from the durable offset, never reset/re-mirror.
+	var kinds []string
+	p.net.OnMsg = func(n int, kind string) error {
+		kinds = append(kinds, kind)
+		return nil
+	}
+	if err := p.rep.CatchUp(0); err != nil {
+		t.Fatalf("catch-up after restart: %v", err)
+	}
+	for _, k := range kinds {
+		if k == "reset" || k == "copy" {
+			t.Fatalf("catch-up re-mirrored instead of resuming from durable offset: %v", kinds)
+		}
+	}
+	requireMirror(t, p.fsL, p.fsF, 0)
+	p.requireOracle()
+}
+
+func TestChaosTornStreamFrames(t *testing.T) {
+	p := newPair(t, true)
+	if err := p.createRec("s0-1"); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	pos, err := p.fol.Pos(0)
+	if err != nil {
+		t.Fatalf("pos: %v", err)
+	}
+	frame := wal.EncodeFrame([]byte(`{"type":"ops","session":"s0-1","ops":[]}`))
+	cases := map[string][]byte{
+		"truncated frame":  frame[:len(frame)-3],
+		"truncated header": frame[:5],
+		"payload bit flip": func() []byte {
+			b := append([]byte(nil), frame...)
+			b[len(b)-2] ^= 0x40
+			return b
+		}(),
+		"header length corrupt": func() []byte {
+			b := append([]byte(nil), frame...)
+			b[0] ^= 0x01
+			return b
+		}(),
+		"trailing garbage": append(append([]byte(nil), frame...), 0xFF),
+	}
+	for name, bad := range cases {
+		if _, err := p.fol.Append(0, pos.Seg, pos.Off, bad); !errors.Is(err, ErrCorruptFrame) {
+			t.Fatalf("%s: want ErrCorruptFrame, got %v", name, err)
+		}
+		if got, _ := p.fol.Pos(0); got != pos {
+			t.Fatalf("%s: position moved to %v", name, got)
+		}
+	}
+	// The on-disk mirror is untouched: still exactly the leader's bytes.
+	requireMirror(t, p.fsL, p.fsF, 0)
+	// And the healthy frame still applies at the same position — the
+	// corrupt attempts consumed nothing.
+	if _, err := p.fol.Append(0, pos.Seg, pos.Off, frame); err != nil {
+		t.Fatalf("clean append after corrupt attempts: %v", err)
+	}
+}
+
+func TestChaosCopySegmentRejectsCorruption(t *testing.T) {
+	fsF := faultfs.NewMemFS()
+	fol, err := NewFollower(FollowerOptions{Dir: folDir, FS: fsF, Shards: 1})
+	if err != nil {
+		t.Fatalf("NewFollower: %v", err)
+	}
+	f1 := wal.EncodeFrame([]byte(`{"type":"create","session":"s0-1","mode":"ADPM","max_ops":10}`))
+	f2 := wal.EncodeFrame([]byte(`{"type":"ops","session":"s0-1","ops":[]}`))
+	seg := append(append([]byte(nil), f1...), f2...)
+	bad := append([]byte(nil), seg...)
+	bad[len(f1)+9] ^= 0x10 // flip a bit inside the second frame
+	if _, err := fol.CopySegment(0, 1, bad); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("corrupt copy: want ErrCorruptFrame, got %v", err)
+	}
+	segs, _ := wal.ListSegments(fsF, ShardDir(folDir, 0))
+	if len(segs) != 0 {
+		t.Fatalf("corrupt copy installed a segment: %v", segs)
+	}
+	if pos, _ := fol.Pos(0); pos != (Pos{}) {
+		t.Fatalf("corrupt copy moved position: %v", pos)
+	}
+	// The intact segment installs fine afterwards.
+	if _, err := fol.CopySegment(0, 1, seg); err != nil {
+		t.Fatalf("clean copy: %v", err)
+	}
+}
+
+func TestChaosFollowerTornTailRepaired(t *testing.T) {
+	p := newPair(t, true)
+	if err := p.createRec("s0-1"); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := p.opsRec("s0-1", "k0", 0); err != nil {
+		t.Fatalf("ops: %v", err)
+	}
+	// Rebuild the follower's disk as a torn mirror: the first frame plus
+	// half of the second — the signature of a crash mid-append.
+	data, err := p.fsL.ReadFile(wal.SegmentPath(ShardDir(leaderDir, 0), 1))
+	if err != nil {
+		t.Fatalf("read leader seg: %v", err)
+	}
+	first, err := nextFrame(data)
+	if err != nil || first == nil {
+		t.Fatalf("leader seg unclean: %v", err)
+	}
+	torn := data[:len(first)+(len(data)-len(first))/2]
+	fsT := faultfs.NewMemFS()
+	if err := fsT.MkdirAll(ShardDir(folDir, 0), 0o755); err != nil {
+		t.Fatalf("mkdir: %v", err)
+	}
+	if err := faultfs.WriteFile(fsT, wal.SegmentPath(ShardDir(folDir, 0), 1), torn, 0o644); err != nil {
+		t.Fatalf("write torn seg: %v", err)
+	}
+	fol, err := NewFollower(FollowerOptions{Dir: folDir, FS: fsT, Shards: 1})
+	if err != nil {
+		t.Fatalf("NewFollower on torn dir: %v", err)
+	}
+	pos, err := fol.Pos(0)
+	if err != nil {
+		t.Fatalf("pos: %v", err)
+	}
+	if pos.Off != int64(len(first)) {
+		t.Fatalf("torn tail not truncated: off=%d, want %d", pos.Off, len(first))
+	}
+	if got, _ := fsT.ReadFile(wal.SegmentPath(ShardDir(folDir, 0), 1)); !bytes.Equal(got, first) {
+		t.Fatalf("torn bytes still on disk (%d bytes, want %d)", len(got), len(first))
+	}
+	// The leader catches this follower up by streaming the missing tail
+	// from the verified prefix.
+	p.fsF = fsT
+	p.fol = fol
+	p.rep.SetPeer(&FaultPeer{Inner: fol, Net: p.net})
+	p.rep.Invalidate()
+	if err := p.rep.CatchUp(0); err != nil {
+		t.Fatalf("catch-up: %v", err)
+	}
+	requireMirror(t, p.fsL, fsT, 0)
+	p.requireOracle()
+}
+
+// TestChaosMatrix is the randomized storm: appends, rotations,
+// partitions, single-message drops, and follower crash/restarts in
+// both ack modes, across seeds. After the storm the link heals and one
+// catch-up must converge the follower to a byte-identical mirror whose
+// folded sessions match the leader's own log.
+func TestChaosMatrix(t *testing.T) {
+	for _, quorum := range []bool{false, true} {
+		for seed := int64(0); seed < 10; seed++ {
+			name := fmt.Sprintf("quorum=%v/seed=%d", quorum, seed)
+			t.Run(name, func(t *testing.T) {
+				r := rand.New(rand.NewSource(seed))
+				p := newPair(t, quorum)
+				if err := p.createRec("s0-1"); err != nil {
+					t.Fatalf("create: %v", err)
+				}
+				model := foldDir(t, p.fsL, ShardDir(leaderDir, 0))
+				nextKey := 0
+				drop := 0
+				p.net.OnMsg = func(n int, kind string) error {
+					if drop > 0 {
+						drop--
+						return errors.New("injected drop")
+					}
+					return nil
+				}
+				for step := 0; step < 60; step++ {
+					switch c := r.Intn(10); {
+					case c < 5: // append one ops batch
+						rec := &wal.Record{Type: wal.TypeOps, Session: "s0-1",
+							Key: fmt.Sprintf("k%d", nextKey),
+							Ops: []byte(fmt.Sprintf(`[{"op":"set","n":%d}]`, nextKey))}
+						nextKey++
+						n, err := p.log.Append(rec)
+						if err != nil && !quorum {
+							t.Fatalf("step %d: async append failed: %v", step, err)
+						}
+						if n > 0 {
+							// The record landed in the local log even when the
+							// quorum ship failed (logged-but-unacked).
+							if ferr := wal.Fold(model, rec); ferr != nil {
+								t.Fatalf("model fold: %v", ferr)
+							}
+						}
+					case c < 6: // rotate onto a snapshot of the model
+						snap := &wal.Record{Type: wal.TypeSnapshot}
+						for _, im := range model {
+							snap.Sessions = append(snap.Sessions, *im.Clone())
+						}
+						if err := p.log.Rotate(snap); err != nil {
+							t.Fatalf("step %d: rotate: %v", step, err)
+						}
+					case c < 8: // toggle the partition
+						p.net.SetPartitioned(!p.net.Partitioned())
+					case c < 9: // drop the next message
+						drop++
+					default: // crash and restart the follower
+						p.fsF.Crash()
+						fol, err := NewFollower(FollowerOptions{Dir: folDir, FS: p.fsF, Shards: 1})
+						if err != nil {
+							t.Fatalf("step %d: follower restart: %v", step, err)
+						}
+						p.fol = fol
+						p.rep.SetPeer(&FaultPeer{Inner: fol, Net: p.net})
+						p.rep.Invalidate()
+					}
+				}
+				// Heal everything; one catch-up must converge.
+				p.net.SetPartitioned(false)
+				drop = 0
+				if err := p.rep.CatchUpAll(); err != nil {
+					t.Fatalf("final catch-up: %v", err)
+				}
+				requireMirror(t, p.fsL, p.fsF, 0)
+				leaderFold := foldDir(t, p.fsL, ShardDir(leaderDir, 0))
+				got := p.fol.Sessions(0)
+				if len(got) != len(leaderFold) {
+					t.Fatalf("follower folded %d sessions, leader log %d", len(got), len(leaderFold))
+				}
+				for id, want := range leaderFold {
+					im := got[id]
+					if im == nil || len(im.Ops) != len(want.Ops) {
+						t.Fatalf("session %s: follower %v, want %d batches", id, im, len(want.Ops))
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package replica
+
+import "repro/internal/faultfs"
+
+// FaultPeer wraps a Peer with a faultfs.NetFault, so the simulation
+// and the chaos suite can partition the link or drop the Nth
+// replication message deterministically — the transport-side analogue
+// of wrapping the filesystem in a faultfs.Fault. Inner is swappable:
+// the single-threaded simulation replaces it when it "restarts" the
+// follower process.
+type FaultPeer struct {
+	Inner Peer
+	Net   *faultfs.NetFault
+}
+
+// before accounts one message and returns any injected failure.
+func (p *FaultPeer) before(kind string) error {
+	if p.Net == nil {
+		return nil
+	}
+	return p.Net.Before(kind)
+}
+
+// Pos implements Peer.
+func (p *FaultPeer) Pos(shard int) (Pos, error) {
+	if err := p.before("pos"); err != nil {
+		return Pos{}, err
+	}
+	return p.Inner.Pos(shard)
+}
+
+// Append implements Peer.
+func (p *FaultPeer) Append(shard, seg int, off int64, frame []byte) (Pos, error) {
+	if err := p.before("append"); err != nil {
+		return Pos{}, err
+	}
+	return p.Inner.Append(shard, seg, off, frame)
+}
+
+// Rotate implements Peer.
+func (p *FaultPeer) Rotate(shard, seg int, frame []byte) (Pos, error) {
+	if err := p.before("rotate"); err != nil {
+		return Pos{}, err
+	}
+	return p.Inner.Rotate(shard, seg, frame)
+}
+
+// CopySegment implements Peer.
+func (p *FaultPeer) CopySegment(shard, seg int, data []byte) (Pos, error) {
+	if err := p.before("copy"); err != nil {
+		return Pos{}, err
+	}
+	return p.Inner.CopySegment(shard, seg, data)
+}
+
+// Reset implements Peer.
+func (p *FaultPeer) Reset(shard int) (Pos, error) {
+	if err := p.before("reset"); err != nil {
+		return Pos{}, err
+	}
+	return p.Inner.Reset(shard)
+}
+
+// Handoff implements Peer.
+func (p *FaultPeer) Handoff() error {
+	if err := p.before("handoff"); err != nil {
+		return err
+	}
+	return p.Inner.Handoff()
+}

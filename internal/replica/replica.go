@@ -1,0 +1,105 @@
+// Package replica implements leader→follower replication of the
+// per-shard write-ahead logs: a warm standby that stays one continuous
+// recovery behind the leader and can be promoted in its place.
+//
+// The design leans entirely on properties the WAL already has. Segment
+// files are a byte-faithful replication stream — every accepted
+// transition is one CRC-framed record, rotation snapshots make older
+// segments disposable — so the follower mirrors the leader's segment
+// bytes exactly and folds each record into parked session images as it
+// lands, exactly like server.Open does at recovery. Promotion is then
+// nothing special: seal the tail, truncate-repair any torn record, and
+// open the directory for traffic; deterministic replay guarantees the
+// promoted node's sessions are byte-identical to the leader's.
+//
+// The leader ships through wal.Options.Ship (every local append,
+// rotation, and group commit in commit order). Two ack modes:
+//
+//   - quorum: an append ship must reach the follower (which fsyncs
+//     every frame) before the client's batch is acknowledged. A ship
+//     failure fails the append like a storage error — the record stays
+//     in the leader's log, the client is told to retry, and recovery
+//     semantics are unchanged. Zero acked-op loss across failover.
+//   - async: ship failures are absorbed; the shard is marked out of
+//     sync and a lag gauge (records/bytes behind) grows until a later
+//     ship or group commit heals it by catch-up. Failing over while
+//     lagged loses an acked suffix — prefix-closed, never reordered,
+//     the same contract as fsync=interval under power loss.
+//
+// Catch-up needs no cursor state on the leader: the follower reports
+// (segment, offset, prefix CRC), the leader compares that against its
+// own segment bytes, and either streams the missing tail or — on any
+// divergence — resets the follower and copies the segments whole. A
+// rejoining ex-leader is just a follower whose divergent suffix gets
+// reset away.
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+)
+
+// Pos is a follower shard's replication position: the segment it is
+// appending to, how many bytes of it have been applied, and the CRC of
+// that prefix. The CRC lets the leader detect divergence in O(1)
+// message bytes instead of comparing segment contents remotely.
+type Pos struct {
+	Seg int    `json:"seg"`
+	Off int64  `json:"off"`
+	CRC uint32 `json:"crc"`
+}
+
+func (p Pos) String() string { return fmt.Sprintf("seg=%d off=%d crc=%08x", p.Seg, p.Off, p.CRC) }
+
+// Peer is the follower as seen from the leader: the replication
+// protocol's verbs. In-process callers hold a *Follower directly; over
+// the network, Client speaks the same verbs through a length+CRC-framed
+// connection. Every mutating verb returns the follower's resulting
+// position so the leader can verify progress without a second round
+// trip.
+type Peer interface {
+	// Pos reports the shard's current replication position.
+	Pos(shard int) (Pos, error)
+	// Append applies one framed record at (seg, off); the follower
+	// verifies the frame CRC and positional continuity, fsyncs, and
+	// folds the record. ErrOutOfSync means the position didn't match
+	// and the leader should catch up.
+	Append(shard, seg int, off int64, frame []byte) (Pos, error)
+	// Rotate begins segment seg with the given snapshot head frame and
+	// removes the follower's older segments, mirroring wal.Rotate.
+	Rotate(shard, seg int, frame []byte) (Pos, error)
+	// CopySegment installs one whole segment verbatim (catch-up after
+	// Reset, ascending segment order).
+	CopySegment(shard, seg int, data []byte) (Pos, error)
+	// Reset discards the shard's replica state entirely; the leader
+	// follows with CopySegment calls.
+	Reset(shard int) (Pos, error)
+	// Handoff tells the follower the leader has drained and fully
+	// caught it up: it is now safe (and expected) to promote.
+	Handoff() error
+}
+
+// Typed protocol errors. The transport carries them by name so
+// errors.Is works across the wire.
+var (
+	// ErrOutOfSync reports an append or rotation that does not continue
+	// the follower's current position; the leader heals by catch-up.
+	ErrOutOfSync = errors.New("replica: position mismatch")
+	// ErrCorruptFrame reports a frame whose CRC or structure is invalid.
+	// The follower never applies or persists such a frame.
+	ErrCorruptFrame = errors.New("replica: corrupt frame")
+	// ErrPromoted reports a follower that has been promoted and no
+	// longer accepts replication traffic.
+	ErrPromoted = errors.New("replica: follower promoted")
+	// ErrShardBroken reports a follower shard whose local state hit a
+	// storage error; a Reset (full re-mirror) repairs it.
+	ErrShardBroken = errors.New("replica: follower shard broken")
+)
+
+// ShardDir returns shard i's WAL directory under a data dir — the same
+// layout internal/server uses, so a promoted follower's directory is
+// directly servable.
+func ShardDir(dataDir string, i int) string {
+	return filepath.Join(dataDir, fmt.Sprintf("shard-%d", i))
+}

@@ -1,0 +1,472 @@
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultfs"
+	"repro/internal/wal"
+)
+
+// pair is a leader log wired through a Replicator to an in-process
+// Follower, both on MemFS, with a NetFault on the link.
+type pair struct {
+	t      *testing.T
+	fsL    *faultfs.MemFS
+	fsF    *faultfs.MemFS
+	fol    *Follower
+	rep    *Replicator
+	net    *faultfs.NetFault
+	log    *wal.Log
+	policy wal.SyncPolicy
+	oracle map[string]*wal.SessionImage
+}
+
+const (
+	leaderDir = "lead"
+	folDir    = "fol"
+)
+
+func newPair(t *testing.T, quorum bool) *pair {
+	t.Helper()
+	p := &pair{
+		t:      t,
+		fsL:    faultfs.NewMemFS(),
+		fsF:    faultfs.NewMemFS(),
+		net:    &faultfs.NetFault{},
+		oracle: map[string]*wal.SessionImage{},
+	}
+	fol, err := NewFollower(FollowerOptions{Dir: folDir, FS: p.fsF, Shards: 1})
+	if err != nil {
+		t.Fatalf("NewFollower: %v", err)
+	}
+	p.fol = fol
+	rep, err := NewReplicator(ReplicatorOptions{
+		Peer:    &FaultPeer{Inner: fol, Net: p.net},
+		FS:      p.fsL,
+		DataDir: leaderDir,
+		Shards:  1,
+		Quorum:  quorum,
+	})
+	if err != nil {
+		t.Fatalf("NewReplicator: %v", err)
+	}
+	p.rep = rep
+	p.openLog()
+	return p
+}
+
+// openLog (re)opens the leader WAL with the ship hook attached.
+func (p *pair) openLog() {
+	p.t.Helper()
+	lg, _, err := wal.Open(wal.Options{
+		Dir:    ShardDir(leaderDir, 0),
+		FS:     p.fsL,
+		Policy: p.policy,
+		Ship:   func(ev wal.ShipEvent) error { return p.rep.Ship(0, ev) },
+	})
+	if err != nil {
+		p.t.Fatalf("wal.Open: %v", err)
+	}
+	p.log = lg
+}
+
+// createRec logs a session create, tracking the fold oracle.
+func (p *pair) createRec(id string) error {
+	rec := &wal.Record{Type: wal.TypeCreate, Session: id, Scenario: "house", Mode: "ADPM", MaxOps: 100}
+	_, err := p.log.Append(rec)
+	if err == nil {
+		if ferr := wal.Fold(p.oracle, rec); ferr != nil {
+			p.t.Fatalf("oracle fold: %v", ferr)
+		}
+	}
+	return err
+}
+
+// opsRec logs an ops batch for id, tracking the fold oracle.
+func (p *pair) opsRec(id, key string, i int) error {
+	rec := &wal.Record{Type: wal.TypeOps, Session: id, Key: key,
+		Ops: []byte(fmt.Sprintf(`[{"op":"set","n":%d}]`, i))}
+	_, err := p.log.Append(rec)
+	if err == nil {
+		if ferr := wal.Fold(p.oracle, rec); ferr != nil {
+			p.t.Fatalf("oracle fold: %v", ferr)
+		}
+	}
+	return err
+}
+
+// snapshotRec builds the rotation snapshot from the oracle.
+func (p *pair) snapshotRec() *wal.Record {
+	rec := &wal.Record{Type: wal.TypeSnapshot}
+	for _, im := range p.oracle {
+		rec.Sessions = append(rec.Sessions, *im.Clone())
+	}
+	return rec
+}
+
+// requireMirror asserts the follower's shard directory holds exactly
+// the leader's segment files, byte for byte.
+func requireMirror(t *testing.T, fsL, fsF faultfs.FS, shard int) {
+	t.Helper()
+	ld, fd := ShardDir(leaderDir, shard), ShardDir(folDir, shard)
+	lsegs, err := wal.ListSegments(fsL, ld)
+	if err != nil {
+		t.Fatalf("leader ListSegments: %v", err)
+	}
+	fsegs, err := wal.ListSegments(fsF, fd)
+	if err != nil {
+		t.Fatalf("follower ListSegments: %v", err)
+	}
+	if len(lsegs) != len(fsegs) {
+		t.Fatalf("segment sets differ: leader %v follower %v", lsegs, fsegs)
+	}
+	for i := range lsegs {
+		if lsegs[i] != fsegs[i] {
+			t.Fatalf("segment sets differ: leader %v follower %v", lsegs, fsegs)
+		}
+		lb, err := fsL.ReadFile(wal.SegmentPath(ld, lsegs[i]))
+		if err != nil {
+			t.Fatalf("leader read seg %d: %v", lsegs[i], err)
+		}
+		fb, err := fsF.ReadFile(wal.SegmentPath(fd, fsegs[i]))
+		if err != nil {
+			t.Fatalf("follower read seg %d: %v", fsegs[i], err)
+		}
+		if !bytes.Equal(lb, fb) {
+			t.Fatalf("segment %d differs: leader %d bytes, follower %d bytes", lsegs[i], len(lb), len(fb))
+		}
+	}
+}
+
+// requireOracle asserts the follower's folded sessions match the fold
+// oracle (ids and accepted-batch counts).
+func (p *pair) requireOracle() {
+	p.t.Helper()
+	got := p.fol.Sessions(0)
+	if len(got) != len(p.oracle) {
+		p.t.Fatalf("follower has %d sessions, oracle %d", len(got), len(p.oracle))
+	}
+	for id, want := range p.oracle {
+		im := got[id]
+		if im == nil {
+			p.t.Fatalf("follower missing session %s", id)
+		}
+		if len(im.Ops) != len(want.Ops) {
+			p.t.Fatalf("session %s: follower has %d batches, oracle %d", id, len(im.Ops), len(want.Ops))
+		}
+	}
+}
+
+func TestShipMirrorsByteIdentical(t *testing.T) {
+	p := newPair(t, true)
+	if err := p.createRec("s0-1"); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := p.opsRec("s0-1", fmt.Sprintf("k%d", i), i); err != nil {
+			t.Fatalf("ops %d: %v", i, err)
+		}
+	}
+	requireMirror(t, p.fsL, p.fsF, 0)
+	p.requireOracle()
+	st := p.rep.ShardStatus(0)
+	if !st.InSync || st.LagRecords != 0 {
+		t.Fatalf("expected in-sync zero lag, got %+v", st)
+	}
+}
+
+func TestRotateShipsAndPrunes(t *testing.T) {
+	p := newPair(t, true)
+	if err := p.createRec("s0-1"); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := p.opsRec("s0-1", "k0", 0); err != nil {
+		t.Fatalf("ops: %v", err)
+	}
+	if err := p.log.Rotate(p.snapshotRec()); err != nil {
+		t.Fatalf("rotate: %v", err)
+	}
+	if err := p.opsRec("s0-1", "k1", 1); err != nil {
+		t.Fatalf("ops after rotate: %v", err)
+	}
+	requireMirror(t, p.fsL, p.fsF, 0)
+	p.requireOracle()
+	segs, _ := wal.ListSegments(p.fsF, ShardDir(folDir, 0))
+	if len(segs) != 1 || segs[0] != 2 {
+		t.Fatalf("follower should hold only rotated segment 2, got %v", segs)
+	}
+}
+
+func TestAsyncAbsorbsAndCatchesUp(t *testing.T) {
+	p := newPair(t, false)
+	if err := p.createRec("s0-1"); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	p.net.SetPartitioned(true)
+	for i := 0; i < 3; i++ {
+		if err := p.opsRec("s0-1", fmt.Sprintf("k%d", i), i); err != nil {
+			t.Fatalf("async append must absorb ship failure, got %v", err)
+		}
+	}
+	st := p.rep.ShardStatus(0)
+	if st.InSync || st.LagRecords != 3 {
+		t.Fatalf("expected out-of-sync lag=3, got %+v", st)
+	}
+	p.net.SetPartitioned(false)
+	if err := p.rep.CatchUp(0); err != nil {
+		t.Fatalf("CatchUp: %v", err)
+	}
+	requireMirror(t, p.fsL, p.fsF, 0)
+	p.requireOracle()
+	st = p.rep.ShardStatus(0)
+	if !st.InSync || st.LagRecords != 0 || st.LagBytes != 0 {
+		t.Fatalf("expected in-sync zero lag after catch-up, got %+v", st)
+	}
+}
+
+func TestGroupCommitHealsAsyncLag(t *testing.T) {
+	p := newPair(t, false)
+	// Reopen the leader under group commit: ShipSync only fires when a
+	// Sync actually flushes dirty appends.
+	if err := p.log.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	p.policy = wal.SyncInterval
+	p.rep.Invalidate()
+	p.openLog()
+	if err := p.createRec("s0-1"); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	p.net.SetPartitioned(true)
+	if err := p.opsRec("s0-1", "k0", 0); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	p.net.SetPartitioned(false)
+	// A group commit (ShipSync) is a free catch-up opportunity.
+	if err := p.log.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if st := p.rep.ShardStatus(0); !st.InSync {
+		t.Fatalf("group commit should have healed lag, got %+v", st)
+	}
+	requireMirror(t, p.fsL, p.fsF, 0)
+}
+
+func TestQuorumShipFailureFailsAppendButStaysLogged(t *testing.T) {
+	p := newPair(t, true)
+	if err := p.createRec("s0-1"); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	p.net.SetPartitioned(true)
+	err := p.opsRec("s0-1", "k0", 0)
+	if err == nil {
+		t.Fatalf("quorum append must fail while partitioned")
+	}
+	// The record is in the leader's local log even though the client
+	// would never see an ack — the in-doubt contract.
+	_, off := p.log.Position()
+	data, rerr := p.fsL.ReadFile(wal.SegmentPath(ShardDir(leaderDir, 0), 1))
+	if rerr != nil {
+		t.Fatalf("read leader segment: %v", rerr)
+	}
+	if int64(len(data)) != off {
+		t.Fatalf("leader segment %d bytes, position says %d", len(data), off)
+	}
+	recs := 0
+	for rem := data; len(rem) > 0; {
+		frame, ferr := nextFrame(rem)
+		if frame == nil {
+			t.Fatalf("leader log unclean: %v", ferr)
+		}
+		rem = rem[len(frame):]
+		recs++
+	}
+	if recs != 2 {
+		t.Fatalf("leader log should hold create+ops, got %d records", recs)
+	}
+	// Heal: the next append repairs by catch-up and the in-doubt record
+	// ships along with it.
+	p.net.SetPartitioned(false)
+	if err := p.opsRec("s0-1", "k1", 1); err != nil {
+		t.Fatalf("append after heal: %v", err)
+	}
+	requireMirror(t, p.fsL, p.fsF, 0)
+	if st := p.rep.ShardStatus(0); !st.InSync {
+		t.Fatalf("expected in-sync after heal, got %+v", st)
+	}
+}
+
+func TestQuorumRepairsTransientDropSynchronously(t *testing.T) {
+	p := newPair(t, true)
+	if err := p.createRec("s0-1"); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	dropped := false
+	p.net.OnMsg = func(n int, kind string) error {
+		if kind == "append" && !dropped {
+			dropped = true
+			return errors.New("injected drop")
+		}
+		return nil
+	}
+	// The dropped ship is repaired by the synchronous catch-up inside
+	// Ship, so the client append still succeeds.
+	if err := p.opsRec("s0-1", "k0", 0); err != nil {
+		t.Fatalf("append should survive one dropped message, got %v", err)
+	}
+	if !dropped {
+		t.Fatalf("hook never fired")
+	}
+	requireMirror(t, p.fsL, p.fsF, 0)
+}
+
+func TestHandoffPromoteRecover(t *testing.T) {
+	p := newPair(t, true)
+	if err := p.createRec("s0-1"); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := p.opsRec("s0-1", "k0", 0); err != nil {
+		t.Fatalf("ops: %v", err)
+	}
+	if err := p.log.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := p.rep.Handoff(); err != nil {
+		t.Fatalf("Handoff: %v", err)
+	}
+	if !p.fol.HandoffReceived() {
+		t.Fatalf("handoff flag not set")
+	}
+	if err := p.fol.Promote(); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if _, err := p.fol.Append(0, 1, 0, nil); !errors.Is(err, ErrPromoted) {
+		t.Fatalf("post-promote append: want ErrPromoted, got %v", err)
+	}
+	// The promoted directory recovers with wal.Open exactly like a
+	// restarted leader would.
+	_, info, err := wal.Open(wal.Options{Dir: ShardDir(folDir, 0), FS: p.fsF})
+	if err != nil {
+		t.Fatalf("open promoted dir: %v", err)
+	}
+	if len(info.Sessions) != 1 || info.Sessions["s0-1"] == nil {
+		t.Fatalf("promoted recovery sessions = %v", info.Sessions)
+	}
+	if got := len(info.Sessions["s0-1"].Ops); got != 1 {
+		t.Fatalf("promoted session has %d batches, want 1", got)
+	}
+}
+
+func TestRejoinDivergentSuffixResets(t *testing.T) {
+	p := newPair(t, true)
+	if err := p.createRec("s0-1"); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	requireMirror(t, p.fsL, p.fsF, 0)
+	// Simulate an ex-leader rejoining: the follower has an extra acked
+	// suffix the new leader never saw.
+	pos, err := p.fol.Pos(0)
+	if err != nil {
+		t.Fatalf("pos: %v", err)
+	}
+	extra := wal.EncodeFrame([]byte(`{"type":"ops","session":"s0-1","ops":[]}`))
+	if _, err := p.fol.Append(0, pos.Seg, pos.Off, extra); err != nil {
+		t.Fatalf("divergent append: %v", err)
+	}
+	p.rep.Invalidate()
+	if err := p.rep.CatchUp(0); err != nil {
+		t.Fatalf("CatchUp: %v", err)
+	}
+	// The divergent suffix reset away; follower mirrors the leader.
+	requireMirror(t, p.fsL, p.fsF, 0)
+	p.requireOracle()
+}
+
+func TestFollowerRestartResumesFromDurable(t *testing.T) {
+	p := newPair(t, true)
+	if err := p.createRec("s0-1"); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := p.opsRec("s0-1", "k0", 0); err != nil {
+		t.Fatalf("ops: %v", err)
+	}
+	// Crash the follower (volatile state gone — but every frame was
+	// fsynced) and restart it on the same disk.
+	p.fsF.Crash()
+	fol, err := NewFollower(FollowerOptions{Dir: folDir, FS: p.fsF, Shards: 1})
+	if err != nil {
+		t.Fatalf("NewFollower after crash: %v", err)
+	}
+	p.fol = fol
+	p.rep.SetPeer(&FaultPeer{Inner: fol, Net: p.net})
+	p.rep.Invalidate()
+	if err := p.opsRec("s0-1", "k1", 1); err != nil {
+		t.Fatalf("append after follower restart: %v", err)
+	}
+	requireMirror(t, p.fsL, p.fsF, 0)
+	p.requireOracle()
+}
+
+func TestTransportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fol, err := NewFollower(FollowerOptions{Dir: filepath.Join(dir, "fol"), Shards: 2})
+	if err != nil {
+		t.Fatalf("NewFollower: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	go Serve(ln, fol)
+	c := Dial(ln.Addr().String())
+	defer c.Close()
+
+	pos, err := c.Pos(0)
+	if err != nil || pos != (Pos{}) {
+		t.Fatalf("pos: %v %v", pos, err)
+	}
+	frame := wal.EncodeFrame([]byte(`{"type":"create","session":"s0-1","mode":"ADPM","max_ops":10}`))
+	// First contact is out of sync (follower at seg 0, leader at seg 1):
+	// the typed error must survive the wire.
+	if _, err := c.Append(0, 1, 0, frame); !errors.Is(err, ErrOutOfSync) {
+		t.Fatalf("append at seg 1: want ErrOutOfSync, got %v", err)
+	}
+	if _, err := c.CopySegment(0, 1, frame); err != nil {
+		t.Fatalf("copy: %v", err)
+	}
+	ops := wal.EncodeFrame([]byte(`{"type":"ops","session":"s0-1","ops":[]}`))
+	got, err := c.Append(0, 1, int64(len(frame)), ops)
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	want := Pos{Seg: 1, Off: int64(len(frame) + len(ops)),
+		CRC: wal.ChecksumUpdate(wal.Checksum(frame), ops)}
+	if got != want {
+		t.Fatalf("append pos = %v, want %v", got, want)
+	}
+	// Corrupt frame: flip one payload bit; the follower must reject it
+	// with the typed error and keep its position.
+	bad := append([]byte(nil), ops...)
+	bad[len(bad)-1] ^= 0x01
+	if _, err := c.Append(0, 1, want.Off, bad); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("corrupt append: want ErrCorruptFrame, got %v", err)
+	}
+	if pos, _ := c.Pos(0); pos != want {
+		t.Fatalf("position moved after corrupt frame: %v", pos)
+	}
+	if err := c.Handoff(); err != nil {
+		t.Fatalf("handoff: %v", err)
+	}
+	if !fol.HandoffReceived() {
+		t.Fatalf("handoff flag not set over the wire")
+	}
+	if sess := fol.Sessions(0); len(sess) != 1 || len(sess["s0-1"].Ops) != 1 {
+		t.Fatalf("follower sessions after wire traffic: %v", sess)
+	}
+}

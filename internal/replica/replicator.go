@@ -1,0 +1,293 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/faultfs"
+	"repro/internal/wal"
+)
+
+// ReplicatorOptions parameterize NewReplicator.
+type ReplicatorOptions struct {
+	// Peer is the follower link (a *Follower in process, a *Client over
+	// TCP, or a FaultPeer wrapping either).
+	Peer Peer
+	// FS and DataDir locate the leader's own segment files for
+	// catch-up reads; they must match the server's.
+	FS      faultfs.FS
+	DataDir string
+	// Shards is the shard count.
+	Shards int
+	// Quorum makes append ships part of the durability contract: a
+	// ship that cannot reach the follower fails the append, so the
+	// client's batch is never acknowledged leader-only. False is async
+	// mode — ship failures are absorbed and the lag gauge grows.
+	Quorum bool
+}
+
+// Status is one shard's replication state as seen from the leader.
+type Status struct {
+	Role       string `json:"role"`
+	Quorum     bool   `json:"quorum"`
+	InSync     bool   `json:"in_sync"`
+	LagRecords int64  `json:"lag_records"`
+	LagBytes   int64  `json:"lag_bytes"`
+}
+
+// rshard is one shard's leader-side replication state.
+type rshard struct {
+	mu         sync.Mutex
+	inSync     bool
+	lagRecords int64
+	lagBytes   int64
+}
+
+// Replicator is the leader side of replication: it forwards the WAL's
+// ship events to the follower, tracks per-shard sync state and lag,
+// and heals divergence by catch-up — comparing the follower's
+// (segment, offset, CRC) position against the leader's own segment
+// bytes and streaming the difference (or re-mirroring wholesale).
+// It plugs into server.Options.Repl.
+type Replicator struct {
+	opts   ReplicatorOptions
+	peerMu sync.RWMutex
+	peer   Peer
+	shards []*rshard
+}
+
+// NewReplicator builds a replicator. Every shard starts out of sync;
+// the first ship (or an explicit CatchUpAll) brings the follower up.
+func NewReplicator(opts ReplicatorOptions) (*Replicator, error) {
+	if opts.Peer == nil {
+		return nil, fmt.Errorf("replica: ReplicatorOptions.Peer is required")
+	}
+	if opts.FS == nil {
+		opts.FS = faultfs.OS{}
+	}
+	if opts.Shards <= 0 {
+		return nil, fmt.Errorf("replica: ReplicatorOptions.Shards is required")
+	}
+	r := &Replicator{opts: opts, peer: opts.Peer}
+	for i := 0; i < opts.Shards; i++ {
+		r.shards = append(r.shards, &rshard{})
+	}
+	return r, nil
+}
+
+// Peer returns the current follower link.
+func (r *Replicator) Peer() Peer {
+	r.peerMu.RLock()
+	defer r.peerMu.RUnlock()
+	return r.peer
+}
+
+// SetPeer swaps the follower link (a restarted follower process). The
+// caller should follow with Invalidate so every shard re-verifies its
+// position against the new peer.
+func (r *Replicator) SetPeer(p Peer) {
+	r.peerMu.Lock()
+	r.peer = p
+	r.peerMu.Unlock()
+}
+
+// Invalidate marks every shard out of sync; the next ship per shard
+// runs a catch-up.
+func (r *Replicator) Invalidate() {
+	for _, rs := range r.shards {
+		rs.mu.Lock()
+		rs.inSync = false
+		rs.mu.Unlock()
+	}
+}
+
+// Ship implements the server's Shipper hook: one WAL mutation, in the
+// shard's commit order. Quorum append failures propagate (the server
+// maps them to ErrStorage and refuses the ack); everything else is
+// absorbed into the lag gauge and healed by a later catch-up.
+func (r *Replicator) Ship(shard int, ev wal.ShipEvent) error {
+	if shard < 0 || shard >= len(r.shards) {
+		return fmt.Errorf("replica: ship for unknown shard %d", shard)
+	}
+	rs := r.shards[shard]
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	switch ev.Kind {
+	case wal.ShipAppend:
+		if !rs.inSync {
+			// The frame is already in the leader's local segment, so a
+			// successful catch-up ships it along with everything else
+			// the follower was missing.
+			if err := r.catchUpLocked(shard, rs); err != nil {
+				rs.lagRecords++
+				rs.lagBytes += int64(len(ev.Frame))
+				if r.opts.Quorum {
+					return err
+				}
+				return nil
+			}
+			return nil
+		}
+		if _, err := r.Peer().Append(shard, ev.Seg, ev.Off, ev.Frame); err != nil {
+			rs.inSync = false
+			rs.lagRecords++
+			rs.lagBytes += int64(len(ev.Frame))
+			if r.opts.Quorum {
+				// One immediate repair attempt: a transient error (or a
+				// follower that restarted between ships) should not fail
+				// client traffic when a catch-up fixes it synchronously.
+				if cerr := r.catchUpLocked(shard, rs); cerr != nil {
+					return err
+				}
+				return nil
+			}
+			return nil
+		}
+	case wal.ShipRotate:
+		if !rs.inSync {
+			r.absorbCatchUp(shard, rs, 1, int64(len(ev.Frame)))
+			return nil
+		}
+		if _, err := r.Peer().Rotate(shard, ev.Seg, ev.Frame); err != nil {
+			// Rotation already happened locally and its snapshot carries
+			// only state the follower either has or will re-mirror; absorb.
+			rs.inSync = false
+			rs.lagRecords++
+			rs.lagBytes += int64(len(ev.Frame))
+		}
+	case wal.ShipSync:
+		// Group commits are free opportunities to heal an out-of-sync
+		// shard without waiting for the next append.
+		if !rs.inSync {
+			r.absorbCatchUp(shard, rs, 0, 0)
+		}
+	}
+	return nil
+}
+
+// absorbCatchUp attempts a catch-up and absorbs failure into the lag
+// gauge.
+func (r *Replicator) absorbCatchUp(shard int, rs *rshard, recs, bytes int64) {
+	if err := r.catchUpLocked(shard, rs); err != nil {
+		rs.lagRecords += recs
+		rs.lagBytes += bytes
+	}
+}
+
+// CatchUp brings one shard's follower up to the leader's current
+// segment bytes.
+func (r *Replicator) CatchUp(shard int) error {
+	if shard < 0 || shard >= len(r.shards) {
+		return fmt.Errorf("replica: unknown shard %d", shard)
+	}
+	rs := r.shards[shard]
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return r.catchUpLocked(shard, rs)
+}
+
+// CatchUpAll catches every shard up (boot, and before handoff).
+func (r *Replicator) CatchUpAll() error {
+	for i := range r.shards {
+		if err := r.CatchUp(i); err != nil {
+			return fmt.Errorf("replica: shard %d catch-up: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Handoff finishes a rolling restart: with the server drained (WALs
+// flushed and closed), catch every shard fully up, then tell the
+// follower it owns the data now.
+func (r *Replicator) Handoff() error {
+	if err := r.CatchUpAll(); err != nil {
+		return err
+	}
+	return r.Peer().Handoff()
+}
+
+// catchUpLocked reconciles the follower with the leader's segment
+// files. rs.mu must be held. On success the shard is in sync and its
+// lag gauge resets.
+func (r *Replicator) catchUpLocked(shard int, rs *rshard) error {
+	peer := r.Peer()
+	pos, err := peer.Pos(shard)
+	forceReset := false
+	if err != nil {
+		if !errors.Is(err, ErrShardBroken) {
+			return err
+		}
+		// A broken follower shard is repaired by a full re-mirror.
+		forceReset = true
+	}
+	dir := ShardDir(r.opts.DataDir, shard)
+	segs, err := wal.ListSegments(r.opts.FS, dir)
+	if err != nil {
+		return err
+	}
+	if len(segs) == 0 {
+		if forceReset || pos.Seg != 0 {
+			if _, err := peer.Reset(shard); err != nil {
+				return err
+			}
+		}
+		rs.inSync = true
+		rs.lagRecords, rs.lagBytes = 0, 0
+		return nil
+	}
+	newest := segs[len(segs)-1]
+	data, err := r.opts.FS.ReadFile(wal.SegmentPath(dir, newest))
+	if err != nil {
+		return err
+	}
+	if !forceReset && pos.Seg == newest && pos.Off <= int64(len(data)) &&
+		wal.Checksum(data[:pos.Off]) == pos.CRC {
+		// The follower holds a verified prefix of our newest segment:
+		// stream the missing tail frame by frame.
+		off := pos.Off
+		for off < int64(len(data)) {
+			frame, ferr := nextFrame(data[off:])
+			if frame == nil {
+				return fmt.Errorf("replica: leader segment %d unclean at offset %d: %v", newest, off, ferr)
+			}
+			if _, err := peer.Append(shard, newest, off, frame); err != nil {
+				return err
+			}
+			off += int64(len(frame))
+		}
+	} else {
+		// Divergence (a promoted-and-rejoined ex-leader's extra suffix,
+		// a torn follower, an unknown segment): reset and re-mirror.
+		if _, err := peer.Reset(shard); err != nil {
+			return err
+		}
+		for _, sg := range segs {
+			d, err := r.opts.FS.ReadFile(wal.SegmentPath(dir, sg))
+			if err != nil {
+				return err
+			}
+			if _, err := peer.CopySegment(shard, sg, d); err != nil {
+				return err
+			}
+		}
+	}
+	rs.inSync = true
+	rs.lagRecords, rs.lagBytes = 0, 0
+	return nil
+}
+
+// ShardStatus reports one shard's replication state for /readyz.
+func (r *Replicator) ShardStatus(shard int) Status {
+	st := Status{Role: "leader", Quorum: r.opts.Quorum}
+	if shard < 0 || shard >= len(r.shards) {
+		return st
+	}
+	rs := r.shards[shard]
+	rs.mu.Lock()
+	st.InSync = rs.inSync
+	st.LagRecords = rs.lagRecords
+	st.LagBytes = rs.lagBytes
+	rs.mu.Unlock()
+	return st
+}

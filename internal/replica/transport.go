@@ -1,0 +1,250 @@
+package replica
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/wal"
+)
+
+// The wire protocol is deliberately the WAL's own idiom: every message
+// is one length+CRC32C frame ([len uint32 LE][crc uint32 LE][JSON]),
+// so a torn or bit-flipped message is detected by the same checksum
+// discipline that guards the log itself, and the connection fails
+// closed instead of applying garbage.
+
+// wireReq is one request frame.
+type wireReq struct {
+	Op    string `json:"op"` // pos|append|rotate|copy|reset|handoff
+	Shard int    `json:"shard"`
+	Seg   int    `json:"seg,omitempty"`
+	Off   int64  `json:"off,omitempty"`
+	Data  []byte `json:"data,omitempty"`
+}
+
+// wireResp is one response frame. ErrKind carries the protocol's typed
+// errors by name so errors.Is works across the wire.
+type wireResp struct {
+	Pos     Pos    `json:"pos"`
+	Err     string `json:"err,omitempty"`
+	ErrKind string `json:"err_kind,omitempty"`
+}
+
+// errKind names a typed error for the wire.
+func errKind(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrOutOfSync):
+		return "out_of_sync"
+	case errors.Is(err, ErrCorruptFrame):
+		return "corrupt"
+	case errors.Is(err, ErrPromoted):
+		return "promoted"
+	case errors.Is(err, ErrShardBroken):
+		return "broken"
+	}
+	return "other"
+}
+
+// kindErr rebuilds the typed error on the client side.
+func kindErr(kind, msg string) error {
+	switch kind {
+	case "":
+		return nil
+	case "out_of_sync":
+		return fmt.Errorf("%w: %s", ErrOutOfSync, msg)
+	case "corrupt":
+		return fmt.Errorf("%w: %s", ErrCorruptFrame, msg)
+	case "promoted":
+		return fmt.Errorf("%w: %s", ErrPromoted, msg)
+	case "broken":
+		return fmt.Errorf("%w: %s", ErrShardBroken, msg)
+	}
+	return fmt.Errorf("replica: peer error: %s", msg)
+}
+
+// writeMsg frames and writes one message.
+func writeMsg(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(wal.EncodeFrame(payload))
+	return err
+}
+
+// readMsg reads and verifies one framed message.
+func readMsg(r io.Reader, v any) error {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if int64(n) > wal.MaxRecordBytes {
+		return fmt.Errorf("replica: message of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	if wal.Checksum(buf) != binary.LittleEndian.Uint32(hdr[4:]) {
+		return fmt.Errorf("replica: message CRC mismatch")
+	}
+	return json.Unmarshal(buf, v)
+}
+
+// Serve accepts replication connections and dispatches their requests
+// to peer (normally a *Follower). It returns when the listener closes.
+func Serve(ln net.Listener, peer Peer) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go serveConn(conn, peer)
+	}
+}
+
+// serveConn handles one leader connection until it drops.
+func serveConn(conn net.Conn, peer Peer) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		var req wireReq
+		if err := readMsg(br, &req); err != nil {
+			return
+		}
+		var pos Pos
+		var err error
+		switch req.Op {
+		case "pos":
+			pos, err = peer.Pos(req.Shard)
+		case "append":
+			pos, err = peer.Append(req.Shard, req.Seg, req.Off, req.Data)
+		case "rotate":
+			pos, err = peer.Rotate(req.Shard, req.Seg, req.Data)
+		case "copy":
+			pos, err = peer.CopySegment(req.Shard, req.Seg, req.Data)
+		case "reset":
+			pos, err = peer.Reset(req.Shard)
+		case "handoff":
+			err = peer.Handoff()
+		default:
+			err = fmt.Errorf("replica: unknown op %q", req.Op)
+		}
+		resp := wireResp{Pos: pos}
+		if err != nil {
+			resp.Err = err.Error()
+			resp.ErrKind = errKind(err)
+		}
+		if err := writeMsg(bw, &resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Client speaks the replication protocol to a remote follower. It
+// implements Peer. Connections are dialed lazily and redialed after
+// any transport error, so a follower restart heals on the next call.
+// Safe for concurrent use (requests are serialized).
+type Client struct {
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// Dial creates a client for the follower at addr. The TCP connection
+// is established on first use.
+func Dial(addr string) *Client { return &Client{addr: addr} }
+
+// do performs one request/response exchange.
+func (c *Client) do(req *wireReq) (*wireResp, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		conn, err := net.Dial("tcp", c.addr)
+		if err != nil {
+			return nil, err
+		}
+		c.conn = conn
+		c.br = bufio.NewReader(conn)
+	}
+	fail := func(err error) (*wireResp, error) {
+		c.conn.Close()
+		c.conn, c.br = nil, nil
+		return nil, err
+	}
+	if err := writeMsg(c.conn, req); err != nil {
+		return fail(err)
+	}
+	var resp wireResp
+	if err := readMsg(c.br, &resp); err != nil {
+		return fail(err)
+	}
+	return &resp, nil
+}
+
+// call performs one exchange and maps the typed error back.
+func (c *Client) call(req *wireReq) (Pos, error) {
+	resp, err := c.do(req)
+	if err != nil {
+		return Pos{}, err
+	}
+	return resp.Pos, kindErr(resp.ErrKind, resp.Err)
+}
+
+// Pos implements Peer.
+func (c *Client) Pos(shard int) (Pos, error) {
+	return c.call(&wireReq{Op: "pos", Shard: shard})
+}
+
+// Append implements Peer.
+func (c *Client) Append(shard, seg int, off int64, frame []byte) (Pos, error) {
+	return c.call(&wireReq{Op: "append", Shard: shard, Seg: seg, Off: off, Data: frame})
+}
+
+// Rotate implements Peer.
+func (c *Client) Rotate(shard, seg int, frame []byte) (Pos, error) {
+	return c.call(&wireReq{Op: "rotate", Shard: shard, Seg: seg, Data: frame})
+}
+
+// CopySegment implements Peer.
+func (c *Client) CopySegment(shard, seg int, data []byte) (Pos, error) {
+	return c.call(&wireReq{Op: "copy", Shard: shard, Seg: seg, Data: data})
+}
+
+// Reset implements Peer.
+func (c *Client) Reset(shard int) (Pos, error) {
+	return c.call(&wireReq{Op: "reset", Shard: shard})
+}
+
+// Handoff implements Peer.
+func (c *Client) Handoff() error {
+	_, err := c.call(&wireReq{Op: "handoff"})
+	return err
+}
+
+// Close drops the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn, c.br = nil, nil
+		return err
+	}
+	return nil
+}

@@ -182,11 +182,17 @@ func decodeOpsWire(raw json.RawMessage) ([]dpm.Operation, error) {
 // incarnation would apply to the new one. Called from Open before the
 // shard loop starts, so it may touch loop state directly.
 func (sh *shard) openShardWAL(dataDir string, policy wal.SyncPolicy, segBytes int64, fsys faultfs.FS) (uint64, bool, error) {
+	var ship func(wal.ShipEvent) error
+	if repl := sh.opts.Repl; repl != nil {
+		idx := sh.idx
+		ship = func(ev wal.ShipEvent) error { return repl.Ship(idx, ev) }
+	}
 	lg, info, err := wal.Open(wal.Options{
 		Dir:          shardDir(dataDir, sh.idx),
 		FS:           fsys,
 		Policy:       policy,
 		SegmentBytes: segBytes,
+		Ship:         ship,
 	})
 	if err != nil {
 		return 0, false, fmt.Errorf("%w: shard %d: %v", ErrStorage, sh.idx, err)

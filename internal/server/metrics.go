@@ -147,21 +147,95 @@ func (s *Server) Latency() []EndpointLatency {
 	return out
 }
 
-// handleReady is GET /readyz: readiness, as opposed to /healthz's
-// liveness. A server is ready when it accepts new work — not draining
-// and no shard's WAL has failed sticky-broken. Load generators
-// (adpmload) and orchestrators gate on this before sending traffic.
-func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-		return
-	}
-	for _, sh := range s.shards {
-		if sh.walBroken.Load() {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]string{
-				"status": "degraded", "error": "shard write-ahead log broken"})
-			return
+// Readiness taxonomy (GET /readyz). Statuses, per shard and overall:
+//
+//	"ready"       shard accepts work
+//	"draining"    intake stopped (server-wide)
+//	"broken"      the shard's WAL failed sticky-broken (degraded overall)
+//	"catching-up" quorum leader whose peer is out of sync: the next
+//	              write would stall on (or fail) catch-up, so the node
+//	              is not ready for traffic yet
+//	"following"   replication follower; not servable until promoted
+//
+// Anything but "ready" overall answers 503 — orchestrators and load
+// generators gate on the code, dashboards read the per-shard rows.
+
+// ShardReady is one shard's row of the /readyz report.
+type ShardReady struct {
+	Shard    int    `json:"shard"`
+	Status   string `json:"status"`
+	Sessions int64  `json:"sessions"`
+	Parked   int64  `json:"parked,omitempty"`
+	// Repl is the shard's replication state (Options.ReplStatus); nil
+	// on an unreplicated server.
+	Repl *ReplStatus `json:"repl,omitempty"`
+}
+
+// ReadyReport is the full /readyz body.
+type ReadyReport struct {
+	Status string       `json:"status"`
+	Shards []ShardReady `json:"shards"`
+}
+
+// Ready computes the readiness report; ok is true when the server
+// should answer 200.
+func (s *Server) Ready() (ReadyReport, bool) {
+	draining := s.draining.Load()
+	rep := ReadyReport{Status: "ready"}
+	degrade := func(status string) {
+		// Overall status keeps the most severe shard condition, in
+		// taxonomy order: draining outranks broken outranks catching-up.
+		rank := map[string]int{"ready": 0, "catching-up": 1, "following": 2, "broken": 3, "draining": 4}
+		if rank[status] > rank[rep.Status] {
+			rep.Status = status
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	for _, sh := range s.shards {
+		row := ShardReady{
+			Shard:    sh.idx,
+			Status:   "ready",
+			Sessions: sh.nSessions.Load(),
+			Parked:   sh.nParked.Load(),
+		}
+		if s.opts.ReplStatus != nil {
+			st := s.opts.ReplStatus(sh.idx)
+			row.Repl = &st
+			switch {
+			case st.Role == "follower":
+				row.Status = "following"
+			case st.Quorum && !st.InSync:
+				row.Status = "catching-up"
+			}
+		}
+		if sh.walBroken.Load() {
+			row.Status = "broken"
+		}
+		if draining {
+			row.Status = "draining"
+		}
+		if row.Status != "ready" {
+			degrade(row.Status)
+		}
+		rep.Shards = append(rep.Shards, row)
+	}
+	if draining {
+		rep.Status = "draining"
+	} else if rep.Status == "broken" {
+		rep.Status = "degraded"
+	}
+	return rep, rep.Status == "ready"
+}
+
+// handleReady is GET /readyz: readiness, as opposed to /healthz's
+// liveness. A server is ready when it accepts new work — not draining,
+// no shard WAL sticky-broken, and (when replicated in quorum mode) the
+// peer caught up. The body reports every shard's status so operators
+// see *which* shard holds a rolling restart back.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	rep, ok := s.Ready()
+	code := http.StatusOK
+	if !ok {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, rep)
 }

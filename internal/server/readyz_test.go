@@ -1,0 +1,239 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/dpm"
+	"repro/internal/faultfs"
+	"repro/internal/wal"
+)
+
+// replStub scripts Options.ReplStatus per shard for the taxonomy test.
+func replStub(byShard map[int]ReplStatus) func(int) ReplStatus {
+	return func(shard int) ReplStatus { return byShard[shard] }
+}
+
+// TestReadyzTaxonomy walks the /readyz status taxonomy: per-shard rows
+// and the overall status/HTTP code for every readiness condition.
+func TestReadyzTaxonomy(t *testing.T) {
+	cases := []struct {
+		name       string
+		repl       func(int) ReplStatus
+		drain      bool
+		breakShard bool
+		wantCode   int
+		wantStatus string
+		wantShard0 string
+	}{
+		{
+			name:       "ready",
+			wantCode:   200,
+			wantStatus: "ready",
+			wantShard0: "ready",
+		},
+		{
+			name:       "draining",
+			drain:      true,
+			wantCode:   503,
+			wantStatus: "draining",
+			wantShard0: "draining",
+		},
+		{
+			name:       "broken shard degrades",
+			breakShard: true,
+			wantCode:   503,
+			wantStatus: "degraded",
+			wantShard0: "broken",
+		},
+		{
+			name: "quorum leader in sync",
+			repl: replStub(map[int]ReplStatus{
+				0: {Role: "leader", Quorum: true, InSync: true},
+				1: {Role: "leader", Quorum: true, InSync: true},
+			}),
+			wantCode:   200,
+			wantStatus: "ready",
+			wantShard0: "ready",
+		},
+		{
+			name: "quorum leader catching up",
+			repl: replStub(map[int]ReplStatus{
+				0: {Role: "leader", Quorum: true, InSync: false, LagRecords: 7, LagBytes: 512},
+				1: {Role: "leader", Quorum: true, InSync: true},
+			}),
+			wantCode:   503,
+			wantStatus: "catching-up",
+			wantShard0: "catching-up",
+		},
+		{
+			name: "async leader lagging stays ready",
+			repl: replStub(map[int]ReplStatus{
+				0: {Role: "leader", Quorum: false, InSync: false, LagRecords: 7},
+				1: {Role: "leader", Quorum: false, InSync: true},
+			}),
+			wantCode:   200,
+			wantStatus: "ready",
+			wantShard0: "ready",
+		},
+		{
+			name: "follower role not servable",
+			repl: replStub(map[int]ReplStatus{
+				0: {Role: "follower", InSync: true},
+				1: {Role: "follower", InSync: true},
+			}),
+			wantCode:   503,
+			wantStatus: "following",
+			wantShard0: "following",
+		},
+		{
+			name: "draining outranks catching up",
+			repl: replStub(map[int]ReplStatus{
+				0: {Role: "leader", Quorum: true, InSync: false},
+			}),
+			drain:      true,
+			wantCode:   503,
+			wantStatus: "draining",
+			wantShard0: "draining",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fsys := faultfs.NewMemFS()
+			fault := &faultfs.Fault{Inner: fsys}
+			s, err := Open(Options{Shards: 2, DataDir: "data", FS: fault, ReplStatus: tc.repl})
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			defer s.Kill()
+			if _, err := s.CreateSession(CreateSpec{Name: "simplified", Mode: dpm.ADPM, MaxOps: 10}); err != nil {
+				t.Fatalf("create: %v", err)
+			}
+			if tc.breakShard {
+				// Fail the next fsync: the shard's WAL goes sticky-broken.
+				fault.OnSync = func(n int, name string) error { return errors.New("injected") }
+				if _, err := s.CreateSession(CreateSpec{Name: "simplified", Mode: dpm.ADPM, MaxOps: 10}); err == nil {
+					t.Fatalf("expected storage failure")
+				}
+				fault.OnSync = nil
+			}
+			if tc.drain {
+				s.Drain()
+			}
+			rr := do(s.Handler(), "GET", "/readyz", "")
+			if rr.Code != tc.wantCode {
+				t.Fatalf("code = %d, want %d (body %s)", rr.Code, tc.wantCode, rr.Body.String())
+			}
+			var rep ReadyReport
+			if err := json.Unmarshal(rr.Body.Bytes(), &rep); err != nil {
+				t.Fatalf("body: %v", err)
+			}
+			if rep.Status != tc.wantStatus {
+				t.Fatalf("status = %q, want %q", rep.Status, tc.wantStatus)
+			}
+			if len(rep.Shards) != 2 {
+				t.Fatalf("want 2 shard rows, got %d", len(rep.Shards))
+			}
+			var row0 ShardReady
+			for _, row := range rep.Shards {
+				if row.Shard == 0 {
+					row0 = row
+				}
+			}
+			if tc.breakShard {
+				// Only the shard that hit the fault reports broken.
+				broken := 0
+				for _, row := range rep.Shards {
+					if row.Status == "broken" {
+						broken++
+						row0 = row
+					}
+				}
+				if broken != 1 {
+					t.Fatalf("want exactly 1 broken shard, got %d (%+v)", broken, rep.Shards)
+				}
+			}
+			if row0.Status != tc.wantShard0 {
+				t.Fatalf("shard 0 status = %q, want %q (%+v)", row0.Status, tc.wantShard0, rep.Shards)
+			}
+			if tc.repl != nil {
+				if row0.Repl == nil {
+					t.Fatalf("shard row missing repl state")
+				}
+				want := tc.repl(row0.Shard)
+				if *row0.Repl != want {
+					t.Fatalf("repl = %+v, want %+v", *row0.Repl, want)
+				}
+			}
+		})
+	}
+}
+
+// TestReadyzReportsReplLag checks the lag gauges survive the JSON trip.
+func TestReadyzReportsReplLag(t *testing.T) {
+	s, err := Open(Options{Shards: 1, ReplStatus: replStub(map[int]ReplStatus{
+		0: {Role: "leader", Quorum: false, InSync: false, LagRecords: 3, LagBytes: 222},
+	})})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Kill()
+	rr := do(s.Handler(), "GET", "/readyz", "")
+	if rr.Code != 200 {
+		t.Fatalf("async lag must stay ready, got %d", rr.Code)
+	}
+	var rep ReadyReport
+	if err := json.Unmarshal(rr.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("body: %v", err)
+	}
+	if got := rep.Shards[0].Repl; got == nil || got.LagRecords != 3 || got.LagBytes != 222 {
+		t.Fatalf("lag gauges lost: %+v", got)
+	}
+}
+
+// TestShipperSeamForwardsInCommitOrder exercises Options.Repl with a
+// recording stub: every WAL mutation arrives, tagged with its shard,
+// in commit order — the contract internal/replica builds on.
+func TestShipperSeamForwardsInCommitOrder(t *testing.T) {
+	rec := &recordingShipper{}
+	s, err := Open(Options{Shards: 1, DataDir: "data", FS: faultfs.NewMemFS(), Repl: rec})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Kill()
+	c, err := s.CreateSession(CreateSpec{Name: "simplified", Mode: dpm.ADPM, MaxOps: 10})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := s.Delete(c.ID); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if len(rec.events) < 2 {
+		t.Fatalf("shipper saw %d events, want >= 2", len(rec.events))
+	}
+	var lastOff int64 = -1
+	for i, ev := range rec.events {
+		if ev.shard != 0 {
+			t.Fatalf("event %d on shard %d", i, ev.shard)
+		}
+		if ev.ev.Kind == wal.ShipAppend {
+			if ev.ev.Off <= lastOff {
+				t.Fatalf("append offsets not monotone: %d after %d", ev.ev.Off, lastOff)
+			}
+			lastOff = ev.ev.Off
+		}
+	}
+}
+
+type shippedEvent struct {
+	shard int
+	ev    wal.ShipEvent
+}
+
+type recordingShipper struct{ events []shippedEvent }
+
+func (r *recordingShipper) Ship(shard int, ev wal.ShipEvent) error {
+	r.events = append(r.events, shippedEvent{shard, ev})
+	return nil
+}

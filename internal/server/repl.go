@@ -1,0 +1,69 @@
+package server
+
+import (
+	"sort"
+
+	"repro/internal/wal"
+)
+
+// Shipper is the replication seam: when Options.Repl is set, every
+// shard's WAL forwards each local mutation (append, rotation, group
+// commit) to it in commit order, via wal.Options.Ship. An error from
+// an append ship propagates through the WAL into ErrStorage — the
+// batch stays logged locally but is never acknowledged, which is
+// exactly the quorum durability contract (internal/replica implements
+// this interface; the server only defines the seam, so it stays
+// ignorant of transports and peers).
+type Shipper interface {
+	Ship(shard int, ev wal.ShipEvent) error
+}
+
+// ReplStatus is one shard's replication state as reported on /readyz.
+// The server does not compute it — Options.ReplStatus supplies it, so
+// the readiness taxonomy stays decoupled from the replication
+// implementation.
+type ReplStatus struct {
+	// Role is "leader" or "follower".
+	Role string `json:"role"`
+	// Quorum reports the ack mode (leader side).
+	Quorum bool `json:"quorum,omitempty"`
+	// InSync is true when the peer holds everything local.
+	InSync bool `json:"in_sync"`
+	// LagRecords/LagBytes gauge how far the peer is behind (async mode
+	// grows these while the link is down; quorum keeps them at zero).
+	LagRecords int64 `json:"lag_records,omitempty"`
+	LagBytes   int64 `json:"lag_bytes,omitempty"`
+}
+
+// ParkAll parks every live session on every durable shard —
+// persist-then-evict for the whole server, the leader-side half of
+// park-then-transfer session migration. After ParkAll the sessions
+// exist only as WAL images (which replication ships to the peer), so
+// a subsequent drain + handoff moves them wholesale: the promoted
+// peer restores each one on first touch by the same replay path a
+// restart uses. Returns the number of sessions parked; non-durable
+// shards are left alone (parking without a WAL would lose data).
+func (s *Server) ParkAll() int {
+	total := 0
+	for _, sh := range s.shards {
+		n := 0
+		err := sh.submit(func() {
+			if sh.wal == nil {
+				return
+			}
+			ids := make([]string, 0, len(sh.sessions))
+			for id := range sh.sessions {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			for _, id := range ids {
+				sh.park(sh.sessions[id])
+			}
+			n = len(ids)
+		})
+		if err == nil {
+			total += n
+		}
+	}
+	return total
+}

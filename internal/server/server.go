@@ -113,6 +113,16 @@ type Options struct {
 	// chaos suite injects faults here.
 	FS faultfs.FS
 
+	// Repl, when non-nil, receives every shard WAL mutation in commit
+	// order (leader→follower replication; see Shipper). Requires
+	// DataDir.
+	Repl Shipper
+	// ReplStatus, when non-nil, reports per-shard replication state on
+	// GET /readyz. Independent of Repl so a follower-side host can
+	// report its role through the same taxonomy. A quorum leader with
+	// an out-of-sync peer reports 503 (writes would stall on catch-up).
+	ReplStatus func(shard int) ReplStatus
+
 	// Heartbeat is the SSE keep-alive comment period on
 	// GET /sessions/{id}/events; 0 means DefaultHeartbeat.
 	Heartbeat time.Duration

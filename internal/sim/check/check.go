@@ -42,6 +42,14 @@
 //     across park, restore, and recovery.
 //  5. Deleted sessions stay deleted under the same durability contract
 //     as any other acknowledged record.
+//  6. Replication (Config.Replica): with a warm standby tailing the
+//     WALs, the epoch vocabulary gains follower crashes, link cuts
+//     (async mode), and two promotion terminators, and the durability
+//     rules transfer to the promoted mirror — under quorum acks no
+//     acked record may ever be lost across a promotion (even a
+//     powercut-promotion), under async acks a promotion may lose only
+//     the acked-but-unshipped suffix, prefix-closed per session, and
+//     Last-Event-ID resume stays exact on the promoted node.
 package check
 
 import (
@@ -69,6 +77,11 @@ const (
 	// batches that were never logged. The checker must report the
 	// resulting lost-acked-operation violation after a powercut.
 	BugAckBeforeAppend
+	// BugAckBeforeShip makes the replication peer silently drop Append
+	// ships (a lying network): quorum mode acknowledges batches the
+	// follower never received. The checker must report the resulting
+	// violation after a promotion.
+	BugAckBeforeShip
 )
 
 // Config bounds the explored configuration.
@@ -85,6 +98,17 @@ type Config struct {
 	EpochLen int
 	// Policy is the WAL sync discipline under test.
 	Policy wal.SyncPolicy
+	// Replica runs every epoch against a two-node pair: a warm standby
+	// tails the leader's WALs, the action vocabulary gains follower
+	// crashes (and, in async mode, a replication-link cut), and two new
+	// terminators — promote and cutpromote — fail over to the standby,
+	// so every interleaving of replication traffic with promotion is
+	// explored. Implied by Quorum.
+	Replica bool
+	// Quorum selects quorum acks (ship-before-ack) under Replica: no
+	// acked record may ever be lost across a promotion. Requires
+	// SyncAlways, like the server's -repl-ack quorum.
+	Quorum bool
 	// Bug injects a seeded defect (self-tests).
 	Bug Bug
 	// MaxStates aborts runaway explorations; 0 means no cap.
@@ -122,23 +146,27 @@ var opVocab = []dpm.Operation{
 
 // batch is one acked keyed batch in the model.
 type batch struct {
-	key    string
-	opIdx  int
-	ack    []byte
-	synced bool // reached durable storage (fsynced)
+	key     string
+	opIdx   int
+	ack     []byte
+	synced  bool // reached durable storage (fsynced)
+	shipped bool // reached the follower's durable mirror (replica mode)
 }
 
 // msession is the model of one session.
 type msession struct {
-	id           string
-	createSynced bool
-	batches      []*batch
-	state        []byte
-	events       []string
+	id            string
+	createSynced  bool
+	createShipped bool // create record mirrored on the follower
+	batches       []*batch
+	state         []byte
+	events        []string
 	// deleted is set when the client deleted the session; deleteSynced
-	// when the tombstone reached durable storage.
-	deleted      bool
-	deleteSynced bool
+	// when the tombstone reached durable storage, deleteShipped when it
+	// reached the follower's mirror.
+	deleted       bool
+	deleteSynced  bool
+	deleteShipped bool
 	// gone marks a session legally lost (unsynced create taken by a
 	// power cut) or whose id was legally recycled; it is no longer
 	// checked.
@@ -183,13 +211,13 @@ func (m *model) hash() [sha256.Size]byte {
 	binary.LittleEndian.PutUint64(buf[:], uint64(m.opNext))
 	h.Write(buf[:])
 	for _, s := range m.sessions {
-		fmt.Fprintf(h, "|s:%s:%t:%t:%t:%t", s.id, s.createSynced, s.deleted, s.deleteSynced, s.gone)
+		fmt.Fprintf(h, "|s:%s:%t:%t:%t:%t:%t:%t", s.id, s.createSynced, s.createShipped, s.deleted, s.deleteSynced, s.deleteShipped, s.gone)
 		h.Write(s.state)
 		for _, e := range s.events {
 			fmt.Fprintf(h, "|e:%s", e)
 		}
 		for _, b := range s.batches {
-			fmt.Fprintf(h, "|b:%s:%d:%t:", b.key, b.opIdx, b.synced)
+			fmt.Fprintf(h, "|b:%s:%d:%t:%t:", b.key, b.opIdx, b.synced, b.shipped)
 			h.Write(b.ack)
 		}
 	}
@@ -200,10 +228,11 @@ func (m *model) hash() [sha256.Size]byte {
 
 // node is one DFS state.
 type node struct {
-	fs    *faultfs.MemFS
-	model *model
-	depth int
-	path  []string
+	fs      *faultfs.MemFS
+	standby *faultfs.MemFS // follower's filesystem (replica mode)
+	model   *model
+	depth   int
+	path    []string
 }
 
 // checker drives one exploration.
@@ -216,6 +245,12 @@ type checker struct {
 
 // Run explores the state space exhaustively and reports violations.
 func Run(cfg Config) (*Report, error) {
+	if cfg.Quorum {
+		cfg.Replica = true
+		if cfg.Policy != wal.SyncAlways {
+			return nil, fmt.Errorf("check: quorum replication requires fsync=always (a quorum ack promises local durability too)")
+		}
+	}
 	if cfg.Shards <= 0 {
 		cfg.Shards = 2
 	}
@@ -237,6 +272,9 @@ func Run(cfg Config) (*Report, error) {
 		rep:     &Report{},
 	}
 	root := &node{fs: faultfs.NewMemFS(), model: &model{}}
+	if cfg.Replica {
+		root.standby = faultfs.NewMemFS()
+	}
 	c.visit(root)
 	c.dfs(root)
 	return c.rep, c.err
@@ -252,6 +290,10 @@ func (c *checker) visit(n *node) bool {
 	h := sha256.New()
 	fp := n.fs.Fingerprint()
 	h.Write(fp[:])
+	if n.standby != nil {
+		sp := n.standby.Fingerprint()
+		h.Write(sp[:])
+	}
 	mh := n.model.hash()
 	h.Write(mh[:])
 	var key [sha256.Size]byte
@@ -277,8 +319,17 @@ func (c *checker) dfs(n *node) {
 		c.epoch(n, nil, "drain")
 		return
 	}
+	terms := []string{"drain", "kill", "powercut"}
+	if c.cfg.Replica {
+		// promote: the leader process dies (its page cache survives on
+		// the old disk, which becomes the new standby) and the mirror
+		// takes over. cutpromote: the leader machine loses power first —
+		// the worst case a quorum deployment must survive with zero
+		// acked-op loss.
+		terms = append(terms, "promote", "cutpromote")
+	}
 	for _, seq := range c.actionSeqs(n.model) {
-		for _, term := range []string{"drain", "kill", "powercut"} {
+		for _, term := range terms {
 			if c.stop() {
 				return
 			}
@@ -336,6 +387,17 @@ func (c *checker) actionSeqs(m *model) [][]action {
 		if c.cfg.Policy != wal.SyncAlways {
 			opts = append(opts, action{kind: "sync"})
 		}
+		if c.cfg.Replica && !hasKind(prefix, "fcrash") {
+			opts = append(opts, action{kind: "fcrash"})
+		}
+		if c.cfg.Replica && !c.cfg.Quorum && !hasKind(prefix, "cut") {
+			// A link cut creates unshipped (acked but unmirrored)
+			// suffixes; it stays cut for the rest of the epoch — the
+			// fresh link of the next epoch is the heal. Quorum mode has
+			// no cut action: a cut quorum append refuses the ack, which
+			// the checker would treat as an apply failure.
+			opts = append(opts, action{kind: "cut"})
+		}
 		for _, a := range opts {
 			nm := m.clone()
 			applyToModel(nm, a)
@@ -346,8 +408,18 @@ func (c *checker) actionSeqs(m *model) [][]action {
 	return out
 }
 
+func hasKind(seq []action, kind string) bool {
+	for _, a := range seq {
+		if a.kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
 // applyToModel advances the *shape* of the model for enumeration only
-// (ids, acks, and states are filled in during execution).
+// (ids, acks, and states are filled in during execution). fcrash and
+// cut change no model shape.
 func applyToModel(m *model, a action) {
 	switch a.kind {
 	case "create":

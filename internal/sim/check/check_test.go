@@ -51,6 +51,100 @@ func TestExhaustiveSyncInterval(t *testing.T) {
 	t.Logf("states=%d transitions=%d", rep.States, rep.Transitions)
 }
 
+// TestExhaustiveReplicaQuorum explores the two-node pair under quorum
+// acks: every interleaving of client actions with follower crashes,
+// promotions, and powercut-promotions must lose nothing acked — the
+// replicated generalization of invariant 2.
+func TestExhaustiveReplicaQuorum(t *testing.T) {
+	rep, err := Run(Config{
+		Shards:      1,
+		MaxSessions: 2,
+		MaxOps:      3,
+		MaxEpochs:   4,
+		EpochLen:    2,
+		Policy:      wal.SyncAlways,
+		Quorum:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violation: %s\ntrace:\n  %s", rep.Violations[0], strings.Join(rep.Trace, "\n  "))
+	}
+	if rep.States < 60 {
+		t.Fatalf("only %d distinct states explored; replica transitions should reach far more", rep.States)
+	}
+	t.Logf("states=%d transitions=%d", rep.States, rep.Transitions)
+}
+
+// TestExhaustiveReplicaAsync explores async replication, where the cut
+// action creates acked-but-unshipped suffixes: a promotion may lose
+// exactly those (prefix-closed), and everything shipped must survive —
+// including across follower crashes, which lose nothing because the
+// follower fsyncs every frame. The SyncInterval variant is the richest
+// space — the unsynced/unshipped interplay means a record can be in any
+// of (volatile, durable, mirrored) independently.
+func TestExhaustiveReplicaAsync(t *testing.T) {
+	for _, policy := range []wal.SyncPolicy{wal.SyncAlways, wal.SyncInterval} {
+		rep, err := Run(Config{
+			Shards:      1,
+			MaxSessions: 2,
+			MaxOps:      3,
+			MaxEpochs:   3,
+			EpochLen:    2,
+			Policy:      policy,
+			Replica:     true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Violations) != 0 {
+			t.Fatalf("policy %v violation: %s\ntrace:\n  %s", policy, rep.Violations[0], strings.Join(rep.Trace, "\n  "))
+		}
+		t.Logf("policy %v: states=%d transitions=%d", policy, rep.States, rep.Transitions)
+	}
+}
+
+// TestCheckerQuorumRequiresSyncAlways mirrors the server's constraint:
+// a quorum ack promises local durability too.
+func TestCheckerQuorumRequiresSyncAlways(t *testing.T) {
+	if _, err := Run(Config{Policy: wal.SyncInterval, Quorum: true}); err == nil || !strings.Contains(err.Error(), "fsync=always") {
+		t.Fatalf("want quorum/fsync config error, got %v", err)
+	}
+}
+
+// TestCheckerCatchesAckBeforeShip is the replication checker's own
+// soundness test: a lying network that drops Append ships while quorum
+// mode keeps acking must produce a durability violation after a
+// promotion, or the replica transitions are not actually checking the
+// ship-before-ack contract.
+func TestCheckerCatchesAckBeforeShip(t *testing.T) {
+	rep, err := Run(Config{
+		Shards:      1,
+		MaxSessions: 1,
+		MaxOps:      2,
+		MaxEpochs:   2,
+		EpochLen:    2,
+		Policy:      wal.SyncAlways,
+		Quorum:      true,
+		Bug:         BugAckBeforeShip,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatal("checker explored the seeded ack-before-ship bug without finding a violation")
+	}
+	v := rep.Violations[0]
+	if !strings.Contains(v, "lost") && !strings.Contains(v, "resurrected") {
+		t.Fatalf("violation found, but not a durability loss: %s", v)
+	}
+	if len(rep.Trace) == 0 {
+		t.Fatal("violation reported without an action trace")
+	}
+	t.Logf("caught: %s\ntrace:\n  %s", v, strings.Join(rep.Trace, "\n  "))
+}
+
 // TestCheckerCatchesAckBeforeAppend is the checker's own soundness
 // test: a seeded lying-disk bug (the server acknowledges batches whose
 // WAL append never landed) must produce a lost-acked-operation

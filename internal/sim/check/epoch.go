@@ -10,10 +10,58 @@ import (
 
 	"repro/internal/dpm"
 	"repro/internal/faultfs"
+	"repro/internal/replica"
 	"repro/internal/server"
 	"repro/internal/vclock"
 	"repro/internal/wal"
 )
+
+// epochCtx is the replication process state of one epoch: the live
+// follower, the leader-side replicator, the link, and whether the link
+// has been cut. It dies with the epoch's processes — only the two
+// filesystem images persist into the successor node.
+type epochCtx struct {
+	fol     *replica.Follower
+	rep     *replica.Replicator
+	standby *faultfs.MemFS
+	net     *faultfs.NetFault
+	cut     bool
+}
+
+// dropAppendPeer is the BugAckBeforeShip defect: Append ships vanish
+// while reporting success — a lying network. Catch-up's Reset/Copy
+// verbs stay truthful, so the bug only manifests in the window between
+// an acknowledged append and the next full catch-up, which is exactly
+// the window a quorum ack promises cannot exist.
+type dropAppendPeer struct{ replica.Peer }
+
+func (p dropAppendPeer) Append(int, int, int64, []byte) (replica.Pos, error) {
+	return replica.Pos{}, nil
+}
+
+// peer wires the epoch's follower behind the link faults (and the
+// seeded ship bug, when configured).
+func (c *checker) peer(ec *epochCtx) replica.Peer {
+	var p replica.Peer = ec.fol
+	if c.cfg.Bug == BugAckBeforeShip {
+		p = dropAppendPeer{p}
+	}
+	return &replica.FaultPeer{Inner: p, Net: ec.net}
+}
+
+// newFollower (re)builds the follower over the epoch's standby image.
+func (c *checker) newFollower(ec *epochCtx) error {
+	fol, err := replica.NewFollower(replica.FollowerOptions{
+		Dir:    "data",
+		FS:     ec.standby,
+		Shards: c.cfg.Shards,
+	})
+	if err != nil {
+		return err
+	}
+	ec.fol = fol
+	return nil
+}
 
 // epoch executes one transition: open the real server on a copy of the
 // node's filesystem image, verify recovery against the model, run the
@@ -34,7 +82,8 @@ func (c *checker) epoch(n *node, seq []action, term string) *node {
 		}}
 	}
 	clk := vclock.NewManual()
-	srv, err := server.Open(server.Options{
+	var ec *epochCtx
+	opts := server.Options{
 		Shards:      c.cfg.Shards,
 		MailboxSize: 16,
 		MaxOps:      64,
@@ -44,7 +93,32 @@ func (c *checker) epoch(n *node, seq []action, term string) *node {
 		FS:          fsys,
 		Clock:       clk,
 		IdemCap:     -1,
-	})
+	}
+	if c.cfg.Replica {
+		ec = &epochCtx{standby: n.standby.Clone(), net: &faultfs.NetFault{}}
+		if err := c.newFollower(ec); err != nil {
+			c.err = fmt.Errorf("check: follower: %w", err)
+			return nil
+		}
+		rep, err := replica.NewReplicator(replica.ReplicatorOptions{
+			Peer:    c.peer(ec),
+			FS:      fs,
+			DataDir: "data",
+			Shards:  c.cfg.Shards,
+			Quorum:  c.cfg.Quorum,
+		})
+		if err != nil {
+			c.err = fmt.Errorf("check: replicator: %w", err)
+			return nil
+		}
+		ec.rep = rep
+		opts.Repl = rep
+		opts.ReplStatus = func(shard int) server.ReplStatus {
+			st := rep.ShardStatus(shard)
+			return server.ReplStatus{Role: st.Role, Quorum: st.Quorum, InSync: st.InSync, LagRecords: st.LagRecords, LagBytes: st.LagBytes}
+		}
+	}
+	srv, err := server.Open(opts)
 	if err != nil {
 		c.err = fmt.Errorf("check: open: %w", err)
 		return nil
@@ -52,15 +126,30 @@ func (c *checker) epoch(n *node, seq []action, term string) *node {
 	defer srv.Drain() // idempotent; the terminator usually got there first
 	c.rep.Transitions++
 
-	if !c.verifyRecovery(srv, m, n, seq, term) {
-		return nil
-	}
-	for _, a := range seq {
-		if !c.execute(srv, clk, m, a, n, seq, term) {
+	if ec != nil {
+		// Every epoch opens with a full catch-up — the fresh link heals
+		// whatever the previous epoch's faults left behind, so survivors
+		// verified below are known mirrored (verifyRecovery marks them
+		// shipped on that basis).
+		if err := ec.rep.CatchUpAll(); err != nil {
+			c.err = fmt.Errorf("check: epoch catch-up: %w", err)
 			return nil
 		}
 	}
 
+	if !c.verifyRecovery(srv, m, n, seq, term) {
+		return nil
+	}
+	for _, a := range seq {
+		if !c.execute(srv, clk, m, ec, a, n, seq, term) {
+			return nil
+		}
+	}
+
+	stby := (*faultfs.MemFS)(nil)
+	if ec != nil {
+		stby = ec.standby
+	}
 	switch term {
 	case "drain":
 		srv.Drain()
@@ -74,12 +163,28 @@ func (c *checker) epoch(n *node, seq []action, term string) *node {
 	case "powercut":
 		srv.Kill()
 		fs.Crash()
+	case "promote", "cutpromote":
+		srv.Kill()
+		if term == "cutpromote" {
+			fs.Crash()
+		}
+		if err := ec.fol.Promote(); err != nil {
+			c.violate(n, seq, term, "promote: %v", err)
+			return nil
+		}
+		// The mirror becomes the servable image; the dead leader's disk
+		// becomes the new standby (its divergent suffix, if any, is
+		// reset away by the next epoch's catch-up). What is durable now
+		// is exactly what shipped.
+		fs, stby = stby, fs
+		m.markPromoted()
 	}
 	return &node{
-		fs:    fs,
-		model: m,
-		depth: n.depth + 1,
-		path:  append(append([]string(nil), n.path...), epochLabel(seq, term)),
+		fs:      fs,
+		standby: stby,
+		model:   m,
+		depth:   n.depth + 1,
+		path:    append(append([]string(nil), n.path...), epochLabel(seq, term)),
 	}
 }
 
@@ -94,6 +199,26 @@ func (m *model) markAllSynced() {
 		}
 		for _, b := range s.batches {
 			b.synced = true
+		}
+	}
+}
+
+// markPromoted rewrites durability in terms of the mirror: after a
+// promotion the servable image is the follower's, so a record is
+// durable exactly when it shipped. The follower fsyncs every frame, so
+// shipped implies durable on the promoted disk regardless of the sync
+// policy.
+func (m *model) markPromoted() {
+	for _, s := range m.sessions {
+		if s.gone {
+			continue
+		}
+		s.createSynced = s.createShipped
+		if s.deleted {
+			s.deleteSynced = s.deleteShipped
+		}
+		for _, b := range s.batches {
+			b.synced = b.shipped
 		}
 	}
 }
@@ -116,8 +241,13 @@ func (c *checker) verifyRecovery(srv *server.Server, m *model, n *node, seq []ac
 			case errors.Is(serr, server.ErrUnknownSession):
 				// Tombstone holding — and durable now: wal.Open fsyncs the
 				// recovered tail, so recovery is a durability checkpoint.
+				// In replica mode the epoch-open catch-up mirrored it too.
 				s.createSynced = true
 				s.deleteSynced = true
+				if c.cfg.Replica {
+					s.createShipped = true
+					s.deleteShipped = true
+				}
 				continue
 			case serr == nil:
 				if s.deleteSynced {
@@ -127,6 +257,8 @@ func (c *checker) verifyRecovery(srv *server.Server, m *model, n *node, seq []ac
 				// The unsynced tombstone was legally lost: the session is
 				// live again with its logged history.
 				s.deleted = false
+				s.deleteSynced = false
+				s.deleteShipped = false
 			default:
 				c.violate(n, seq, term, "deleted session %s: unexpected error %v", s.id, serr)
 				return false
@@ -144,8 +276,12 @@ func (c *checker) verifyRecovery(srv *server.Server, m *model, n *node, seq []ac
 		}
 
 		// The session survived into this open; wal.Open fsynced the
-		// recovered tail, so its create record is durable from here on.
+		// recovered tail, so its create record is durable from here on —
+		// and mirrored, after the epoch-open catch-up.
 		s.createSynced = true
+		if c.cfg.Replica {
+			s.createShipped = true
+		}
 
 		// Retry every batch in order: replays mark survivors, fresh
 		// applies mark losses.
@@ -167,14 +303,18 @@ func (c *checker) verifyRecovery(srv *server.Server, m *model, n *node, seq []ac
 					return false
 				}
 				b.synced = true // recovered → fsynced by the open
+				b.shipped = c.cfg.Replica
 			} else {
 				if b.synced {
-					c.violate(n, seq, term, "acked batch %s on %s lost although it was durable (ack-before-append?)", b.key, s.id)
+					c.violate(n, seq, term, "acked batch %s on %s lost although it was durable (ack-before-append or ack-before-ship?)", b.key, s.id)
 					return false
 				}
 				lost = true
 				b.ack = ack
 				b.synced = c.cfg.Policy == wal.SyncAlways
+				// Re-applied now, before any cut this epoch could
+				// happen: the inline ship mirrors it.
+				b.shipped = c.cfg.Replica
 			}
 		}
 		// History settled: state and event log must be byte-identical
@@ -229,14 +369,38 @@ func (c *checker) checkStateAndEvents(srv *server.Server, s *msession, n *node, 
 			return false
 		}
 	}
+	// Last-Event-ID resume from the middle of the log: the backlog must
+	// be the exact, gapless suffix — on every image this session is ever
+	// served from, including a promoted mirror.
+	if len(got) > 0 {
+		after := len(got) / 2
+		sub, err = srv.Subscribe(s.id, server.SubscribeOptions{AfterID: after, QueueCap: server.MaxSubscriberQueue})
+		if err != nil {
+			c.violate(n, seq, term, "%s: resume subscribe %s: %v", when, s.id, err)
+			return false
+		}
+		tail := sub.Next(0)
+		sub.Close()
+		if len(tail) != len(got)-after {
+			c.violate(n, seq, term, "%s: resume of %s after %d returned %d events, want %d", when, s.id, after, len(tail), len(got)-after)
+			return false
+		}
+		for i, ev := range tail {
+			if ev.ID != after+i+1 || ev.Event.String() != got[after+i] {
+				c.violate(n, seq, term, "%s: resume of %s after %d not the exact suffix at %d", when, s.id, after, i)
+				return false
+			}
+		}
+	}
 	return true
 }
 
 // execute runs one client action with its inline invariant checks.
 // Returns false when the epoch must be abandoned (infeasible sequence)
 // or the exploration stops (violation).
-func (c *checker) execute(srv *server.Server, clk *vclock.Manual, m *model, a action, n *node, seq []action, term string) bool {
+func (c *checker) execute(srv *server.Server, clk *vclock.Manual, m *model, ec *epochCtx, a action, n *node, seq []action, term string) bool {
 	clk.Advance(time.Millisecond)
+	shipping := c.cfg.Replica && !(ec != nil && ec.cut)
 	switch a.kind {
 	case "create":
 		if len(m.live()) >= c.cfg.MaxSessions {
@@ -256,7 +420,7 @@ func (c *checker) execute(srv *server.Server, clk *vclock.Manual, m *model, a ac
 				old.gone = true // identity legally recycled
 			}
 		}
-		s := &msession{id: resp.ID, createSynced: c.cfg.Policy == wal.SyncAlways}
+		s := &msession{id: resp.ID, createSynced: c.cfg.Policy == wal.SyncAlways, createShipped: shipping}
 		m.sessions = append(m.sessions, s)
 		return c.checkStateAndEvents(srv, s, n, seq, term, "create")
 
@@ -289,7 +453,7 @@ func (c *checker) execute(srv *server.Server, clk *vclock.Manual, m *model, a ac
 			c.violate(n, seq, term, "immediate retry of %s on %s returned a different ack", key, s.id)
 			return false
 		}
-		s.batches = append(s.batches, &batch{key: key, opIdx: opIdx, ack: ack, synced: c.cfg.Policy == wal.SyncAlways})
+		s.batches = append(s.batches, &batch{key: key, opIdx: opIdx, ack: ack, synced: c.cfg.Policy == wal.SyncAlways, shipped: shipping})
 		m.opNext++
 		st, err := srv.State(s.id)
 		if err != nil {
@@ -310,6 +474,7 @@ func (c *checker) execute(srv *server.Server, clk *vclock.Manual, m *model, a ac
 		}
 		s.deleted = true
 		s.deleteSynced = c.cfg.Policy == wal.SyncAlways
+		s.deleteShipped = shipping
 		return true
 
 	case "park":
@@ -334,6 +499,26 @@ func (c *checker) execute(srv *server.Server, clk *vclock.Manual, m *model, a ac
 			return false
 		}
 		m.markAllSynced()
+		return true
+
+	case "fcrash":
+		// Follower process crash: volatile standby state is lost, a
+		// fresh Follower recovers the mirror (truncate-repairing any
+		// torn tail), and the replicator re-verifies its position. The
+		// follower fsyncs every applied frame, so nothing shipped is
+		// lost — the model's shipped bits stand.
+		ec.standby.Crash()
+		if err := c.newFollower(ec); err != nil {
+			c.violate(n, seq, term, "follower restart: %v", err)
+			return false
+		}
+		ec.rep.SetPeer(c.peer(ec))
+		ec.rep.Invalidate()
+		return true
+
+	case "cut":
+		ec.net.SetPartitioned(true)
+		ec.cut = true
 		return true
 	}
 	c.err = fmt.Errorf("check: unknown action %q", a.kind)

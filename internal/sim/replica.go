@@ -1,0 +1,345 @@
+package sim
+
+import (
+	"bytes"
+
+	"repro/internal/faultfs"
+	"repro/internal/replica"
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// Replica mode runs the whole schedule against a two-node pair: the
+// server under test is the leader, and a warm standby (an
+// internal/replica Follower on its own MemFS) tails its WALs through a
+// fault-injectable link. The schedule keeps every single-node action
+// and gains the distributed ones — follower crashes, message drops,
+// partitions, failovers, rolling restarts — while the same client
+// model checks the same invariants across them: quorum mode must never
+// lose an acked batch across a failover, async mode may lose only a
+// prefix-closed suffix, and a rolling handoff must lose nothing in
+// either mode.
+
+// ensureRepl builds whichever replication pieces the harness is
+// missing: the link (shared for the whole run so message ordinals stay
+// cumulative), the standby filesystem, the follower over it, and the
+// leader-side replicator. Failover nulls follower+replicator and swaps
+// the filesystems, so the next open() rebuilds them with the roles
+// reversed — the ex-leader's disk becomes the new standby.
+func (h *harness) ensureRepl() error {
+	if h.net == nil {
+		h.net = &faultfs.NetFault{OnMsg: h.onNetMsg}
+	}
+	if h.standby == nil {
+		h.standby = faultfs.NewMemFS()
+	}
+	if h.fol == nil {
+		fol, err := replica.NewFollower(replica.FollowerOptions{
+			Dir:    dataDir,
+			FS:     h.standby,
+			Shards: h.cfg.Shards,
+		})
+		if err != nil {
+			return err
+		}
+		h.fol = fol
+	}
+	if h.rep == nil {
+		rep, err := replica.NewReplicator(replica.ReplicatorOptions{
+			Peer:    &replica.FaultPeer{Inner: h.fol, Net: h.net},
+			FS:      h.fs,
+			DataDir: dataDir,
+			Shards:  h.cfg.Shards,
+			Quorum:  h.cfg.Quorum,
+		})
+		if err != nil {
+			return err
+		}
+		h.rep = rep
+		h.folWarm = make([]bool, h.cfg.Shards)
+	}
+	return nil
+}
+
+// sampleWarm records which shards have been observed in sync since the
+// replicator was built. The driver is single-threaded, so sync state
+// only changes inside harness calls; sampling every step catches each
+// steady state, and missing a transient sync inside one action only
+// errs toward treating the standby as colder than it is.
+func (h *harness) sampleWarm() {
+	for i := range h.folWarm {
+		if !h.folWarm[i] && h.rep.ShardStatus(i).InSync {
+			h.folWarm[i] = true
+		}
+	}
+}
+
+// clearFragile drops every fragile mark (batches and tombstones): a
+// verified full catch-up just proved the mirror holds everything
+// durable, so the replay-manufactured acks are as shipped as any.
+func (h *harness) clearFragile() {
+	for _, sm := range h.sessions {
+		for _, b := range sm.batches {
+			b.fragile = false
+		}
+		sm.deleteFragile = false
+	}
+}
+
+// replStatus adapts the replicator's per-shard state for the server's
+// /readyz taxonomy (Options.ReplStatus).
+func (h *harness) replStatus(shard int) server.ReplStatus {
+	if h.rep == nil {
+		return server.ReplStatus{}
+	}
+	st := h.rep.ShardStatus(shard)
+	return server.ReplStatus{
+		Role:       st.Role,
+		Quorum:     st.Quorum,
+		InSync:     st.InSync,
+		LagRecords: st.LagRecords,
+		LagBytes:   st.LagBytes,
+	}
+}
+
+// onNetMsg is the link's fault hook: scripted drops by cumulative
+// message ordinal, plus one-shot drops queued by the netglitch action.
+// Emitting from here is safe for the same reason onOpSync's emit is —
+// the driver is single-threaded, so the ship that triggered the
+// message is still on the harness's own stack.
+func (h *harness) onNetMsg(n int, kind string) error {
+	if h.dropNext > 0 {
+		h.dropNext--
+		h.res.NetDrops++
+		h.emit(map[string]any{"action": "netdrop", "at": n, "kind": kind, "src": "glitch"})
+		return faultfs.ErrInjected
+	}
+	for i, nf := range h.script.NetFails {
+		if !h.netFired[i] && nf.At == n {
+			h.netFired[i] = true
+			h.res.NetDrops++
+			h.emit(map[string]any{"action": "netdrop", "at": n, "kind": kind, "src": "script"})
+			return faultfs.ErrInjected
+		}
+	}
+	return nil
+}
+
+// stepReplica is stepOnce's replica-mode action table: the single-node
+// workload plus the distributed faults.
+func (h *harness) stepReplica() {
+	h.sampleWarm()
+	n := len(h.live())
+	w := h.rng.Intn(100)
+	switch {
+	case n == 0 || (w < 10 && n < h.cfg.MaxSessions):
+		h.doCreate()
+	case w < 45:
+		h.doApply()
+	case w < 51:
+		h.doStateCheck()
+	case w < 56:
+		h.doRetryAcked()
+	case w < 61:
+		h.doResumeCheck()
+	case w < 66:
+		h.doParkRestore()
+	case w < 69:
+		h.doSyncWALs()
+	case w < 72:
+		h.doDelete()
+	case w < 75:
+		h.doGracefulRestart()
+	case w < 78:
+		h.doKillRestart()
+	case w < 80:
+		h.doPowercut()
+	case w < 83:
+		h.doFollowerCrash()
+	case w < 86:
+		h.doNetGlitch()
+	case w < 89:
+		h.doPartition()
+	case w < 93:
+		h.doReplCheck()
+	case w < 97:
+		h.doFailover()
+	default:
+		h.doRolling()
+	}
+}
+
+// doFollowerCrash kills and restarts the standby process: its volatile
+// writes are lost, a fresh Follower recovers the mirror directory from
+// durable bytes (truncate-repairing any torn tail), and the replicator
+// is pointed at it and invalidated so every shard re-verifies its
+// position. Because the follower fsyncs every applied frame, the
+// restarted position equals the last acked one and catch-up resumes
+// from there — never a wholesale re-mirror.
+func (h *harness) doFollowerCrash() {
+	h.standby.Crash()
+	fol, err := replica.NewFollower(replica.FollowerOptions{
+		Dir:    dataDir,
+		FS:     h.standby,
+		Shards: h.cfg.Shards,
+	})
+	if err != nil {
+		h.violate("follower restart: %v", err)
+		return
+	}
+	h.fol = fol
+	h.rep.SetPeer(&replica.FaultPeer{Inner: fol, Net: h.net})
+	h.rep.Invalidate()
+	h.res.FollowerCrashes++
+	h.emit(map[string]any{"action": "folcrash"})
+}
+
+// doNetGlitch queues one message drop: the next replication message of
+// any kind fails at the sender. Quorum mode must repair it within the
+// same append (or refuse the ack); async mode absorbs it into lag.
+func (h *harness) doNetGlitch() {
+	h.dropNext++
+	h.emit(map[string]any{"action": "netglitch", "pending": h.dropNext})
+}
+
+// doPartition toggles the link. While cut, every quorum append fails
+// client-visibly (ErrStorage, no ack) and async lag grows; healing
+// lets the next ship or replcheck catch the follower back up.
+func (h *harness) doPartition() {
+	cut := !h.net.Partitioned()
+	h.net.SetPartitioned(cut)
+	if cut {
+		h.res.Partitions++
+	}
+	h.emit(map[string]any{"action": "partition", "cut": cut})
+}
+
+// doReplCheck is the replication oracle: force a full catch-up and
+// assert the standby mirrors the leader's newest segment byte for
+// byte. Skipped (not failed) when the link is down — lag is legal,
+// divergence after a successful catch-up is not.
+func (h *harness) doReplCheck() {
+	if err := h.rep.CatchUpAll(); err != nil {
+		h.emit(map[string]any{"action": "replcheck", "status": "skip", "err": err.Error()})
+		return
+	}
+	for i := 0; i < h.cfg.Shards; i++ {
+		dir := replica.ShardDir(dataDir, i)
+		segs, err := wal.ListSegments(h.fs, dir)
+		if err != nil {
+			h.violate("replcheck shard %d: list: %v", i, err)
+			continue
+		}
+		if len(segs) == 0 {
+			continue
+		}
+		newest := segs[len(segs)-1]
+		data, err := h.fs.ReadFile(wal.SegmentPath(dir, newest))
+		if err != nil {
+			h.violate("replcheck shard %d: read: %v", i, err)
+			continue
+		}
+		pos, err := h.fol.Pos(i)
+		if err != nil {
+			h.violate("replcheck shard %d: follower pos: %v", i, err)
+			continue
+		}
+		if pos.Seg != newest || pos.Off != int64(len(data)) || pos.CRC != wal.Checksum(data) {
+			h.violate("replcheck shard %d: follower at %v, leader newest seg=%d len=%d", i, pos, newest, len(data))
+			continue
+		}
+		mirror, err := h.standby.ReadFile(wal.SegmentPath(dir, newest))
+		if err != nil || !bytes.Equal(mirror, data) {
+			h.violate("replcheck shard %d: mirrored segment %d not byte-identical (err=%v)", i, newest, err)
+		}
+	}
+	h.clearFragile()
+	h.res.ReplChecks++
+	rep, _ := h.srv.Ready()
+	h.emit(map[string]any{"action": "replcheck", "status": "ok", "ready": rep.Status})
+}
+
+// doFailover kills the leader without warning — half the time with a
+// power cut taking its volatile writes — promotes the standby, and
+// reopens the pair with the roles reversed: server.Open recovers the
+// promoted mirror directory exactly as it would its own after a crash,
+// and the ex-leader's disk becomes the new standby (its divergent
+// suffix, if any, is reset away by the first catch-up). Quorum mode
+// promises zero acked-op loss across this; async mode may lose the
+// unshipped suffix, which makes it a lossy boundary for the model.
+func (h *harness) doFailover() {
+	h.sampleWarm()
+	for i, warm := range h.folWarm {
+		if !warm {
+			// A standby that never made contact since its rebuild still
+			// holds the previous epoch's history; promoting it would be
+			// restoring a backup, not failing over. Real deployments
+			// gate promotion on /readyz leaving "catching-up" the same
+			// way.
+			h.emit(map[string]any{"action": "failover", "status": "cold-skip", "shard": i})
+			return
+		}
+	}
+	h.collectStats()
+	cut := h.rng.Intn(2) == 0
+	h.srv.Kill()
+	if cut {
+		h.fs.Crash()
+	}
+	if err := h.fol.Promote(); err != nil {
+		h.violate("promote: %v", err)
+	}
+	h.fs, h.standby = h.standby, h.fs
+	h.fol, h.rep = nil, nil
+	lossOK := !h.cfg.Quorum
+	if lossOK {
+		h.lossCuts++
+	}
+	h.res.Failovers++
+	h.emit(map[string]any{"action": "failover", "cut": cut})
+	if err := h.open(); err != nil {
+		h.violate("open after failover: %v", err)
+		h.mustReopenBare()
+		return
+	}
+	h.verifyRecovery("failover", lossOK)
+}
+
+// doRolling is the zero-loss restart: park every session (their images
+// land in the WAL and ship), drain, hand off (final catch-up + the
+// follower's permission to promote), promote, and reopen with the
+// roles reversed. Unlike failover this is loss-free even in async
+// mode — the handoff's catch-up runs after the drain, so the mirror
+// holds everything durable. If the handoff cannot reach the follower
+// the rolling restart aborts and the old leader simply restarts in
+// place, which must also lose nothing.
+func (h *harness) doRolling() {
+	h.collectStats()
+	parked := h.srv.ParkAll()
+	h.srv.Drain()
+	if err := h.rep.Handoff(); err != nil {
+		h.emit(map[string]any{"action": "rolling", "status": "abort", "parked": parked})
+		h.res.Restarts++
+		if err := h.open(); err != nil {
+			h.violate("reopen after aborted rolling: %v", err)
+			h.mustReopenBare()
+			return
+		}
+		h.verifyRecovery("restart", false)
+		return
+	}
+	h.clearFragile()
+	if err := h.fol.Promote(); err != nil {
+		h.violate("rolling promote: %v", err)
+	}
+	h.fs, h.standby = h.standby, h.fs
+	h.fol, h.rep = nil, nil
+	h.res.Rollings++
+	h.emit(map[string]any{"action": "rolling", "status": "ok", "parked": parked})
+	if err := h.open(); err != nil {
+		h.violate("open after rolling: %v", err)
+		h.mustReopenBare()
+		return
+	}
+	h.verifyRecovery("rolling", false)
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+// TestReplicaSimQuorumSweep runs the two-node schedule in quorum mode
+// across a seed sweep: zero violations means no acked batch was ever
+// lost across a failover, no replay double-applied across a promotion,
+// and every successful catch-up left the mirror byte-identical.
+func TestReplicaSimQuorumSweep(t *testing.T) {
+	var fails, rolls, crashes, drops, parts, checks int
+	for seed := int64(1); seed <= 12; seed++ {
+		r, err := Run(Config{Seed: seed, Steps: 250, Policy: wal.SyncAlways, Replica: true, Quorum: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(r.Violations) != 0 {
+			t.Errorf("seed %d: %v", seed, r.Violations)
+		}
+		fails += r.Failovers
+		rolls += r.Rollings
+		crashes += r.FollowerCrashes
+		drops += r.NetDrops
+		parts += r.Partitions
+		checks += r.ReplChecks
+	}
+	if fails == 0 || rolls == 0 || crashes == 0 || drops == 0 || parts == 0 || checks == 0 {
+		t.Fatalf("replica schedule left surface untouched: failovers=%d rollings=%d folcrashes=%d drops=%d partitions=%d replchecks=%d",
+			fails, rolls, crashes, drops, parts, checks)
+	}
+}
+
+// TestReplicaSimAsyncSweep sweeps async mode under each sync policy:
+// failing over while lagged may lose an acked suffix (the model
+// tolerates exactly that — prefix-closed, never reordered), and a
+// rolling handoff must still lose nothing.
+func TestReplicaSimAsyncSweep(t *testing.T) {
+	for _, policy := range []wal.SyncPolicy{wal.SyncAlways, wal.SyncInterval} {
+		for seed := int64(1); seed <= 10; seed++ {
+			r, err := Run(Config{Seed: seed, Steps: 250, Policy: policy, Replica: true})
+			if err != nil {
+				t.Fatalf("policy %v seed %d: %v", policy, seed, err)
+			}
+			if len(r.Violations) != 0 {
+				t.Errorf("policy %v seed %d: %v", policy, seed, r.Violations)
+			}
+		}
+	}
+}
+
+// TestReplicaSimDeterministic: replica mode keeps the determinism
+// contract — both nodes, the link, and every distributed fault replay
+// byte-identically from (seed, script).
+func TestReplicaSimDeterministic(t *testing.T) {
+	for _, quorum := range []bool{false, true} {
+		for seed := int64(3); seed <= 6; seed++ {
+			a, b, err := ReplayCheck(Config{Seed: seed, Steps: 200, Policy: wal.SyncAlways, Replica: true, Quorum: quorum})
+			if err != nil {
+				t.Fatalf("quorum=%v seed %d: %v", quorum, seed, err)
+			}
+			if a.Digest != b.Digest || !bytes.Equal(a.Trace, b.Trace) {
+				t.Errorf("quorum=%v seed %d: traces differ", quorum, seed)
+			}
+		}
+	}
+}
+
+// TestReplicaSimQuorumRequiresSyncAlways: the ack contract (every ack
+// durable on both nodes) needs a durable leader log, the same
+// constraint adpmd enforces for -repl-ack quorum.
+func TestReplicaSimQuorumRequiresSyncAlways(t *testing.T) {
+	_, err := Run(Config{Seed: 1, Steps: 10, Policy: wal.SyncInterval, Replica: true, Quorum: true})
+	if err == nil || !strings.Contains(err.Error(), "fsync=always") {
+		t.Fatalf("want quorum/fsync config error, got %v", err)
+	}
+}
+
+// TestReplicaSimScriptedNetDrop: a scripted message drop is part of the
+// replay key and fires at the same cumulative ordinal every time.
+func TestReplicaSimScriptedNetDrop(t *testing.T) {
+	sc := &Script{NetFails: []NetFail{{At: 3}, {At: 9}}}
+	a, b, err := ReplayCheck(Config{Seed: 17, Steps: 150, Policy: wal.SyncAlways, Replica: true, Quorum: true, Script: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("scripted replica runs diverged")
+	}
+	if n := bytes.Count(a.Trace, []byte(`"src":"script"`)); n != 2 {
+		t.Fatalf("script drops fired %d times, want 2", n)
+	}
+	if a.NetDrops < 2 {
+		t.Fatalf("NetDrops=%d, want at least the 2 scripted drops", a.NetDrops)
+	}
+	if len(a.Violations) != 0 {
+		t.Fatalf("violations under scripted drops: %v", a.Violations)
+	}
+}
+
+// TestReplicaSimPlainScheduleUnchanged: gating every replica action and
+// RNG draw behind Config.Replica means a non-replica run's trace is
+// byte-identical to what it was before replication existed — the
+// pinned corpus depends on it, and this pins the mechanism directly.
+func TestReplicaSimPlainScheduleUnchanged(t *testing.T) {
+	a, err := Run(Config{Seed: 42, Steps: 120, Policy: wal.SyncInterval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(a.Trace, []byte(`"failover"`)) || bytes.Contains(a.Trace, []byte(`"netdrop"`)) {
+		t.Fatalf("replica actions leaked into a plain run")
+	}
+	if a.Failovers+a.Rollings+a.FollowerCrashes+a.NetDrops+a.Partitions+a.ReplChecks != 0 {
+		t.Fatalf("replica counters moved in a plain run: %+v", a)
+	}
+}

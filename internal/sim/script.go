@@ -22,6 +22,18 @@ type Script struct {
 	// what lets a script name "the rotation tail" (rotate/3, the
 	// post-removal directory sync) as opposed to merely "some sync".
 	SyncFails []SyncFail `json:"sync_fails,omitempty"`
+	// NetFails are scripted replication-message drops (replica mode):
+	// the At-th message crossing the leader→follower link fails with
+	// faultfs.ErrInjected. Message ordinals are cumulative across the
+	// run, follower restarts included.
+	NetFails []NetFail `json:"net_fails,omitempty"`
+}
+
+// NetFail is one scripted replication-message drop.
+type NetFail struct {
+	// At is the 1-based cumulative replication-message ordinal at which
+	// the drop fires. Each entry fires once.
+	At int `json:"at"`
 }
 
 // SyncFail is one scripted fsync failure.
@@ -60,6 +72,11 @@ func ParseScript(b []byte) (*Script, error) {
 			return nil, fmt.Errorf("sim: script entry %d: nth and at are 1-based", i)
 		}
 	}
+	for i, nf := range sc.NetFails {
+		if nf.At < 1 {
+			return nil, fmt.Errorf("sim: net entry %d: at is 1-based", i)
+		}
+	}
 	return &sc, nil
 }
 
@@ -89,4 +106,18 @@ func genScript(rng *rand.Rand) *Script {
 		sc.SyncFails = append(sc.SyncFails, sf)
 	}
 	return sc
+}
+
+// genNetFails extends a script with replication-message drops (replica
+// mode only, so plain runs keep their historical schedules): most seeds
+// get one or two early-to-mid drops, exercising the quorum repair path
+// and the async lag/heal path.
+func genNetFails(sc *Script, rng *rand.Rand) {
+	if rng.Intn(3) == 0 { // 1/3 of seeds: the link itself never glitches
+		return
+	}
+	n := 1 + rng.Intn(2)
+	for i := 0; i < n; i++ {
+		sc.NetFails = append(sc.NetFails, NetFail{At: 2 + rng.Intn(60)})
+	}
 }

@@ -40,10 +40,15 @@ import (
 	"repro/internal/domain"
 	"repro/internal/dpm"
 	"repro/internal/faultfs"
+	"repro/internal/replica"
 	"repro/internal/server"
 	"repro/internal/vclock"
 	"repro/internal/wal"
 )
+
+// dataDir is the leader's (and, by mirror, the follower's) data
+// directory on their respective in-memory filesystems.
+const dataDir = "data"
 
 // Config parameterizes one simulation run.
 type Config struct {
@@ -63,6 +68,18 @@ type Config struct {
 	// SegmentBytes is the WAL rotation threshold; small values force
 	// rotations into the schedule. 0 means 4096.
 	SegmentBytes int64
+	// Replica runs the whole schedule against a two-node pair: a warm
+	// standby (internal/replica Follower on its own MemFS) tails the
+	// leader's WALs through a fault-injectable link, and the schedule
+	// gains follower crashes, message drops, partitions, failovers, and
+	// rolling restarts.
+	Replica bool
+	// Quorum selects the replication ack mode under Replica: true gates
+	// every ack on the follower fsync (zero acked-op loss across
+	// failover); false is async shipping (prefix-closed loss while
+	// lagged). Quorum requires Policy == SyncAlways, the same constraint
+	// adpmd enforces for -repl-ack quorum.
+	Quorum bool
 }
 
 // DefaultSteps is the workload length when Config.Steps is 0.
@@ -94,6 +111,14 @@ type Result struct {
 	Rotations int `json:"rotations"`
 	Faults    int `json:"faults"`
 	Rejects   int `json:"rejects"`
+
+	// Replica-mode accounting.
+	Failovers       int `json:"failovers,omitempty"`
+	Rollings        int `json:"rollings,omitempty"`
+	FollowerCrashes int `json:"follower_crashes,omitempty"`
+	NetDrops        int `json:"net_drops,omitempty"`
+	Partitions      int `json:"partitions,omitempty"`
+	ReplChecks      int `json:"repl_checks,omitempty"`
 }
 
 // batchStatus tracks what the client knows about one keyed batch.
@@ -110,6 +135,16 @@ type batchRec struct {
 	ops    []dpm.Operation
 	status batchStatus
 	ack    []byte // canonical ack JSON, nil while in doubt
+	// fragile marks a quorum-mode batch whose ack was manufactured by
+	// replay during recovery: the record is durably logged on the
+	// leader but may never have shipped (the original append's ship
+	// failed — that's why it was in doubt). A real client can only be
+	// told such an ack while the node reports "catching-up" on
+	// /readyz, so its loss across a failover is the operator's
+	// documented risk, not a protocol violation. The mark clears the
+	// moment there is evidence of shipping: a later quorum ack on the
+	// same session, or a verified full catch-up.
+	fragile bool
 }
 
 // sessModel is the client-side model of one session: the oracle the
@@ -130,6 +165,14 @@ type sessModel struct {
 	// the first cut after the delete.
 	deleted       bool
 	deletedAtCuts int
+	// deleteInDoubt marks a Delete that returned a storage error: the
+	// tombstone record may or may not be in the log, so the session may
+	// legally be gone or alive at the next recovery.
+	deleteInDoubt bool
+	// deleteFragile marks a quorum-mode tombstone that resolved by
+	// replay (see batchRec.fragile): a failover may legally resurrect
+	// the session until the tombstone record is known shipped.
+	deleteFragile bool
 }
 
 // harness is one run's mutable state.
@@ -147,6 +190,27 @@ type harness struct {
 	byID     map[string]*sessModel
 	keyN     int
 	step     int
+	// lossCuts counts the crash boundaries across which acked-op loss
+	// was legal (relaxed-policy power cuts, async failovers); delete
+	// tombstones are only checkable until the first such boundary after
+	// the delete.
+	lossCuts int
+
+	// Replica-mode state: the standby's filesystem, the follower and
+	// the leader-side replicator over it, and the fault-injectable link.
+	standby  *faultfs.MemFS
+	fol      *replica.Follower
+	rep      *replica.Replicator
+	net      *faultfs.NetFault
+	netFired []bool
+	dropNext int
+	// folWarm records, per shard, whether the standby has been observed
+	// in sync at least once since the replicator was (re)built. A cold
+	// standby — one that never made contact since the last failover —
+	// holds the previous epoch's history, and promoting it would be
+	// restoring a backup, not failing over; doFailover refuses it the
+	// same way an operator's runbook would.
+	folWarm []bool
 
 	needsRestart bool
 	trace        bytes.Buffer
@@ -178,11 +242,18 @@ func Run(cfg Config) (*Result, error) {
 		byID:  map[string]*sessModel{},
 		res:   &Result{Seed: cfg.Seed, Policy: cfg.Policy.String(), Steps: cfg.Steps},
 	}
+	if cfg.Replica && cfg.Quorum && cfg.Policy != wal.SyncAlways {
+		return nil, fmt.Errorf("sim: quorum replication requires fsync=always (the ack contract assumes a durable leader log)")
+	}
 	h.script = cfg.Script
 	if h.script == nil {
 		h.script = genScript(h.rng)
+		if cfg.Replica {
+			genNetFails(h.script, h.rng)
+		}
 	}
 	h.fired = make([]bool, len(h.script.SyncFails))
+	h.netFired = make([]bool, len(h.script.NetFails))
 	h.res.Script = h.script
 
 	if err := h.open(); err != nil {
@@ -194,6 +265,15 @@ func Run(cfg Config) (*Result, error) {
 		}
 		if h.needsRestart {
 			h.needsRestart = false
+			if h.cfg.Replica && h.net != nil && h.net.Partitioned() && h.rng.Intn(3) == 0 {
+				// A partitioned quorum pair fails every append, and the
+				// resulting restart loop would otherwise never reach the
+				// partition-toggle action again: ops crews notice a node
+				// that restarts into immediate unreadiness, so the link
+				// eventually comes back here too.
+				h.net.SetPartitioned(false)
+				h.emit(map[string]any{"action": "partition", "cut": false})
+			}
 			h.doKillRestart()
 			continue
 		}
@@ -212,18 +292,26 @@ func Run(cfg Config) (*Result, error) {
 // sync-point counters.
 func (h *harness) open() error {
 	fault := &faultfs.Fault{Inner: h.fs, OnOpSync: h.onOpSync}
-	srv, err := server.Open(server.Options{
+	opts := server.Options{
 		Shards:       h.cfg.Shards,
 		MailboxSize:  16,
 		MaxOps:       512,
 		IdleTimeout:  time.Minute,
-		DataDir:      "data",
+		DataDir:      dataDir,
 		Fsync:        h.cfg.Policy,
 		SegmentBytes: h.cfg.SegmentBytes,
 		FS:           fault,
 		Clock:        h.clk,
 		IdemCap:      -1, // exactly-once checks must never hit ack eviction
-	})
+	}
+	if h.cfg.Replica {
+		if err := h.ensureRepl(); err != nil {
+			return err
+		}
+		opts.Repl = h.rep
+		opts.ReplStatus = h.replStatus
+	}
+	srv, err := server.Open(opts)
 	if err != nil {
 		return err
 	}
@@ -289,6 +377,10 @@ func (h *harness) stepOnce() {
 	// trace and idle timeouts are reachable by the park action alone.
 	h.clk.Advance(time.Duration(1+h.rng.Intn(50)) * time.Millisecond)
 
+	if h.cfg.Replica {
+		h.stepReplica()
+		return
+	}
 	n := len(h.live())
 	w := h.rng.Intn(100)
 	switch {
@@ -343,12 +435,14 @@ func (h *harness) doCreate() {
 		return
 	}
 	if old := h.byID[resp.ID]; old != nil {
-		// The server re-issued an id. Legal only when a power cut could
-		// have taken the id high-water with it (relaxed sync policy);
-		// under SyncAlways every create/snapshot carrying the counter is
-		// durable before acknowledgement, so reuse means the high-water
-		// recovery is broken (e.g. compaction erased a deleted id).
-		if h.cfg.Policy == wal.SyncAlways {
+		// The server re-issued an id. Legal only when a lossy boundary
+		// could have taken the id high-water with it — a power cut under
+		// a relaxed sync policy, or an async failover that lost the
+		// create's suffix; under SyncAlways with no lossy boundary so
+		// far, every create/snapshot carrying the counter is durable
+		// before acknowledgement, so reuse means the high-water recovery
+		// is broken (e.g. compaction erased a deleted id).
+		if h.cfg.Policy == wal.SyncAlways && h.lossCuts == 0 {
 			h.violate("session id %s re-issued under SyncAlways", resp.ID)
 		}
 		h.purgeID(resp.ID)
@@ -409,6 +503,15 @@ func (h *harness) doApply() {
 		ack := mustJSON(resp)
 		sm.batches = append(sm.batches, &batchRec{key: key, ops: ops, status: batchAcked, ack: ack})
 		sm.applied += len(ops)
+		if h.cfg.Replica && h.cfg.Quorum {
+			// A quorum ack means this record shipped, and the follower
+			// only accepts exactly-contiguous appends — so everything
+			// earlier in the shard log is mirrored too, including any
+			// fragile batches of this session.
+			for _, p := range sm.batches {
+				p.fragile = false
+			}
+		}
 		h.res.Acks++
 		h.emit(map[string]any{"action": "apply", "sess": sm.id, "key": key, "n": len(ops), "status": "ok", "ack": shortHash(ack)})
 		h.refreshState(sm)
@@ -568,6 +671,10 @@ func (h *harness) doDelete() {
 	}
 	if _, err := h.srv.Delete(sm.id); err != nil {
 		if errors.Is(err, server.ErrStorage) {
+			// The tombstone record may or may not have reached the log:
+			// the next recovery resolves the session as legally alive or
+			// legally deleted.
+			sm.deleteInDoubt = true
 			h.needsRestart = true
 			h.emit(map[string]any{"action": "delete", "sess": sm.id, "status": "storage"})
 			return
@@ -577,7 +684,7 @@ func (h *harness) doDelete() {
 	}
 	sm.retained = false
 	sm.deleted = true
-	sm.deletedAtCuts = h.res.Powercuts
+	sm.deletedAtCuts = h.lossCuts
 	h.res.Deletes++
 	h.emit(map[string]any{"action": "delete", "sess": sm.id, "status": "ok"})
 }
@@ -617,7 +724,7 @@ func (h *harness) doGracefulRestart() {
 		h.mustReopenBare()
 		return
 	}
-	h.verifyRecovery(false)
+	h.verifyRecovery("restart", false)
 }
 
 func (h *harness) doKillRestart() {
@@ -630,21 +737,28 @@ func (h *harness) doKillRestart() {
 		h.mustReopenBare()
 		return
 	}
-	h.verifyRecovery(false)
+	h.verifyRecovery("restart", false)
 }
+
+// cutLossOK reports whether a power cut may legally lose acked state
+// under the run's sync policy.
+func (h *harness) cutLossOK() bool { return h.cfg.Policy != wal.SyncAlways }
 
 func (h *harness) doPowercut() {
 	h.collectStats()
 	h.srv.Kill()
 	h.fs.Crash()
 	h.res.Powercuts++
+	if h.cutLossOK() {
+		h.lossCuts++
+	}
 	h.emit(map[string]any{"action": "powercut"})
 	if err := h.open(); err != nil {
 		h.violate("reopen after powercut: %v", err)
 		h.mustReopenBare()
 		return
 	}
-	h.verifyRecovery(true)
+	h.verifyRecovery("powercut", h.cutLossOK())
 }
 
 // mustReopenBare is the last-resort recovery when a reopen fails (a
@@ -653,43 +767,73 @@ func (h *harness) doPowercut() {
 // harness cannot continue serverless.
 func (h *harness) mustReopenBare() {
 	h.fs.Crash()
+	if h.cutLossOK() {
+		h.lossCuts++
+	}
 	if err := h.open(); err != nil {
 		panic(fmt.Sprintf("sim seed %d: server unrecoverable: %v", h.cfg.Seed, err))
 	}
-	h.verifyRecovery(true)
+	h.verifyRecovery("powercut", h.cutLossOK())
 }
 
 // verifyRecovery checks the recovered server against the client model:
 // which sessions survived, which acked batches survived (and in what
-// pattern), and whether recovered state is byte-identical. powercut
-// distinguishes the power-loss crash (volatile page cache lost) from a
-// process kill or graceful restart (volatile view intact — nothing may
-// be missing).
-func (h *harness) verifyRecovery(powercut bool) {
-	strict := h.cfg.Policy == wal.SyncAlways
+// pattern), and whether recovered state is byte-identical. kind names
+// the crash boundary for reports; lossOK says whether acked-state loss
+// is legal across it — true for a power cut under a relaxed sync
+// policy (volatile page cache lost) and for an async-mode failover
+// (unshipped lag lost with the leader), false everywhere else: a kill
+// keeps the volatile view, SyncAlways makes every ack durable, quorum
+// makes every ack shipped, and a rolling handoff drains before
+// promoting.
+func (h *harness) verifyRecovery(kind string, lossOK bool) {
 	for _, sm := range h.live() {
 		_, err := h.srv.State(sm.id)
 		switch {
 		case err == nil:
 		case errors.Is(err, server.ErrUnknownSession):
-			// The whole session vanished: legal only when a power cut
-			// could have taken the un-committed create record.
-			if !powercut || strict {
-				h.violate("session %s lost across %s", sm.id, restartKind(powercut))
+			if sm.deleteInDoubt {
+				// The storage-failed Delete did log its tombstone and
+				// replay finished the job: legally deleted. Under quorum
+				// the tombstone may still be unshipped (the failure was
+				// the ship), so a failover may yet resurrect it.
+				sm.retained = false
+				sm.deleted = true
+				sm.deletedAtCuts = h.lossCuts
+				sm.deleteInDoubt = false
+				sm.deleteFragile = h.cfg.Replica && h.cfg.Quorum
+				h.emit(map[string]any{"action": "recover", "sess": sm.id, "status": "deleted"})
+				continue
+			}
+			// The whole session vanished: legal only across a lossy
+			// boundary that could have taken the create record.
+			if !lossOK {
+				h.violate("session %s lost across %s", sm.id, kind)
 			}
 			sm.retained = false
 			h.emit(map[string]any{"action": "recover", "sess": sm.id, "status": "lost"})
+			continue
+		case errors.Is(err, server.ErrStorage):
+			h.needsRestart = true
+			h.emit(map[string]any{"action": "recover", "sess": sm.id, "status": "storage"})
 			continue
 		default:
 			h.violate("recover %s: %v", sm.id, err)
 			continue
 		}
+		// The session answered, so a doubt-shrouded delete never made the
+		// log: the session legally lives on.
+		sm.deleteInDoubt = false
 
 		// Retry every keyed batch in order. Replays mark survivors;
 		// fresh applies mark losses, which must form a suffix of the
 		// acked history (the WAL is ordered, so durability is
-		// prefix-closed).
+		// prefix-closed). Fragile batches sit outside that contract —
+		// their acks were only ever manufactured while catching up — so
+		// their losses are tolerated but taint the byte-state compare.
 		lostAcked := false
+		tainted := false
+		unresolved := false
 		resolved := sm.batches[:0]
 		for _, b := range sm.batches {
 			resp, replayed, err := h.srv.ApplyKeyed(sm.id, b.key, b.ops)
@@ -702,6 +846,10 @@ func (h *harness) verifyRecovery(powercut bool) {
 				if errors.Is(err, server.ErrStorage) {
 					// Recovery tripped another scripted fault; keep the
 					// batch for the next recovery round.
+					if b.fragile || b.status == batchInDoubt {
+						tainted = true
+					}
+					unresolved = true
 					resolved = append(resolved, b)
 					h.needsRestart = true
 					continue
@@ -711,24 +859,41 @@ func (h *harness) verifyRecovery(powercut bool) {
 			}
 			ack := mustJSON(resp)
 			if replayed {
-				if b.status == batchAcked {
-					if lostAcked {
+				switch {
+				case b.status == batchAcked:
+					if !b.fragile && lostAcked {
 						h.violate("batch %s survived after an earlier acked batch was lost (durability not prefix-closed)", b.key)
 					}
-					if !sm.inDoubt && !bytes.Equal(ack, b.ack) {
+					if !sm.inDoubt && !b.fragile && !bytes.Equal(ack, b.ack) {
 						h.violate("recovered ack for %s differs from the original", b.key)
 					}
+				case h.cfg.Replica && h.cfg.Quorum:
+					// In doubt, resolved by replay: durably logged here,
+					// but the original append's ship is exactly what
+					// failed, so the mirror may lack it until the next
+					// evidence of shipping.
+					b.fragile = true
 				}
 			} else {
 				if b.status == batchAcked {
-					if !powercut {
-						h.violate("acked batch %s lost across %s (volatile view survives a kill)", b.key, restartKind(powercut))
-					} else if strict {
-						h.violate("SyncAlways lost acked batch %s to a power cut", b.key)
+					if b.fragile {
+						tainted = true
+					} else {
+						if !lossOK {
+							h.violate("acked batch %s lost across %s", b.key, kind)
+						}
+						lostAcked = true
+						if !sm.inDoubt && !bytes.Equal(ack, b.ack) {
+							h.violate("re-applied batch %s produced a different ack (δ not deterministic?)", b.key)
+						}
 					}
-					lostAcked = true
-					if !sm.inDoubt && !bytes.Equal(ack, b.ack) {
-						h.violate("re-applied batch %s produced a different ack (δ not deterministic?)", b.key)
+				}
+				if h.cfg.Replica && h.cfg.Quorum {
+					// This fresh apply just earned a quorum ack, which
+					// ships the record and everything before it.
+					b.fragile = false
+					for _, p := range resolved {
+						p.fragile = false
 					}
 				}
 			}
@@ -740,7 +905,8 @@ func (h *harness) verifyRecovery(powercut bool) {
 
 		// With every batch settled, state must be reproducible. An
 		// in-doubt batch may have re-entered the history at a different
-		// position than the original timeline, so only doubt-free
+		// position than the original timeline, and a lost or unresolved
+		// fragile batch legitimately changes the fold, so only clean
 		// sessions compare against the pre-crash bytes.
 		st, err := h.srv.State(sm.id)
 		if err != nil {
@@ -748,15 +914,21 @@ func (h *harness) verifyRecovery(powercut bool) {
 			continue
 		}
 		cur := mustJSON(st)
-		if !sm.inDoubt && !lostAcked && sm.state != nil && !bytes.Equal(cur, sm.state) {
-			h.violate("state %s after %s not byte-identical", sm.id, restartKind(powercut))
+		if !sm.inDoubt && !lostAcked && !tainted && sm.state != nil && !bytes.Equal(cur, sm.state) {
+			h.violate("state %s after %s not byte-identical", sm.id, kind)
 		}
 		sm.state = cur
+		if unresolved {
+			// A kept batch's record may still fold in at the next
+			// recovery (it was logged; only this round's re-check
+			// failed), so this fold is no baseline.
+			sm.state = nil
+		}
 		sm.inDoubt = false
 		// The event log is regenerated by replay; known prefixes are
 		// re-verified lazily by the next resume check. After a lossy
 		// recovery the log may legitimately be shorter.
-		if lostAcked {
+		if lostAcked || tainted {
 			sm.events = nil
 		}
 		h.emit(map[string]any{"action": "recover", "sess": sm.id, "status": "ok", "sha": shortHash(cur)})
@@ -768,15 +940,24 @@ func (h *harness) verifyRecovery(powercut bool) {
 		if sm.retained || !sm.deleted {
 			continue
 		}
-		if !strict && h.res.Powercuts > sm.deletedAtCuts {
-			// A power cut after the delete may have taken the unsynced
-			// delete record with it — resurrection is legal from here on,
-			// so the tombstone is no longer checkable.
+		if h.lossCuts > sm.deletedAtCuts {
+			// A lossy boundary after the delete (relaxed-fsync power cut,
+			// async failover) may have taken the delete record with it —
+			// resurrection is legal from here on, so the tombstone is no
+			// longer checkable.
 			sm.deleted = false
 			continue
 		}
 		if _, err := h.srv.State(sm.id); !errors.Is(err, server.ErrUnknownSession) {
-			h.violate("deleted session %s resurrected across %s (err=%v)", sm.id, restartKind(powercut), err)
+			if sm.deleteFragile {
+				// The tombstone never provably shipped, and a promotion
+				// restored the mirror from before it: the session is
+				// legally alive again, but this model entry no longer
+				// describes it — forget it.
+				sm.deleted = false
+				continue
+			}
+			h.violate("deleted session %s resurrected across %s (err=%v)", sm.id, kind, err)
 			sm.deleted = false // report once, not at every later restart
 		}
 	}
@@ -794,13 +975,6 @@ func (h *harness) refreshState(sm *sessModel) {
 		return
 	}
 	sm.state = mustJSON(st)
-}
-
-func restartKind(powercut bool) string {
-	if powercut {
-		return "powercut"
-	}
-	return "restart"
 }
 
 func errClass(err error) string {

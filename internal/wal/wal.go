@@ -77,6 +77,49 @@ func ParsePolicy(s string) (SyncPolicy, error) {
 // discipline).
 var ErrBroken = errors.New("wal: log broken by storage error")
 
+// ShipKind classifies one replication stream event.
+type ShipKind int
+
+const (
+	// ShipAppend carries one framed record appended to the current
+	// segment at Off.
+	ShipAppend ShipKind = iota
+	// ShipRotate announces a new segment Seg whose head Frame is the
+	// rotation snapshot; every older segment is subsumed.
+	ShipRotate
+	// ShipSync marks a group commit: everything shipped so far for Seg
+	// up to Off is durable on the leader.
+	ShipSync
+)
+
+// String names the kind for traces.
+func (k ShipKind) String() string {
+	switch k {
+	case ShipRotate:
+		return "rotate"
+	case ShipSync:
+		return "sync"
+	default:
+		return "append"
+	}
+}
+
+// ShipEvent is one event of the log's replication stream: the exact
+// bytes (and position) that just became part of the local log. The
+// stream is a byte-faithful mirror — replaying every event against an
+// empty directory reproduces the leader's segment files.
+type ShipEvent struct {
+	Kind ShipKind
+	// Seg is the segment index the event applies to.
+	Seg int
+	// Off is the byte offset of Frame within the segment (ShipAppend),
+	// or the durable length after a group commit (ShipSync).
+	Off int64
+	// Frame is the framed record bytes (ShipAppend: one record;
+	// ShipRotate: the new segment's snapshot head). Nil for ShipSync.
+	Frame []byte
+}
+
 // Options parameterize Open.
 type Options struct {
 	// Dir is the log directory (one per shard).
@@ -89,6 +132,13 @@ type Options struct {
 	// SegmentBytes is advisory for the owner's rotation decision; the
 	// log itself only reports SegmentSize. 0 means 4 MiB.
 	SegmentBytes int64
+	// Ship, when non-nil, observes every successful local mutation in
+	// commit order (replication). An error from an append ship
+	// propagates out of Append — the record stays in the local log, the
+	// caller decides whether to ack (quorum replication refuses to).
+	// Errors from rotate/sync ships are the shipper's to absorb: the
+	// local rotation already happened and must not be unwound.
+	Ship func(ev ShipEvent) error
 }
 
 // DefaultSegmentBytes is the rotation threshold when unset.
@@ -133,6 +183,7 @@ type Log struct {
 	curSize int64
 	dirty   bool // unsynced appends outstanding (interval/never policies)
 	broken  error
+	ship    func(ev ShipEvent) error
 }
 
 const segPattern = "wal-%08d.seg"
@@ -174,7 +225,7 @@ func Open(opts Options) (*Log, *RecoverInfo, error) {
 	sort.Ints(segs)
 
 	info := &RecoverInfo{Sessions: map[string]*SessionImage{}, AllSessions: map[string]bool{}}
-	l := &Log{fs: opts.FS, dir: opts.Dir, policy: opts.Policy, segMax: opts.SegmentBytes}
+	l := &Log{fs: opts.FS, dir: opts.Dir, policy: opts.Policy, segMax: opts.SegmentBytes, ship: opts.Ship}
 
 	faultfs.Mark(opts.FS, "open")
 	lastGood := int64(0)
@@ -322,6 +373,7 @@ func (l *Log) Append(rec *Record) (int, error) {
 		return 0, fmt.Errorf("wal: record of %d bytes exceeds limit", len(payload))
 	}
 	frame := EncodeFrame(payload)
+	off := l.curSize
 	if _, werr := l.cur.Write(frame); werr != nil {
 		// A short write left a torn tail; cut it back so the in-memory
 		// state and the log stay in lockstep.
@@ -346,6 +398,15 @@ func (l *Log) Append(rec *Record) (int, error) {
 		l.dirty = true
 	}
 	l.curSize += int64(len(frame))
+	if l.ship != nil {
+		// The record is locally logged either way; a ship error tells the
+		// caller its durability contract (quorum) is not met, so the
+		// batch must not be acked. Recovery treats it like any other
+		// logged-but-unacked record.
+		if serr := l.ship(ShipEvent{Kind: ShipAppend, Seg: l.curIdx, Off: off, Frame: frame}); serr != nil {
+			return len(frame), fmt.Errorf("wal: replication ship: %w", serr)
+		}
+	}
 	return len(frame), nil
 }
 
@@ -364,8 +425,17 @@ func (l *Log) Sync() error {
 		return l.broken
 	}
 	l.dirty = false
+	if l.ship != nil {
+		// Sync ships are advisory (the shipper absorbs errors): the local
+		// group commit already happened.
+		_ = l.ship(ShipEvent{Kind: ShipSync, Seg: l.curIdx, Off: l.curSize})
+	}
 	return nil
 }
+
+// Position returns the append position: the current segment index and
+// its byte length.
+func (l *Log) Position() (seg int, off int64) { return l.curIdx, l.curSize }
 
 // Broken returns the sticky storage error, if any.
 func (l *Log) Broken() error { return l.broken }
@@ -451,6 +521,11 @@ func (l *Log) Rotate(snapshot *Record) error {
 			}
 		}
 	}
+	if l.ship != nil {
+		// Rotation ships are advisory like sync ships: the new segment is
+		// already durable locally and cannot be unwound.
+		_ = l.ship(ShipEvent{Kind: ShipRotate, Seg: nextIdx, Frame: frame})
+	}
 	if removeErr != nil {
 		return fmt.Errorf("wal: rotated, but removing old segments: %w", removeErr)
 	}
@@ -489,6 +564,43 @@ func (l *Log) Abandon() {
 		l.cur.Close()
 		l.cur = nil
 	}
+}
+
+// SegmentFile returns the file name of segment idx ("wal-%08d.seg").
+func SegmentFile(idx int) string { return fmt.Sprintf(segPattern, idx) }
+
+// SegmentPath returns the path of segment idx inside dir.
+func SegmentPath(dir string, idx int) string {
+	return filepath.Join(dir, SegmentFile(idx))
+}
+
+// ListSegments returns the segment indexes present in dir, ascending —
+// the leader-side read used by replication catch-up (it works on the
+// directory alone, with or without an open Log).
+func ListSegments(fsys faultfs.FS, dir string) ([]int, error) {
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []int
+	for _, n := range names {
+		if idx, ok := segIndex(n); ok {
+			segs = append(segs, idx)
+		}
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+// Checksum is the log's CRC (crc32 Castagnoli) over data — exported so
+// the replication protocol frames its messages and compares segment
+// prefixes with the exact same function recovery trusts.
+func Checksum(data []byte) uint32 { return crc32.Checksum(data, castagnoli) }
+
+// ChecksumUpdate extends a running Checksum with more data, so a
+// follower can maintain its segment-prefix CRC incrementally.
+func ChecksumUpdate(crc uint32, data []byte) uint32 {
+	return crc32.Update(crc, castagnoli, data)
 }
 
 // ScanFrames parses raw segment bytes into per-record frame lengths —
