@@ -109,6 +109,7 @@ func main() {
 	replAck := flag.String("repl-ack", "async", "replication ack mode: quorum (ship before ack; requires -fsync always) or async")
 	rolling := flag.Bool("rolling", false, "with -repl: SIGTERM parks all sessions, drains, and hands the pair off to the follower")
 	follow := flag.String("follow", "", "follower: accept replication on this address, serve admin HTTP on -addr, promote on handoff or POST /promote")
+	adoptAddr := flag.String("adopt", "", "accept cross-pair session migrations on this address (replica transport; requires -data-dir)")
 	flag.Parse()
 
 	policy, err := wal.ParsePolicy(*fsyncMode)
@@ -132,6 +133,9 @@ func main() {
 	}
 	if *rolling && *repl == "" {
 		fail(fmt.Errorf("-rolling hands off to a follower: it requires -repl"))
+	}
+	if *adoptAddr != "" && *dataDir == "" {
+		fail(fmt.Errorf("adoption installs sessions durably: -adopt requires -data-dir"))
 	}
 	opts := server.Options{
 		Shards:       *shards,
@@ -200,6 +204,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "adpmd: initial catch-up: %v (retried on every ship)\n", err)
 		}
 		fmt.Fprintf(os.Stderr, "adpmd: replicating to %s (%s acks)\n", *repl, *replAck)
+	}
+
+	if *adoptAddr != "" {
+		// Cross-pair migration intake: internal/cluster ships parked
+		// session images here over the replica transport; each lands as
+		// one durable adopt record before the frame is acknowledged.
+		aln, err := net.Listen("tcp", *adoptAddr)
+		fail(err)
+		defer aln.Close()
+		go func() {
+			if err := replica.Serve(aln, adoptPeer{srv}); err != nil && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintf(os.Stderr, "adpmd: adopt listener: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "adpmd: accepting session adoption on %s\n", *adoptAddr)
 	}
 
 	if *pprofAddr != "" {
@@ -393,6 +412,30 @@ func runFollower(addr, followAddr string, opts server.Options) {
 		}
 	}
 }
+
+// adoptPeer exposes the serving stack on the replica transport for the
+// single "adopt" verb. Every WAL-replication verb is refused: this
+// listener moves sessions between pairs, it is not a follower.
+type adoptPeer struct {
+	srv *server.Server
+}
+
+var errAdoptOnly = errors.New("adpmd: adoption listener accepts only session adoption")
+
+func (adoptPeer) Pos(int) (replica.Pos, error) { return replica.Pos{}, errAdoptOnly }
+func (adoptPeer) Append(int, int, int64, []byte) (replica.Pos, error) {
+	return replica.Pos{}, errAdoptOnly
+}
+func (adoptPeer) Rotate(int, int, []byte) (replica.Pos, error) { return replica.Pos{}, errAdoptOnly }
+func (adoptPeer) CopySegment(int, int, []byte) (replica.Pos, error) {
+	return replica.Pos{}, errAdoptOnly
+}
+func (adoptPeer) Reset(int) (replica.Pos, error) { return replica.Pos{}, errAdoptOnly }
+func (adoptPeer) Handoff() error                 { return errAdoptOnly }
+
+// Adopt implements replica.Adopter by installing the shipped image
+// durably (server.AdoptSession).
+func (p adoptPeer) Adopt(img *wal.SessionImage) error { return p.srv.Adopt(img) }
 
 func fail(err error) {
 	if err != nil {

@@ -64,6 +64,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/loadgen"
 	"repro/internal/server"
 	"repro/internal/trace"
@@ -94,6 +95,9 @@ func main() {
 	retries := flag.Int("retries", 0, "reactive re-attempts per request on transport error/408/429/503 (Retry-After honored; 0 disables)")
 	check := flag.Bool("check", false, "gate mode: exit 2 on SLO violation or oracle mismatch")
 	sloSpec := flag.String("slo", "", "SLO spec for -check, e.g. p99=200ms,errs=1%,throughput=50")
+	routeTable := flag.String("route-table", "", "client-side cluster routing: table JSON (cluster.Table), instead of -addr")
+	routePairs := flag.String("route-pairs", "", "client-side cluster routing: inline 'name=base[,base2];...' spec, instead of -addr")
+	routeSeed := flag.Int64("route-seed", 1, "ring seed for -route-pairs")
 	flag.Parse()
 
 	w := loadgen.Workload{
@@ -128,6 +132,21 @@ func main() {
 	var target loadgen.Target
 	var failover *loadgen.FailoverTarget
 	switch {
+	case *routeTable != "" || *routePairs != "":
+		var table *cluster.Table
+		if *routeTable != "" {
+			data, err := os.ReadFile(*routeTable)
+			fail(err)
+			table, err = cluster.ParseTable(data)
+			fail(err)
+		} else {
+			table, err = cluster.ParsePairsSpec(*routePairs, *routeSeed, cluster.DefaultVNodes)
+			fail(err)
+		}
+		rt, err := loadgen.NewRouterTarget(table, nil, "lg")
+		fail(err)
+		fail(rt.WaitReady(*readyTimeout))
+		target = rt
 	case *hermetic:
 		srv, err := server.Open(server.Options{})
 		fail(err)

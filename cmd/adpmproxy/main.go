@@ -1,0 +1,95 @@
+// Command adpmproxy is the cluster front end: it routes session-scoped
+// adpmd requests — including SSE event streams — to the replicated
+// pair that owns each session, follows promotions via /readyz role
+// probes, and orchestrates cross-pair session migration.
+//
+// Usage:
+//
+//	adpmproxy -addr :8070 -table cluster.json [-mint p0]
+//	adpmproxy -addr :8070 -pairs 'a=http://127.0.0.1:8080,http://127.0.0.1:8081;b=http://127.0.0.1:8090,http://127.0.0.1:8091' [-seed 1]
+//
+// The table file is the JSON form of cluster.Table: a seeded
+// consistent-hash ring over named pairs, each pair listing the client
+// base URLs of its two adpmd processes (and optionally an "adopt"
+// address for the replica-transport migration path). -pairs builds the
+// same table from the command line for quick two-pair experiments.
+//
+// API, in front of every adpmd route:
+//
+//	POST   /sessions                  mint a cluster-wide id, route by ring placement
+//	*      /sessions/{id}/...         route to the owning pair's leader
+//	GET    /cluster/table             current routing table (clients may self-route)
+//	GET    /cluster/stats             epoch + routed/redirect/migration counters
+//	POST   /cluster/migrate           {"id":..., "to":...} move a session across pairs
+//	GET    /healthz, /readyz
+//
+// Routing faults heal without restarts: a dead leader invalidates the
+// pair's cached resolution and the next request re-probes (following a
+// promotion); a backend 307 teaches the proxy the session's new owner
+// under a bumped epoch and the request retries internally.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8070", "HTTP listen address")
+	tablePath := flag.String("table", "", "routing table JSON (cluster.Table)")
+	pairsFlag := flag.String("pairs", "", "inline table: 'name=base[,base2][@adoptAddr];...' (alternative to -table)")
+	seed := flag.Int64("seed", 1, "ring seed for -pairs tables")
+	vnodes := flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per pair for -pairs tables")
+	mintTag := flag.String("mint", "p0", "id-mint tag distinguishing this proxy's session ids")
+	flag.Parse()
+
+	var table *cluster.Table
+	switch {
+	case *tablePath != "" && *pairsFlag != "":
+		fail(fmt.Errorf("-table and -pairs are mutually exclusive"))
+	case *tablePath != "":
+		data, err := os.ReadFile(*tablePath)
+		fail(err)
+		t, err := cluster.ParseTable(data)
+		fail(err)
+		table = t
+	case *pairsFlag != "":
+		t, err := cluster.ParsePairsSpec(*pairsFlag, *seed, *vnodes)
+		fail(err)
+		table = t
+	default:
+		fail(fmt.Errorf("one of -table or -pairs is required"))
+	}
+
+	proxy, err := cluster.NewProxy(table, cluster.ProxyOptions{MintTag: *mintTag})
+	fail(err)
+
+	hs := server.NewHTTPServer(*addr, proxy.Handler())
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "adpmproxy: routing %d pairs on %s (epoch %d, seed %d)\n",
+		len(table.Pairs), *addr, table.Epoch, table.Seed)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "adpmproxy: %v — closing\n", sig)
+	case err := <-httpErr:
+		fail(err)
+	}
+	hs.Close()
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adpmproxy:", err)
+		os.Exit(1)
+	}
+}

@@ -66,6 +66,8 @@ func main() {
 	checkLen := flag.Int("check-len", 3, "model checker: max client actions between crash points")
 	checkSessions := flag.Int("check-sessions", 3, "model checker: max concurrent sessions (≤3)")
 	checkOps := flag.Int("check-ops", 4, "model checker: max keyed batches (≤4)")
+	clusterCheck := flag.Bool("cluster-check", false, "run the multi-pair (cluster migration) model checker")
+	clusterBug := flag.String("cluster-bug", "", "cluster checker: seed a defect for a soundness self-test (stale-router)")
 	replicaF := flag.Bool("replica", false, "run against a two-node pair: warm standby, failovers, rolling restarts")
 	quorum := flag.Bool("quorum", false, "quorum replication acks (implies -replica; requires -fsync always)")
 	flag.Parse()
@@ -78,6 +80,8 @@ func main() {
 	}
 
 	switch {
+	case *clusterCheck:
+		runClusterCheck(*checkSessions, *checkOps, *checkEpochs, *checkLen, *clusterBug)
 	case *doCheck:
 		runCheck(policy, *shards, *checkSessions, *checkOps, *checkEpochs, *checkLen, replica, *quorum)
 	case *seeds != "":
@@ -191,6 +195,59 @@ func runCheck(policy wal.SyncPolicy, shards, sessions, ops, epochs, length int, 
 	}
 	fmt.Printf("ok: model checker explored %d states (%d transitions) under fsync=%s%s — no violations\n",
 		rep.States, rep.Transitions, policy, mode)
+}
+
+// runClusterCheck is the multi-pair mode: two quorum pairs, the real
+// consistent-hash ring, and the cross-pair migration protocol explored
+// against crash, kill, and promote terminators. With -cluster-bug it
+// seeds a known routing defect and inverts the verdict — the checker
+// proving it still catches the bug is what makes its clean runs
+// trustworthy.
+func runClusterCheck(sessions, ops, epochs, length int, bugName string) {
+	var bug check.ClusterBug
+	switch bugName {
+	case "":
+		bug = check.ClusterBugNone
+	case "stale-router":
+		bug = check.ClusterBugStaleRouter
+	default:
+		fail(fmt.Errorf("unknown -cluster-bug %q (want stale-router)", bugName))
+	}
+	rep, err := check.RunCluster(check.ClusterConfig{
+		MaxSessions: sessions,
+		MaxOps:      ops,
+		MaxEpochs:   epochs,
+		EpochLen:    length,
+		Bug:         bug,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if bug != check.ClusterBugNone {
+		if len(rep.Violations) == 0 {
+			fmt.Printf("FAIL: cluster checker missed the seeded %s bug (%d states explored) — it cannot be trusted\n", bugName, rep.States)
+			os.Exit(2)
+		}
+		fmt.Printf("ok: cluster checker caught the seeded %s bug after %d states:\n", bugName, rep.States)
+		fmt.Printf("  violation: %s\n", rep.Violations[0])
+		for _, step := range rep.Trace {
+			fmt.Printf("    %s\n", step)
+		}
+		return
+	}
+	if len(rep.Violations) > 0 {
+		fmt.Println("FAIL: cluster checker found a violation")
+		for _, v := range rep.Violations {
+			fmt.Printf("  violation: %s\n", v)
+		}
+		fmt.Println("  trace (one epoch per line, ending in its crash kind):")
+		for _, step := range rep.Trace {
+			fmt.Printf("    %s\n", step)
+		}
+		os.Exit(2)
+	}
+	fmt.Printf("ok: cluster checker explored %d states (%d transitions) across 2 quorum pairs — no violations\n",
+		rep.States, rep.Transitions)
 }
 
 func printResult(res *sim.Result) {

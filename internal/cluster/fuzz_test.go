@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// FuzzProxyRoute mirrors FuzzServerOps' invariants through the cluster
+// proxy, with a forced cross-pair migration between the first send and
+// the keyed retry. Routing must be invisible to the batch contract:
+//
+//  1. no 5xx from the proxy in a healthy cluster — a 502/503 here means
+//     the routing loop lost a request two live backends could serve;
+//  2. any non-200 answer leaves the session state byte-identical (read
+//     back through the proxy);
+//  3. the forced migration preserves state byte-for-byte, and the
+//     post-migration retry of an accepted keyed batch is a replayed
+//     cached ack — exactly-once survives the ownership flip.
+func FuzzProxyRoute(f *testing.F) {
+	seeds := []string{
+		`{"ops":[{"kind":"synthesis","problem":"AmpDesign","assignments":[{"prop":"Width","value":3}]}]}`,
+		`{"ops":[{"kind":"synthesis","problem":"AmpDesign","assignments":[{"prop":"Width","value":3},{"prop":"Bias","value":19}]}]}`,
+		`{"ops":[{"kind":"verification","problem":"AmpDesign"}]}`,
+		`{"ops":[{"kind":"decomposition","problem":"Top"}]}`,
+		`{"ops":[]}`,
+		`{"ops":[{"kind":"synthesis","problem":"AmpDesign","assignments":[{"prop":"Width","value":"oops"}]}]}`,
+		`{"ops":[{"kind":"synthesis","problem":"Ghost","assignments":[{"prop":"Width","value":1}]},{"kind":"synthesis","problem":"AmpDesign","assignments":[{"prop":"Ind","value":2}]}]}`,
+		`{"ops":[{"kind":"melt","problem":"Top"}]}`,
+		`{"ops":[{"kind":"synthesis","problem":"AmpDesign","assignments":[{"prop":"Width","value":1e308}]}]}`,
+		`not json at all`,
+		`{"ops": 3}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		a, b := startPair(t, "a"), startPair(t, "b")
+		p, ph := startProxy(t, twoPairTable(a, b), ProxyOptions{})
+
+		const id = "cfzz1"
+		if resp, data := doJSON(t, http.MethodPost, ph.URL+"/sessions",
+			[]byte(fmt.Sprintf(`{"scenario":"simplified","id":%q}`, id))); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create: %s: %s", resp.Status, data)
+		}
+		stateURL := ph.URL + "/sessions/" + id + "/state"
+		fetchState := func() []byte {
+			t.Helper()
+			resp, data := doJSON(t, http.MethodGet, stateURL, nil)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("state via proxy: %s: %s", resp.Status, data)
+			}
+			return data
+		}
+		send := func() (*http.Response, []byte) {
+			t.Helper()
+			req, err := http.NewRequest(http.MethodPost, ph.URL+"/sessions/"+id+"/ops", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("Idempotency-Key", "fuzz-1")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			data := make([]byte, 0, 1024)
+			buf := make([]byte, 4096)
+			for {
+				n, rerr := resp.Body.Read(buf)
+				data = append(data, buf[:n]...)
+				if rerr != nil {
+					break
+				}
+			}
+			return resp, data
+		}
+
+		before := fetchState()
+		resp1, ack1 := send()
+		if resp1.StatusCode >= 500 {
+			t.Fatalf("proxy answered %d in a healthy cluster: %s\nbody: %q", resp1.StatusCode, ack1, body)
+		}
+		after := fetchState()
+		if resp1.StatusCode != http.StatusOK && !bytes.Equal(before, after) {
+			t.Fatalf("rejected batch (status %d) mutated state through the proxy\nbody: %q", resp1.StatusCode, body)
+		}
+
+		// Forced mid-fuzz migration to whichever pair does not own the id.
+		dst := "b"
+		if p.View().Owner(id).Name == "b" {
+			dst = "a"
+		}
+		if resp, data := doJSON(t, http.MethodPost, ph.URL+"/cluster/migrate",
+			[]byte(fmt.Sprintf(`{"id":%q,"to":%q}`, id, dst))); resp.StatusCode != http.StatusOK {
+			t.Fatalf("forced migration: %s: %s\nbody: %q", resp.Status, data, body)
+		}
+		if got := fetchState(); !bytes.Equal(got, after) {
+			t.Fatalf("migration changed state\nbody: %q\nbefore: %s\nafter:  %s", body, after, got)
+		}
+
+		resp2, ack2 := send()
+		if resp2.StatusCode >= 500 {
+			t.Fatalf("post-migration retry answered %d: %s\nbody: %q", resp2.StatusCode, ack2, body)
+		}
+		if resp1.StatusCode == http.StatusOK {
+			if resp2.StatusCode != http.StatusOK || resp2.Header.Get("Idempotent-Replay") != "true" {
+				t.Fatalf("keyed retry after migration not replayed (status %d, replay %q)\nbody: %q",
+					resp2.StatusCode, resp2.Header.Get("Idempotent-Replay"), body)
+			}
+			if !bytes.Equal(ack1, ack2) {
+				t.Fatalf("replayed ack differs across migration\nbody: %q\nfirst: %s\nretry: %s", body, ack1, ack2)
+			}
+		}
+		if got := fetchState(); !bytes.Equal(got, after) {
+			t.Fatalf("post-migration retry mutated state\nbody: %q", body)
+		}
+	})
+}

@@ -1,0 +1,477 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/replica"
+	"repro/internal/wal"
+)
+
+// Proxy is the thin HTTP front end (cmd/adpmproxy): it routes
+// session-scoped requests — including SSE streams — to the owning
+// pair's current leader, mints cluster-unique session ids for creates,
+// follows promotions via the Router's /readyz probes, learns migration
+// overrides from backend 307s, and orchestrates cross-pair migrations
+// on POST /cluster/migrate.
+type Proxy struct {
+	router *Router
+	minter *Minter
+	client *http.Client
+
+	mu   sync.Mutex
+	view *View
+
+	// dialAdopt ships an image to a pair's Adopt address over the
+	// replica transport; injectable so tests migrate hermetically.
+	dialAdopt func(addr string, img *wal.SessionImage) error
+
+	// Counters (GET /cluster/stats).
+	routed     atomic.Uint64
+	redirects  atomic.Uint64
+	migrations atomic.Uint64
+}
+
+// ProxyOptions parameterize NewProxy.
+type ProxyOptions struct {
+	// Client performs routed requests and probes; nil means a default
+	// client (no overall timeout — SSE streams are long-lived; the
+	// backend's own read deadlines bound misbehaving requests).
+	Client *http.Client
+	// MintTag distinguishes this proxy's minted ids from other minters'
+	// ("p0" when empty).
+	MintTag string
+	// DialAdopt overrides the migration transport (tests); nil uses the
+	// real replica transport (replica.Dial(addr).Adopt(img)).
+	DialAdopt func(addr string, img *wal.SessionImage) error
+}
+
+// NewProxy builds a proxy over a validated table.
+func NewProxy(t *Table, opts ProxyOptions) (*Proxy, error) {
+	view, err := NewView(t)
+	if err != nil {
+		return nil, err
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	// Routed requests must surface backend redirects to the proxy's own
+	// logic, never auto-follow them.
+	noFollow := *client
+	noFollow.CheckRedirect = func(req *http.Request, via []*http.Request) error {
+		return http.ErrUseLastResponse
+	}
+	tag := opts.MintTag
+	if tag == "" {
+		tag = "p0"
+	}
+	dial := opts.DialAdopt
+	if dial == nil {
+		dial = func(addr string, img *wal.SessionImage) error {
+			c := replica.Dial(addr)
+			defer c.Close()
+			return c.Adopt(img)
+		}
+	}
+	return &Proxy{
+		router:    NewRouter(&noFollow),
+		minter:    NewMinter(tag),
+		client:    &noFollow,
+		view:      view,
+		dialAdopt: dial,
+	}, nil
+}
+
+// View returns the current table view (routers refresh from it).
+func (p *Proxy) View() *View {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.view
+}
+
+// learnOverride records that id now lives on pair (from a migration
+// this proxy ran, or a 307 it observed) and bumps the epoch.
+func (p *Proxy) learnOverride(id, pair string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t := p.view.Table.Clone()
+	if t.Overrides == nil {
+		t.Overrides = map[string]string{}
+	}
+	if t.Overrides[id] == pair {
+		return
+	}
+	t.Overrides[id] = pair
+	t.Epoch++
+	if v, err := NewView(t); err == nil {
+		p.view = v
+	}
+}
+
+// Handler returns the proxy's HTTP API: the adpmd session routes
+// (transparently forwarded) plus the cluster control plane.
+func (p *Proxy) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sessions", p.handleCreate)
+	mux.HandleFunc("/sessions/{id}", p.handleSession)
+	mux.HandleFunc("/sessions/{id}/{rest...}", p.handleSession)
+	mux.HandleFunc("GET /cluster/table", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, p.View().Table)
+	})
+	mux.HandleFunc("GET /cluster/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"epoch":      p.View().Table.Epoch,
+			"routed":     p.routed.Load(),
+			"redirects":  p.redirects.Load(),
+			"migrations": p.migrations.Load(),
+		})
+	})
+	mux.HandleFunc("POST /cluster/migrate", p.handleMigrate)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", p.handleReady)
+	return mux
+}
+
+// handleReady reports the proxy ready when every pair resolves a
+// leader — the gate the live drill waits on before opening traffic.
+func (p *Proxy) handleReady(w http.ResponseWriter, r *http.Request) {
+	view := p.View()
+	rows := make([]map[string]string, 0, len(view.Table.Pairs))
+	ok := true
+	for i := range view.Table.Pairs {
+		pair := &view.Table.Pairs[i]
+		base, err := p.router.Leader(pair)
+		row := map[string]string{"pair": pair.Name, "leader": base}
+		if err != nil {
+			p.router.Invalidate(pair.Name)
+			row["error"] = err.Error()
+			ok = false
+		}
+		rows = append(rows, row)
+	}
+	status, code := "ready", http.StatusOK
+	if !ok {
+		status, code = "degraded", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{"status": status, "pairs": rows})
+}
+
+// handleCreate mints the session id (unless the client supplied one),
+// injects it into the body, and routes by ring placement — the id
+// determines the owner before the session exists.
+func (p *Proxy) handleCreate(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "reading body: " + err.Error()})
+		return
+	}
+	var req map[string]json.RawMessage
+	if len(bytes.TrimSpace(body)) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "invalid JSON body: " + err.Error()})
+			return
+		}
+	}
+	if req == nil {
+		req = map[string]json.RawMessage{}
+	}
+	var id string
+	if raw, ok := req["id"]; ok {
+		if json.Unmarshal(raw, &id) != nil || id == "" {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "id must be a non-empty string"})
+			return
+		}
+	} else {
+		id = p.minter.Mint()
+		idRaw, _ := json.Marshal(id)
+		req["id"] = idRaw
+	}
+	routed, _ := json.Marshal(req)
+	p.forward(w, r, id, "/sessions", routed)
+}
+
+// handleSession routes every session-scoped request by the id in the
+// path.
+func (p *Proxy) handleSession(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "reading body: " + err.Error()})
+		return
+	}
+	p.forward(w, r, r.PathValue("id"), r.URL.Path, body)
+}
+
+// maxRouteHops bounds forward's resolve→send→307 loop: one stale
+// override plus one concurrent migration is the deepest legitimate
+// chain, anything longer is a routing loop.
+const maxRouteHops = 3
+
+// forward resolves the owner, sends the request to its leader, and
+// handles routing faults: a transport error invalidates the leader
+// cache and retries (promotion following); a 307 learns the session's
+// new owner and retries (stale-table healing). Everything else —
+// including SSE streams — is copied through verbatim.
+func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, id, path string, body []byte) {
+	p.routed.Add(1)
+	var lastErr error
+	for hop := 0; hop < maxRouteHops; hop++ {
+		view := p.View()
+		pair := view.Owner(id)
+		if pair == nil {
+			writeJSON(w, http.StatusBadGateway, map[string]string{"error": fmt.Sprintf("no pair owns session %q", id)})
+			return
+		}
+		base, err := p.router.Leader(pair)
+		if err != nil {
+			lastErr = err
+			p.router.Invalidate(pair.Name)
+			continue
+		}
+		u := base + path
+		if r.URL.RawQuery != "" {
+			u += "?" + r.URL.RawQuery
+		}
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, u, bytes.NewReader(body))
+		if err != nil {
+			writeJSON(w, http.StatusBadGateway, map[string]string{"error": err.Error()})
+			return
+		}
+		copyHeaders(req.Header, r.Header)
+		resp, err := p.client.Do(req)
+		if err != nil {
+			// Transport-level failure: the leader may have just died.
+			// Re-probe the pair and retry the idempotent routing step.
+			lastErr = err
+			p.router.Invalidate(pair.Name)
+			continue
+		}
+		if resp.StatusCode == http.StatusTemporaryRedirect {
+			loc := resp.Header.Get("Location")
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			p.redirects.Add(1)
+			if newPair := p.pairForLocation(loc); newPair != "" && newPair != pair.Name {
+				p.learnOverride(id, newPair)
+				lastErr = fmt.Errorf("session %q moved to %q", id, newPair)
+				continue
+			}
+			// Unresolvable forwarding address: surface the redirect; the
+			// client's next attempt through this proxy re-resolves.
+			w.Header().Set("Location", loc)
+			writeJSON(w, http.StatusTemporaryRedirect, map[string]string{"error": "session moved", "location": loc})
+			return
+		}
+		streamResponse(w, resp)
+		return
+	}
+	msg := "routing did not converge"
+	if lastErr != nil {
+		msg = lastErr.Error()
+	}
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "cluster: " + msg})
+}
+
+// pairForLocation maps a 307 Location to a pair name via the table's
+// base URLs ("" when unknown).
+func (p *Proxy) pairForLocation(loc string) string {
+	u, err := url.Parse(loc)
+	if err != nil {
+		return ""
+	}
+	base := u.Scheme + "://" + u.Host
+	if pair := p.View().Table.PairForBase(base); pair != nil {
+		return pair.Name
+	}
+	return ""
+}
+
+// migrateRequest is the POST /cluster/migrate body.
+type migrateRequest struct {
+	ID string `json:"id"`
+	To string `json:"to"`
+}
+
+// handleMigrate orchestrates one cross-pair migration: park-and-freeze
+// on the source (begin), ship the image to the destination (adopt —
+// over the replica transport when the pair publishes an Adopt address,
+// over HTTP otherwise), tombstone the source (complete), and flip the
+// table under a new epoch. Failure after adopt leaves the protocol
+// re-runnable (adopt is idempotent); failure before it aborts cleanly.
+func (p *Proxy) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	var req migrateRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "invalid body: " + err.Error()})
+		return
+	}
+	view := p.View()
+	dst := view.Table.Pair(req.To)
+	if dst == nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("unknown destination pair %q", req.To)})
+		return
+	}
+	src := view.Owner(req.ID)
+	if src == nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("no pair owns session %q", req.ID)})
+		return
+	}
+	if src.Name == dst.Name {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "noop", "pair": src.Name})
+		return
+	}
+	srcBase, err := p.router.Leader(src)
+	if err != nil {
+		p.router.Invalidate(src.Name)
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		return
+	}
+	dstBase, err := p.router.Leader(dst)
+	if err != nil {
+		p.router.Invalidate(dst.Name)
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		return
+	}
+
+	// 1. Begin: park and freeze on the source, export the image.
+	var img wal.SessionImage
+	if err := p.postJSON(srcBase+"/sessions/"+req.ID+"/migrate", nil, &img); err != nil {
+		writeJSON(w, http.StatusBadGateway, map[string]string{"error": "begin: " + err.Error()})
+		return
+	}
+
+	// 2. Adopt on the destination (durable before the source forgets).
+	if dst.Adopt != "" {
+		err = p.dialAdopt(dst.Adopt, &img)
+	} else {
+		err = p.postJSON(dstBase+"/adopt", &img, nil)
+	}
+	if err != nil {
+		// Nothing durable changed ownership; unfreeze the source.
+		aerr := p.postJSON(srcBase+"/sessions/"+req.ID+"/migrate/abort", nil, nil)
+		if aerr != nil {
+			err = fmt.Errorf("%v (abort also failed: %v)", err, aerr)
+		}
+		writeJSON(w, http.StatusBadGateway, map[string]string{"error": "adopt: " + err.Error()})
+		return
+	}
+
+	// 3. Complete: durable tombstone on the source, then the new epoch.
+	if err := p.postJSON(srcBase+"/sessions/"+req.ID+"/migrate/complete",
+		&migrateCompleteBody{Location: dstBase}, nil); err != nil {
+		// The destination already owns the bytes; the table flip below
+		// still routes correctly, and a re-run of the migration heals the
+		// missing tombstone (begin will answer ErrUnknownSession/307).
+		writeJSON(w, http.StatusBadGateway, map[string]string{"error": "complete: " + err.Error()})
+		return
+	}
+	p.learnOverride(req.ID, dst.Name)
+	p.migrations.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "moved",
+		"id":     req.ID,
+		"from":   src.Name,
+		"to":     dst.Name,
+		"epoch":  p.View().Table.Epoch,
+	})
+}
+
+// migrateCompleteBody mirrors the server's migrate/complete request.
+type migrateCompleteBody struct {
+	Location string `json:"location"`
+}
+
+// postJSON posts a JSON body and decodes a JSON response (both
+// optional), mapping non-2xx answers to errors.
+func (p *Proxy) postJSON(u string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	} else {
+		body = strings.NewReader("{}")
+	}
+	req, err := http.NewRequest(http.MethodPost, u, body)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("%s: %s: %s", u, resp.Status, strings.TrimSpace(string(data)))
+	}
+	if out != nil {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+// copyHeaders copies client headers onto the routed request, skipping
+// hop-by-hop ones.
+func copyHeaders(dst, src http.Header) {
+	for k, vs := range src {
+		switch k {
+		case "Connection", "Keep-Alive", "Transfer-Encoding", "Upgrade", "Content-Length":
+			continue
+		}
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+// streamResponse copies a backend response through, flushing after
+// every chunk so SSE frames reach the client as they arrive.
+func streamResponse(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	h := w.Header()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			h.Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	fl, canFlush := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if canFlush {
+				fl.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// writeJSON mirrors the server's helper (kept package-local so the
+// proxy has no dependency on internal/server).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,452 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultfs"
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// testPair is one hermetic durable backend standing in for a replicated
+// pair: a real internal/server stack on an in-memory filesystem behind
+// an httptest listener.
+type testPair struct {
+	name string
+	srv  *server.Server
+	hs   *httptest.Server
+}
+
+func startPair(t *testing.T, name string) *testPair {
+	t.Helper()
+	srv, err := server.Open(server.Options{
+		Shards:  1,
+		MaxOps:  64,
+		DataDir: "data",
+		FS:      faultfs.NewMemFS(),
+		Fsync:   wal.SyncAlways,
+		IdemCap: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Drain()
+	})
+	return &testPair{name: name, srv: srv, hs: hs}
+}
+
+// startProxy builds a proxy over the given pairs and serves it.
+func startProxy(t *testing.T, tbl *Table, opts ProxyOptions) (*Proxy, *httptest.Server) {
+	t.Helper()
+	p, err := NewProxy(tbl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := httptest.NewServer(p.Handler())
+	t.Cleanup(ph.Close)
+	return p, ph
+}
+
+func twoPairTable(a, b *testPair) *Table {
+	return &Table{
+		Epoch: 1,
+		Seed:  1,
+		Pairs: []Pair{
+			{Name: a.name, Bases: []string{a.hs.URL}},
+			{Name: b.name, Bases: []string{b.hs.URL}},
+		},
+	}
+}
+
+// idOwnedBy mints ids until the view places one on the wanted pair —
+// placement is deterministic, so the probe is too.
+func idOwnedBy(t *testing.T, v *View, pair string) string {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("cown%d", i)
+		if v.Owner(id).Name == pair {
+			return id
+		}
+	}
+	t.Fatalf("no id of 1000 lands on pair %q", pair)
+	return ""
+}
+
+func opsBody(key string, val float64) []byte {
+	return []byte(fmt.Sprintf(
+		`{"key":%q,"ops":[{"kind":"synthesis","problem":"AmpDesign","designer":"t","assignments":[{"prop":"Width","value":%g}]}]}`,
+		key, val))
+}
+
+func doJSON(t *testing.T, method, u string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, u, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	// Never auto-follow: tests assert on raw 307s from the backends.
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+type proxyStats struct {
+	Epoch      uint64 `json:"epoch"`
+	Routed     uint64 `json:"routed"`
+	Redirects  uint64 `json:"redirects"`
+	Migrations uint64 `json:"migrations"`
+}
+
+func getStats(t *testing.T, proxyURL string) proxyStats {
+	t.Helper()
+	resp, data := doJSON(t, http.MethodGet, proxyURL+"/cluster/stats", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /cluster/stats: %s: %s", resp.Status, data)
+	}
+	var st proxyStats
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestProxyCreateRoutesByRing pins the create path: the proxy mints a
+// "c<tag>x<n>" id, injects it into the body, and the session lands on
+// the pair the ring assigns that id — verified by asking each backend
+// directly.
+func TestProxyCreateRoutesByRing(t *testing.T) {
+	a, b := startPair(t, "a"), startPair(t, "b")
+	p, ph := startProxy(t, twoPairTable(a, b), ProxyOptions{})
+
+	resp, data := doJSON(t, http.MethodPost, ph.URL+"/sessions", []byte(`{"scenario":"simplified"}`))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create via proxy: %s: %s", resp.Status, data)
+	}
+	var created server.CreateResponse
+	if err := json.Unmarshal(data, &created); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(created.ID, "cp0x") {
+		t.Fatalf("proxy minted id %q, want cp0x<n>", created.ID)
+	}
+
+	owner := p.View().Owner(created.ID).Name
+	for _, pair := range []*testPair{a, b} {
+		resp, _ := doJSON(t, http.MethodGet, pair.hs.URL+"/sessions/"+created.ID+"/state", nil)
+		wantOK := pair.name == owner
+		if gotOK := resp.StatusCode == http.StatusOK; gotOK != wantOK {
+			t.Errorf("pair %s direct state: %s, want 200=%v (ring owner %s)", pair.name, resp.Status, wantOK, owner)
+		}
+	}
+}
+
+// TestProxyOpsAndIdempotentReplay pins that keyed batches route through
+// the proxy with exactly-once semantics intact: a retry of the same key
+// returns the original acknowledgement byte-identically and is flagged
+// as a replay.
+func TestProxyOpsAndIdempotentReplay(t *testing.T) {
+	a, b := startPair(t, "a"), startPair(t, "b")
+	_, ph := startProxy(t, twoPairTable(a, b), ProxyOptions{})
+
+	resp, data := doJSON(t, http.MethodPost, ph.URL+"/sessions", []byte(`{"scenario":"simplified","id":"cidem1"}`))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %s: %s", resp.Status, data)
+	}
+	resp, ack1 := doJSON(t, http.MethodPost, ph.URL+"/sessions/cidem1/ops", opsBody("k1", 2))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ops: %s: %s", resp.Status, ack1)
+	}
+	if resp.Header.Get("Idempotent-Replay") != "" {
+		t.Fatal("first send of key k1 flagged as a replay")
+	}
+	resp, ack2 := doJSON(t, http.MethodPost, ph.URL+"/sessions/cidem1/ops", opsBody("k1", 2))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ops retry: %s: %s", resp.Status, ack2)
+	}
+	if resp.Header.Get("Idempotent-Replay") != "true" {
+		t.Error("retry of key k1 not flagged Idempotent-Replay through the proxy")
+	}
+	if !bytes.Equal(ack1, ack2) {
+		t.Errorf("retry ack differs from original:\n  first: %s\n  retry: %s", ack1, ack2)
+	}
+
+	st := getStats(t, ph.URL)
+	if st.Routed < 3 {
+		t.Errorf("routed counter %d, want >=3", st.Routed)
+	}
+}
+
+// TestProxyMigrate pins the orchestrated cross-pair migration: state
+// survives byte-identically on the new owner, the table flips under a
+// new epoch, the old pair answers 307 with the new pair's base, and
+// new writes land on the destination.
+func TestProxyMigrate(t *testing.T) {
+	a, b := startPair(t, "a"), startPair(t, "b")
+	p, ph := startProxy(t, twoPairTable(a, b), ProxyOptions{})
+
+	id := idOwnedBy(t, p.View(), "a")
+	resp, data := doJSON(t, http.MethodPost, ph.URL+"/sessions",
+		[]byte(fmt.Sprintf(`{"scenario":"simplified","id":%q}`, id)))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %s: %s", resp.Status, data)
+	}
+	if resp, data = doJSON(t, http.MethodPost, ph.URL+"/sessions/"+id+"/ops", opsBody("k1", 2)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ops: %s: %s", resp.Status, data)
+	}
+	_, before := doJSON(t, http.MethodGet, ph.URL+"/sessions/"+id+"/state", nil)
+
+	resp, data = doJSON(t, http.MethodPost, ph.URL+"/cluster/migrate",
+		[]byte(fmt.Sprintf(`{"id":%q,"to":"b"}`, id)))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("migrate: %s: %s", resp.Status, data)
+	}
+	var moved struct {
+		Status string `json:"status"`
+		From   string `json:"from"`
+		To     string `json:"to"`
+		Epoch  uint64 `json:"epoch"`
+	}
+	if err := json.Unmarshal(data, &moved); err != nil {
+		t.Fatal(err)
+	}
+	if moved.Status != "moved" || moved.From != "a" || moved.To != "b" || moved.Epoch != 2 {
+		t.Fatalf("migrate response %+v, want moved a->b at epoch 2", moved)
+	}
+	if got := p.View().Owner(id).Name; got != "b" {
+		t.Fatalf("post-migration owner %q, want b", got)
+	}
+
+	// State through the proxy must be byte-identical to pre-migration.
+	resp, after := doJSON(t, http.MethodGet, ph.URL+"/sessions/"+id+"/state", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("state after migrate: %s: %s", resp.Status, after)
+	}
+	if !bytes.Equal(before, after) {
+		t.Errorf("state changed across migration:\n  before: %s\n  after:  %s", before, after)
+	}
+
+	// The abandoned copy answers 307 with the destination base.
+	resp, _ = doJSON(t, http.MethodGet, a.hs.URL+"/sessions/"+id+"/state", nil)
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("old pair after migrate: %s, want 307", resp.Status)
+	}
+	if loc := resp.Header.Get("Location"); !strings.HasPrefix(loc, b.hs.URL) {
+		t.Errorf("old pair forwards to %q, want prefix %q", loc, b.hs.URL)
+	}
+
+	// New writes land on the destination.
+	if resp, data = doJSON(t, http.MethodPost, ph.URL+"/sessions/"+id+"/ops", opsBody("k2", 1)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ops after migrate: %s: %s", resp.Status, data)
+	}
+	var st server.StateResponse
+	_, data = doJSON(t, http.MethodGet, b.hs.URL+"/sessions/"+id+"/state", nil)
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Operations != 2 {
+		t.Errorf("destination sees %d operations, want 2", st.Operations)
+	}
+
+	stats := getStats(t, ph.URL)
+	if stats.Migrations != 1 || stats.Epoch != 2 {
+		t.Errorf("stats %+v, want migrations=1 epoch=2", stats)
+	}
+}
+
+// TestProxyStaleTableHealsVia307 pins the self-healing path: a second
+// proxy still holding the pre-migration table routes to the old pair,
+// gets the 307, learns the override under a bumped epoch, and serves
+// the request — the client never sees the redirect.
+func TestProxyStaleTableHealsVia307(t *testing.T) {
+	a, b := startPair(t, "a"), startPair(t, "b")
+	tbl := twoPairTable(a, b)
+	p1, ph1 := startProxy(t, tbl.Clone(), ProxyOptions{})
+
+	id := idOwnedBy(t, p1.View(), "a")
+	if resp, data := doJSON(t, http.MethodPost, ph1.URL+"/sessions",
+		[]byte(fmt.Sprintf(`{"scenario":"simplified","id":%q}`, id))); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %s: %s", resp.Status, data)
+	}
+	if resp, data := doJSON(t, http.MethodPost, ph1.URL+"/cluster/migrate",
+		[]byte(fmt.Sprintf(`{"id":%q,"to":"b"}`, id))); resp.StatusCode != http.StatusOK {
+		t.Fatalf("migrate: %s: %s", resp.Status, data)
+	}
+
+	// The stale proxy was built before the migration.
+	p2, ph2 := startProxy(t, tbl.Clone(), ProxyOptions{MintTag: "p1"})
+	resp, data := doJSON(t, http.MethodGet, ph2.URL+"/sessions/"+id+"/state", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stale proxy state: %s: %s", resp.Status, data)
+	}
+	if got := p2.View().Owner(id).Name; got != "b" {
+		t.Errorf("stale proxy learned owner %q, want b", got)
+	}
+	st := getStats(t, ph2.URL)
+	if st.Redirects < 1 {
+		t.Errorf("stale proxy redirects %d, want >=1", st.Redirects)
+	}
+	if st.Epoch != 2 {
+		t.Errorf("stale proxy epoch %d, want 2 after learning the override", st.Epoch)
+	}
+}
+
+// TestProxyMigrateAdoptTransport pins that a pair publishing an Adopt
+// address receives the image over the replica transport hook instead of
+// HTTP POST /adopt.
+func TestProxyMigrateAdoptTransport(t *testing.T) {
+	a, b := startPair(t, "a"), startPair(t, "b")
+	tbl := twoPairTable(a, b)
+	tbl.Pairs[1].Adopt = "inproc:b"
+
+	dialed := 0
+	p, ph := startProxy(t, tbl, ProxyOptions{
+		DialAdopt: func(addr string, img *wal.SessionImage) error {
+			dialed++
+			if addr != "inproc:b" {
+				t.Errorf("dialAdopt addr %q, want inproc:b", addr)
+			}
+			return b.srv.AdoptSession(img)
+		},
+	})
+
+	id := idOwnedBy(t, p.View(), "a")
+	if resp, data := doJSON(t, http.MethodPost, ph.URL+"/sessions",
+		[]byte(fmt.Sprintf(`{"scenario":"simplified","id":%q}`, id))); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %s: %s", resp.Status, data)
+	}
+	if resp, data := doJSON(t, http.MethodPost, ph.URL+"/cluster/migrate",
+		[]byte(fmt.Sprintf(`{"id":%q,"to":"b"}`, id))); resp.StatusCode != http.StatusOK {
+		t.Fatalf("migrate: %s: %s", resp.Status, data)
+	}
+	if dialed != 1 {
+		t.Fatalf("dialAdopt called %d times, want 1", dialed)
+	}
+	if resp, data := doJSON(t, http.MethodGet, ph.URL+"/sessions/"+id+"/state", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("state after transport adopt: %s: %s", resp.Status, data)
+	}
+}
+
+// TestProxyMigrateAbortOnAdoptFailure pins the failure path before
+// anything durable changes hands: adoption fails, the source is
+// unfrozen, and the session keeps serving on its original pair.
+func TestProxyMigrateAbortOnAdoptFailure(t *testing.T) {
+	a, b := startPair(t, "a"), startPair(t, "b")
+	tbl := twoPairTable(a, b)
+	tbl.Pairs[1].Adopt = "inproc:b"
+
+	p, ph := startProxy(t, tbl, ProxyOptions{
+		DialAdopt: func(addr string, img *wal.SessionImage) error {
+			return fmt.Errorf("transport down")
+		},
+	})
+
+	id := idOwnedBy(t, p.View(), "a")
+	if resp, data := doJSON(t, http.MethodPost, ph.URL+"/sessions",
+		[]byte(fmt.Sprintf(`{"scenario":"simplified","id":%q}`, id))); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %s: %s", resp.Status, data)
+	}
+	resp, data := doJSON(t, http.MethodPost, ph.URL+"/cluster/migrate",
+		[]byte(fmt.Sprintf(`{"id":%q,"to":"b"}`, id)))
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("migrate with dead transport: %s, want 502: %s", resp.Status, data)
+	}
+	if got := p.View().Owner(id).Name; got != "a" {
+		t.Errorf("failed migration flipped owner to %q", got)
+	}
+	// The abort unfroze the session: it must serve again on pair a.
+	if resp, data := doJSON(t, http.MethodPost, ph.URL+"/sessions/"+id+"/ops", opsBody("k1", 2)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ops after aborted migration: %s: %s", resp.Status, data)
+	}
+	if stats := getStats(t, ph.URL); stats.Migrations != 0 {
+		t.Errorf("failed migration counted: %d", stats.Migrations)
+	}
+}
+
+// TestProxyReadyz pins the readiness gate: ready while every pair
+// resolves a leader, degraded (503) once a pair goes dark and its
+// cached leader is invalidated (the first failed routed request does
+// that in production; the test does it directly).
+func TestProxyReadyz(t *testing.T) {
+	a, b := startPair(t, "a"), startPair(t, "b")
+	p, ph := startProxy(t, twoPairTable(a, b), ProxyOptions{})
+
+	resp, data := doJSON(t, http.MethodGet, ph.URL+"/readyz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz with both pairs up: %s: %s", resp.Status, data)
+	}
+	b.hs.Close()
+	p.router.Invalidate("b")
+	resp, data = doJSON(t, http.MethodGet, ph.URL+"/readyz", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with pair b down: %s: %s, want 503", resp.Status, data)
+	}
+}
+
+// TestProxySSEStreamsThroughProxy pins that the events stream — the one
+// session route that is not request/response — flows through the proxy:
+// the backlog of an already-applied batch must arrive as SSE frames.
+func TestProxySSEStreamsThroughProxy(t *testing.T) {
+	a, b := startPair(t, "a"), startPair(t, "b")
+	_, ph := startProxy(t, twoPairTable(a, b), ProxyOptions{})
+
+	if resp, data := doJSON(t, http.MethodPost, ph.URL+"/sessions", []byte(`{"scenario":"simplified","id":"csse1"}`)); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %s: %s", resp.Status, data)
+	}
+	if resp, data := doJSON(t, http.MethodPost, ph.URL+"/sessions/csse1/ops", opsBody("k1", 3)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ops: %s: %s", resp.Status, data)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ph.URL+"/sessions/csse1/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events via proxy: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Fatalf("events content type %q", ct)
+	}
+	br := bufio.NewReader(resp.Body)
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream ended without an SSE frame: %v", err)
+		}
+		if strings.HasPrefix(line, "event:") {
+			return // a frame made it through the proxy
+		}
+	}
+}

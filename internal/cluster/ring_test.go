@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterminism pins placement as a pure function of (seed,
+// vnodes, pair names, id): two independently built rings route every id
+// identically, and a different seed routes differently somewhere —
+// placement is part of the protocol, so any drift here is a wire break.
+func TestRingDeterminism(t *testing.T) {
+	pairs := []string{"a", "b", "c"}
+	r1, err := NewRing(42, 64, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(42, 64, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := NewRing(43, 64, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := 0; i < 2000; i++ {
+		id := fmt.Sprintf("c%d", i)
+		if r1.Owner(id) != r2.Owner(id) {
+			t.Fatalf("same ring config, different owner for %s: %s vs %s", id, r1.Owner(id), r2.Owner(id))
+		}
+		if r1.Owner(id) != r3.Owner(id) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seed 42 and seed 43 rings agree on all 2000 ids — the seed is not feeding the hash")
+	}
+}
+
+// TestRingDeterminismInputOrder pins that pair declaration order does
+// not change placement: routers loading the same membership in a
+// different order must still agree.
+func TestRingDeterminismInputOrder(t *testing.T) {
+	r1, err := NewRing(7, 64, []string{"a", "b", "c", "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(7, 64, []string{"d", "c", "b", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("cx%d", i)
+		if got, want := r2.Owner(id), r1.Owner(id); got != want {
+			t.Fatalf("pair order changed placement of %s: %s vs %s", id, got, want)
+		}
+	}
+}
+
+// TestRingBalance pins the balance bound DefaultVNodes promises: across
+// 2–16 pairs, every pair's share of a large id population stays within
+// ±35% of the perfect mean.
+func TestRingBalance(t *testing.T) {
+	const ids = 20000
+	for npairs := 2; npairs <= 16; npairs++ {
+		pairs := make([]string, npairs)
+		for i := range pairs {
+			pairs[i] = fmt.Sprintf("pair-%d", i)
+		}
+		r, err := NewRing(1, DefaultVNodes, pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[string]int{}
+		for i := 0; i < ids; i++ {
+			counts[r.Owner(fmt.Sprintf("clg-%d", i))]++
+		}
+		mean := float64(ids) / float64(npairs)
+		for _, name := range pairs {
+			share := float64(counts[name])
+			if share < 0.65*mean || share > 1.35*mean {
+				t.Errorf("%d pairs: %s owns %.0f ids, outside ±35%% of mean %.0f", npairs, name, share, mean)
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovement pins consistent hashing's point: adding or
+// removing one pair moves only the sessions the changed ranges own.
+// Adding a pair to n existing ones must move roughly 1/(n+1) of the
+// ids — never more than twice that — and every moved id must land on
+// the new pair (a join must never shuffle ids between old pairs).
+// Removing it must restore the old placement exactly.
+func TestRingMinimalMovement(t *testing.T) {
+	const ids = 10000
+	for npairs := 2; npairs <= 8; npairs++ {
+		pairs := make([]string, npairs)
+		for i := range pairs {
+			pairs[i] = fmt.Sprintf("p%d", i)
+		}
+		before, err := NewRing(9, DefaultVNodes, pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := NewRing(9, DefaultVNodes, append(append([]string(nil), pairs...), "joiner"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for i := 0; i < ids; i++ {
+			id := fmt.Sprintf("cmv-%d", i)
+			ob, oa := before.Owner(id), after.Owner(id)
+			if ob == oa {
+				continue
+			}
+			if oa != "joiner" {
+				t.Fatalf("%d pairs: join moved %s from %s to %s — between surviving pairs", npairs, id, ob, oa)
+			}
+			moved++
+		}
+		ideal := float64(ids) / float64(npairs+1)
+		if f := float64(moved); f > 2*ideal {
+			t.Errorf("%d pairs: join moved %d ids, more than twice the ideal %.0f", npairs, moved, ideal)
+		}
+		if moved == 0 {
+			t.Errorf("%d pairs: join moved nothing — the new pair owns no range", npairs)
+		}
+		// Leave = the inverse membership change: placement must return to
+		// exactly the pre-join function.
+		restored, err := NewRing(9, DefaultVNodes, pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < ids; i++ {
+			id := fmt.Sprintf("cmv-%d", i)
+			if restored.Owner(id) != before.Owner(id) {
+				t.Fatalf("%d pairs: leave did not restore placement of %s", npairs, id)
+			}
+		}
+	}
+}
+
+// TestRingValidation pins constructor errors: empty membership, empty
+// names, duplicates.
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(1, 8, nil); err == nil {
+		t.Error("empty membership accepted")
+	}
+	if _, err := NewRing(1, 8, []string{"a", ""}); err == nil {
+		t.Error("empty pair name accepted")
+	}
+	if _, err := NewRing(1, 8, []string{"a", "a"}); err == nil {
+		t.Error("duplicate pair name accepted")
+	}
+	r, err := NewRing(1, 0, []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Owner("canything"); got != "a" {
+		t.Errorf("single-pair ring routed %q off-cluster", got)
+	}
+}

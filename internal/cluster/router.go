@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Router resolves which base of a pair currently leads, by probing
+// GET /readyz: the leader answers 200 "ready", a standby answers
+// "following" (503), a dead process answers nothing. Resolutions are
+// cached per pair and invalidated by the caller on any routing failure,
+// so a promotion is followed on the next request without configuration
+// changes. The HTTP client is injectable so tests route to in-process
+// handlers hermetically.
+type Router struct {
+	// Client performs the probes (and nothing else); nil means a
+	// default client with ProbeTimeout.
+	client *http.Client
+
+	mu     sync.Mutex
+	leader map[string]string // pair name → base URL
+}
+
+// ProbeTimeout bounds one /readyz probe.
+const ProbeTimeout = 2 * time.Second
+
+// NewRouter builds a router probing through client (nil for a default
+// 2s-timeout client).
+func NewRouter(client *http.Client) *Router {
+	if client == nil {
+		client = &http.Client{Timeout: ProbeTimeout}
+	}
+	return &Router{client: client, leader: map[string]string{}}
+}
+
+// readyBody is the /readyz response shape the router cares about.
+type readyBody struct {
+	Status string `json:"status"`
+}
+
+// Leader returns the pair's current leader base, probing if the cache
+// has no answer.
+func (r *Router) Leader(p *Pair) (string, error) {
+	r.mu.Lock()
+	if base, ok := r.leader[p.Name]; ok {
+		r.mu.Unlock()
+		return base, nil
+	}
+	r.mu.Unlock()
+	base, err := r.probe(p)
+	if err != nil {
+		return "", err
+	}
+	r.mu.Lock()
+	r.leader[p.Name] = base
+	r.mu.Unlock()
+	return base, nil
+}
+
+// Invalidate forgets a pair's cached leader — call it after a
+// transport error or a 5xx that suggests the leadership moved.
+func (r *Router) Invalidate(pairName string) {
+	r.mu.Lock()
+	delete(r.leader, pairName)
+	r.mu.Unlock()
+}
+
+// probe asks every base of the pair for /readyz and returns the one
+// that reports ready. A pair mid-promotion may briefly have no ready
+// base; callers retry on their own schedule.
+func (r *Router) probe(p *Pair) (string, error) {
+	var lastStatus string
+	for _, base := range p.Bases {
+		resp, err := r.client.Get(base + "/readyz")
+		if err != nil {
+			continue
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			return base, nil
+		}
+		var rb readyBody
+		if json.Unmarshal(body, &rb) == nil && rb.Status != "" {
+			lastStatus = rb.Status
+		}
+	}
+	if lastStatus != "" {
+		return "", fmt.Errorf("cluster: pair %q has no ready leader (last status %q)", p.Name, lastStatus)
+	}
+	return "", fmt.Errorf("cluster: pair %q has no reachable base", p.Name)
+}

@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeBase serves /readyz like an adpmd node: 200 "ready" while
+// leading, 503 "following" otherwise. The role flips atomically so a
+// test can promote without restarting listeners.
+func fakeBase(t *testing.T, leading bool) (*httptest.Server, *atomic.Bool) {
+	t.Helper()
+	var lead atomic.Bool
+	lead.Store(leading)
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/readyz" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if lead.Load() {
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte(`{"status":"ready"}`))
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"status":"following"}`))
+	}))
+	t.Cleanup(hs.Close)
+	return hs, &lead
+}
+
+// TestRouterFindsLeader pins the probe: of a pair's two bases the
+// router resolves the one whose /readyz reports ready, regardless of
+// declaration order.
+func TestRouterFindsLeader(t *testing.T) {
+	standby, _ := fakeBase(t, false)
+	leader, _ := fakeBase(t, true)
+	r := NewRouter(nil)
+	pair := &Pair{Name: "a", Bases: []string{standby.URL, leader.URL}}
+	base, err := r.Leader(pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != leader.URL {
+		t.Fatalf("router picked %q, want leader %q", base, leader.URL)
+	}
+}
+
+// TestRouterFollowsPromotionAfterInvalidate pins the failover
+// discipline: the resolution is cached until the caller invalidates it
+// (which every routing failure does), and the next probe finds the
+// newly promoted leader.
+func TestRouterFollowsPromotionAfterInvalidate(t *testing.T) {
+	b1, lead1 := fakeBase(t, true)
+	b2, lead2 := fakeBase(t, false)
+	r := NewRouter(nil)
+	pair := &Pair{Name: "a", Bases: []string{b1.URL, b2.URL}}
+
+	base, err := r.Leader(pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != b1.URL {
+		t.Fatalf("initial leader %q, want %q", base, b1.URL)
+	}
+
+	// Promote: b2 leads, b1 demotes. The cache still answers b1.
+	lead1.Store(false)
+	lead2.Store(true)
+	if base, err = r.Leader(pair); err != nil || base != b1.URL {
+		t.Fatalf("cached leader = %q, %v; want %q (cache must not re-probe)", base, err, b1.URL)
+	}
+
+	r.Invalidate("a")
+	if base, err = r.Leader(pair); err != nil {
+		t.Fatal(err)
+	}
+	if base != b2.URL {
+		t.Fatalf("post-promotion leader %q, want %q", base, b2.URL)
+	}
+}
+
+// TestRouterNoLeader pins the two failure shapes: a pair of standbys
+// reports the last seen status, an unreachable pair reports that no
+// base answered.
+func TestRouterNoLeader(t *testing.T) {
+	s1, _ := fakeBase(t, false)
+	s2, _ := fakeBase(t, false)
+	r := NewRouter(nil)
+	_, err := r.Leader(&Pair{Name: "a", Bases: []string{s1.URL, s2.URL}})
+	if err == nil || !strings.Contains(err.Error(), "following") {
+		t.Fatalf("two standbys: err = %v, want mention of last status %q", err, "following")
+	}
+
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	_, err = r.Leader(&Pair{Name: "b", Bases: []string{dead.URL}})
+	if err == nil || !strings.Contains(err.Error(), "no reachable base") {
+		t.Fatalf("dead pair: err = %v, want no-reachable-base", err)
+	}
+}

@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// Pair is one replicated adpmd pair in the membership table.
+type Pair struct {
+	// Name identifies the pair on the ring; it must be stable across
+	// epochs (placement hashes it).
+	Name string `json:"name"`
+	// Bases are the pair's client base URLs (leader and standby, in any
+	// order); the router probes /readyz to find which one currently
+	// leads, so promotions are followed without a table change.
+	Bases []string `json:"bases"`
+	// Adopt is the pair's replica-transport address accepting session
+	// adoption ("adopt" frames) for migration; empty disables migrating
+	// *into* this pair over the wire (in-process transfers still work).
+	Adopt string `json:"adopt,omitempty"`
+}
+
+// Table is the cluster membership + placement table: what every router
+// (proxy or client-side) must agree on. Its JSON encoding doubles as
+// the adpmproxy config file format.
+//
+// Epoch orders tables: any change — membership, seed, or a migration
+// override — bumps it, and a router holding epoch N must discard its
+// copy when it sees N+1. The fencing rule for pairs rides the same
+// number: a pair fenced at epoch N (its standby was promoted and the
+// table re-published) rejoins as follower without operator
+// intervention, because rejoining cannot contradict a table it has
+// already seen supersede it.
+type Table struct {
+	Epoch  uint64 `json:"epoch"`
+	Seed   int64  `json:"seed"`
+	VNodes int    `json:"vnodes,omitempty"`
+	Pairs  []Pair `json:"pairs"`
+	// Overrides pins individual migrated sessions to a pair, taking
+	// precedence over ring placement. A migration adds one entry (and
+	// bumps Epoch); rebalancing that finishes moving every session of a
+	// range may compact entries away.
+	Overrides map[string]string `json:"overrides,omitempty"`
+}
+
+// Validate checks the table invariants and that the ring builds.
+func (t *Table) Validate() error {
+	names := make(map[string]bool, len(t.Pairs))
+	for i := range t.Pairs {
+		p := &t.Pairs[i]
+		if p.Name == "" {
+			return fmt.Errorf("cluster: pair %d has no name", i)
+		}
+		if names[p.Name] {
+			return fmt.Errorf("cluster: duplicate pair name %q", p.Name)
+		}
+		names[p.Name] = true
+		if len(p.Bases) == 0 {
+			return fmt.Errorf("cluster: pair %q has no bases", p.Name)
+		}
+	}
+	for id, pair := range t.Overrides {
+		if !names[pair] {
+			return fmt.Errorf("cluster: override %q names unknown pair %q", id, pair)
+		}
+	}
+	_, err := t.Ring()
+	return err
+}
+
+// Ring builds the table's placement ring.
+func (t *Table) Ring() (*Ring, error) {
+	names := make([]string, len(t.Pairs))
+	for i := range t.Pairs {
+		names[i] = t.Pairs[i].Name
+	}
+	return NewRing(t.Seed, t.VNodes, names)
+}
+
+// Pair returns the named pair, or nil.
+func (t *Table) Pair(name string) *Pair {
+	for i := range t.Pairs {
+		if t.Pairs[i].Name == name {
+			return &t.Pairs[i]
+		}
+	}
+	return nil
+}
+
+// PairForBase maps a base URL back to its pair (routers use it to
+// interpret 307 Locations); nil when no pair lists it.
+func (t *Table) PairForBase(base string) *Pair {
+	for i := range t.Pairs {
+		for _, b := range t.Pairs[i].Bases {
+			if b == base {
+				return &t.Pairs[i]
+			}
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the table.
+func (t *Table) Clone() *Table {
+	cp := *t
+	cp.Pairs = append([]Pair(nil), t.Pairs...)
+	for i := range cp.Pairs {
+		cp.Pairs[i].Bases = append([]string(nil), t.Pairs[i].Bases...)
+	}
+	if t.Overrides != nil {
+		cp.Overrides = make(map[string]string, len(t.Overrides))
+		for k, v := range t.Overrides {
+			cp.Overrides[k] = v
+		}
+	}
+	return &cp
+}
+
+// ParseTable decodes and validates a table from its JSON form (the
+// adpmproxy config file).
+func ParseTable(data []byte) (*Table, error) {
+	var t Table
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("cluster: parsing table: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// ParsePairsSpec builds a table from the command-line shorthand shared
+// by adpmproxy and adpmload: 'name=base[,base2][@adoptAddr]' entries
+// joined by ';'.
+func ParsePairsSpec(s string, seed int64, vnodes int) (*Table, error) {
+	t := &Table{Epoch: 1, Seed: seed, VNodes: vnodes}
+	for _, entry := range strings.Split(s, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, fmt.Errorf("cluster: pair entry %q: want name=base[,base2][@adopt]", entry)
+		}
+		var adopt string
+		if i := strings.LastIndex(rest, "@"); i >= 0 {
+			rest, adopt = rest[:i], rest[i+1:]
+		}
+		var bases []string
+		for _, b := range strings.Split(rest, ",") {
+			if b = strings.TrimSpace(b); b != "" {
+				bases = append(bases, strings.TrimSuffix(b, "/"))
+			}
+		}
+		t.Pairs = append(t.Pairs, Pair{Name: strings.TrimSpace(name), Bases: bases, Adopt: adopt})
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// View is a Table plus its compiled ring: the unit a router swaps
+// atomically when the epoch advances.
+type View struct {
+	Table *Table
+	ring  *Ring
+}
+
+// NewView compiles a validated table.
+func NewView(t *Table) (*View, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	ring, err := t.Ring()
+	if err != nil {
+		return nil, err
+	}
+	return &View{Table: t, ring: ring}, nil
+}
+
+// Owner resolves a session id to its owning pair: migration overrides
+// first, ring placement otherwise.
+func (v *View) Owner(id string) *Pair {
+	if pair, ok := v.Table.Overrides[id]; ok {
+		if p := v.Table.Pair(pair); p != nil {
+			return p
+		}
+	}
+	return v.Table.Pair(v.ring.Owner(id))
+}
+
+// Minter mints externally-unique session ids for one router: "c" +
+// the router's tag + "x" + a counter. Two routers with distinct tags
+// can mint concurrently without collision; a single seeded run mints
+// deterministically.
+type Minter struct {
+	tag string
+	n   atomic.Uint64
+}
+
+// NewMinter creates a minter with the given tag (letters/digits/"-").
+func NewMinter(tag string) *Minter { return &Minter{tag: tag} }
+
+// Mint returns the next session id.
+func (m *Minter) Mint() string {
+	return fmt.Sprintf("c%sx%d", m.tag, m.n.Add(1))
+}

@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestParsePairsSpec pins the command-line shorthand shared by
+// adpmproxy and adpmload: names, multiple bases, optional adopt
+// addresses, trailing-slash trimming.
+func TestParsePairsSpec(t *testing.T) {
+	tbl, err := ParsePairsSpec("a=http://h1:8080/,http://h2:8080@h1:9090; b=http://h3:8080", 7, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Epoch != 1 || tbl.Seed != 7 || tbl.VNodes != 32 {
+		t.Fatalf("table header %+v, want epoch=1 seed=7 vnodes=32", tbl)
+	}
+	if len(tbl.Pairs) != 2 {
+		t.Fatalf("got %d pairs, want 2", len(tbl.Pairs))
+	}
+	a := tbl.Pair("a")
+	if a == nil || len(a.Bases) != 2 || a.Bases[0] != "http://h1:8080" || a.Bases[1] != "http://h2:8080" {
+		t.Fatalf("pair a = %+v (trailing slash must be trimmed)", a)
+	}
+	if a.Adopt != "h1:9090" {
+		t.Fatalf("pair a adopt = %q, want h1:9090", a.Adopt)
+	}
+	b := tbl.Pair("b")
+	if b == nil || b.Adopt != "" || len(b.Bases) != 1 {
+		t.Fatalf("pair b = %+v", b)
+	}
+
+	for _, bad := range []string{
+		"noequals",                      // missing name=...
+		"a=http://h1;a=http://h2",       // duplicate name
+		"a=",                            // no bases
+		"a=http://h1;b=http://h1,,,;c=", // c has no bases
+	} {
+		if _, err := ParsePairsSpec(bad, 1, 0); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestTableValidate pins the structural invariants and the override
+// referential check.
+func TestTableValidate(t *testing.T) {
+	ok := &Table{Epoch: 1, Seed: 1, Pairs: []Pair{{Name: "a", Bases: []string{"http://x"}}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := ok.Clone()
+	bad.Overrides = map[string]string{"c1": "ghost"}
+	if err := bad.Validate(); err == nil {
+		t.Error("override naming an unknown pair accepted")
+	}
+	bad = ok.Clone()
+	bad.Pairs = append(bad.Pairs, Pair{Name: "a", Bases: []string{"http://y"}})
+	if err := bad.Validate(); err == nil {
+		t.Error("duplicate pair name accepted")
+	}
+	bad = ok.Clone()
+	bad.Pairs[0].Bases = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("pair without bases accepted")
+	}
+}
+
+// TestParseTableRoundTrip pins that the JSON config format round-trips
+// through ParseTable (the adpmproxy config file).
+func TestParseTableRoundTrip(t *testing.T) {
+	in := &Table{
+		Epoch:     3,
+		Seed:      11,
+		VNodes:    64,
+		Pairs:     []Pair{{Name: "a", Bases: []string{"http://x"}, Adopt: "x:9"}, {Name: "b", Bases: []string{"http://y"}}},
+		Overrides: map[string]string{"cmoved1": "b"},
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseTable(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, _ := json.Marshal(out)
+	if string(back) != string(data) {
+		t.Fatalf("round trip changed the table:\n in: %s\nout: %s", data, back)
+	}
+}
+
+// TestViewOwnerOverride pins precedence: a migration override beats
+// ring placement, and removing it restores the ring's answer.
+func TestViewOwnerOverride(t *testing.T) {
+	tbl := &Table{Epoch: 1, Seed: 1, Pairs: []Pair{
+		{Name: "a", Bases: []string{"http://x"}},
+		{Name: "b", Bases: []string{"http://y"}},
+	}}
+	v, err := NewView(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := ""
+	for i := 0; i < 1000 && id == ""; i++ {
+		probe := "cov" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		if v.Owner(probe).Name == "a" {
+			id = probe
+		}
+	}
+	if id == "" {
+		t.Fatal("no probe id lands on pair a")
+	}
+	moved := tbl.Clone()
+	moved.Overrides = map[string]string{id: "b"}
+	moved.Epoch++
+	v2, err := NewView(moved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v2.Owner(id).Name; got != "b" {
+		t.Fatalf("override ignored: owner %q, want b", got)
+	}
+	if got := v.Owner(id).Name; got != "a" {
+		t.Fatalf("original view mutated: owner %q, want a", got)
+	}
+}
+
+// TestMinter pins the id shape ("c<tag>x<n>") and that distinct tags
+// cannot collide.
+func TestMinter(t *testing.T) {
+	m1, m2 := NewMinter("p0"), NewMinter("p1")
+	if got := m1.Mint(); got != "cp0x1" {
+		t.Fatalf("first mint %q, want cp0x1", got)
+	}
+	if got := m1.Mint(); got != "cp0x2" {
+		t.Fatalf("second mint %q, want cp0x2", got)
+	}
+	if a, b := m1.Mint(), m2.Mint(); a == b {
+		t.Fatalf("distinct tags collided on %q", a)
+	}
+}
+
+// TestPairForBase pins 307-Location interpretation: any of a pair's
+// bases maps back to it, unknown bases map to nil.
+func TestPairForBase(t *testing.T) {
+	tbl := &Table{Epoch: 1, Seed: 1, Pairs: []Pair{
+		{Name: "a", Bases: []string{"http://x:1", "http://x:2"}},
+		{Name: "b", Bases: []string{"http://y:1"}},
+	}}
+	if p := tbl.PairForBase("http://x:2"); p == nil || p.Name != "a" {
+		t.Fatalf("PairForBase(x:2) = %v, want a", p)
+	}
+	if p := tbl.PairForBase("http://z:1"); p != nil {
+		t.Fatalf("unknown base mapped to %q", p.Name)
+	}
+}

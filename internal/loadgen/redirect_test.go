@@ -1,0 +1,98 @@
+package loadgen
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// redirectTarget wraps a real in-process target, answering the first
+// ops POST with a synthetic 307 (the answer a tombstoned pair gives
+// after its session migrated away); every other request passes through.
+// It records LearnRedirect calls like a routing-table target would.
+type redirectTarget struct {
+	inner Target
+
+	mu         sync.Mutex
+	redirected bool
+	learned    []string // "path -> location"
+}
+
+func (rt *redirectTarget) Do(method, path string, body []byte) (*Response, error) {
+	rt.mu.Lock()
+	fire := method == http.MethodPost && strings.HasSuffix(path, "/ops") && !rt.redirected
+	if fire {
+		rt.redirected = true
+	}
+	rt.mu.Unlock()
+	if fire {
+		h := http.Header{}
+		h.Set("Location", "http://pair-b.example"+path)
+		return &Response{Status: http.StatusTemporaryRedirect, Header: h}, nil
+	}
+	return rt.inner.Do(method, path, body)
+}
+
+func (rt *redirectTarget) LearnRedirect(path, location string) {
+	rt.mu.Lock()
+	rt.learned = append(rt.learned, path+" -> "+location)
+	rt.mu.Unlock()
+}
+
+// TestRunnerFollows307OutsideTaxonomy pins the redirect contract of the
+// runner: a 307 is routing, not an outcome. The hop is re-issued
+// immediately (the run still succeeds end to end), counted in
+// Redirects, reported to the target's RedirectLearner, and excluded
+// from both the status taxonomy and the retry budget.
+func TestRunnerFollows307OutsideTaxonomy(t *testing.T) {
+	w := testWorkload()
+	w.Clients, w.SessionsPerClient = 1, 1
+	w.RetryFrac, w.DeleteFrac = 0, 0
+	progs, err := BuildPrograms(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.Open(server.Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Drain()
+
+	rt := &redirectTarget{inner: &HandlerTarget{Handler: srv.Handler()}}
+	r := &Runner{Target: rt, Programs: progs[:1], Seed: w.Seed}
+	res, err := r.Run([]Phase{{Name: "steady", Clients: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Redirects != 1 {
+		t.Errorf("Redirects = %d, want 1", res.Redirects)
+	}
+	if res.Retries != 0 {
+		t.Errorf("Retries = %d — the 307 hop consumed a retry attempt", res.Retries)
+	}
+	if len(rt.learned) != 1 {
+		t.Fatalf("LearnRedirect called %d times, want 1: %v", len(rt.learned), rt.learned)
+	}
+	if !strings.Contains(rt.learned[0], "http://pair-b.example/sessions/") {
+		t.Errorf("learner saw %q, want the Location header", rt.learned[0])
+	}
+
+	// The taxonomy records only final landings: every ops request must
+	// have ended 200, with no 307 entry anywhere.
+	ops := res.endpoints[StepOps.String()]
+	if ops == nil {
+		t.Fatal("no ops endpoint in the result")
+	}
+	if n := ops.statuses[http.StatusTemporaryRedirect]; n != 0 {
+		t.Errorf("%d 307s entered the status taxonomy", n)
+	}
+	for code, n := range ops.statuses {
+		if code != http.StatusOK {
+			t.Errorf("ops taxonomy has %d requests at status %d, want only 200s", n, code)
+		}
+	}
+}

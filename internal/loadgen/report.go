@@ -39,6 +39,7 @@ type Report struct {
 	ThroughputRPS  float64          `json:"throughput_rps"`
 	Replays        uint64           `json:"idempotent_replays"`
 	Retries        uint64           `json:"retries,omitempty"`
+	Redirects      uint64           `json:"redirects,omitempty"`
 	BackoffSeconds float64          `json:"backoff_seconds,omitempty"`
 	Deliveries     uint64           `json:"deliveries,omitempty"`
 	Total          EndpointReport   `json:"total"`
@@ -87,6 +88,7 @@ func BuildReport(w Workload, res *RunResult, oracle *OracleResult) *Report {
 		Requests:       res.Requests,
 		Replays:        res.Replays,
 		Retries:        res.Retries,
+		Redirects:      res.Redirects,
 		BackoffSeconds: res.Backoff.Seconds(),
 		Deliveries:     res.Deliveries,
 		Oracle:         oracle,
@@ -138,6 +140,9 @@ func (rep *Report) Human() string {
 	}
 	if rep.Retries > 0 {
 		fmt.Fprintf(&b, "  reactive retries: %d (%.2fs backing off)\n", rep.Retries, rep.BackoffSeconds)
+	}
+	if rep.Redirects > 0 {
+		fmt.Fprintf(&b, "  migration redirects followed: %d\n", rep.Redirects)
 	}
 	if rep.Deliveries > 0 {
 		fmt.Fprintf(&b, "  notifications delivered: %d\n", rep.Deliveries)

@@ -1,0 +1,272 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// RouterTarget is client-side cluster routing: instead of sending every
+// request through adpmproxy, the load generator holds the routing table
+// itself, mints session ids, and dials the owning pair's leader
+// directly — the "smart client" mode. It resolves leaders by /readyz
+// probe (following promotions after a transport error) and learns
+// migration overrides from 307 redirects via the RedirectLearner hook,
+// so a mid-run cross-pair migration costs redirect hops, not errors.
+type RouterTarget struct {
+	// Client performs routed requests; nil means a 30s-timeout default.
+	// Injectable so tests can route fake base URLs onto in-process
+	// handlers through a custom RoundTripper.
+	Client *http.Client
+	// MintTag distinguishes this generator's session ids ("lg" when
+	// empty). Two generators sharing a cluster need distinct tags.
+	MintTag string
+
+	router *cluster.Router
+	minter *cluster.Minter
+
+	mu   sync.Mutex
+	view *cluster.View
+
+	initOnce sync.Once
+}
+
+// NewRouterTarget compiles the table into a routing target.
+func NewRouterTarget(t *cluster.Table, client *http.Client, mintTag string) (*RouterTarget, error) {
+	view, err := cluster.NewView(t)
+	if err != nil {
+		return nil, err
+	}
+	rt := &RouterTarget{Client: client, MintTag: mintTag, view: view}
+	rt.init()
+	return rt, nil
+}
+
+func (rt *RouterTarget) init() {
+	rt.initOnce.Do(func() {
+		if rt.Client == nil {
+			rt.Client = &http.Client{Timeout: 30 * time.Second}
+		}
+		// Never auto-follow: 307s must surface to the runner so the
+		// learn-then-retry path (and the redirect taxonomy) stays honest.
+		noFollow := *rt.Client
+		noFollow.CheckRedirect = func(req *http.Request, via []*http.Request) error {
+			return http.ErrUseLastResponse
+		}
+		rt.Client = &noFollow
+		tag := rt.MintTag
+		if tag == "" {
+			tag = "lg"
+		}
+		rt.minter = cluster.NewMinter(tag)
+		rt.router = cluster.NewRouter(rt.Client)
+	})
+}
+
+// currentView returns the table view under the lock.
+func (rt *RouterTarget) currentView() *cluster.View {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.view
+}
+
+// resolve maps a session id to the owning pair's current leader base.
+func (rt *RouterTarget) resolve(id string) (string, *cluster.Pair, error) {
+	pair := rt.currentView().Owner(id)
+	if pair == nil {
+		return "", nil, fmt.Errorf("loadgen: no pair owns session %q", id)
+	}
+	base, err := rt.router.Leader(pair)
+	if err != nil {
+		rt.router.Invalidate(pair.Name)
+		return "", pair, err
+	}
+	return base, pair, nil
+}
+
+// sessionID extracts the id from a /sessions/{id}[/...] path.
+func sessionID(path string) string {
+	rest, ok := strings.CutPrefix(path, "/sessions/")
+	if !ok {
+		return ""
+	}
+	id, _, _ := strings.Cut(rest, "/")
+	return id
+}
+
+// Do implements Target: mint-and-route creates, route everything else
+// by the id in the path. One transport error re-probes the pair and
+// retries once — the kill-and-promote failover path.
+func (rt *RouterTarget) Do(method, path string, body []byte) (*Response, error) {
+	rt.init()
+	id := sessionID(path)
+	if method == http.MethodPost && path == "/sessions" {
+		// Placement hashes the id, so the id must exist before the
+		// request is routable: mint one and inject it into the body.
+		var req map[string]json.RawMessage
+		if len(bytes.TrimSpace(body)) > 0 {
+			if err := json.Unmarshal(body, &req); err != nil {
+				return nil, fmt.Errorf("loadgen: create body: %w", err)
+			}
+		}
+		if req == nil {
+			req = map[string]json.RawMessage{}
+		}
+		if raw, ok := req["id"]; ok {
+			_ = json.Unmarshal(raw, &id)
+		}
+		if id == "" {
+			id = rt.minter.Mint()
+			idRaw, _ := json.Marshal(id)
+			req["id"] = idRaw
+			body, _ = json.Marshal(req)
+		}
+	}
+	if id == "" {
+		return nil, fmt.Errorf("loadgen: path %q has no session id to route by", path)
+	}
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		base, pair, err := rt.resolve(id)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := rt.doOnce(base+path, method, body)
+		if err != nil {
+			// Leader likely died: invalidate and re-probe (the standby
+			// answers "ready" once promoted).
+			rt.router.Invalidate(pair.Name)
+			lastErr = err
+			continue
+		}
+		return resp, nil
+	}
+	return nil, lastErr
+}
+
+// doOnce performs one HTTP exchange.
+func (rt *RouterTarget) doOnce(u, method string, body []byte) (*Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, u, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := rt.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{Status: resp.StatusCode, Body: b, Header: resp.Header}, nil
+}
+
+// LearnRedirect implements RedirectLearner: a 307's Location names the
+// base the session moved to; mapping it back through the table pins
+// the session to its new pair under a bumped epoch, so the runner's
+// re-issued request routes correctly.
+func (rt *RouterTarget) LearnRedirect(path, location string) {
+	id := sessionID(path)
+	if id == "" || location == "" {
+		return
+	}
+	u, err := url.Parse(location)
+	if err != nil {
+		return
+	}
+	base := u.Scheme + "://" + u.Host
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	pair := rt.view.Table.PairForBase(base)
+	if pair == nil || rt.view.Table.Overrides[id] == pair.Name {
+		return
+	}
+	t := rt.view.Table.Clone()
+	if t.Overrides == nil {
+		t.Overrides = map[string]string{}
+	}
+	t.Overrides[id] = pair.Name
+	t.Epoch++
+	if v, err := cluster.NewView(t); err == nil {
+		rt.view = v
+	}
+}
+
+// Stream implements StreamTarget: SSE subscriptions route exactly like
+// requests, so a reader lands on the pair that owns the session.
+func (rt *RouterTarget) Stream(path string) (io.ReadCloser, int, error) {
+	rt.init()
+	id := sessionID(path)
+	if id == "" {
+		return nil, 0, fmt.Errorf("loadgen: path %q has no session id to route by", path)
+	}
+	base, _, err := rt.resolve(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+	if err != nil {
+		cancel()
+		return nil, 0, err
+	}
+	// A dedicated timeout-free client keeps a healthy long-lived stream
+	// alive; Close cancels the request context instead.
+	stream := &http.Client{Transport: rt.Client.Transport}
+	resp, err := stream.Do(req)
+	if err != nil {
+		cancel()
+		return nil, 0, err
+	}
+	return &cancelCloser{ReadCloser: resp.Body, cancel: cancel}, resp.StatusCode, nil
+}
+
+// Epoch reports the target's current table epoch (tests assert the
+// learn-on-307 path bumps it).
+func (rt *RouterTarget) Epoch() uint64 {
+	return rt.currentView().Table.Epoch
+}
+
+// WaitReady polls every pair until each resolves a ready leader.
+func (rt *RouterTarget) WaitReady(timeout time.Duration) error {
+	rt.init()
+	deadline := time.Now().Add(timeout)
+	for {
+		view := rt.currentView()
+		var lastErr error
+		ok := true
+		for i := range view.Table.Pairs {
+			pair := &view.Table.Pairs[i]
+			if _, err := rt.router.Leader(pair); err != nil {
+				rt.router.Invalidate(pair.Name)
+				lastErr = err
+				ok = false
+			}
+		}
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("loadgen: cluster not ready after %v: %v", timeout, lastErr)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

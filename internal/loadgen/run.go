@@ -85,8 +85,13 @@ type RunResult struct {
 	// Retries counts reactive re-attempts (not the injected duplicate
 	// steps, which are Replays); Backoff is the total time spent
 	// sleeping between attempts, across all workers.
-	Retries   uint64
-	Backoff   time.Duration
+	Retries uint64
+	Backoff time.Duration
+	// Redirects counts 307 hops followed after a session migrated
+	// across pairs. A redirect is routing, not an outcome: the hop is
+	// excluded from the latency/status taxonomy, which records only the
+	// request's final landing.
+	Redirects uint64
 	Phases    []PhaseStats
 	Sessions  []*SessionTrace
 	endpoints map[string]*endpointAgg
@@ -120,6 +125,7 @@ type workerState struct {
 	deliveries uint64
 	retries    uint64
 	backoff    time.Duration
+	redirects  uint64
 	sessions   []*SessionTrace
 	// rng drives reactive-retry jitter; seeded per worker so backoff
 	// schedules are independent. Nil when the worker never retries.
@@ -166,6 +172,7 @@ func (w *workerState) fold(o *workerState) {
 	w.deliveries += o.deliveries
 	w.retries += o.retries
 	w.backoff += o.backoff
+	w.redirects += o.redirects
 	w.sessions = append(w.sessions, o.sessions...)
 }
 
@@ -189,6 +196,12 @@ type Runner struct {
 	// them disabled.
 	Retry RetryPolicy
 }
+
+// maxRedirectHops bounds how many 307s one request follows: one stale
+// routing view plus one concurrent migration is the deepest legitimate
+// chain; a longer one is a routing loop and the final 307 is reported
+// as the request's outcome.
+const maxRedirectHops = 3
 
 // subscriberDrainGrace is how long execProgram keeps a session's
 // subscribers attached after its last step, letting the final batch's
@@ -258,6 +271,7 @@ func (res *RunResult) merge(mu *sync.Mutex, w *workerState) {
 	res.Deliveries += w.deliveries
 	res.Retries += w.retries
 	res.Backoff += w.backoff
+	res.Redirects += w.redirects
 	res.Sessions = append(res.Sessions, w.sessions...)
 }
 
@@ -369,6 +383,7 @@ func (r *Runner) execProgram(prog *Program, ws *workerState) {
 	// StepOps path needs it to classify an Idempotent-Replay ack
 	// correctly.
 	do := func(label, method, path string, body []byte) (*Response, bool) {
+		hops := 0
 		for attempt := 0; ; attempt++ {
 			t0 := time.Now()
 			resp, err := r.Target.Do(method, path, body)
@@ -376,6 +391,20 @@ func (r *Runner) execProgram(prog *Program, ws *workerState) {
 			status := 0
 			if err == nil {
 				status = resp.Status
+			}
+			if status == http.StatusTemporaryRedirect && hops < maxRedirectHops {
+				// The session migrated to another pair. Teach the target
+				// (so routing-table mode re-resolves the owner) and re-issue
+				// the same request: idempotency keys make the replay safe.
+				// A hop is routing, not an outcome — it neither enters the
+				// taxonomy nor consumes a retry attempt.
+				hops++
+				ws.redirects++
+				if rl, ok := r.Target.(RedirectLearner); ok {
+					rl.LearnRedirect(path, resp.Header.Get("Location"))
+				}
+				attempt--
+				continue
 			}
 			if attempt < pol.Max && retryable(status) {
 				var hdr http.Header

@@ -23,6 +23,15 @@ type Target interface {
 	Do(method, path string, body []byte) (*Response, error)
 }
 
+// RedirectLearner is the optional routing extension of a Target: when
+// a request answers 307 (session migrated across pairs), the runner
+// calls LearnRedirect with the request path and the Location header
+// before re-issuing the request, so a routing-table target can flip
+// the session's owner instead of bouncing off the tombstone again.
+type RedirectLearner interface {
+	LearnRedirect(path, location string)
+}
+
 // HandlerTarget drives an http.Handler directly — no sockets, no
 // network jitter — so hermetic load tests measure only the server
 // stack and stay runnable anywhere.

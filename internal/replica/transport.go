@@ -21,11 +21,21 @@ import (
 
 // wireReq is one request frame.
 type wireReq struct {
-	Op    string `json:"op"` // pos|append|rotate|copy|reset|handoff
+	Op    string `json:"op"` // pos|append|rotate|copy|reset|handoff|adopt
 	Shard int    `json:"shard"`
 	Seg   int    `json:"seg,omitempty"`
 	Off   int64  `json:"off,omitempty"`
 	Data  []byte `json:"data,omitempty"`
+}
+
+// Adopter is the optional session-migration extension of a served
+// peer: "adopt" frames carry one wal.SessionImage (the exported
+// history of a parked session) and install it durably on the receiving
+// pair. internal/cluster ships migrations through the same framed,
+// CRC-checked transport WAL replication uses; peers that do not
+// implement Adopter reject the verb.
+type Adopter interface {
+	Adopt(img *wal.SessionImage) error
 }
 
 // wireResp is one response frame. ErrKind carries the protocol's typed
@@ -137,6 +147,18 @@ func serveConn(conn net.Conn, peer Peer) {
 			pos, err = peer.Reset(req.Shard)
 		case "handoff":
 			err = peer.Handoff()
+		case "adopt":
+			a, ok := peer.(Adopter)
+			if !ok {
+				err = fmt.Errorf("replica: peer does not accept session adoption")
+				break
+			}
+			var img wal.SessionImage
+			if err = json.Unmarshal(req.Data, &img); err != nil {
+				err = fmt.Errorf("replica: undecodable adopt image: %w", err)
+				break
+			}
+			err = a.Adopt(&img)
 		default:
 			err = fmt.Errorf("replica: unknown op %q", req.Op)
 		}
@@ -234,6 +256,17 @@ func (c *Client) Reset(shard int) (Pos, error) {
 // Handoff implements Peer.
 func (c *Client) Handoff() error {
 	_, err := c.call(&wireReq{Op: "handoff"})
+	return err
+}
+
+// Adopt implements Adopter: it ships one session image to the remote
+// peer, which installs it durably before acknowledging.
+func (c *Client) Adopt(img *wal.SessionImage) error {
+	data, err := json.Marshal(img)
+	if err != nil {
+		return fmt.Errorf("replica: encoding adopt image: %w", err)
+	}
+	_, err = c.call(&wireReq{Op: "adopt", Data: data})
 	return err
 }
 

@@ -221,6 +221,12 @@ func (sh *shard) openShardWAL(dataDir string, policy wal.SyncPolicy, segBytes in
 	}
 	now := sh.now()
 	for id, img := range info.Sessions {
+		if img.Moved != "" {
+			// A forwarding tombstone, not a session: the id migrated away
+			// and misroutes keep answering 307 after recovery.
+			sh.moved[id] = img.Moved
+			continue
+		}
 		scn, rerr := resolveImageScenario(img)
 		label := ""
 		if rerr == nil {
@@ -234,6 +240,7 @@ func (sh *shard) openShardWAL(dataDir string, policy wal.SyncPolicy, segBytes in
 		}
 	}
 	sh.nParked.Store(int64(len(sh.parked)))
+	sh.nMoved.Store(int64(len(sh.moved)))
 	if sh.rec.Enabled() {
 		sh.rec.Emit(trace.Event{
 			Kind:      trace.KindRecover,
@@ -282,20 +289,36 @@ func (sh *shard) maybeRotate() {
 		return
 	}
 	snap := &wal.Record{Type: wal.TypeSnapshot, NextSeq: sh.seqNow()}
-	ids := make([]string, 0, len(sh.sessions)+len(sh.parked))
+	ids := make([]string, 0, len(sh.sessions)+len(sh.parked)+len(sh.migrating)+len(sh.moved))
 	for id := range sh.sessions {
 		ids = append(ids, id)
 	}
 	for id := range sh.parked {
 		ids = append(ids, id)
 	}
+	// Mid-migration images and moved tombstones must survive compaction
+	// too: losing a frozen image would turn an aborted migration into
+	// data loss, and losing a tombstone would turn a misroute into a
+	// resurrection.
+	for id := range sh.migrating {
+		ids = append(ids, id)
+	}
+	for id := range sh.moved {
+		ids = append(ids, id)
+	}
 	sort.Strings(ids)
 	for _, id := range ids {
 		var img *wal.SessionImage
-		if hs := sh.sessions[id]; hs != nil {
-			img = hs.img
-		} else {
+		switch {
+		case sh.sessions[id] != nil:
+			img = sh.sessions[id].img
+		case sh.parked[id] != nil:
 			img = sh.parked[id].img
+		case sh.migrating[id] != nil:
+			img = sh.migrating[id].img
+		default:
+			snap.Sessions = append(snap.Sessions, wal.SessionImage{ID: id, Moved: sh.moved[id]})
+			continue
 		}
 		snap.Sessions = append(snap.Sessions, *img.Clone())
 	}
@@ -319,6 +342,12 @@ func (sh *shard) lookup(id string) (*hostedSession, error) {
 	}
 	p := sh.parked[id]
 	if p == nil {
+		if sh.migrating[id] != nil {
+			return nil, fmt.Errorf("%w: session %q", ErrMigrating, id)
+		}
+		if loc := sh.moved[id]; loc != "" {
+			return nil, &MovedError{ID: id, Location: loc}
+		}
 		return nil, ErrUnknownSession
 	}
 	hs, err := sh.buildFromImage(p.img, p.tracedBatches)

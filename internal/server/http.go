@@ -7,9 +7,11 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/dpm"
+	"repro/internal/wal"
 )
 
 // maxBodyBytes bounds request bodies; DDDL sources and op batches are
@@ -85,7 +87,65 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	}))
 	mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReady))
+	// Migration protocol (driven by a cluster router; see
+	// internal/cluster and migrate.go's crash-ordering contract).
+	mux.HandleFunc("POST /sessions/{id}/migrate", s.instrument("migrate", s.handleMigrateBegin))
+	mux.HandleFunc("POST /sessions/{id}/migrate/complete", s.instrument("migrate", s.handleMigrateComplete))
+	mux.HandleFunc("POST /sessions/{id}/migrate/abort", s.instrument("migrate", s.handleMigrateAbort))
+	mux.HandleFunc("POST /adopt", s.instrument("adopt", s.handleAdopt))
 	return mux
+}
+
+// handleMigrateBegin parks and freezes the session, answering with its
+// exported image for the router to ship.
+func (s *Server) handleMigrateBegin(w http.ResponseWriter, r *http.Request) {
+	img, err := s.BeginMigrate(r.PathValue("id"))
+	if err != nil {
+		writeErrReq(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, img)
+}
+
+// migrateCompleteRequest is the POST .../migrate/complete body.
+type migrateCompleteRequest struct {
+	Location string `json:"location"`
+}
+
+func (s *Server) handleMigrateComplete(w http.ResponseWriter, r *http.Request) {
+	var req migrateCompleteRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.CompleteMigrate(r.PathValue("id"), req.Location); err != nil {
+		writeErrReq(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "moved", "location": req.Location})
+}
+
+func (s *Server) handleMigrateAbort(w http.ResponseWriter, r *http.Request) {
+	if err := s.AbortMigrate(r.PathValue("id")); err != nil {
+		writeErrReq(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "aborted"})
+}
+
+// handleAdopt installs a shipped session image (the HTTP twin of the
+// replica transport's "adopt" verb; both land in Server.AdoptSession).
+func (s *Server) handleAdopt(w http.ResponseWriter, r *http.Request) {
+	var img wal.SessionImage
+	if err := decodeBody(w, r, &img); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.AdoptSession(&img); err != nil {
+		writeErrReq(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "adopted", "id": img.ID})
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -110,13 +170,14 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	// CreateSession resolves the name/source itself and — durably — logs
 	// exactly what the client sent, so recovery reparses the same input.
 	resp, err := s.CreateSession(CreateSpec{
+		ID:     req.ID,
 		Name:   req.Scenario,
 		Source: req.Source,
 		Mode:   mode,
 		MaxOps: req.MaxOps,
 	})
 	if err != nil {
-		writeErr(w, err)
+		writeErrReq(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, resp)
@@ -147,7 +208,7 @@ func (s *Server) handleOps(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, replayed, err := s.ApplyKeyed(r.PathValue("id"), key, ops)
 	if err != nil {
-		writeErr(w, err)
+		writeErrReq(w, r, err)
 		return
 	}
 	if replayed {
@@ -163,7 +224,7 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 	// what writeJSON(StateResponse) produced before the cache existed.
 	b, err := s.StateBytes(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, err)
+		writeErrReq(w, r, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -174,7 +235,7 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	resp, err := s.Delete(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, err)
+		writeErrReq(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -212,9 +273,30 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 }
 
 // writeErr maps the server error taxonomy onto HTTP statuses.
-func writeErr(w http.ResponseWriter, err error) {
+func writeErr(w http.ResponseWriter, err error) { writeErrReq(w, nil, err) }
+
+// writeErrReq is writeErr with the request available, so a moved
+// session's 307 can carry a full Location (forwarding base + the
+// path the client actually asked for).
+func writeErrReq(w http.ResponseWriter, r *http.Request, err error) {
 	status := http.StatusInternalServerError
+	var me *MovedError
 	switch {
+	case errors.As(err, &me):
+		// The session migrated: same method, same body, new owner. 307
+		// (not 301/302) so POSTs retry verbatim — the idempotency key
+		// layer makes the cross-node retry exactly-once.
+		loc := me.Location
+		if r != nil && (strings.HasPrefix(loc, "http://") || strings.HasPrefix(loc, "https://")) {
+			loc = strings.TrimSuffix(loc, "/") + r.URL.RequestURI()
+		}
+		w.Header().Set("Location", loc)
+		status = http.StatusTemporaryRedirect
+	case errors.Is(err, ErrMigrating):
+		// Frozen mid-transfer: ownership resolves within the migration's
+		// round trip, so a short retry lands on whichever side won.
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusServiceUnavailable
 	case errors.Is(err, ErrInvalid):
 		status = http.StatusBadRequest
 	case errors.Is(err, ErrUnknownSession):

@@ -18,7 +18,7 @@ import (
 // (7/12 allocs/op) never touch this code.
 
 // endpointLabels is the fixed route set, in display order.
-var endpointLabels = []string{"create", "ops", "state", "events", "delete", "stats", "healthz", "readyz"}
+var endpointLabels = []string{"create", "ops", "state", "events", "delete", "migrate", "adopt", "stats", "healthz", "readyz"}
 
 // endpointRecorder accumulates one route's latency and status counts.
 type endpointRecorder struct {

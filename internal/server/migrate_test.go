@@ -1,0 +1,298 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/dpm"
+	"repro/internal/wal"
+)
+
+// migratedSession creates a durable session with two applied batches
+// and returns its id plus its serialized state.
+func migratedSession(t *testing.T, s *Server) (string, []byte) {
+	t.Helper()
+	c := mustCreate(t, s, "simplified", 0)
+	applyKeyed(t, s, c.ID, "m1", []dpm.Operation{synth("AmpDesign", "Width", 3)})
+	applyKeyed(t, s, c.ID, "m2", []dpm.Operation{synth("AmpDesign", "Ind", 2)})
+	st, err := s.StateBytes(c.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.ID, st
+}
+
+// TestBeginMigrateFreezes pins step 1 of the protocol: the session
+// parks, every request answers ErrMigrating, and the exported image
+// carries the full batch history.
+func TestBeginMigrateFreezes(t *testing.T) {
+	s := newDurableServer(t, Options{Shards: 1})
+	id, _ := migratedSession(t, s)
+
+	img, err := s.BeginMigrate(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.ID != id || len(img.Ops) != 2 {
+		t.Fatalf("exported image id=%q ops=%d, want %q with 2 batches", img.ID, len(img.Ops), id)
+	}
+	if _, err := s.State(id); !errors.Is(err, ErrMigrating) {
+		t.Fatalf("State during migration: %v, want ErrMigrating", err)
+	}
+	if _, err := s.Apply(id, []dpm.Operation{synth("AmpDesign", "Bias", 4)}); !errors.Is(err, ErrMigrating) {
+		t.Fatalf("Apply during migration: %v, want ErrMigrating", err)
+	}
+	// A second begin on the frozen session must refuse, not double-export.
+	if _, err := s.BeginMigrate(id); !errors.Is(err, ErrMigrating) {
+		t.Fatalf("second BeginMigrate: %v, want ErrMigrating", err)
+	}
+}
+
+// TestAbortMigrateUnfreezes pins the failure path: after an abort the
+// session serves again as if the migration never started.
+func TestAbortMigrateUnfreezes(t *testing.T) {
+	s := newDurableServer(t, Options{Shards: 1})
+	id, before := migratedSession(t, s)
+
+	if _, err := s.BeginMigrate(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AbortMigrate(id); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.StateBytes(id)
+	if err != nil {
+		t.Fatalf("State after abort: %v", err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("abort changed the session state")
+	}
+	if _, _, err := s.ApplyKeyed(id, "m3", []dpm.Operation{synth("AmpDesign", "Bias", 4)}); err != nil {
+		t.Fatalf("apply after abort: %v", err)
+	}
+}
+
+// TestCompleteMigrateTombstones pins step 3: the moved tombstone is
+// durable — ErrMoved with the forwarding location, surviving a restart.
+func TestCompleteMigrateTombstones(t *testing.T) {
+	s := newDurableServer(t, Options{Shards: 1})
+	id, _ := migratedSession(t, s)
+
+	if _, err := s.BeginMigrate(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CompleteMigrate(id, "http://pair-b"); err != nil {
+		t.Fatal(err)
+	}
+	var moved *MovedError
+	if _, err := s.State(id); !errors.As(err, &moved) || moved.Location != "http://pair-b" {
+		t.Fatalf("State after complete: %v, want MovedError to http://pair-b", err)
+	}
+	if loc := s.MovedLocation(id); loc != "http://pair-b" {
+		t.Fatalf("MovedLocation = %q", loc)
+	}
+
+	s = reopen(t, s, Options{Shards: 1})
+	if _, err := s.State(id); !errors.Is(err, ErrMoved) {
+		t.Fatalf("tombstone lost across restart: %v, want ErrMoved", err)
+	}
+	if loc := s.MovedLocation(id); loc != "http://pair-b" {
+		t.Fatalf("MovedLocation after restart = %q", loc)
+	}
+}
+
+// TestAdoptSessionRestoresState pins the receiving side: the adopted
+// image serves the exact state the source had, and acked keys replay.
+func TestAdoptSessionRestoresState(t *testing.T) {
+	src := newDurableServer(t, Options{Shards: 1})
+	id, want := migratedSession(t, src)
+	img, err := src.BeginMigrate(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := newDurableServer(t, Options{Shards: 1})
+	if err := dst.AdoptSession(img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.StateBytes(id)
+	if err != nil {
+		t.Fatalf("adopted session does not serve: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("adopted state differs:\n  src: %s\n  dst: %s", want, got)
+	}
+	// The idempotency keys migrated with the history: a retry of an
+	// acked batch must be a replay, not a second application.
+	_, replayed, err := dst.ApplyKeyed(id, "m2", []dpm.Operation{synth("AmpDesign", "Ind", 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replayed {
+		t.Error("acked key m2 applied fresh on the destination")
+	}
+	// Adoption is durable: the session survives a destination restart.
+	dst = reopen(t, dst, Options{Shards: 1})
+	if got, err = dst.StateBytes(id); err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("adopted session after restart: %v (state equal: %v)", err, bytes.Equal(got, want))
+	}
+}
+
+// TestAdoptSessionIdempotency pins the re-run semantics that make the
+// orchestrator crash-safe: duplicate adopt is a no-op, a strict
+// extension replaces, a forked history is refused.
+func TestAdoptSessionIdempotency(t *testing.T) {
+	src := newDurableServer(t, Options{Shards: 1})
+	id, _ := migratedSession(t, src)
+	short, err := src.BeginMigrate(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grow the source history past the exported image: abort, apply one
+	// more batch, re-export the longer image.
+	if err := src.AbortMigrate(id); err != nil {
+		t.Fatal(err)
+	}
+	applyKeyed(t, src, id, "m3", []dpm.Operation{synth("AmpDesign", "Bias", 4)})
+	long, err := src.BeginMigrate(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, ok := long.Ops, len(long.Ops) == 3
+	if !ok {
+		t.Fatalf("long image has %d batches, want 3", len(want))
+	}
+
+	dst := newDurableServer(t, Options{Shards: 1})
+	if err := dst.AdoptSession(short); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate delivery of the same transfer: no-op success.
+	if err := dst.AdoptSession(short); err != nil {
+		t.Fatalf("duplicate adopt: %v", err)
+	}
+	// The longer image extends the resident prefix: replace.
+	if err := dst.AdoptSession(long); err != nil {
+		t.Fatalf("extension adopt: %v", err)
+	}
+	st, err := dst.State(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Operations != 3 {
+		t.Fatalf("after extension adopt: %d operations, want 3", st.Operations)
+	}
+	// Re-adopting the now-shorter image: no-op, nothing rolls back.
+	if err := dst.AdoptSession(short); err != nil {
+		t.Fatalf("stale re-adopt: %v", err)
+	}
+	if st, _ = dst.State(id); st.Operations != 3 {
+		t.Fatalf("stale re-adopt rolled back to %d operations", st.Operations)
+	}
+
+	// A forked history — same length as resident, different bytes — is
+	// the one thing re-transfer must never paper over.
+	fork := long.Clone()
+	fork.Ops = append([]wal.OpsEntry(nil), fork.Ops...)
+	fork.Ops[2] = wal.OpsEntry{Key: "mX", Ops: fork.Ops[2].Ops}
+	fork.Ops = append(fork.Ops, wal.OpsEntry{Key: "mY", Ops: fork.Ops[1].Ops})
+	if err := dst.AdoptSession(fork); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("forked adopt: %v, want ErrInvalid", err)
+	}
+}
+
+// TestMigrateHTTP pins the wire rendering of the whole protocol: the
+// begin/complete/abort/adopt endpoints, 503 + Retry-After while frozen,
+// and 307 + full Location after the move.
+func TestMigrateHTTP(t *testing.T) {
+	src := newDurableServer(t, Options{Shards: 1})
+	dst := newDurableServer(t, Options{Shards: 1})
+	id, want := migratedSession(t, src)
+	hs, hd := src.Handler(), dst.Handler()
+
+	post := func(h http.Handler, path string, body []byte) *httptest.ResponseRecorder {
+		t.Helper()
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body)))
+		return rr
+	}
+
+	// Begin over HTTP exports the image.
+	rr := post(hs, "/sessions/"+id+"/migrate", nil)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("begin: %d: %s", rr.Code, rr.Body)
+	}
+	imgBytes := rr.Body.Bytes()
+
+	// Frozen: session routes answer 503 with a Retry-After hint.
+	get := httptest.NewRecorder()
+	hs.ServeHTTP(get, httptest.NewRequest(http.MethodGet, "/sessions/"+id+"/state", nil))
+	if get.Code != http.StatusServiceUnavailable || get.Header().Get("Retry-After") == "" {
+		t.Fatalf("state while frozen: %d (Retry-After %q), want 503 with hint", get.Code, get.Header().Get("Retry-After"))
+	}
+
+	// Adopt on the destination over HTTP.
+	if rr = post(hd, "/adopt", imgBytes); rr.Code != http.StatusOK {
+		t.Fatalf("adopt: %d: %s", rr.Code, rr.Body)
+	}
+
+	// Complete with the destination's base as the forwarding address.
+	body, _ := json.Marshal(map[string]string{"location": "http://pair-b:8080"})
+	if rr = post(hs, "/sessions/"+id+"/migrate/complete", body); rr.Code != http.StatusOK {
+		t.Fatalf("complete: %d: %s", rr.Code, rr.Body)
+	}
+
+	// The source answers 307 whose Location is base + original path.
+	get = httptest.NewRecorder()
+	hs.ServeHTTP(get, httptest.NewRequest(http.MethodGet, "/sessions/"+id+"/state", nil))
+	if get.Code != http.StatusTemporaryRedirect {
+		t.Fatalf("state after move: %d, want 307", get.Code)
+	}
+	if loc := get.Header().Get("Location"); loc != "http://pair-b:8080/sessions/"+id+"/state" {
+		t.Fatalf("Location %q, want base+path", loc)
+	}
+
+	// The destination serves the identical state.
+	get = httptest.NewRecorder()
+	hd.ServeHTTP(get, httptest.NewRequest(http.MethodGet, "/sessions/"+id+"/state", nil))
+	if get.Code != http.StatusOK || !bytes.Equal(bytes.TrimSpace(get.Body.Bytes()), bytes.TrimSpace(want)) {
+		t.Fatalf("destination state: %d\n  want: %s\n  got:  %s", get.Code, want, get.Body)
+	}
+
+	// Abort on an unknown session maps to 404.
+	if rr = post(hs, "/sessions/cnosuch/migrate/abort", nil); rr.Code != http.StatusNotFound {
+		t.Fatalf("abort unknown: %d, want 404", rr.Code)
+	}
+}
+
+// TestMigrateRequiresDurable pins that an ephemeral server refuses the
+// protocol outright.
+func TestMigrateRequiresDurable(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 1})
+	c := mustCreate(t, s, "simplified", 0)
+	if _, err := s.BeginMigrate(c.ID); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("BeginMigrate on ephemeral server: %v, want ErrInvalid", err)
+	}
+	if err := s.AdoptSession(&wal.SessionImage{ID: "cx1"}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("AdoptSession on ephemeral server: %v, want ErrInvalid", err)
+	}
+}
+
+// TestValidateExternalID pins the id namespace contract.
+func TestValidateExternalID(t *testing.T) {
+	for _, ok := range []string{"c1", "cp0x42", "cA-b_9"} {
+		if err := ValidateExternalID(ok); err != nil {
+			t.Errorf("%q rejected: %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "c", "s1-2", "x123", "c id", "c/../x", "c" + strings.Repeat("a", 64)} {
+		if err := ValidateExternalID(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}

@@ -68,6 +68,16 @@ var (
 	// client meant to send — and nothing is applied. Surfaced as HTTP
 	// 422.
 	ErrKeyConflict = errors.New("server: idempotency key reused with a different batch")
+	// ErrMoved reports a session that migrated to another pair: the
+	// request reached the old owner, which answers with the forwarding
+	// address recorded by the migration. Surfaced as HTTP 307 with a
+	// Location header, so an idempotent retry lands on the new owner.
+	ErrMoved = errors.New("server: session moved")
+	// ErrMigrating reports a session frozen mid-migration: its image has
+	// been exported but ownership has not flipped yet. Retryable —
+	// surfaced as HTTP 503 with Retry-After, the same taxonomy as a
+	// transient storage stall.
+	ErrMigrating = errors.New("server: session migrating")
 )
 
 // Options parameterize a Server.
@@ -264,8 +274,17 @@ type shard struct {
 	killed  atomic.Bool
 
 	// Loop-goroutine state.
-	sessions       map[string]*hostedSession
-	parked         map[string]*parkedSession
+	sessions map[string]*hostedSession
+	parked   map[string]*parkedSession
+	// migrating holds sessions frozen between BeginMigrate and
+	// Complete/AbortMigrate: the image has been handed to the migration
+	// orchestrator, so every request answers ErrMigrating until
+	// ownership resolves (serving from the old copy could lose a batch
+	// the new owner never sees).
+	migrating map[string]*parkedSession
+	// moved maps migrated-away session ids to their forwarding address
+	// (wal.TypeMoved tombstones; survive restarts and snapshots).
+	moved          map[string]string
 	closedSessions []SessionSummary
 	totals         Totals
 	summary        ShardSummary
@@ -283,6 +302,9 @@ type shard struct {
 	// Gauges, readable from any goroutine (expvar / Stats).
 	nSessions   atomic.Int64
 	nParked     atomic.Int64
+	nMoved      atomic.Int64
+	migrated    atomic.Uint64
+	adopted     atomic.Uint64
 	created     atomic.Uint64
 	evicted     atomic.Uint64
 	restored    atomic.Uint64
@@ -358,15 +380,17 @@ func Open(opts Options) (*Server, error) {
 			rec = opts.ShardRecorder(i)
 		}
 		sh := &shard{
-			idx:      i,
-			opts:     &s.opts,
-			rec:      rec,
-			seqNow:   s.seq.Load,
-			mailbox:  make(chan task, opts.MailboxSize),
-			quit:     make(chan struct{}),
-			done:     make(chan struct{}),
-			sessions: map[string]*hostedSession{},
-			parked:   map[string]*parkedSession{},
+			idx:       i,
+			opts:      &s.opts,
+			rec:       rec,
+			seqNow:    s.seq.Load,
+			mailbox:   make(chan task, opts.MailboxSize),
+			quit:      make(chan struct{}),
+			done:      make(chan struct{}),
+			sessions:  map[string]*hostedSession{},
+			parked:    map[string]*parkedSession{},
+			migrating: map[string]*parkedSession{},
+			moved:     map[string]string{},
 		}
 		if durable {
 			seq, ok, err := sh.openShardWAL(opts.DataDir, opts.Fsync, opts.SegmentBytes, opts.FS)
@@ -631,21 +655,46 @@ func (sh *shard) finalize() {
 	}
 }
 
-// shardFor resolves a session id ("s<shard>-<seq>") to its shard.
+// shardFor resolves a session id to its shard. Server-minted ids
+// ("s<shard>-<seq>") carry their shard index; externally-minted ids
+// (cluster routing mints "c<n>" so ids stay unique across pairs — see
+// internal/cluster) hash onto a shard, so the same id maps to the same
+// shard on every pair regardless of shard-count history.
 func (s *Server) shardFor(id string) (*shard, error) {
-	rest, ok := strings.CutPrefix(id, "s")
-	if !ok {
+	if id == "" {
 		return nil, ErrUnknownSession
 	}
-	idxStr, _, ok := strings.Cut(rest, "-")
-	if !ok {
+	if rest, ok := strings.CutPrefix(id, "s"); ok {
+		idxStr, _, ok := strings.Cut(rest, "-")
+		if !ok {
+			return nil, ErrUnknownSession
+		}
+		idx, err := strconv.Atoi(idxStr)
+		if err != nil || idx < 0 || idx >= len(s.shards) {
+			return nil, ErrUnknownSession
+		}
+		return s.shards[idx], nil
+	}
+	if !strings.HasPrefix(id, "c") {
 		return nil, ErrUnknownSession
 	}
-	idx, err := strconv.Atoi(idxStr)
-	if err != nil || idx < 0 || idx >= len(s.shards) {
-		return nil, ErrUnknownSession
+	return s.shards[int(hashID(id)%uint32(len(s.shards)))], nil
+}
+
+// hashID is the stable external-id hash (FNV-1a, 32-bit): the same
+// function on every pair, so misrouted requests still land on the shard
+// whose maps hold the moved tombstone.
+func hashID(id string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
 	}
-	return s.shards[idx], nil
+	return h
 }
 
 // CreateSpec names what a session is created from. For durable servers
@@ -653,6 +702,12 @@ func (s *Server) shardFor(id string) (*shard, error) {
 // scenario name or the client's exact DDDL source, so recovery resolves
 // the scenario through precisely the path creation used.
 type CreateSpec struct {
+	// ID, when non-empty, is an externally-minted session id (cluster
+	// routing mints ids so they stay unique across pairs). It must start
+	// with "c" — the external namespace, disjoint from server-minted
+	// "s<shard>-<seq>" ids — and places the session on the shard
+	// hashID selects. Empty means the server mints the id itself.
+	ID string
 	// Scenario is the pre-parsed scenario; when nil it is resolved from
 	// Name or Source.
 	Scenario *dddl.Scenario
@@ -709,10 +764,23 @@ func (s *Server) CreateSession(spec CreateSpec) (*CreateResponse, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
-	seq := s.seq.Add(1) - 1
-	sh := s.shards[int(seq%uint64(len(s.shards)))]
+	var sh *shard
+	var id string
+	if spec.ID != "" {
+		if err := ValidateExternalID(spec.ID); err != nil {
+			return nil, err
+		}
+		id = spec.ID
+		if sh, err = s.shardFor(id); err != nil {
+			return nil, fmt.Errorf("%w: unroutable session id %q", ErrInvalid, id)
+		}
+	} else {
+		seq := s.seq.Add(1) - 1
+		sh = s.shards[int(seq%uint64(len(s.shards)))]
+		id = fmt.Sprintf("s%d-%d", sh.idx, seq)
+	}
 	hs := &hostedSession{
-		id:       fmt.Sprintf("s%d-%d", sh.idx, seq),
+		id:       id,
 		scenario: scn.Name,
 		sess:     sess,
 		idem:     newIdemCache(s.opts.IdemCap),
@@ -736,6 +804,22 @@ func (s *Server) CreateSession(spec CreateSpec) (*CreateResponse, error) {
 	var resp *CreateResponse
 	var aerr error
 	err = sh.submit(func() {
+		if spec.ID != "" {
+			// Externally-minted ids can collide (a client retrying a
+			// create, or a mis-minting router); server-minted ones cannot.
+			if _, ok := sh.sessions[hs.id]; ok {
+				aerr = fmt.Errorf("%w: session id %q already exists", ErrInvalid, hs.id)
+			} else if _, ok := sh.parked[hs.id]; ok {
+				aerr = fmt.Errorf("%w: session id %q already exists", ErrInvalid, hs.id)
+			} else if _, ok := sh.migrating[hs.id]; ok {
+				aerr = fmt.Errorf("%w: session %q", ErrMigrating, hs.id)
+			} else if loc, ok := sh.moved[hs.id]; ok {
+				aerr = &MovedError{ID: hs.id, Location: loc}
+			}
+			if aerr != nil {
+				return
+			}
+		}
 		if hs.img != nil {
 			aerr = sh.appendWAL(&wal.Record{
 				Type:     wal.TypeCreate,
@@ -914,7 +998,14 @@ func (s *Server) Delete(id string) (*SessionSummary, error) {
 		hs := sh.sessions[id]
 		p := sh.parked[id]
 		if hs == nil && p == nil {
-			derr = ErrUnknownSession
+			switch {
+			case sh.migrating[id] != nil:
+				derr = fmt.Errorf("%w: session %q", ErrMigrating, id)
+			case sh.moved[id] != "":
+				derr = &MovedError{ID: id, Location: sh.moved[id]}
+			default:
+				derr = ErrUnknownSession
+			}
 			return
 		}
 		if sh.wal != nil {
@@ -1065,6 +1156,9 @@ type ShardStats struct {
 	// Durability gauges; zero on a non-durable server.
 	Parked     int64  `json:"parked,omitempty"`
 	Restored   uint64 `json:"restored,omitempty"`
+	Moved      int64  `json:"moved,omitempty"`
+	Migrated   uint64 `json:"migrated,omitempty"`
+	Adopted    uint64 `json:"adopted,omitempty"`
 	WALAppends uint64 `json:"wal_appends,omitempty"`
 	WALBytes   uint64 `json:"wal_bytes,omitempty"`
 	Rotations  uint64 `json:"wal_rotations,omitempty"`
@@ -1102,6 +1196,9 @@ func (s *Server) Stats() Stats {
 			Rejected:     sh.rejected.Load(),
 			Parked:       sh.nParked.Load(),
 			Restored:     sh.restored.Load(),
+			Moved:        sh.nMoved.Load(),
+			Migrated:     sh.migrated.Load(),
+			Adopted:      sh.adopted.Load(),
 			WALAppends:   sh.walAppends.Load(),
 			WALBytes:     sh.walBytes.Load(),
 			Rotations:    sh.rotations.Load(),

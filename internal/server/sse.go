@@ -203,7 +203,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	sub, err := s.Subscribe(r.PathValue("id"), opt)
 	if err != nil {
-		writeErr(w, err)
+		writeErrReq(w, r, err)
 		return
 	}
 	defer sub.Close()

@@ -19,6 +19,10 @@ type CreateRequest struct {
 	Source   string `json:"source,omitempty"`
 	Mode     string `json:"mode,omitempty"`
 	MaxOps   int    `json:"max_ops,omitempty"`
+	// ID is an externally-minted session id ("c..." namespace; see
+	// CreateSpec.ID). The cluster router mints these so session ids stay
+	// unique — and deterministically placeable — across pairs.
+	ID string `json:"id,omitempty"`
 }
 
 // CreateResponse acknowledges a created session.

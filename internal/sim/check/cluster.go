@@ -1,0 +1,710 @@
+package check
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dpm"
+	"repro/internal/faultfs"
+	"repro/internal/replica"
+	"repro/internal/server"
+	"repro/internal/vclock"
+	"repro/internal/wal"
+)
+
+// Multi-pair (cluster) mode: the explicit-state checker for cross-pair
+// session migration. Two replicated pairs — each a quorum leader plus
+// a warm standby over in-memory filesystem images — host externally
+// minted sessions placed by the real consistent-hash ring, and the
+// explored action vocabulary adds the migration protocol in both its
+// composite form (begin→adopt→complete in one step) and its split
+// form (begin alone, begin+adopt), so every crash point inside a
+// migration is reached by the epoch terminators. Terminators end each
+// epoch by draining both pairs, killing one, or killing-and-promoting
+// one (the standby takes over), so migration interleaves with every
+// crash/promote combination the deployment can see.
+//
+// Invariants, on every reachable state:
+//
+//  1. No acked operation is ever lost: under quorum acks and
+//     SyncAlways every acked batch must replay — byte-identically —
+//     on whichever pair the truthful routing table names as owner,
+//     across any interleaving of migration steps with crashes and
+//     promotions.
+//  2. No double apply: retried keys replay, never re-apply, on the
+//     owner; misrouted requests to a pair holding the session's moved
+//     tombstone answer ErrMoved (the HTTP 307) and change nothing.
+//  3. A frozen (mid-migration) session answers ErrMigrating; a crash
+//     before completion aborts the transfer and the source still owns
+//     the session with its full history.
+//  4. State bytes are identical across park, adopt, crash, and
+//     promote: the adopted copy is the shipped image, bit for bit.
+//
+// ClusterBugStaleRouter seeds the routing bug this checker exists to
+// catch: a migration that re-publishes the table (epoch bump, new
+// owner) but whose router keeps routing the session to the old owner
+// — with the source unfrozen and no tombstone to bounce the requests.
+// Writes acked by the stale old owner are invisible at the table's
+// owner, and the checker must report the lost acked batch.
+
+// ClusterBug selects a seeded defect for cluster-mode self-tests.
+type ClusterBug int
+
+const (
+	// ClusterBugNone checks the real protocol.
+	ClusterBugNone ClusterBug = iota
+	// ClusterBugStaleRouter completes a migration's table flip (epoch
+	// bump, ownership moved) without the source's tombstone, while the
+	// router keeps resolving the session to the old owner. The checker
+	// must report the acked batches the new owner never sees.
+	ClusterBugStaleRouter
+)
+
+// ClusterConfig bounds the explored cluster configuration. The pair
+// count is fixed at two — the smallest cluster with cross-pair
+// migration — and durability is pinned to quorum acks + SyncAlways,
+// the deployment mode whose contract is zero acked-op loss.
+type ClusterConfig struct {
+	// MaxSessions bounds concurrently live sessions (≤2).
+	MaxSessions int
+	// MaxOps bounds keyed operation batches per run (≤4).
+	MaxOps int
+	// MaxEpochs is the DFS depth in crash epochs.
+	MaxEpochs int
+	// EpochLen is the max client actions per epoch.
+	EpochLen int
+	// Bug injects a seeded defect (self-tests).
+	Bug ClusterBug
+	// MaxStates aborts runaway explorations; 0 means no cap.
+	MaxStates int
+}
+
+// pairNames are the two pairs' ring names.
+var pairNames = []string{"a", "b"}
+
+// clusterRingVNodes keeps ring construction cheap; placement balance
+// is irrelevant here, determinism is not.
+const clusterRingVNodes = 16
+
+// cbatch is one acked keyed batch in the cluster model.
+type cbatch struct {
+	key   string
+	opIdx int
+	ack   []byte
+}
+
+// csession models one session's cluster-visible truth.
+type csession struct {
+	id string
+	// owner is the pair the truthful routing table names (ring
+	// placement, then migration overrides).
+	owner int
+	// routeOwner is where the router under test actually sends
+	// requests; equal to owner except under ClusterBugStaleRouter,
+	// which freezes it at the pre-migration owner.
+	routeOwner int
+	// mig is the in-flight migration phase: 0 none, 1 begun (frozen on
+	// the source), 2 adopted (durable on the destination, source not
+	// yet tombstoned). Any epoch end aborts it (the freeze is
+	// volatile), so successor nodes always carry mig == 0.
+	mig   int
+	migTo int
+	// img is the shipped image of a split migration (mbegin → madopt),
+	// valid only within one epoch's action sequence.
+	img *wal.SessionImage
+	// tombs marks pairs holding this session's moved tombstone.
+	tombs   [2]bool
+	batches []*cbatch
+	state   []byte
+}
+
+// cmodel is the cluster-level oracle.
+type cmodel struct {
+	sessions []*csession
+	opNext   int
+	nextID   int
+	epoch    uint64
+}
+
+func (m *cmodel) clone() *cmodel {
+	cp := &cmodel{opNext: m.opNext, nextID: m.nextID, epoch: m.epoch}
+	for _, s := range m.sessions {
+		ns := *s
+		ns.batches = make([]*cbatch, len(s.batches))
+		for i, b := range s.batches {
+			nb := *b
+			ns.batches[i] = &nb
+		}
+		cp.sessions = append(cp.sessions, &ns)
+	}
+	return cp
+}
+
+func (m *cmodel) encode() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "op:%d id:%d ep:%d", m.opNext, m.nextID, m.epoch)
+	for _, s := range m.sessions {
+		fmt.Fprintf(&b, "|s:%s:%d:%d:%t:%t", s.id, s.owner, s.routeOwner, s.tombs[0], s.tombs[1])
+		b.Write(s.state)
+		for _, bt := range s.batches {
+			fmt.Fprintf(&b, "|b:%s:%d:", bt.key, bt.opIdx)
+			b.Write(bt.ack)
+		}
+	}
+	return b.Bytes()
+}
+
+// cpair is one pair's persistent state: the leader's and the standby's
+// filesystem images.
+type cpair struct {
+	fs, standby *faultfs.MemFS
+}
+
+// cnode is one DFS state of the cluster exploration.
+type cnode struct {
+	pairs [2]cpair
+	model *cmodel
+	depth int
+	path  []string
+}
+
+// livePair is one pair's per-epoch process state.
+type livePair struct {
+	fs, standby *faultfs.MemFS
+	srv         *server.Server
+	fol         *replica.Follower
+	rep         *replica.Replicator
+}
+
+// clusterChecker drives one cluster exploration.
+type clusterChecker struct {
+	cfg     ClusterConfig
+	ring    *cluster.Ring
+	visited map[string]bool
+	rep     *Report
+	err     error
+}
+
+// RunCluster explores the two-pair migration state space exhaustively
+// and reports violations.
+func RunCluster(cfg ClusterConfig) (*Report, error) {
+	if cfg.MaxSessions <= 0 || cfg.MaxSessions > 2 {
+		cfg.MaxSessions = 2
+	}
+	if cfg.MaxOps <= 0 || cfg.MaxOps > len(opVocab) {
+		cfg.MaxOps = 3
+	}
+	if cfg.MaxEpochs <= 0 {
+		cfg.MaxEpochs = 3
+	}
+	if cfg.EpochLen <= 0 {
+		cfg.EpochLen = 2
+	}
+	ring, err := cluster.NewRing(1, clusterRingVNodes, pairNames)
+	if err != nil {
+		return nil, err
+	}
+	cc := &clusterChecker{
+		cfg:     cfg,
+		ring:    ring,
+		visited: map[string]bool{},
+		rep:     &Report{},
+	}
+	root := &cnode{model: &cmodel{}}
+	for i := range root.pairs {
+		root.pairs[i] = cpair{fs: faultfs.NewMemFS(), standby: faultfs.NewMemFS()}
+	}
+	cc.visit(root)
+	cc.dfs(root)
+	return cc.rep, cc.err
+}
+
+func (cc *clusterChecker) stop() bool {
+	return cc.err != nil || len(cc.rep.Violations) > 0 ||
+		(cc.cfg.MaxStates > 0 && cc.rep.States >= cc.cfg.MaxStates)
+}
+
+func (cc *clusterChecker) visit(n *cnode) bool {
+	var b bytes.Buffer
+	// Depth is part of the key: a state reached earlier in the epoch
+	// budget has more exploration left in it, and deduplicating it
+	// against a leaf would hide interleavings that still fit the bound
+	// (exactly the migrate-then-apply suffix the seeded-bug self-test
+	// must reach).
+	fmt.Fprintf(&b, "d:%d", n.depth)
+	for i := range n.pairs {
+		fp := n.pairs[i].fs.Fingerprint()
+		b.Write(fp[:])
+		sp := n.pairs[i].standby.Fingerprint()
+		b.Write(sp[:])
+	}
+	b.Write(n.model.encode())
+	key := b.String()
+	if cc.visited[key] {
+		return false
+	}
+	cc.visited[key] = true
+	cc.rep.States++
+	return true
+}
+
+func (cc *clusterChecker) violate(n *cnode, seq []action, term, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	cc.rep.Violations = append(cc.rep.Violations, msg)
+	cc.rep.Trace = append(append([]string(nil), n.path...), epochLabel(seq, term))
+}
+
+// dfs expands one node across every action sequence and terminator.
+func (cc *clusterChecker) dfs(n *cnode) {
+	if cc.stop() {
+		return
+	}
+	if n.depth >= cc.cfg.MaxEpochs {
+		cc.epoch(n, nil, "drain")
+		return
+	}
+	terms := []string{"drain", "kill:a", "kill:b", "promote:a", "promote:b"}
+	for _, seq := range cc.actionSeqs(n.model) {
+		for _, term := range terms {
+			if cc.stop() {
+				return
+			}
+			succ := cc.epoch(n, seq, term)
+			if succ == nil {
+				continue
+			}
+			if cc.visit(succ) {
+				cc.dfs(succ)
+			}
+		}
+	}
+}
+
+// actionSeqs enumerates valid action sequences of length 0..EpochLen.
+// The migration vocabulary is both composite ("migrate": the full
+// begin→adopt→complete cycle) and split ("mbegin", "madopt"): the
+// split prefixes exist so terminators crash the protocol between its
+// durable steps; completion after a crash is reached by re-running the
+// composite action, which is the orchestrator's real recovery story.
+func (cc *clusterChecker) actionSeqs(m *cmodel) [][]action {
+	var out [][]action
+	var rec func(prefix []action, m *cmodel)
+	rec = func(prefix []action, m *cmodel) {
+		out = append(out, append([]action(nil), prefix...))
+		if len(prefix) >= cc.cfg.EpochLen {
+			return
+		}
+		var opts []action
+		if len(m.sessions) < cc.cfg.MaxSessions {
+			opts = append(opts, action{kind: "create"})
+		}
+		for i, s := range m.sessions {
+			switch s.mig {
+			case 0:
+				if m.opNext < cc.cfg.MaxOps {
+					opts = append(opts, action{kind: "apply", sess: i})
+				}
+				opts = append(opts, action{kind: "migrate", sess: i}, action{kind: "mbegin", sess: i})
+			case 1:
+				opts = append(opts, action{kind: "madopt", sess: i})
+			}
+		}
+		for _, a := range opts {
+			nm := m.clone()
+			cc.applyToModel(nm, a)
+			rec(append(prefix, a), nm)
+		}
+	}
+	rec(nil, m)
+	return out
+}
+
+// applyToModel advances the model's shape for enumeration.
+func (cc *clusterChecker) applyToModel(m *cmodel, a action) {
+	switch a.kind {
+	case "create":
+		m.nextID++
+		id := fmt.Sprintf("cchk%d", m.nextID)
+		owner := cc.pairIndex(cc.ring.Owner(id))
+		m.sessions = append(m.sessions, &csession{id: id, owner: owner, routeOwner: owner})
+	case "apply":
+		s := m.sessions[a.sess]
+		s.batches = append(s.batches, &cbatch{opIdx: m.opNext})
+		m.opNext++
+	case "mbegin":
+		s := m.sessions[a.sess]
+		s.mig, s.migTo = 1, 1-s.owner
+	case "madopt":
+		s := m.sessions[a.sess]
+		s.mig = 2
+		// Adoption clears any moved tombstone on the destination (a
+		// session migrating back home).
+		s.tombs[s.migTo] = false
+	case "migrate":
+		s := m.sessions[a.sess]
+		dst := 1 - s.owner
+		if cc.cfg.Bug != ClusterBugStaleRouter {
+			s.tombs[s.owner] = true
+			s.tombs[dst] = false
+			s.routeOwner = dst
+		}
+		// Under the bug: the table flips but the router's view does not
+		// (routeOwner keeps its old value), the source is quietly
+		// unfrozen, and no tombstone bounces misrouted requests.
+		s.owner = dst
+		s.mig = 0
+		m.epoch++
+	}
+}
+
+func (cc *clusterChecker) pairIndex(name string) int {
+	for i, n := range pairNames {
+		if n == name {
+			return i
+		}
+	}
+	return 0
+}
+
+// pairLocation is the tombstone vocabulary the checker writes: pair
+// names, not URLs — CompleteMigrate treats the string as opaque.
+func pairLocation(idx int) string { return "pair:" + pairNames[idx] }
+
+// epoch executes one transition on copies of both pairs' images.
+func (cc *clusterChecker) epoch(n *cnode, seq []action, term string) *cnode {
+	m := n.model.clone()
+	clk := vclock.NewManual()
+	var pairs [2]*livePair
+	for i := range pairs {
+		lp, err := cc.openPair(n.pairs[i], clk)
+		if err != nil {
+			cc.err = fmt.Errorf("check: cluster pair %s: %w", pairNames[i], err)
+			return nil
+		}
+		pairs[i] = lp
+		defer lp.srv.Drain() // idempotent; the terminator usually got there first
+	}
+	cc.rep.Transitions++
+
+	if !cc.verifyCluster(pairs, m, n, seq, term) {
+		return nil
+	}
+	for _, a := range seq {
+		if !cc.execute(pairs, clk, m, a, n, seq, term) {
+			return nil
+		}
+	}
+
+	// Restart semantics: the BeginMigrate freeze is volatile, so any
+	// in-flight migration aborts at the epoch boundary — the source
+	// still owns the session (no tombstone was written); an adopted
+	// copy on the destination is stale surplus the next transfer may
+	// extend.
+	for _, s := range m.sessions {
+		s.mig, s.migTo, s.img = 0, 0, nil
+	}
+
+	succ := &cnode{
+		model: m,
+		depth: n.depth + 1,
+		path:  append(append([]string(nil), n.path...), epochLabel(seq, term)),
+	}
+	for i, lp := range pairs {
+		fate := "drain"
+		if len(term) > 5 && pairNames[i] == term[len(term)-1:] {
+			fate = term[:len(term)-2]
+		}
+		switch fate {
+		case "drain":
+			lp.srv.Drain()
+			succ.pairs[i] = cpair{fs: lp.fs, standby: lp.standby}
+		case "kill":
+			lp.srv.Kill()
+			succ.pairs[i] = cpair{fs: lp.fs, standby: lp.standby}
+		case "promote":
+			// Kill-and-promote: the leader dies, the standby's mirror
+			// becomes the servable image, the dead leader's disk becomes
+			// the new standby. Quorum acks promise this loses nothing.
+			lp.srv.Kill()
+			if err := lp.fol.Promote(); err != nil {
+				cc.violate(n, seq, term, "promote pair %s: %v", pairNames[i], err)
+				return nil
+			}
+			succ.pairs[i] = cpair{fs: lp.standby, standby: lp.fs}
+		}
+	}
+	return succ
+}
+
+// openPair boots one pair for an epoch: follower over the standby
+// image, quorum replicator, server over the leader image, catch-up.
+func (cc *clusterChecker) openPair(p cpair, clk *vclock.Manual) (*livePair, error) {
+	lp := &livePair{fs: p.fs.Clone(), standby: p.standby.Clone()}
+	fol, err := replica.NewFollower(replica.FollowerOptions{Dir: "data", FS: lp.standby, Shards: 1})
+	if err != nil {
+		return nil, err
+	}
+	lp.fol = fol
+	rep, err := replica.NewReplicator(replica.ReplicatorOptions{
+		Peer:    fol,
+		FS:      lp.fs,
+		DataDir: "data",
+		Shards:  1,
+		Quorum:  true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	lp.rep = rep
+	srv, err := server.Open(server.Options{
+		Shards:      1,
+		MailboxSize: 16,
+		MaxOps:      64,
+		IdleTimeout: time.Minute,
+		DataDir:     "data",
+		Fsync:       wal.SyncAlways,
+		FS:          lp.fs,
+		Clock:       clk,
+		IdemCap:     -1,
+		Repl:        rep,
+	})
+	if err != nil {
+		return nil, err
+	}
+	lp.srv = srv
+	if err := rep.CatchUpAll(); err != nil {
+		srv.Kill()
+		return nil, fmt.Errorf("catch-up: %w", err)
+	}
+	return lp, nil
+}
+
+// verifyCluster checks both pairs against the model at epoch open:
+// every session is fully recovered on its truthful owner (every acked
+// batch replays byte-identically — under quorum + SyncAlways loss is
+// never legal), its state bytes are unchanged, and every tombstoned
+// pair answers ErrMoved without applying anything.
+func (cc *clusterChecker) verifyCluster(pairs [2]*livePair, m *cmodel, n *cnode, seq []action, term string) bool {
+	for _, s := range m.sessions {
+		owner := pairs[s.owner].srv
+		if _, err := owner.State(s.id); err != nil {
+			cc.violate(n, seq, term, "session %s missing on owner %s: %v", s.id, pairNames[s.owner], err)
+			return false
+		}
+		for _, b := range s.batches {
+			resp, replayed, err := owner.ApplyKeyed(s.id, b.key, []dpm.Operation{opVocab[b.opIdx]})
+			if err != nil {
+				cc.violate(n, seq, term, "recovery retry %s on %s@%s: %v", b.key, s.id, pairNames[s.owner], err)
+				return false
+			}
+			if !replayed {
+				cc.violate(n, seq, term, "acked batch %s on %s lost at owner %s (acked under quorum+SyncAlways; stale routing or dropped transfer?)", b.key, s.id, pairNames[s.owner])
+				return false
+			}
+			if ack := mustJSON(resp); !bytes.Equal(ack, b.ack) {
+				cc.violate(n, seq, term, "recovered ack for %s on %s differs (was %s, now %s)", b.key, s.id, shortHash(b.ack), shortHash(ack))
+				return false
+			}
+		}
+		st, err := owner.State(s.id)
+		if err != nil {
+			cc.violate(n, seq, term, "state %s on %s: %v", s.id, pairNames[s.owner], err)
+			return false
+		}
+		cur := mustJSON(st)
+		if s.state != nil && !bytes.Equal(cur, s.state) {
+			cc.violate(n, seq, term, "state of %s not byte-identical on owner %s (was %s, now %s)", s.id, pairNames[s.owner], shortHash(s.state), shortHash(cur))
+			return false
+		}
+		s.state = cur
+
+		for i := range pairs {
+			if !s.tombs[i] {
+				continue
+			}
+			_, err := pairs[i].srv.State(s.id)
+			if !errors.Is(err, server.ErrMoved) {
+				cc.violate(n, seq, term, "pair %s lost the moved tombstone of %s (got %v, want ErrMoved)", pairNames[i], s.id, err)
+				return false
+			}
+			// A misrouted retry must bounce, not double-apply.
+			if len(s.batches) > 0 {
+				b := s.batches[len(s.batches)-1]
+				if _, _, err := pairs[i].srv.ApplyKeyed(s.id, b.key, []dpm.Operation{opVocab[b.opIdx]}); !errors.Is(err, server.ErrMoved) {
+					cc.violate(n, seq, term, "misrouted retry of %s on tombstoned pair %s: got %v, want ErrMoved", b.key, pairNames[i], err)
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// execute runs one cluster action with inline invariant checks.
+func (cc *clusterChecker) execute(pairs [2]*livePair, clk *vclock.Manual, m *cmodel, a action, n *cnode, seq []action, term string) bool {
+	clk.Advance(time.Millisecond)
+	switch a.kind {
+	case "create":
+		if len(m.sessions) >= cc.cfg.MaxSessions {
+			return false
+		}
+		m.nextID++
+		id := fmt.Sprintf("cchk%d", m.nextID)
+		owner := cc.pairIndex(cc.ring.Owner(id))
+		resp, err := pairs[owner].srv.CreateSession(server.CreateSpec{ID: id, Name: "simplified", Mode: dpm.ADPM, MaxOps: 64})
+		if err != nil {
+			cc.violate(n, seq, term, "create %s on %s: %v", id, pairNames[owner], err)
+			return false
+		}
+		if resp.ID != id {
+			cc.violate(n, seq, term, "create %s: server rewrote the id to %s", id, resp.ID)
+			return false
+		}
+		s := &csession{id: id, owner: owner, routeOwner: owner}
+		st, err := pairs[owner].srv.State(id)
+		if err != nil {
+			cc.violate(n, seq, term, "state %s after create: %v", id, err)
+			return false
+		}
+		s.state = mustJSON(st)
+		m.sessions = append(m.sessions, s)
+		return true
+
+	case "apply":
+		s := m.sessions[a.sess]
+		if s.mig != 0 || m.opNext >= cc.cfg.MaxOps {
+			return false
+		}
+		// Route through the router under test: the truthful owner,
+		// except when the seeded bug holds the route at the old owner.
+		srv := pairs[s.routeOwner].srv
+		opIdx := m.opNext
+		key := fmt.Sprintf("k%d", opIdx+1)
+		ops := []dpm.Operation{opVocab[opIdx]}
+		resp, replayed, err := srv.ApplyKeyed(s.id, key, ops)
+		if err != nil {
+			cc.violate(n, seq, term, "apply %s on %s@%s: %v", key, s.id, pairNames[s.routeOwner], err)
+			return false
+		}
+		if replayed {
+			cc.violate(n, seq, term, "fresh key %s on %s came back replayed", key, s.id)
+			return false
+		}
+		ack := mustJSON(resp)
+		// Exactly-once, immediately: the retried key must replay the
+		// byte-identical acknowledgement, not double-apply.
+		r2, rep2, err := srv.ApplyKeyed(s.id, key, ops)
+		if err != nil || !rep2 {
+			cc.violate(n, seq, term, "immediate retry of %s on %s: replayed=%t err=%v", key, s.id, rep2, err)
+			return false
+		}
+		if ack2 := mustJSON(r2); !bytes.Equal(ack, ack2) {
+			cc.violate(n, seq, term, "immediate retry of %s on %s returned a different ack", key, s.id)
+			return false
+		}
+		s.batches = append(s.batches, &cbatch{key: key, opIdx: opIdx, ack: ack})
+		m.opNext++
+		st, err := srv.State(s.id)
+		if err != nil {
+			cc.violate(n, seq, term, "state %s after apply: %v", s.id, err)
+			return false
+		}
+		s.state = mustJSON(st)
+		return true
+
+	case "mbegin":
+		s := m.sessions[a.sess]
+		if s.mig != 0 {
+			return false
+		}
+		src := pairs[s.owner].srv
+		img, err := src.BeginMigrate(s.id)
+		if err != nil {
+			cc.violate(n, seq, term, "begin migrate %s on %s: %v", s.id, pairNames[s.owner], err)
+			return false
+		}
+		// Frozen: until the transfer resolves, the source answers
+		// ErrMigrating (the HTTP 503 + Retry-After).
+		if _, _, err := src.ApplyKeyed(s.id, "frozen-probe", []dpm.Operation{opVocab[0]}); !errors.Is(err, server.ErrMigrating) {
+			cc.violate(n, seq, term, "frozen session %s accepted a request (got %v, want ErrMigrating)", s.id, err)
+			return false
+		}
+		s.mig, s.migTo, s.img = 1, 1-s.owner, img
+		return true
+
+	case "madopt":
+		s := m.sessions[a.sess]
+		if s.mig != 1 || s.img == nil {
+			return false
+		}
+		if err := pairs[s.migTo].srv.AdoptSession(s.img); err != nil {
+			cc.violate(n, seq, term, "adopt %s on %s: %v", s.id, pairNames[s.migTo], err)
+			return false
+		}
+		s.mig = 2
+		// Adoption clears any moved tombstone on the destination (a
+		// session migrating back home).
+		s.tombs[s.migTo] = false
+		return true
+
+	case "migrate":
+		s := m.sessions[a.sess]
+		if s.mig != 0 {
+			return false
+		}
+		src, dst := s.owner, 1-s.owner
+		img, err := pairs[src].srv.BeginMigrate(s.id)
+		if err != nil {
+			cc.violate(n, seq, term, "begin migrate %s on %s: %v", s.id, pairNames[src], err)
+			return false
+		}
+		if err := pairs[dst].srv.AdoptSession(img); err != nil {
+			cc.violate(n, seq, term, "adopt %s on %s: %v", s.id, pairNames[dst], err)
+			return false
+		}
+		if cc.cfg.Bug == ClusterBugStaleRouter {
+			// The seeded bug: the table is re-published (epoch bump, new
+			// owner) but the source is quietly unfrozen instead of
+			// tombstoned, and the router keeps resolving the session to
+			// its old route.
+			if err := pairs[src].srv.AbortMigrate(s.id); err != nil {
+				cc.violate(n, seq, term, "bug abort %s: %v", s.id, err)
+				return false
+			}
+		} else {
+			if err := pairs[src].srv.CompleteMigrate(s.id, pairLocation(dst)); err != nil {
+				cc.violate(n, seq, term, "complete migrate %s on %s: %v", s.id, pairNames[src], err)
+				return false
+			}
+			s.tombs[src] = true
+			s.tombs[dst] = false
+			s.routeOwner = dst
+			// The source must bounce immediately, and a retried key must
+			// not double-apply there.
+			if _, _, err := pairs[src].srv.ApplyKeyed(s.id, "post-move-probe", []dpm.Operation{opVocab[0]}); !errors.Is(err, server.ErrMoved) {
+				cc.violate(n, seq, term, "moved session %s on %s: got %v, want ErrMoved", s.id, pairNames[src], err)
+				return false
+			}
+		}
+		s.owner = dst
+		s.mig = 0
+		m.epoch++
+		// The adopted copy must be the shipped image bit for bit: state
+		// on the new owner equals the state last observed on the old.
+		st, err := pairs[s.owner].srv.State(s.id)
+		if err != nil {
+			cc.violate(n, seq, term, "state %s on new owner %s: %v", s.id, pairNames[s.owner], err)
+			return false
+		}
+		if cur := mustJSON(st); s.state != nil && !bytes.Equal(cur, s.state) {
+			cc.violate(n, seq, term, "migrated state of %s differs on %s (was %s, now %s)", s.id, pairNames[s.owner], shortHash(s.state), shortHash(cur))
+			return false
+		}
+		return true
+	}
+	cc.err = fmt.Errorf("check: unknown cluster action %q", a.kind)
+	return false
+}

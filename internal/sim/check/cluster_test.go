@@ -1,0 +1,59 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunClusterCleanSmall is the in-tree smoke of the multi-pair
+// checker: small bounds, exhaustive, no violations. CI's cluster job
+// runs the larger configuration through cmd/adpmsim.
+func TestRunClusterCleanSmall(t *testing.T) {
+	rep, err := RunCluster(ClusterConfig{MaxSessions: 1, MaxOps: 2, MaxEpochs: 2, EpochLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) > 0 {
+		t.Fatalf("violations at small bounds:\n  %s\ntrace:\n  %s",
+			strings.Join(rep.Violations, "\n  "), strings.Join(rep.Trace, "\n  "))
+	}
+	if rep.States < 10 {
+		t.Fatalf("only %d states explored — the DFS is not expanding", rep.States)
+	}
+}
+
+// TestRunClusterCatchesStaleRouter is the trust anchor's trust anchor:
+// with the seeded lying-router defect (the table never learns a
+// migration moved a session) the checker MUST report a violation. A
+// checker that passes this buggy cluster proves nothing about the real
+// one.
+func TestRunClusterCatchesStaleRouter(t *testing.T) {
+	rep, err := RunCluster(ClusterConfig{MaxSessions: 1, MaxOps: 2, MaxEpochs: 2, EpochLen: 2,
+		Bug: ClusterBugStaleRouter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatalf("checker missed the seeded stale-router bug (%d states explored)", rep.States)
+	}
+	if len(rep.Trace) == 0 {
+		t.Error("violation reported without a reproducing trace")
+	}
+}
+
+// TestRunClusterBoundsClamp pins that out-of-range bounds clamp to the
+// model's maxima instead of exploding, and that MaxStates cuts the
+// exploration off cleanly.
+func TestRunClusterBoundsClamp(t *testing.T) {
+	rep, err := RunCluster(ClusterConfig{MaxSessions: 99, MaxOps: 99, MaxEpochs: 99, EpochLen: 1,
+		MaxStates: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.States < 5 {
+		t.Fatalf("explored %d states under a MaxStates=5 cutoff, want >=5", rep.States)
+	}
+	if len(rep.Violations) > 0 {
+		t.Fatalf("truncated run reported violations: %v", rep.Violations)
+	}
+}

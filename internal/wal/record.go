@@ -32,6 +32,15 @@ const (
 	// TypeSnapshot opens a segment with the full session images of the
 	// shard at rotation time; it subsumes every earlier record.
 	TypeSnapshot = "snapshot"
+	// TypeMoved logs one session migrated away to another pair: the
+	// image is replaced by a forwarding tombstone naming the new owner's
+	// location, so recovery keeps answering misrouted requests with a
+	// redirect instead of resurrecting the abandoned copy.
+	TypeMoved = "moved"
+	// TypeAdopt logs one session migrated in from another pair: the full
+	// image (create parameters + accepted batch history) arrives as one
+	// record, installing the session exactly as a snapshot would.
+	TypeAdopt = "adopt"
 )
 
 // OpsEntry is one accepted operation batch inside a session image: the
@@ -62,6 +71,12 @@ type SessionImage struct {
 	MaxOps int `json:"max_ops"`
 	// Ops is the accepted batch history in acceptance order.
 	Ops []OpsEntry `json:"ops,omitempty"`
+	// Moved, when non-empty, marks this image as a forwarding tombstone:
+	// the session migrated away and now lives at this location (a pair
+	// name or base URL; internal/cluster decides the vocabulary). A
+	// tombstone carries no history — only the id and the forwarding
+	// address — and survives snapshot rotation like any other image.
+	Moved string `json:"moved,omitempty"`
 }
 
 // Clone deep-copies the image (the Ops slice is shared-structure
@@ -86,6 +101,9 @@ type Record struct {
 	MaxOps   int    `json:"max_ops,omitempty"`
 	// Key is the client idempotency key of an ops record.
 	Key string `json:"key,omitempty"`
+	// Location is the forwarding address of a moved record: where the
+	// migrated session now lives.
+	Location string `json:"location,omitempty"`
 	// Ops is the wire-encoded operation batch of an ops record.
 	Ops json.RawMessage `json:"ops,omitempty"`
 	// Sessions are the full shard images of a snapshot record.
@@ -126,12 +144,37 @@ func Fold(sessions map[string]*SessionImage, rec *Record) error {
 		if im == nil {
 			return fmt.Errorf("wal: ops record for unknown session %s", rec.Session)
 		}
+		if im.Moved != "" {
+			return fmt.Errorf("wal: ops record for moved session %s", rec.Session)
+		}
 		im.Ops = append(im.Ops, OpsEntry{Key: rec.Key, Ops: rec.Ops})
 	case TypeDelete:
 		if _, ok := sessions[rec.Session]; !ok {
 			return fmt.Errorf("wal: delete record for unknown session %s", rec.Session)
 		}
 		delete(sessions, rec.Session)
+	case TypeMoved:
+		if _, ok := sessions[rec.Session]; !ok {
+			return fmt.Errorf("wal: moved record for unknown session %s", rec.Session)
+		}
+		if rec.Location == "" {
+			return fmt.Errorf("wal: moved record for %s without location", rec.Session)
+		}
+		sessions[rec.Session] = &SessionImage{ID: rec.Session, Moved: rec.Location}
+	case TypeAdopt:
+		if len(rec.Sessions) != 1 {
+			return fmt.Errorf("wal: adopt record carries %d images, want 1", len(rec.Sessions))
+		}
+		im := rec.Sessions[0].Clone()
+		if im.ID == "" {
+			return fmt.Errorf("wal: adopt record without session id")
+		}
+		if im.Moved != "" {
+			return fmt.Errorf("wal: adopt record for %s carries a moved tombstone", im.ID)
+		}
+		// Adopt replaces whatever is present — most often a prior moved
+		// tombstone when a session migrates back, or nothing at all.
+		sessions[im.ID] = im
 	case TypeSnapshot:
 		for id := range sessions {
 			delete(sessions, id)
